@@ -1,0 +1,75 @@
+//! Ablations the paper's analysis calls out but does not plot:
+//! protocol choice per size, channel count, and scattered-tensor
+//! bucket-size sensitivity.
+
+use coconet_bench::{experiments, fmt_time, Report};
+
+fn main() {
+    let mut r = Report::new(
+        "Ablation: NCCL protocol per message size (AllReduce, 256 GPUs)",
+        &["elems", "LL", "LL128", "Simple", "winner"],
+    );
+    for (e, [ll, ll128, simple]) in experiments::ablation_protocols(&[10, 14, 18, 22, 26, 30]) {
+        let winner = if ll <= ll128 && ll <= simple {
+            "LL"
+        } else if ll128 <= simple {
+            "LL128"
+        } else {
+            "Simple"
+        };
+        r.row(&[
+            format!("2^{e}"),
+            fmt_time(ll),
+            fmt_time(ll128),
+            fmt_time(simple),
+            winner.to_string(),
+        ]);
+    }
+    r.note("the latency/bandwidth crossover that drives the autotuner's protocol choice");
+    r.print();
+
+    let mut r = Report::new(
+        "Ablation: channel count (AllReduce of 2^30 FP16 elements)",
+        &["channels", "time"],
+    );
+    for (ch, t) in experiments::ablation_channels(1 << 30) {
+        r.row(&[ch.to_string(), fmt_time(t)]);
+    }
+    r.note("cross-node rings saturate once channels cover the 8 NICs");
+    r.print();
+
+    let mut r = Report::new(
+        "Ablation: overlap buffer-tile count (Figure 1 shape, B=64)",
+        &["tiles", "time"],
+    );
+    for (tiles, t) in experiments::ablation_tile_count(64) {
+        r.row(&[tiles.to_string(), fmt_time(t)]);
+    }
+    r.note("1 tile = no overlap; past ~64 tiles spin-lock overhead wins (section 5.3)");
+    r.print();
+
+    let mut r = Report::new(
+        "Ablation: ring vs tree AllReduce (256 GPUs, tuned protocol/channels)",
+        &["elems", "ring", "tree", "winner"],
+    );
+    for (e, ring, tree) in experiments::ablation_ring_vs_tree(&[10, 14, 18, 22, 26, 30]) {
+        r.row(&[
+            format!("2^{e}"),
+            fmt_time(ring),
+            fmt_time(tree),
+            if tree < ring { "tree" } else { "ring" }.to_string(),
+        ]);
+    }
+    r.note("section 5.1's two logical topologies: trees win latency-bound sizes");
+    r.print();
+
+    let mut r = Report::new(
+        "Ablation: scattered-tensor bucket size (334M elements, 360 tensors)",
+        &["bucket elems", "index overhead"],
+    );
+    for (b, t) in experiments::ablation_bucket_size(334_000_000) {
+        r.row(&[b.to_string(), fmt_time(t)]);
+    }
+    r.note("the paper picks 2^10 (=1024) element buckets (section 5.4)");
+    r.print();
+}

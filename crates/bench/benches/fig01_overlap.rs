@@ -1,0 +1,24 @@
+//! Figure 1: fine-grained overlap of MatMul with AllReduce
+//! (16 V100s, [B*1024, 768] x [768, 3072], FP16).
+
+use coconet_bench::{experiments, fmt_time, fmt_x, Report};
+
+fn main() {
+    let paper = [1.34, 1.36, 1.35, 1.33];
+    let mut r = Report::new(
+        "Figure 1: overlapped MatMul+AllReduce vs sequential (16 V100s)",
+        &["B", "sequential", "overlapped", "MM hidden", "speedup", "paper"],
+    );
+    for (row, paper_x) in experiments::figure1().iter().zip(paper) {
+        r.row(&[
+            row.batch.to_string(),
+            fmt_time(row.sequential),
+            fmt_time(row.overlapped),
+            format!("{:.0}%", row.matmul_hidden * 100.0),
+            fmt_x(row.speedup()),
+            fmt_x(paper_x),
+        ]);
+    }
+    r.note("paper: hides >80% of MatMul time, 1.33-1.36x speedup");
+    r.print();
+}

@@ -1,0 +1,29 @@
+//! Figure 11: model-parallel self-attention and MLP schedules for
+//! GPT-2 8.3B sizes, normalized to Megatron-LM (16 GPUs).
+
+use coconet_bench::{experiments, fmt_time, fmt_x, Report};
+
+fn main() {
+    let mut r = Report::new(
+        "Figure 11: model-parallel schedules (GPT-2 8.3B, S=1024, H=3072)",
+        &["block", "B", "schedule", "time", "speedup", "breakdown (stacked bars)"],
+    );
+    for row in experiments::figure11() {
+        let breakdown = row
+            .breakdown
+            .iter()
+            .map(|(label, t)| format!("{label} {}", fmt_time(*t)))
+            .collect::<Vec<_>>()
+            .join(" | ");
+        r.row(&[
+            row.block.to_string(),
+            row.batch.to_string(),
+            row.schedule.to_string(),
+            fmt_time(row.time),
+            fmt_x(row.speedup),
+            breakdown,
+        ]);
+    }
+    r.note("paper: MM-AR-C 1.05-1.07x, GShard-Eq 1.15-1.29x, overlap 1.42-1.70x");
+    r.print();
+}

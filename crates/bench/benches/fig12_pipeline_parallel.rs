@@ -1,0 +1,21 @@
+//! Figure 12: pipeline-parallel schedules for GPT-3 175B sizes across
+//! 16 DGX-2 nodes, normalized to Megatron-LM.
+
+use coconet_bench::{experiments, fmt_time, fmt_x, Report};
+
+fn main() {
+    let mut r = Report::new(
+        "Figure 12: pipeline parallelism (GPT-3 175B, S=2048, H=12288)",
+        &["B", "schedule", "time", "speedup"],
+    );
+    for row in experiments::figure12() {
+        r.row(&[
+            row.batch.to_string(),
+            row.schedule.to_string(),
+            fmt_time(row.time),
+            fmt_x(row.speedup),
+        ]);
+    }
+    r.note("paper: AR-C-P2P-AG 4.16-4.49x, GShard-Eq 7.06-7.19x, overlap 11.75-12.21x");
+    r.print();
+}

@@ -1,0 +1,16 @@
+//! §6.2.2: end-to-end model-parallel inference with the overlapped
+//! schedule integrated into Megatron-LM.
+
+use coconet_bench::{experiments, fmt_x, Report};
+
+fn main() {
+    let paper = [1.51, 1.48];
+    let mut r = Report::new(
+        "Section 6.2.2: model-parallel inference speedup over Megatron-LM",
+        &["model", "measured", "paper"],
+    );
+    for ((name, s), p) in experiments::section622().into_iter().zip(paper) {
+        r.row(&[name.to_string(), fmt_x(s), fmt_x(p)]);
+    }
+    r.print();
+}

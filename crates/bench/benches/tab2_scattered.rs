@@ -1,0 +1,26 @@
+//! Table 2: scattered-tensor vs single-contiguous-tensor parameter
+//! update of all 360 BERT tensors on 256 GPUs.
+
+use coconet_bench::{experiments, fmt_time, Report};
+use coconet_models::Optimizer;
+
+fn main() {
+    let paper = [(33.89e-3, 33.21e-3), (37.04e-3, 36.71e-3)];
+    let mut r = Report::new(
+        "Table 2: scattered vs contiguous parameter update (360 BERT tensors)",
+        &["optimizer", "scattered", "contiguous", "overhead", "paper scattered", "paper contiguous"],
+    );
+    for (opt, (ps, pc)) in [Optimizer::Adam, Optimizer::Lamb].into_iter().zip(paper) {
+        let (scattered, contiguous) = experiments::table2(opt);
+        r.row(&[
+            opt.name().to_string(),
+            fmt_time(scattered),
+            fmt_time(contiguous),
+            format!("{:.1}%", (scattered - contiguous) / contiguous * 100.0),
+            fmt_time(ps),
+            fmt_time(pc),
+        ]);
+    }
+    r.note("paper: the scattered-tensor overhead is ~1-2%");
+    r.print();
+}

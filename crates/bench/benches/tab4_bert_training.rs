@@ -1,0 +1,32 @@
+//! Table 4: end-to-end BERT training on 256 GPUs — maximum micro batch
+//! per implementation and CoCoNet's speedups.
+
+use coconet_bench::{experiments, Report};
+
+fn main() {
+    let fmt_b = |b: Option<usize>| b.map_or("OOM".to_string(), |x| x.to_string());
+    let fmt_s = |s: Option<f64>| s.map_or("-".to_string(), |x| format!("{x:.2}x"));
+    let mut r = Report::new(
+        "Table 4: BERT training (256 GPUs; global batch 8192 Adam / 65536 LAMB)",
+        &[
+            "optimizer", "model", "NV BERT", "DDP", "ZeRO", "CoCoNet",
+            "vs NV", "vs DDP", "vs ZeRO",
+        ],
+    );
+    for row in experiments::table4() {
+        r.row(&[
+            row.optimizer.to_string(),
+            row.model.to_string(),
+            fmt_b(row.batches[0]),
+            fmt_b(row.batches[1]),
+            fmt_b(row.batches[2]),
+            fmt_b(row.batches[3]),
+            fmt_s(row.speedups[0]),
+            fmt_s(row.speedups[1]),
+            fmt_s(row.speedups[2]),
+        ]);
+    }
+    r.note("paper batches: Adam 32/32/32/32, 8/8/32/32, OOM/OOM/8/8; LAMB 64/64/64/128, 8/8/8/64, OOM/OOM/OOM/8");
+    r.note("paper speedups: Adam 1.18/1.22/1.10, 1.53/1.52/1.10, -/-/1.22; LAMB 1.20/1.20/1.15, 1.67/1.68/1.64, -/-/-");
+    r.print();
+}

@@ -1,0 +1,22 @@
+//! Table 5: end-to-end pipeline-parallel inference with the
+//! ol(RS,fuse(C-P2P),AG) schedule integrated into Megatron-LM.
+
+use coconet_bench::{experiments, fmt_x, Report};
+
+fn main() {
+    let paper = [1.77, 1.33];
+    let mut r = Report::new(
+        "Table 5: pipeline-parallel inference speedup over Megatron-LM",
+        &["model", "layers/node", "micro batch", "measured", "paper"],
+    );
+    for ((name, layers, batch, s), p) in experiments::table5().into_iter().zip(paper) {
+        r.row(&[
+            name.to_string(),
+            layers.to_string(),
+            batch.to_string(),
+            fmt_x(s),
+            fmt_x(p),
+        ]);
+    }
+    r.print();
+}

@@ -1,0 +1,12 @@
+//! # coconet-bench
+//!
+//! Benchmark harnesses reproducing every table and figure of the
+//! paper's evaluation (§6). Each bench target prints the measured rows
+//! next to the paper's reported values; `EXPERIMENTS.md` records both.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use report::{fmt_time, fmt_x, Report};

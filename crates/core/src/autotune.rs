@@ -1,0 +1,751 @@
+//! The autotuner (§3.5).
+//!
+//! "CoCoNet provides an autotuner to automatically explore the space
+//! of all schedules of a program and return the schedule that provides
+//! the best performance for the underlying architecture and input
+//! sizes. First, the autotuner fuses all pointwise computations up to a
+//! pre-defined threshold to decrease the search space and then
+//! exhaustively explores the schedule space in a breadth first search
+//! manner."
+//!
+//! The tuner is generic over a [`PlanEvaluator`] — `coconet-sim`
+//! provides the machine model; tests can plug in synthetic evaluators.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use crate::xform;
+use crate::{
+    lower, Binding, CommConfig, CoreError, ExecPlan, OpKind, Program, Protocol,
+    VarId,
+};
+
+/// Evaluates the cost of an executable plan (lower is better).
+/// Implemented by `coconet_sim::Simulator` over the machine model.
+pub trait PlanEvaluator {
+    /// Estimated execution time of the plan, in seconds.
+    fn evaluate(&self, plan: &ExecPlan) -> f64;
+}
+
+impl<F: Fn(&ExecPlan) -> f64> PlanEvaluator for F {
+    fn evaluate(&self, plan: &ExecPlan) -> f64 {
+        self(plan)
+    }
+}
+
+/// One explored schedule and its best configuration.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// The transformation sequence applied, in order.
+    pub schedule: Vec<String>,
+    /// The scheduled program.
+    pub program: Program,
+    /// Best communication configuration found.
+    pub config: CommConfig,
+    /// Time under the best configuration, in seconds.
+    pub time: f64,
+}
+
+impl Candidate {
+    /// A short label for the schedule ("baseline" for the empty one).
+    pub fn label(&self) -> String {
+        if self.schedule.is_empty() {
+            "baseline".to_string()
+        } else {
+            self.schedule.join("; ")
+        }
+    }
+}
+
+/// The autotuner's result: every explored schedule (sorted best-first)
+/// plus bookkeeping for Table 3.
+#[derive(Clone, Debug)]
+pub struct TuneReport {
+    /// Explored schedules, best first.
+    pub candidates: Vec<Candidate>,
+    /// Number of distinct schedules explored.
+    pub schedules_explored: usize,
+    /// Number of (schedule, protocol, channels) evaluations.
+    pub configs_evaluated: usize,
+    /// Wall-clock time of the exploration.
+    pub elapsed: Duration,
+}
+
+impl TuneReport {
+    /// The winning candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no schedule could be lowered (cannot happen for valid
+    /// programs: the baseline always lowers).
+    pub fn best(&self) -> &Candidate {
+        self.candidates.first().expect("at least the baseline schedule")
+    }
+}
+
+/// Breadth-first explorer over the transformation space.
+#[derive(Clone, Debug)]
+pub struct Autotuner {
+    /// Maximum number of transformations in a schedule.
+    pub max_depth: usize,
+    /// Protocols to sweep.
+    pub protocols: Vec<Protocol>,
+    /// Channel counts to sweep (the paper sweeps 2..64).
+    pub channels: Vec<usize>,
+    /// Also branch into slicing optimizer state (`asSlice` + `dead`,
+    /// §4) after reorders that leave dangling state gathers.
+    pub slice_state: bool,
+}
+
+impl Default for Autotuner {
+    fn default() -> Autotuner {
+        Autotuner {
+            max_depth: 6,
+            protocols: Protocol::ALL.to_vec(),
+            channels: vec![2, 4, 8, 16, 32, 64],
+            slice_state: true,
+        }
+    }
+}
+
+/// A transformation move the explorer can apply.
+#[derive(Clone, Debug)]
+enum Move {
+    Split(VarId),
+    Reorder(VarId, Vec<VarId>),
+    FuseAllReduce(VarId, Vec<VarId>, Vec<VarId>),
+    FuseSend(Vec<VarId>, VarId),
+    SliceState(VarId, VarId),
+    Overlap(Vec<VarId>),
+}
+
+impl Move {
+    fn describe(&self, p: &Program) -> String {
+        let name = |v: VarId| {
+            p.node(v)
+                .map(|n| n.name().to_string())
+                .unwrap_or_else(|_| v.to_string())
+        };
+        match self {
+            Move::Split(v) => format!("split({}, ARSplitRSAG)", name(*v)),
+            Move::Reorder(ag, _) => format!("reorder({}, comps)", name(*ag)),
+            Move::FuseAllReduce(rs, _, _) => format!("fuse({}, AllReduceFuse)", name(*rs)),
+            Move::FuseSend(_, s) => format!("fuse({}, SendFuse)", name(*s)),
+            Move::SliceState(t, _) => format!("asSlice({})", name(*t)),
+            Move::Overlap(stages) => {
+                let names: Vec<String> = stages.iter().map(|&s| name(s)).collect();
+                format!("overlap({})", names.join(", "))
+            }
+        }
+    }
+
+    fn apply(&self, p: &mut Program) -> Result<(), CoreError> {
+        match self {
+            Move::Split(v) => xform::split_all_reduce(p, *v).map(|_| ()),
+            Move::Reorder(ag, comps) => xform::reorder_all_gather(p, *ag, comps).map(|_| ()),
+            Move::FuseAllReduce(rs, comps, ags) => {
+                xform::fuse_all_reduce(p, *rs, comps, ags).map(|_| ())
+            }
+            Move::FuseSend(comps, send) => xform::fuse_send(p, comps, *send).map(|_| ()),
+            Move::SliceState(t, ag) => {
+                xform::as_slice(p, *t)?;
+                xform::dead(p, *ag)
+            }
+            Move::Overlap(stages) => xform::overlap(p, stages),
+        }
+    }
+}
+
+impl Autotuner {
+    /// Explores the schedule space of `program` and evaluates every
+    /// schedule under every protocol/channel configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from the input program.
+    pub fn tune(
+        &self,
+        program: &Program,
+        binding: &Binding,
+        evaluator: &dyn PlanEvaluator,
+    ) -> Result<TuneReport, CoreError> {
+        program.validate()?;
+        let start = Instant::now();
+
+        // Pre-pass: fuse all pointwise computation chains (§3.5).
+        let mut base = program.clone();
+        fuse_pointwise_chains(&mut base);
+
+        // BFS over transformation sequences.
+        let mut frontier: Vec<(Program, Vec<String>)> = vec![(base.clone(), Vec::new())];
+        let mut seen: HashSet<String> = HashSet::new();
+        seen.insert(canonical(&base));
+        let mut explored: Vec<(Program, Vec<String>)> = Vec::new();
+
+        let mut depth = 0;
+        while !frontier.is_empty() && depth <= self.max_depth {
+            let mut next = Vec::new();
+            for (p, desc) in frontier.drain(..) {
+                for mv in find_moves(&p, self.slice_state) {
+                    let mut q = p.clone();
+                    let label = mv.describe(&q);
+                    if mv.apply(&mut q).is_err() {
+                        continue;
+                    }
+                    let key = canonical(&q);
+                    if seen.insert(key) {
+                        let mut d = desc.clone();
+                        d.push(label);
+                        next.push((q, d));
+                    }
+                }
+                explored.push((p, desc));
+            }
+            frontier = next;
+            depth += 1;
+        }
+        explored.extend(frontier);
+
+        // Evaluate every schedule under every configuration.
+        let mut candidates = Vec::new();
+        let mut configs_evaluated = 0usize;
+        for (p, schedule) in &explored {
+            let mut best: Option<(CommConfig, f64)> = None;
+            for &protocol in &self.protocols {
+                for &channels in &self.channels {
+                    let config = CommConfig { protocol, channels };
+                    let Ok(plan) = lower(p, binding, config) else {
+                        continue;
+                    };
+                    let t = evaluator.evaluate(&plan);
+                    configs_evaluated += 1;
+                    if best.is_none_or(|(_, bt)| t < bt) {
+                        best = Some((config, t));
+                    }
+                }
+            }
+            if let Some((config, time)) = best {
+                candidates.push(Candidate {
+                    schedule: schedule.clone(),
+                    program: p.clone(),
+                    config,
+                    time,
+                });
+            }
+        }
+        candidates.sort_by(|a, b| a.time.total_cmp(&b.time));
+
+        Ok(TuneReport {
+            schedules_explored: explored.len(),
+            configs_evaluated,
+            elapsed: start.elapsed(),
+            candidates,
+        })
+    }
+}
+
+fn canonical(p: &Program) -> String {
+    format!(
+        "{}|{:?}|{:?}",
+        p.to_dsl_string(),
+        p.fusion_groups(),
+        p.overlap_groups()
+    )
+}
+
+/// Fuses every maximal chain of connected pointwise computations into a
+/// compute fusion group (the autotuner's pre-pass, §3.5).
+pub fn fuse_pointwise_chains(p: &mut Program) {
+    let mut visited: HashSet<VarId> = HashSet::new();
+    let order = p.topo_order();
+    for &v in &order {
+        if visited.contains(&v) || p.fusion_group_of(v).is_some() {
+            continue;
+        }
+        let Ok(op) = p.op(v) else { continue };
+        if !op.is_pointwise() || matches!(op, OpKind::ConstScalar(_) | OpKind::Slice(_)) {
+            continue;
+        }
+        // Grow a connected pointwise region from v.
+        let mut region: Vec<VarId> = vec![v];
+        let mut stack = vec![v];
+        let mut in_region: HashSet<VarId> = [v].into_iter().collect();
+        while let Some(m) = stack.pop() {
+            let mut neighbors: Vec<VarId> = p
+                .op(m)
+                .map(|o| o.inputs())
+                .unwrap_or_default();
+            neighbors.extend(p.consumers(m));
+            for n in neighbors {
+                if in_region.contains(&n) || p.fusion_group_of(n).is_some() {
+                    continue;
+                }
+                let Ok(nop) = p.op(n) else { continue };
+                if nop.is_pointwise()
+                    && !matches!(nop, OpKind::ConstScalar(_) | OpKind::Slice(_))
+                {
+                    in_region.insert(n);
+                    region.push(n);
+                    stack.push(n);
+                }
+            }
+        }
+        visited.extend(region.iter().copied());
+        if region.len() >= 2 && xform::fuse_compute(p, &region).is_ok() {
+            // recorded as a group
+        }
+    }
+}
+
+/// Enumerates the transformation moves applicable to a program.
+fn find_moves(p: &Program, slice_state: bool) -> Vec<Move> {
+    let mut moves = Vec::new();
+    let topo = p.topo_order();
+
+    for &v in &topo {
+        let Ok(op) = p.op(v) else { continue };
+        match op {
+            // split: any AllReduce not yet fused.
+            OpKind::AllReduce(..) if p.fusion_group_of(v).is_none() => {
+                moves.push(Move::Split(v));
+            }
+            // reorder: an AllGather whose maximal pointwise/Send
+            // consumer region swallows all its consumers.
+            OpKind::AllGather(_) => {
+                if let Some(region) = reorder_region(p, v) {
+                    moves.push(Move::Reorder(v, region));
+                }
+            }
+            // fuse(AllReduceFuse): RS -> sliced comps -> AG(s) pattern.
+            OpKind::ReduceScatter(..) if p.fusion_group_of(v).is_none() => {
+                if let Some((comps, ags)) = fused_ar_region(p, v) {
+                    moves.push(Move::FuseAllReduce(v, comps, ags));
+                }
+            }
+            // fuse(SendFuse): the pointwise region feeding a Send.
+            OpKind::Send(input, _) if p.fusion_group_of(v).is_none() => {
+                let comps = pointwise_region_feeding(p, *input, v);
+                if !comps.is_empty() {
+                    moves.push(Move::FuseSend(comps, v));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // asSlice + dead: a dangling AllGather over an Update of a
+    // replicated input (the optimizer-state pattern of §4).
+    if slice_state {
+        for &v in &topo {
+            if let Ok(OpKind::AllGather(x)) = p.op(v) {
+                if !p.consumers(v).is_empty() || p.outputs().contains(&v) {
+                    continue;
+                }
+                if let Ok(OpKind::Update(target, _)) = p.op(*x) {
+                    if p.ty(*target).map(|t| t.layout == crate::Layout::Replicated)
+                        == Ok(true)
+                    {
+                        moves.push(Move::SliceState(*target, v));
+                    }
+                }
+            }
+        }
+    }
+
+    // overlap: producer-consumer chains of stage-able units.
+    moves.extend(overlap_moves(p));
+    moves
+}
+
+/// The maximal connected region of pointwise/Send operations around an
+/// AllGather's consumers, or `None` if some consumer cannot be
+/// reordered.
+///
+/// The region grows in *both* directions: downstream through consumers
+/// (they must all be sliceable, else the reorder is invalid) and
+/// upstream through pointwise producers (the paper reorders the whole
+/// pre-fused computation, so `m * beta1` joins even though it does not
+/// read the gather — that is what lets `asSlice(m)` apply later, §4).
+fn reorder_region(p: &Program, ag: VarId) -> Option<Vec<VarId>> {
+    let mut region: Vec<VarId> = Vec::new();
+    let mut in_region: HashSet<VarId> = HashSet::new();
+    let direct: Vec<VarId> = p.consumers(ag);
+    if direct.is_empty() {
+        return None;
+    }
+    // Downstream consumers are mandatory; a non-sliceable one kills the
+    // transformation.
+    let mut stack = direct;
+    while let Some(v) = stack.pop() {
+        if in_region.contains(&v) {
+            continue;
+        }
+        let op = p.op(v).ok()?;
+        let ok = op.is_pointwise() || matches!(op, OpKind::Send(..));
+        if !ok || matches!(op, OpKind::Slice(_) | OpKind::ConstScalar(_)) {
+            return None; // a consumer cannot be sliced: reorder invalid
+        }
+        in_region.insert(v);
+        region.push(v);
+        // Sends terminate the region on this branch (their output lives
+        // on the next group); other members' consumers must join.
+        if !matches!(op, OpKind::Send(..)) {
+            stack.extend(p.consumers(v));
+        }
+    }
+    // Upstream pointwise producers are optional: absorb any whose
+    // consumers all lie in the region (keeps the region convex).
+    loop {
+        let mut grew = false;
+        for &m in &region.clone() {
+            let Ok(op) = p.op(m) else { continue };
+            for dep in op.inputs() {
+                if dep == ag || in_region.contains(&dep) {
+                    continue;
+                }
+                let Ok(dop) = p.op(dep) else { continue };
+                if !dop.is_pointwise()
+                    || matches!(dop, OpKind::Slice(_) | OpKind::ConstScalar(_))
+                {
+                    continue;
+                }
+                if p.consumers(dep).iter().all(|c| in_region.contains(c)) {
+                    in_region.insert(dep);
+                    region.push(dep);
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    // Keep topological order.
+    let order = p.topo_order();
+    region.sort_by_key(|v| order.iter().position(|x| x == v));
+    Some(region)
+}
+
+/// Finds the `RS -> sliced comps -> AllGather(s)` region rooted at a
+/// ReduceScatter for `fuse(AllReduceFuse)`. Downstream consumers of the
+/// ReduceScatter are collected first; upstream pointwise producers
+/// whose consumers all lie inside (e.g. the `m * beta1` term the
+/// reorder sliced) are then absorbed, so the fusion covers the whole
+/// pre-fused computation group.
+fn fused_ar_region(p: &Program, rs: VarId) -> Option<(Vec<VarId>, Vec<VarId>)> {
+    let mut comps = Vec::new();
+    let mut ags = Vec::new();
+    let mut stack: Vec<VarId> = p.consumers(rs);
+    let mut seen: HashSet<VarId> = HashSet::new();
+    while let Some(v) = stack.pop() {
+        if !seen.insert(v) {
+            continue;
+        }
+        let op = p.op(v).ok()?;
+        match op {
+            OpKind::AllGather(_) => ags.push(v),
+            OpKind::Send(..) => return None, // handled by SendFuse/overlap
+            o if o.is_pointwise() => {
+                if !matches!(o, OpKind::Slice(_)) {
+                    comps.push(v);
+                }
+                stack.extend(p.consumers(v));
+            }
+            _ => return None,
+        }
+    }
+    if ags.is_empty() || p.fusion_group_of(rs).is_some() {
+        return None;
+    }
+    absorb_upstream_pointwise(p, &mut comps);
+    let order = p.topo_order();
+    comps.sort_by_key(|v| order.iter().position(|x| x == v));
+    ags.sort_by_key(|v| order.iter().position(|x| x == v));
+    Some((comps, ags))
+}
+
+/// Grows `region` upstream through pointwise producers whose consumers
+/// all lie inside the region (keeps it convex).
+fn absorb_upstream_pointwise(p: &Program, region: &mut Vec<VarId>) {
+    let mut in_region: HashSet<VarId> = region.iter().copied().collect();
+    loop {
+        let mut grew = false;
+        for &m in &region.clone() {
+            let Ok(op) = p.op(m) else { continue };
+            for dep in op.inputs() {
+                if in_region.contains(&dep) {
+                    continue;
+                }
+                let Ok(dop) = p.op(dep) else { continue };
+                if !dop.is_pointwise()
+                    || matches!(dop, OpKind::Slice(_) | OpKind::ConstScalar(_))
+                {
+                    continue;
+                }
+                if p.consumers(dep).iter().all(|c| in_region.contains(c)) {
+                    in_region.insert(dep);
+                    region.push(dep);
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+}
+
+/// The maximal connected pointwise region whose value flows into
+/// `sink_input` (feeding the Send at `sink`): the chain from the input
+/// upward, closed over producers with all consumers inside.
+fn pointwise_region_feeding(p: &Program, sink_input: VarId, sink: VarId) -> Vec<VarId> {
+    let ok = |v: VarId| {
+        p.op(v).is_ok_and(|op| {
+            op.is_pointwise() && !matches!(op, OpKind::ConstScalar(_) | OpKind::Slice(_))
+        })
+    };
+    if !ok(sink_input) {
+        return Vec::new();
+    }
+    // The direct input must flow only into the Send.
+    if p.consumers(sink_input).iter().any(|&c| c != sink) {
+        return Vec::new();
+    }
+    let mut region = vec![sink_input];
+    // Treat the sink as in-region for the closure test.
+    let mut in_region: HashSet<VarId> = [sink_input, sink].into_iter().collect();
+    loop {
+        let mut grew = false;
+        for &m in &region.clone() {
+            let Ok(op) = p.op(m) else { continue };
+            for dep in op.inputs() {
+                if in_region.contains(&dep) || !ok(dep) {
+                    continue;
+                }
+                if p.consumers(dep).iter().all(|c| in_region.contains(c)) {
+                    in_region.insert(dep);
+                    region.push(dep);
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    let order = p.topo_order();
+    region.sort_by_key(|v| order.iter().position(|x| x == v));
+    region
+}
+
+/// Enumerates overlappable producer-consumer chains.
+fn overlap_moves(p: &Program) -> Vec<Move> {
+    let mut moves = Vec::new();
+    if !p.overlap_groups().is_empty() {
+        return moves; // one overlap per program in the paper's schedules
+    }
+    for &v in &p.topo_order() {
+        let Ok(op) = p.op(v) else { continue };
+        match op {
+            // MatMul -> collective (possibly fused).
+            OpKind::MatMul(..) => {
+                let consumers = p.consumers(v);
+                if consumers.len() != 1 {
+                    continue;
+                }
+                let c = consumers[0];
+                let Ok(cop) = p.op(c) else { continue };
+                let is_comm_stage = matches!(
+                    cop,
+                    OpKind::AllReduce(..) | OpKind::ReduceScatter(..)
+                );
+                if is_comm_stage {
+                    moves.push(Move::Overlap(vec![v, c]));
+                }
+            }
+            // RS -> (fused)Send -> AG: the pipeline-parallel chain.
+            OpKind::ReduceScatter(..) => {
+                // Walk forward: RS -> [send group] -> AG on next group.
+                let mut send = None;
+                for c in transitive_consumers(p, v) {
+                    if matches!(p.op(c), Ok(OpKind::Send(..))) {
+                        send = Some(c);
+                        break;
+                    }
+                }
+                let Some(send) = send else { continue };
+                let ag = p
+                    .consumers(send)
+                    .into_iter()
+                    .find(|&c| matches!(p.op(c), Ok(OpKind::AllGather(_))));
+                let Some(ag) = ag else { continue };
+                moves.push(Move::Overlap(vec![v, send, ag]));
+            }
+            _ => {}
+        }
+    }
+    moves
+}
+
+fn transitive_consumers(p: &Program, v: VarId) -> Vec<VarId> {
+    let mut out = Vec::new();
+    let mut stack = p.consumers(v);
+    let mut seen = HashSet::new();
+    while let Some(c) = stack.pop() {
+        if seen.insert(c) {
+            out.push(c);
+            stack.extend(p.consumers(c));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DType, ExecPlan, Layout, ReduceOp, Step};
+
+    /// A toy evaluator: counts launches plus bandwidth-proportional
+    /// costs, rewarding fusion and overlap like the real machine does.
+    fn toy_evaluator(plan: &ExecPlan) -> f64 {
+        let mut t = 0.0;
+        for s in &plan.steps {
+            t += 5e-6 * s.launches() as f64;
+            t += match s {
+                Step::Kernel(k) => (k.bytes_read + k.bytes_written) as f64 / 700e9,
+                Step::MatMul(mm) => mm.flops() as f64 / 80e12,
+                Step::Collective(c) => c.elems as f64 * 2.0 / 100e9 * 1.9,
+                Step::FusedCollective(f) => f.elems as f64 * 2.0 / 100e9 * 1.9,
+                Step::SendRecv(sr) => sr.elems_per_rank as f64 * 2.0 / 6e9,
+                Step::Overlapped(ol) => {
+                    // Roughly the max stage.
+                    ol.stages
+                        .iter()
+                        .map(|st| match st {
+                            crate::OverlapStage::MatMul(mm) => mm.flops() as f64 / 80e12,
+                            crate::OverlapStage::Collective(c) => {
+                                c.elems as f64 * 2.0 / 100e9 * 1.9
+                            }
+                            crate::OverlapStage::FusedCollective(f) => {
+                                f.elems as f64 * 2.0 / 100e9 * 1.9
+                            }
+                            crate::OverlapStage::SendRecv(sr) => {
+                                sr.elems_per_rank as f64 * 2.0 / 6e9
+                            }
+                        })
+                        .fold(0.0f64, f64::max)
+                }
+                Step::Fixed(f) => f.seconds,
+            };
+        }
+        t
+    }
+
+    fn self_attention() -> Program {
+        let mut p = Program::new("self_attention");
+        let w = p.input("w", DType::F16, ["H", "H"], Layout::sliced(0));
+        let b = p.input("b", DType::F16, ["H"], Layout::Replicated);
+        let input = p.input("in", DType::F16, ["B", "S", "H"], Layout::sliced(2));
+        let r = p.input("r", DType::F16, ["B", "S", "H"], Layout::Replicated);
+        let layer = p.matmul(input, w).unwrap();
+        p.set_name(layer, "layer").unwrap();
+        let sum = p.all_reduce(ReduceOp::Sum, layer).unwrap();
+        p.set_name(sum, "sum").unwrap();
+        let biased = p.add(sum, b).unwrap();
+        let d = p.dropout(biased, 0.1).unwrap();
+        let out = p.add(d, r).unwrap();
+        p.set_io(&[w, input, b, r], &[out]).unwrap();
+        p
+    }
+
+    #[test]
+    fn tuner_finds_overlap_schedule_for_large_sizes() {
+        let p = self_attention();
+        let binding = Binding::new(16).bind("B", 8).bind("S", 1024).bind("H", 3072);
+        let tuner = Autotuner::default();
+        let report = tuner.tune(&p, &binding, &toy_evaluator).unwrap();
+        assert!(report.schedules_explored >= 4, "explored {}", report.schedules_explored);
+        assert!(report.configs_evaluated > report.schedules_explored);
+        let best = report.best();
+        // The best schedule must contain an overlap (the paper's
+        // winning ol(MM, fuse(RS-C-AG)) schedule).
+        assert!(
+            best.schedule.iter().any(|s| s.starts_with("overlap")),
+            "best schedule = {:?}",
+            best.schedule
+        );
+        // The best program has one overlap group covering the MatMul.
+        assert_eq!(best.program.overlap_groups().len(), 1);
+        // And the baseline is strictly worse.
+        let baseline = report
+            .candidates
+            .iter()
+            .find(|c| c.schedule.is_empty())
+            .expect("baseline present");
+        assert!(best.time < baseline.time);
+    }
+
+    #[test]
+    fn pre_pass_fuses_pointwise_chains() {
+        let mut p = self_attention();
+        fuse_pointwise_chains(&mut p);
+        assert_eq!(p.fusion_groups().len(), 1);
+        assert_eq!(p.fusion_groups()[0].members.len(), 3); // add, dropout, add
+    }
+
+    #[test]
+    fn tuner_explores_split_and_fuse_for_optimizer() {
+        // Mini-Adam: AR + state update; the tuner should discover the
+        // split -> reorder -> asSlice -> fuse chain.
+        let mut p = Program::new("mini_adam");
+        let g = p.input("g", DType::F32, ["N"], Layout::Local);
+        let m = p.input("m", DType::F32, ["N"], Layout::Replicated);
+        let param = p.input("p", DType::F32, ["N"], Layout::Replicated);
+        let avg = p.all_reduce(ReduceOp::Sum, g).unwrap();
+        p.set_name(avg, "avg").unwrap();
+        let beta = p.constant(0.9);
+        let m_new = p.mul(m, beta).unwrap();
+        let m_new = p.add(m_new, avg).unwrap();
+        let m_ = p.update(m, m_new).unwrap();
+        let step = p.mul(m_, beta).unwrap();
+        let p_new = p.sub(param, step).unwrap();
+        let p_ = p.update(param, p_new).unwrap();
+        p.set_io(&[g, m, param], &[p_]).unwrap();
+
+        let binding = Binding::new(256).bind("N", 1 << 26);
+        let report = Autotuner::default()
+            .tune(&p, &binding, &toy_evaluator)
+            .unwrap();
+        let labels: Vec<String> = report
+            .candidates
+            .iter()
+            .map(Candidate::label)
+            .collect();
+        assert!(
+            labels.iter().any(|l| l.contains("split")),
+            "no split schedule in {labels:?}"
+        );
+        assert!(
+            labels.iter().any(|l| l.contains("reorder")),
+            "no reorder schedule in {labels:?}"
+        );
+        assert!(
+            labels.iter().any(|l| l.contains("AllReduceFuse")),
+            "no fused schedule in {labels:?}"
+        );
+        assert!(
+            labels.iter().any(|l| l.contains("asSlice")),
+            "no asSlice schedule in {labels:?}"
+        );
+    }
+
+    #[test]
+    fn report_orders_candidates_best_first() {
+        let p = self_attention();
+        let binding = Binding::new(16).bind("B", 8).bind("S", 1024).bind("H", 3072);
+        let report = Autotuner::default().tune(&p, &binding, &toy_evaluator).unwrap();
+        for w in report.candidates.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! Device-kernel emission: fused pointwise kernels, fused collectives
+//! (per NCCL protocol, §5.2), and fused sends.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::{BinaryOp, CoreError, OpKind, Program, UnaryOp, VarId};
+
+use super::cuda_type;
+
+type FileAndCall = ((String, String), String);
+
+/// The C expression for one pointwise member, writing into `x_{name}`.
+fn op_expression(p: &Program, v: VarId) -> Result<String, CoreError> {
+    let node = p.node(v)?;
+    let name = node.name();
+    let arg = |x: VarId| -> Result<String, CoreError> {
+        let n = p.node(x)?;
+        Ok(match n.op() {
+            OpKind::ConstScalar(c) => format!("{c}f"),
+            _ => format!("x_{}", n.name()),
+        })
+    };
+    Ok(match node.op() {
+        OpKind::Unary(op, a) => {
+            let f = match op {
+                UnaryOp::Sqrt => "sqrtf",
+                UnaryOp::Tanh => "tanhf",
+                UnaryOp::Relu => "reluf",
+                UnaryOp::Neg => "-",
+            };
+            format!("float x_{name} = {f}({});", arg(*a)?)
+        }
+        OpKind::Binary(op, a, b) => match op {
+            BinaryOp::Pow => format!("float x_{name} = powf({}, {});", arg(*a)?, arg(*b)?),
+            _ => format!(
+                "float x_{name} = {} {} {};",
+                arg(*a)?,
+                op.symbol(),
+                arg(*b)?
+            ),
+        },
+        OpKind::Dropout(a, prob) => format!(
+            "float x_{name} = coconet_keep(seed, gidx, {prob}f) ? {} * {:.6}f : 0.0f;",
+            arg(*a)?,
+            1.0 / (1.0 - prob)
+        ),
+        OpKind::Update(t, x) => format!(
+            "float x_{name} = {1}; {0}[idx] = ({2})x_{name};",
+            p.node(*t)?.name(),
+            arg(*x)?,
+            cuda_type(p, *t)?
+        ),
+        OpKind::Norm(a) => format!(
+            "float x_{name} = blockReduceSum({0} * {0}); // norm partial",
+            arg(*a)?
+        ),
+        OpKind::ReduceTensor(op, a) => format!(
+            "float x_{name} = blockReduce({:?}, {});",
+            op,
+            arg(*a)?
+        ),
+        OpKind::Slice(a) => format!(
+            "float x_{name} = (float){}[sliceOffset(rank, idx)];",
+            p.node(*a)?.name()
+        ),
+        other => {
+            return Err(CoreError::MalformedProgram(format!(
+                "cannot emit device expression for {}",
+                other.mnemonic()
+            )));
+        }
+    })
+}
+
+/// External values a member set loads from device memory.
+fn external_loads(p: &Program, members: &[VarId]) -> Result<Vec<VarId>, CoreError> {
+    let set: HashSet<VarId> = members.iter().copied().collect();
+    let mut loads = Vec::new();
+    let mut seen = HashSet::new();
+    for &m in members {
+        for dep in p.op(m)?.inputs() {
+            if set.contains(&dep) || !seen.insert(dep) {
+                continue;
+            }
+            match p.op(dep)? {
+                OpKind::ConstScalar(_) => {}
+                OpKind::Slice(inner) => {
+                    if seen.insert(*inner) {
+                        loads.push(dep); // load via slice offset
+                    }
+                }
+                _ => loads.push(dep),
+            }
+        }
+    }
+    Ok(loads)
+}
+
+/// Members whose value escapes the set (stored to memory).
+fn external_stores(p: &Program, members: &[VarId]) -> Result<Vec<VarId>, CoreError> {
+    let set: HashSet<VarId> = members.iter().copied().collect();
+    let mut stores = Vec::new();
+    for &m in members {
+        let escapes = p.outputs().contains(&m)
+            || p.consumers(m).iter().any(|c| !set.contains(c));
+        if escapes && !matches!(p.op(m)?, OpKind::Update(..)) {
+            stores.push(m);
+        }
+    }
+    Ok(stores)
+}
+
+fn compute_body(
+    p: &Program,
+    members: &[VarId],
+    indent: &str,
+) -> Result<String, CoreError> {
+    let mut body = String::new();
+    let order = p.topo_order();
+    let mut sorted: Vec<VarId> = members.to_vec();
+    sorted.sort_by_key(|v| order.iter().position(|x| x == v));
+    for &m in &sorted {
+        if matches!(p.op(m)?, OpKind::ConstScalar(_)) {
+            continue;
+        }
+        let _ = writeln!(body, "{indent}{}", op_expression(p, m)?);
+    }
+    Ok(body)
+}
+
+/// Emits a fused pointwise kernel plus its host launch call.
+pub(crate) fn emit_pointwise_kernel(
+    p: &Program,
+    members: &[VarId],
+    idx: usize,
+) -> Result<FileAndCall, CoreError> {
+    let kernel_name = format!("fused_compute_{idx}");
+    let loads = external_loads(p, members)?;
+    let stores = external_stores(p, members)?;
+    let mut src = String::new();
+    let _ = writeln!(src, "// Fused pointwise kernel ({} ops).", members.len());
+    let mut params: Vec<String> = vec!["size_t n".into(), "int rank".into(), "uint64_t seed".into()];
+    for &l in &loads {
+        let node = p.node(l)?;
+        params.push(format!("const {}* {}", cuda_type(p, l)?, node.name()));
+    }
+    for &s in &stores {
+        params.push(format!("{}* out_{}", cuda_type(p, s)?, p.node(s)?.name()));
+    }
+    // Update targets are in-out parameters.
+    for &m in members {
+        if let OpKind::Update(t, _) = p.op(m)? {
+            params.push(format!("{}* {}", cuda_type(p, *t)?, p.node(*t)?.name()));
+        }
+    }
+    let _ = writeln!(src, "__global__ void {kernel_name}({}) {{", params.join(", "));
+    let _ = writeln!(src, "  size_t idx = blockIdx.x * (size_t)blockDim.x + threadIdx.x;");
+    let _ = writeln!(src, "  if (idx >= n) return;");
+    let _ = writeln!(src, "  size_t gidx = globalOffset(rank, n) + idx;");
+    for &l in &loads {
+        let node = p.node(l)?;
+        if matches!(node.op(), OpKind::Slice(_)) {
+            let _ = writeln!(src, "  {}", op_expression(p, l)?);
+        } else {
+            let _ = writeln!(
+                src,
+                "  float x_{0} = (float){0}[idx];",
+                node.name()
+            );
+        }
+    }
+    src.push_str(&compute_body(p, members, "  ")?);
+    for &s in &stores {
+        let name = p.node(s)?.name();
+        let _ = writeln!(src, "  out_{name}[idx] = ({})x_{name};", cuda_type(p, s)?);
+    }
+    let _ = writeln!(src, "}}");
+    let call = format!(
+        "{kernel_name}<<<cdiv(n, 256), 256, 0, ctx->stream>>>(/* {} args */);",
+        params.len()
+    );
+    Ok(((format!("{kernel_name}.cu"), src), call))
+}
+
+/// Emits a FusedAllReduce kernel specialized for all three NCCL
+/// protocols (§5.2), plus its host launch call.
+pub(crate) fn emit_fused_collective(
+    p: &Program,
+    members: &[VarId],
+    idx: usize,
+) -> Result<FileAndCall, CoreError> {
+    let compute_members: Vec<VarId> = members
+        .iter()
+        .filter(|&&m| {
+            !matches!(
+                p.op(m),
+                Ok(OpKind::ReduceScatter(..)) | Ok(OpKind::AllGather(_))
+            )
+        })
+        .copied()
+        .collect();
+    let norms: Vec<VarId> = compute_members
+        .iter()
+        .filter(|&&m| matches!(p.op(m), Ok(OpKind::Norm(_)) | Ok(OpKind::ReduceTensor(..))))
+        .copied()
+        .collect();
+    let kernel = format!("fusedAllReduce_{idx}");
+    let mut src = String::new();
+    let _ = writeln!(
+        src,
+        "// FusedAllReduce (§5.2): ReduceScatter + {} fused ops + AllGather",
+        compute_members.len()
+    );
+    let _ = writeln!(src, "// in one kernel, specialized per NCCL protocol.");
+    let _ = writeln!(src, "#include \"nccl_device_glue.cuh\"");
+
+    // The shared compute epilogue applied to each rank's slice.
+    let _ = writeln!(src, "template <typename T, typename PackT>");
+    let _ = writeln!(
+        src,
+        "__device__ __forceinline__ void computeEpilogue_{idx}(PackT* pack, FusedArgs_{idx}* a, size_t idx, size_t gidx, int rank, uint64_t seed) {{"
+    );
+    let _ = writeln!(src, "  constexpr int kEltsPerPack = sizeof(PackT) / sizeof(T);");
+    let _ = writeln!(src, "  #pragma unroll");
+    let _ = writeln!(src, "  for (int e = 0; e < kEltsPerPack; ++e) {{");
+    let loads = external_loads(p, &compute_members)?;
+    for &l in &loads {
+        let node = p.node(l)?;
+        if matches!(node.op(), OpKind::Slice(_)) {
+            let _ = writeln!(src, "    {}", op_expression(p, l)?);
+        } else {
+            let _ = writeln!(
+                src,
+                "    float x_{0} = toFloat(a->{0}[idx + e]);",
+                node.name()
+            );
+        }
+    }
+    let _ = writeln!(src, "    float x_{} = toFloat(unpack<T>(pack, e));",
+        rs_name(p, members)?);
+    src.push_str(&compute_body(p, &compute_members, "    ")?);
+    for &s in &external_stores(p, &compute_members)? {
+        let name = p.node(s)?.name();
+        let _ = writeln!(src, "    repack<T>(pack, e, fromFloat<T>(x_{name}));");
+    }
+    let _ = writeln!(src, "  }}");
+    let _ = writeln!(src, "}}");
+
+    // Mixed-precision pack handling (§5.2): find the largest element
+    // type among the fused computation's operands and derive how many
+    // elements one protocol pack carries.
+    let _ = writeln!(src, "// Mixed precision (§5.2): packs carry kEltsPerPack elements of the");
+    let _ = writeln!(src, "// widest participating type; narrower tensors are converted on load.");
+    let _ = writeln!(src, "template <typename TWide, typename TNarrow, typename PackT>");
+    let _ = writeln!(src, "__device__ __forceinline__ void loadMixed_{idx}(const TNarrow* src, size_t idx, float* out) {{");
+    let _ = writeln!(src, "  constexpr int kEltsPerPack = sizeof(PackT) / sizeof(TWide);");
+    let _ = writeln!(src, "  #pragma unroll");
+    let _ = writeln!(src, "  for (int e = 0; e < kEltsPerPack; ++e) {{");
+    let _ = writeln!(src, "    out[e] = toFloat(src[idx + e]);");
+    let _ = writeln!(src, "  }}");
+    let _ = writeln!(src, "}}");
+
+    // Sliced-tensor index mapping (§5.2): accesses inside the fused
+    // kernel map to elements of the rank's slice; the AllGather phase
+    // uses the inverse mapping.
+    let _ = writeln!(src, "// Sliced tensors (§5.2): map a global element index to this rank's");
+    let _ = writeln!(src, "// slice, and back for the AllGather phase.");
+    let _ = writeln!(src, "__device__ __forceinline__ size_t sliceIndex_{idx}(size_t gidx, int rank, size_t sliceElems) {{");
+    let _ = writeln!(src, "  return gidx - (size_t)rank * sliceElems;");
+    let _ = writeln!(src, "}}");
+    let _ = writeln!(src, "__device__ __forceinline__ size_t inverseSliceIndex_{idx}(size_t lidx, int rank, size_t sliceElems) {{");
+    let _ = writeln!(src, "  return (size_t)rank * sliceElems + lidx;");
+    let _ = writeln!(src, "}}");
+
+    // Embedded scalar all-reduces for sliced tensor reductions.
+    for (i, &n) in norms.iter().enumerate() {
+        let name = p.node(n)?.name();
+        let _ = writeln!(src, "// Embedded scalar AllReduce for {name} (§5.2 Tensor Reduction):");
+        let _ = writeln!(src, "// each rank reduces its slice locally, then an in-kernel AllReduce");
+        let _ = writeln!(src, "// over the already-established ring connections combines partials.");
+        let _ = writeln!(src, "__device__ float embeddedAllReduce_{idx}_{i}(float partial, CommHandle* h) {{");
+        let _ = writeln!(src, "  partial = warpReduceSum(partial);");
+        let _ = writeln!(src, "  __shared__ float warpPartials_{i}[32];");
+        let _ = writeln!(src, "  if (laneId() == 0) warpPartials_{i}[warpId()] = partial;");
+        let _ = writeln!(src, "  __syncthreads();");
+        let _ = writeln!(src, "  if (warpId() == 0) {{");
+        let _ = writeln!(src, "    partial = warpReduceSum(warpPartials_{i}[laneId()]);");
+        let _ = writeln!(src, "    if (laneId() == 0) atomicAdd(&h->scratch[{i}], partial);");
+        let _ = writeln!(src, "  }}");
+        let _ = writeln!(src, "  ringBarrier(h); // reuses established connections");
+        let _ = writeln!(src, "  scalarRingAllReduce(h, &h->scratch[{i}]);");
+        let _ = writeln!(src, "  ringBarrier(h);");
+        let _ = writeln!(src, "  return h->scratch[{i}];");
+        let _ = writeln!(src, "}}");
+    }
+
+    // Per-protocol run functions.
+    for proto in ["LL", "LL128", "Simple"] {
+        emit_protocol_runner(&mut src, idx, proto);
+    }
+
+    // The dispatching kernel.
+    let _ = writeln!(src, "template <typename T>");
+    let _ = writeln!(src, "__global__ void {kernel}(FusedArgs_{idx} args) {{");
+    let _ = writeln!(src, "  CommHandle* h = commHandle(args.comm, blockIdx.x);");
+    let _ = writeln!(src, "  const int nranks = h->nranks;");
+    let _ = writeln!(src, "  // Phase 1: ring ReduceScatter over 2(k-1) steps;");
+    let _ = writeln!(src, "  // Phase 2: fused computation on the owned slice;");
+    let _ = writeln!(src, "  // Phase 3: ring AllGather of computed slices.");
+    let _ = writeln!(src, "  switch (args.protocol) {{");
+    for proto in ["LL", "LL128", "Simple"] {
+        let _ = writeln!(
+            src,
+            "    case Proto{proto}: runProto{proto}_{idx}<T>(args, h, nranks); break;"
+        );
+    }
+    let _ = writeln!(src, "  }}");
+    let _ = writeln!(src, "}}");
+
+    let call = format!(
+        "{kernel}<half><<<ctx->channels, NCCL_NTHREADS, 0, ctx->stream>>>(makeFusedArgs_{idx}(ctx, args));"
+    );
+    Ok(((format!("{kernel}.cu"), src), call))
+}
+
+/// A protocol-specific run function: the load/store access pattern and
+/// pack type differ per protocol (§5.2: 64-bit packs for LL, 128-byte
+/// shared-memory staging for LL128, direct global access for Simple).
+fn emit_protocol_runner(src: &mut String, idx: usize, proto: &str) {
+    let (pack, lines) = match proto {
+        "LL" => ("uint64_t", "ll"),
+        "LL128" => ("ulong2", "ll128"),
+        _ => ("uint4", "simple"),
+    };
+    let _ = writeln!(src, "template <typename T>");
+    let _ = writeln!(
+        src,
+        "__device__ void runProto{proto}_{idx}(FusedArgs_{idx}& args, CommHandle* h, int nranks) {{"
+    );
+    let _ = writeln!(src, "  using PackT = {pack};");
+    let _ = writeln!(src, "  const int chunkSize = h->{lines}ChunkSize;");
+    let _ = writeln!(src, "  // Connection setup: advance the flag epoch and wait for peers.");
+    let _ = writeln!(src, "  if (threadIdx.x == 0) {{");
+    let _ = writeln!(src, "    h->flag = h->opCount + 1;");
+    let _ = writeln!(src, "    barrierArrive(h->peerBarrier);");
+    let _ = writeln!(src, "  }}");
+    let _ = writeln!(src, "  __syncthreads();");
+    let _ = writeln!(src, "  for (int step = 0; step < 2 * (nranks - 1); ++step) {{");
+    let _ = writeln!(src, "    int chunk = ringChunk(h->ringPos, step, nranks);");
+    let _ = writeln!(src, "    size_t off = (size_t)chunk * chunkSize;");
+    match proto {
+        "LL" => {
+            let _ = writeln!(src, "    // LL: 8-byte packs, 4B data + 4B flag, no fences.");
+            let _ = writeln!(src, "    for (size_t i = tid(); i < chunkSize; i += nthreads()) {{");
+            let _ = writeln!(src, "      PackT v = readLL(h->recvBuff, off + i, h->flag);");
+            let _ = writeln!(src, "      v = reduceLL<T>(v, loadLocal<PackT>(args.input, off + i));");
+            let _ = writeln!(src, "      if (step >= nranks - 1) {{");
+            let _ = writeln!(src, "        computeEpilogue_{idx}<T, PackT>(&v, &args, off + i, h->gOff + off + i, h->rank, args.seed);");
+            let _ = writeln!(src, "      }}");
+            let _ = writeln!(src, "      writeLL(h->sendBuff, off + i, v, h->flag);");
+            let _ = writeln!(src, "    }}");
+        }
+        "LL128" => {
+            let _ = writeln!(src, "    // LL128: 128-byte lines staged through shared memory.");
+            let _ = writeln!(src, "    __shared__ PackT stage[NCCL_LL128_SHMEM_ELEMS];");
+            let _ = writeln!(src, "    for (size_t i = warpTile(); i < chunkSize; i += warpStride()) {{");
+            let _ = writeln!(src, "      loadLine128(h->recvBuff, off + i, stage);");
+            let _ = writeln!(src, "      reduceLine128<T>(stage, args.input, off + i);");
+            let _ = writeln!(src, "      if (step >= nranks - 1) {{");
+            let _ = writeln!(src, "        computeEpilogue_{idx}<T, PackT>(stage, &args, off + i, h->gOff + off + i, h->rank, args.seed);");
+            let _ = writeln!(src, "      }}");
+            let _ = writeln!(src, "      storeLine128(h->sendBuff, off + i, stage, h->flag);");
+            let _ = writeln!(src, "    }}");
+        }
+        _ => {
+            let _ = writeln!(src, "    // Simple: full-rate global loads/stores, fence per chunk.");
+            let _ = writeln!(src, "    waitPeer(h, step);");
+            let _ = writeln!(src, "    for (size_t i = tid(); i < chunkSize; i += nthreads()) {{");
+            let _ = writeln!(src, "      PackT v = loadGlobal<PackT>(h->recvBuff, off + i);");
+            let _ = writeln!(src, "      v = reduceSimple<T>(v, loadLocal<PackT>(args.input, off + i));");
+            let _ = writeln!(src, "      if (step >= nranks - 1) {{");
+            let _ = writeln!(src, "        computeEpilogue_{idx}<T, PackT>(&v, &args, off + i, h->gOff + off + i, h->rank, args.seed);");
+            let _ = writeln!(src, "      }}");
+            let _ = writeln!(src, "      storeGlobal<PackT>(h->sendBuff, off + i, v);");
+            let _ = writeln!(src, "    }}");
+            let _ = writeln!(src, "    postPeer(h, step);");
+        }
+    }
+    let _ = writeln!(src, "  }}");
+    let _ = writeln!(src, "  // Drain: make the final AllGather stores visible system-wide.");
+    let _ = writeln!(src, "  __threadfence_system();");
+    let _ = writeln!(src, "  if (threadIdx.x == 0) {{");
+    let _ = writeln!(src, "    h->opCount += 1;");
+    let _ = writeln!(src, "    barrierWait(h->peerBarrier);");
+    let _ = writeln!(src, "  }}");
+    let _ = writeln!(src, "}}");
+}
+
+fn rs_name(p: &Program, members: &[VarId]) -> Result<String, CoreError> {
+    for &m in members {
+        if matches!(p.op(m)?, OpKind::ReduceScatter(..)) {
+            return Ok(p.node(m)?.name().to_string());
+        }
+    }
+    Err(CoreError::MalformedProgram(
+        "fused collective without ReduceScatter".into(),
+    ))
+}
+
+/// Emits a fused P2P send kernel (computation applied as data leaves,
+/// §4) plus its host call.
+pub(crate) fn emit_fused_send(
+    p: &Program,
+    members: &[VarId],
+    idx: usize,
+) -> Result<FileAndCall, CoreError> {
+    let compute_members: Vec<VarId> = members
+        .iter()
+        .filter(|&&m| !matches!(p.op(m), Ok(OpKind::Send(..))))
+        .copied()
+        .collect();
+    let kernel = format!("fusedSend_{idx}");
+    let mut src = String::new();
+    let _ = writeln!(
+        src,
+        "// Fused P2P send (§4): {} ops applied to outgoing data.",
+        compute_members.len()
+    );
+    let _ = writeln!(src, "template <typename T>");
+    let _ = writeln!(src, "__global__ void {kernel}(SendArgs_{idx} args) {{");
+    let _ = writeln!(src, "  CommHandle* h = p2pHandle(args.comm, blockIdx.x);");
+    let _ = writeln!(src, "  for (size_t idx = tid(); idx < args.count; idx += nthreads()) {{");
+    let _ = writeln!(src, "    size_t gidx = args.sliceOff + idx;");
+    let loads = external_loads(p, &compute_members)?;
+    for &l in &loads {
+        let node = p.node(l)?;
+        if matches!(node.op(), OpKind::Slice(_)) {
+            let _ = writeln!(src, "    {}", op_expression(p, l)?);
+        } else {
+            let _ = writeln!(src, "    float x_{0} = toFloat(args.{0}[idx]);", node.name());
+        }
+    }
+    src.push_str(&compute_body(p, &compute_members, "    ")?);
+    let last = compute_members
+        .last()
+        .copied()
+        .ok_or_else(|| CoreError::MalformedProgram("fused send with no computation".into()))?;
+    let _ = writeln!(
+        src,
+        "    sendElement<T>(h, idx, fromFloat<T>(x_{}));",
+        p.node(last)?.name()
+    );
+    let _ = writeln!(src, "  }}");
+    let _ = writeln!(src, "  flushSend(h);");
+    let _ = writeln!(src, "}}");
+    let call = format!(
+        "{kernel}<half><<<ctx->channels, NCCL_NTHREADS, 0, ctx->stream>>>(makeSendArgs_{idx}(ctx, args));"
+    );
+    Ok(((format!("{kernel}.cu"), src), call))
+}

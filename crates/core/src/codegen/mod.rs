@@ -1,0 +1,344 @@
+//! The CUDA code generator (§5).
+//!
+//! CoCoNet's compiler emits, per scheduled program: (i) host calls to
+//! collective/cuBLAS libraries for unfused operations, (ii) fused
+//! pointwise kernels, (iii) fused-collective kernels specialized for
+//! each NCCL protocol (§5.2), and (iv) overlapped CUTLASS-style
+//! MatMul + chunked-collective kernel pairs with spin-lock
+//! synchronization (§5.3).
+//!
+//! This reproduction emits the same *structure* as real CUDA source
+//! text. The code is not compiled (there is no CUDA toolchain in the
+//! loop); it exists because the paper's Table 3 measures generated
+//! lines of code per schedule, and because the emitted text documents
+//! precisely what each schedule's kernels do.
+
+mod device;
+mod overlap_gen;
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::{Binding, CoreError, FuseKind, OpKind, Program, VarId};
+
+pub(crate) use device::{emit_fused_collective, emit_fused_send, emit_pointwise_kernel};
+pub(crate) use overlap_gen::emit_overlapped;
+
+/// Generated CUDA source for a scheduled program.
+#[derive(Clone, Debug)]
+pub struct GeneratedCode {
+    /// `(file name, source text)` pairs.
+    pub files: Vec<(String, String)>,
+}
+
+impl GeneratedCode {
+    /// Total non-empty source lines across all files (Table 3's
+    /// "Generated CUDA" column).
+    pub fn total_loc(&self) -> usize {
+        self.files
+            .iter()
+            .map(|(_, src)| src.lines().filter(|l| !l.trim().is_empty()).count())
+            .sum()
+    }
+
+    /// Concatenated source text.
+    pub fn source(&self) -> String {
+        let mut out = String::new();
+        for (name, src) in &self.files {
+            let _ = writeln!(out, "// ===== {name} =====");
+            out.push_str(src);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Emits CUDA source for a scheduled program.
+///
+/// # Errors
+///
+/// Propagates program validation errors.
+pub fn generate_cuda(p: &Program, binding: &Binding) -> Result<GeneratedCode, CoreError> {
+    p.validate()?;
+    let _ = binding; // sizes are runtime kernel arguments in the emitted code
+    let mut files: Vec<(String, String)> = Vec::new();
+    let mut host = String::new();
+    let _ = writeln!(host, "// Host orchestration for `{}`.", p.name());
+    let _ = writeln!(host, "#include \"coconet_runtime.cuh\"");
+    let _ = writeln!(
+        host,
+        "void {}(CoconetContext* ctx, TensorArgs* args) {{",
+        p.name()
+    );
+
+    let topo = p.topo_order();
+    let in_fusion: HashSet<VarId> = p
+        .fusion_groups()
+        .iter()
+        .flat_map(|g| g.members.iter().copied())
+        .collect();
+    let in_overlap: HashSet<VarId> = p
+        .overlap_groups()
+        .iter()
+        .flat_map(|g| g.members.iter().copied())
+        .collect();
+
+    // Overlap groups emit one orchestration file each.
+    for (i, og) in p.overlap_groups().iter().enumerate() {
+        let (file, call) = emit_overlapped(p, og, i)?;
+        files.push(file);
+        let _ = writeln!(host, "  {call}");
+    }
+
+    // Fusion groups not consumed by an overlap emit kernels.
+    for (i, g) in p.fusion_groups().iter().enumerate() {
+        if g.members.iter().any(|m| in_overlap.contains(m)) {
+            continue;
+        }
+        let (file, call) = match g.kind {
+            FuseKind::Compute => emit_pointwise_kernel(p, &g.members, i)?,
+            FuseKind::AllReduce => emit_fused_collective(p, &g.members, i)?,
+            FuseKind::Send => emit_fused_send(p, &g.members, i)?,
+        };
+        files.push(file);
+        let _ = writeln!(host, "  {call}");
+    }
+
+    // Remaining singletons: host library calls or tiny kernels.
+    for &v in &topo {
+        if in_fusion.contains(&v) || in_overlap.contains(&v) {
+            continue;
+        }
+        let node = p.node(v)?;
+        let name = node.name();
+        match node.op() {
+            OpKind::Input | OpKind::ConstScalar(_) | OpKind::Slice(_) => {}
+            OpKind::Conv2d(a, w, params) => {
+                let _ = writeln!(
+                    host,
+                    "  CUDNNCHECK(cudnnConvolutionForward(ctx->cudnn, {}, {}, /*stride=*/{}, /*pad=*/{}, out_{name}));",
+                    p.node(*a)?.name(),
+                    p.node(*w)?.name(),
+                    params.stride,
+                    params.padding
+                );
+            }
+            OpKind::MatMul(a, w) => {
+                let _ = writeln!(
+                    host,
+                    "  CUBLASCHECK(cublasGemmEx(ctx->cublas, {}, {}, out_{name}));",
+                    p.node(*a)?.name(),
+                    p.node(*w)?.name()
+                );
+            }
+            OpKind::AllReduce(op, x) => {
+                let _ = writeln!(
+                    host,
+                    "  NCCLCHECK(ncclAllReduce({0}, out_{name}, count_{name}, {1}, ncclOp({2:?}), ctx->comm, ctx->stream));",
+                    p.node(*x)?.name(),
+                    dtype_name(p, v)?,
+                    op
+                );
+            }
+            OpKind::ReduceScatter(op, x) => {
+                let _ = writeln!(
+                    host,
+                    "  NCCLCHECK(ncclReduceScatter({0}, out_{name}, count_{name}, {1}, ncclOp({2:?}), ctx->comm, ctx->stream));",
+                    p.node(*x)?.name(),
+                    dtype_name(p, v)?,
+                    op
+                );
+            }
+            OpKind::AllGather(x) => {
+                let _ = writeln!(
+                    host,
+                    "  NCCLCHECK(ncclAllGather({0}, out_{name}, count_{name}, {1}, ctx->comm, ctx->stream));",
+                    p.node(*x)?.name(),
+                    dtype_name(p, v)?
+                );
+            }
+            OpKind::Broadcast(x, root) => {
+                let _ = writeln!(
+                    host,
+                    "  NCCLCHECK(ncclBroadcast({0}, out_{name}, count_{name}, {1}, {root}, ctx->comm, ctx->stream));",
+                    p.node(*x)?.name(),
+                    dtype_name(p, v)?
+                );
+            }
+            OpKind::Reduce(op, x, root) => {
+                let _ = writeln!(
+                    host,
+                    "  NCCLCHECK(ncclReduce({0}, out_{name}, count_{name}, {1}, ncclOp({2:?}), {root}, ctx->comm, ctx->stream));",
+                    p.node(*x)?.name(),
+                    dtype_name(p, v)?,
+                    op
+                );
+            }
+            OpKind::Send(x, _) => {
+                let _ = writeln!(
+                    host,
+                    "  NCCLCHECK(ncclSend({0}, count_{name}, {1}, peerRank(ctx), ctx->comm, ctx->stream));",
+                    p.node(*x)?.name(),
+                    dtype_name(p, v)?
+                );
+                let _ = writeln!(
+                    host,
+                    "  NCCLCHECK(ncclRecv(out_{name}, count_{name}, {}, prevPeerRank(ctx), ctx->comm, ctx->stream));",
+                    dtype_name(p, v)?
+                );
+            }
+            op if op.is_pointwise() => {
+                let (file, call) = emit_pointwise_kernel(p, &[v], 1000 + v.index())?;
+                files.push(file);
+                let _ = writeln!(host, "  {call}");
+            }
+            _ => {}
+        }
+    }
+    let _ = writeln!(host, "  CUDACHECK(cudaStreamSynchronize(ctx->stream));");
+    let _ = writeln!(host, "}}");
+    files.push((format!("{}_host.cu", p.name()), host));
+    Ok(GeneratedCode { files })
+}
+
+pub(crate) fn dtype_name(p: &Program, v: VarId) -> Result<&'static str, CoreError> {
+    Ok(match p.ty(v)?.dtype {
+        crate::DType::F16 => "ncclFloat16",
+        crate::DType::F32 => "ncclFloat32",
+    })
+}
+
+pub(crate) fn cuda_type(p: &Program, v: VarId) -> Result<&'static str, CoreError> {
+    Ok(match p.ty(v)?.dtype {
+        crate::DType::F16 => "half",
+        crate::DType::F32 => "float",
+    })
+}
+
+/// Checks that `{` and `}` balance in a source string (structural
+/// sanity of generated code; exercised by tests).
+pub fn braces_balanced(src: &str) -> bool {
+    let mut depth: i64 = 0;
+    for c in src.chars() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xform::{fuse_all_reduce, overlap, reorder_all_gather, split_all_reduce};
+    use crate::{DType, Layout, ReduceOp};
+
+    fn figure3() -> (Program, Vec<VarId>) {
+        let mut p = Program::new("self_attention");
+        let w = p.input("w", DType::F16, ["H", "H"], Layout::sliced(0));
+        let b = p.input("b", DType::F16, ["H"], Layout::Replicated);
+        let input = p.input("in", DType::F16, ["B", "S", "H"], Layout::sliced(2));
+        let r = p.input("r", DType::F16, ["B", "S", "H"], Layout::Replicated);
+        let layer = p.matmul(input, w).unwrap();
+        p.set_name(layer, "layer").unwrap();
+        let sum = p.all_reduce(ReduceOp::Sum, layer).unwrap();
+        p.set_name(sum, "sum").unwrap();
+        let biased = p.add(sum, b).unwrap();
+        let d = p.dropout(biased, 0.1).unwrap();
+        let out = p.add(d, r).unwrap();
+        p.set_io(&[w, input, b, r], &[out]).unwrap();
+        (p, vec![layer, sum, biased, d, out])
+    }
+
+    fn binding() -> Binding {
+        Binding::new(16).bind("B", 8).bind("S", 1024).bind("H", 3072)
+    }
+
+    #[test]
+    fn baseline_generates_host_calls_and_small_kernels() {
+        let (p, _) = figure3();
+        let code = generate_cuda(&p, &binding()).unwrap();
+        let src = code.source();
+        assert!(src.contains("cublasGemmEx"));
+        assert!(src.contains("ncclAllReduce"));
+        assert!(braces_balanced(&src), "unbalanced braces:\n{src}");
+        // Baseline: small glue + three pointwise kernels.
+        let loc = code.total_loc();
+        assert!((20..200).contains(&loc), "loc = {loc}");
+    }
+
+    #[test]
+    fn fused_schedule_generates_more_code_than_unfused() {
+        let (p_base, _) = figure3();
+        let base_loc = generate_cuda(&p_base, &binding()).unwrap().total_loc();
+
+        let (mut p, vars) = figure3();
+        let (sum, biased, d, out) = (vars[1], vars[2], vars[3], vars[4]);
+        let (rs, ag) = split_all_reduce(&mut p, sum).unwrap();
+        let result = reorder_all_gather(&mut p, ag, &[biased, d, out]).unwrap();
+        let new_ag = result.gathers[0].1;
+        fuse_all_reduce(&mut p, rs, &result.sliced, &[new_ag]).unwrap();
+        let fused = generate_cuda(&p, &binding()).unwrap();
+        let src = fused.source();
+        // The fused collective specializes all three protocols (§5.2).
+        assert!(src.contains("ProtoLL"));
+        assert!(src.contains("ProtoLL128"));
+        assert!(src.contains("ProtoSimple"));
+        assert!(braces_balanced(&src));
+        assert!(
+            fused.total_loc() > base_loc,
+            "fused {} !> base {base_loc}",
+            fused.total_loc()
+        );
+        // Table 3's fused kernels are in the 100-250 LoC range.
+        assert!(
+            (100..400).contains(&fused.total_loc()),
+            "loc = {}",
+            fused.total_loc()
+        );
+    }
+
+    #[test]
+    fn overlapped_schedule_generates_about_2k_lines() {
+        let (mut p, vars) = figure3();
+        let (layer, sum, biased, d, out) = (vars[0], vars[1], vars[2], vars[3], vars[4]);
+        let (rs, ag) = split_all_reduce(&mut p, sum).unwrap();
+        let result = reorder_all_gather(&mut p, ag, &[biased, d, out]).unwrap();
+        let new_ag = result.gathers[0].1;
+        fuse_all_reduce(&mut p, rs, &result.sliced, &[new_ag]).unwrap();
+        overlap(&mut p, &[layer, rs]).unwrap();
+        let code = generate_cuda(&p, &binding()).unwrap();
+        let src = code.source();
+        assert!(braces_balanced(&src), "unbalanced braces");
+        assert!(src.contains("cutlass"), "missing CUTLASS-style GEMM");
+        assert!(src.contains("spin_wait"), "missing spin-lock sync (§5.3)");
+        // "the implementation of above overlapping optimization
+        // contains ~2k lines of CUDA code" (§1) — the hand-written
+        // version including NCCL-internal changes. Our generator emits
+        // the same structure at the same order of magnitude.
+        let loc = code.total_loc();
+        assert!((1000..3000).contains(&loc), "loc = {loc}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (p, _) = figure3();
+        let a = generate_cuda(&p, &binding()).unwrap().source();
+        let b = generate_cuda(&p, &binding()).unwrap().source();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn braces_checker() {
+        assert!(braces_balanced("int f() { if (x) { } }"));
+        assert!(!braces_balanced("{ {"));
+        assert!(!braces_balanced("} {"));
+    }
+}

@@ -1,0 +1,294 @@
+//! Symbolic dimensions and bindings.
+//!
+//! Programs in the DSL are written against symbolic sizes (`B`, `S`,
+//! `H` in Figure 3 of the paper) and bound to concrete values when a
+//! schedule is evaluated or executed.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use coconet_tensor::Shape;
+
+use crate::CoreError;
+
+/// One extent of a symbolic shape: a constant or a named symbol.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Dim {
+    /// A compile-time constant extent.
+    Const(u64),
+    /// A named symbolic extent resolved by a [`Binding`].
+    Sym(String),
+}
+
+impl Dim {
+    /// A symbolic dimension with the given name.
+    pub fn sym(name: impl Into<String>) -> Dim {
+        Dim::Sym(name.into())
+    }
+
+    /// Resolves the dimension against a binding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnboundSymbol`] if the symbol is missing.
+    pub fn eval(&self, binding: &Binding) -> Result<u64, CoreError> {
+        match self {
+            Dim::Const(v) => Ok(*v),
+            Dim::Sym(name) => binding
+                .get(name)
+                .ok_or_else(|| CoreError::UnboundSymbol(name.clone())),
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dim::Const(v) => write!(f, "{v}"),
+            Dim::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<u64> for Dim {
+    fn from(v: u64) -> Dim {
+        Dim::Const(v)
+    }
+}
+
+impl From<&str> for Dim {
+    fn from(s: &str) -> Dim {
+        Dim::Sym(s.to_string())
+    }
+}
+
+/// A symbolic tensor shape.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SymShape {
+    dims: Vec<Dim>,
+}
+
+impl SymShape {
+    /// Creates a shape from symbolic dims.
+    pub fn new(dims: Vec<Dim>) -> SymShape {
+        SymShape { dims }
+    }
+
+    /// The scalar (rank 0) shape.
+    pub fn scalar() -> SymShape {
+        SymShape { dims: Vec::new() }
+    }
+
+    /// The symbolic dims.
+    pub fn dims(&self) -> &[Dim] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Resolves to a concrete [`Shape`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnboundSymbol`] on a missing symbol.
+    pub fn eval(&self, binding: &Binding) -> Result<Shape, CoreError> {
+        let dims = self
+            .dims
+            .iter()
+            .map(|d| d.eval(binding).map(|v| v as usize))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Shape::new(dims))
+    }
+
+    /// Total element count under a binding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnboundSymbol`] on a missing symbol.
+    pub fn numel(&self, binding: &Binding) -> Result<u64, CoreError> {
+        self.dims
+            .iter()
+            .map(|d| d.eval(binding))
+            .try_fold(1u64, |acc, d| d.map(|d| acc * d))
+    }
+
+    /// Symbolic broadcast under PyTorch semantics. Symbols broadcast
+    /// only against equal symbols, constants against constants or 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeIncompatible`] when a dimension pair
+    /// cannot be reconciled symbolically.
+    pub fn broadcast(&self, other: &SymShape) -> Result<SymShape, CoreError> {
+        let rank = self.rank().max(other.rank());
+        let one = Dim::Const(1);
+        let mut dims = Vec::with_capacity(rank);
+        for i in 0..rank {
+            let a = if i < rank - self.rank() {
+                &one
+            } else {
+                &self.dims[i - (rank - self.rank())]
+            };
+            let b = if i < rank - other.rank() {
+                &one
+            } else {
+                &other.dims[i - (rank - other.rank())]
+            };
+            let d = if a == b {
+                a.clone()
+            } else if *a == one {
+                b.clone()
+            } else if *b == one {
+                a.clone()
+            } else {
+                return Err(CoreError::ShapeIncompatible {
+                    lhs: self.to_string(),
+                    rhs: other.to_string(),
+                });
+            };
+            dims.push(d);
+        }
+        Ok(SymShape::new(dims))
+    }
+
+    /// Whether, right-aligned against `target`, this shape has an
+    /// extent greater than 1 (or a symbol) at `target` dimension `dim`.
+    /// Used to decide whether a replicated operand must be `Slice`d
+    /// when computations are reordered past an AllGather (§3.2).
+    pub fn covers_dim(&self, target_rank: usize, dim: usize) -> bool {
+        let offset = target_rank.saturating_sub(self.rank());
+        if dim < offset {
+            // The operand has no extent here: it broadcasts (extent 1).
+            return false;
+        }
+        self.dims
+            .get(dim - offset)
+            .is_some_and(|d| *d != Dim::Const(1))
+    }
+}
+
+impl fmt::Display for SymShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<D: Into<Dim>, const N: usize> From<[D; N]> for SymShape {
+    fn from(dims: [D; N]) -> SymShape {
+        SymShape::new(dims.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Concrete values for symbols plus the execution geometry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Binding {
+    symbols: BTreeMap<String, u64>,
+    /// Number of ranks in each process group executing the program.
+    pub group_size: usize,
+    /// Number of process groups (1 except for pipeline parallelism).
+    pub num_groups: usize,
+}
+
+impl Binding {
+    /// A binding for a single group of `group_size` ranks.
+    pub fn new(group_size: usize) -> Binding {
+        Binding {
+            symbols: BTreeMap::new(),
+            group_size,
+            num_groups: 1,
+        }
+    }
+
+    /// Sets the number of process groups.
+    pub fn with_groups(mut self, num_groups: usize) -> Binding {
+        self.num_groups = num_groups;
+        self
+    }
+
+    /// Binds `name` to `value` (builder style).
+    pub fn bind(mut self, name: impl Into<String>, value: u64) -> Binding {
+        self.symbols.insert(name.into(), value);
+        self
+    }
+
+    /// Looks up a symbol.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Total number of ranks across all groups.
+    pub fn world_size(&self) -> usize {
+        self.group_size * self.num_groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_eval() {
+        let b = Binding::new(4).bind("H", 1024);
+        assert_eq!(Dim::Const(8).eval(&b).unwrap(), 8);
+        assert_eq!(Dim::sym("H").eval(&b).unwrap(), 1024);
+        assert!(matches!(
+            Dim::sym("missing").eval(&b),
+            Err(CoreError::UnboundSymbol(_))
+        ));
+    }
+
+    #[test]
+    fn shape_eval_and_numel() {
+        let b = Binding::new(4).bind("B", 8).bind("S", 128).bind("H", 64);
+        let s: SymShape = ["B", "S", "H"].into();
+        assert_eq!(s.eval(&b).unwrap().dims(), &[8, 128, 64]);
+        assert_eq!(s.numel(&b).unwrap(), 8 * 128 * 64);
+        assert_eq!(s.to_string(), "[B,S,H]");
+        assert_eq!(SymShape::scalar().numel(&b).unwrap(), 1);
+    }
+
+    #[test]
+    fn symbolic_broadcast() {
+        let a: SymShape = ["B", "S", "H"].into();
+        let bias: SymShape = ["H"].into();
+        assert_eq!(a.broadcast(&bias).unwrap(), a);
+        let one: SymShape = [Dim::Const(1)].into();
+        assert_eq!(a.broadcast(&one).unwrap(), a);
+        let other: SymShape = ["X"].into();
+        assert!(a.broadcast(&other).is_err());
+    }
+
+    #[test]
+    fn covers_dim_right_aligned() {
+        let full: SymShape = ["B", "S", "H"].into();
+        let bias: SymShape = ["H"].into();
+        // Against a rank-3 target, [H] covers only dim 2.
+        assert!(!bias.covers_dim(3, 0));
+        assert!(!bias.covers_dim(3, 1));
+        assert!(bias.covers_dim(3, 2));
+        // The full shape covers every dim.
+        for d in 0..3 {
+            assert!(full.covers_dim(3, d));
+        }
+        // A [1] operand covers nothing.
+        let one: SymShape = [Dim::Const(1)].into();
+        assert!(!one.covers_dim(3, 2));
+    }
+
+    #[test]
+    fn binding_geometry() {
+        let b = Binding::new(8).with_groups(2);
+        assert_eq!(b.group_size, 8);
+        assert_eq!(b.world_size(), 16);
+    }
+}

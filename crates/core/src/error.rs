@@ -1,0 +1,136 @@
+//! Error type for the DSL, transformations, and lowering.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, transforming, or lowering a program.
+///
+/// Transformation errors correspond to the validity rules of §3 of the
+/// paper: `CoCoNet automatically checks the validity of each
+/// transformation based on these rules and throws an error for an
+/// invalid transformation.`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// A symbolic dimension had no value in the binding.
+    UnboundSymbol(String),
+    /// Two symbolic shapes could not be broadcast/unified.
+    ShapeIncompatible {
+        /// Left-hand shape (display form).
+        lhs: String,
+        /// Right-hand shape (display form).
+        rhs: String,
+    },
+    /// The layouts of an operation's inputs are not compatible with the
+    /// operation's layout rules (§2.2).
+    LayoutIncompatible {
+        /// The operation being typed.
+        op: String,
+        /// Explanation of the conflict.
+        detail: String,
+    },
+    /// A variable id did not refer to a live node of this program.
+    UnknownVar(u32),
+    /// An operation that required a specific node kind got another.
+    ExpectedOp {
+        /// What was required (e.g. "AllReduce").
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// A transformation's validity rule failed.
+    InvalidTransform {
+        /// The transformation (e.g. "reorder").
+        transform: String,
+        /// Why the rule failed.
+        detail: String,
+    },
+    /// A dimension index was out of range.
+    DimOutOfRange {
+        /// Offending dimension.
+        dim: usize,
+        /// Rank of the shape.
+        rank: usize,
+    },
+    /// Program inputs/outputs were inconsistent with the graph.
+    MalformedProgram(String),
+    /// A concrete size did not divide evenly across ranks.
+    IndivisibleSize {
+        /// What was being divided.
+        what: String,
+        /// Total elements/extent.
+        total: u64,
+        /// Number of parts required.
+        parts: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnboundSymbol(name) => write!(f, "unbound symbolic dimension `{name}`"),
+            CoreError::ShapeIncompatible { lhs, rhs } => {
+                write!(f, "shapes {lhs} and {rhs} are not compatible")
+            }
+            CoreError::LayoutIncompatible { op, detail } => {
+                write!(f, "layouts incompatible for {op}: {detail}")
+            }
+            CoreError::UnknownVar(id) => write!(f, "unknown or deleted variable v{id}"),
+            CoreError::ExpectedOp { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            CoreError::InvalidTransform { transform, detail } => {
+                write!(f, "invalid {transform} transformation: {detail}")
+            }
+            CoreError::DimOutOfRange { dim, rank } => {
+                write!(f, "dimension {dim} out of range for rank {rank}")
+            }
+            CoreError::MalformedProgram(detail) => write!(f, "malformed program: {detail}"),
+            CoreError::IndivisibleSize { what, total, parts } => {
+                write!(f, "{what} of size {total} does not divide into {parts} parts")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_well_formed() {
+        let errors = [
+            CoreError::UnboundSymbol("B".into()),
+            CoreError::ShapeIncompatible {
+                lhs: "[B]".into(),
+                rhs: "[S]".into(),
+            },
+            CoreError::LayoutIncompatible {
+                op: "MatMul".into(),
+                detail: "local x sliced".into(),
+            },
+            CoreError::UnknownVar(3),
+            CoreError::ExpectedOp {
+                expected: "AllReduce".into(),
+                found: "MatMul".into(),
+            },
+            CoreError::InvalidTransform {
+                transform: "reorder".into(),
+                detail: "operation is not sliceable".into(),
+            },
+            CoreError::DimOutOfRange { dim: 4, rank: 2 },
+            CoreError::MalformedProgram("dangling output".into()),
+            CoreError::IndivisibleSize {
+                what: "tensor".into(),
+                total: 10,
+                parts: 3,
+            },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+}

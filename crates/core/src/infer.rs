@@ -1,0 +1,651 @@
+//! Shape, layout, and dtype inference rules (§2.2 of the paper).
+//!
+//! "A Var's shape and distribution layout are inferred based on the
+//! operation and inputs to the operation." These functions implement
+//! the per-operation rules; [`crate::Program`]'s builder methods call
+//! them, so every constructed program is statically typed.
+
+use coconet_tensor::DType;
+
+use crate::{CoreError, Layout, SliceDim, SymShape, TensorType};
+
+fn layout_err(op: &str, detail: impl Into<String>) -> CoreError {
+    CoreError::LayoutIncompatible {
+        op: op.to_string(),
+        detail: detail.into(),
+    }
+}
+
+fn check_same_group(op: &str, a: &TensorType, b: &TensorType) -> Result<(), CoreError> {
+    if a.group_shift != b.group_shift {
+        return Err(layout_err(
+            op,
+            format!(
+                "operands live on different groups (+{} vs +{})",
+                a.group_shift, b.group_shift
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Infers the type of a binary pointwise operation with broadcasting.
+///
+/// Layout rules:
+/// - `Replicated ⊕ Replicated → Replicated`
+/// - `Local ⊕ {Local, Replicated} → Local`
+/// - `Sliced(d) ⊕ Sliced(d) → Sliced(d)` (identical shapes)
+/// - `Sliced(d) ⊕ Replicated → Sliced(d)` provided the replicated
+///   operand broadcasts without covering the sliced dimension (a `[H]`
+///   bias against a `[B,S,H]` tensor sliced on `B` or flat-sliced; a
+///   full-shape replicated operand must be `Slice`d first — §3.2)
+///
+/// # Errors
+///
+/// Returns [`CoreError::ShapeIncompatible`] or
+/// [`CoreError::LayoutIncompatible`] when the rule table has no entry.
+pub fn infer_binary(
+    op: &str,
+    a: &TensorType,
+    b: &TensorType,
+) -> Result<TensorType, CoreError> {
+    check_same_group(op, a, b)?;
+    let shape = a.shape.broadcast(&b.shape)?;
+    let dtype = DType::promote(a.dtype, b.dtype);
+    let layout = match (a.layout, b.layout) {
+        (Layout::Replicated, Layout::Replicated) => Layout::Replicated,
+        (Layout::Local, Layout::Local)
+        | (Layout::Local, Layout::Replicated)
+        | (Layout::Replicated, Layout::Local) => Layout::Local,
+        (Layout::Sliced(d), Layout::Sliced(e)) => {
+            if d != e || a.shape != b.shape {
+                return Err(layout_err(
+                    op,
+                    format!(
+                        "sliced operands must match: {}({}) vs {}({})",
+                        a.layout, a.shape, b.layout, b.shape
+                    ),
+                ));
+            }
+            Layout::Sliced(d)
+        }
+        (Layout::Sliced(d), Layout::Replicated) => {
+            sliced_replicated(op, d, &a.shape, &b.shape)?
+        }
+        (Layout::Replicated, Layout::Sliced(d)) => {
+            sliced_replicated(op, d, &b.shape, &a.shape)?
+        }
+        (Layout::Sliced(_), Layout::Local) | (Layout::Local, Layout::Sliced(_)) => {
+            return Err(layout_err(op, "cannot combine sliced and local operands"));
+        }
+    };
+    Ok(TensorType {
+        dtype,
+        shape,
+        layout,
+        group_shift: a.group_shift,
+    })
+}
+
+/// `Sliced(d) ⊕ Replicated`: valid when the replicated operand does not
+/// cover the sliced dimension under right-aligned broadcasting. For
+/// flat slicing the replicated operand must broadcast strictly from
+/// trailing dimensions (rank smaller than the sliced operand's).
+fn sliced_replicated(
+    op: &str,
+    d: SliceDim,
+    sliced_shape: &SymShape,
+    repl_shape: &SymShape,
+) -> Result<Layout, CoreError> {
+    let target_rank = sliced_shape.rank();
+    let covered = match d {
+        SliceDim::Dim(dim) => repl_shape.covers_dim(target_rank, dim),
+        SliceDim::Flat => {
+            // Flat slicing cuts the leading dimension(s): any operand
+            // covering dim 0 would straddle slice boundaries.
+            repl_shape.rank() >= target_rank && repl_shape.covers_dim(target_rank, 0)
+        }
+    };
+    if covered {
+        return Err(layout_err(
+            op,
+            format!(
+                "replicated operand {repl_shape} covers the sliced dimension ({d}); \
+                 apply Slice() to it first"
+            ),
+        ));
+    }
+    Ok(Layout::Sliced(d))
+}
+
+/// Whether a replicated operand of this shape conflicts with a sliced
+/// operand (i.e. would need a `Slice` inserted by `reorder`, §3.2).
+pub(crate) fn replicated_conflicts(
+    d: SliceDim,
+    sliced_shape: &SymShape,
+    repl_shape: &SymShape,
+) -> bool {
+    sliced_replicated("reorder-check", d, sliced_shape, repl_shape).is_err()
+}
+
+/// Infers the type of `a @ w` (`w` 2-D).
+///
+/// Layout rules (the model-parallel algebra of §2.2 / Figure 3):
+/// - `Sliced(last) @ Sliced(0) → Local` (row-parallel partial sums)
+/// - `Replicated @ Sliced(1) → Sliced(last)` (column-parallel)
+/// - `Replicated @ Replicated → Replicated`
+/// - `Local @ Replicated → Local`
+/// - `Sliced(d<last) @ Replicated → Sliced(d)` (batch-parallel)
+///
+/// # Errors
+///
+/// Returns [`CoreError::ShapeIncompatible`] when the contraction
+/// dimensions differ and [`CoreError::LayoutIncompatible`] when the
+/// layouts have no rule.
+pub fn infer_matmul(a: &TensorType, w: &TensorType) -> Result<TensorType, CoreError> {
+    check_same_group("MatMul", a, w)?;
+    if w.shape.rank() != 2 || a.shape.rank() < 1 {
+        return Err(CoreError::ShapeIncompatible {
+            lhs: a.shape.to_string(),
+            rhs: w.shape.to_string(),
+        });
+    }
+    let a_last = &a.shape.dims()[a.shape.rank() - 1];
+    let w_first = &w.shape.dims()[0];
+    // For row-parallel matmul the *global* contraction dims match and
+    // both operands are sliced on them; otherwise they must be equal.
+    if a_last != w_first {
+        return Err(CoreError::ShapeIncompatible {
+            lhs: a.shape.to_string(),
+            rhs: w.shape.to_string(),
+        });
+    }
+    let mut out_dims = a.shape.dims().to_vec();
+    let out_rank = out_dims.len();
+    out_dims[out_rank - 1] = w.shape.dims()[1].clone();
+    let shape = SymShape::new(out_dims);
+    let dtype = DType::promote(a.dtype, w.dtype);
+
+    let a_rank = a.shape.rank();
+    let layout = match (a.layout, w.layout) {
+        (Layout::Sliced(SliceDim::Dim(d)), Layout::Sliced(SliceDim::Dim(0)))
+            if d == a_rank - 1 =>
+        {
+            Layout::Local
+        }
+        (Layout::Replicated, Layout::Sliced(SliceDim::Dim(1))) => {
+            Layout::Sliced(SliceDim::Dim(out_rank - 1))
+        }
+        (Layout::Replicated, Layout::Replicated) => Layout::Replicated,
+        (Layout::Local, Layout::Replicated) => Layout::Local,
+        (Layout::Sliced(SliceDim::Dim(d)), Layout::Replicated) if d < a_rank - 1 => {
+            Layout::Sliced(SliceDim::Dim(d))
+        }
+        (la, lw) => {
+            return Err(layout_err(
+                "MatMul",
+                format!("no rule for {la} @ {lw}"),
+            ));
+        }
+    };
+    Ok(TensorType {
+        dtype,
+        shape,
+        layout,
+        group_shift: a.group_shift,
+    })
+}
+
+/// Infers the type of `conv2d(x, w)` (`x: [N,C,H,W]`, `w: [K,C,R,S]`).
+///
+/// Spatial and channel extents must be constants (the output extent
+/// `(H + 2p - R)/stride + 1` is not expressible symbolically); the
+/// batch dimension may be symbolic. Layout rules:
+/// `Replicated conv Replicated -> Replicated`,
+/// `Local conv Replicated -> Local`,
+/// `Sliced(0) conv Replicated -> Sliced(0)` (batch-parallel).
+///
+/// # Errors
+///
+/// Returns shape/layout errors for anything else.
+pub fn infer_conv2d(
+    x: &TensorType,
+    w: &TensorType,
+    params: coconet_tensor::Conv2dParams,
+) -> Result<TensorType, CoreError> {
+    check_same_group("Conv2d", x, w)?;
+    let err = || CoreError::ShapeIncompatible {
+        lhs: x.shape.to_string(),
+        rhs: w.shape.to_string(),
+    };
+    if x.shape.rank() != 4 || w.shape.rank() != 4 || params.stride == 0 {
+        return Err(err());
+    }
+    let cdim = |d: &crate::Dim| match d {
+        crate::Dim::Const(v) => Ok(*v as usize),
+        crate::Dim::Sym(_) => Err(err()),
+    };
+    let (c_in, h, wd) = (
+        cdim(&x.shape.dims()[1])?,
+        cdim(&x.shape.dims()[2])?,
+        cdim(&x.shape.dims()[3])?,
+    );
+    let (k, c_w, r, sdim) = (
+        cdim(&w.shape.dims()[0])?,
+        cdim(&w.shape.dims()[1])?,
+        cdim(&w.shape.dims()[2])?,
+        cdim(&w.shape.dims()[3])?,
+    );
+    if c_in != c_w {
+        return Err(err());
+    }
+    let (Some(oh), Some(ow)) = (params.out_extent(h, r), params.out_extent(wd, sdim)) else {
+        return Err(err());
+    };
+    if oh == 0 || ow == 0 {
+        return Err(err());
+    }
+    let layout = match (x.layout, w.layout) {
+        (Layout::Replicated, Layout::Replicated) => Layout::Replicated,
+        (Layout::Local, Layout::Replicated) => Layout::Local,
+        (Layout::Sliced(SliceDim::Dim(0)), Layout::Replicated) => {
+            Layout::Sliced(SliceDim::Dim(0))
+        }
+        (lx, lw) => {
+            return Err(layout_err("Conv2d", format!("no rule for {lx} conv {lw}")));
+        }
+    };
+    let shape = SymShape::new(vec![
+        x.shape.dims()[0].clone(),
+        crate::Dim::Const(k as u64),
+        crate::Dim::Const(oh as u64),
+        crate::Dim::Const(ow as u64),
+    ]);
+    Ok(TensorType {
+        dtype: DType::promote(x.dtype, w.dtype),
+        shape,
+        layout,
+        group_shift: x.group_shift,
+    })
+}
+
+/// Infers the type of a norm/full-reduction: a replicated scalar.
+///
+/// # Errors
+///
+/// Returns [`CoreError::LayoutIncompatible`] for `Local` operands (a
+/// reduction over rank-dependent values is ambiguous; reduce after an
+/// AllReduce instead).
+pub fn infer_full_reduction(op: &str, a: &TensorType) -> Result<TensorType, CoreError> {
+    if a.layout == Layout::Local {
+        return Err(layout_err(
+            op,
+            "cannot reduce a Local tensor to a scalar; AllReduce it first",
+        ));
+    }
+    let mut t = TensorType::scalar(DType::F32);
+    t.group_shift = a.group_shift;
+    Ok(t)
+}
+
+/// Infers the type of `Slice(a)`: this rank's flat share of a
+/// replicated tensor.
+///
+/// # Errors
+///
+/// Returns [`CoreError::LayoutIncompatible`] unless `a` is replicated.
+pub fn infer_slice(a: &TensorType) -> Result<TensorType, CoreError> {
+    if a.layout != Layout::Replicated {
+        return Err(layout_err("Slice", "operand must be Replicated"));
+    }
+    Ok(TensorType {
+        dtype: a.dtype,
+        shape: a.shape.clone(),
+        layout: Layout::sliced_flat(),
+        group_shift: a.group_shift,
+    })
+}
+
+/// Infers the type of `AllReduce(op, a)`: local in, replicated out.
+///
+/// # Errors
+///
+/// Returns [`CoreError::LayoutIncompatible`] unless `a` is `Local`.
+pub fn infer_all_reduce(a: &TensorType) -> Result<TensorType, CoreError> {
+    if a.layout != Layout::Local {
+        return Err(layout_err(
+            "AllReduce",
+            format!("operand must be Local, got {}", a.layout),
+        ));
+    }
+    Ok(TensorType {
+        dtype: a.dtype,
+        shape: a.shape.clone(),
+        layout: Layout::Replicated,
+        group_shift: a.group_shift,
+    })
+}
+
+/// Infers the type of `ReduceScatter(op, a)`: local in, flat-sliced out.
+///
+/// # Errors
+///
+/// Returns [`CoreError::LayoutIncompatible`] unless `a` is `Local`.
+pub fn infer_reduce_scatter(a: &TensorType) -> Result<TensorType, CoreError> {
+    if a.layout != Layout::Local {
+        return Err(layout_err(
+            "ReduceScatter",
+            format!("operand must be Local, got {}", a.layout),
+        ));
+    }
+    Ok(TensorType {
+        dtype: a.dtype,
+        shape: a.shape.clone(),
+        layout: Layout::sliced_flat(),
+        group_shift: a.group_shift,
+    })
+}
+
+/// Infers the type of `AllGather(a)`: sliced in, replicated out.
+///
+/// # Errors
+///
+/// Returns [`CoreError::LayoutIncompatible`] unless `a` is sliced.
+pub fn infer_all_gather(a: &TensorType) -> Result<TensorType, CoreError> {
+    if !a.layout.is_sliced() {
+        return Err(layout_err(
+            "AllGather",
+            format!("operand must be Sliced, got {}", a.layout),
+        ));
+    }
+    Ok(TensorType {
+        dtype: a.dtype,
+        shape: a.shape.clone(),
+        layout: Layout::Replicated,
+        group_shift: a.group_shift,
+    })
+}
+
+/// Infers the type of `Broadcast(a, root)`: replicated out.
+///
+/// # Errors
+///
+/// Returns [`CoreError::LayoutIncompatible`] for sliced operands.
+pub fn infer_broadcast(a: &TensorType) -> Result<TensorType, CoreError> {
+    if a.layout.is_sliced() {
+        return Err(layout_err(
+            "Broadcast",
+            "operand must be Local or Replicated",
+        ));
+    }
+    Ok(TensorType {
+        dtype: a.dtype,
+        shape: a.shape.clone(),
+        layout: Layout::Replicated,
+        group_shift: a.group_shift,
+    })
+}
+
+/// Infers the type of `Reduce(op, a, root)`: the result is only
+/// meaningful on the root, hence `Local`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::LayoutIncompatible`] unless `a` is `Local`.
+pub fn infer_reduce(a: &TensorType) -> Result<TensorType, CoreError> {
+    if a.layout != Layout::Local {
+        return Err(layout_err(
+            "Reduce",
+            format!("operand must be Local, got {}", a.layout),
+        ));
+    }
+    Ok(a.clone())
+}
+
+/// Infers the type of `Send(a, peer)`: the same value, one group
+/// downstream.
+pub fn infer_send(a: &TensorType) -> TensorType {
+    TensorType {
+        dtype: a.dtype,
+        shape: a.shape.clone(),
+        layout: a.layout,
+        group_shift: a.group_shift + 1,
+    }
+}
+
+/// Infers the type of `Update(target, value)`.
+///
+/// Matching layouts update in place. A *sliced* value against a
+/// *replicated* target is the state the `reorder` transformation
+/// creates (each rank updates only its slice of the optimizer state,
+/// §4): the result is sliced, and either an AllGather re-materializes
+/// the replicated tensor or `asSlice` later commits the target to
+/// staying sliced.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ShapeIncompatible`] /
+/// [`CoreError::LayoutIncompatible`] on mismatch.
+pub fn infer_update(target: &TensorType, value: &TensorType) -> Result<TensorType, CoreError> {
+    check_same_group("Update", target, value)?;
+    if target.shape != value.shape {
+        return Err(CoreError::ShapeIncompatible {
+            lhs: target.shape.to_string(),
+            rhs: value.shape.to_string(),
+        });
+    }
+    let layout = match (target.layout, value.layout) {
+        (a, b) if a == b => a,
+        (Layout::Replicated, Layout::Sliced(d)) => Layout::Sliced(d),
+        (t, v) => {
+            return Err(layout_err(
+                "Update",
+                format!("target is {t}, value is {v}"),
+            ));
+        }
+    };
+    Ok(TensorType {
+        dtype: target.dtype,
+        shape: target.shape.clone(),
+        layout,
+        group_shift: target.group_shift,
+    })
+}
+
+/// Re-infers the type of any non-leaf operation from its operand types
+/// (used after transformations rewire the graph).
+///
+/// # Errors
+///
+/// Propagates the per-operation inference errors; leaf operations
+/// (`Input`, `ConstScalar`) return [`CoreError::MalformedProgram`].
+pub fn infer_op(
+    op: &crate::OpKind,
+    tys: &[&TensorType],
+) -> Result<TensorType, CoreError> {
+    use crate::OpKind;
+    match op {
+        OpKind::Input | OpKind::ConstScalar(_) => Err(CoreError::MalformedProgram(
+            "cannot re-infer a leaf node".into(),
+        )),
+        OpKind::Unary(_, _) | OpKind::Dropout(_, _) => Ok(tys[0].clone()),
+        OpKind::Binary(b, _, _) => infer_binary(b.symbol(), tys[0], tys[1]),
+        OpKind::MatMul(_, _) => infer_matmul(tys[0], tys[1]),
+        OpKind::Conv2d(_, _, params) => infer_conv2d(tys[0], tys[1], *params),
+        OpKind::Update(_, _) => infer_update(tys[0], tys[1]),
+        OpKind::Norm(_) => infer_full_reduction("Norm", tys[0]),
+        OpKind::ReduceTensor(_, _) => infer_full_reduction("ReduceTensor", tys[0]),
+        OpKind::Slice(_) => infer_slice(tys[0]),
+        OpKind::AllReduce(_, _) => infer_all_reduce(tys[0]),
+        OpKind::ReduceScatter(_, _) => infer_reduce_scatter(tys[0]),
+        OpKind::AllGather(_) => infer_all_gather(tys[0]),
+        OpKind::Broadcast(_, _) => infer_broadcast(tys[0]),
+        OpKind::Reduce(_, _, _) => infer_reduce(tys[0]),
+        OpKind::Send(_, _) => Ok(infer_send(tys[0])),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(dtype: DType, shape: SymShape, layout: Layout) -> TensorType {
+        TensorType::new(dtype, shape, layout)
+    }
+
+    #[test]
+    fn binary_layout_table() {
+        let rep = t(DType::F16, ["B", "H"].into(), Layout::Replicated);
+        let loc = t(DType::F16, ["B", "H"].into(), Layout::Local);
+        let sl = t(DType::F16, ["B", "H"].into(), Layout::sliced_flat());
+        assert_eq!(
+            infer_binary("+", &rep, &rep).unwrap().layout,
+            Layout::Replicated
+        );
+        assert_eq!(infer_binary("+", &loc, &rep).unwrap().layout, Layout::Local);
+        assert_eq!(infer_binary("+", &rep, &loc).unwrap().layout, Layout::Local);
+        assert_eq!(
+            infer_binary("+", &sl, &sl).unwrap().layout,
+            Layout::sliced_flat()
+        );
+        assert!(infer_binary("+", &sl, &loc).is_err());
+    }
+
+    #[test]
+    fn sliced_plus_bias_is_ok_but_full_replicated_is_not() {
+        // rsSum (flat-sliced [B,S,H]) + b ([H] replicated) is valid...
+        let rs = t(DType::F16, ["B", "S", "H"].into(), Layout::sliced_flat());
+        let bias = t(DType::F16, ["H"].into(), Layout::Replicated);
+        let out = infer_binary("+", &rs, &bias).unwrap();
+        assert_eq!(out.layout, Layout::sliced_flat());
+        // ...but + r ([B,S,H] replicated) requires Slice(r) first (§3.2).
+        let r = t(DType::F16, ["B", "S", "H"].into(), Layout::Replicated);
+        assert!(infer_binary("+", &rs, &r).is_err());
+        let r_sliced = infer_slice(&r).unwrap();
+        assert!(infer_binary("+", &rs, &r_sliced).is_ok());
+    }
+
+    #[test]
+    fn dim_sliced_plus_replicated() {
+        // [B,S,H] sliced on dim 0 + [H] bias: fine.
+        let s0 = t(DType::F16, ["B", "S", "H"].into(), Layout::sliced(0));
+        let bias = t(DType::F16, ["H"].into(), Layout::Replicated);
+        assert_eq!(
+            infer_binary("+", &s0, &bias).unwrap().layout,
+            Layout::sliced(0)
+        );
+        // [B,S,H] sliced on dim 2 + [H] bias: bias covers dim 2 -> error.
+        let s2 = t(DType::F16, ["B", "S", "H"].into(), Layout::sliced(2));
+        assert!(infer_binary("+", &s2, &bias).is_err());
+    }
+
+    #[test]
+    fn binary_promotes_dtype_and_broadcasts() {
+        let a = t(DType::F16, ["B", "H"].into(), Layout::Replicated);
+        let b = t(DType::F32, ["H"].into(), Layout::Replicated);
+        let out = infer_binary("*", &a, &b).unwrap();
+        assert_eq!(out.dtype, DType::F32);
+        assert_eq!(out.shape, ["B", "H"].into());
+    }
+
+    #[test]
+    fn matmul_row_parallel_is_local() {
+        // Figure 3: in [B,S,H] sliced(2) @ w [H,H] sliced(0) -> Local.
+        let input = t(DType::F16, ["B", "S", "H"].into(), Layout::sliced(2));
+        let w = t(DType::F16, ["H", "H2"].into(), Layout::sliced(0));
+        let out = infer_matmul(&input, &w).unwrap();
+        assert_eq!(out.layout, Layout::Local);
+        assert_eq!(out.shape, ["B", "S", "H2"].into());
+    }
+
+    #[test]
+    fn matmul_column_parallel_is_sliced() {
+        let input = t(DType::F16, ["B", "S", "H"].into(), Layout::Replicated);
+        let w = t(DType::F16, ["H", "H2"].into(), Layout::sliced(1));
+        let out = infer_matmul(&input, &w).unwrap();
+        assert_eq!(out.layout, Layout::sliced(2));
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes_and_layouts() {
+        let a = t(DType::F16, ["B", "K"].into(), Layout::Replicated);
+        let w_bad = t(DType::F16, ["X", "N"].into(), Layout::Replicated);
+        assert!(infer_matmul(&a, &w_bad).is_err());
+        let w_3d = t(DType::F16, ["K", "N", "N"].into(), Layout::Replicated);
+        assert!(infer_matmul(&a, &w_3d).is_err());
+        let w_local = t(DType::F16, ["K", "N"].into(), Layout::Local);
+        assert!(infer_matmul(&a, &w_local).is_err());
+    }
+
+    #[test]
+    fn collective_rules() {
+        let loc = t(DType::F16, ["N"].into(), Layout::Local);
+        let rep = t(DType::F16, ["N"].into(), Layout::Replicated);
+        assert_eq!(infer_all_reduce(&loc).unwrap().layout, Layout::Replicated);
+        assert!(infer_all_reduce(&rep).is_err());
+        assert_eq!(
+            infer_reduce_scatter(&loc).unwrap().layout,
+            Layout::sliced_flat()
+        );
+        assert!(infer_reduce_scatter(&rep).is_err());
+        let sl = infer_reduce_scatter(&loc).unwrap();
+        assert_eq!(infer_all_gather(&sl).unwrap().layout, Layout::Replicated);
+        assert!(infer_all_gather(&rep).is_err());
+        assert_eq!(infer_broadcast(&loc).unwrap().layout, Layout::Replicated);
+        assert!(infer_broadcast(&sl).is_err());
+        assert_eq!(infer_reduce(&loc).unwrap().layout, Layout::Local);
+        assert!(infer_reduce(&rep).is_err());
+    }
+
+    #[test]
+    fn send_shifts_group() {
+        let rep = t(DType::F16, ["N"].into(), Layout::Replicated);
+        let sent = infer_send(&rep);
+        assert_eq!(sent.group_shift, 1);
+        let sent2 = infer_send(&sent);
+        assert_eq!(sent2.group_shift, 2);
+    }
+
+    #[test]
+    fn cross_group_binary_rejected() {
+        let rep = t(DType::F16, ["N"].into(), Layout::Replicated);
+        let sent = infer_send(&rep);
+        assert!(infer_binary("+", &rep, &sent).is_err());
+    }
+
+    #[test]
+    fn reductions_to_scalar() {
+        let rep = t(DType::F16, ["N"].into(), Layout::Replicated);
+        let sl = t(DType::F16, ["N"].into(), Layout::sliced_flat());
+        let loc = t(DType::F16, ["N"].into(), Layout::Local);
+        for input in [&rep, &sl] {
+            let out = infer_full_reduction("Norm", input).unwrap();
+            assert_eq!(out.layout, Layout::Replicated);
+            assert_eq!(out.shape.rank(), 0);
+            assert_eq!(out.dtype, DType::F32);
+        }
+        assert!(infer_full_reduction("Norm", &loc).is_err());
+    }
+
+    #[test]
+    fn update_layout_rules() {
+        let p = t(DType::F32, ["N"].into(), Layout::Replicated);
+        let v = t(DType::F32, ["N"].into(), Layout::Replicated);
+        assert_eq!(infer_update(&p, &v).unwrap().layout, Layout::Replicated);
+        // Sliced value against replicated target: the reorder state.
+        let v_sliced = t(DType::F32, ["N"].into(), Layout::sliced_flat());
+        assert_eq!(
+            infer_update(&p, &v_sliced).unwrap().layout,
+            Layout::sliced_flat()
+        );
+        // Sliced target (after asSlice) takes sliced values only.
+        let p_sliced = t(DType::F32, ["N"].into(), Layout::sliced_flat());
+        assert!(infer_update(&p_sliced, &v_sliced).is_ok());
+        assert!(infer_update(&p_sliced, &v).is_err());
+        let v_wrong_shape = t(DType::F32, ["M"].into(), Layout::Replicated);
+        assert!(infer_update(&p, &v_wrong_shape).is_err());
+        // Local targets have no rule.
+        let loc = t(DType::F32, ["N"].into(), Layout::Local);
+        assert!(infer_update(&loc, &v_sliced).is_err());
+    }
+}

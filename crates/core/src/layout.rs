@@ -1,0 +1,111 @@
+//! Distributed tensor layouts (§2.1 of the paper).
+//!
+//! A CoCoNet tensor extends a framework tensor with a *layout*
+//! describing how its data is allocated across the ranks of a group:
+//!
+//! - **sliced** — equally distributed along a dimension, `RANK`
+//!   identifying the slice;
+//! - **replicated** — same full value on every rank;
+//! - **local** — same shape on every rank but rank-specific values
+//!   (e.g. the partial products of a model-parallel MatMul).
+
+use std::fmt;
+
+/// Which dimension a sliced tensor is distributed along.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SliceDim {
+    /// Sliced along a specific tensor dimension (weights in Figure 3
+    /// are `Sliced(0)`, activations `Sliced(2)`).
+    Dim(usize),
+    /// Sliced along the flattened element range — the layout
+    /// `ReduceScatter` produces (NCCL scatters contiguous element
+    /// ranges regardless of logical shape).
+    Flat,
+}
+
+impl fmt::Display for SliceDim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SliceDim::Dim(d) => write!(f, "{d}"),
+            SliceDim::Flat => write!(f, "flat"),
+        }
+    }
+}
+
+/// The distributed layout of a tensor across its group (§2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Equally distributed along a dimension; `RANK` identifies the
+    /// slice.
+    Sliced(SliceDim),
+    /// Identical full copy on every rank.
+    Replicated,
+    /// Full shape on every rank, rank-specific values.
+    Local,
+}
+
+impl Layout {
+    /// Convenience constructor: sliced along tensor dimension `d`.
+    pub const fn sliced(d: usize) -> Layout {
+        Layout::Sliced(SliceDim::Dim(d))
+    }
+
+    /// Convenience constructor: sliced along the flat element range.
+    pub const fn sliced_flat() -> Layout {
+        Layout::Sliced(SliceDim::Flat)
+    }
+
+    /// Whether this layout stores only `1/group_size` of the elements
+    /// per rank.
+    pub const fn is_sliced(self) -> bool {
+        matches!(self, Layout::Sliced(_))
+    }
+
+    /// Per-rank element count for a tensor of `numel` total elements
+    /// on a group of `group_size` ranks.
+    pub fn local_numel(self, numel: u64, group_size: u64) -> u64 {
+        match self {
+            Layout::Sliced(_) => numel / group_size,
+            Layout::Replicated | Layout::Local => numel,
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layout::Sliced(d) => write!(f, "Sliced({d})"),
+            Layout::Replicated => write!(f, "Replicated"),
+            Layout::Local => write!(f, "Local"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_predicates() {
+        assert_eq!(Layout::sliced(2), Layout::Sliced(SliceDim::Dim(2)));
+        assert_eq!(Layout::sliced_flat(), Layout::Sliced(SliceDim::Flat));
+        assert!(Layout::sliced(0).is_sliced());
+        assert!(!Layout::Replicated.is_sliced());
+        assert!(!Layout::Local.is_sliced());
+    }
+
+    #[test]
+    fn local_numel() {
+        assert_eq!(Layout::sliced(0).local_numel(64, 4), 16);
+        assert_eq!(Layout::Replicated.local_numel(64, 4), 64);
+        assert_eq!(Layout::Local.local_numel(64, 4), 64);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Layout::sliced(2).to_string(), "Sliced(2)");
+        assert_eq!(Layout::sliced_flat().to_string(), "Sliced(flat)");
+        assert_eq!(Layout::Replicated.to_string(), "Replicated");
+        assert_eq!(Layout::Local.to_string(), "Local");
+    }
+}

@@ -1,0 +1,609 @@
+//! Lowering: scheduled programs to executable plans.
+//!
+//! Walks the DFG in topological order, turning fusion groups into
+//! single kernel/fused-collective steps, overlap groups into pipeline
+//! steps, and everything else into one step per operation — which is
+//! exactly how launch counts and memory round-trips differ between the
+//! paper's schedules (an unfused optimizer is a long sequence of
+//! kernel launches; `fuse(RS-Opt-AG)` is one).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::{
+    Binding, CollKind, CommConfig, CoreError, ExecPlan, FuseKind, FusedCollectiveStep,
+    KernelStep, Layout, MatMulStep, OpKind, OverlapStage, OverlappedStep, Program,
+    SendRecvStep, SliceDim, Step, VarId,
+};
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum UnitKind {
+    Single,
+    Fused(FuseKind),
+}
+
+#[derive(Clone, Debug)]
+struct Unit {
+    kind: UnitKind,
+    members: Vec<VarId>,
+}
+
+/// Lowers a validated program to an executable plan under a binding
+/// and communication configuration.
+///
+/// # Errors
+///
+/// Propagates validation/binding errors, and returns
+/// [`CoreError::InvalidTransform`] when an overlap group contains a
+/// stage that cannot be pipelined (plain pointwise kernels must be
+/// fused into a collective before overlapping).
+pub fn lower(p: &Program, binding: &Binding, config: CommConfig) -> Result<ExecPlan, CoreError> {
+    p.validate()?;
+    let topo = p.topo_order();
+    let position: HashMap<VarId, usize> =
+        topo.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+
+    // ---- build units -----------------------------------------------------
+    let mut unit_of: HashMap<VarId, usize> = HashMap::new();
+    let mut units: Vec<Unit> = Vec::new();
+    for g in p.fusion_groups() {
+        let idx = units.len();
+        units.push(Unit {
+            kind: UnitKind::Fused(g.kind),
+            members: g.members.clone(),
+        });
+        for &m in &g.members {
+            unit_of.insert(m, idx);
+        }
+    }
+    for &v in &topo {
+        if unit_of.contains_key(&v) {
+            continue;
+        }
+        let op = p.op(v)?;
+        if matches!(op, OpKind::Input | OpKind::ConstScalar(_) | OpKind::Slice(_)) {
+            continue;
+        }
+        let idx = units.len();
+        units.push(Unit {
+            kind: UnitKind::Single,
+            members: vec![v],
+        });
+        unit_of.insert(v, idx);
+    }
+
+    // Execution order: by first member position in topo order.
+    let mut order: Vec<usize> = (0..units.len()).collect();
+    order.sort_by_key(|&u| {
+        units[u]
+            .members
+            .iter()
+            .map(|m| position[m])
+            .min()
+            .unwrap_or(usize::MAX)
+    });
+
+    // Overlap groups -> sets of unit indices.
+    let mut overlap_units: Vec<Vec<usize>> = Vec::new();
+    let mut unit_overlap: HashMap<usize, usize> = HashMap::new();
+    for og in p.overlap_groups() {
+        let mut covered: Vec<usize> = Vec::new();
+        for m in &og.members {
+            if let Some(&u) = unit_of.get(m) {
+                if !covered.contains(&u) {
+                    covered.push(u);
+                }
+            }
+        }
+        covered.sort_by_key(|&u| {
+            units[u]
+                .members
+                .iter()
+                .map(|m| position[m])
+                .min()
+                .unwrap_or(usize::MAX)
+        });
+        let idx = overlap_units.len();
+        for &u in &covered {
+            unit_overlap.insert(u, idx);
+        }
+        overlap_units.push(covered);
+    }
+
+    // ---- emit steps -------------------------------------------------------
+    let mut steps: Vec<Step> = Vec::new();
+    let mut emitted_overlaps: HashSet<usize> = HashSet::new();
+    for &u in &order {
+        if let Some(&og) = unit_overlap.get(&u) {
+            if emitted_overlaps.insert(og) {
+                let mut stages = Vec::new();
+                let mut labels = Vec::new();
+                for &cu in &overlap_units[og] {
+                    let sub = lower_unit(p, binding, &units[cu])?;
+                    for s in sub {
+                        labels.push(s.label().to_string());
+                        stages.push(step_to_stage(s)?);
+                    }
+                }
+                steps.push(Step::Overlapped(OverlappedStep {
+                    label: format!("overlap({})", labels.join(", ")),
+                    stages,
+                }));
+            }
+            continue;
+        }
+        steps.extend(lower_unit(p, binding, &units[u])?);
+    }
+
+    Ok(ExecPlan {
+        name: p.name().to_string(),
+        steps,
+        config,
+    })
+}
+
+fn step_to_stage(step: Step) -> Result<OverlapStage, CoreError> {
+    match step {
+        Step::MatMul(s) => Ok(OverlapStage::MatMul(s)),
+        Step::Collective(s) => Ok(OverlapStage::Collective(s)),
+        Step::FusedCollective(s) => Ok(OverlapStage::FusedCollective(s)),
+        Step::SendRecv(s) => Ok(OverlapStage::SendRecv(s)),
+        other => Err(CoreError::InvalidTransform {
+            transform: "overlap".into(),
+            detail: format!(
+                "stage `{}` cannot be pipelined; fuse computations into a \
+                 collective before overlapping",
+                other.label()
+            ),
+        }),
+    }
+}
+
+/// Per-rank extents of a (possibly sliced) operand.
+fn local_dims(
+    p: &Program,
+    v: VarId,
+    binding: &Binding,
+) -> Result<Vec<u64>, CoreError> {
+    let ty = p.ty(v)?;
+    let shape = ty.shape.eval(binding)?;
+    let mut dims: Vec<u64> = shape.dims().iter().map(|&d| d as u64).collect();
+    let k = binding.group_size as u64;
+    match ty.layout {
+        Layout::Sliced(SliceDim::Dim(d)) => {
+            if !dims[d].is_multiple_of(k) {
+                return Err(CoreError::IndivisibleSize {
+                    what: format!("dimension {d} of {}", ty.shape),
+                    total: dims[d],
+                    parts: k,
+                });
+            }
+            dims[d] /= k;
+        }
+        Layout::Sliced(SliceDim::Flat) => {
+            let total: u64 = dims.iter().product();
+            if !total.is_multiple_of(k) {
+                return Err(CoreError::IndivisibleSize {
+                    what: format!("tensor {}", ty.shape),
+                    total,
+                    parts: k,
+                });
+            }
+            dims = vec![total / k];
+        }
+        Layout::Replicated | Layout::Local => {}
+    }
+    Ok(dims)
+}
+
+/// External reads of a member set, deduplicated, in bytes per rank.
+fn external_read_bytes(
+    p: &Program,
+    members: &HashSet<VarId>,
+    binding: &Binding,
+    exclude: &HashSet<VarId>,
+) -> Result<u64, CoreError> {
+    let mut seen = HashSet::new();
+    let mut bytes = 0u64;
+    for &m in members {
+        for dep in p.op(m)?.inputs() {
+            if members.contains(&dep) || exclude.contains(&dep) || !seen.insert(dep) {
+                continue;
+            }
+            if matches!(p.op(dep)?, OpKind::ConstScalar(_)) {
+                continue;
+            }
+            bytes += p.ty(dep)?.local_bytes(binding)?;
+        }
+    }
+    Ok(bytes)
+}
+
+/// Bytes written by members whose values escape the set (plus all
+/// in-place updates), excluding `exclude` members.
+fn external_write_bytes(
+    p: &Program,
+    members: &HashSet<VarId>,
+    binding: &Binding,
+    exclude: &HashSet<VarId>,
+) -> Result<u64, CoreError> {
+    let mut bytes = 0u64;
+    for &m in members {
+        if exclude.contains(&m) {
+            continue;
+        }
+        let escapes = p.outputs().contains(&m)
+            || matches!(p.op(m)?, OpKind::Update(..))
+            || p.consumers(m).iter().any(|c| !members.contains(c));
+        if escapes {
+            bytes += p.ty(m)?.local_bytes(binding)?;
+        }
+    }
+    Ok(bytes)
+}
+
+fn compute_flops(p: &Program, members: &HashSet<VarId>, binding: &Binding) -> Result<u64, CoreError> {
+    let mut flops = 0u64;
+    for &m in members {
+        let op = p.op(m)?;
+        if op.is_pointwise() && !matches!(op, OpKind::ConstScalar(_) | OpKind::Slice(_)) {
+            // Norm reads its input's elements; others produce them.
+            let n = match op {
+                OpKind::Norm(x) | OpKind::ReduceTensor(_, x) => {
+                    p.ty(*x)?.local_numel(binding)?
+                }
+                _ => p.ty(m)?.local_numel(binding)?,
+            };
+            flops += n;
+        }
+    }
+    Ok(flops)
+}
+
+fn count_norms(p: &Program, members: &[VarId]) -> Result<usize, CoreError> {
+    let mut n = 0;
+    for &m in members {
+        if matches!(p.op(m)?, OpKind::Norm(_) | OpKind::ReduceTensor(..)) {
+            n += 1;
+        }
+    }
+    Ok(n)
+}
+
+fn label_of(p: &Program, members: &[VarId]) -> String {
+    members
+        .iter()
+        .filter_map(|&m| p.node(m).ok())
+        .map(|n| n.name().to_string())
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+fn lower_unit(p: &Program, binding: &Binding, unit: &Unit) -> Result<Vec<Step>, CoreError> {
+    let member_set: HashSet<VarId> = unit.members.iter().copied().collect();
+    match unit.kind {
+        UnitKind::Single => lower_single(p, binding, unit.members[0]),
+        UnitKind::Fused(FuseKind::Compute) => {
+            let reads = external_read_bytes(p, &member_set, binding, &HashSet::new())?;
+            let writes = external_write_bytes(p, &member_set, binding, &HashSet::new())?;
+            let flops = compute_flops(p, &member_set, binding)?;
+            let n_ops = unit
+                .members
+                .iter()
+                .filter(|&&m| {
+                    !matches!(p.op(m), Ok(OpKind::ConstScalar(_)) | Ok(OpKind::Slice(_)))
+                })
+                .count();
+            let mut steps = vec![Step::Kernel(KernelStep {
+                label: format!("fused[{}]", label_of(p, &unit.members)),
+                bytes_read: reads,
+                bytes_written: writes,
+                flops,
+                n_ops,
+            })];
+            // Sliced norms need a scalar AllReduce between kernels.
+            for &m in &unit.members {
+                if let OpKind::Norm(x) | OpKind::ReduceTensor(_, x) = p.op(m)? {
+                    if p.ty(*x)?.layout.is_sliced() {
+                        steps.push(Step::Collective(crate::CollectiveStep {
+                            label: format!("norm-allreduce[{}]", p.node(m)?.name()),
+                            kind: CollKind::AllReduce,
+                            elems: 1,
+                            dtype: crate::DType::F32,
+                            scattered: None,
+                        }));
+                    }
+                }
+            }
+            Ok(steps)
+        }
+        UnitKind::Fused(FuseKind::AllReduce) => {
+            let rs = unit
+                .members
+                .iter()
+                .find(|&&m| matches!(p.op(m), Ok(OpKind::ReduceScatter(..))))
+                .copied()
+                .ok_or_else(|| CoreError::MalformedProgram(
+                    "FusedAllReduce group without a ReduceScatter".into(),
+                ))?;
+            let rs_input = p.op(rs)?.inputs()[0];
+            let ags: HashSet<VarId> = unit
+                .members
+                .iter()
+                .filter(|&&m| matches!(p.op(m), Ok(OpKind::AllGather(_))))
+                .copied()
+                .collect();
+            let mut exclude_reads = HashSet::new();
+            exclude_reads.insert(rs_input);
+            let extra_reads = external_read_bytes(p, &member_set, binding, &exclude_reads)?;
+            let extra_writes = external_write_bytes(p, &member_set, binding, &ags)?;
+            let flops = compute_flops(p, &member_set, binding)?;
+            let compute_members: Vec<VarId> = unit
+                .members
+                .iter()
+                .filter(|&&m| m != rs && !ags.contains(&m))
+                .copied()
+                .collect();
+            Ok(vec![Step::FusedCollective(FusedCollectiveStep {
+                label: format!("fusedAR[{}]", label_of(p, &unit.members)),
+                elems: p.ty(rs_input)?.numel(binding)?,
+                dtype: p.ty(rs_input)?.dtype,
+                extra_bytes_read: extra_reads,
+                extra_bytes_written: extra_writes,
+                flops,
+                embedded_scalar_allreduces: count_norms(p, &compute_members)?,
+                n_fused_ops: compute_members.len(),
+                scattered: None,
+            })])
+        }
+        UnitKind::Fused(FuseKind::Send) => {
+            let send = unit
+                .members
+                .iter()
+                .find(|&&m| matches!(p.op(m), Ok(OpKind::Send(..))))
+                .copied()
+                .ok_or_else(|| {
+                    CoreError::MalformedProgram("Send fusion group without a Send".into())
+                })?;
+            let send_input = p.op(send)?.inputs()[0];
+            let extra_reads = external_read_bytes(p, &member_set, binding, &HashSet::new())?;
+            let flops = compute_flops(p, &member_set, binding)?;
+            Ok(vec![Step::SendRecv(SendRecvStep {
+                label: format!("fusedSend[{}]", label_of(p, &unit.members)),
+                elems_per_rank: p.ty(send_input)?.local_numel(binding)?,
+                dtype: p.ty(send_input)?.dtype,
+                extra_bytes_read: extra_reads,
+                flops,
+                n_fused_ops: unit.members.len() - 1,
+            })])
+        }
+    }
+}
+
+fn lower_single(p: &Program, binding: &Binding, v: VarId) -> Result<Vec<Step>, CoreError> {
+    let node = p.node(v)?;
+    let ty = node.ty().clone();
+    let name = node.name().to_string();
+    let member_set: HashSet<VarId> = [v].into_iter().collect();
+    match node.op().clone() {
+        OpKind::MatMul(a, w) => {
+            let a_dims = local_dims(p, a, binding)?;
+            let w_dims = local_dims(p, w, binding)?;
+            let m: u64 = a_dims[..a_dims.len() - 1].iter().product();
+            let k = a_dims[a_dims.len() - 1];
+            let n = w_dims[1];
+            Ok(vec![Step::MatMul(MatMulStep {
+                label: name,
+                m,
+                k,
+                n,
+                dtype: ty.dtype,
+            })])
+        }
+        OpKind::Conv2d(x, w, params) => {
+            // Implicit GEMM: m = N'*H_out*W_out, k = C*R*S, n = K.
+            let x_dims = local_dims(p, x, binding)?;
+            let w_dims = local_dims(p, w, binding)?;
+            let out_dims = local_dims(p, v, binding)?;
+            let m = out_dims[0] * out_dims[2] * out_dims[3];
+            let kk = x_dims[1] * w_dims[2] * w_dims[3];
+            let n = w_dims[0];
+            let _ = params;
+            Ok(vec![Step::MatMul(MatMulStep {
+                label: name,
+                m,
+                k: kk,
+                n,
+                dtype: ty.dtype,
+            })])
+        }
+        OpKind::AllReduce(_, x) => Ok(vec![collective(p, binding, CollKind::AllReduce, x, name)?]),
+        OpKind::ReduceScatter(_, x) => {
+            Ok(vec![collective(p, binding, CollKind::ReduceScatter, x, name)?])
+        }
+        OpKind::AllGather(x) => Ok(vec![collective(p, binding, CollKind::AllGather, x, name)?]),
+        OpKind::Broadcast(x, _) => Ok(vec![collective(p, binding, CollKind::Broadcast, x, name)?]),
+        OpKind::Reduce(_, x, _) => Ok(vec![collective(p, binding, CollKind::Reduce, x, name)?]),
+        OpKind::Send(x, _) => Ok(vec![Step::SendRecv(SendRecvStep {
+            label: name,
+            elems_per_rank: p.ty(x)?.local_numel(binding)?,
+            dtype: p.ty(x)?.dtype,
+            extra_bytes_read: 0,
+            flops: 0,
+            n_fused_ops: 0,
+        })]),
+        op if op.is_pointwise() => {
+            let reads = external_read_bytes(p, &member_set, binding, &HashSet::new())?;
+            let writes = ty.local_bytes(binding)?;
+            let flops = compute_flops(p, &member_set, binding)?;
+            let mut steps = vec![Step::Kernel(KernelStep {
+                label: name.clone(),
+                bytes_read: reads,
+                bytes_written: writes,
+                flops,
+                n_ops: 1,
+            })];
+            if let OpKind::Norm(x) | OpKind::ReduceTensor(_, x) = op {
+                if p.ty(x)?.layout.is_sliced() {
+                    steps.push(Step::Collective(crate::CollectiveStep {
+                        label: format!("norm-allreduce[{name}]"),
+                        kind: CollKind::AllReduce,
+                        elems: 1,
+                        dtype: crate::DType::F32,
+                        scattered: None,
+                    }));
+                }
+            }
+            Ok(steps)
+        }
+        other => Err(CoreError::MalformedProgram(format!(
+            "cannot lower {} as a standalone step",
+            other.mnemonic()
+        ))),
+    }
+}
+
+fn collective(
+    p: &Program,
+    binding: &Binding,
+    kind: CollKind,
+    input: VarId,
+    label: String,
+) -> Result<Step, CoreError> {
+    Ok(Step::Collective(crate::CollectiveStep {
+        label,
+        kind,
+        elems: p.ty(input)?.numel(binding)?,
+        dtype: p.ty(input)?.dtype,
+        scattered: None,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xform::{fuse_all_reduce, overlap, reorder_all_gather, split_all_reduce};
+    use crate::{DType, Program, ReduceOp};
+
+    fn binding() -> Binding {
+        Binding::new(16).bind("B", 8).bind("S", 1024).bind("H", 1024)
+    }
+
+    fn figure3() -> (Program, Vec<VarId>) {
+        let mut p = Program::new("self_attention");
+        let w = p.input("w", DType::F16, ["H", "H"], Layout::sliced(0));
+        let b = p.input("b", DType::F16, ["H"], Layout::Replicated);
+        let input = p.input("in", DType::F16, ["B", "S", "H"], Layout::sliced(2));
+        let r = p.input("r", DType::F16, ["B", "S", "H"], Layout::Replicated);
+        let layer = p.matmul(input, w).unwrap();
+        p.set_name(layer, "layer").unwrap();
+        let sum = p.all_reduce(ReduceOp::Sum, layer).unwrap();
+        p.set_name(sum, "sum").unwrap();
+        let biased = p.add(sum, b).unwrap();
+        let d = p.dropout(biased, 0.1).unwrap();
+        let out = p.add(d, r).unwrap();
+        p.set_io(&[w, input, b, r], &[out]).unwrap();
+        (p, vec![layer, sum, biased, d, out])
+    }
+
+    #[test]
+    fn baseline_lowering_is_one_step_per_op() {
+        let (p, _) = figure3();
+        let plan = lower(&p, &binding(), CommConfig::default()).unwrap();
+        // MatMul + AllReduce + add + dropout + add = 5 launches.
+        assert_eq!(plan.steps.len(), 5);
+        assert_eq!(plan.total_launches(), 5);
+        assert!(matches!(plan.steps[0], Step::MatMul(_)));
+        assert!(matches!(plan.steps[1], Step::Collective(_)));
+        if let Step::MatMul(mm) = &plan.steps[0] {
+            // Per-rank GEMM: [B*S, H/16] x [H/16, H].
+            assert_eq!(mm.m, 8 * 1024);
+            assert_eq!(mm.k, 1024 / 16);
+            assert_eq!(mm.n, 1024);
+        }
+        if let Step::Collective(c) = &plan.steps[1] {
+            assert_eq!(c.kind, CollKind::AllReduce);
+            assert_eq!(c.elems, 8 * 1024 * 1024);
+        }
+    }
+
+    #[test]
+    fn overlapped_schedule_lowers_to_one_pipeline() {
+        let (mut p, vars) = figure3();
+        let (layer, sum, biased, d, out) = (vars[0], vars[1], vars[2], vars[3], vars[4]);
+        let (rs, ag) = split_all_reduce(&mut p, sum).unwrap();
+        let result = reorder_all_gather(&mut p, ag, &[biased, d, out]).unwrap();
+        let new_ag = result.gathers[0].1;
+        fuse_all_reduce(&mut p, rs, &result.sliced, &[new_ag]).unwrap();
+        overlap(&mut p, &[layer, rs]).unwrap();
+        let plan = lower(&p, &binding(), CommConfig::default()).unwrap();
+        assert_eq!(plan.steps.len(), 1);
+        if let Step::Overlapped(ol) = &plan.steps[0] {
+            assert_eq!(ol.stages.len(), 2);
+            assert!(matches!(ol.stages[0], OverlapStage::MatMul(_)));
+            assert!(matches!(ol.stages[1], OverlapStage::FusedCollective(_)));
+            if let OverlapStage::FusedCollective(f) = &ol.stages[1] {
+                assert_eq!(f.elems, 8 * 1024 * 1024);
+                assert!(f.n_fused_ops >= 3);
+                // Fused compute reads b and Slice(r).
+                assert!(f.extra_bytes_read > 0);
+            }
+        } else {
+            panic!("expected an overlapped step, got {:?}", plan.steps[0]);
+        }
+        // One launch per stage: 2 total (vs 5 for the baseline).
+        assert_eq!(plan.total_launches(), 2);
+    }
+
+    #[test]
+    fn overlap_of_unfused_kernels_fails_at_lowering() {
+        let (mut p, vars) = figure3();
+        let (layer, sum) = (vars[0], vars[1]);
+        overlap(&mut p, &[layer, sum]).unwrap();
+        // AllReduce alone can overlap with MatMul -- but the following
+        // unfused adds cannot be stages; this plan is still fine since
+        // the adds are outside the overlap group.
+        let plan = lower(&p, &binding(), CommConfig::default()).unwrap();
+        assert!(matches!(plan.steps[0], Step::Overlapped(_)));
+
+        // Overlapping a raw pointwise op is rejected at lowering.
+        let (mut p2, vars2) = figure3();
+        let (sum2, biased2) = (vars2[1], vars2[2]);
+        overlap(&mut p2, &[sum2, biased2]).unwrap();
+        assert!(matches!(
+            lower(&p2, &binding(), CommConfig::default()),
+            Err(CoreError::InvalidTransform { .. })
+        ));
+    }
+
+    #[test]
+    fn send_lowering() {
+        let mut p = Program::new("pipe");
+        let x = p.input("in", DType::F16, ["B", "H"], Layout::Local);
+        let sum = p.all_reduce(ReduceOp::Sum, x).unwrap();
+        let out = p.send(sum, crate::PeerSelector::NextGroupSameRank).unwrap();
+        p.set_io(&[x], &[out]).unwrap();
+        let b = Binding::new(4).with_groups(2).bind("B", 8).bind("H", 64);
+        let plan = lower(&p, &b, CommConfig::default()).unwrap();
+        assert_eq!(plan.steps.len(), 2);
+        if let Step::SendRecv(s) = &plan.steps[1] {
+            // Replicated send: the full tensor from every rank.
+            assert_eq!(s.elems_per_rank, 8 * 64);
+        } else {
+            panic!("expected SendRecv");
+        }
+    }
+
+    #[test]
+    fn sliced_norm_emits_scalar_allreduce() {
+        let mut p = Program::new("norms");
+        let g = p.input("g", DType::F32, ["N"], Layout::Local);
+        let rs = p.reduce_scatter(ReduceOp::Sum, g).unwrap();
+        let n = p.norm(rs).unwrap();
+        p.set_io(&[g], &[n]).unwrap();
+        let b = Binding::new(4).bind("N", 64);
+        let plan = lower(&p, &b, CommConfig::default()).unwrap();
+        // RS + norm kernel + scalar AR.
+        assert_eq!(plan.steps.len(), 3);
+        assert!(plan.steps[2].label().contains("norm-allreduce"));
+    }
+}

@@ -1,0 +1,397 @@
+//! The executable plan: what a scheduled program lowers to.
+//!
+//! A plan is a sequence of device *steps* — kernel launches, NCCL-style
+//! collective calls, fused-collective kernels, P2P transfers, and
+//! overlapped pipelines of those. The performance simulator
+//! (`coconet-sim`) costs each step against a machine model; the code
+//! generator emits CUDA-like source for each step.
+
+use std::fmt;
+
+use coconet_tensor::DType;
+
+/// NCCL communication protocol (§5.1). Protocols trade latency for
+/// bandwidth: `LL` (low latency) sends 8-byte packs with inline flags
+/// at half line rate; `LL128` stages through shared memory reaching
+/// ~95 % of line rate; `Simple` reaches full line rate with the
+/// highest synchronization latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Low-latency 8-byte packs (flag per 4 bytes), ~50 % bandwidth.
+    LL,
+    /// 128-byte shared-memory staging, ~95 % bandwidth.
+    LL128,
+    /// Full-bandwidth protocol with chunk-granularity synchronization.
+    Simple,
+}
+
+impl Protocol {
+    /// All protocols, for autotuner sweeps.
+    pub const ALL: [Protocol; 3] = [Protocol::LL, Protocol::LL128, Protocol::Simple];
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::LL => write!(f, "LL"),
+            Protocol::LL128 => write!(f, "LL128"),
+            Protocol::Simple => write!(f, "Simple"),
+        }
+    }
+}
+
+/// Communication configuration for a plan: protocol and channel count
+/// (each NCCL channel is one thread block bound to one NIC/ring copy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CommConfig {
+    /// Wire protocol.
+    pub protocol: Protocol,
+    /// Number of channels (2–64 in the paper's autotuner sweep).
+    pub channels: usize,
+}
+
+impl Default for CommConfig {
+    fn default() -> CommConfig {
+        CommConfig {
+            protocol: Protocol::Simple,
+            channels: 16,
+        }
+    }
+}
+
+impl fmt::Display for CommConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}ch", self.protocol, self.channels)
+    }
+}
+
+/// Which collective a communication step performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CollKind {
+    /// AllReduce (ring: 2(k−1)/k data volume per rank).
+    AllReduce,
+    /// ReduceScatter ((k−1)/k volume).
+    ReduceScatter,
+    /// AllGather ((k−1)/k volume).
+    AllGather,
+    /// Broadcast from a root.
+    Broadcast,
+    /// Reduce to a root.
+    Reduce,
+}
+
+impl fmt::Display for CollKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollKind::AllReduce => write!(f, "AllReduce"),
+            CollKind::ReduceScatter => write!(f, "ReduceScatter"),
+            CollKind::AllGather => write!(f, "AllGather"),
+            CollKind::Broadcast => write!(f, "Broadcast"),
+            CollKind::Reduce => write!(f, "Reduce"),
+        }
+    }
+}
+
+/// Scattered-tensor execution info (§5.4): the collective walks many
+/// non-contiguous tensors through a bucket table instead of one
+/// contiguous buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScatterInfo {
+    /// Number of distinct (non-contiguous) tensors.
+    pub n_tensors: u64,
+    /// Total number of 2^10-element buckets.
+    pub n_buckets: u64,
+}
+
+/// A fused pointwise kernel launch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelStep {
+    /// Human-readable label (op names).
+    pub label: String,
+    /// Bytes read from device memory (per rank).
+    pub bytes_read: u64,
+    /// Bytes written to device memory (per rank).
+    pub bytes_written: u64,
+    /// Floating-point operations (per rank).
+    pub flops: u64,
+    /// Number of DSL operations fused into this kernel.
+    pub n_ops: usize,
+}
+
+/// A GEMM launch with per-rank dimensions `[m, k] x [k, n]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatMulStep {
+    /// Human-readable label.
+    pub label: String,
+    /// Rows of the left operand (per rank).
+    pub m: u64,
+    /// Contraction dimension (per rank).
+    pub k: u64,
+    /// Columns of the right operand (per rank).
+    pub n: u64,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl MatMulStep {
+    /// Total floating-point operations (2·m·k·n).
+    pub fn flops(&self) -> u64 {
+        2 * self.m * self.k * self.n
+    }
+
+    /// Bytes touched (A + B read, C written).
+    pub fn bytes(&self) -> u64 {
+        let e = self.dtype.size_bytes() as u64;
+        (self.m * self.k + self.k * self.n + self.m * self.n) * e
+    }
+}
+
+/// A plain collective call (one NCCL kernel launch).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CollectiveStep {
+    /// Human-readable label.
+    pub label: String,
+    /// Collective kind.
+    pub kind: CollKind,
+    /// Global element count of the communicated tensor.
+    pub elems: u64,
+    /// Element type.
+    pub dtype: DType,
+    /// Scattered-tensor info, if operating on non-contiguous tensors.
+    pub scattered: Option<ScatterInfo>,
+}
+
+/// A fused collective kernel: AllReduce-volume communication with
+/// computation applied in registers between the ReduceScatter and
+/// AllGather phases (§5.2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FusedCollectiveStep {
+    /// Human-readable label.
+    pub label: String,
+    /// Global element count of the reduced tensor.
+    pub elems: u64,
+    /// Element type of the communicated data.
+    pub dtype: DType,
+    /// Extra device-memory bytes read by the fused computation
+    /// (optimizer state, residuals — per rank).
+    pub extra_bytes_read: u64,
+    /// Extra device-memory bytes written by the fused computation
+    /// (state updates — per rank).
+    pub extra_bytes_written: u64,
+    /// Floating-point operations of the fused computation (per rank).
+    pub flops: u64,
+    /// Scalar AllReduces embedded for sliced tensor reductions
+    /// (LAMB's norms, §5.2 "Tensor Reduction").
+    pub embedded_scalar_allreduces: usize,
+    /// Number of DSL operations fused in (register-pressure proxy:
+    /// §6.1.1 observes fused kernels lose thread-level parallelism).
+    pub n_fused_ops: usize,
+    /// Scattered-tensor info, if operating on non-contiguous tensors.
+    pub scattered: Option<ScatterInfo>,
+}
+
+/// A P2P transfer to the peer rank in the next group, optionally with
+/// fused computation applied to the outgoing data (§4).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SendRecvStep {
+    /// Human-readable label.
+    pub label: String,
+    /// Elements sent by each rank.
+    pub elems_per_rank: u64,
+    /// Element type.
+    pub dtype: DType,
+    /// Extra bytes read by fused computation (per rank).
+    pub extra_bytes_read: u64,
+    /// Floating-point operations of fused computation (per rank).
+    pub flops: u64,
+    /// Number of DSL operations fused in.
+    pub n_fused_ops: usize,
+}
+
+/// A fixed, documented cost (e.g. the baseline optimizers'
+/// preprocessing, §6.1.1). Never produced by lowering DSL programs;
+/// used by workload models for baseline bookkeeping.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FixedStep {
+    /// What this cost models.
+    pub label: String,
+    /// The cost in seconds.
+    pub seconds: f64,
+}
+
+/// One stage of an overlapped pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OverlapStage {
+    /// A chunk-producing GEMM.
+    MatMul(MatMulStep),
+    /// A plain collective consuming/producing chunks.
+    Collective(CollectiveStep),
+    /// A fused collective consuming/producing chunks.
+    FusedCollective(FusedCollectiveStep),
+    /// A chunked P2P transfer.
+    SendRecv(SendRecvStep),
+}
+
+impl OverlapStage {
+    /// The stage's label.
+    pub fn label(&self) -> &str {
+        match self {
+            OverlapStage::MatMul(s) => &s.label,
+            OverlapStage::Collective(s) => &s.label,
+            OverlapStage::FusedCollective(s) => &s.label,
+            OverlapStage::SendRecv(s) => &s.label,
+        }
+    }
+}
+
+/// A fine-grained overlapped pipeline (§5.3): all stages launch once
+/// and stream buffer tiles through spin-lock synchronization.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OverlappedStep {
+    /// Human-readable label.
+    pub label: String,
+    /// The pipeline stages in dependency order.
+    pub stages: Vec<OverlapStage>,
+}
+
+/// One schedulable unit of an executable plan.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Step {
+    /// Fused pointwise kernel.
+    Kernel(KernelStep),
+    /// GEMM.
+    MatMul(MatMulStep),
+    /// Plain collective.
+    Collective(CollectiveStep),
+    /// Fused collective.
+    FusedCollective(FusedCollectiveStep),
+    /// P2P transfer.
+    SendRecv(SendRecvStep),
+    /// Overlapped pipeline.
+    Overlapped(OverlappedStep),
+    /// Fixed documented cost.
+    Fixed(FixedStep),
+}
+
+impl Step {
+    /// The step's label.
+    pub fn label(&self) -> &str {
+        match self {
+            Step::Kernel(s) => &s.label,
+            Step::MatMul(s) => &s.label,
+            Step::Collective(s) => &s.label,
+            Step::FusedCollective(s) => &s.label,
+            Step::SendRecv(s) => &s.label,
+            Step::Overlapped(s) => &s.label,
+            Step::Fixed(s) => &s.label,
+        }
+    }
+
+    /// Number of device kernel launches this step costs (an overlapped
+    /// pipeline launches each stage exactly once, §5.3).
+    pub fn launches(&self) -> usize {
+        match self {
+            Step::Overlapped(s) => s.stages.len(),
+            Step::Fixed(_) => 0,
+            _ => 1,
+        }
+    }
+}
+
+/// An executable plan: ordered steps plus the communication
+/// configuration they run under.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecPlan {
+    /// Name (usually `program.name() + schedule label`).
+    pub name: String,
+    /// The steps, in execution order.
+    pub steps: Vec<Step>,
+    /// Communication configuration.
+    pub config: CommConfig,
+}
+
+impl ExecPlan {
+    /// Total kernel launches across all steps.
+    pub fn total_launches(&self) -> usize {
+        self.steps.iter().map(Step::launches).sum()
+    }
+}
+
+impl fmt::Display for ExecPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "plan {} [{}]", self.name, self.config)?;
+        for (i, s) in self.steps.iter().enumerate() {
+            writeln!(f, "  {i}: {}", s.label())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_step_math() {
+        let s = MatMulStep {
+            label: "mm".into(),
+            m: 4,
+            k: 8,
+            n: 2,
+            dtype: DType::F16,
+        };
+        assert_eq!(s.flops(), 2 * 4 * 8 * 2);
+        assert_eq!(s.bytes(), (32 + 16 + 8) * 2);
+    }
+
+    #[test]
+    fn launches() {
+        let mm = MatMulStep {
+            label: "mm".into(),
+            m: 1,
+            k: 1,
+            n: 1,
+            dtype: DType::F16,
+        };
+        let coll = CollectiveStep {
+            label: "ar".into(),
+            kind: CollKind::AllReduce,
+            elems: 8,
+            dtype: DType::F16,
+            scattered: None,
+        };
+        let overlapped = Step::Overlapped(OverlappedStep {
+            label: "ol".into(),
+            stages: vec![
+                OverlapStage::MatMul(mm.clone()),
+                OverlapStage::Collective(coll.clone()),
+            ],
+        });
+        assert_eq!(overlapped.launches(), 2);
+        assert_eq!(Step::MatMul(mm).launches(), 1);
+        let plan = ExecPlan {
+            name: "t".into(),
+            steps: vec![
+                Step::Collective(coll),
+                overlapped,
+                Step::Fixed(FixedStep {
+                    label: "preproc".into(),
+                    seconds: 1e-6,
+                }),
+            ],
+            config: CommConfig::default(),
+        };
+        assert_eq!(plan.total_launches(), 3);
+        let text = plan.to_string();
+        assert!(text.contains("plan t [Simple/16ch]"));
+        assert!(text.contains("ol"));
+    }
+
+    #[test]
+    fn display_protocols() {
+        assert_eq!(Protocol::LL.to_string(), "LL");
+        assert_eq!(Protocol::LL128.to_string(), "LL128");
+        assert_eq!(Protocol::Simple.to_string(), "Simple");
+        assert_eq!(CollKind::ReduceScatter.to_string(), "ReduceScatter");
+    }
+}

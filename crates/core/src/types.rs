@@ -1,0 +1,127 @@
+//! The distributed tensor type of DSL values.
+
+use std::fmt;
+
+use coconet_tensor::DType;
+
+use crate::{Binding, CoreError, Layout, SymShape};
+
+/// The inferred type of a DSL value: element type, symbolic global
+/// shape, distributed layout, and which process group it lives on
+/// (expressed as a shift from the defining group — a `Send` moves a
+/// value one group downstream).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TensorType {
+    /// Element type.
+    pub dtype: DType,
+    /// *Global* (undistributed) symbolic shape. Sliced tensors store
+    /// the full shape; the per-rank extent is derived from the layout.
+    pub shape: SymShape,
+    /// Distributed layout across the group.
+    pub layout: Layout,
+    /// How many groups downstream of the defining group this value
+    /// lives (0 for everything except the results of P2P sends).
+    pub group_shift: u32,
+}
+
+impl TensorType {
+    /// A new type with zero group shift.
+    pub fn new(dtype: DType, shape: SymShape, layout: Layout) -> TensorType {
+        TensorType {
+            dtype,
+            shape,
+            layout,
+            group_shift: 0,
+        }
+    }
+
+    /// A replicated scalar type.
+    pub fn scalar(dtype: DType) -> TensorType {
+        TensorType::new(dtype, SymShape::scalar(), Layout::Replicated)
+    }
+
+    /// Global element count under a binding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnboundSymbol`] on a missing symbol.
+    pub fn numel(&self, binding: &Binding) -> Result<u64, CoreError> {
+        self.shape.numel(binding)
+    }
+
+    /// Per-rank element count under a binding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnboundSymbol`] on a missing symbol and
+    /// [`CoreError::IndivisibleSize`] when a sliced tensor does not
+    /// divide evenly across the group.
+    pub fn local_numel(&self, binding: &Binding) -> Result<u64, CoreError> {
+        let total = self.numel(binding)?;
+        let k = binding.group_size as u64;
+        if self.layout.is_sliced() && total % k != 0 {
+            return Err(CoreError::IndivisibleSize {
+                what: format!("sliced tensor {}", self.shape),
+                total,
+                parts: k,
+            });
+        }
+        Ok(self.layout.local_numel(total, k))
+    }
+
+    /// Per-rank storage in bytes under a binding.
+    ///
+    /// # Errors
+    ///
+    /// See [`TensorType::local_numel`].
+    pub fn local_bytes(&self, binding: &Binding) -> Result<u64, CoreError> {
+        Ok(self.local_numel(binding)? * self.dtype.size_bytes() as u64)
+    }
+}
+
+impl fmt::Display for TensorType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.dtype, self.shape, self.layout)?;
+        if self.group_shift > 0 {
+            write!(f, "@GROUP+{}", self.group_shift)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_local() {
+        let b = Binding::new(4).bind("H", 64);
+        let t = TensorType::new(DType::F16, ["H", "H"].into(), Layout::sliced(0));
+        assert_eq!(t.numel(&b).unwrap(), 4096);
+        assert_eq!(t.local_numel(&b).unwrap(), 1024);
+        assert_eq!(t.local_bytes(&b).unwrap(), 2048);
+
+        let r = TensorType::new(DType::F32, ["H"].into(), Layout::Replicated);
+        assert_eq!(r.local_numel(&b).unwrap(), 64);
+        assert_eq!(r.local_bytes(&b).unwrap(), 256);
+    }
+
+    #[test]
+    fn indivisible_slice_rejected() {
+        let b = Binding::new(3).bind("H", 64);
+        let t = TensorType::new(DType::F16, ["H"].into(), Layout::sliced(0));
+        assert!(matches!(
+            t.local_numel(&b),
+            Err(CoreError::IndivisibleSize { .. })
+        ));
+    }
+
+    #[test]
+    fn display() {
+        let t = TensorType::new(DType::F16, ["B", "H"].into(), Layout::Local);
+        assert_eq!(t.to_string(), "(FP16, [B,H], Local)");
+        let mut s = TensorType::scalar(DType::F32);
+        s.group_shift = 1;
+        assert_eq!(s.to_string(), "(FP32, [], Replicated)@GROUP+1");
+    }
+}

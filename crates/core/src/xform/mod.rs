@@ -1,0 +1,39 @@
+//! The four semantics-preserving transformations of §3, plus the
+//! optimizer-state slicing helpers of §4.
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | `split(v, ARSplitRSAG)` | [`split_all_reduce`] |
+//! | `reorder(comps..., ag)` | [`reorder_all_gather`] |
+//! | `fuse(..., ComputationFuse)` | [`fuse_compute`] |
+//! | `fuse(rs, comps, ag, AllReduceFuse)` | [`fuse_all_reduce`] |
+//! | `fuse(comps, send, SendFuse)` | [`fuse_send`] |
+//! | `overlap(ops...)` | [`overlap`] |
+//! | `asSlice(t)` | [`as_slice`] |
+//! | `dead(ag)` | [`dead`] |
+//!
+//! Every transformation checks its validity rule and returns a
+//! [`CoreError::InvalidTransform`] when it does not hold — "CoCoNet
+//! automatically checks the validity of each transformation based on
+//! these rules and throws an error for an invalid transformation."
+
+mod fuse;
+mod overlap;
+mod reorder;
+mod split;
+mod state;
+
+pub use fuse::{fuse_all_reduce, fuse_compute, fuse_send};
+pub use overlap::overlap;
+pub use reorder::{reorder_all_gather, ReorderResult};
+pub use split::split_all_reduce;
+pub use state::{as_slice, dead};
+
+use crate::CoreError;
+
+pub(crate) fn invalid(transform: &str, detail: impl Into<String>) -> CoreError {
+    CoreError::InvalidTransform {
+        transform: transform.to_string(),
+        detail: detail.into(),
+    }
+}

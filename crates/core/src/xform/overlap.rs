@@ -1,0 +1,155 @@
+//! The `overlap` transformation (§3.4).
+//!
+//! Overlap schedules a producer–consumer chain of operations to execute
+//! with fine-grained chunk pipelining (§5.3): the MatMul produces
+//! chunks in the order the ring AllReduce consumes them, or a
+//! ReduceScatter / P2P / AllGather pipeline streams buffer tiles across
+//! the NVLink and InfiniBand fabrics simultaneously (Figure 7b).
+//!
+//! Like fusion, overlap is a schedule annotation: the program's
+//! semantics are unchanged.
+
+use std::collections::HashSet;
+
+use crate::{CoreError, OverlapGroup, Program, VarId};
+
+use super::invalid;
+
+/// Overlaps the given stages (the paper's
+/// `overlap(layer, fusedAR)` / `overlap(rsSum, scSend, agOut)`).
+///
+/// Each stage id may name any node; if the node belongs to a fusion
+/// group the whole group becomes the stage. Validity (§3.4):
+/// "Overlapping multiple operations is valid only when all operations
+/// have a producer-consumer relationship between them" — each stage
+/// must read a value produced by the previous stage.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidTransform`] when fewer than two stages
+/// are given, a stage repeats, consecutive stages lack a
+/// producer–consumer edge, or a stage already belongs to an overlap
+/// group.
+pub fn overlap(p: &mut Program, stages: &[VarId]) -> Result<(), CoreError> {
+    if stages.len() < 2 {
+        return Err(invalid("overlap", "need at least two operations to overlap"));
+    }
+    // Expand each stage to its fusion group (or itself).
+    let mut expanded: Vec<Vec<VarId>> = Vec::with_capacity(stages.len());
+    for &s in stages {
+        p.node(s)?;
+        let members = match p.fusion_group_of(s) {
+            Some(idx) => p.fusion_groups()[idx].members.clone(),
+            None => vec![s],
+        };
+        expanded.push(members);
+    }
+    // Stages must be disjoint.
+    let mut seen: HashSet<VarId> = HashSet::new();
+    for stage in &expanded {
+        for &m in stage {
+            if !seen.insert(m) {
+                return Err(invalid(
+                    "overlap",
+                    format!("{} appears in more than one stage", p.node(m)?.name()),
+                ));
+            }
+        }
+    }
+    // No member may already be scheduled in an overlap group.
+    for g in p.overlap_groups() {
+        for m in &g.members {
+            if seen.contains(m) {
+                return Err(invalid(
+                    "overlap",
+                    format!("{} is already overlapped", p.node(*m)?.name()),
+                ));
+            }
+        }
+    }
+    // Producer-consumer rule between consecutive stages.
+    for pair in expanded.windows(2) {
+        let (prev, next) = (&pair[0], &pair[1]);
+        let prev_set: HashSet<VarId> = prev.iter().copied().collect();
+        let connected = next.iter().any(|&n| {
+            p.node(n)
+                .map(|node| node.op().inputs().iter().any(|i| prev_set.contains(i)))
+                .unwrap_or(false)
+        });
+        if !connected {
+            return Err(invalid(
+                "overlap",
+                "consecutive stages have no producer-consumer relationship",
+            ));
+        }
+    }
+    let members: Vec<VarId> = expanded.into_iter().flatten().collect();
+    p.add_overlap_group(OverlapGroup { members });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xform::{fuse_all_reduce, reorder_all_gather, split_all_reduce};
+    use crate::{DType, Layout, Program, ReduceOp};
+
+    /// Builds the paper's program 4 of Figure 4 (overlap(MatMul, FusedAR)).
+    fn overlapped_example() -> (Program, VarId, VarId) {
+        let mut p = Program::new("self_attention");
+        let w = p.input("w", DType::F16, ["H", "H"], Layout::sliced(0));
+        let b = p.input("b", DType::F16, ["H"], Layout::Replicated);
+        let input = p.input("in", DType::F16, ["B", "S", "H"], Layout::sliced(2));
+        let r = p.input("r", DType::F16, ["B", "S", "H"], Layout::Replicated);
+        let layer = p.matmul(input, w).unwrap();
+        p.set_name(layer, "layer").unwrap();
+        let sum = p.all_reduce(ReduceOp::Sum, layer).unwrap();
+        let biased = p.add(sum, b).unwrap();
+        let d = p.dropout(biased, 0.1).unwrap();
+        let out = p.add(d, r).unwrap();
+        p.set_io(&[w, input, b, r], &[out]).unwrap();
+        let (rs, ag) = split_all_reduce(&mut p, sum).unwrap();
+        let result = reorder_all_gather(&mut p, ag, &[biased, d, out]).unwrap();
+        let new_ag = result.gathers[0].1;
+        fuse_all_reduce(&mut p, rs, &result.sliced, &[new_ag]).unwrap();
+        (p, layer, rs)
+    }
+
+    #[test]
+    fn overlap_matmul_with_fused_allreduce() {
+        let (mut p, layer, rs) = overlapped_example();
+        overlap(&mut p, &[layer, rs]).unwrap();
+        p.validate().unwrap();
+        assert_eq!(p.overlap_groups().len(), 1);
+        let group = &p.overlap_groups()[0];
+        // The group contains the MatMul plus the whole fused collective.
+        assert!(group.members.contains(&layer));
+        assert!(group.members.contains(&rs));
+        assert!(group.members.len() >= 4);
+    }
+
+    #[test]
+    fn overlap_requires_producer_consumer() {
+        let mut p = Program::new("t");
+        let a = p.input("a", DType::F32, ["N"], Layout::Local);
+        let b = p.input("b", DType::F32, ["N"], Layout::Local);
+        let ar_a = p.all_reduce(ReduceOp::Sum, a).unwrap();
+        let ar_b = p.all_reduce(ReduceOp::Sum, b).unwrap();
+        p.set_io(&[a, b], &[ar_a, ar_b]).unwrap();
+        // Independent collectives: no producer-consumer edge.
+        assert!(matches!(
+            overlap(&mut p, &[ar_a, ar_b]),
+            Err(CoreError::InvalidTransform { .. })
+        ));
+    }
+
+    #[test]
+    fn overlap_rejects_single_stage_and_duplicates() {
+        let (mut p, layer, rs) = overlapped_example();
+        assert!(overlap(&mut p, &[layer]).is_err());
+        assert!(overlap(&mut p, &[layer, layer]).is_err());
+        overlap(&mut p, &[layer, rs]).unwrap();
+        // Overlapping the same ops again is rejected.
+        assert!(overlap(&mut p, &[layer, rs]).is_err());
+    }
+}

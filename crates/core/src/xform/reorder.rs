@@ -1,0 +1,362 @@
+//! The `reorder` transformation (§3.2).
+//!
+//! Reorders an AllGather with the computations (and P2P sends) that
+//! consume it: the computations run on each rank's *slice* instead of
+//! on the replicated tensor, replicated full-shape operands are wrapped
+//! in `Slice(...)`, and fresh AllGathers re-materialize whichever
+//! results escape the reordered region.
+
+use std::collections::HashSet;
+
+use crate::infer;
+use crate::{CoreError, Layout, OpKind, Program, SliceDim, VarId};
+
+use super::invalid;
+
+/// The result of [`reorder_all_gather`].
+#[derive(Clone, Debug)]
+pub struct ReorderResult {
+    /// The reordered computations, now sliced.
+    pub sliced: Vec<VarId>,
+    /// `(member, gather)` pairs: for each member whose value escapes
+    /// the region, the fresh AllGather that re-materializes it
+    /// (`agP`, `agM`, `agV` in Figure 6b).
+    pub gathers: Vec<(VarId, VarId)>,
+}
+
+/// Reorders AllGather `ag` past the computations `comps` that consume
+/// its output (the paper's `AGReorder`).
+///
+/// Validity (§3.2): "the reorder transformation is valid only if
+/// operations being reordered with an AllGather can be sliced along the
+/// dimension the AllGather is performed". Concretely:
+///
+/// - every `comps` member is a pointwise computation, a norm-style
+///   reduction, or a P2P `Send` (MatMul/Convolution cannot be sliced
+///   along arbitrary dimensions and are rejected);
+/// - every consumer of `ag` is a member (the region swallows the
+///   gather);
+/// - members read only `ag`, other members, or replicated/constant
+///   values from outside;
+/// - replicated operands that cover the sliced dimension get a
+///   `Slice(...)` inserted (like `Slice(r)` in Figure 4-2), which must
+///   type-check.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidTransform`] when a rule fails, and
+/// propagates inference errors for rewrites that cannot be typed.
+pub fn reorder_all_gather(
+    p: &mut Program,
+    ag: VarId,
+    comps: &[VarId],
+) -> Result<ReorderResult, CoreError> {
+    // --- rule checks ----------------------------------------------------
+    let (x, slice_dim) = match p.node(ag)?.op() {
+        OpKind::AllGather(x) => {
+            let x = *x;
+            match p.ty(x)?.layout {
+                Layout::Sliced(d) => (x, d),
+                other => {
+                    return Err(invalid(
+                        "reorder",
+                        format!("AllGather input has layout {other}, expected sliced"),
+                    ));
+                }
+            }
+        }
+        other => {
+            return Err(CoreError::ExpectedOp {
+                expected: "AllGather".into(),
+                found: other.mnemonic(),
+            });
+        }
+    };
+    if comps.is_empty() {
+        return Err(invalid("reorder", "no computations to reorder with"));
+    }
+    if p.outputs().contains(&ag) {
+        return Err(invalid(
+            "reorder",
+            "the AllGather itself is a program output; nothing to reorder past",
+        ));
+    }
+    let region: HashSet<VarId> = comps.iter().copied().collect();
+    if region.len() != comps.len() {
+        return Err(invalid("reorder", "duplicate members in computation list"));
+    }
+    for &m in comps {
+        let node = p.node(m)?;
+        let ok = node.op().is_pointwise() || matches!(node.op(), OpKind::Send(..));
+        if !ok {
+            return Err(invalid(
+                "reorder",
+                format!(
+                    "{} ({}) cannot be sliced along the AllGather dimension",
+                    node.name(),
+                    node.op().mnemonic()
+                ),
+            ));
+        }
+    }
+    for c in p.consumers(ag) {
+        if !region.contains(&c) {
+            return Err(invalid(
+                "reorder",
+                format!(
+                    "consumer {} of the AllGather is outside the reordered region",
+                    p.node(c)?.name()
+                ),
+            ));
+        }
+    }
+    // Members may read: ag, other members, or replicated/scalar values
+    // from outside the region.
+    for &m in comps {
+        for dep in p.op(m)?.inputs() {
+            if dep == ag || region.contains(&dep) {
+                continue;
+            }
+            let ty = p.ty(dep)?;
+            if ty.layout != Layout::Replicated {
+                return Err(invalid(
+                    "reorder",
+                    format!(
+                        "member {} reads {} with layout {}; only replicated \
+                         values may cross into the region",
+                        p.node(m)?.name(),
+                        p.node(dep)?.name(),
+                        ty.layout
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Members whose value escapes: program outputs, consumers outside
+    // the region, or in-place updates (their target must be
+    // re-materialized unless later committed with asSlice).
+    let escaping: Vec<VarId> = comps
+        .iter()
+        .copied()
+        .filter(|&m| {
+            p.outputs().contains(&m)
+                || matches!(p.op(m), Ok(OpKind::Update(..)))
+                || p.consumers(m).iter().any(|c| !region.contains(c))
+        })
+        .collect();
+
+    // --- rewrite ----------------------------------------------------------
+    // After the reorder *every* member computes on slices ("the new
+    // sliced computations perform the same operations as original
+    // computations", §3.2), so any replicated operand entering the
+    // region whose shape covers the sliced dimension needs a Slice
+    // inserted — except Update targets, which stay raw (the update
+    // writes this rank's slice into the full buffer).
+    let topo: Vec<VarId> = p
+        .topo_order()
+        .into_iter()
+        .filter(|v| region.contains(v))
+        .collect();
+    let mut slice_cache: std::collections::HashMap<VarId, VarId> =
+        std::collections::HashMap::new();
+
+    for &m in &topo {
+        let mut op = p.node(m)?.op().clone();
+        op.replace_input(ag, x);
+        let out_shape = p.ty(m)?.shape.clone(); // global shapes do not change
+        let is_update = matches!(op, OpKind::Update(..));
+        for (i, dep) in op.inputs().iter().enumerate() {
+            if *dep == x || region.contains(dep) {
+                continue;
+            }
+            if is_update && i == 0 {
+                continue; // the Update target stays the raw input tensor
+            }
+            let dep_ty = p.ty(*dep)?.clone();
+            if dep_ty.layout == Layout::Replicated
+                && infer::replicated_conflicts(slice_dim, &out_shape, &dep_ty.shape)
+            {
+                let s = match slice_cache.get(dep) {
+                    Some(&s) => s,
+                    None => {
+                        let name = format!("sl{}", p.node(*dep)?.name());
+                        let s = p.slice(*dep)?;
+                        p.set_name(s, name)?;
+                        slice_cache.insert(*dep, s);
+                        s
+                    }
+                };
+                op.replace_input(*dep, s);
+            }
+        }
+        p.node_mut(m)?.op = op;
+    }
+
+    // Retire the original AllGather before re-inference (no consumers
+    // remain inside the region).
+    p.mark_deleted(ag);
+    p.remove_from_groups(ag);
+    p.reinfer().map_err(|e| {
+        invalid(
+            "reorder",
+            format!("region cannot be sliced along dimension {slice_dim}: {e}"),
+        )
+    })?;
+
+    // Fresh AllGathers for escaping sliced values, rewiring only
+    // consumers outside the region.
+    let mut gathers = Vec::new();
+    for m in escaping {
+        if !p.ty(m)?.layout.is_sliced() {
+            continue;
+        }
+        let name = format!("ag{}", p.node(m)?.name());
+        let new_ag = p.all_gather(m)?;
+        p.set_name(new_ag, name)?;
+        let outside: Vec<VarId> = p
+            .consumers(m)
+            .into_iter()
+            .filter(|c| !region.contains(c) && *c != new_ag)
+            .collect();
+        for c in outside {
+            p.node_mut(c)?.op.replace_input(m, new_ag);
+        }
+        let outputs: Vec<VarId> = p
+            .outputs()
+            .iter()
+            .map(|&o| if o == m { new_ag } else { o })
+            .collect();
+        p.set_outputs(outputs);
+        gathers.push((m, new_ag));
+    }
+    p.reinfer()?;
+    Ok(ReorderResult {
+        sliced: topo,
+        gathers,
+    })
+}
+
+/// The slice dimension notion used by reorder diagnostics.
+#[allow(dead_code)]
+fn slice_dim_name(d: SliceDim) -> String {
+    d.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xform::split_all_reduce;
+    use crate::{DType, ReduceOp};
+
+    /// Figure 4-1 -> Figure 4-2: the running example after split, then
+    /// reorder of the Dropout chain with the AllGather.
+    fn program_after_split() -> (Program, VarId, VarId, Vec<VarId>) {
+        let mut p = Program::new("self_attention");
+        let w = p.input("w", DType::F16, ["H", "H"], Layout::sliced(0));
+        let b = p.input("b", DType::F16, ["H"], Layout::Replicated);
+        let input = p.input("in", DType::F16, ["B", "S", "H"], Layout::sliced(2));
+        let r = p.input("r", DType::F16, ["B", "S", "H"], Layout::Replicated);
+        let layer = p.matmul(input, w).unwrap();
+        p.set_name(layer, "layer").unwrap();
+        let sum = p.all_reduce(ReduceOp::Sum, layer).unwrap();
+        p.set_name(sum, "sum").unwrap();
+        let biased = p.add(sum, b).unwrap();
+        let d = p.dropout(biased, 0.1).unwrap();
+        p.set_name(d, "d").unwrap();
+        let out = p.add(d, r).unwrap();
+        p.set_name(out, "out").unwrap();
+        p.set_io(&[w, input, b, r], &[out]).unwrap();
+        let (rs, ag) = split_all_reduce(&mut p, sum).unwrap();
+        (p, rs, ag, vec![biased, d, out])
+    }
+
+    #[test]
+    fn reorder_running_example() {
+        let (mut p, rs, ag, comps) = program_after_split();
+        let result = reorder_all_gather(&mut p, ag, &comps).unwrap();
+        p.validate().unwrap();
+
+        // The computations are now sliced.
+        for &m in &result.sliced {
+            assert!(
+                p.ty(m).unwrap().layout.is_sliced(),
+                "{} should be sliced",
+                p.node(m).unwrap().name()
+            );
+        }
+        // Exactly one escaping value (the program output) was gathered.
+        assert_eq!(result.gathers.len(), 1);
+        let (_, ag_out) = result.gathers[0];
+        assert_eq!(p.outputs(), &[ag_out]);
+        assert_eq!(p.ty(ag_out).unwrap().layout, Layout::Replicated);
+
+        // A Slice(r) was inserted (r covers the sliced region), but the
+        // bias b was left whole (it broadcasts from the trailing dim).
+        let dsl = p.to_dsl_string();
+        assert!(dsl.contains("Slice(r)"), "missing Slice(r) in:\n{dsl}");
+        assert!(!dsl.contains("Slice(b)"), "b must not be sliced:\n{dsl}");
+
+        // The computations read the ReduceScatter output directly.
+        let biased = result.sliced[0];
+        assert!(p.op(biased).unwrap().inputs().contains(&rs));
+    }
+
+    #[test]
+    fn reorder_rejects_partial_region() {
+        let (mut p, _, ag, comps) = program_after_split();
+        // Leaving out the dropout's consumer chain member makes the
+        // region not swallow all consumers of intermediate values; the
+        // first member list missing the direct AllGather consumer fails.
+        assert!(matches!(
+            reorder_all_gather(&mut p, ag, &comps[1..]),
+            Err(CoreError::InvalidTransform { .. })
+        ));
+    }
+
+    #[test]
+    fn reorder_rejects_matmul_member() {
+        let mut p = Program::new("t");
+        let g = p.input("g", DType::F16, ["N", "N"], Layout::Local);
+        let w = p.input("w", DType::F16, ["N", "N"], Layout::Replicated);
+        let sum = p.all_reduce(ReduceOp::Sum, g).unwrap();
+        let mm = p.matmul(sum, w).unwrap();
+        p.set_io(&[g, w], &[mm]).unwrap();
+        let (_, ag) = split_all_reduce(&mut p, sum).unwrap();
+        assert!(matches!(
+            reorder_all_gather(&mut p, ag, &[mm]),
+            Err(CoreError::InvalidTransform { .. })
+        ));
+    }
+
+    #[test]
+    fn reorder_rejects_non_allgather() {
+        let (mut p, rs, _, comps) = program_after_split();
+        assert!(matches!(
+            reorder_all_gather(&mut p, rs, &comps),
+            Err(CoreError::ExpectedOp { .. })
+        ));
+    }
+
+    #[test]
+    fn reorder_with_update_creates_gather_per_update() {
+        // A miniature Adam: p -= avg * lr, with p replicated.
+        let mut prog = Program::new("mini_adam");
+        let g = prog.input("g", DType::F32, ["N"], Layout::Local);
+        let param = prog.input("p", DType::F32, ["N"], Layout::Replicated);
+        let lr = prog.scalar_input("lr", DType::F32);
+        let avg = prog.all_reduce(ReduceOp::Sum, g).unwrap();
+        let step = prog.mul(avg, lr).unwrap();
+        let newp = prog.sub(param, step).unwrap();
+        let upd = prog.update(param, newp).unwrap();
+        prog.set_io(&[g, param, lr], &[upd]).unwrap();
+        let (_, ag) = split_all_reduce(&mut prog, avg).unwrap();
+        let result = reorder_all_gather(&mut prog, ag, &[step, newp, upd]).unwrap();
+        prog.validate().unwrap();
+        // The update escapes; a gather re-materializes the parameter.
+        assert_eq!(result.gathers.len(), 1);
+        assert_eq!(result.gathers[0].0, upd);
+        // `p - step`: p (replicated, full shape) must have been sliced.
+        assert!(prog.to_dsl_string().contains("Slice(p)"));
+    }
+}

@@ -1,0 +1,120 @@
+//! The `split` transformation (§3.1).
+
+use crate::{CoreError, OpKind, Program, VarId};
+
+use super::invalid;
+
+/// Splits an AllReduce into a ReduceScatter followed by an AllGather
+/// (the paper's `ARSplitRSAG` policy); consumers of the AllReduce are
+/// rewired to the AllGather.
+///
+/// Returns `(rs, ag)`.
+///
+/// "Since an AllReduce can always be split to a ReduceScatter and an
+/// AllGather, this transformation is always valid" — the only failure
+/// modes are passing something that is not an AllReduce.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ExpectedOp`] when `ar` is not an AllReduce and
+/// [`CoreError::UnknownVar`] when it is dead.
+///
+/// # Examples
+///
+/// ```
+/// use coconet_core::{xform, DType, Layout, Program, ReduceOp};
+///
+/// let mut p = Program::new("adam_step");
+/// let g = p.input("g", DType::F16, ["N"], Layout::Local);
+/// let avg = p.all_reduce(ReduceOp::Sum, g)?;
+/// p.set_io(&[g], &[avg])?;
+/// let (rs, ag) = xform::split_all_reduce(&mut p, avg)?;
+/// assert_eq!(p.outputs(), &[ag]);
+/// assert!(p.ty(rs)?.layout.is_sliced());
+/// # Ok::<(), coconet_core::CoreError>(())
+/// ```
+pub fn split_all_reduce(p: &mut Program, ar: VarId) -> Result<(VarId, VarId), CoreError> {
+    let node = p.node(ar)?;
+    let (op, input) = match node.op() {
+        OpKind::AllReduce(op, input) => (*op, *input),
+        other => {
+            return Err(CoreError::ExpectedOp {
+                expected: "AllReduce".into(),
+                found: other.mnemonic(),
+            });
+        }
+    };
+    if p.fusion_group_of(ar).is_some() {
+        return Err(invalid("split", "AllReduce is already inside a fusion group"));
+    }
+    let base = node.name().to_string();
+    let rs = p.reduce_scatter(op, input)?;
+    p.set_name(rs, format!("rs{base}"))?;
+    let ag = p.all_gather(rs)?;
+    p.set_name(ag, format!("ag{base}"))?;
+    p.replace_uses(ar, ag);
+    p.mark_deleted(ar);
+    p.remove_from_groups(ar);
+    p.reinfer()?;
+    Ok((rs, ag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DType, Layout, ReduceOp};
+
+    fn simple_program() -> (Program, VarId, VarId) {
+        let mut p = Program::new("t");
+        let g = p.input("g", DType::F16, ["N"], Layout::Local);
+        let sum = p.all_reduce(ReduceOp::Sum, g).unwrap();
+        p.set_name(sum, "sum").unwrap();
+        let two = p.constant(2.0);
+        let out = p.mul(sum, two).unwrap();
+        p.set_io(&[g], &[out]).unwrap();
+        (p, sum, out)
+    }
+
+    #[test]
+    fn split_rewires_consumers() {
+        let (mut p, sum, out) = simple_program();
+        let (rs, ag) = split_all_reduce(&mut p, sum).unwrap();
+        p.validate().unwrap();
+        // The multiply now reads the AllGather.
+        assert!(p.op(out).unwrap().inputs().contains(&ag));
+        // Types: rs sliced, ag replicated.
+        assert!(p.ty(rs).unwrap().layout.is_sliced());
+        assert_eq!(p.ty(ag).unwrap().layout, Layout::Replicated);
+        // The original AllReduce is gone.
+        assert!(p.node(sum).is_err());
+        // Names follow the paper's convention.
+        assert_eq!(p.node(rs).unwrap().name(), "rssum");
+        assert_eq!(p.node(ag).unwrap().name(), "agsum");
+    }
+
+    #[test]
+    fn split_replaces_program_outputs() {
+        let mut p = Program::new("t");
+        let g = p.input("g", DType::F16, ["N"], Layout::Local);
+        let sum = p.all_reduce(ReduceOp::Sum, g).unwrap();
+        p.set_io(&[g], &[sum]).unwrap();
+        let (_, ag) = split_all_reduce(&mut p, sum).unwrap();
+        assert_eq!(p.outputs(), &[ag]);
+    }
+
+    #[test]
+    fn split_rejects_non_allreduce() {
+        let (mut p, _, out) = simple_program();
+        assert!(matches!(
+            split_all_reduce(&mut p, out),
+            Err(CoreError::ExpectedOp { .. })
+        ));
+    }
+
+    #[test]
+    fn split_twice_fails() {
+        let (mut p, sum, _) = simple_program();
+        split_all_reduce(&mut p, sum).unwrap();
+        assert!(split_all_reduce(&mut p, sum).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! Optimizer-state slicing: `asSlice` and `dead` (§4, Figure 6b).
+//!
+//! After a `reorder`, optimizer state updates compute on slices but the
+//! state tensors are still declared replicated, and AllGathers
+//! re-materialize them each step. `asSlice(m)` commits a state tensor
+//! to *stay* sliced across iterations — "slices optimizer states on all
+//! ranks to decrease memory usage" — after which the corresponding
+//! AllGather is dead and can be removed with `dead(agM)`.
+
+use crate::{CoreError, Layout, OpKind, Program, VarId};
+
+use super::invalid;
+
+/// Changes a declared replicated input tensor to the flat-sliced
+/// layout, removing now-redundant `Slice(...)` nodes on it.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ExpectedOp`] when `input` is not a declared
+/// input tensor, and [`CoreError::InvalidTransform`] when the tensor is
+/// not replicated or a consumer cannot type-check against the sliced
+/// layout (e.g. it is still read as a whole tensor somewhere).
+pub fn as_slice(p: &mut Program, input: VarId) -> Result<(), CoreError> {
+    let node = p.node(input)?;
+    if !matches!(node.op(), OpKind::Input) {
+        return Err(CoreError::ExpectedOp {
+            expected: "Input tensor".into(),
+            found: node.op().mnemonic(),
+        });
+    }
+    if node.ty().layout != Layout::Replicated {
+        return Err(invalid(
+            "asSlice",
+            format!("{} is {}, expected Replicated", node.name(), node.ty().layout),
+        ));
+    }
+    // Commit the layout change.
+    p.node_mut(input)?.ty.layout = Layout::sliced_flat();
+
+    // `Slice(input)` nodes become identities: rewire and delete.
+    let slices: Vec<VarId> = p
+        .live_vars()
+        .into_iter()
+        .filter(|&v| matches!(p.op(v), Ok(&OpKind::Slice(s)) if s == input))
+        .collect();
+    for s in slices {
+        p.replace_uses(s, input);
+        p.mark_deleted(s);
+        p.remove_from_groups(s);
+    }
+
+    p.reinfer().map_err(|e| {
+        invalid(
+            "asSlice",
+            format!("a consumer still reads the tensor as replicated: {e}"),
+        )
+    })
+}
+
+/// Removes a dead AllGather (the paper's `dead(agM)`): one whose output
+/// is not consumed. If it is listed as a program output, the sliced
+/// input takes its place.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ExpectedOp`] when `ag` is not an AllGather and
+/// [`CoreError::InvalidTransform`] when its output still has consumers.
+pub fn dead(p: &mut Program, ag: VarId) -> Result<(), CoreError> {
+    let input = match p.node(ag)?.op() {
+        OpKind::AllGather(x) => *x,
+        other => {
+            return Err(CoreError::ExpectedOp {
+                expected: "AllGather".into(),
+                found: other.mnemonic(),
+            });
+        }
+    };
+    let consumers = p.consumers(ag);
+    if !consumers.is_empty() {
+        return Err(invalid(
+            "dead",
+            format!(
+                "AllGather {} still has {} consumer(s)",
+                p.node(ag)?.name(),
+                consumers.len()
+            ),
+        ));
+    }
+    let outputs: Vec<VarId> = p
+        .outputs()
+        .iter()
+        .map(|&o| if o == ag { input } else { o })
+        .collect();
+    p.set_outputs(outputs);
+    p.mark_deleted(ag);
+    p.remove_from_groups(ag);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xform::{reorder_all_gather, split_all_reduce};
+    use crate::{DType, ReduceOp};
+
+    /// A miniature data-parallel update with one state tensor `m`:
+    ///   avg = AllReduce(g); m_ = Update(m, m*0.9 + avg); out = m_.
+    fn mini_state_program() -> (Program, VarId, VarId, Vec<VarId>) {
+        let mut p = Program::new("mini");
+        let g = p.input("g", DType::F32, ["N"], Layout::Local);
+        let m = p.input("m", DType::F32, ["N"], Layout::Replicated);
+        let avg = p.all_reduce(ReduceOp::Sum, g).unwrap();
+        let beta = p.constant(0.9);
+        let decayed = p.mul(m, beta).unwrap();
+        let value = p.add(decayed, avg).unwrap();
+        let m_ = p.update(m, value).unwrap();
+        p.set_name(m_, "m_").unwrap();
+        p.set_io(&[g, m], &[m_]).unwrap();
+        (p, g, m, vec![decayed, value, m_])
+    }
+
+    #[test]
+    fn as_slice_then_dead_removes_gather() {
+        let (mut p, _, m, comps) = mini_state_program();
+        let avg = p
+            .live_vars()
+            .into_iter()
+            .find(|&v| matches!(p.op(v).unwrap(), OpKind::AllReduce(..)))
+            .unwrap();
+        let (_, ag) = split_all_reduce(&mut p, avg).unwrap();
+        let result = reorder_all_gather(&mut p, ag, &comps).unwrap();
+        // The update escaped: one gather (agM analog).
+        assert_eq!(result.gathers.len(), 1);
+        let (m_upd, ag_m) = result.gathers[0];
+        // reorder inserted Slice(m); asSlice removes it and slices m.
+        assert!(p.to_dsl_string().contains("Slice(m)"));
+        as_slice(&mut p, m).unwrap();
+        assert!(!p.to_dsl_string().contains("Slice(m)"));
+        assert_eq!(p.ty(m).unwrap().layout, Layout::sliced_flat());
+        // The gather on the program output is now removable: program
+        // output becomes the sliced update.
+        dead(&mut p, ag_m).unwrap();
+        assert_eq!(p.outputs(), &[m_upd]);
+        p.validate().unwrap();
+        // Memory: the state tensor is 1/k per rank now.
+        let binding = crate::Binding::new(4).bind("N", 64);
+        assert_eq!(p.ty(m).unwrap().local_numel(&binding).unwrap(), 16);
+    }
+
+    #[test]
+    fn as_slice_rejects_non_replicated_and_non_input() {
+        let (mut p, g, m, _) = mini_state_program();
+        assert!(as_slice(&mut p, g).is_err(), "g is Local");
+        let not_input = p.outputs()[0];
+        assert!(matches!(
+            as_slice(&mut p, not_input),
+            Err(CoreError::ExpectedOp { .. })
+        ));
+        // m is read as a whole (no reorder happened): asSlice must fail
+        // because `m * beta` would mix sliced and replicated full shapes.
+        // (Scalar beta broadcasts fine, so this particular read is
+        // actually sliceable; the Update of m with a replicated value is
+        // what fails.)
+        assert!(as_slice(&mut p, m).is_err());
+    }
+
+    #[test]
+    fn dead_rejects_live_gather() {
+        let (mut p, _, _, _) = mini_state_program();
+        let avg = p
+            .live_vars()
+            .into_iter()
+            .find(|&v| matches!(p.op(v).unwrap(), OpKind::AllReduce(..)))
+            .unwrap();
+        let (_, ag) = split_all_reduce(&mut p, avg).unwrap();
+        // ag feeds the computations: not dead.
+        assert!(matches!(
+            dead(&mut p, ag),
+            Err(CoreError::InvalidTransform { .. })
+        ));
+    }
+}

@@ -1,0 +1,132 @@
+//! Model configurations used in the paper's evaluation (§6).
+
+/// A transformer language-model configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelConfig {
+    /// Display name.
+    pub name: &'static str,
+    /// Number of transformer layers.
+    pub layers: usize,
+    /// Hidden dimension `H`.
+    pub hidden: usize,
+    /// Sequence length `S` used in evaluation.
+    pub seq: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Vocabulary size (for the embedding parameters).
+    pub vocab: usize,
+}
+
+impl ModelConfig {
+    /// BERT 336M (NVIDIA BERT-Large).
+    pub fn bert_336m() -> ModelConfig {
+        ModelConfig {
+            name: "BERT 336M",
+            layers: 24,
+            hidden: 1024,
+            seq: 512,
+            heads: 16,
+            vocab: 30528,
+        }
+    }
+
+    /// BERT 1.2B.
+    pub fn bert_1_2b() -> ModelConfig {
+        ModelConfig {
+            name: "BERT 1.2B",
+            layers: 24,
+            hidden: 2048,
+            seq: 512,
+            heads: 32,
+            vocab: 30528,
+        }
+    }
+
+    /// BERT 3.9B — trainable with data parallelism only through
+    /// CoCoNet's sliced optimizer state (§6.1.2).
+    pub fn bert_3_9b() -> ModelConfig {
+        ModelConfig {
+            name: "BERT 3.9B",
+            layers: 48,
+            hidden: 2560,
+            seq: 512,
+            heads: 40,
+            vocab: 30528,
+        }
+    }
+
+    /// GPT-2 8.3B (Megatron-LM), used for model and pipeline
+    /// parallelism (§6.2/6.3): S = 1024, H = 3072.
+    pub fn gpt2_8_3b() -> ModelConfig {
+        ModelConfig {
+            name: "GPT-2 8.3B",
+            layers: 72,
+            hidden: 3072,
+            seq: 1024,
+            heads: 24,
+            vocab: 50257,
+        }
+    }
+
+    /// GPT-3 175B, used for pipeline parallelism (§6.3): S = 2048,
+    /// H = 12288.
+    pub fn gpt3_175b() -> ModelConfig {
+        ModelConfig {
+            name: "GPT-3 175B",
+            layers: 96,
+            hidden: 12288,
+            seq: 2048,
+            heads: 96,
+            vocab: 50257,
+        }
+    }
+
+    /// Approximate parameter count: `12 L H^2` for transformer blocks
+    /// plus the embedding matrix.
+    pub fn params(&self) -> u64 {
+        12 * self.layers as u64 * (self.hidden as u64).pow(2)
+            + self.vocab as u64 * self.hidden as u64
+    }
+
+    /// Forward+backward FLOPs per trained token (the standard `6 N`
+    /// rule for dense transformers).
+    pub fn train_flops_per_token(&self) -> f64 {
+        6.0 * self.params() as f64
+    }
+
+    /// Forward-only FLOPs per token (`2 N`).
+    pub fn infer_flops_per_token(&self) -> f64 {
+        2.0 * self.params() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_counts_match_names() {
+        let within = |cfg: ModelConfig, expected: f64| {
+            let p = cfg.params() as f64;
+            assert!(
+                (p / expected - 1.0).abs() < 0.15,
+                "{}: {p} vs {expected}",
+                cfg.name
+            );
+        };
+        within(ModelConfig::bert_336m(), 336e6);
+        within(ModelConfig::bert_1_2b(), 1.2e9);
+        within(ModelConfig::bert_3_9b(), 3.9e9);
+        within(ModelConfig::gpt2_8_3b(), 8.3e9);
+        within(ModelConfig::gpt3_175b(), 175e9);
+    }
+
+    #[test]
+    fn flops_rules() {
+        let cfg = ModelConfig::bert_336m();
+        assert_eq!(
+            cfg.train_flops_per_token(),
+            3.0 * cfg.infer_flops_per_token()
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! GPU memory model for data-parallel training (Table 4).
+//!
+//! The headline shape of Table 4 is memory-driven: who goes out of
+//! memory, and which micro batch fits. Mixed-precision training stores
+//! FP16 parameters and gradients plus FP32 optimizer state (master
+//! weights, momentum, velocity = 12 bytes/param); baselines replicate
+//! the state on every GPU while ZeRO (Adam only) and CoCoNet shard it
+//! across all ranks. NV-BERT additionally allocates a contiguous
+//! gradient buffer for its single AllReduce.
+
+use crate::{ModelConfig, Optimizer};
+
+/// The data-parallel training implementations compared in Table 4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// NVIDIA BERT scripts: replicated state + contiguous grad buffer.
+    NvBert,
+    /// PyTorch DDP: replicated state + 25 MB gradient buckets.
+    PyTorchDdp,
+    /// ZeRO: sharded optimizer state for Adam; LAMB state cannot be
+    /// sharded (§6.1.2 — "significant engineering efforts are required
+    /// ... in a distributed LAMB implementation").
+    Zero,
+    /// CoCoNet's scattered-tensor `fuse(RS-Opt-AG)`: sharded state, no
+    /// contiguous buffer.
+    CoCoNet,
+}
+
+impl Strategy {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::NvBert => "NV BERT",
+            Strategy::PyTorchDdp => "PyTorch DDP",
+            Strategy::Zero => "ZeRO",
+            Strategy::CoCoNet => "CoCoNet",
+        }
+    }
+
+    /// All strategies in Table 4 column order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::NvBert,
+        Strategy::PyTorchDdp,
+        Strategy::Zero,
+        Strategy::CoCoNet,
+    ];
+}
+
+/// Memory-model constants (bytes). Calibrated in DESIGN.md.
+#[derive(Clone, Copy, Debug)]
+pub struct MemoryModel {
+    /// Usable GPU memory (32 GiB on a V100-32GB).
+    pub gpu_bytes: f64,
+    /// Framework/context/workspace overhead per GPU.
+    pub framework_overhead: f64,
+    /// Activation bytes per sample: `alpha * S * H * L * 2` for the
+    /// linear terms…
+    pub act_alpha: f64,
+    /// …plus `beta * S^2 * heads * L * 2` for attention scores.
+    pub act_beta: f64,
+}
+
+impl Default for MemoryModel {
+    fn default() -> MemoryModel {
+        MemoryModel {
+            gpu_bytes: 32.0 * (1u64 << 30) as f64,
+            framework_overhead: 1.5e9,
+            act_alpha: 12.0,
+            act_beta: 0.6,
+        }
+    }
+}
+
+impl MemoryModel {
+    /// Activation bytes for one sample of `cfg` at sequence length `seq`
+    /// (gradient checkpointing at transformer-block granularity).
+    pub fn activation_bytes_per_sample(&self, cfg: &ModelConfig, seq: usize) -> f64 {
+        let l = cfg.layers as f64;
+        let linear = self.act_alpha * seq as f64 * cfg.hidden as f64;
+        let scores = self.act_beta * (seq as f64).powi(2) * cfg.heads as f64;
+        (linear + scores) * l * 2.0
+    }
+
+    /// Fixed (batch-independent) memory for a strategy: parameters,
+    /// gradients, optimizer state (replicated or sharded), buffers.
+    pub fn fixed_bytes(
+        &self,
+        cfg: &ModelConfig,
+        opt: Optimizer,
+        strategy: Strategy,
+        ranks: usize,
+    ) -> f64 {
+        let params = cfg.params() as f64;
+        let p16 = 2.0 * params;
+        let g16 = 2.0 * params;
+        let state = 12.0 * params; // fp32 master + m + v
+        let state_sharded = state / ranks as f64;
+        let base = p16 + g16 + self.framework_overhead;
+        match (strategy, opt) {
+            (Strategy::NvBert, _) => base + state + g16, // contiguous grad buffer
+            (Strategy::PyTorchDdp, _) => base + state + 25e6 * 2.0, // two live buckets
+            (Strategy::Zero, Optimizer::Adam) => base + state_sharded,
+            (Strategy::Zero, Optimizer::Lamb) => base + state, // cannot shard LAMB
+            (Strategy::CoCoNet, _) => base + state_sharded, // scattered tensors: no copy buffer
+        }
+    }
+
+    /// The largest power-of-two micro batch that fits, additionally
+    /// capped by the per-GPU share of the global batch. `None` means
+    /// batch 1 does not fit (Table 4's OOM).
+    pub fn max_micro_batch(
+        &self,
+        cfg: &ModelConfig,
+        opt: Optimizer,
+        strategy: Strategy,
+        ranks: usize,
+        global_batch: usize,
+    ) -> Option<usize> {
+        let fixed = self.fixed_bytes(cfg, opt, strategy, ranks);
+        let act = self.activation_bytes_per_sample(cfg, cfg.seq);
+        let budget = self.gpu_bytes - fixed;
+        if budget < act {
+            return None;
+        }
+        let mem_max = (budget / act) as usize;
+        let cap = (global_batch / ranks).max(1);
+        let mut batch = 1usize;
+        while batch * 2 <= mem_max.min(cap) {
+            batch *= 2;
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RANKS: usize = 256;
+
+    fn model() -> MemoryModel {
+        MemoryModel::default()
+    }
+
+    #[test]
+    fn table4_adam_micro_batches() {
+        let m = model();
+        // 336M: everyone reaches the global-batch cap of 32.
+        for s in Strategy::ALL {
+            assert_eq!(
+                m.max_micro_batch(&ModelConfig::bert_336m(), Optimizer::Adam, s, RANKS, 8192),
+                Some(32),
+                "{}",
+                s.name()
+            );
+        }
+        // 1.2B: replicated state forces NV/DDP down to 8; sharded state
+        // allows 32.
+        let cfg = ModelConfig::bert_1_2b();
+        assert_eq!(
+            m.max_micro_batch(&cfg, Optimizer::Adam, Strategy::NvBert, RANKS, 8192),
+            Some(8)
+        );
+        assert_eq!(
+            m.max_micro_batch(&cfg, Optimizer::Adam, Strategy::PyTorchDdp, RANKS, 8192),
+            Some(8)
+        );
+        assert_eq!(
+            m.max_micro_batch(&cfg, Optimizer::Adam, Strategy::Zero, RANKS, 8192),
+            Some(32)
+        );
+        assert_eq!(
+            m.max_micro_batch(&cfg, Optimizer::Adam, Strategy::CoCoNet, RANKS, 8192),
+            Some(32)
+        );
+        // 3.9B: NV/DDP go OOM; ZeRO and CoCoNet train at micro batch 8.
+        let cfg = ModelConfig::bert_3_9b();
+        assert_eq!(
+            m.max_micro_batch(&cfg, Optimizer::Adam, Strategy::NvBert, RANKS, 8192),
+            None
+        );
+        assert_eq!(
+            m.max_micro_batch(&cfg, Optimizer::Adam, Strategy::PyTorchDdp, RANKS, 8192),
+            None
+        );
+        assert_eq!(
+            m.max_micro_batch(&cfg, Optimizer::Adam, Strategy::Zero, RANKS, 8192),
+            Some(8)
+        );
+        assert_eq!(
+            m.max_micro_batch(&cfg, Optimizer::Adam, Strategy::CoCoNet, RANKS, 8192),
+            Some(8)
+        );
+    }
+
+    #[test]
+    fn table4_lamb_zero_cannot_shard() {
+        let m = model();
+        // 3.9B LAMB: only CoCoNet trains (ZeRO cannot shard LAMB state).
+        let cfg = ModelConfig::bert_3_9b();
+        assert_eq!(
+            m.max_micro_batch(&cfg, Optimizer::Lamb, Strategy::Zero, RANKS, 65536),
+            None
+        );
+        assert_eq!(
+            m.max_micro_batch(&cfg, Optimizer::Lamb, Strategy::CoCoNet, RANKS, 65536),
+            Some(8)
+        );
+        // 1.2B LAMB: CoCoNet's sharded state allows a much larger micro
+        // batch than the replicated-state baselines.
+        let cfg = ModelConfig::bert_1_2b();
+        let coconet = m
+            .max_micro_batch(&cfg, Optimizer::Lamb, Strategy::CoCoNet, RANKS, 65536)
+            .unwrap();
+        let nv = m
+            .max_micro_batch(&cfg, Optimizer::Lamb, Strategy::NvBert, RANKS, 65536)
+            .unwrap();
+        assert!(coconet >= 4 * nv, "coconet {coconet} vs nv {nv}");
+    }
+
+    #[test]
+    fn sharding_saves_state_memory() {
+        let m = model();
+        let cfg = ModelConfig::bert_1_2b();
+        let replicated = m.fixed_bytes(&cfg, Optimizer::Adam, Strategy::NvBert, RANKS);
+        let sharded = m.fixed_bytes(&cfg, Optimizer::Adam, Strategy::CoCoNet, RANKS);
+        // 12 bytes/param of state plus the 2 bytes/param copy buffer.
+        let params = cfg.params() as f64;
+        assert!(replicated - sharded > 13.0 * params);
+    }
+
+    #[test]
+    fn activation_model_scales() {
+        let m = model();
+        let small = m.activation_bytes_per_sample(&ModelConfig::bert_336m(), 512);
+        let big = m.activation_bytes_per_sample(&ModelConfig::bert_1_2b(), 512);
+        assert!(big > 1.8 * small);
+        let short = m.activation_bytes_per_sample(&ModelConfig::bert_336m(), 128);
+        assert!(short < small / 3.0);
+    }
+}

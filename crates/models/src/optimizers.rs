@@ -1,0 +1,436 @@
+//! Adam and LAMB parameter-update programs (§4, Figure 6) and their
+//! schedules, plus pure-CPU reference implementations for correctness
+//! testing.
+
+use coconet_core::xform::{
+    as_slice, dead, fuse_all_reduce, fuse_compute, reorder_all_gather, split_all_reduce,
+};
+use coconet_core::{CoreError, DType, Layout, Program, ReduceOp, VarId};
+use coconet_tensor::Tensor;
+
+/// Which optimizer a data-parallel update program implements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Optimizer {
+    /// Adam (Kingma & Ba).
+    Adam,
+    /// LAMB (You et al.) — Adam plus trust-ratio layer scaling, which
+    /// needs two tensor norms (the embedded reductions of §5.2).
+    Lamb,
+}
+
+impl Optimizer {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Optimizer::Adam => "Adam",
+            Optimizer::Lamb => "LAMB",
+        }
+    }
+}
+
+/// Handles to the interesting variables of an optimizer program.
+#[derive(Clone, Debug)]
+pub struct OptimizerVars {
+    /// The gradient AllReduce.
+    pub avg: VarId,
+    /// All pointwise computation nodes, in topological order.
+    pub comps: Vec<VarId>,
+    /// The state tensors that `asSlice` may slice (`m`, `v`).
+    pub state: Vec<VarId>,
+    /// The parameter update node (`p_`).
+    pub p_updated: VarId,
+}
+
+/// Hyperparameters shared by the programs and the references.
+#[derive(Clone, Copy, Debug)]
+pub struct Hyper {
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical epsilon.
+    pub eps: f64,
+    /// Weight decay (LAMB).
+    pub lambda: f64,
+}
+
+impl Default for Hyper {
+    fn default() -> Hyper {
+        Hyper {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-6,
+            lambda: 0.01,
+        }
+    }
+}
+
+/// Builds the traditional data-parallel update of Figure 6a: gradients
+/// are FP16 and local to each rank; `p`, `m`, `v` are FP32 and
+/// replicated (mixed precision).
+///
+/// # Errors
+///
+/// Never fails for the fixed program shape; propagates builder errors.
+pub fn optimizer_program(
+    opt: Optimizer,
+    hyper: Hyper,
+) -> Result<(Program, OptimizerVars), CoreError> {
+    let mut p = Program::new(match opt {
+        Optimizer::Adam => "adam",
+        Optimizer::Lamb => "lamb",
+    });
+    let g = p.input("g", DType::F16, ["N"], Layout::Local);
+    let param = p.input("p", DType::F32, ["N"], Layout::Replicated);
+    let m = p.input("m", DType::F32, ["N"], Layout::Replicated);
+    let v = p.input("v", DType::F32, ["N"], Layout::Replicated);
+    let lr = p.scalar_input("lr", DType::F32);
+    let t = p.scalar_input("t", DType::F32);
+
+    let avg = p.all_reduce(ReduceOp::Sum, g)?;
+    p.set_name(avg, "avg")?;
+
+    let mut comps = Vec::new();
+
+    let b1 = p.constant(hyper.beta1);
+    let one_minus_b1 = p.constant(1.0 - hyper.beta1);
+    let b2 = p.constant(hyper.beta2);
+    let one_minus_b2 = p.constant(1.0 - hyper.beta2);
+    let eps = p.constant(hyper.eps);
+
+    // m_ = Update(m, m*beta1 + (1-beta1)*avg)
+    let m_decay = { let node = p.mul(m, b1)?; comps.push(node); node };
+    let g_scaled = { let node = p.mul(avg, one_minus_b1)?; comps.push(node); node };
+    let m_new = { let node = p.add(m_decay, g_scaled)?; comps.push(node); node };
+    let m_ = { let node = p.update(m, m_new)?; comps.push(node); node };
+    p.set_name(m_, "m_")?;
+    // v_ = Update(v, v*beta2 + (1-beta2)*avg*avg)
+    let v_decay = { let node = p.mul(v, b2)?; comps.push(node); node };
+    let g_sq = { let node = p.mul(avg, avg)?; comps.push(node); node };
+    let g_sq_scaled = { let node = p.mul(g_sq, one_minus_b2)?; comps.push(node); node };
+    let v_new = { let node = p.add(v_decay, g_sq_scaled)?; comps.push(node); node };
+    let v_ = { let node = p.update(v, v_new)?; comps.push(node); node };
+    p.set_name(v_, "v_")?;
+    // Bias correction: m1 = m_/(1 - beta1^t), v1 = v_/(1 - beta2^t).
+    let one = p.constant(1.0);
+    let b1t = { let node = p.pow(b1, t)?; comps.push(node); node };
+    let corr1 = { let node = p.sub(one, b1t)?; comps.push(node); node };
+    let m1 = { let node = p.div(m_, corr1)?; comps.push(node); node };
+    let b2t = { let node = p.pow(b2, t)?; comps.push(node); node };
+    let corr2 = { let node = p.sub(one, b2t)?; comps.push(node); node };
+    let v1 = { let node = p.div(v_, corr2)?; comps.push(node); node };
+
+    // update = m1 / (sqrt(v1) + eps) [+ lambda*p for LAMB]
+    let sq = { let node = p.sqrt(v1)?; comps.push(node); node };
+    let denom = { let node = p.add(sq, eps)?; comps.push(node); node };
+    let mut update = { let node = p.div(m1, denom)?; comps.push(node); node };
+    if opt == Optimizer::Lamb {
+        let lam = p.constant(hyper.lambda);
+        let decay = { let node = p.mul(param, lam)?; comps.push(node); node };
+        update = { let node = p.add(update, decay)?; comps.push(node); node };
+        p.set_name(update, "update")?;
+        // Trust ratio: r1/r2 over tensor norms.
+        let r1 = { let node = p.norm(param)?; comps.push(node); node };
+        p.set_name(r1, "r1")?;
+        let r2 = { let node = p.norm(update)?; comps.push(node); node };
+        p.set_name(r2, "r2")?;
+        let ratio = { let node = p.div(r1, r2)?; comps.push(node); node };
+        let scaled_lr = { let node = p.mul(lr, ratio)?; comps.push(node); node };
+        let step = { let node = p.mul(update, scaled_lr)?; comps.push(node); node };
+        let p_new = { let node = p.sub(param, step)?; comps.push(node); node };
+        let p_ = { let node = p.update(param, p_new)?; comps.push(node); node };
+        p.set_name(p_, "p_")?;
+        p.set_io(&[g, param, m, v, lr, t], &[p_])?;
+        return Ok((
+            p,
+            OptimizerVars {
+                avg,
+                comps,
+                state: vec![m, v],
+                p_updated: p_,
+            },
+        ));
+    }
+    // Adam: p_ = Update(p, p - lr * update)
+    let step = { let node = p.mul(update, lr)?; comps.push(node); node };
+    let p_new = { let node = p.sub(param, step)?; comps.push(node); node };
+    let p_ = { let node = p.update(param, p_new)?; comps.push(node); node };
+    p.set_name(p_, "p_")?;
+    p.set_io(&[g, param, m, v, lr, t], &[p_])?;
+    Ok((
+        p,
+        OptimizerVars {
+            avg,
+            comps,
+            state: vec![m, v],
+            p_updated: p_,
+        },
+    ))
+}
+
+/// The schedules of §6.1.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OptimizerSchedule {
+    /// `AR-Opt`: AllReduce + one fused computation kernel (emulating
+    /// Apex FusedAdam/FusedLAMB).
+    ArOpt,
+    /// `RS-Opt-AG` (GShard-Eq): split + reorder + sliced state, with
+    /// separate kernels.
+    RsOptAg,
+    /// `fuse(RS-Opt-AG)`: everything in a single FusedAllReduce.
+    FusedRsOptAg,
+}
+
+impl OptimizerSchedule {
+    /// Paper-style label, e.g. `fuse(RS-Adam-AG)`.
+    pub fn label(self, opt: Optimizer) -> String {
+        let o = match opt {
+            Optimizer::Adam => "Adam",
+            Optimizer::Lamb => "LAMB",
+        };
+        match self {
+            OptimizerSchedule::ArOpt => format!("AR-{o}"),
+            OptimizerSchedule::RsOptAg => format!("RS-{o}-AG"),
+            OptimizerSchedule::FusedRsOptAg => format!("fuse(RS-{o}-AG)"),
+        }
+    }
+}
+
+/// Applies a schedule to a freshly built optimizer program. Returns the
+/// transformed program and the transformation log (Table 3's schedule
+/// lines).
+///
+/// # Errors
+///
+/// Propagates transformation errors (none occur for these fixed
+/// programs).
+pub fn apply_optimizer_schedule(
+    opt: Optimizer,
+    hyper: Hyper,
+    schedule: OptimizerSchedule,
+) -> Result<(Program, Vec<String>), CoreError> {
+    let (mut p, vars) = optimizer_program(opt, hyper)?;
+    let mut log = Vec::new();
+    match schedule {
+        OptimizerSchedule::ArOpt => {
+            fuse_compute(&mut p, &vars.comps)?;
+            log.push("comps = fuse(.., ComputationFuse)".to_string());
+        }
+        OptimizerSchedule::RsOptAg | OptimizerSchedule::FusedRsOptAg => {
+            fuse_compute(&mut p, &vars.comps)?;
+            log.push("comps = fuse(.., ComputationFuse)".to_string());
+            let (rs, ag) = split_all_reduce(&mut p, vars.avg)?;
+            log.push("(rsG, agG) = split(avg, ARSplitRSAG)".to_string());
+            let result = reorder_all_gather(&mut p, ag, &vars.comps)?;
+            log.push("(scComp, agP, agM, agV) = reorder(agG, comps, AGReorder)".to_string());
+            // Slice the optimizer state; drop its gathers (Figure 6b
+            // line 6). The parameter gather (program output) stays.
+            let mut param_gathers = Vec::new();
+            for (member, gather) in &result.gathers {
+                if vars.state.iter().any(|&s| {
+                    matches!(p.op(*member), Ok(coconet_core::OpKind::Update(t, _)) if *t == s)
+                }) {
+                    let target = match p.op(*member) {
+                        Ok(coconet_core::OpKind::Update(t, _)) => *t,
+                        _ => unreachable!("filtered above"),
+                    };
+                    as_slice(&mut p, target)?;
+                    dead(&mut p, *gather)?;
+                    log.push(format!(
+                        "asSlice({}); dead({});",
+                        p.node(target)?.name(),
+                        gather
+                    ));
+                } else {
+                    param_gathers.push(*gather);
+                }
+            }
+            if schedule == OptimizerSchedule::FusedRsOptAg {
+                fuse_all_reduce(&mut p, rs, &vars.comps, &param_gathers)?;
+                log.push("fuseAR = fuse(rsG, scComp, agP, AllReduceFuse)".to_string());
+            }
+        }
+    }
+    p.validate()?;
+    Ok((p, log))
+}
+
+/// Reference CPU Adam/LAMB step over the *averaged* gradient; mutates
+/// `param`, `m`, `v` in place. Used by tests to validate the DSL
+/// programs end to end.
+#[allow(clippy::too_many_arguments)]
+#[allow(clippy::needless_range_loop)] // parallel-array update over shared index
+pub fn reference_step(
+    opt: Optimizer,
+    hyper: Hyper,
+    param: &mut Tensor,
+    m: &mut Tensor,
+    v: &mut Tensor,
+    grad_sum: &Tensor,
+    lr: f32,
+    t: f32,
+) {
+    let n = param.numel();
+    let b1 = hyper.beta1 as f32;
+    let b2 = hyper.beta2 as f32;
+    let corr1 = 1.0 - b1.powf(t);
+    let corr2 = 1.0 - b2.powf(t);
+    let mut update = vec![0.0f32; n];
+    for i in 0..n {
+        let g = grad_sum.get(i);
+        let mi = m.get(i) * b1 + (1.0 - b1) * g;
+        let vi = v.get(i) * b2 + (1.0 - b2) * g * g;
+        m.set(i, mi);
+        v.set(i, vi);
+        let m1 = mi / corr1;
+        let v1 = vi / corr2;
+        update[i] = m1 / (v1.sqrt() + hyper.eps as f32);
+        if opt == Optimizer::Lamb {
+            update[i] += hyper.lambda as f32 * param.get(i);
+        }
+    }
+    let scale = match opt {
+        Optimizer::Adam => lr,
+        Optimizer::Lamb => {
+            let r1: f64 = param.sum_squares().sqrt();
+            let r2: f64 = update
+                .iter()
+                .map(|&u| f64::from(u) * f64::from(u))
+                .sum::<f64>()
+                .sqrt();
+            lr * (r1 / r2) as f32
+        }
+    };
+    for i in 0..n {
+        param.set(i, param.get(i) - scale * update[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconet_core::{Binding, OpKind};
+    use coconet_runtime::{run_program, Inputs, RunOptions};
+    use coconet_tensor::CounterRng;
+
+    fn run_schedule_and_compare(opt: Optimizer, schedule: Option<OptimizerSchedule>) {
+        let hyper = Hyper::default();
+        let n = 64usize;
+        let k = 4usize;
+        let binding = Binding::new(k).bind("N", n as u64);
+        let rng = CounterRng::new(21);
+        let grads: Vec<Tensor> = (0..k)
+            .map(|r| Tensor::randn([n], DType::F16, rng, (r * n) as u64))
+            .collect();
+        let p0 = Tensor::randn([n], DType::F32, rng, 10_000);
+        let m0 = Tensor::zeros([n], DType::F32);
+        let v0 = Tensor::full([n], DType::F32, 0.01);
+        let inputs = Inputs::new()
+            .per_rank("g", grads.clone())
+            .global("p", p0.clone())
+            .global("m", m0.clone())
+            .global("v", v0.clone())
+            .global("lr", Tensor::scalar(DType::F32, 0.01))
+            .global("t", Tensor::scalar(DType::F32, 3.0));
+
+        let program = match schedule {
+            None => optimizer_program(opt, hyper).unwrap().0,
+            Some(s) => apply_optimizer_schedule(opt, hyper, s).unwrap().0,
+        };
+        let result = run_program(&program, &binding, &inputs, RunOptions::default()).unwrap();
+        // After reorder the program output is the re-gathered parameter
+        // (the paper's `agP`).
+        let got = result
+            .global("p_")
+            .or_else(|_| result.global("agp_"))
+            .unwrap();
+
+        // Reference: sum gradients (in f32), run the step.
+        let mut grad_sum = Tensor::zeros([n], DType::F32);
+        for g in &grads {
+            grad_sum = grad_sum.add(&g.cast(DType::F32)).unwrap();
+        }
+        let (mut p_ref, mut m_ref, mut v_ref) = (p0, m0, v0);
+        reference_step(
+            opt, hyper, &mut p_ref, &mut m_ref, &mut v_ref, &grad_sum, 0.01, 3.0,
+        );
+        let diff = got.max_abs_diff(&p_ref);
+        assert!(diff < 5e-3, "{opt:?} {schedule:?}: diff {diff}");
+    }
+
+    #[test]
+    fn adam_baseline_matches_reference() {
+        run_schedule_and_compare(Optimizer::Adam, None);
+    }
+
+    #[test]
+    fn adam_all_schedules_match_reference() {
+        for s in [
+            OptimizerSchedule::ArOpt,
+            OptimizerSchedule::RsOptAg,
+            OptimizerSchedule::FusedRsOptAg,
+        ] {
+            run_schedule_and_compare(Optimizer::Adam, Some(s));
+        }
+    }
+
+    #[test]
+    fn lamb_baseline_matches_reference() {
+        run_schedule_and_compare(Optimizer::Lamb, None);
+    }
+
+    #[test]
+    fn lamb_all_schedules_match_reference() {
+        for s in [
+            OptimizerSchedule::ArOpt,
+            OptimizerSchedule::RsOptAg,
+            OptimizerSchedule::FusedRsOptAg,
+        ] {
+            run_schedule_and_compare(Optimizer::Lamb, Some(s));
+        }
+    }
+
+    #[test]
+    fn sliced_schedule_reduces_state_memory() {
+        // After fuse(RS-Adam-AG) the optimizer state is sliced: each
+        // rank stores 1/k of m and v (the memory saving of §6.1.2).
+        let (p, _) =
+            apply_optimizer_schedule(Optimizer::Adam, Hyper::default(), OptimizerSchedule::FusedRsOptAg)
+                .unwrap();
+        let binding = Binding::new(256).bind("N", 1 << 20);
+        let mut sliced_inputs = 0;
+        for v in p.live_vars() {
+            if matches!(p.op(v).unwrap(), OpKind::Input) && p.ty(v).unwrap().layout.is_sliced()
+            {
+                assert_eq!(
+                    p.ty(v).unwrap().local_numel(&binding).unwrap(),
+                    (1 << 20) / 256
+                );
+                sliced_inputs += 1;
+            }
+        }
+        assert_eq!(sliced_inputs, 2, "m and v are sliced");
+    }
+
+    #[test]
+    fn schedule_labels() {
+        assert_eq!(
+            OptimizerSchedule::FusedRsOptAg.label(Optimizer::Adam),
+            "fuse(RS-Adam-AG)"
+        );
+        assert_eq!(
+            OptimizerSchedule::RsOptAg.label(Optimizer::Lamb),
+            "RS-LAMB-AG"
+        );
+        assert_eq!(Optimizer::Lamb.name(), "LAMB");
+    }
+
+    #[test]
+    fn program_dsl_loc_is_paper_scale() {
+        // Table 3a: programs are 12-18 DSL lines. Ours spell out the
+        // intermediate expressions, so allow a wider band.
+        let (p, _) = optimizer_program(Optimizer::Adam, Hyper::default()).unwrap();
+        let loc = p.dsl_loc();
+        assert!((10..40).contains(&loc), "loc = {loc}");
+    }
+}

@@ -1,0 +1,402 @@
+//! Functional ring collectives over the message fabric.
+//!
+//! These are NCCL's ring algorithms with real data movement: the same
+//! chunk ordering (rank *i* owns chunk *i* after a ReduceScatter — the
+//! property the paper's overlapped MatMul schedules against, §5.3),
+//! with reductions accumulated in `f32` like the generated mixed-
+//! precision kernels.
+
+use coconet_tensor::{ReduceOp, Tensor};
+
+use crate::RankComm;
+
+/// A group of consecutive ranks participating in a collective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Group {
+    /// First (global) rank of the group.
+    pub start: usize,
+    /// Number of ranks.
+    pub size: usize,
+}
+
+impl Group {
+    /// The position of a global rank within the group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not a member.
+    pub fn position(&self, rank: usize) -> usize {
+        assert!(
+            rank >= self.start && rank < self.start + self.size,
+            "rank {rank} not in group [{}, {})",
+            self.start,
+            self.start + self.size
+        );
+        rank - self.start
+    }
+
+    /// The global rank at a group position.
+    pub fn rank_at(&self, pos: usize) -> usize {
+        self.start + pos % self.size
+    }
+
+    /// The ring successor of `rank`.
+    pub fn next(&self, rank: usize) -> usize {
+        self.rank_at(self.position(rank) + 1)
+    }
+
+    /// The ring predecessor of `rank`.
+    pub fn prev(&self, rank: usize) -> usize {
+        self.rank_at(self.position(rank) + self.size - 1)
+    }
+}
+
+/// The flat element range of chunk `c` when `numel` elements are split
+/// into `k` ring chunks (uneven remainders go to the leading chunks).
+pub fn chunk_range(numel: usize, k: usize, c: usize) -> (usize, usize) {
+    let base = numel / k;
+    let rem = numel % k;
+    let start = c * base + c.min(rem);
+    let len = base + usize::from(c < rem);
+    (start, len)
+}
+
+fn reduce_into(acc: &mut Tensor, incoming: &Tensor, op: ReduceOp) {
+    debug_assert_eq!(acc.numel(), incoming.numel());
+    for i in 0..acc.numel() {
+        acc.set(i, op.apply(acc.get(i), incoming.get(i)));
+    }
+}
+
+/// Ring ReduceScatter: every rank contributes its full local tensor;
+/// rank at group position `i` returns with the fully reduced chunk `i`
+/// (flattened element range `chunk_range(numel, k, i)`).
+pub fn ring_reduce_scatter(comm: &RankComm, group: Group, input: &Tensor, op: ReduceOp) -> Tensor {
+    let k = group.size;
+    let me = group.position(comm.rank());
+    let n = input.numel();
+    if k == 1 {
+        return input.slice_flat(0, n).expect("full range");
+    }
+    // Work on a mutable copy of the local contribution.
+    let mut acc = input.clone();
+    // Textbook ring RS shifted so position i ends owning chunk i: run
+    // the schedule of a virtual position j = i - 1 (mod k).
+    let j = (me + k - 1) % k;
+    for step in 0..k - 1 {
+        let send_c = (j + k - step % k) % k;
+        let recv_c = (j + k - step - 1) % k;
+        let (s_off, s_len) = chunk_range(n, k, send_c);
+        let outgoing = if s_len == 0 {
+            Tensor::zeros([0usize; 1], input.dtype())
+        } else {
+            acc.slice_flat(s_off, s_len).expect("in range")
+        };
+        comm.send(group.next(comm.rank()), outgoing);
+        let incoming = comm.recv(group.prev(comm.rank()));
+        let (r_off, r_len) = chunk_range(n, k, recv_c);
+        if r_len > 0 {
+            let mut local = acc.slice_flat(r_off, r_len).expect("in range");
+            reduce_into(&mut local, &incoming, op);
+            acc.write_flat(r_off, &local).expect("in range");
+        }
+    }
+    let (off, len) = chunk_range(n, k, me);
+    acc.slice_flat(off, len).unwrap_or_else(|_| Tensor::zeros([0usize; 1], input.dtype()))
+}
+
+/// Ring AllGather: every rank contributes its chunk (position `i`
+/// contributes chunk `i`); returns the flat concatenation of all
+/// chunks, in position order.
+pub fn ring_all_gather(comm: &RankComm, group: Group, chunk: &Tensor) -> Vec<Tensor> {
+    let k = group.size;
+    let me = group.position(comm.rank());
+    let mut chunks: Vec<Option<Tensor>> = vec![None; k];
+    chunks[me] = Some(chunk.clone());
+    if k == 1 {
+        return chunks.into_iter().map(|c| c.expect("own chunk")).collect();
+    }
+    for step in 0..k - 1 {
+        let send_c = (me + k - step % k) % k;
+        let recv_c = (me + k - step - 1) % k;
+        let outgoing = chunks[send_c].clone().expect("chunk present by schedule");
+        comm.send(group.next(comm.rank()), outgoing);
+        let incoming = comm.recv(group.prev(comm.rank()));
+        chunks[recv_c] = Some(incoming);
+    }
+    chunks
+        .into_iter()
+        .map(|c| c.expect("all chunks gathered"))
+        .collect()
+}
+
+/// Ring AllReduce = ReduceScatter + AllGather over flat chunks;
+/// returns the fully reduced tensor with the input's shape.
+pub fn ring_all_reduce(comm: &RankComm, group: Group, input: &Tensor, op: ReduceOp) -> Tensor {
+    let my_chunk = ring_reduce_scatter(comm, group, input, op);
+    let chunks = ring_all_gather(comm, group, &my_chunk);
+    let mut out = Tensor::zeros(input.shape().clone(), input.dtype());
+    let mut off = 0usize;
+    for c in chunks {
+        out.write_flat(off, &c).expect("chunks tile the tensor");
+        off += c.numel();
+    }
+    out
+}
+
+/// Broadcast from the group-relative `root` position.
+pub fn broadcast(comm: &RankComm, group: Group, value: Option<&Tensor>, root: usize) -> Tensor {
+    let me = group.position(comm.rank());
+    if me == root {
+        let v = value.expect("root must provide the value");
+        for pos in 0..group.size {
+            if pos != root {
+                comm.send(group.rank_at(pos), v.clone());
+            }
+        }
+        v.clone()
+    } else {
+        comm.recv(group.rank_at(root))
+    }
+}
+
+/// Reduce to the group-relative `root` position; non-roots return their
+/// own contribution unchanged (the result is only meaningful on root).
+pub fn reduce(
+    comm: &RankComm,
+    group: Group,
+    input: &Tensor,
+    op: ReduceOp,
+    root: usize,
+) -> Tensor {
+    let me = group.position(comm.rank());
+    if me == root {
+        let mut acc = input.clone();
+        // Deterministic order: ascending positions.
+        for pos in 0..group.size {
+            if pos != root {
+                let incoming = comm.recv(group.rank_at(pos));
+                reduce_into(&mut acc, &incoming, op);
+            }
+        }
+        acc
+    } else {
+        comm.send(group.rank_at(root), input.clone());
+        input.clone()
+    }
+}
+
+/// AllReduce of a single scalar (the embedded reduction of §5.2).
+/// Sums ship a two-float (hi, lo) representation to keep `f64`-ish
+/// precision for norms; min/max ship one value.
+pub fn all_reduce_scalar(comm: &RankComm, group: Group, value: f64, op: ReduceOp) -> f64 {
+    match op {
+        ReduceOp::Sum => {
+            let hi = value as f32;
+            let lo = (value - f64::from(hi)) as f32;
+            let t = Tensor::from_f32([2], coconet_tensor::DType::F32, &[hi, lo])
+                .expect("two elements");
+            let reduced = ring_all_reduce(comm, group, &t, op);
+            f64::from(reduced.get(0)) + f64::from(reduced.get(1))
+        }
+        ReduceOp::Min | ReduceOp::Max => {
+            let t = Tensor::from_f32([1], coconet_tensor::DType::F32, &[value as f32])
+                .expect("one element");
+            f64::from(ring_all_reduce(comm, group, &t, op).get(0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconet_tensor::DType;
+    use std::thread;
+
+    /// Runs `f` on `k` rank threads and returns the per-rank results.
+    fn run_ranks<T: Send + 'static>(
+        k: usize,
+        f: impl Fn(RankComm) -> T + Send + Sync + Clone + 'static,
+    ) -> Vec<T> {
+        let world = RankComm::world(k);
+        let handles: Vec<_> = world
+            .into_iter()
+            .map(|comm| {
+                let f = f.clone();
+                thread::spawn(move || f(comm))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    }
+
+    #[test]
+    fn chunk_ranges_tile_exactly() {
+        for (n, k) in [(16, 4), (17, 4), (5, 8), (0, 3), (64, 5)] {
+            let mut total = 0;
+            let mut next = 0;
+            for c in 0..k {
+                let (off, len) = chunk_range(n, k, c);
+                assert_eq!(off, next);
+                next = off + len;
+                total += len;
+            }
+            assert_eq!(total, n, "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn all_reduce_sums_across_ranks() {
+        let k = 4;
+        let results = run_ranks(k, move |comm| {
+            let group = Group { start: 0, size: k };
+            let input = Tensor::from_fn([10], DType::F32, |i| {
+                (comm.rank() * 100 + i) as f32
+            });
+            ring_all_reduce(&comm, group, &input, ReduceOp::Sum)
+        });
+        // Expected: sum over ranks of (100r + i) = 600 + 4i.
+        for t in &results {
+            for i in 0..10 {
+                assert_eq!(t.get(i), (600 + 4 * i) as f32);
+            }
+        }
+        // All ranks agree exactly.
+        for t in &results[1..] {
+            assert_eq!(t.to_f32_vec(), results[0].to_f32_vec());
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_owns_chunk_i() {
+        let k = 4;
+        let n = 16;
+        let results = run_ranks(k, move |comm| {
+            let group = Group { start: 0, size: k };
+            let input = Tensor::from_fn([n], DType::F32, |i| i as f32);
+            ring_reduce_scatter(&comm, group, &input, ReduceOp::Sum)
+        });
+        for (r, t) in results.iter().enumerate() {
+            let (off, len) = chunk_range(n, k, r);
+            assert_eq!(t.numel(), len);
+            for i in 0..len {
+                assert_eq!(t.get(i), (k * (off + i)) as f32, "rank {r} elem {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_reassembles() {
+        let k = 3;
+        let results = run_ranks(k, move |comm| {
+            let group = Group { start: 0, size: k };
+            let me = comm.rank();
+            let chunk = Tensor::from_fn([4], DType::F32, |i| (me * 4 + i) as f32);
+            ring_all_gather(&comm, group, &chunk)
+        });
+        for chunks in &results {
+            let flat: Vec<f32> = chunks.iter().flat_map(|c| c.to_f32_vec()).collect();
+            assert_eq!(flat, (0..12).map(|i| i as f32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn rs_then_ag_equals_allreduce() {
+        let k = 4;
+        let n = 21; // uneven on purpose
+        let results = run_ranks(k, move |comm| {
+            let group = Group { start: 0, size: k };
+            let input = Tensor::from_fn([n], DType::F32, |i| {
+                ((comm.rank() + 1) * (i + 1)) as f32
+            });
+            let direct = ring_all_reduce(&comm, group, &input, ReduceOp::Sum);
+            let chunk = ring_reduce_scatter(&comm, group, &input, ReduceOp::Sum);
+            let gathered = ring_all_gather(&comm, group, &chunk);
+            let mut composed = Tensor::zeros([n], DType::F32);
+            let mut off = 0;
+            for c in gathered {
+                composed.write_flat(off, &c).unwrap();
+                off += c.numel();
+            }
+            (direct, composed)
+        });
+        for (direct, composed) in &results {
+            assert_eq!(direct.to_f32_vec(), composed.to_f32_vec());
+        }
+    }
+
+    #[test]
+    fn subgroup_collectives_are_independent() {
+        // Two groups of 2 within a 4-rank world.
+        let results = run_ranks(4, move |comm| {
+            let g = if comm.rank() < 2 {
+                Group { start: 0, size: 2 }
+            } else {
+                Group { start: 2, size: 2 }
+            };
+            let input = Tensor::full([4], DType::F32, (comm.rank() + 1) as f32);
+            ring_all_reduce(&comm, g, &input, ReduceOp::Sum)
+        });
+        assert_eq!(results[0].get(0), 3.0); // 1 + 2
+        assert_eq!(results[1].get(0), 3.0);
+        assert_eq!(results[2].get(0), 7.0); // 3 + 4
+        assert_eq!(results[3].get(0), 7.0);
+    }
+
+    #[test]
+    fn broadcast_and_reduce() {
+        let k = 3;
+        let results = run_ranks(k, move |comm| {
+            let group = Group { start: 0, size: k };
+            let me = comm.rank();
+            let bcast = broadcast(
+                &comm,
+                group,
+                (me == 1).then(|| Tensor::full([2], DType::F32, 42.0)).as_ref(),
+                1,
+            );
+            let contrib = Tensor::full([2], DType::F32, (me + 1) as f32);
+            let red = reduce(&comm, group, &contrib, ReduceOp::Sum, 0);
+            (bcast, red)
+        });
+        for (b, _) in &results {
+            assert_eq!(b.get(0), 42.0);
+        }
+        assert_eq!(results[0].1.get(0), 6.0, "root holds the reduction");
+    }
+
+    #[test]
+    fn min_max_reductions() {
+        let k = 3;
+        let results = run_ranks(k, move |comm| {
+            let group = Group { start: 0, size: k };
+            let input = Tensor::full([2], DType::F32, comm.rank() as f32);
+            let mn = ring_all_reduce(&comm, group, &input, ReduceOp::Min);
+            let mx = ring_all_reduce(&comm, group, &input, ReduceOp::Max);
+            (mn, mx)
+        });
+        for (mn, mx) in &results {
+            assert_eq!(mn.get(0), 0.0);
+            assert_eq!(mx.get(0), 2.0);
+        }
+    }
+
+    #[test]
+    fn scalar_allreduce() {
+        let k = 4;
+        let results = run_ranks(k, move |comm| {
+            let group = Group { start: 0, size: k };
+            all_reduce_scalar(&comm, group, (comm.rank() + 1) as f64, ReduceOp::Sum)
+        });
+        for v in results {
+            assert!((v - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn group_ring_neighbors() {
+        let g = Group { start: 4, size: 4 };
+        assert_eq!(g.next(7), 4);
+        assert_eq!(g.prev(4), 7);
+        assert_eq!(g.position(6), 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Point-to-point message fabric between rank threads.
+//!
+//! Each simulated rank runs on its own OS thread; every ordered pair of
+//! ranks gets an unbounded crossbeam channel. This is the substrate the
+//! ring collectives move real tensor data over — the reproduction's
+//! stand-in for NVLink/InfiniBand transports.
+
+use coconet_tensor::Tensor;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// One rank's endpoints into the world: senders to every rank and
+/// receivers from every rank.
+#[derive(Debug)]
+pub struct RankComm {
+    rank: usize,
+    world: usize,
+    to: Vec<Sender<Tensor>>,
+    from: Vec<Receiver<Tensor>>,
+}
+
+impl RankComm {
+    /// Creates the full communication world for `world` ranks,
+    /// returning one endpoint per rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world` is zero.
+    #[allow(clippy::needless_range_loop)] // (src, dst) matrix wiring
+    pub fn world(world: usize) -> Vec<RankComm> {
+        assert!(world > 0, "world must have at least one rank");
+        // channels[src][dst]
+        let mut senders: Vec<Vec<Sender<Tensor>>> = Vec::with_capacity(world);
+        let mut receivers: Vec<Vec<Option<Receiver<Tensor>>>> =
+            (0..world).map(|_| (0..world).map(|_| None).collect()).collect();
+        for src in 0..world {
+            let mut row = Vec::with_capacity(world);
+            for dst in 0..world {
+                let (tx, rx) = unbounded();
+                row.push(tx);
+                receivers[dst][src] = Some(rx);
+            }
+            senders.push(row);
+        }
+        senders
+            .into_iter()
+            .zip(receivers)
+            .enumerate()
+            .map(|(rank, (to, from))| RankComm {
+                rank,
+                world,
+                to,
+                from: from.into_iter().map(|r| r.expect("filled above")).collect(),
+            })
+            .collect()
+    }
+
+    /// This endpoint's global rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn world_size(&self) -> usize {
+        self.world
+    }
+
+    /// Sends a tensor to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range or the destination endpoint was
+    /// dropped (a peer thread panicked).
+    pub fn send(&self, dst: usize, tensor: Tensor) {
+        self.to[dst]
+            .send(tensor)
+            .unwrap_or_else(|_| panic!("rank {dst} hung up"));
+    }
+
+    /// Receives the next tensor sent by `src` (blocking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range or the source endpoint was
+    /// dropped without sending.
+    pub fn recv(&self, src: usize) -> Tensor {
+        self.from[src]
+            .recv()
+            .unwrap_or_else(|_| panic!("rank {src} hung up"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconet_tensor::DType;
+    use std::thread;
+
+    #[test]
+    fn pairwise_messaging() {
+        let mut world = RankComm::world(3);
+        let c2 = world.pop().unwrap();
+        let c1 = world.pop().unwrap();
+        let c0 = world.pop().unwrap();
+        assert_eq!(c0.rank(), 0);
+        assert_eq!(c2.world_size(), 3);
+
+        let t = thread::spawn(move || {
+            c1.send(2, Tensor::full([2], DType::F32, 1.0));
+            c1.send(0, Tensor::full([2], DType::F32, 5.0));
+            let from0 = c1.recv(0);
+            assert_eq!(from0.get(0), 9.0);
+        });
+        c0.send(1, Tensor::full([2], DType::F32, 9.0));
+        let from1 = c0.recv(1);
+        assert_eq!(from1.get(0), 5.0);
+        let from1_at_2 = c2.recv(1);
+        assert_eq!(from1_at_2.get(0), 1.0);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn messages_from_same_source_are_ordered() {
+        let mut world = RankComm::world(2);
+        let c1 = world.pop().unwrap();
+        let c0 = world.pop().unwrap();
+        for i in 0..10 {
+            c0.send(1, Tensor::full([1], DType::F32, i as f32));
+        }
+        for i in 0..10 {
+            assert_eq!(c1.recv(0).get(0), i as f32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_world_panics() {
+        RankComm::world(0);
+    }
+}

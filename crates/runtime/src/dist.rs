@@ -1,0 +1,270 @@
+//! Distributed tensor values: a layout plus this rank's local storage.
+//!
+//! The executor evaluates every DSL operation against these values.
+//! Per-element access goes through *global* indices, so a computation
+//! produces identical results whether its operands are replicated or
+//! sliced — which is exactly the property that makes the paper's
+//! transformations semantics-preserving, and what the integration tests
+//! verify.
+
+use coconet_core::{Layout, SliceDim};
+use coconet_tensor::{Shape, Tensor};
+
+/// A distributed value as seen from one rank: the global shape, the
+/// distributed layout, and the local storage (the full tensor for
+/// `Replicated`/`Local`, this rank's slice for `Sliced`).
+#[derive(Clone, Debug)]
+pub struct DistValue {
+    /// Global (undistributed) shape.
+    pub global_shape: Shape,
+    /// Distributed layout.
+    pub layout: Layout,
+    /// This rank's local storage.
+    pub local: Tensor,
+    /// This rank's position within its group.
+    pub pos: usize,
+    /// Group size.
+    pub group_size: usize,
+}
+
+impl DistValue {
+    /// A replicated value (same full tensor on every rank).
+    pub fn replicated(local: Tensor, pos: usize, group_size: usize) -> DistValue {
+        DistValue {
+            global_shape: local.shape().clone(),
+            layout: Layout::Replicated,
+            local,
+            pos,
+            group_size,
+        }
+    }
+
+    /// A local value (full shape, rank-specific contents).
+    pub fn local(local: Tensor, pos: usize, group_size: usize) -> DistValue {
+        DistValue {
+            global_shape: local.shape().clone(),
+            layout: Layout::Local,
+            local,
+            pos,
+            group_size,
+        }
+    }
+
+    /// Number of elements this rank stores.
+    pub fn local_numel(&self) -> usize {
+        self.local.numel()
+    }
+
+    /// Number of elements of the global tensor.
+    pub fn global_numel(&self) -> usize {
+        self.global_shape.numel()
+    }
+
+    /// The per-rank flat chunk length for flat-sliced layouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global element count does not divide the group
+    /// (the type checker enforces divisibility before execution).
+    pub fn flat_chunk(&self) -> usize {
+        let n = self.global_numel();
+        assert_eq!(n % self.group_size, 0, "indivisible sliced tensor");
+        n / self.group_size
+    }
+
+    /// Maps a local element index to its global flat index.
+    pub fn global_index(&self, local_idx: usize) -> usize {
+        match self.layout {
+            Layout::Replicated | Layout::Local => local_idx,
+            Layout::Sliced(SliceDim::Flat) => self.pos * self.flat_chunk() + local_idx,
+            Layout::Sliced(SliceDim::Dim(d)) => {
+                let global_dims = self.global_shape.dims();
+                let local_extent = global_dims[d] / self.group_size;
+                let local_shape = self.local.shape();
+                let l_strides = local_shape.strides();
+                let g_strides = self.global_shape.strides();
+                let mut g = 0usize;
+                for dim in 0..local_shape.rank() {
+                    let mut coord = (local_idx / l_strides[dim]) % local_shape.dim(dim);
+                    if dim == d {
+                        coord += self.pos * local_extent;
+                    }
+                    g += coord * g_strides[dim];
+                }
+                g
+            }
+        }
+    }
+
+    /// Reads the element at a *global* flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this rank does not store that element (the layout
+    /// rules guarantee it does for well-typed programs).
+    pub fn read_global(&self, gidx: usize) -> f32 {
+        match self.layout {
+            Layout::Replicated | Layout::Local => self.local.get(gidx),
+            Layout::Sliced(SliceDim::Flat) => {
+                let chunk = self.flat_chunk();
+                let local = gidx
+                    .checked_sub(self.pos * chunk)
+                    .filter(|&l| l < chunk)
+                    .unwrap_or_else(|| {
+                        panic!("rank pos {} does not hold global index {gidx}", self.pos)
+                    });
+                self.local.get(local)
+            }
+            Layout::Sliced(SliceDim::Dim(d)) => {
+                let g_strides = self.global_shape.strides();
+                let local_shape = self.local.shape();
+                let l_strides = local_shape.strides();
+                let local_extent = self.global_shape.dim(d) / self.group_size;
+                let mut l = 0usize;
+                for dim in 0..self.global_shape.rank() {
+                    let mut coord = (gidx / g_strides[dim]) % self.global_shape.dim(dim);
+                    if dim == d {
+                        coord = coord
+                            .checked_sub(self.pos * local_extent)
+                            .filter(|&c| c < local_extent)
+                            .unwrap_or_else(|| {
+                                panic!(
+                                    "rank pos {} does not hold dim-{d} coordinate",
+                                    self.pos
+                                )
+                            });
+                    }
+                    l += coord * l_strides[dim];
+                }
+                self.local.get(l)
+            }
+        }
+    }
+
+    /// The shape of the local storage for a given layout over a global
+    /// shape.
+    pub fn local_shape(global: &Shape, layout: Layout, group_size: usize) -> Shape {
+        match layout {
+            Layout::Replicated | Layout::Local => global.clone(),
+            Layout::Sliced(SliceDim::Flat) => {
+                Shape::from([global.numel() / group_size])
+            }
+            Layout::Sliced(SliceDim::Dim(d)) => {
+                let mut dims = global.dims().to_vec();
+                dims[d] /= group_size;
+                Shape::new(dims)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconet_tensor::DType;
+
+    #[test]
+    fn replicated_identity_mapping() {
+        let t = Tensor::from_fn([2, 3], DType::F32, |i| i as f32);
+        let v = DistValue::replicated(t, 1, 4);
+        for i in 0..6 {
+            assert_eq!(v.global_index(i), i);
+            assert_eq!(v.read_global(i), i as f32);
+        }
+    }
+
+    #[test]
+    fn flat_sliced_mapping() {
+        // Global [8], 4 ranks, rank pos 2 holds elements 4..6.
+        let local = Tensor::from_f32([2], DType::F32, &[40.0, 50.0]).unwrap();
+        let v = DistValue {
+            global_shape: Shape::from([8]),
+            layout: Layout::sliced_flat(),
+            local,
+            pos: 2,
+            group_size: 4,
+        };
+        assert_eq!(v.flat_chunk(), 2);
+        assert_eq!(v.global_index(0), 4);
+        assert_eq!(v.global_index(1), 5);
+        assert_eq!(v.read_global(4), 40.0);
+        assert_eq!(v.read_global(5), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn flat_sliced_out_of_slice_panics() {
+        let v = DistValue {
+            global_shape: Shape::from([8]),
+            layout: Layout::sliced_flat(),
+            local: Tensor::zeros([2], DType::F32),
+            pos: 2,
+            group_size: 4,
+        };
+        v.read_global(0);
+    }
+
+    #[test]
+    fn dim_sliced_mapping() {
+        // Global [2, 4] sliced on dim 1 over 2 ranks; pos 1 holds
+        // columns 2..4.
+        let local = Tensor::from_f32([2, 2], DType::F32, &[2.0, 3.0, 6.0, 7.0]).unwrap();
+        let v = DistValue {
+            global_shape: Shape::from([2, 4]),
+            layout: Layout::sliced(1),
+            local,
+            pos: 1,
+            group_size: 2,
+        };
+        // Local (0,0) -> global (0,2) = flat 2.
+        assert_eq!(v.global_index(0), 2);
+        // Local (1,1) -> global (1,3) = flat 7.
+        assert_eq!(v.global_index(3), 7);
+        assert_eq!(v.read_global(2), 2.0);
+        assert_eq!(v.read_global(7), 7.0);
+    }
+
+    #[test]
+    fn local_shapes() {
+        let g = Shape::from([4, 6]);
+        assert_eq!(
+            DistValue::local_shape(&g, Layout::Replicated, 2),
+            Shape::from([4, 6])
+        );
+        assert_eq!(
+            DistValue::local_shape(&g, Layout::sliced_flat(), 2),
+            Shape::from([12])
+        );
+        assert_eq!(
+            DistValue::local_shape(&g, Layout::sliced(1), 2),
+            Shape::from([4, 3])
+        );
+    }
+
+    #[test]
+    fn roundtrip_global_local() {
+        // global_index and read_global agree for every layout.
+        let global = Tensor::from_fn([4, 4], DType::F32, |i| i as f32);
+        for layout in [Layout::sliced_flat(), Layout::sliced(0), Layout::sliced(1)] {
+            for pos in 0..2 {
+                let lshape = DistValue::local_shape(global.shape(), layout, 2);
+                let mut local = Tensor::zeros(lshape.clone(), DType::F32);
+                let mut v = DistValue {
+                    global_shape: global.shape().clone(),
+                    layout,
+                    local: local.clone(),
+                    pos,
+                    group_size: 2,
+                };
+                for l in 0..lshape.numel() {
+                    local.set(l, global.get(v.global_index(l)));
+                }
+                v.local = local;
+                for l in 0..lshape.numel() {
+                    let g = v.global_index(l);
+                    assert_eq!(v.read_global(g), global.get(g), "{layout} pos {pos}");
+                }
+            }
+        }
+    }
+}

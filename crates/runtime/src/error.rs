@@ -1,0 +1,86 @@
+//! Runtime error type.
+
+use std::error::Error;
+use std::fmt;
+
+use coconet_core::CoreError;
+use coconet_tensor::TensorError;
+
+/// Errors produced while executing a program on the functional runtime.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RuntimeError {
+    /// No initializer was provided for a declared input.
+    MissingInput(String),
+    /// An initializer's shape/dtype disagrees with the declaration.
+    BadInput {
+        /// The input's name.
+        name: String,
+        /// What disagreed.
+        detail: String,
+    },
+    /// A type/binding error from the core crate.
+    Core(CoreError),
+    /// A tensor arithmetic error.
+    Tensor(TensorError),
+    /// A rank thread panicked.
+    RankPanicked(usize),
+    /// The requested output does not exist or is absent on every group.
+    NoSuchOutput(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::MissingInput(name) => {
+                write!(f, "no initializer provided for input `{name}`")
+            }
+            RuntimeError::BadInput { name, detail } => {
+                write!(f, "bad initializer for input `{name}`: {detail}")
+            }
+            RuntimeError::Core(e) => write!(f, "{e}"),
+            RuntimeError::Tensor(e) => write!(f, "{e}"),
+            RuntimeError::RankPanicked(rank) => write!(f, "rank {rank} panicked"),
+            RuntimeError::NoSuchOutput(name) => {
+                write!(f, "program has no output named `{name}`")
+            }
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::Core(e) => Some(e),
+            RuntimeError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for RuntimeError {
+    fn from(e: CoreError) -> RuntimeError {
+        RuntimeError::Core(e)
+    }
+}
+
+impl From<TensorError> for RuntimeError {
+    fn from(e: TensorError) -> RuntimeError {
+        RuntimeError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = RuntimeError::MissingInput("w".into());
+        assert!(e.to_string().contains("`w`"));
+        let core = RuntimeError::from(CoreError::UnboundSymbol("B".into()));
+        assert!(core.source().is_some());
+        let t = RuntimeError::from(TensorError::ConcatMismatch);
+        assert!(t.source().is_some());
+        assert!(RuntimeError::RankPanicked(3).to_string().contains('3'));
+    }
+}

@@ -1,0 +1,58 @@
+//! # coconet-runtime
+//!
+//! Functional distributed runtime for the CoCoNet reproduction: rank
+//! threads, a message fabric, NCCL-style ring collectives with real
+//! data movement, and an SPMD interpreter for DSL programs.
+//!
+//! The paper's generated kernels run on GPU clusters; this runtime
+//! executes the *same programs* (before and after transformation) on
+//! CPU threads so the "semantics preserving" claim of §3 is machine
+//! checked: a transformed program must produce the same tensors as the
+//! original, up to FP16 rounding.
+//!
+//! # Examples
+//!
+//! ```
+//! use coconet_core::{Binding, DType, Layout, Program, ReduceOp};
+//! use coconet_runtime::{run_program, Inputs, RunOptions};
+//! use coconet_tensor::Tensor;
+//!
+//! // avg = AllReduce(g) over 4 ranks.
+//! let mut p = Program::new("avg");
+//! let g = p.input("g", DType::F32, ["N"], Layout::Local);
+//! let s = p.all_reduce(ReduceOp::Sum, g)?;
+//! p.set_name(s, "sum")?;
+//! p.set_io(&[g], &[s])?;
+//!
+//! let binding = Binding::new(4).bind("N", 8);
+//! let inputs = Inputs::new().per_rank(
+//!     "g",
+//!     (0..4).map(|r| Tensor::full([8], DType::F32, r as f32)).collect(),
+//! );
+//! let result = run_program(&p, &binding, &inputs, RunOptions::default())?;
+//! assert_eq!(result.global("sum")?.get(0), 6.0); // 0+1+2+3
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod collectives;
+mod comm;
+mod dist;
+mod error;
+mod executor;
+mod overlap_exec;
+mod scattered;
+mod tree;
+
+pub use collectives::{
+    all_reduce_scalar, broadcast, chunk_range, reduce, ring_all_gather, ring_all_reduce,
+    ring_reduce_scatter, Group,
+};
+pub use comm::RankComm;
+pub use dist::DistValue;
+pub use error::RuntimeError;
+pub use executor::{run_program, InitValue, Inputs, RunOptions, RunResult};
+pub use overlap_exec::{overlapped_matmul_all_reduce, production_order};
+pub use scattered::{BucketTable, ScatteredTensors, BUCKET_ELEMS};
+pub use tree::tree_all_reduce;

@@ -1,0 +1,229 @@
+//! Functional execution of the fine-grained MatMul + AllReduce overlap
+//! (§5.3, Figure 9).
+//!
+//! The simulator times the overlapped pipeline; this module *executes*
+//! it, enforcing the exact chunk schedule the generated kernels use:
+//! the MatMul produces output chunks in the order the ring sends them
+//! (rank *n* starting from its own send position), and every ring step
+//! asserts — like the spin-lock would block — that the chunk it is
+//! about to touch has already been produced. If the paper's chunk
+//! ordering were wrong, these runs would panic or produce different
+//! results from the unoverlapped execution.
+
+use coconet_tensor::{ReduceOp, Tensor, TensorError};
+
+use crate::collectives::{chunk_range, Group};
+use crate::RankComm;
+
+/// A lazily produced output tensor: chunks materialize in a fixed
+/// production order, and reads assert availability (the functional
+/// analogue of the §5.3 spin-lock).
+struct ChunkedProducer {
+    out: Tensor,
+    produced: Vec<bool>,
+    k: usize,
+}
+
+impl ChunkedProducer {
+    fn new(full: Tensor, k: usize) -> ChunkedProducer {
+        ChunkedProducer {
+            out: full,
+            produced: vec![false; k],
+            k,
+        }
+    }
+
+    fn produce(&mut self, chunk: usize) {
+        self.produced[chunk] = true;
+    }
+
+    fn read_chunk(&self, chunk: usize) -> Tensor {
+        assert!(
+            self.produced[chunk],
+            "ring step touched chunk {chunk} before the MatMul produced it \
+             (the Figure 9 schedule would deadlock here)"
+        );
+        let (off, len) = chunk_range(self.out.numel(), self.k, chunk);
+        self.out.slice_flat(off, len).expect("chunk in range")
+    }
+}
+
+/// The order rank position `pos` must produce chunks so the ring
+/// AllReduce never waits: the ring's send order for this position —
+/// `pos-1, pos-2, …` wrapping around to `pos` (this formulation ends
+/// with rank `pos` owning chunk `pos`; it is the paper's "rank n sends
+/// chunks starting from chunk n" modulo the chunk relabeling).
+pub fn production_order(pos: usize, k: usize) -> Vec<usize> {
+    let mut order = Vec::with_capacity(k);
+    for s in 0..k {
+        order.push((pos + 2 * k - 1 - s) % k);
+    }
+    order
+}
+
+/// Executes `AllReduce(op, a @ w)` with the fine-grained overlap
+/// schedule: chunk-ordered MatMul production interleaved with the ring
+/// steps. Returns the replicated result.
+///
+/// # Errors
+///
+/// Propagates matmul/tensor errors.
+///
+/// # Panics
+///
+/// Panics if the chunk schedule would require a chunk that has not
+/// been produced yet — i.e. if the §5.3 ordering were incorrect.
+pub fn overlapped_matmul_all_reduce(
+    comm: &RankComm,
+    group: Group,
+    a: &Tensor,
+    w: &Tensor,
+    op: ReduceOp,
+) -> Result<Tensor, TensorError> {
+    let k = group.size;
+    let pos = group.position(comm.rank());
+    let full = a.matmul(w)?; // the values; production order enforced below
+    let n = full.numel();
+    let mut producer = ChunkedProducer::new(full, k);
+    let mut acc = Tensor::zeros([n], a.dtype());
+    let order = production_order(pos, k);
+    let mut next_to_produce = 0usize;
+
+    if k == 1 {
+        producer.produce(order[0]);
+        let t = producer.read_chunk(0);
+        return t.reshape(a.matmul(w)?.shape().clone());
+    }
+
+    // T=1 in Figure 9: the MatMul produces the first chunk before any
+    // communication can start.
+    producer.produce(order[next_to_produce]);
+    next_to_produce += 1;
+
+    // Reduce-scatter phase, chunk-granular: before each step, the
+    // MatMul has produced exactly the chunks the ring needs so far.
+    let j = (pos + k - 1) % k;
+    for step in 0..k - 1 {
+        let send_c = (j + k - step % k) % k;
+        let recv_c = (j + k - step - 1) % k;
+        // The chunk being sent must exist (spin_wait in the kernel).
+        let outgoing = if step == 0 {
+            producer.read_chunk(send_c)
+        } else {
+            // Forward the partially reduced chunk from the accumulator.
+            let (off, len) = chunk_range(n, k, send_c);
+            acc.slice_flat(off, len)?
+        };
+        comm.send(group.next(comm.rank()), outgoing);
+        // Produce the next chunk while the wire is busy (T=2..5).
+        if next_to_produce < k {
+            producer.produce(order[next_to_produce]);
+            next_to_produce += 1;
+        }
+        let incoming = comm.recv(group.prev(comm.rank()));
+        // Each chunk is visited exactly once in this phase: combine the
+        // incoming partial with the local contribution and stash it.
+        let local = producer.read_chunk(recv_c);
+        let (off, len) = chunk_range(n, k, recv_c);
+        let mut sum = Tensor::zeros([len], a.dtype());
+        for i in 0..len {
+            sum.set(i, op.apply(incoming.get(i), local.get(i)));
+        }
+        acc.write_flat(off, &sum)?;
+    }
+
+    // All-gather phase over the fully reduced chunks.
+    let me_chunk = pos;
+    let mut chunks: Vec<Option<Tensor>> = vec![None; k];
+    let (off, len) = chunk_range(n, k, me_chunk);
+    chunks[me_chunk] = Some(acc.slice_flat(off, len)?);
+    for step in 0..k - 1 {
+        let send_c = (me_chunk + k - step % k) % k;
+        let recv_c = (me_chunk + k - step - 1) % k;
+        let outgoing = chunks[send_c].clone().expect("present by schedule");
+        comm.send(group.next(comm.rank()), outgoing);
+        let incoming = comm.recv(group.prev(comm.rank()));
+        chunks[recv_c] = Some(incoming);
+    }
+    let mut out = Tensor::zeros([n], a.dtype());
+    let mut offset = 0usize;
+    for c in chunks.into_iter().map(|c| c.expect("gathered")) {
+        out.write_flat(offset, &c)?;
+        offset += c.numel();
+    }
+    out.reshape(a.matmul(w)?.shape().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconet_tensor::{CounterRng, DType};
+    use std::thread;
+
+    #[test]
+    fn production_order_starts_at_own_chunk() {
+        assert_eq!(production_order(0, 4), vec![3, 2, 1, 0]);
+        assert_eq!(production_order(2, 4), vec![1, 0, 3, 2]);
+        // Covers every chunk exactly once.
+        let mut o = production_order(5, 8);
+        o.sort_unstable();
+        assert_eq!(o, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn overlapped_equals_sequential() {
+        let k = 4usize;
+        let (rows, inner, cols) = (4usize, 6usize, 8usize);
+        let rng = CounterRng::new(17);
+        let world = RankComm::world(k);
+        let results: Vec<(Tensor, Tensor)> = world
+            .into_iter()
+            .map(|comm| {
+                let rank = comm.rank();
+                thread::spawn(move || {
+                    let group = Group { start: 0, size: k };
+                    let a = Tensor::randn(
+                        [rows, inner],
+                        DType::F32,
+                        rng,
+                        (rank * 1000) as u64,
+                    );
+                    let w = Tensor::randn([inner, cols], DType::F32, rng, 50_000);
+                    let overlapped =
+                        overlapped_matmul_all_reduce(&comm, group, &a, &w, ReduceOp::Sum)
+                            .unwrap();
+                    let sequential = crate::ring_all_reduce(
+                        &comm,
+                        group,
+                        &a.matmul(&w).unwrap(),
+                        ReduceOp::Sum,
+                    );
+                    (overlapped, sequential)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect();
+        for (overlapped, sequential) in &results {
+            assert_eq!(overlapped.shape(), sequential.shape());
+            let diff = overlapped.max_abs_diff(sequential);
+            assert!(diff < 1e-4, "diff {diff}");
+        }
+        // All ranks agree.
+        for (o, _) in &results[1..] {
+            assert_eq!(o.to_f32_vec(), results[0].0.to_f32_vec());
+        }
+    }
+
+    #[test]
+    fn single_rank_degenerates_to_matmul() {
+        let world = RankComm::world(1);
+        let comm = world.into_iter().next().unwrap();
+        let group = Group { start: 0, size: 1 };
+        let a = Tensor::from_fn([2, 3], DType::F32, |i| i as f32);
+        let w = Tensor::from_fn([3, 2], DType::F32, |i| (i % 3) as f32);
+        let got = overlapped_matmul_all_reduce(&comm, group, &a, &w, ReduceOp::Sum).unwrap();
+        assert_eq!(got.to_f32_vec(), a.matmul(&w).unwrap().to_f32_vec());
+    }
+}

@@ -1,0 +1,147 @@
+//! Tree collectives — the second logical topology NCCL builds (§5.1:
+//! "NCCL creates logical topologies, such as ring and tree, over the
+//! underlying interconnect network").
+//!
+//! Trees trade bandwidth for latency: a binomial-tree AllReduce takes
+//! `2·log2(k)` hops instead of the ring's `2(k-1)` steps, which wins
+//! for small messages at large rank counts — one of the effects behind
+//! the paper's protocol/size crossovers. The generated kernels in the
+//! paper use rings; this module is the reproduction's implementation of
+//! the tree alternative, used by the ring-vs-tree ablation.
+
+use coconet_tensor::{ReduceOp, Tensor};
+
+use crate::collectives::Group;
+use crate::RankComm;
+
+/// Binomial-tree Reduce to group position 0, then binomial Broadcast —
+/// an AllReduce in `2·ceil(log2(k))` rounds.
+pub fn tree_all_reduce(comm: &RankComm, group: Group, input: &Tensor, op: ReduceOp) -> Tensor {
+    let k = group.size;
+    let pos = group.position(comm.rank());
+    let mut acc = input.clone();
+
+    // Reduce phase: at round d (1, 2, 4, ...), positions with the d bit
+    // set send to (pos - d) and drop out; the rest receive and reduce.
+    let mut d = 1usize;
+    while d < k {
+        if pos & d != 0 {
+            comm.send(group.rank_at(pos - d), acc.clone());
+            break;
+        } else if pos + d < k {
+            let incoming = comm.recv(group.rank_at(pos + d));
+            for i in 0..acc.numel() {
+                acc.set(i, op.apply(acc.get(i), incoming.get(i)));
+            }
+        }
+        d <<= 1;
+    }
+
+    // Broadcast phase: mirror image, highest round first.
+    let mut rounds = Vec::new();
+    let mut e = 1usize;
+    while e < k {
+        rounds.push(e);
+        e <<= 1;
+    }
+    for &d in rounds.iter().rev() {
+        if pos & d != 0 {
+            // This position received its reduced value in the reduce
+            // phase partner's broadcast round.
+            if pos & (d - 1) == 0 {
+                acc = comm.recv(group.rank_at(pos - d));
+            }
+        } else if pos + d < k && pos & (d - 1) == 0 {
+            comm.send(group.rank_at(pos + d), acc.clone());
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconet_tensor::DType;
+    use std::thread;
+
+    fn run_tree(k: usize) -> Vec<Tensor> {
+        let world = RankComm::world(k);
+        let handles: Vec<_> = world
+            .into_iter()
+            .map(|comm| {
+                thread::spawn(move || {
+                    let group = Group { start: 0, size: k };
+                    let input = Tensor::from_fn([10], DType::F32, |i| {
+                        ((comm.rank() + 1) * (i + 1)) as f32
+                    });
+                    tree_all_reduce(&comm, group, &input, ReduceOp::Sum)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn tree_allreduce_matches_expected_sum() {
+        for k in [1usize, 2, 3, 4, 5, 7, 8] {
+            let results = run_tree(k);
+            let rank_sum: usize = (1..=k).sum();
+            for (r, t) in results.iter().enumerate() {
+                for i in 0..10 {
+                    assert_eq!(
+                        t.get(i),
+                        (rank_sum * (i + 1)) as f32,
+                        "k={k} rank={r} elem={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_matches_ring() {
+        let k = 8;
+        let world = RankComm::world(k);
+        let handles: Vec<_> = world
+            .into_iter()
+            .map(|comm| {
+                thread::spawn(move || {
+                    let group = Group { start: 0, size: k };
+                    let input = Tensor::from_fn([13], DType::F32, |i| {
+                        (comm.rank() * 31 + i * 7) as f32
+                    });
+                    let tree = tree_all_reduce(&comm, group, &input, ReduceOp::Sum);
+                    let ring = crate::ring_all_reduce(&comm, group, &input, ReduceOp::Sum);
+                    (tree, ring)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (tree, ring) = h.join().unwrap();
+            assert_eq!(tree.to_f32_vec(), ring.to_f32_vec());
+        }
+    }
+
+    #[test]
+    fn tree_min_max() {
+        let k = 4;
+        let world = RankComm::world(k);
+        let handles: Vec<_> = world
+            .into_iter()
+            .map(|comm| {
+                thread::spawn(move || {
+                    let group = Group { start: 0, size: k };
+                    let input = Tensor::full([3], DType::F32, comm.rank() as f32);
+                    let mn = tree_all_reduce(&comm, group, &input, ReduceOp::Min);
+                    let mx = tree_all_reduce(&comm, group, &input, ReduceOp::Max);
+                    (mn, mx)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (mn, mx) = h.join().unwrap();
+            assert_eq!(mn.get(0), 0.0);
+            assert_eq!(mx.get(0), 3.0);
+        }
+    }
+}

@@ -1,0 +1,567 @@
+//! Analytic cost models for kernels and collectives.
+//!
+//! Every figure in the paper is a *relative* comparison of schedules on
+//! the same machine; the model reproduces the first-order terms that
+//! separate them: kernel launch counts, memory traffic (what fusion
+//! saves), the ring collective's `2(k-1)/k` volume and per-step
+//! latencies (what protocol/channel choice trades), the shared
+//! inter-node fabric (what sliced P2P saves), and register-pressure
+//! penalties of fused kernels (why fusion loses at small sizes,
+//! §6.1.1).
+
+use coconet_core::{
+    CollKind, CommConfig, DType, FusedCollectiveStep, KernelStep, MatMulStep, SendRecvStep,
+};
+use coconet_topology::MachineSpec;
+
+use crate::protocol;
+
+/// Geometry of the process group a collective runs over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroupGeom {
+    /// Ranks in the group.
+    pub size: usize,
+    /// Distinct nodes the group spans.
+    pub nodes_spanned: usize,
+    /// Ranks of the group residing on each node (= senders sharing one
+    /// node's NICs during a cross-node P2P).
+    pub ranks_per_node: usize,
+}
+
+/// Tunable second-order knobs, with defaults calibrated in DESIGN.md.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostKnobs {
+    /// Achievable fraction of link bandwidth (protocol overheads,
+    /// congestion).
+    pub fabric_efficiency: f64,
+    /// Achievable fraction of HBM bandwidth for streaming kernels.
+    pub memory_efficiency: f64,
+    /// Peak fraction a well-shaped large GEMM reaches on tensor cores.
+    pub matmul_efficiency: f64,
+    /// Per-collective-call bootstrap/synchronization cost, multiplied
+    /// by log2(group size).
+    pub call_sync_per_log_rank: f64,
+    /// Launch-equivalents of latency added per operation fused into a
+    /// collective kernel (register pressure limits thread-level
+    /// parallelism, §6.1.1). Multiplied by the kernel launch overhead
+    /// and the fused op count.
+    pub fused_reg_pressure: f64,
+    /// Seconds per scattered-tensor bucket (warp-level index lookup,
+    /// §5.4).
+    pub scattered_bucket_cost: f64,
+    /// Seconds per distinct scattered tensor (offset precalculation).
+    pub scattered_tensor_cost: f64,
+}
+
+impl Default for CostKnobs {
+    fn default() -> CostKnobs {
+        CostKnobs {
+            fabric_efficiency: 0.85,
+            memory_efficiency: 0.80,
+            matmul_efficiency: 0.70,
+            call_sync_per_log_rank: 8.0e-6,
+            fused_reg_pressure: 0.4,
+            scattered_bucket_cost: 1.0e-9,
+            scattered_tensor_cost: 1.0e-7,
+        }
+    }
+}
+
+/// The analytic cost model over a [`MachineSpec`].
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    machine: MachineSpec,
+    knobs: CostKnobs,
+}
+
+impl CostModel {
+    /// A cost model with default knobs.
+    pub fn new(machine: MachineSpec) -> CostModel {
+        CostModel {
+            machine,
+            knobs: CostKnobs::default(),
+        }
+    }
+
+    /// Overrides the tuning knobs.
+    pub fn with_knobs(mut self, knobs: CostKnobs) -> CostModel {
+        self.knobs = knobs;
+        self
+    }
+
+    /// The machine being modeled.
+    pub fn machine(&self) -> &MachineSpec {
+        &self.machine
+    }
+
+    fn launch(&self) -> f64 {
+        self.machine.gpu.launch_overhead
+    }
+
+    fn mem_bw(&self) -> f64 {
+        self.machine.gpu.mem_bw * self.knobs.memory_efficiency
+    }
+
+    /// Time for a (possibly fused) pointwise kernel.
+    pub fn kernel_time(&self, step: &KernelStep) -> f64 {
+        let bytes = (step.bytes_read + step.bytes_written) as f64;
+        let t_mem = bytes / self.mem_bw();
+        let t_fp = step.flops as f64 / self.machine.gpu.fp32_flops;
+        self.launch() + t_mem.max(t_fp)
+    }
+
+    /// Time for a GEMM, with an efficiency curve that degrades for
+    /// small or skinny shapes (tile-level parallelism and short
+    /// contraction dimensions underutilize tensor cores).
+    pub fn matmul_time(&self, step: &MatMulStep) -> f64 {
+        let flops = step.flops() as f64;
+        let peak = match step.dtype {
+            DType::F16 => self.machine.gpu.fp16_flops,
+            DType::F32 => self.machine.gpu.fp32_flops,
+        };
+        // Tile parallelism: a V100 wants >= 2 waves of 128x128 tiles.
+        let tiles = (step.m as f64 / 128.0).ceil() * (step.n as f64 / 128.0).ceil();
+        let waves_needed = 2.0 * self.machine.gpu.sm_count as f64;
+        let util_tiles = (tiles / waves_needed).min(1.0);
+        // Contraction depth: short K cannot hide the MMA pipeline.
+        let util_k = step.k as f64 / (step.k as f64 + 64.0);
+        let eff = self.knobs.matmul_efficiency * util_tiles.max(0.05) * util_k;
+        let t_compute = flops / (peak * eff);
+        let t_mem = step.bytes() as f64 / self.mem_bw();
+        self.launch() + t_compute.max(t_mem)
+    }
+
+    /// Ring-algorithm time for a collective over `group`.
+    pub fn collective_time(
+        &self,
+        kind: CollKind,
+        elems: u64,
+        dtype: DType,
+        group: GroupGeom,
+        config: CommConfig,
+    ) -> f64 {
+        let k = group.size as f64;
+        if group.size <= 1 {
+            return self.launch();
+        }
+        let proto = protocol::params(config.protocol);
+        let bytes = (elems * dtype.size_bytes() as u64) as f64;
+        let steps = match kind {
+            CollKind::AllReduce => 2.0 * (k - 1.0),
+            CollKind::ReduceScatter
+            | CollKind::AllGather
+            | CollKind::Broadcast
+            | CollKind::Reduce => k - 1.0,
+        };
+
+        // Effective per-edge bandwidth: each channel gets a slice of the
+        // GPU's NVLink bandwidth; rings that span nodes are bottlenecked
+        // by their channel's NIC share.
+        let ch = config.channels.max(1) as f64;
+        let ic = &self.machine.interconnect;
+        let intra = ic.nvlink_bw_per_gpu / ch;
+        let edge_bw = if group.nodes_spanned > 1 {
+            let inter = ic.ib_bw_per_nic().min(ic.ib_bw_per_node / ch);
+            intra.min(inter)
+        } else {
+            intra
+        };
+        let bw = ch * edge_bw * proto.bw_factor * self.knobs.fabric_efficiency;
+        let t_bw = steps * bytes / (k * bw);
+
+        // Latency: per-step hop latency, averaged over the ring's
+        // intra- and inter-node edges.
+        let inter_edges = if group.nodes_spanned > 1 {
+            group.nodes_spanned as f64
+        } else {
+            0.0
+        };
+        let alpha = (proto.hop_latency_intra * (k - inter_edges)
+            + proto.hop_latency_inter * inter_edges)
+            / k;
+        let t_lat = steps * alpha;
+
+        let sync = self.knobs.call_sync_per_log_rank * k.log2();
+        self.launch() + proto.base_latency + sync + t_lat + t_bw
+    }
+
+    /// Tree-algorithm AllReduce time (§5.1's second logical topology):
+    /// a binomial reduce + broadcast in `2·log2(k)` rounds. Each round
+    /// moves the *whole* payload, so trees lose to rings on bandwidth
+    /// but win on latency at small sizes and large rank counts.
+    pub fn tree_all_reduce_time(
+        &self,
+        elems: u64,
+        dtype: DType,
+        group: GroupGeom,
+        config: CommConfig,
+    ) -> f64 {
+        let k = group.size as f64;
+        if group.size <= 1 {
+            return self.launch();
+        }
+        let proto = protocol::params(config.protocol);
+        let bytes = (elems * dtype.size_bytes() as u64) as f64;
+        let rounds = 2.0 * k.log2().ceil();
+        let ic = &self.machine.interconnect;
+        let ch = config.channels.max(1) as f64;
+        let edge_bw = if group.nodes_spanned > 1 {
+            (ic.nvlink_bw_per_gpu / ch).min(ic.ib_bw_per_nic().min(ic.ib_bw_per_node / ch))
+        } else {
+            ic.nvlink_bw_per_gpu / ch
+        };
+        let bw = ch * edge_bw * proto.bw_factor * self.knobs.fabric_efficiency;
+        // Every round ships the full payload over one link pair.
+        let t_bw = rounds * bytes / bw;
+        // Latency: half the rounds cross nodes in the worst case.
+        let alpha = if group.nodes_spanned > 1 {
+            (proto.hop_latency_intra + proto.hop_latency_inter) / 2.0
+        } else {
+            proto.hop_latency_intra
+        };
+        let sync = self.knobs.call_sync_per_log_rank * k.log2();
+        self.launch() + proto.base_latency + sync + rounds * alpha + t_bw
+    }
+
+    /// Extra cost of walking scattered tensors through bucket tables
+    /// (§5.4). Near zero relative to the collective itself (Table 2).
+    pub fn scattered_overhead(&self, n_tensors: u64, n_buckets: u64) -> f64 {
+        n_buckets as f64 * self.knobs.scattered_bucket_cost
+            + n_tensors as f64 * self.knobs.scattered_tensor_cost
+    }
+
+    /// Time for a fused collective (§5.2): AllReduce-volume
+    /// communication with computation inlined between the
+    /// ReduceScatter and AllGather phases.
+    ///
+    /// The fused computation's state traffic runs concurrently with the
+    /// wire transfer (registers carry the payload), so the data term is
+    /// the max of network and memory time. Register pressure inflates
+    /// the latency term — the effect that makes fusion lose at small
+    /// sizes (§6.1.1).
+    pub fn fused_collective_time(
+        &self,
+        step: &FusedCollectiveStep,
+        group: GroupGeom,
+        config: CommConfig,
+    ) -> f64 {
+        let base = self.collective_time(
+            CollKind::AllReduce,
+            step.elems,
+            step.dtype,
+            group,
+            config,
+        );
+        let launch = self.launch();
+        let comm = base - launch;
+        // Register pressure caps thread-level parallelism: a fixed
+        // per-fused-op latency tax, independent of message size — which
+        // is what makes fusion lose at small sizes (§6.1.1) while
+        // costing nothing measurable at large ones.
+        let reg_penalty = launch * self.knobs.fused_reg_pressure * step.n_fused_ops as f64;
+
+        // State traffic: per-rank bytes at memory bandwidth, overlapped
+        // with the wire time.
+        let slice_payload =
+            2.0 * (step.elems * step.dtype.size_bytes() as u64) as f64 / group.size as f64;
+        let t_mem = ((step.extra_bytes_read + step.extra_bytes_written) as f64 + slice_payload)
+            / self.mem_bw();
+        let t_fp = step.flops as f64 / self.machine.gpu.fp32_flops;
+        let t_data = comm.max(t_mem).max(t_fp);
+
+        // Embedded scalar reductions reuse established connections: a
+        // tree-depth latency each (§5.2 "Tensor Reduction").
+        let proto = protocol::params(config.protocol);
+        let t_norms = step.embedded_scalar_allreduces as f64
+            * (group.size as f64).log2().max(1.0)
+            * proto.hop_latency_intra
+            * 2.0;
+
+        let scattered = step
+            .scattered
+            .map(|s| self.scattered_overhead(s.n_tensors, s.n_buckets))
+            .unwrap_or(0.0);
+
+        launch + t_data + reg_penalty + t_norms + scattered
+    }
+
+    /// Time for a P2P transfer from every rank of a group to its peer
+    /// in the next group (§4). When the transfer crosses nodes, all
+    /// `ranks_per_node` senders share the node's aggregate IB
+    /// bandwidth — which is why Megatron-LM's replicated P2P costs
+    /// `group_size ×` the sliced P2P's traffic (Figure 7).
+    pub fn send_recv_time(
+        &self,
+        step: &SendRecvStep,
+        group: GroupGeom,
+        crosses_nodes: bool,
+        config: CommConfig,
+    ) -> f64 {
+        let proto = protocol::params(config.protocol);
+        let bytes = (step.elems_per_rank * step.dtype.size_bytes() as u64) as f64;
+        let ic = &self.machine.interconnect;
+        let t_wire = if crosses_nodes {
+            let senders = group.ranks_per_node.max(1) as f64;
+            let node_bw = ic.ib_bw_per_node * self.knobs.fabric_efficiency * proto.bw_factor;
+            bytes * senders / node_bw + ic.ib_latency
+        } else {
+            let bw = ic.nvlink_bw_per_gpu * self.knobs.fabric_efficiency * proto.bw_factor;
+            bytes / bw + ic.nvlink_latency
+        };
+        let t_mem = step.extra_bytes_read as f64 / self.mem_bw();
+        let t_fp = step.flops as f64 / self.machine.gpu.fp32_flops;
+        self.launch() + t_wire.max(t_mem).max(t_fp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconet_core::Protocol;
+
+    fn model() -> CostModel {
+        CostModel::new(MachineSpec::dgx2_cluster(16))
+    }
+
+    fn intra_group() -> GroupGeom {
+        GroupGeom {
+            size: 16,
+            nodes_spanned: 1,
+            ranks_per_node: 16,
+        }
+    }
+
+    fn world_group() -> GroupGeom {
+        GroupGeom {
+            size: 256,
+            nodes_spanned: 16,
+            ranks_per_node: 16,
+        }
+    }
+
+    fn cfg(p: Protocol, ch: usize) -> CommConfig {
+        CommConfig {
+            protocol: p,
+            channels: ch,
+        }
+    }
+
+    #[test]
+    fn kernel_time_scales_with_bytes() {
+        let m = model();
+        let small = m.kernel_time(&KernelStep {
+            label: "s".into(),
+            bytes_read: 1024,
+            bytes_written: 1024,
+            flops: 256,
+            n_ops: 1,
+        });
+        let large = m.kernel_time(&KernelStep {
+            label: "l".into(),
+            bytes_read: 1 << 30,
+            bytes_written: 1 << 30,
+            flops: 1 << 28,
+            n_ops: 1,
+        });
+        assert!(large > small);
+        // Small kernels are launch-bound.
+        assert!(small < 2.0 * m.machine().gpu.launch_overhead);
+        // A 2 GiB streaming kernel takes ~3 ms at 720 GB/s.
+        assert!((0.002..0.006).contains(&large), "large = {large}");
+    }
+
+    #[test]
+    fn matmul_efficiency_curve() {
+        let m = model();
+        // Large square GEMM: time should approach flops/(peak*eff).
+        let big = MatMulStep {
+            label: "big".into(),
+            m: 8192,
+            k: 8192,
+            n: 8192,
+            dtype: DType::F16,
+        };
+        let t_big = m.matmul_time(&big);
+        let ideal = big.flops() as f64 / (125e12 * 0.70);
+        assert!(t_big >= ideal && t_big < ideal * 1.4, "t={t_big}, ideal={ideal}");
+        // Skinny-K GEMM (model-parallel slice) is less efficient per flop.
+        let skinny = MatMulStep {
+            label: "skinny".into(),
+            m: 8192,
+            k: 64,
+            n: 3072,
+            dtype: DType::F16,
+        };
+        let t_skinny = m.matmul_time(&skinny);
+        let flops_rate_big = big.flops() as f64 / t_big;
+        let flops_rate_skinny = skinny.flops() as f64 / t_skinny;
+        assert!(flops_rate_skinny < flops_rate_big);
+    }
+
+    #[test]
+    fn allreduce_volume_and_protocols() {
+        let m = model();
+        let elems = 1u64 << 28; // 512 MB FP16
+        let t_simple = m.collective_time(
+            CollKind::AllReduce,
+            elems,
+            DType::F16,
+            intra_group(),
+            cfg(Protocol::Simple, 16),
+        );
+        // Expected: 2*(15/16)*512MB / (150e9*0.85) ~ 7.9 ms.
+        assert!((0.005..0.012).contains(&t_simple), "t = {t_simple}");
+        // LL halves bandwidth: roughly double at large sizes.
+        let t_ll = m.collective_time(
+            CollKind::AllReduce,
+            elems,
+            DType::F16,
+            intra_group(),
+            cfg(Protocol::LL, 16),
+        );
+        assert!(t_ll > 1.7 * t_simple);
+        // At tiny sizes LL wins.
+        let small = 1u64 << 10;
+        let s_ll = m.collective_time(
+            CollKind::AllReduce,
+            small,
+            DType::F16,
+            intra_group(),
+            cfg(Protocol::LL, 2),
+        );
+        let s_simple = m.collective_time(
+            CollKind::AllReduce,
+            small,
+            DType::F16,
+            intra_group(),
+            cfg(Protocol::Simple, 2),
+        );
+        assert!(s_ll < s_simple);
+    }
+
+    #[test]
+    fn rs_plus_ag_equals_ar_bandwidth() {
+        let m = model();
+        let elems = 1u64 << 28;
+        let c = cfg(Protocol::Simple, 16);
+        let ar = m.collective_time(CollKind::AllReduce, elems, DType::F16, world_group(), c);
+        let rs = m.collective_time(CollKind::ReduceScatter, elems, DType::F16, world_group(), c);
+        let ag = m.collective_time(CollKind::AllGather, elems, DType::F16, world_group(), c);
+        // RS + AG volume equals AR volume; the split only pays an extra
+        // call's fixed costs.
+        assert!(rs + ag > ar);
+        assert!((rs + ag - ar) / ar < 0.05);
+    }
+
+    #[test]
+    fn multinode_is_nic_bound() {
+        let m = model();
+        let elems = 1u64 << 28;
+        let c = cfg(Protocol::Simple, 8);
+        let t1 = m.collective_time(CollKind::AllReduce, elems, DType::F16, intra_group(), c);
+        let t16 = m.collective_time(CollKind::AllReduce, elems, DType::F16, world_group(), c);
+        // Cross-node rings run at ~100 GB/s per node instead of 150.
+        assert!(t16 > 1.2 * t1, "t16={t16}, t1={t1}");
+    }
+
+    #[test]
+    fn fused_collective_register_pressure_hurts_small_sizes() {
+        let m = model();
+        let g = world_group();
+        let c = cfg(Protocol::LL, 2);
+        let small_fused = FusedCollectiveStep {
+            label: "f".into(),
+            elems: 1 << 12,
+            dtype: DType::F16,
+            extra_bytes_read: 1 << 12,
+            extra_bytes_written: 1 << 12,
+            flops: 1 << 12,
+            embedded_scalar_allreduces: 0,
+            n_fused_ops: 10,
+            scattered: None,
+        };
+        let t_fused = m.fused_collective_time(&small_fused, g, c);
+        let t_ar = m.collective_time(CollKind::AllReduce, 1 << 12, DType::F16, g, c);
+        // At tiny sizes the fused kernel is slower than AR + a cheap
+        // separate kernel (the §6.1.1 observation).
+        let t_separate = t_ar
+            + m.kernel_time(&KernelStep {
+                label: "opt".into(),
+                bytes_read: 1 << 12,
+                bytes_written: 1 << 12,
+                flops: 1 << 12,
+                n_ops: 10,
+            });
+        assert!(t_fused > t_separate);
+    }
+
+    #[test]
+    fn fused_collective_wins_at_large_sizes() {
+        let m = model();
+        let g = world_group();
+        let c = cfg(Protocol::Simple, 16);
+        let elems = 1u64 << 30;
+        let slice = elems / 256;
+        // Adam-like state traffic: ~28 bytes per slice element.
+        let fused = FusedCollectiveStep {
+            label: "f".into(),
+            elems,
+            dtype: DType::F16,
+            extra_bytes_read: slice * 14,
+            extra_bytes_written: slice * 14,
+            flops: slice * 8,
+            embedded_scalar_allreduces: 0,
+            n_fused_ops: 10,
+            scattered: None,
+        };
+        let t_fused = m.fused_collective_time(&fused, g, c);
+        let t_ar = m.collective_time(CollKind::AllReduce, elems, DType::F16, g, c);
+        // Baseline: AR + full replicated optimizer kernel over all elems.
+        let t_baseline = t_ar
+            + m.kernel_time(&KernelStep {
+                label: "opt".into(),
+                bytes_read: elems * 14,
+                bytes_written: elems * 14,
+                flops: elems * 8,
+                n_ops: 10,
+            });
+        // Fused is close to the AR-only upper bound, far below baseline.
+        assert!(t_fused < 1.1 * t_ar, "fused={t_fused}, ar={t_ar}");
+        assert!(t_baseline > 1.5 * t_fused);
+    }
+
+    #[test]
+    fn replicated_p2p_costs_group_size_times_more() {
+        let m = model();
+        let g = intra_group();
+        let c = cfg(Protocol::Simple, 8);
+        let elems = 8 * 2048 * 12288u64; // GPT-3-sized activation
+        let replicated = SendRecvStep {
+            label: "p2p".into(),
+            elems_per_rank: elems,
+            dtype: DType::F16,
+            extra_bytes_read: 0,
+            flops: 0,
+            n_fused_ops: 0,
+        };
+        let sliced = SendRecvStep {
+            elems_per_rank: elems / 16,
+            ..replicated.clone()
+        };
+        let t_repl = m.send_recv_time(&replicated, g, true, c);
+        let t_sliced = m.send_recv_time(&sliced, g, true, c);
+        assert!(
+            t_repl > 10.0 * t_sliced,
+            "repl={t_repl}, sliced={t_sliced}"
+        );
+    }
+
+    #[test]
+    fn scattered_overhead_is_small() {
+        let m = model();
+        // BERT-340M: 360 tensors, ~334M elements -> ~326k buckets.
+        let overhead = m.scattered_overhead(360, 334_000_000 / 1024);
+        assert!(overhead < 1e-3, "overhead = {overhead}");
+        assert!(overhead > 0.0);
+    }
+}

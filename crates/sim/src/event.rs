@@ -1,0 +1,370 @@
+//! A deterministic discrete-event engine for task graphs with
+//! exclusive resources.
+//!
+//! The fine-grained overlap of §5.3 is a pipeline: MatMul produces
+//! chunks on the GPU's compute units while the AllReduce streams
+//! earlier chunks over the network, synchronized by spin-locks. This
+//! engine computes the makespan of such pipelines: tasks with
+//! dependencies, each bound to one resource (compute pipe, NVLink
+//! fabric, InfiniBand fabric), resources executing one task at a time.
+
+use std::collections::HashMap;
+
+/// Identifies a task in a [`TaskGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(usize);
+
+/// Identifies a resource in a [`TaskGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ResourceId(usize);
+
+#[derive(Clone, Debug)]
+struct Task {
+    label: String,
+    resource: ResourceId,
+    duration: f64,
+    deps: Vec<TaskId>,
+}
+
+/// A dependency graph of fixed-duration tasks over exclusive resources.
+///
+/// # Examples
+///
+/// ```
+/// use coconet_sim::TaskGraph;
+///
+/// let mut g = TaskGraph::new();
+/// let net = g.add_resource("net");
+/// let gpu = g.add_resource("gpu");
+/// let produce = g.add_task("matmul-chunk0", gpu, 2.0, &[]);
+/// let send = g.add_task("allreduce-chunk0", net, 3.0, &[produce]);
+/// let timeline = g.schedule();
+/// assert_eq!(timeline.finish_time(send), 5.0);
+/// assert_eq!(timeline.makespan(), 5.0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+    resources: Vec<String>,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> TaskGraph {
+        TaskGraph::default()
+    }
+
+    /// Registers a resource (a compute pipe or a network fabric).
+    pub fn add_resource(&mut self, name: impl Into<String>) -> ResourceId {
+        self.resources.push(name.into());
+        ResourceId(self.resources.len() - 1)
+    }
+
+    /// Adds a task bound to `resource` with the given dependencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resource` or any dependency id is unknown, or if
+    /// `duration` is negative/NaN.
+    pub fn add_task(
+        &mut self,
+        label: impl Into<String>,
+        resource: ResourceId,
+        duration: f64,
+        deps: &[TaskId],
+    ) -> TaskId {
+        assert!(resource.0 < self.resources.len(), "unknown resource");
+        assert!(
+            duration >= 0.0 && duration.is_finite(),
+            "duration must be a non-negative finite number"
+        );
+        for d in deps {
+            assert!(d.0 < self.tasks.len(), "unknown dependency {:?}", d);
+        }
+        self.tasks.push(Task {
+            label: label.into(),
+            resource,
+            duration,
+            deps: deps.to_vec(),
+        });
+        TaskId(self.tasks.len() - 1)
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Computes the schedule: tasks start as soon as their dependencies
+    /// finish and their resource is free; among simultaneously ready
+    /// tasks on one resource, insertion order wins (deterministic).
+    pub fn schedule(&self) -> Timeline {
+        let n = self.tasks.len();
+        let mut start = vec![f64::NAN; n];
+        let mut finish = vec![f64::NAN; n];
+        let mut scheduled = vec![false; n];
+        let mut resource_free: HashMap<usize, f64> = HashMap::new();
+        let mut remaining = n;
+
+        while remaining > 0 {
+            // Among tasks whose deps are all scheduled, pick the one
+            // that can start earliest (ties: lowest id — insertion
+            // order, which is the spin-lock chunk order of §5.3).
+            let mut best: Option<(f64, usize)> = None;
+            for (i, t) in self.tasks.iter().enumerate() {
+                if scheduled[i] {
+                    continue;
+                }
+                if t.deps.iter().any(|d| !scheduled[d.0]) {
+                    continue;
+                }
+                let ready = t
+                    .deps
+                    .iter()
+                    .map(|d| finish[d.0])
+                    .fold(0.0f64, f64::max);
+                let free = resource_free.get(&t.resource.0).copied().unwrap_or(0.0);
+                let s = ready.max(free);
+                let better = match best {
+                    None => true,
+                    Some((bs, bi)) => s < bs || (s == bs && i < bi),
+                };
+                if better {
+                    best = Some((s, i));
+                }
+            }
+            let (s, i) = best.expect("dependency cycle in task graph");
+            let t = &self.tasks[i];
+            start[i] = s;
+            finish[i] = s + t.duration;
+            resource_free.insert(t.resource.0, finish[i]);
+            scheduled[i] = true;
+            remaining -= 1;
+        }
+
+        let makespan = finish.iter().copied().fold(0.0f64, f64::max);
+        Timeline {
+            start,
+            finish,
+            makespan,
+            labels: self.tasks.iter().map(|t| t.label.clone()).collect(),
+            resources: self.tasks.iter().map(|t| t.resource).collect(),
+        }
+    }
+
+    /// The length of the longest dependency chain (ignoring resource
+    /// contention) — a lower bound on any schedule's makespan.
+    pub fn critical_path(&self) -> f64 {
+        let mut longest = vec![0.0f64; self.tasks.len()];
+        for (i, t) in self.tasks.iter().enumerate() {
+            let dep_max = t
+                .deps
+                .iter()
+                .map(|d| longest[d.0])
+                .fold(0.0f64, f64::max);
+            longest[i] = dep_max + t.duration;
+        }
+        longest.iter().copied().fold(0.0f64, f64::max)
+    }
+}
+
+/// The computed schedule of a [`TaskGraph`].
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    start: Vec<f64>,
+    finish: Vec<f64>,
+    makespan: f64,
+    labels: Vec<String>,
+    resources: Vec<ResourceId>,
+}
+
+impl Timeline {
+    /// When `task` starts.
+    pub fn start_time(&self, task: TaskId) -> f64 {
+        self.start[task.0]
+    }
+
+    /// When `task` finishes.
+    pub fn finish_time(&self, task: TaskId) -> f64 {
+        self.finish[task.0]
+    }
+
+    /// Completion time of the whole graph.
+    pub fn makespan(&self) -> f64 {
+        self.makespan
+    }
+
+    /// Busy time (sum of task durations) on a resource.
+    pub fn busy_time(&self, resource: ResourceId) -> f64 {
+        (0..self.start.len())
+            .filter(|&i| self.resources[i] == resource)
+            .map(|i| self.finish[i] - self.start[i])
+            .sum()
+    }
+
+    /// `(label, start, finish)` rows, ordered by start time — the Gantt
+    /// chart of the pipeline.
+    pub fn rows(&self) -> Vec<(String, f64, f64)> {
+        let mut rows: Vec<(String, f64, f64)> = (0..self.start.len())
+            .map(|i| (self.labels[i].clone(), self.start[i], self.finish[i]))
+            .collect();
+        rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn serial_chain() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r");
+        let a = g.add_task("a", r, 1.0, &[]);
+        let b = g.add_task("b", r, 2.0, &[a]);
+        let c = g.add_task("c", r, 3.0, &[b]);
+        let t = g.schedule();
+        assert_eq!(t.start_time(a), 0.0);
+        assert_eq!(t.finish_time(c), 6.0);
+        assert_eq!(t.makespan(), 6.0);
+        assert_eq!(g.critical_path(), 6.0);
+    }
+
+    #[test]
+    fn independent_tasks_on_distinct_resources_run_in_parallel() {
+        let mut g = TaskGraph::new();
+        let r1 = g.add_resource("r1");
+        let r2 = g.add_resource("r2");
+        let a = g.add_task("a", r1, 5.0, &[]);
+        let b = g.add_task("b", r2, 3.0, &[]);
+        let t = g.schedule();
+        assert_eq!(t.start_time(a), 0.0);
+        assert_eq!(t.start_time(b), 0.0);
+        assert_eq!(t.makespan(), 5.0);
+        assert!(g.critical_path() <= t.makespan());
+    }
+
+    #[test]
+    fn resource_contention_serializes() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r");
+        let _a = g.add_task("a", r, 5.0, &[]);
+        let b = g.add_task("b", r, 3.0, &[]);
+        let t = g.schedule();
+        assert_eq!(t.start_time(b), 5.0, "FIFO on the shared resource");
+        assert_eq!(t.makespan(), 8.0);
+        assert_eq!(t.busy_time(r), 8.0);
+    }
+
+    #[test]
+    fn pipeline_overlaps_stages() {
+        // 4 chunks through produce (1.0 each) -> consume (1.5 each):
+        // classic pipeline: makespan = 1.0 + 4 * 1.5 = 7.0.
+        let mut g = TaskGraph::new();
+        let gpu = g.add_resource("gpu");
+        let net = g.add_resource("net");
+        let mut prev_consume: Option<TaskId> = None;
+        let mut last = None;
+        for c in 0..4 {
+            let prod = g.add_task(format!("mm{c}"), gpu, 1.0, &[]);
+            let deps: Vec<TaskId> = match prev_consume {
+                Some(pc) => vec![prod, pc],
+                None => vec![prod],
+            };
+            let cons = g.add_task(format!("ar{c}"), net, 1.5, &deps);
+            prev_consume = Some(cons);
+            last = Some(cons);
+        }
+        let t = g.schedule();
+        assert_eq!(t.finish_time(last.unwrap()), 7.0);
+    }
+
+    #[test]
+    fn rows_are_sorted_by_start() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r");
+        g.add_task("slow", r, 2.0, &[]);
+        g.add_task("later", r, 1.0, &[]);
+        let rows = g.schedule().rows();
+        assert_eq!(rows[0].0, "slow");
+        assert_eq!(rows[1].1, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown resource")]
+    fn unknown_resource_panics() {
+        let mut g = TaskGraph::new();
+        g.add_task("x", ResourceId(3), 1.0, &[]);
+    }
+
+    fn arb_graph() -> impl Strategy<Value = TaskGraph> {
+        // Random DAG: each task depends on a subset of earlier tasks.
+        (1usize..4, prop::collection::vec((0.0f64..5.0, any::<u64>()), 1..20)).prop_map(
+            |(n_res, specs)| {
+                let mut g = TaskGraph::new();
+                let rs: Vec<ResourceId> =
+                    (0..n_res).map(|i| g.add_resource(format!("r{i}"))).collect();
+                let mut ids: Vec<TaskId> = Vec::new();
+                for (i, (dur, bits)) in specs.into_iter().enumerate() {
+                    let deps: Vec<TaskId> = ids
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| bits & (1 << (j % 60)) != 0)
+                        .map(|(_, &id)| id)
+                        .collect();
+                    let r = rs[i % rs.len()];
+                    ids.push(g.add_task(format!("t{i}"), r, dur, &deps));
+                }
+                g
+            },
+        )
+    }
+
+    proptest! {
+        /// The makespan is never below the critical path and never
+        /// above the serial sum.
+        #[test]
+        fn makespan_bounds(g in arb_graph()) {
+            let t = g.schedule();
+            let serial: f64 = (0..g.len())
+                .map(|i| g.tasks[i].duration)
+                .sum();
+            prop_assert!(t.makespan() >= g.critical_path() - 1e-9);
+            prop_assert!(t.makespan() <= serial + 1e-9);
+        }
+
+        /// No two tasks overlap on the same resource, and tasks start
+        /// only after their dependencies finish.
+        #[test]
+        fn schedule_is_feasible(g in arb_graph()) {
+            let t = g.schedule();
+            for i in 0..g.len() {
+                for d in &g.tasks[i].deps {
+                    prop_assert!(t.start[i] >= t.finish[d.0] - 1e-9);
+                }
+                for j in 0..i {
+                    if g.tasks[i].resource == g.tasks[j].resource {
+                        let disjoint = t.finish[i] <= t.start[j] + 1e-9
+                            || t.finish[j] <= t.start[i] + 1e-9;
+                        prop_assert!(disjoint, "tasks {i} and {j} overlap");
+                    }
+                }
+            }
+        }
+
+        /// Scheduling is deterministic.
+        #[test]
+        fn deterministic(g in arb_graph()) {
+            let t1 = g.schedule();
+            let t2 = g.schedule();
+            prop_assert_eq!(t1.makespan(), t2.makespan());
+        }
+    }
+}

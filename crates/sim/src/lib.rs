@@ -1,0 +1,46 @@
+//! # coconet-sim
+//!
+//! Performance simulator for the CoCoNet reproduction: a calibrated
+//! analytic cost model of the paper's testbed (16 DGX-2 nodes) plus a
+//! discrete-event engine for the chunk-level pipelines the `overlap`
+//! transformation creates.
+//!
+//! The paper measures wall-clock on real V100 clusters; this crate
+//! substitutes a machine model that reproduces the first-order effects
+//! separating the schedules (launch counts, fusion's memory-traffic
+//! savings, ring volumes/latencies per NCCL protocol, shared
+//! InfiniBand, fine-grained overlap). See `DESIGN.md` for the
+//! calibration constants.
+//!
+//! # Examples
+//!
+//! ```
+//! use coconet_core::{CollKind, CollectiveStep, CommConfig, DType, Step};
+//! use coconet_sim::Simulator;
+//! use coconet_topology::MachineSpec;
+//!
+//! let sim = Simulator::new(MachineSpec::paper_testbed(), 256, 1);
+//! let ar = Step::Collective(CollectiveStep {
+//!     label: "allreduce".into(),
+//!     kind: CollKind::AllReduce,
+//!     elems: 1 << 26,
+//!     dtype: DType::F16,
+//!     scattered: None,
+//! });
+//! let t = sim.time_step(&ar, CommConfig::default());
+//! assert!(t.seconds > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cost;
+mod event;
+mod overlap;
+mod protocol;
+mod simulator;
+
+pub use cost::{CostKnobs, CostModel, GroupGeom};
+pub use event::{ResourceId, TaskGraph, TaskId, Timeline};
+pub use overlap::{simulate_overlap, simulate_overlap_with_tiles, tile_count, OverlapSim};
+pub use protocol::{channel_sweep, default_protocol, params as protocol_params, ProtocolParams};
+pub use simulator::{PlanTime, Simulator, StepCategory, StepTime};

@@ -1,0 +1,109 @@
+//! NCCL protocol parameters (§5.1).
+//!
+//! "NCCL sends data using one of the three protocols: LL, LL128, and
+//! Simple. These protocols make different tradeoffs between latency and
+//! bandwidth based on the type of inter-node synchronization used: LL
+//! has the lowest latency and Simple provides the highest bandwidth."
+//!
+//! The numbers below follow the public NCCL implementation's tuning
+//! model: LL moves 4 bytes of data per 8-byte pack (50 % line rate)
+//! with flag-based synchronization; LL128 moves 120 of every 128 bytes
+//! (~95 %); Simple runs at line rate but synchronizes with memory
+//! fences at chunk granularity, costing the highest per-hop latency.
+
+use coconet_core::Protocol;
+
+/// Latency/bandwidth characteristics of one protocol.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProtocolParams {
+    /// Fraction of the line rate the protocol sustains.
+    pub bw_factor: f64,
+    /// Per-ring-step latency over NVLink/NVSwitch, seconds.
+    pub hop_latency_intra: f64,
+    /// Per-ring-step latency over InfiniBand, seconds.
+    pub hop_latency_inter: f64,
+    /// Fixed kernel-side setup latency per collective call, seconds.
+    pub base_latency: f64,
+}
+
+/// The tuning parameters for a protocol.
+pub fn params(p: Protocol) -> ProtocolParams {
+    match p {
+        Protocol::LL => ProtocolParams {
+            bw_factor: 0.50,
+            hop_latency_intra: 0.6e-6,
+            hop_latency_inter: 1.6e-6,
+            base_latency: 2.0e-6,
+        },
+        Protocol::LL128 => ProtocolParams {
+            bw_factor: 0.95,
+            hop_latency_intra: 0.9e-6,
+            hop_latency_inter: 2.4e-6,
+            base_latency: 3.0e-6,
+        },
+        Protocol::Simple => ProtocolParams {
+            bw_factor: 1.00,
+            hop_latency_intra: 2.8e-6,
+            hop_latency_inter: 6.0e-6,
+            base_latency: 6.0e-6,
+        },
+    }
+}
+
+/// The NCCL-style size heuristic: which protocol the library would pick
+/// for a message of `bytes` (the autotuner sweeps all of them instead;
+/// §6.1.1 shows the heuristic is not always right).
+pub fn default_protocol(bytes: u64) -> Protocol {
+    // NCCL's real thresholds grow with rank count (latency terms scale
+    // with ring steps); these values approximate its choices at the
+    // paper's 256-rank scale.
+    if bytes < 1024 * 1024 {
+        Protocol::LL
+    } else if bytes < 64 * 1024 * 1024 {
+        Protocol::LL128
+    } else {
+        Protocol::Simple
+    }
+}
+
+/// The channel counts the paper's autotuner sweeps (§6.1.1: "all
+/// channels from 2 to 64").
+pub fn channel_sweep() -> Vec<usize> {
+    vec![2, 4, 8, 16, 32, 64]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_bandwidth_tradeoff_ordering() {
+        let ll = params(Protocol::LL);
+        let ll128 = params(Protocol::LL128);
+        let simple = params(Protocol::Simple);
+        // Bandwidth: LL < LL128 < Simple.
+        assert!(ll.bw_factor < ll128.bw_factor);
+        assert!(ll128.bw_factor < simple.bw_factor);
+        // Latency: LL < LL128 < Simple.
+        assert!(ll.hop_latency_intra < ll128.hop_latency_intra);
+        assert!(ll128.hop_latency_intra < simple.hop_latency_intra);
+        // Inter-node hops are always slower than intra-node hops.
+        for p in [ll, ll128, simple] {
+            assert!(p.hop_latency_inter > p.hop_latency_intra);
+        }
+    }
+
+    #[test]
+    fn default_protocol_by_size() {
+        assert_eq!(default_protocol(1024), Protocol::LL);
+        assert_eq!(default_protocol(4 * 1024 * 1024), Protocol::LL128);
+        assert_eq!(default_protocol(128 * 1024 * 1024), Protocol::Simple);
+    }
+
+    #[test]
+    fn channel_sweep_covers_paper_range() {
+        let ch = channel_sweep();
+        assert_eq!(*ch.first().unwrap(), 2);
+        assert_eq!(*ch.last().unwrap(), 64);
+    }
+}

@@ -1,0 +1,298 @@
+//! End-to-end plan timing: the machine-level evaluator the autotuner
+//! and benchmarks use.
+
+use coconet_core::{CommConfig, ExecPlan, Step};
+use coconet_topology::{Cluster, MachineSpec};
+
+use crate::overlap::simulate_overlap;
+use crate::{CostModel, GroupGeom};
+
+/// Category of a timed step, for the stacked-bar breakdowns of
+/// Figures 11 and 12.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepCategory {
+    /// Local computation (kernels, GEMMs).
+    Compute,
+    /// Cross-rank communication.
+    Communication,
+    /// Fused communication + computation.
+    FusedCommunication,
+    /// An overlapped pipeline.
+    Overlapped,
+    /// Fixed documented cost.
+    Fixed,
+}
+
+/// Timing of one plan step.
+#[derive(Clone, Debug)]
+pub struct StepTime {
+    /// The step label.
+    pub label: String,
+    /// Seconds.
+    pub seconds: f64,
+    /// Category for breakdown reporting.
+    pub category: StepCategory,
+}
+
+/// Timing of a whole plan.
+#[derive(Clone, Debug)]
+pub struct PlanTime {
+    /// Total time in seconds (steps run back-to-back; overlap happens
+    /// *inside* `Overlapped` steps, which is the paper's model — one
+    /// kernel launch per stage, §5.3).
+    pub total: f64,
+    /// Per-step timings.
+    pub steps: Vec<StepTime>,
+}
+
+impl PlanTime {
+    /// Sum of the steps in a category.
+    pub fn category_total(&self, category: StepCategory) -> f64 {
+        self.steps
+            .iter()
+            .filter(|s| s.category == category)
+            .map(|s| s.seconds)
+            .sum()
+    }
+}
+
+/// A machine simulator bound to an execution geometry: programs run
+/// SPMD over `num_groups` groups of `group_size` ranks each.
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    cost: CostModel,
+    cluster: Cluster,
+    group_size: usize,
+    num_groups: usize,
+}
+
+impl Simulator {
+    /// Creates a simulator for `num_groups` groups of `group_size`
+    /// consecutive ranks on `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine has fewer GPUs than `group_size *
+    /// num_groups`.
+    pub fn new(machine: MachineSpec, group_size: usize, num_groups: usize) -> Simulator {
+        assert!(
+            machine.world_size() >= group_size * num_groups,
+            "machine has {} GPUs but the program needs {}",
+            machine.world_size(),
+            group_size * num_groups
+        );
+        let cluster = Cluster::new(machine.clone());
+        Simulator {
+            cost: CostModel::new(machine),
+            cluster,
+            group_size,
+            num_groups,
+        }
+    }
+
+    /// The underlying cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Replaces the cost model (for knob overrides).
+    pub fn with_cost_model(mut self, cost: CostModel) -> Simulator {
+        self.cost = cost;
+        self
+    }
+
+    /// Geometry of one process group.
+    pub fn group_geom(&self) -> GroupGeom {
+        let gpn = self.cluster.spec().gpus_per_node;
+        let nodes_spanned = self.group_size.div_ceil(gpn);
+        GroupGeom {
+            size: self.group_size,
+            nodes_spanned,
+            ranks_per_node: self.group_size.min(gpn),
+        }
+    }
+
+    /// Whether the P2P from group `g` to `g+1` crosses node boundaries.
+    pub fn p2p_crosses_nodes(&self) -> bool {
+        if self.num_groups < 2 {
+            return false;
+        }
+        // Rank 0 of group 0 vs rank 0 of group 1.
+        let peer = self.group_size;
+        !self.cluster.same_node(0, peer.min(self.cluster.world_size() - 1))
+    }
+
+    /// Times a single step.
+    pub fn time_step(&self, step: &Step, config: CommConfig) -> StepTime {
+        let geom = self.group_geom();
+        match step {
+            Step::Kernel(k) => StepTime {
+                label: k.label.clone(),
+                seconds: self.cost.kernel_time(k),
+                category: StepCategory::Compute,
+            },
+            Step::MatMul(mm) => StepTime {
+                label: mm.label.clone(),
+                seconds: self.cost.matmul_time(mm),
+                category: StepCategory::Compute,
+            },
+            Step::Collective(c) => {
+                let mut t = self
+                    .cost
+                    .collective_time(c.kind, c.elems, c.dtype, geom, config);
+                if let Some(s) = c.scattered {
+                    t += self.cost.scattered_overhead(s.n_tensors, s.n_buckets);
+                }
+                StepTime {
+                    label: c.label.clone(),
+                    seconds: t,
+                    category: StepCategory::Communication,
+                }
+            }
+            Step::FusedCollective(f) => StepTime {
+                label: f.label.clone(),
+                seconds: self.cost.fused_collective_time(f, geom, config),
+                category: StepCategory::FusedCommunication,
+            },
+            Step::SendRecv(sr) => StepTime {
+                label: sr.label.clone(),
+                seconds: self.cost.send_recv_time(
+                    sr,
+                    geom,
+                    self.p2p_crosses_nodes(),
+                    config,
+                ),
+                category: StepCategory::Communication,
+            },
+            Step::Overlapped(ol) => {
+                let sim = simulate_overlap(
+                    &self.cost,
+                    ol,
+                    geom,
+                    self.p2p_crosses_nodes(),
+                    config,
+                );
+                StepTime {
+                    label: ol.label.clone(),
+                    seconds: sim.total,
+                    category: StepCategory::Overlapped,
+                }
+            }
+            Step::Fixed(f) => StepTime {
+                label: f.label.clone(),
+                seconds: f.seconds,
+                category: StepCategory::Fixed,
+            },
+        }
+    }
+
+    /// Times a whole plan.
+    pub fn time_plan(&self, plan: &ExecPlan) -> PlanTime {
+        let steps: Vec<StepTime> = plan
+            .steps
+            .iter()
+            .map(|s| self.time_step(s, plan.config))
+            .collect();
+        PlanTime {
+            total: steps.iter().map(|s| s.seconds).sum(),
+            steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconet_core::{
+        CollKind, CollectiveStep, DType, FixedStep, KernelStep, Protocol, ScatterInfo,
+    };
+
+    fn simulator() -> Simulator {
+        Simulator::new(MachineSpec::dgx2_cluster(16), 256, 1)
+    }
+
+    #[test]
+    fn geometry() {
+        let s = simulator();
+        let g = s.group_geom();
+        assert_eq!(g.size, 256);
+        assert_eq!(g.nodes_spanned, 16);
+        assert_eq!(g.ranks_per_node, 16);
+        assert!(!s.p2p_crosses_nodes(), "single group has no P2P");
+
+        let pipe = Simulator::new(MachineSpec::dgx2_cluster(16), 16, 16);
+        assert_eq!(pipe.group_geom().nodes_spanned, 1);
+        assert!(pipe.p2p_crosses_nodes());
+
+        let half = Simulator::new(MachineSpec::dgx2_cluster(1), 8, 2);
+        assert!(!half.p2p_crosses_nodes(), "both groups on one node");
+    }
+
+    #[test]
+    #[should_panic(expected = "GPUs")]
+    fn oversubscription_panics() {
+        Simulator::new(MachineSpec::dgx2_cluster(1), 16, 2);
+    }
+
+    #[test]
+    fn plan_time_sums_steps() {
+        let s = simulator();
+        let plan = ExecPlan {
+            name: "t".into(),
+            steps: vec![
+                Step::Kernel(KernelStep {
+                    label: "k".into(),
+                    bytes_read: 1 << 20,
+                    bytes_written: 1 << 20,
+                    flops: 1 << 18,
+                    n_ops: 2,
+                }),
+                Step::Collective(CollectiveStep {
+                    label: "ar".into(),
+                    kind: CollKind::AllReduce,
+                    elems: 1 << 20,
+                    dtype: DType::F16,
+                    scattered: None,
+                }),
+                Step::Fixed(FixedStep {
+                    label: "preproc".into(),
+                    seconds: 25e-6,
+                }),
+            ],
+            config: CommConfig {
+                protocol: Protocol::Simple,
+                channels: 16,
+            },
+        };
+        let t = s.time_plan(&plan);
+        assert_eq!(t.steps.len(), 3);
+        let sum: f64 = t.steps.iter().map(|x| x.seconds).sum();
+        assert!((t.total - sum).abs() < 1e-12);
+        assert_eq!(t.category_total(StepCategory::Fixed), 25e-6);
+        assert!(t.category_total(StepCategory::Compute) > 0.0);
+        assert!(t.category_total(StepCategory::Communication) > 0.0);
+    }
+
+    #[test]
+    fn scattered_collective_adds_overhead() {
+        let s = simulator();
+        let cfg = CommConfig::default();
+        let base = CollectiveStep {
+            label: "ar".into(),
+            kind: CollKind::AllReduce,
+            elems: 334_000_000,
+            dtype: DType::F16,
+            scattered: None,
+        };
+        let t_dense = s.time_step(&Step::Collective(base.clone()), cfg).seconds;
+        let mut scat = base;
+        scat.scattered = Some(ScatterInfo {
+            n_tensors: 360,
+            n_buckets: 334_000_000 / 1024,
+        });
+        let t_scat = s.time_step(&Step::Collective(scat), cfg).seconds;
+        assert!(t_scat > t_dense);
+        // Table 2: the overhead is ~2 %.
+        assert!((t_scat - t_dense) / t_dense < 0.05);
+    }
+}

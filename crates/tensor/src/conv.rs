@@ -1,0 +1,223 @@
+//! 2-D convolution (Table 1 lists Convolution among the supported
+//! layers).
+//!
+//! NCHW layout, OIHW weights, symmetric stride/padding — the subset
+//! cuDNN's `cudnnConvolutionForward` covers that the DSL exposes.
+
+use crate::{DType, Shape, Tensor, TensorError};
+
+/// Convolution geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Conv2dParams {
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding in both spatial dimensions.
+    pub padding: usize,
+}
+
+impl Conv2dParams {
+    /// Unit stride, no padding.
+    pub const fn identity() -> Conv2dParams {
+        Conv2dParams {
+            stride: 1,
+            padding: 0,
+        }
+    }
+
+    /// Output spatial extent for an input extent.
+    pub fn out_extent(&self, input: usize, kernel: usize) -> Option<usize> {
+        (input + 2 * self.padding)
+            .checked_sub(kernel)
+            .map(|v| v / self.stride + 1)
+    }
+}
+
+impl Tensor {
+    /// 2-D convolution: `self` is `[N, C, H, W]`, `weight` is
+    /// `[K, C, R, S]`; the result is `[N, K, H', W']` with
+    /// `H' = (H + 2p - R)/stride + 1`. Accumulation is in `f32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MatMulDims`]-style shape errors when the
+    /// ranks are not 4, the channel counts disagree, or the kernel does
+    /// not fit the padded input.
+    pub fn conv2d(&self, weight: &Tensor, params: Conv2dParams) -> Result<Tensor, TensorError> {
+        let x = self.shape();
+        let w = weight.shape();
+        if x.rank() != 4 || w.rank() != 4 || x.dim(1) != w.dim(1) {
+            return Err(TensorError::MatMulDims {
+                lhs: x.clone(),
+                rhs: w.clone(),
+            });
+        }
+        let (n, c, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        let (k, _, r, s) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+        if params.stride == 0 {
+            return Err(TensorError::MatMulDims {
+                lhs: x.clone(),
+                rhs: w.clone(),
+            });
+        }
+        let (Some(oh), Some(ow)) = (
+            params.out_extent(h, r),
+            params.out_extent(wd, s),
+        ) else {
+            return Err(TensorError::MatMulDims {
+                lhs: x.clone(),
+                rhs: w.clone(),
+            });
+        };
+        if oh == 0 || ow == 0 {
+            return Err(TensorError::MatMulDims {
+                lhs: x.clone(),
+                rhs: w.clone(),
+            });
+        }
+
+        let dtype = DType::promote(self.dtype(), weight.dtype());
+        let mut out = Tensor::zeros(Shape::from([n, k, oh, ow]), dtype);
+        let xi = |ni: usize, ci: usize, hi: usize, wi: usize| {
+            self.get(((ni * c + ci) * h + hi) * wd + wi)
+        };
+        let wi = |ki: usize, ci: usize, ri: usize, si: usize| {
+            weight.get(((ki * c + ci) * r + ri) * s + si)
+        };
+        let p = params.padding as isize;
+        let stride = params.stride as isize;
+        for ni in 0..n {
+            for ki in 0..k {
+                for ohi in 0..oh {
+                    for owi in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ci in 0..c {
+                            for ri in 0..r {
+                                for si in 0..s {
+                                    let hy = ohi as isize * stride + ri as isize - p;
+                                    let wx = owi as isize * stride + si as isize - p;
+                                    if hy >= 0
+                                        && wx >= 0
+                                        && (hy as usize) < h
+                                        && (wx as usize) < wd
+                                    {
+                                        acc += xi(ni, ci, hy as usize, wx as usize)
+                                            * wi(ki, ci, ri, si);
+                                    }
+                                }
+                            }
+                        }
+                        out.set(((ni * k + ki) * oh + ohi) * ow + owi, acc);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // 1x1 kernel with weight 1.0 is the identity.
+        let x = Tensor::from_fn([1, 1, 3, 3], DType::F32, |i| i as f32);
+        let w = Tensor::full([1, 1, 1, 1], DType::F32, 1.0);
+        let y = x.conv2d(&w, Conv2dParams::identity()).unwrap();
+        assert_eq!(y.shape(), x.shape());
+        assert_eq!(y.to_f32_vec(), x.to_f32_vec());
+    }
+
+    #[test]
+    fn box_filter_sums_neighborhood() {
+        let x = Tensor::full([1, 1, 4, 4], DType::F32, 1.0);
+        let w = Tensor::full([1, 1, 3, 3], DType::F32, 1.0);
+        let y = x.conv2d(&w, Conv2dParams::identity()).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert!(y.to_f32_vec().iter().all(|&v| v == 9.0));
+        // With padding 1 the corners see a 2x2 window.
+        let y = x
+            .conv2d(
+                &w,
+                Conv2dParams {
+                    stride: 1,
+                    padding: 1,
+                },
+            )
+            .unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 4, 4]);
+        assert_eq!(y.get(0), 4.0);
+        assert_eq!(y.get(5), 9.0);
+    }
+
+    #[test]
+    fn stride_downsamples() {
+        let x = Tensor::from_fn([1, 1, 4, 4], DType::F32, |i| i as f32);
+        let w = Tensor::full([1, 1, 2, 2], DType::F32, 1.0);
+        let y = x
+            .conv2d(
+                &w,
+                Conv2dParams {
+                    stride: 2,
+                    padding: 0,
+                },
+            )
+            .unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        // Window at (0,0): 0+1+4+5 = 10.
+        assert_eq!(y.get(0), 10.0);
+    }
+
+    #[test]
+    fn channels_and_filters() {
+        // 2 input channels, 3 filters; each filter sums its channels.
+        let x = Tensor::from_fn([1, 2, 2, 2], DType::F32, |i| i as f32);
+        let w = Tensor::from_fn([3, 2, 1, 1], DType::F32, |i| (i / 2) as f32);
+        let y = x.conv2d(&w, Conv2dParams::identity()).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 3, 2, 2]);
+        // Filter 0 has weights (0, 0): all zeros.
+        assert_eq!(y.get(0), 0.0);
+        // Filter 1 has weights (1, 1): sums channel values.
+        let expect = x.get(0) + x.get(4);
+        assert_eq!(y.get(4), expect);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let x = Tensor::zeros([1, 2, 4, 4], DType::F32);
+        let w_badc = Tensor::zeros([1, 3, 2, 2], DType::F32);
+        assert!(x.conv2d(&w_badc, Conv2dParams::identity()).is_err());
+        let w_toobig = Tensor::zeros([1, 2, 5, 5], DType::F32);
+        assert!(x.conv2d(&w_toobig, Conv2dParams::identity()).is_err());
+        let w3 = Tensor::zeros([2, 2, 2], DType::F32);
+        assert!(x.conv2d(&w3, Conv2dParams::identity()).is_err());
+        let w = Tensor::zeros([1, 2, 2, 2], DType::F32);
+        assert!(x
+            .conv2d(
+                &w,
+                Conv2dParams {
+                    stride: 0,
+                    padding: 0
+                }
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn conv_is_gemm_for_1x1() {
+        // 1x1 convolution == matmul over channels at each pixel.
+        let x = Tensor::from_fn([1, 3, 2, 2], DType::F32, |i| (i % 5) as f32);
+        let w = Tensor::from_fn([4, 3, 1, 1], DType::F32, |i| (i % 3) as f32);
+        let y = x.conv2d(&w, Conv2dParams::identity()).unwrap();
+        for ki in 0..4 {
+            for px in 0..4 {
+                let mut acc = 0.0;
+                for ci in 0..3 {
+                    acc += x.get(ci * 4 + px) * w.get(ki * 3 + ci);
+                }
+                assert_eq!(y.get(ki * 4 + px), acc);
+            }
+        }
+    }
+}

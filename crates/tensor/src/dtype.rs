@@ -1,0 +1,83 @@
+//! Element data types supported by the tensor substrate.
+
+use std::fmt;
+
+/// The element type of a [`Tensor`](crate::Tensor).
+///
+/// The paper's workloads use FP16 for parameters/gradients and FP32 for
+/// optimizer state ("mixed precision", §5.2). Both are supported here.
+///
+/// # Examples
+///
+/// ```
+/// use coconet_tensor::DType;
+///
+/// assert_eq!(DType::F16.size_bytes(), 2);
+/// assert_eq!(DType::promote(DType::F16, DType::F32), DType::F32);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DType {
+    /// IEEE 754 binary16.
+    F16,
+    /// IEEE 754 binary32.
+    F32,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    #[inline]
+    pub const fn size_bytes(self) -> usize {
+        match self {
+            DType::F16 => 2,
+            DType::F32 => 4,
+        }
+    }
+
+    /// The wider of two element types, used when a binary operation mixes
+    /// precisions (mirrors the paper's mixed-precision rule: compute in the
+    /// largest element type, §5.2).
+    #[inline]
+    pub const fn promote(a: DType, b: DType) -> DType {
+        match (a, b) {
+            (DType::F16, DType::F16) => DType::F16,
+            _ => DType::F32,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DType::F16 => write!(f, "FP16"),
+            DType::F32 => write!(f, "FP32"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::F32.size_bytes(), 4);
+    }
+
+    #[test]
+    fn promotion_is_commutative_and_monotone() {
+        for a in [DType::F16, DType::F32] {
+            for b in [DType::F16, DType::F32] {
+                assert_eq!(DType::promote(a, b), DType::promote(b, a));
+                assert!(DType::promote(a, b) >= a);
+                assert!(DType::promote(a, b) >= b);
+            }
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DType::F16.to_string(), "FP16");
+        assert_eq!(DType::F32.to_string(), "FP32");
+    }
+}

@@ -1,0 +1,175 @@
+//! Error type for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{DType, Shape};
+
+/// Errors produced by tensor construction and arithmetic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes could not be broadcast together.
+    BroadcastMismatch {
+        /// Left-hand shape.
+        lhs: Shape,
+        /// Right-hand shape.
+        rhs: Shape,
+    },
+    /// An operation required identical shapes but got different ones.
+    ShapeMismatch {
+        /// Expected shape.
+        expected: Shape,
+        /// Actual shape.
+        actual: Shape,
+    },
+    /// Matrix multiplication inner dimensions disagree.
+    MatMulDims {
+        /// Left-hand shape.
+        lhs: Shape,
+        /// Right-hand shape.
+        rhs: Shape,
+    },
+    /// An operation required identical dtypes but got different ones.
+    DTypeMismatch {
+        /// Expected dtype.
+        expected: DType,
+        /// Actual dtype.
+        actual: DType,
+    },
+    /// A dimension index was out of range for the tensor's rank.
+    DimOutOfRange {
+        /// The offending dimension.
+        dim: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// A slice range fell outside the dimension extent.
+    SliceOutOfRange {
+        /// Dimension being sliced.
+        dim: usize,
+        /// Start of the slice.
+        start: usize,
+        /// Length of the slice.
+        len: usize,
+        /// Extent of the dimension.
+        extent: usize,
+    },
+    /// A split/chunk did not divide the dimension evenly.
+    UnevenSplit {
+        /// Dimension being split.
+        dim: usize,
+        /// Extent of the dimension.
+        extent: usize,
+        /// Number of requested parts.
+        parts: usize,
+    },
+    /// Concatenation inputs disagree on a non-concat dimension or dtype.
+    ConcatMismatch,
+    /// The data length did not match the shape's element count.
+    DataLength {
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        actual: usize,
+    },
+    /// A probability argument was outside `[0, 1)`.
+    InvalidProbability(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::BroadcastMismatch { lhs, rhs } => {
+                write!(f, "shapes {lhs} and {rhs} cannot be broadcast together")
+            }
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "expected shape {expected}, got {actual}")
+            }
+            TensorError::MatMulDims { lhs, rhs } => {
+                write!(f, "matmul inner dimensions disagree: {lhs} x {rhs}")
+            }
+            TensorError::DTypeMismatch { expected, actual } => {
+                write!(f, "expected dtype {expected}, got {actual}")
+            }
+            TensorError::DimOutOfRange { dim, rank } => {
+                write!(f, "dimension {dim} out of range for rank {rank}")
+            }
+            TensorError::SliceOutOfRange {
+                dim,
+                start,
+                len,
+                extent,
+            } => write!(
+                f,
+                "slice {start}..{} out of range for dimension {dim} of extent {extent}",
+                start + len
+            ),
+            TensorError::UnevenSplit { dim, extent, parts } => write!(
+                f,
+                "dimension {dim} of extent {extent} does not split evenly into {parts} parts"
+            ),
+            TensorError::ConcatMismatch => {
+                write!(f, "concatenation inputs disagree on shape or dtype")
+            }
+            TensorError::DataLength { expected, actual } => {
+                write!(f, "expected {expected} elements, got {actual}")
+            }
+            TensorError::InvalidProbability(what) => {
+                write!(f, "probability for {what} must be in [0, 1)")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors: Vec<TensorError> = vec![
+            TensorError::BroadcastMismatch {
+                lhs: Shape::from([2]),
+                rhs: Shape::from([3]),
+            },
+            TensorError::ShapeMismatch {
+                expected: Shape::from([2]),
+                actual: Shape::from([3]),
+            },
+            TensorError::MatMulDims {
+                lhs: Shape::from([2, 3]),
+                rhs: Shape::from([4, 5]),
+            },
+            TensorError::DTypeMismatch {
+                expected: DType::F16,
+                actual: DType::F32,
+            },
+            TensorError::DimOutOfRange { dim: 3, rank: 2 },
+            TensorError::SliceOutOfRange {
+                dim: 0,
+                start: 1,
+                len: 5,
+                extent: 4,
+            },
+            TensorError::UnevenSplit {
+                dim: 0,
+                extent: 5,
+                parts: 2,
+            },
+            TensorError::ConcatMismatch,
+            TensorError::DataLength {
+                expected: 6,
+                actual: 5,
+            },
+            TensorError::InvalidProbability("dropout".into()),
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Matrix multiplication.
+//!
+//! The model-parallel workloads (§2.1, Figure 3) multiply an activation
+//! tensor `[B, S, H]` by a weight `[H, H']`: the leading dimensions are
+//! flattened into rows, i.e. a `[B*S, H] x [H, H']` GEMM. Accumulation
+//! is in `f32` even for FP16 inputs, mirroring tensor-core MMA behaviour.
+
+use crate::{DType, Shape, Tensor, TensorError};
+
+/// Cache-blocked GEMM tile edge (elements).
+const BLOCK: usize = 64;
+
+impl Tensor {
+    /// Matrix product `self @ rhs`.
+    ///
+    /// `self` may have any rank ≥ 1; its trailing dimension is the
+    /// contraction dimension. `rhs` must be 2-D `[K, N]`. The result
+    /// replaces the trailing dimension of `self` with `N`, e.g.
+    /// `[B, S, K] @ [K, N] -> [B, S, N]`.
+    ///
+    /// The output dtype is the promotion of the input dtypes;
+    /// accumulation is always `f32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MatMulDims`] if `rhs` is not 2-D or the
+    /// contraction dimensions disagree.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use coconet_tensor::{DType, Tensor};
+    ///
+    /// let a = Tensor::from_f32([2, 2], DType::F32, &[1.0, 2.0, 3.0, 4.0])?;
+    /// let i = Tensor::from_f32([2, 2], DType::F32, &[1.0, 0.0, 0.0, 1.0])?;
+    /// assert_eq!(a.matmul(&i)?.to_f32_vec(), a.to_f32_vec());
+    /// # Ok::<(), coconet_tensor::TensorError>(())
+    /// ```
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        let lhs_shape = self.shape();
+        let rhs_shape = rhs.shape();
+        if rhs_shape.rank() != 2 || lhs_shape.rank() < 1 {
+            return Err(TensorError::MatMulDims {
+                lhs: lhs_shape.clone(),
+                rhs: rhs_shape.clone(),
+            });
+        }
+        let k = lhs_shape.dim(lhs_shape.rank() - 1);
+        if rhs_shape.dim(0) != k {
+            return Err(TensorError::MatMulDims {
+                lhs: lhs_shape.clone(),
+                rhs: rhs_shape.clone(),
+            });
+        }
+        let n = rhs_shape.dim(1);
+        let m = lhs_shape.numel() / k;
+
+        // f32 staging buffers: read once, then run a blocked kernel.
+        let a = self.to_f32_vec();
+        let b = rhs.to_f32_vec();
+        let mut c = vec![0.0f32; m * n];
+        gemm_blocked(&a, &b, &mut c, m, k, n);
+
+        let mut out_dims = lhs_shape.dims().to_vec();
+        *out_dims.last_mut().expect("rank >= 1") = n;
+        let dtype = DType::promote(self.dtype(), rhs.dtype());
+        Tensor::from_f32(Shape::new(out_dims), dtype, &c)
+    }
+}
+
+/// `C += A @ B` with `A: [m, k]`, `B: [k, n]`, `C: [m, n]`, row-major,
+/// blocked over all three dimensions for cache locality.
+fn gemm_blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i0 in (0..m).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(m);
+        for k0 in (0..k).step_by(BLOCK) {
+            let k1 = (k0 + BLOCK).min(k);
+            for j0 in (0..n).step_by(BLOCK) {
+                let j1 = (j0 + BLOCK).min(n);
+                for i in i0..i1 {
+                    for kk in k0..k1 {
+                        let aik = a[i * k + kk];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[kk * n + j0..kk * n + j1];
+                        let c_row = &mut c[i * n + j0..i * n + j1];
+                        for (cj, bj) in c_row.iter_mut().zip(b_row) {
+                            *cj += aik * bj;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn identity() {
+        let a = Tensor::from_fn([3, 3], DType::F32, |i| i as f32);
+        let eye = Tensor::from_fn([3, 3], DType::F32, |i| {
+            if i / 3 == i % 3 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        assert_eq!(a.matmul(&eye).unwrap().to_f32_vec(), a.to_f32_vec());
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Tensor::from_f32([2, 3], DType::F32, &[1., 2., 3., 4., 5., 6.]).unwrap();
+        let b =
+            Tensor::from_f32([3, 2], DType::F32, &[7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &Shape::from([2, 2]));
+        assert_eq!(c.to_f32_vec(), vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn batched_3d() {
+        // [2, 2, 3] @ [3, 2] -> [2, 2, 2]; equals flattening to [4, 3].
+        let a = Tensor::from_fn([2, 2, 3], DType::F32, |i| i as f32);
+        let b = Tensor::from_fn([3, 2], DType::F32, |i| (i % 3) as f32);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &Shape::from([2, 2, 2]));
+        let flat = a.reshape([4, 3]).unwrap().matmul(&b).unwrap();
+        assert_eq!(c.to_f32_vec(), flat.to_f32_vec());
+    }
+
+    #[test]
+    fn dim_mismatch() {
+        let a = Tensor::zeros([2, 3], DType::F32);
+        let b = Tensor::zeros([4, 2], DType::F32);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::MatMulDims { .. })
+        ));
+        let b1 = Tensor::zeros([3], DType::F32);
+        assert!(a.matmul(&b1).is_err(), "rhs must be 2-D");
+    }
+
+    #[test]
+    fn mixed_precision_output() {
+        let a = Tensor::full([2, 2], DType::F16, 1.0);
+        let b = Tensor::full([2, 2], DType::F16, 1.0);
+        assert_eq!(a.matmul(&b).unwrap().dtype(), DType::F16);
+        let b32 = Tensor::full([2, 2], DType::F32, 1.0);
+        assert_eq!(a.matmul(&b32).unwrap().dtype(), DType::F32);
+    }
+
+    #[test]
+    fn blocked_matches_naive_large() {
+        // Cross the BLOCK boundary to exercise tiling edges.
+        let (m, k, n) = (70, 65, 130);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 7919) % 13) as f32 - 6.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 104729) % 11) as f32 - 5.0).collect();
+        let ta = Tensor::from_f32([m, k], DType::F32, &a).unwrap();
+        let tb = Tensor::from_f32([k, n], DType::F32, &b).unwrap();
+        let c = ta.matmul(&tb).unwrap();
+        assert_eq!(c.to_f32_vec(), naive(&a, &b, m, k, n));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Blocked GEMM agrees with the naive triple loop.
+        #[test]
+        fn gemm_matches_naive(
+            m in 1usize..20,
+            k in 1usize..20,
+            n in 1usize..20,
+            seed in any::<u32>(),
+        ) {
+            let gen = |i: usize| (((i as u64 + seed as u64) * 2654435761) % 7) as f32 - 3.0;
+            let a: Vec<f32> = (0..m * k).map(gen).collect();
+            let b: Vec<f32> = (0..k * n).map(|i| gen(i + 1000)).collect();
+            let ta = Tensor::from_f32([m, k], DType::F32, &a).unwrap();
+            let tb = Tensor::from_f32([k, n], DType::F32, &b).unwrap();
+            prop_assert_eq!(ta.matmul(&tb).unwrap().to_f32_vec(), naive(&a, &b, m, k, n));
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Pointwise operations, activations, reductions, and dropout.
+//!
+//! These are the computation operations of Table 1 in the paper
+//! (`+ - * / Norm ReduceTensor Sqrt Pow Update`, plus the activations
+//! `Dropout`, `tanh`, `ReLU`). Binary operations follow PyTorch
+//! broadcast semantics and promote mixed dtypes to the wider type.
+
+use crate::{CounterRng, DType, Shape, Tensor, TensorError};
+
+impl Tensor {
+    /// Applies `f` to every element, preserving shape and dtype.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor::from_fn(self.shape().clone(), self.dtype(), |i| f(self.get(i)))
+    }
+
+    /// Applies `f` pairwise after broadcasting; the result has the
+    /// broadcast shape and the promoted dtype.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BroadcastMismatch`] when the shapes cannot
+    /// be broadcast together.
+    pub fn zip(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, TensorError> {
+        let out_shape = self.shape().broadcast(other.shape())?;
+        let dtype = DType::promote(self.dtype(), other.dtype());
+        let lhs_shape = self.shape().clone();
+        let rhs_shape = other.shape().clone();
+        Ok(Tensor::from_fn(out_shape.clone(), dtype, |i| {
+            let a = self.get(lhs_shape.broadcast_index(&out_shape, i));
+            let b = other.get(rhs_shape.broadcast_index(&out_shape, i));
+            f(a, b)
+        }))
+    }
+
+    /// Elementwise addition with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tensor::zip`].
+    pub fn add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tensor::zip`].
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise multiplication with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tensor::zip`].
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Elementwise division with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tensor::zip`].
+    pub fn div(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip(other, |a, b| a / b)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|a| a + s)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn mul_scalar(&self, s: f32) -> Tensor {
+        self.map(|a| a * s)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.map(f32::sqrt)
+    }
+
+    /// Elementwise power with constant exponent.
+    pub fn powf(&self, exp: f32) -> Tensor {
+        self.map(|a| a.powf(exp))
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        self.map(f32::tanh)
+    }
+
+    /// Elementwise rectified linear unit.
+    pub fn relu(&self) -> Tensor {
+        self.map(|a| a.max(0.0))
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Tensor {
+        self.map(|a| -a)
+    }
+
+    /// Dropout with drop probability `p`, scaling kept elements by
+    /// `1 / (1 - p)` (inverted dropout, as in PyTorch).
+    ///
+    /// The mask for the element at *global* linear index
+    /// `global_offset + i` is a pure function of `(rng, that index)`, so
+    /// executing dropout on a slice of a tensor produces exactly the
+    /// slice of the masks the full tensor would see — the property the
+    /// `reorder` transformation relies on (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidProbability`] unless `0 <= p < 1`.
+    pub fn dropout(
+        &self,
+        p: f64,
+        rng: CounterRng,
+        global_offset: u64,
+    ) -> Result<Tensor, TensorError> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(TensorError::InvalidProbability("dropout".into()));
+        }
+        let scale = (1.0 / (1.0 - p)) as f32;
+        Ok(Tensor::from_fn(self.shape().clone(), self.dtype(), |i| {
+            if rng.keep_at(global_offset + i as u64, p) {
+                self.get(i) * scale
+            } else {
+                0.0
+            }
+        }))
+    }
+
+    /// Sum of all elements, accumulated in `f64`.
+    pub fn sum(&self) -> f64 {
+        (0..self.numel()).map(|i| f64::from(self.get(i))).sum()
+    }
+
+    /// Sum of squares of all elements, accumulated in `f64`.
+    pub fn sum_squares(&self) -> f64 {
+        (0..self.numel())
+            .map(|i| {
+                let v = f64::from(self.get(i));
+                v * v
+            })
+            .sum()
+    }
+
+    /// L2 norm of the flattened tensor (the paper's `Norm`).
+    pub fn norm(&self) -> f64 {
+        self.sum_squares().sqrt()
+    }
+
+    /// In-place update: `self = f(self)` elementwise. This is the
+    /// paper's `Update` operation, which overwrites a tensor and makes
+    /// the new value visible at that position of the data-flow graph.
+    pub fn update(&mut self, f: impl Fn(f32) -> f32) {
+        for i in 0..self.numel() {
+            self.set(i, f(self.get(i)));
+        }
+    }
+
+    /// In-place elementwise assignment from another tensor of identical
+    /// shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn assign(&mut self, other: &Tensor) -> Result<(), TensorError> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                expected: self.shape().clone(),
+                actual: other.shape().clone(),
+            });
+        }
+        for i in 0..self.numel() {
+            self.set(i, other.get(i));
+        }
+        Ok(())
+    }
+}
+
+/// Reduces a list of same-shaped tensors elementwise with `f`,
+/// accumulating through `f32`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] or [`TensorError::DTypeMismatch`]
+/// when inputs disagree, and [`TensorError::DataLength`] when `tensors`
+/// is empty.
+pub fn reduce_elementwise(
+    tensors: &[&Tensor],
+    f: impl Fn(f32, f32) -> f32,
+) -> Result<Tensor, TensorError> {
+    let first = tensors.first().ok_or(TensorError::DataLength {
+        expected: 1,
+        actual: 0,
+    })?;
+    for t in &tensors[1..] {
+        if t.shape() != first.shape() {
+            return Err(TensorError::ShapeMismatch {
+                expected: first.shape().clone(),
+                actual: t.shape().clone(),
+            });
+        }
+        if t.dtype() != first.dtype() {
+            return Err(TensorError::DTypeMismatch {
+                expected: first.dtype(),
+                actual: t.dtype(),
+            });
+        }
+    }
+    Ok(Tensor::from_fn(
+        first.shape().clone(),
+        first.dtype(),
+        |i| {
+            tensors[1..]
+                .iter()
+                .fold(first.get(i), |acc, t| f(acc, t.get(i)))
+        },
+    ))
+}
+
+/// The reduction operator of a collective (NCCL supports sum/min/max;
+/// the paper's fused collectives extend reductions beyond these, which
+/// the runtime models with compute hooks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise maximum.
+    Max,
+}
+
+impl ReduceOp {
+    /// Applies the operator to two values.
+    #[inline]
+    pub fn apply(self, a: f32, b: f32) -> f32 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+
+    /// The identity element of the operator.
+    #[inline]
+    pub fn identity(self) -> f32 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Min => f32::INFINITY,
+            ReduceOp::Max => f32::NEG_INFINITY,
+        }
+    }
+}
+
+impl std::fmt::Display for ReduceOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReduceOp::Sum => write!(f, "+"),
+            ReduceOp::Min => write!(f, "min"),
+            ReduceOp::Max => write!(f, "max"),
+        }
+    }
+}
+
+/// An empty shape-compatible reduction seed for [`ReduceOp`].
+pub fn reduce_identity(shape: &Shape, dtype: DType, op: ReduceOp) -> Tensor {
+    Tensor::full(shape.clone(), dtype, op.identity())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn iota(n: usize) -> Tensor {
+        Tensor::from_fn([n], DType::F32, |i| i as f32)
+    }
+
+    #[test]
+    fn arithmetic_with_broadcast() {
+        let a = Tensor::from_fn([2, 3], DType::F32, |i| i as f32);
+        let row = Tensor::from_fn([3], DType::F32, |i| 10.0 * (i as f32 + 1.0));
+        let sum = a.add(&row).unwrap();
+        assert_eq!(sum.to_f32_vec(), vec![10.0, 21.0, 32.0, 13.0, 24.0, 35.0]);
+        let col = Tensor::from_fn([2, 1], DType::F32, |i| i as f32 + 1.0);
+        let prod = a.mul(&col).unwrap();
+        assert_eq!(prod.to_f32_vec(), vec![0.0, 1.0, 2.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn mixed_precision_promotes() {
+        let h = Tensor::full([2], DType::F16, 1.5);
+        let f = Tensor::full([2], DType::F32, 0.25);
+        let out = h.add(&f).unwrap();
+        assert_eq!(out.dtype(), DType::F32);
+        assert_eq!(out.to_f32_vec(), vec![1.75, 1.75]);
+    }
+
+    #[test]
+    fn unary_ops() {
+        let t = Tensor::from_f32([4], DType::F32, &[-1.0, 0.0, 4.0, 9.0]).unwrap();
+        assert_eq!(t.relu().to_f32_vec(), vec![0.0, 0.0, 4.0, 9.0]);
+        assert_eq!(t.neg().to_f32_vec(), vec![1.0, 0.0, -4.0, -9.0]);
+        let s = t.relu().sqrt();
+        assert_eq!(s.to_f32_vec(), vec![0.0, 0.0, 2.0, 3.0]);
+        assert_eq!(t.powf(2.0).to_f32_vec(), vec![1.0, 0.0, 16.0, 81.0]);
+        assert!((t.tanh().get(2) - 4.0f32.tanh()).abs() < 1e-6);
+        assert_eq!(t.add_scalar(1.0).get(0), 0.0);
+        assert_eq!(t.mul_scalar(2.0).get(2), 8.0);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = iota(5);
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.sum_squares(), 30.0);
+        assert!((t.norm() - 30.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_and_assign() {
+        let mut t = iota(3);
+        t.update(|x| x * 2.0);
+        assert_eq!(t.to_f32_vec(), vec![0.0, 2.0, 4.0]);
+        let other = Tensor::full([3], DType::F32, 9.0);
+        t.assign(&other).unwrap();
+        assert_eq!(t.to_f32_vec(), vec![9.0, 9.0, 9.0]);
+        assert!(t.assign(&iota(4)).is_err());
+    }
+
+    #[test]
+    fn dropout_zero_probability_is_identity() {
+        let t = iota(16);
+        let rng = CounterRng::new(5);
+        let d = t.dropout(0.0, rng, 0).unwrap();
+        assert_eq!(d.to_f32_vec(), t.to_f32_vec());
+    }
+
+    #[test]
+    fn dropout_rejects_bad_probability() {
+        let t = iota(4);
+        let rng = CounterRng::new(5);
+        assert!(t.dropout(1.0, rng, 0).is_err());
+        assert!(t.dropout(-0.1, rng, 0).is_err());
+    }
+
+    #[test]
+    fn dropout_slice_consistency() {
+        // The heart of the `reorder` transformation: dropout on slice k
+        // of a tensor equals slice k of dropout on the whole tensor.
+        let n = 64;
+        let t = Tensor::from_fn([n], DType::F32, |i| i as f32 + 1.0);
+        let rng = CounterRng::new(7);
+        let full = t.dropout(0.5, rng, 0).unwrap();
+        let k = 4;
+        let part = n / k;
+        for r in 0..k {
+            let slice =
+                Tensor::from_fn([part], DType::F32, |i| t.get(r * part + i));
+            let sliced_drop = slice.dropout(0.5, rng, (r * part) as u64).unwrap();
+            for i in 0..part {
+                assert_eq!(sliced_drop.get(i), full.get(r * part + i));
+            }
+        }
+    }
+
+    #[test]
+    fn dropout_scales_kept_values() {
+        let t = Tensor::full([1000], DType::F32, 1.0);
+        let rng = CounterRng::new(13);
+        let d = t.dropout(0.25, rng, 0).unwrap();
+        for i in 0..d.numel() {
+            let v = d.get(i);
+            assert!(v == 0.0 || (v - 1.0 / 0.75).abs() < 1e-6);
+        }
+        // Expectation is preserved (law of large numbers).
+        let mean = d.sum() / 1000.0;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn reduce_elementwise_sums() {
+        let a = iota(3);
+        let b = Tensor::full([3], DType::F32, 1.0);
+        let c = Tensor::full([3], DType::F32, 2.0);
+        let out = reduce_elementwise(&[&a, &b, &c], |x, y| x + y).unwrap();
+        assert_eq!(out.to_f32_vec(), vec![3.0, 4.0, 5.0]);
+        assert!(reduce_elementwise(&[], |x, _| x).is_err());
+        assert!(reduce_elementwise(&[&a, &iota(4)], |x, _| x).is_err());
+    }
+
+    #[test]
+    fn reduce_op_table() {
+        assert_eq!(ReduceOp::Sum.apply(2.0, 3.0), 5.0);
+        assert_eq!(ReduceOp::Min.apply(2.0, 3.0), 2.0);
+        assert_eq!(ReduceOp::Max.apply(2.0, 3.0), 3.0);
+        assert_eq!(ReduceOp::Sum.identity(), 0.0);
+        assert_eq!(ReduceOp::Min.identity(), f32::INFINITY);
+        assert_eq!(ReduceOp::Max.identity(), f32::NEG_INFINITY);
+        assert_eq!(ReduceOp::Sum.to_string(), "+");
+    }
+
+    proptest! {
+        /// add/sub round-trip within f32 exactness for small integers.
+        #[test]
+        fn add_sub_roundtrip(v in prop::collection::vec(-100i32..100, 1..20)) {
+            let n = v.len();
+            let a = Tensor::from_fn([n], DType::F32, |i| v[i] as f32);
+            let b = Tensor::full([n], DType::F32, 17.0);
+            let r = a.add(&b).unwrap().sub(&b).unwrap();
+            prop_assert_eq!(r.to_f32_vec(), a.to_f32_vec());
+        }
+
+        /// Dropout keeps expectation within statistical tolerance.
+        #[test]
+        fn dropout_expectation(seed in any::<u64>()) {
+            let t = Tensor::full([2048], DType::F32, 1.0);
+            let d = t.dropout(0.5, CounterRng::new(seed), 0).unwrap();
+            let mean = d.sum() / 2048.0;
+            prop_assert!((mean - 1.0).abs() < 0.15);
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! The dense tensor type backing the functional runtime.
+
+use crate::{CounterRng, DType, Shape, TensorError, F16};
+
+/// Storage for tensor elements, one variant per [`DType`].
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Buffer {
+    F16(Vec<F16>),
+    F32(Vec<f32>),
+}
+
+impl Buffer {
+    fn len(&self) -> usize {
+        match self {
+            Buffer::F16(v) => v.len(),
+            Buffer::F32(v) => v.len(),
+        }
+    }
+}
+
+/// A dense, row-major tensor on the (simulated) device.
+///
+/// This is the substrate the paper's generated CUDA kernels operate on;
+/// here the same operations run on the CPU so that transformed programs
+/// can be executed and compared against their untransformed originals.
+///
+/// Values are read and written through `f32` (the widest supported type);
+/// FP16 tensors round on store, mirroring mixed-precision GPU kernels.
+///
+/// # Examples
+///
+/// ```
+/// use coconet_tensor::{DType, Shape, Tensor};
+///
+/// let a = Tensor::full(Shape::from([2, 2]), DType::F32, 3.0);
+/// let b = Tensor::full(Shape::from([2, 2]), DType::F32, 4.0);
+/// let c = a.add(&b)?;
+/// assert_eq!(c.get(3), 7.0);
+/// # Ok::<(), coconet_tensor::TensorError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    buf: Buffer,
+}
+
+impl Tensor {
+    /// A tensor of zeros.
+    pub fn zeros(shape: impl Into<Shape>, dtype: DType) -> Tensor {
+        let shape = shape.into();
+        let n = shape.numel();
+        let buf = match dtype {
+            DType::F16 => Buffer::F16(vec![F16::ZERO; n]),
+            DType::F32 => Buffer::F32(vec![0.0; n]),
+        };
+        Tensor { shape, buf }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, dtype: DType, value: f32) -> Tensor {
+        let shape = shape.into();
+        let n = shape.numel();
+        let buf = match dtype {
+            DType::F16 => Buffer::F16(vec![F16::from_f32(value); n]),
+            DType::F32 => Buffer::F32(vec![value; n]),
+        };
+        Tensor { shape, buf }
+    }
+
+    /// A rank-0 tensor holding a single value.
+    pub fn scalar(dtype: DType, value: f32) -> Tensor {
+        Tensor::full(Shape::scalar(), dtype, value)
+    }
+
+    /// A tensor whose element at linear index `i` is `f(i)`.
+    pub fn from_fn(
+        shape: impl Into<Shape>,
+        dtype: DType,
+        f: impl Fn(usize) -> f32,
+    ) -> Tensor {
+        let shape = shape.into();
+        let n = shape.numel();
+        let buf = match dtype {
+            DType::F16 => Buffer::F16((0..n).map(|i| F16::from_f32(f(i))).collect()),
+            DType::F32 => Buffer::F32((0..n).map(f).collect()),
+        };
+        Tensor { shape, buf }
+    }
+
+    /// A tensor built from explicit `f32` data (rounded for FP16 tensors).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] if `data.len()` does not match
+    /// the shape's element count.
+    pub fn from_f32(
+        shape: impl Into<Shape>,
+        dtype: DType,
+        data: &[f32],
+    ) -> Result<Tensor, TensorError> {
+        let shape = shape.into();
+        if data.len() != shape.numel() {
+            return Err(TensorError::DataLength {
+                expected: shape.numel(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor::from_fn(shape, dtype, |i| data[i]))
+    }
+
+    /// A tensor of standard-normal values drawn from the deterministic
+    /// counter RNG: element `i` is `rng.normal_at(offset + i)`, so two
+    /// ranks materializing different slices of the same logical tensor
+    /// see consistent values.
+    pub fn randn(
+        shape: impl Into<Shape>,
+        dtype: DType,
+        rng: CounterRng,
+        offset: u64,
+    ) -> Tensor {
+        Tensor::from_fn(shape, dtype, |i| {
+            rng.normal_at(offset + i as u64) as f32
+        })
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The tensor's element type.
+    #[inline]
+    pub fn dtype(&self) -> DType {
+        match self.buf {
+            Buffer::F16(_) => DType::F16,
+            Buffer::F32(_) => DType::F32,
+        }
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Size of the tensor's storage in bytes.
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        self.numel() * self.dtype().size_bytes()
+    }
+
+    /// Reads element `i` (linear, row-major) as `f32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.numel()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f32 {
+        match &self.buf {
+            Buffer::F16(v) => v[i].to_f32(),
+            Buffer::F32(v) => v[i],
+        }
+    }
+
+    /// Writes element `i` (linear, row-major), rounding for FP16 tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.numel()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: f32) {
+        match &mut self.buf {
+            Buffer::F16(v) => v[i] = F16::from_f32(value),
+            Buffer::F32(v) => v[i] = value,
+        }
+    }
+
+    /// Copies all elements out as `f32`.
+    pub fn to_f32_vec(&self) -> Vec<f32> {
+        (0..self.numel()).map(|i| self.get(i)).collect()
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] if the element counts differ.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Tensor, TensorError> {
+        let shape = shape.into();
+        if shape.numel() != self.numel() {
+            return Err(TensorError::DataLength {
+                expected: self.numel(),
+                actual: shape.numel(),
+            });
+        }
+        Ok(Tensor {
+            shape,
+            buf: self.buf.clone(),
+        })
+    }
+
+    /// Converts to another element type (no-op when equal).
+    pub fn cast(&self, dtype: DType) -> Tensor {
+        if dtype == self.dtype() {
+            return self.clone();
+        }
+        Tensor::from_fn(self.shape.clone(), dtype, |i| self.get(i))
+    }
+
+    /// Elementwise comparison within mixed absolute/relative tolerance:
+    /// `|a - b| <= atol + rtol * |b|` for every element.
+    ///
+    /// Shapes and dtypes must match exactly; otherwise returns `false`.
+    pub fn allclose(&self, other: &Tensor, rtol: f32, atol: f32) -> bool {
+        if self.shape != other.shape || self.dtype() != other.dtype() {
+            return false;
+        }
+        (0..self.numel()).all(|i| {
+            let (a, b) = (self.get(i), other.get(i));
+            if a.is_nan() || b.is_nan() {
+                return false;
+            }
+            (a - b).abs() <= atol + rtol * b.abs()
+        })
+    }
+
+    /// The maximum absolute elementwise difference (∞-norm of `a - b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(
+            self.shape, other.shape,
+            "max_abs_diff requires identical shapes"
+        );
+        (0..self.numel())
+            .map(|i| (self.get(i) - other.get(i)).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let z = Tensor::zeros([2, 3], DType::F16);
+        assert_eq!(z.numel(), 6);
+        assert_eq!(z.dtype(), DType::F16);
+        assert_eq!(z.size_bytes(), 12);
+        assert!(z.to_f32_vec().iter().all(|&x| x == 0.0));
+
+        let f = Tensor::full([4], DType::F32, 2.5);
+        assert!(f.to_f32_vec().iter().all(|&x| x == 2.5));
+
+        let s = Tensor::scalar(DType::F32, 7.0);
+        assert_eq!(s.shape().rank(), 0);
+        assert_eq!(s.get(0), 7.0);
+
+        let iota = Tensor::from_fn([3], DType::F32, |i| i as f32);
+        assert_eq!(iota.to_f32_vec(), vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn from_f32_validates_length() {
+        assert!(Tensor::from_f32([2, 2], DType::F32, &[1.0; 4]).is_ok());
+        assert!(matches!(
+            Tensor::from_f32([2, 2], DType::F32, &[1.0; 3]),
+            Err(TensorError::DataLength { expected: 4, actual: 3 })
+        ));
+    }
+
+    #[test]
+    fn f16_rounds_on_store() {
+        let mut t = Tensor::zeros([1], DType::F16);
+        t.set(0, 1.0 + 2.0f32.powi(-12)); // rounds to 1.0 in f16
+        assert_eq!(t.get(0), 1.0);
+        let mut t = Tensor::zeros([1], DType::F32);
+        t.set(0, 1.0 + 2.0f32.powi(-12));
+        assert!(t.get(0) > 1.0);
+    }
+
+    #[test]
+    fn randn_offset_consistency() {
+        // A rank materializing elements [4..8) of a logical [8] tensor
+        // sees the same values as the full materialization.
+        let rng = CounterRng::new(99);
+        let full = Tensor::randn([8], DType::F32, rng, 0);
+        let slice = Tensor::randn([4], DType::F32, rng, 4);
+        for i in 0..4 {
+            assert_eq!(full.get(4 + i), slice.get(i));
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_fn([2, 3], DType::F32, |i| i as f32);
+        let r = t.reshape([3, 2]).unwrap();
+        assert_eq!(r.to_f32_vec(), t.to_f32_vec());
+        assert!(t.reshape([4]).is_err());
+    }
+
+    #[test]
+    fn cast_roundtrip() {
+        let t = Tensor::from_fn([4], DType::F32, |i| i as f32 + 0.5);
+        let h = t.cast(DType::F16);
+        assert_eq!(h.dtype(), DType::F16);
+        let back = h.cast(DType::F32);
+        assert_eq!(back.to_f32_vec(), t.to_f32_vec()); // exact for small values
+    }
+
+    #[test]
+    fn allclose_and_diff() {
+        let a = Tensor::full([3], DType::F32, 1.0);
+        let mut b = a.clone();
+        assert!(a.allclose(&b, 0.0, 0.0));
+        b.set(1, 1.001);
+        assert!(!a.allclose(&b, 0.0, 1e-4));
+        assert!(a.allclose(&b, 1e-2, 0.0));
+        assert!((a.max_abs_diff(&b) - 0.001).abs() < 1e-6);
+    }
+
+    #[test]
+    fn allclose_rejects_mismatched_meta() {
+        let a = Tensor::zeros([2], DType::F32);
+        assert!(!a.allclose(&Tensor::zeros([3], DType::F32), 1.0, 1.0));
+        assert!(!a.allclose(&Tensor::zeros([2], DType::F16), 1.0, 1.0));
+    }
+}

@@ -1,0 +1,271 @@
+//! Ranks, nodes, and process groups.
+//!
+//! Following the paper's MPI terminology (§2): `RANK` is a process ID,
+//! a `GROUP` is a set of concurrent processes over *consecutive* ranks,
+//! and `WORLD` is the group of all processes.
+
+use std::fmt;
+
+use crate::MachineSpec;
+
+/// A process identifier (one per GPU).
+pub type Rank = usize;
+
+/// A cluster instance: a [`MachineSpec`] with rank-to-device mapping.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cluster {
+    spec: MachineSpec,
+}
+
+impl Cluster {
+    /// Creates a cluster from a machine specification.
+    pub fn new(spec: MachineSpec) -> Cluster {
+        Cluster { spec }
+    }
+
+    /// The underlying machine specification.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// Number of ranks in the world.
+    pub fn world_size(&self) -> usize {
+        self.spec.world_size()
+    }
+
+    /// The group of all ranks (`WORLD`).
+    pub fn world(&self) -> ProcessGroup {
+        ProcessGroup::new((0..self.world_size()).collect())
+            .expect("world is non-empty and consecutive")
+    }
+
+    /// The node index hosting `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn node_of(&self, rank: Rank) -> usize {
+        assert!(rank < self.world_size(), "rank {rank} out of range");
+        rank / self.spec.gpus_per_node
+    }
+
+    /// The GPU index of `rank` within its node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn local_index(&self, rank: Rank) -> usize {
+        assert!(rank < self.world_size(), "rank {rank} out of range");
+        rank % self.spec.gpus_per_node
+    }
+
+    /// Whether two ranks share a node (communicate over NVLink rather
+    /// than InfiniBand).
+    pub fn same_node(&self, a: Rank, b: Rank) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Divides the world into `n` equal groups of consecutive ranks
+    /// (the paper's `GROUP`s, used by pipeline parallelism in §4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` does not divide the world size.
+    pub fn consecutive_groups(&self, n: usize) -> Vec<ProcessGroup> {
+        let world = self.world_size();
+        assert!(
+            n > 0 && world.is_multiple_of(n),
+            "cannot divide {world} ranks into {n} equal groups"
+        );
+        let per = world / n;
+        (0..n)
+            .map(|g| {
+                ProcessGroup::new((g * per..(g + 1) * per).collect())
+                    .expect("non-empty consecutive range")
+            })
+            .collect()
+    }
+
+    /// Number of distinct nodes a group's ranks span.
+    pub fn nodes_spanned(&self, group: &ProcessGroup) -> usize {
+        let mut nodes: Vec<usize> = group.ranks().iter().map(|&r| self.node_of(r)).collect();
+        nodes.dedup();
+        nodes.len()
+    }
+}
+
+/// A set of consecutive ranks participating in a collective.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ProcessGroup {
+    ranks: Vec<Rank>,
+}
+
+/// Error constructing a [`ProcessGroup`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GroupError {
+    /// The rank list was empty.
+    Empty,
+    /// The rank list was not consecutive and ascending.
+    NotConsecutive,
+}
+
+impl fmt::Display for GroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupError::Empty => write!(f, "process group must not be empty"),
+            GroupError::NotConsecutive => {
+                write!(f, "process group ranks must be consecutive and ascending")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GroupError {}
+
+impl ProcessGroup {
+    /// Creates a group from a list of consecutive ascending ranks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GroupError`] when the list is empty or not consecutive
+    /// (the paper restricts groups to consecutive ranks, §2).
+    pub fn new(ranks: Vec<Rank>) -> Result<ProcessGroup, GroupError> {
+        if ranks.is_empty() {
+            return Err(GroupError::Empty);
+        }
+        if ranks.windows(2).any(|w| w[1] != w[0] + 1) {
+            return Err(GroupError::NotConsecutive);
+        }
+        Ok(ProcessGroup { ranks })
+    }
+
+    /// A group covering `start..start + size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn range(start: Rank, size: usize) -> ProcessGroup {
+        assert!(size > 0, "process group must not be empty");
+        ProcessGroup {
+            ranks: (start..start + size).collect(),
+        }
+    }
+
+    /// The member ranks, ascending.
+    pub fn ranks(&self) -> &[Rank] {
+        &self.ranks
+    }
+
+    /// Number of member ranks.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The lowest member rank.
+    pub fn first(&self) -> Rank {
+        self.ranks[0]
+    }
+
+    /// Whether `rank` belongs to the group.
+    pub fn contains(&self, rank: Rank) -> bool {
+        rank >= self.ranks[0] && rank <= *self.ranks.last().expect("non-empty")
+    }
+
+    /// The position of `rank` within the group (its group-relative ID).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is not a member.
+    pub fn index_of(&self, rank: Rank) -> usize {
+        assert!(self.contains(rank), "rank {rank} not in group");
+        rank - self.ranks[0]
+    }
+
+    /// The rank at group-relative position `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.size()`.
+    pub fn rank_at(&self, index: usize) -> Rank {
+        self.ranks[index]
+    }
+}
+
+impl fmt::Display for ProcessGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "group[{}..{}]",
+            self.ranks[0],
+            self.ranks.last().expect("non-empty") + 1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachineSpec;
+
+    fn cluster() -> Cluster {
+        Cluster::new(MachineSpec::dgx2_cluster(2))
+    }
+
+    #[test]
+    fn rank_to_node_mapping() {
+        let c = cluster();
+        assert_eq!(c.world_size(), 32);
+        assert_eq!(c.node_of(0), 0);
+        assert_eq!(c.node_of(15), 0);
+        assert_eq!(c.node_of(16), 1);
+        assert_eq!(c.local_index(17), 1);
+        assert!(c.same_node(3, 12));
+        assert!(!c.same_node(15, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_rank_panics() {
+        cluster().node_of(32);
+    }
+
+    #[test]
+    fn world_and_groups() {
+        let c = cluster();
+        let w = c.world();
+        assert_eq!(w.size(), 32);
+        assert_eq!(w.first(), 0);
+        let groups = c.consecutive_groups(2);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].ranks(), (0..16).collect::<Vec<_>>());
+        assert_eq!(groups[1].first(), 16);
+        assert_eq!(c.nodes_spanned(&groups[0]), 1);
+        assert_eq!(c.nodes_spanned(&c.world()), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal groups")]
+    fn uneven_groups_panic() {
+        cluster().consecutive_groups(3);
+    }
+
+    #[test]
+    fn group_construction_rules() {
+        assert!(ProcessGroup::new(vec![]).is_err());
+        assert!(ProcessGroup::new(vec![1, 3]).is_err());
+        assert!(ProcessGroup::new(vec![2, 1]).is_err());
+        let g = ProcessGroup::new(vec![4, 5, 6]).unwrap();
+        assert_eq!(g.size(), 3);
+        assert!(g.contains(5));
+        assert!(!g.contains(7));
+        assert_eq!(g.index_of(6), 2);
+        assert_eq!(g.rank_at(0), 4);
+        assert_eq!(g.to_string(), "group[4..7]");
+    }
+
+    #[test]
+    fn group_range() {
+        let g = ProcessGroup::range(8, 4);
+        assert_eq!(g.ranks(), &[8, 9, 10, 11]);
+    }
+}

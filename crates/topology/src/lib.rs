@@ -1,0 +1,32 @@
+//! # coconet-topology
+//!
+//! Cluster topology substrate for the CoCoNet reproduction: hardware
+//! specifications (V100 GPUs, DGX-2 nodes, NVLink/NVSwitch and
+//! InfiniBand fabrics), rank/node maps, process groups, and ring
+//! construction.
+//!
+//! The performance simulator (`coconet-sim`) derives collective costs
+//! from these specs; the functional runtime (`coconet-runtime`) uses the
+//! group/ring structure for its real data movement.
+//!
+//! # Examples
+//!
+//! ```
+//! use coconet_topology::{Cluster, MachineSpec, Ring};
+//!
+//! let cluster = Cluster::new(MachineSpec::dgx2_cluster(2));
+//! assert_eq!(cluster.world_size(), 32);
+//! let ring = Ring::for_group(&cluster, &cluster.world());
+//! // One crossing into node 1 and one wrap-around crossing back.
+//! assert_eq!(ring.inter_node_edges(&cluster), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cluster;
+mod ring;
+mod specs;
+
+pub use cluster::{Cluster, GroupError, ProcessGroup, Rank};
+pub use ring::Ring;
+pub use specs::{GpuSpec, InterconnectSpec, MachineSpec};

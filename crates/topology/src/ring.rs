@@ -1,0 +1,159 @@
+//! Ring construction over a process group.
+//!
+//! NCCL's default algorithm for large AllReduce is the ring (§5.1 of
+//! the paper; §5.3 describes how the overlapped MatMul is scheduled
+//! against the ring's chunk order: rank *n* sends chunks starting from
+//! chunk *n*). Rings are laid out node-major so that each ring crosses
+//! the inter-node fabric the minimum number of times.
+
+use crate::{Cluster, ProcessGroup, Rank};
+
+/// A directed ring over the ranks of a process group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ring {
+    order: Vec<Rank>,
+}
+
+impl Ring {
+    /// Builds the canonical ring for `group` on `cluster`: ranks in
+    /// ascending order, which is node-major for consecutive groups, so
+    /// exactly one fabric crossing per adjacent node pair (plus the
+    /// wrap-around).
+    pub fn for_group(_cluster: &Cluster, group: &ProcessGroup) -> Ring {
+        Ring {
+            order: group.ranks().to_vec(),
+        }
+    }
+
+    /// The ring order.
+    pub fn order(&self) -> &[Rank] {
+        &self.order
+    }
+
+    /// Ring length.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the ring is empty (never true for well-formed groups).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The successor of `rank` on the ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is not on the ring.
+    pub fn next(&self, rank: Rank) -> Rank {
+        let i = self.position(rank);
+        self.order[(i + 1) % self.order.len()]
+    }
+
+    /// The predecessor of `rank` on the ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is not on the ring.
+    pub fn prev(&self, rank: Rank) -> Rank {
+        let i = self.position(rank);
+        self.order[(i + self.order.len() - 1) % self.order.len()]
+    }
+
+    /// The position of `rank` on the ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is not on the ring.
+    pub fn position(&self, rank: Rank) -> usize {
+        self.order
+            .iter()
+            .position(|&r| r == rank)
+            .unwrap_or_else(|| panic!("rank {rank} not on ring"))
+    }
+
+    /// Number of ring edges that cross between nodes (inter-node hops).
+    /// For a single-node ring this is 0; a ring over `n` full nodes has
+    /// `n` crossings (including the wrap-around edge).
+    pub fn inter_node_edges(&self, cluster: &Cluster) -> usize {
+        let n = self.order.len();
+        (0..n)
+            .filter(|&i| {
+                let a = self.order[i];
+                let b = self.order[(i + 1) % n];
+                !cluster.same_node(a, b)
+            })
+            .count()
+    }
+
+    /// The chunk index that `rank` sends first in a ring
+    /// ReduceScatter/AllReduce (rank *n* starts from chunk *n*; §5.3).
+    pub fn first_chunk_of(&self, rank: Rank) -> usize {
+        self.position(rank)
+    }
+
+    /// The order in which `rank` sends chunks during the ReduceScatter
+    /// phase: `position, position-1, ..., wrapping`. The overlapped
+    /// MatMul produces chunks in exactly this order.
+    pub fn chunk_send_order(&self, rank: Rank) -> Vec<usize> {
+        let n = self.order.len();
+        let start = self.position(rank);
+        (0..n).map(|s| (start + n - s) % n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachineSpec;
+
+    fn two_node_cluster() -> Cluster {
+        Cluster::new(MachineSpec::dgx2_cluster(2))
+    }
+
+    #[test]
+    fn ring_order_and_neighbors() {
+        let c = two_node_cluster();
+        let ring = Ring::for_group(&c, &c.world());
+        assert_eq!(ring.len(), 32);
+        assert!(!ring.is_empty());
+        assert_eq!(ring.next(0), 1);
+        assert_eq!(ring.next(31), 0);
+        assert_eq!(ring.prev(0), 31);
+        assert_eq!(ring.position(5), 5);
+    }
+
+    #[test]
+    fn inter_node_crossings() {
+        let c = two_node_cluster();
+        let ring = Ring::for_group(&c, &c.world());
+        // Edge 15->16 and wrap-around 31->0 cross nodes.
+        assert_eq!(ring.inter_node_edges(&c), 2);
+
+        let groups = c.consecutive_groups(2);
+        let intra = Ring::for_group(&c, &groups[0]);
+        assert_eq!(intra.inter_node_edges(&c), 0);
+    }
+
+    #[test]
+    fn chunk_send_order_starts_at_own_position() {
+        let c = two_node_cluster();
+        let group = ProcessGroup::range(0, 4);
+        let ring = Ring::for_group(&c, &group);
+        assert_eq!(ring.first_chunk_of(2), 2);
+        // Rank 1 on a 4-ring sends chunks 1, 0, 3, 2 during RS.
+        assert_eq!(ring.chunk_send_order(1), vec![1, 0, 3, 2]);
+        // Every chunk appears exactly once.
+        let mut order = ring.chunk_send_order(3);
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not on ring")]
+    fn foreign_rank_panics() {
+        let c = two_node_cluster();
+        let group = ProcessGroup::range(0, 4);
+        Ring::for_group(&c, &group).position(9);
+    }
+}

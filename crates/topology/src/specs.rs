@@ -1,0 +1,151 @@
+//! Hardware specifications.
+//!
+//! The paper's testbed (§6) is a cluster of 16 NVIDIA DGX-2 nodes:
+//! 16 Tesla V100-32GB GPUs per node connected through six NVSwitches
+//! with six 25 GB/s NVLinks per GPU, and 8 non-blocking 100 Gbps EDR
+//! InfiniBand NICs per node. These structs carry the published numbers;
+//! the simulator derives effective rates from them.
+
+/// Compute/memory capabilities of a single GPU.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"V100-SXM3-32GB"`.
+    pub name: String,
+    /// Peak FP16 tensor-core throughput in FLOP/s.
+    pub fp16_flops: f64,
+    /// Peak FP32 throughput in FLOP/s.
+    pub fp32_flops: f64,
+    /// Peak device-memory bandwidth in bytes/s.
+    pub mem_bw: f64,
+    /// Device memory capacity in bytes.
+    pub mem_bytes: u64,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// CUDA kernel launch + scheduling overhead in seconds.
+    pub launch_overhead: f64,
+}
+
+impl GpuSpec {
+    /// The NVIDIA Tesla V100-SXM3 32 GB used throughout the paper.
+    pub fn v100() -> GpuSpec {
+        GpuSpec {
+            name: "V100-SXM3-32GB".to_string(),
+            fp16_flops: 125e12,
+            fp32_flops: 15.7e12,
+            mem_bw: 900e9,
+            mem_bytes: 32 * (1 << 30),
+            sm_count: 80,
+            launch_overhead: 5e-6,
+        }
+    }
+}
+
+/// Interconnect capabilities of a node and of the fabric between nodes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InterconnectSpec {
+    /// NVLink bandwidth per GPU in bytes/s (all links combined, one
+    /// direction). Six 25 GB/s links on a DGX-2 V100.
+    pub nvlink_bw_per_gpu: f64,
+    /// One-hop NVLink/NVSwitch latency in seconds.
+    pub nvlink_latency: f64,
+    /// Aggregate InfiniBand bandwidth per node in bytes/s
+    /// (8 x 100 Gbps EDR on a DGX-2).
+    pub ib_bw_per_node: f64,
+    /// One-hop InfiniBand latency in seconds.
+    pub ib_latency: f64,
+    /// Number of IB NICs per node (each NCCL channel binds to one).
+    pub nics_per_node: u32,
+}
+
+impl InterconnectSpec {
+    /// The DGX-2 interconnect: NVSwitch intra-node, 8x EDR inter-node.
+    pub fn dgx2() -> InterconnectSpec {
+        InterconnectSpec {
+            nvlink_bw_per_gpu: 6.0 * 25e9,
+            nvlink_latency: 1.5e-6,
+            ib_bw_per_node: 8.0 * 12.5e9,
+            ib_latency: 4e-6,
+            nics_per_node: 8,
+        }
+    }
+
+    /// InfiniBand bandwidth available to a single NIC (one channel).
+    pub fn ib_bw_per_nic(&self) -> f64 {
+        self.ib_bw_per_node / f64::from(self.nics_per_node)
+    }
+}
+
+/// A homogeneous cluster: `nodes` identical nodes of `gpus_per_node`
+/// GPUs each.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineSpec {
+    /// Per-GPU capabilities.
+    pub gpu: GpuSpec,
+    /// Link capabilities.
+    pub interconnect: InterconnectSpec,
+    /// GPUs per node (16 on a DGX-2).
+    pub gpus_per_node: usize,
+    /// Number of nodes.
+    pub nodes: usize,
+}
+
+impl MachineSpec {
+    /// A cluster of DGX-2 nodes, the paper's testbed shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn dgx2_cluster(nodes: usize) -> MachineSpec {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        MachineSpec {
+            gpu: GpuSpec::v100(),
+            interconnect: InterconnectSpec::dgx2(),
+            gpus_per_node: 16,
+            nodes,
+        }
+    }
+
+    /// The paper's full 16-node, 256-GPU testbed.
+    pub fn paper_testbed() -> MachineSpec {
+        MachineSpec::dgx2_cluster(16)
+    }
+
+    /// Total number of GPUs (= ranks).
+    pub fn world_size(&self) -> usize {
+        self.gpus_per_node * self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_numbers() {
+        let g = GpuSpec::v100();
+        assert_eq!(g.fp16_flops, 125e12);
+        assert_eq!(g.mem_bytes, 32 * 1024 * 1024 * 1024);
+        assert!(g.launch_overhead > 0.0);
+    }
+
+    #[test]
+    fn dgx2_interconnect() {
+        let i = InterconnectSpec::dgx2();
+        assert_eq!(i.nvlink_bw_per_gpu, 150e9);
+        assert_eq!(i.ib_bw_per_node, 100e9);
+        assert_eq!(i.ib_bw_per_nic(), 12.5e9);
+        assert!(i.ib_latency > i.nvlink_latency);
+    }
+
+    #[test]
+    fn cluster_sizes() {
+        assert_eq!(MachineSpec::dgx2_cluster(1).world_size(), 16);
+        assert_eq!(MachineSpec::paper_testbed().world_size(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        MachineSpec::dgx2_cluster(0);
+    }
+}

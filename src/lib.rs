@@ -1,0 +1,18 @@
+//! # CoCoNet (Rust reproduction)
+//!
+//! Facade crate re-exporting the whole CoCoNet workspace: the DSL and
+//! transformations ([`coconet_core`]), the tensor substrate
+//! ([`coconet_tensor`]), the cluster topology ([`coconet_topology`]),
+//! the performance simulator ([`coconet_sim`]), the functional
+//! distributed runtime ([`coconet_runtime`]), and the paper's workloads
+//! ([`coconet_models`]).
+//!
+//! See the repository README for a quickstart and `DESIGN.md` for the
+//! system inventory.
+
+pub use coconet_core as core;
+pub use coconet_models as models;
+pub use coconet_runtime as runtime;
+pub use coconet_sim as sim;
+pub use coconet_tensor as tensor;
+pub use coconet_topology as topology;

@@ -1,0 +1,133 @@
+//! Integration: the autotuner, driven by the machine simulator,
+//! discovers the paper's winning schedules — and its winners stay
+//! semantics preserving when executed on the functional runtime.
+
+use coconet::core::{Autotuner, Binding, ExecPlan, Program};
+use coconet::models::model_parallel::block_program;
+use coconet::models::optimizers::optimizer_program;
+use coconet::models::pipeline::pipeline_program;
+use coconet::models::{Hyper, Optimizer};
+use coconet::runtime::{run_program, Inputs, RunOptions};
+use coconet::sim::Simulator;
+use coconet::tensor::{CounterRng, DType, Tensor};
+use coconet::topology::MachineSpec;
+
+fn tune(program: &Program, binding: &Binding, sim: &Simulator) -> coconet::core::TuneReport {
+    let evaluator = |plan: &ExecPlan| sim.time_plan(plan).total;
+    Autotuner::default()
+        .tune(program, binding, &evaluator)
+        .expect("tuning succeeds")
+}
+
+/// §6.1.1: at large sizes the tuner picks a fused RS-opt-AG schedule;
+/// at small sizes it keeps the AllReduce.
+#[test]
+fn optimizer_schedule_depends_on_size() {
+    let sim = Simulator::new(MachineSpec::paper_testbed(), 256, 1);
+    let (program, _) = optimizer_program(Optimizer::Adam, Hyper::default()).unwrap();
+
+    let large = tune(&program, &Binding::new(256).bind("N", 1 << 28), &sim);
+    let best_large = large.best().label();
+    assert!(
+        best_large.contains("AllReduceFuse"),
+        "large tensors want the fused schedule, got: {best_large}"
+    );
+
+    let small = tune(&program, &Binding::new(256).bind("N", 1 << 12), &sim);
+    let best_small = small.best().label();
+    assert!(
+        !best_small.contains("reorder"),
+        "small tensors keep the AllReduce schedule, got: {best_small}"
+    );
+    // "There is no schedule that performs best for all sizes, which
+    // demonstrates the need for the autotuner."
+    assert_ne!(best_large, best_small);
+}
+
+/// §6.2.1: the tuner's model-parallel winner is the overlapped
+/// fused-AllReduce schedule.
+#[test]
+fn model_parallel_winner_is_overlap() {
+    let sim = Simulator::new(MachineSpec::dgx2_cluster(1), 16, 1);
+    let (program, _) = block_program(coconet::models::model_parallel::Block::SelfAttention)
+        .unwrap();
+    let binding = Binding::new(16).bind("B", 8).bind("S", 1024).bind("H", 3072);
+    let report = tune(&program, &binding, &sim);
+    let best = report.best().label();
+    assert!(best.contains("overlap"), "got: {best}");
+    assert!(best.contains("AllReduceFuse"), "got: {best}");
+}
+
+/// §6.3.1: the pipeline winner overlaps RS, the fused send, and the AG.
+#[test]
+fn pipeline_winner_is_three_stage_overlap() {
+    let sim = Simulator::new(MachineSpec::dgx2_cluster(16), 16, 16);
+    let (program, _) = pipeline_program().unwrap();
+    let binding = Binding::new(16)
+        .with_groups(16)
+        .bind("B", 2)
+        .bind("S", 2048)
+        .bind("H", 12288);
+    let report = tune(&program, &binding, &sim);
+    let best = report.best();
+    assert!(best.label().contains("SendFuse"), "got: {}", best.label());
+    assert!(best.label().contains("overlap"), "got: {}", best.label());
+    // And it is several times faster than the baseline.
+    let baseline = report
+        .candidates
+        .iter()
+        .find(|c| c.schedule.is_empty())
+        .expect("baseline explored");
+    assert!(baseline.time / best.time > 5.0);
+}
+
+/// The tuned winner still computes the right answer: execute the
+/// winning model-parallel schedule against the baseline functionally.
+#[test]
+fn tuned_winner_is_semantics_preserving() {
+    let sim = Simulator::new(MachineSpec::dgx2_cluster(1), 4, 1);
+    let (program, _) = block_program(coconet::models::model_parallel::Block::SelfAttention)
+        .unwrap();
+    let binding = Binding::new(4).bind("B", 2).bind("S", 4).bind("H", 16);
+    let report = tune(&program, &binding, &sim);
+    let best = &report.best().program;
+
+    let rng = CounterRng::new(64);
+    let inputs = Inputs::new()
+        .global("w", Tensor::randn([16, 16], DType::F16, rng, 0))
+        .global("b", Tensor::randn([16], DType::F16, rng, 5_000))
+        .global("in", Tensor::randn([2, 4, 16], DType::F16, rng, 6_000))
+        .global("r", Tensor::randn([2, 4, 16], DType::F16, rng, 7_000));
+    let opts = RunOptions { seed: 21 };
+    let reference = run_program(&program, &binding, &inputs, opts)
+        .unwrap()
+        .global("out")
+        .unwrap();
+    // The winner's output is whatever its last (gathered) output is.
+    let out_name = {
+        let out = best.outputs()[0];
+        best.node(out).unwrap().name().to_string()
+    };
+    let got = run_program(best, &binding, &inputs, opts)
+        .unwrap()
+        .global(&out_name)
+        .unwrap();
+    let diff = got.max_abs_diff(&reference);
+    assert!(diff < 3e-2, "diff {diff}");
+}
+
+/// Table 3 bookkeeping: exploration is fast and enumerates a meaningful
+/// schedule space for every workload.
+#[test]
+fn exploration_statistics() {
+    let sim = Simulator::new(MachineSpec::paper_testbed(), 256, 1);
+    let (adam, _) = optimizer_program(Optimizer::Adam, Hyper::default()).unwrap();
+    let report = tune(&adam, &Binding::new(256).bind("N", 1 << 24), &sim);
+    assert!(report.schedules_explored >= 8, "{}", report.schedules_explored);
+    assert!(report.configs_evaluated >= 100);
+    assert!(report.elapsed.as_secs_f64() < 30.0);
+    // Candidates are sorted best-first.
+    for w in report.candidates.windows(2) {
+        assert!(w[0].time <= w[1].time);
+    }
+}
