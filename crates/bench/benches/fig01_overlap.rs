@@ -7,7 +7,14 @@ fn main() {
     let paper = [1.34, 1.36, 1.35, 1.33];
     let mut r = Report::new(
         "Figure 1: overlapped MatMul+AllReduce vs sequential (16 V100s)",
-        &["B", "sequential", "overlapped", "MM hidden", "speedup", "paper"],
+        &[
+            "B",
+            "sequential",
+            "overlapped",
+            "MM hidden",
+            "speedup",
+            "paper",
+        ],
     );
     for (row, paper_x) in experiments::figure1().iter().zip(paper) {
         r.row(&[

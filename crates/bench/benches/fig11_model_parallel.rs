@@ -6,7 +6,14 @@ use coconet_bench::{experiments, fmt_time, fmt_x, Report};
 fn main() {
     let mut r = Report::new(
         "Figure 11: model-parallel schedules (GPT-2 8.3B, S=1024, H=3072)",
-        &["block", "B", "schedule", "time", "speedup", "breakdown (stacked bars)"],
+        &[
+            "block",
+            "B",
+            "schedule",
+            "time",
+            "speedup",
+            "breakdown (stacked bars)",
+        ],
     );
     for row in experiments::figure11() {
         let breakdown = row

@@ -1,0 +1,30 @@
+//! Standalone operator experiments (§6.2): speedup of the overlapped
+//! schedule over the sequential baseline for a single model-parallel
+//! layer and a single pipeline-stage boundary, across batch sizes.
+
+use coconet_bench::{experiments, fmt_x, Report};
+
+fn main() {
+    let batches = [1usize, 2, 4, 8];
+
+    let mut mp = Report::new(
+        "Standalone model-parallel layer: overlap vs sequential (16 V100s)",
+        &["B", "speedup"],
+    );
+    for b in batches {
+        let x = experiments::standalone_model_parallel_speedup(b);
+        mp.row(&[b.to_string(), fmt_x(x)]);
+    }
+    mp.note("paper: overlap hides most of the AllReduce behind the GEMM");
+    mp.print();
+
+    let mut pp = Report::new(
+        "Standalone pipeline boundary: fused send+compute vs sequential",
+        &["B", "speedup"],
+    );
+    for b in batches {
+        let x = experiments::standalone_pipeline_speedup(b);
+        pp.row(&[b.to_string(), fmt_x(x)]);
+    }
+    pp.print();
+}

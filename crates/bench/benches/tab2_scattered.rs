@@ -8,7 +8,14 @@ fn main() {
     let paper = [(33.89e-3, 33.21e-3), (37.04e-3, 36.71e-3)];
     let mut r = Report::new(
         "Table 2: scattered vs contiguous parameter update (360 BERT tensors)",
-        &["optimizer", "scattered", "contiguous", "overhead", "paper scattered", "paper contiguous"],
+        &[
+            "optimizer",
+            "scattered",
+            "contiguous",
+            "overhead",
+            "paper scattered",
+            "paper contiguous",
+        ],
     );
     for (opt, (ps, pc)) in [Optimizer::Adam, Optimizer::Lamb].into_iter().zip(paper) {
         let (scattered, contiguous) = experiments::table2(opt);

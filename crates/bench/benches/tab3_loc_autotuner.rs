@@ -6,17 +6,32 @@ use coconet_models::Optimizer;
 
 fn main() {
     let sections: Vec<(&str, Vec<experiments::Tab3Row>, &str)> = vec![
-        ("Table 3a (Adam)", experiments::table3a(Optimizer::Adam),
-         "paper: 16/24/150 generated, 12/16/17 program"),
-        ("Table 3a (LAMB)", experiments::table3a(Optimizer::Lamb),
-         "paper: 80/140/220 generated, 15/17/18 program"),
-        ("Table 3b (model parallel)", experiments::table3b(),
-         "paper: 20/140/~2k generated, 10/13/14 program"),
-        ("Table 3c (pipeline parallel)", experiments::table3c(),
-         "paper: 20/140/~2k generated, 10/13/14 program"),
+        (
+            "Table 3a (Adam)",
+            experiments::table3a(Optimizer::Adam),
+            "paper: 16/24/150 generated, 12/16/17 program",
+        ),
+        (
+            "Table 3a (LAMB)",
+            experiments::table3a(Optimizer::Lamb),
+            "paper: 80/140/220 generated, 15/17/18 program",
+        ),
+        (
+            "Table 3b (model parallel)",
+            experiments::table3b(),
+            "paper: 20/140/~2k generated, 10/13/14 program",
+        ),
+        (
+            "Table 3c (pipeline parallel)",
+            experiments::table3c(),
+            "paper: 20/140/~2k generated, 10/13/14 program",
+        ),
     ];
     for (caption, rows, note) in sections {
-        let mut r = Report::new(caption, &["schedule", "generated CUDA", "program in CoCoNet"]);
+        let mut r = Report::new(
+            caption,
+            &["schedule", "generated CUDA", "program in CoCoNet"],
+        );
         for row in rows {
             r.row(&[
                 row.schedule.clone(),
@@ -30,7 +45,13 @@ fn main() {
 
     let mut r = Report::new(
         "Autotuner exploration (paper: 9-12 seconds per workload)",
-        &["workload", "schedules", "configs", "wall time", "best schedule"],
+        &[
+            "workload",
+            "schedules",
+            "configs",
+            "wall time",
+            "best schedule",
+        ],
     );
     for w in ["adam", "lamb", "model-parallel", "pipeline"] {
         let (schedules, configs, secs, best) = experiments::autotune_workload(w);

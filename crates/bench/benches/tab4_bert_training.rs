@@ -9,8 +9,15 @@ fn main() {
     let mut r = Report::new(
         "Table 4: BERT training (256 GPUs; global batch 8192 Adam / 65536 LAMB)",
         &[
-            "optimizer", "model", "NV BERT", "DDP", "ZeRO", "CoCoNet",
-            "vs NV", "vs DDP", "vs ZeRO",
+            "optimizer",
+            "model",
+            "NV BERT",
+            "DDP",
+            "ZeRO",
+            "CoCoNet",
+            "vs NV",
+            "vs DDP",
+            "vs ZeRO",
         ],
     );
     for row in experiments::table4() {

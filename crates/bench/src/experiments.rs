@@ -4,8 +4,8 @@
 //! the bench targets print them next to the paper's reported values.
 
 use coconet_core::{
-    lower, Binding, CollKind, CollectiveStep, CommConfig, DType, FixedStep,
-    FusedCollectiveStep, KernelStep, Protocol, ScatterInfo, Step,
+    lower, Binding, CollKind, CollectiveStep, CommConfig, DType, FixedStep, FusedCollectiveStep,
+    KernelStep, Protocol, ScatterInfo, Step,
 };
 use coconet_models::inference::{
     model_parallel_epilogue_time, model_parallel_inference_speedup, pipeline_epilogue_time,
@@ -162,15 +162,11 @@ pub fn figure10(opt: Optimizer, exponents: &[u32]) -> Vec<Fig10Row> {
                 flops: 12 * n,
                 n_ops: 12,
             };
-            let baseline = cost.collective_time(
-                CollKind::AllReduce,
-                n,
-                DType::F16,
-                geom,
-                default_cfg,
-            ) + cost.kernel_time(&opt_kernel)
-                + 25e-6
-                + norms as f64 * 20e-6;
+            let baseline =
+                cost.collective_time(CollKind::AllReduce, n, DType::F16, geom, default_cfg)
+                    + cost.kernel_time(&opt_kernel)
+                    + 25e-6
+                    + norms as f64 * 20e-6;
 
             // AR-Opt: tuned AR + fused kernel, no preprocessing.
             let (_, ar_opt) = best_config(|c| {
@@ -247,7 +243,10 @@ type TimedSchedule = (BlockSchedule, f64, Vec<(String, f64)>);
 pub fn figure11() -> Vec<Fig11Row> {
     let cfg = ModelConfig::gpt2_8_3b();
     let mut rows = Vec::new();
-    for (block, name) in [(Block::SelfAttention, "[B,S,H/16]x[H/16,H]"), (Block::Mlp, "[B,S,4H/16]x[4H/16,H]")] {
+    for (block, name) in [
+        (Block::SelfAttention, "[B,S,H/16]x[H/16,H]"),
+        (Block::Mlp, "[B,S,4H/16]x[4H/16,H]"),
+    ] {
         for batch in [8u64, 16] {
             let times: Vec<TimedSchedule> = BlockSchedule::ALL
                 .iter()
@@ -442,19 +441,22 @@ pub fn table3b() -> Vec<Tab3Row> {
         .bind("S", 1024)
         .bind("H", 3072)
         .bind("H4", 4 * 3072);
-    [BlockSchedule::MmArC, BlockSchedule::MmRsCAg, BlockSchedule::Overlap]
-        .into_iter()
-        .map(|s| {
-            let (p, log, _) =
-                apply_block_schedule(Block::SelfAttention, s).expect("fixed schedule");
-            let code = coconet_core::generate_cuda(&p, &binding).expect("generates");
-            Tab3Row {
-                schedule: s.label().to_string(),
-                generated_cuda: code.total_loc(),
-                program_loc: p.dsl_loc() + log.len(),
-            }
-        })
-        .collect()
+    [
+        BlockSchedule::MmArC,
+        BlockSchedule::MmRsCAg,
+        BlockSchedule::Overlap,
+    ]
+    .into_iter()
+    .map(|s| {
+        let (p, log, _) = apply_block_schedule(Block::SelfAttention, s).expect("fixed schedule");
+        let code = coconet_core::generate_cuda(&p, &binding).expect("generates");
+        Tab3Row {
+            schedule: s.label().to_string(),
+            generated_cuda: code.total_loc(),
+            program_loc: p.dsl_loc() + log.len(),
+        }
+    })
+    .collect()
 }
 
 /// Table 3c: the pipeline-parallel schedules.
@@ -500,9 +502,8 @@ pub fn autotune_workload(which: &str) -> (usize, usize, f64, String) {
             Binding::new(DP_RANKS).bind("N", 1 << 26),
         ),
         "model-parallel" => {
-            let (p, _) =
-                coconet_models::model_parallel::block_program(Block::SelfAttention)
-                    .expect("builds");
+            let (p, _) = coconet_models::model_parallel::block_program(Block::SelfAttention)
+                .expect("builds");
             (
                 p,
                 Binding::new(16)
@@ -566,9 +567,8 @@ pub fn table4() -> Vec<Tab4Row> {
             ModelConfig::bert_1_2b(),
             ModelConfig::bert_3_9b(),
         ] {
-            let est = |s: Strategy| {
-                estimate_iteration(&sim, &memory, &cfg, opt, s, DP_RANKS, global)
-            };
+            let est =
+                |s: Strategy| estimate_iteration(&sim, &memory, &cfg, opt, s, DP_RANKS, global);
             let estimates: Vec<_> = Strategy::ALL.iter().map(|&s| est(s)).collect();
             let coconet = estimates[3].clone().expect("CoCoNet always trains");
             let batches = [
@@ -692,8 +692,7 @@ pub fn ablation_ring_vs_tree(exponents: &[u32]) -> Vec<(u32, f64, f64)> {
             let (_, ring) = best_config(|c| {
                 cost.collective_time(CollKind::AllReduce, 1 << e, DType::F16, geom, c)
             });
-            let (_, tree) =
-                best_config(|c| cost.tree_all_reduce_time(1 << e, DType::F16, geom, c));
+            let (_, tree) = best_config(|c| cost.tree_all_reduce_time(1 << e, DType::F16, geom, c));
             (e, ring, tree)
         })
         .collect()
@@ -737,7 +736,12 @@ pub fn ablation_tile_count(batch: u64) -> Vec<(usize, f64)> {
         .into_iter()
         .map(|tiles| {
             let t = coconet_sim::simulate_overlap_with_tiles(
-                cost, &step, geom, false, config, Some(tiles),
+                cost,
+                &step,
+                geom,
+                false,
+                config,
+                Some(tiles),
             )
             .total;
             (tiles, t)
@@ -936,7 +940,13 @@ mod tests {
         let rvt = ablation_ring_vs_tree(&[10, 30]);
         let (_, ring_small, tree_small) = rvt[0];
         let (_, ring_large, tree_large) = rvt[1];
-        assert!(tree_small < ring_small, "tree {tree_small} vs ring {ring_small}");
-        assert!(ring_large < tree_large, "ring {ring_large} vs tree {tree_large}");
+        assert!(
+            tree_small < ring_small,
+            "tree {tree_small} vs ring {ring_small}"
+        );
+        assert!(
+            ring_large < tree_large,
+            "ring {ring_large} vs tree {tree_large}"
+        );
     }
 }

@@ -15,10 +15,7 @@ use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 use crate::xform;
-use crate::{
-    lower, Binding, CommConfig, CoreError, ExecPlan, OpKind, Program, Protocol,
-    VarId,
-};
+use crate::{lower, Binding, CommConfig, CoreError, ExecPlan, OpKind, Program, Protocol, VarId};
 
 /// Evaluates the cost of an executable plan (lower is better).
 /// Implemented by `coconet_sim::Simulator` over the machine model.
@@ -79,7 +76,9 @@ impl TuneReport {
     /// Panics if no schedule could be lowered (cannot happen for valid
     /// programs: the baseline always lowers).
     pub fn best(&self) -> &Candidate {
-        self.candidates.first().expect("at least the baseline schedule")
+        self.candidates
+            .first()
+            .expect("at least the baseline schedule")
     }
 }
 
@@ -271,19 +270,14 @@ pub fn fuse_pointwise_chains(p: &mut Program) {
         let mut stack = vec![v];
         let mut in_region: HashSet<VarId> = [v].into_iter().collect();
         while let Some(m) = stack.pop() {
-            let mut neighbors: Vec<VarId> = p
-                .op(m)
-                .map(|o| o.inputs())
-                .unwrap_or_default();
+            let mut neighbors: Vec<VarId> = p.op(m).map(|o| o.inputs()).unwrap_or_default();
             neighbors.extend(p.consumers(m));
             for n in neighbors {
                 if in_region.contains(&n) || p.fusion_group_of(n).is_some() {
                     continue;
                 }
                 let Ok(nop) = p.op(n) else { continue };
-                if nop.is_pointwise()
-                    && !matches!(nop, OpKind::ConstScalar(_) | OpKind::Slice(_))
-                {
+                if nop.is_pointwise() && !matches!(nop, OpKind::ConstScalar(_) | OpKind::Slice(_)) {
                     in_region.insert(n);
                     region.push(n);
                     stack.push(n);
@@ -342,9 +336,7 @@ fn find_moves(p: &Program, slice_state: bool) -> Vec<Move> {
                     continue;
                 }
                 if let Ok(OpKind::Update(target, _)) = p.op(*x) {
-                    if p.ty(*target).map(|t| t.layout == crate::Layout::Replicated)
-                        == Ok(true)
-                    {
+                    if p.ty(*target).map(|t| t.layout == crate::Layout::Replicated) == Ok(true) {
                         moves.push(Move::SliceState(*target, v));
                     }
                 }
@@ -404,9 +396,7 @@ fn reorder_region(p: &Program, ag: VarId) -> Option<Vec<VarId>> {
                     continue;
                 }
                 let Ok(dop) = p.op(dep) else { continue };
-                if !dop.is_pointwise()
-                    || matches!(dop, OpKind::Slice(_) | OpKind::ConstScalar(_))
-                {
+                if !dop.is_pointwise() || matches!(dop, OpKind::Slice(_) | OpKind::ConstScalar(_)) {
                     continue;
                 }
                 if p.consumers(dep).iter().all(|c| in_region.contains(c)) {
@@ -477,9 +467,7 @@ fn absorb_upstream_pointwise(p: &Program, region: &mut Vec<VarId>) {
                     continue;
                 }
                 let Ok(dop) = p.op(dep) else { continue };
-                if !dop.is_pointwise()
-                    || matches!(dop, OpKind::Slice(_) | OpKind::ConstScalar(_))
-                {
+                if !dop.is_pointwise() || matches!(dop, OpKind::Slice(_) | OpKind::ConstScalar(_)) {
                     continue;
                 }
                 if p.consumers(dep).iter().all(|c| in_region.contains(c)) {
@@ -555,10 +543,8 @@ fn overlap_moves(p: &Program) -> Vec<Move> {
                 }
                 let c = consumers[0];
                 let Ok(cop) = p.op(c) else { continue };
-                let is_comm_stage = matches!(
-                    cop,
-                    OpKind::AllReduce(..) | OpKind::ReduceScatter(..)
-                );
+                let is_comm_stage =
+                    matches!(cop, OpKind::AllReduce(..) | OpKind::ReduceScatter(..));
                 if is_comm_stage {
                     moves.push(Move::Overlap(vec![v, c]));
                 }
@@ -661,10 +647,17 @@ mod tests {
     #[test]
     fn tuner_finds_overlap_schedule_for_large_sizes() {
         let p = self_attention();
-        let binding = Binding::new(16).bind("B", 8).bind("S", 1024).bind("H", 3072);
+        let binding = Binding::new(16)
+            .bind("B", 8)
+            .bind("S", 1024)
+            .bind("H", 3072);
         let tuner = Autotuner::default();
         let report = tuner.tune(&p, &binding, &toy_evaluator).unwrap();
-        assert!(report.schedules_explored >= 4, "explored {}", report.schedules_explored);
+        assert!(
+            report.schedules_explored >= 4,
+            "explored {}",
+            report.schedules_explored
+        );
         assert!(report.configs_evaluated > report.schedules_explored);
         let best = report.best();
         // The best schedule must contain an overlap (the paper's
@@ -716,11 +709,7 @@ mod tests {
         let report = Autotuner::default()
             .tune(&p, &binding, &toy_evaluator)
             .unwrap();
-        let labels: Vec<String> = report
-            .candidates
-            .iter()
-            .map(Candidate::label)
-            .collect();
+        let labels: Vec<String> = report.candidates.iter().map(Candidate::label).collect();
         assert!(
             labels.iter().any(|l| l.contains("split")),
             "no split schedule in {labels:?}"
@@ -742,8 +731,13 @@ mod tests {
     #[test]
     fn report_orders_candidates_best_first() {
         let p = self_attention();
-        let binding = Binding::new(16).bind("B", 8).bind("S", 1024).bind("H", 3072);
-        let report = Autotuner::default().tune(&p, &binding, &toy_evaluator).unwrap();
+        let binding = Binding::new(16)
+            .bind("B", 8)
+            .bind("S", 1024)
+            .bind("H", 3072);
+        let report = Autotuner::default()
+            .tune(&p, &binding, &toy_evaluator)
+            .unwrap();
         for w in report.candidates.windows(2) {
             assert!(w[0].time <= w[1].time);
         }

@@ -55,11 +55,9 @@ fn op_expression(p: &Program, v: VarId) -> Result<String, CoreError> {
             "float x_{name} = blockReduceSum({0} * {0}); // norm partial",
             arg(*a)?
         ),
-        OpKind::ReduceTensor(op, a) => format!(
-            "float x_{name} = blockReduce({:?}, {});",
-            op,
-            arg(*a)?
-        ),
+        OpKind::ReduceTensor(op, a) => {
+            format!("float x_{name} = blockReduce({:?}, {});", op, arg(*a)?)
+        }
         OpKind::Slice(a) => format!(
             "float x_{name} = (float){}[sliceOffset(rank, idx)];",
             p.node(*a)?.name()
@@ -102,8 +100,7 @@ fn external_stores(p: &Program, members: &[VarId]) -> Result<Vec<VarId>, CoreErr
     let set: HashSet<VarId> = members.iter().copied().collect();
     let mut stores = Vec::new();
     for &m in members {
-        let escapes = p.outputs().contains(&m)
-            || p.consumers(m).iter().any(|c| !set.contains(c));
+        let escapes = p.outputs().contains(&m) || p.consumers(m).iter().any(|c| !set.contains(c));
         if escapes && !matches!(p.op(m)?, OpKind::Update(..)) {
             stores.push(m);
         }
@@ -111,11 +108,7 @@ fn external_stores(p: &Program, members: &[VarId]) -> Result<Vec<VarId>, CoreErr
     Ok(stores)
 }
 
-fn compute_body(
-    p: &Program,
-    members: &[VarId],
-    indent: &str,
-) -> Result<String, CoreError> {
+fn compute_body(p: &Program, members: &[VarId], indent: &str) -> Result<String, CoreError> {
     let mut body = String::new();
     let order = p.topo_order();
     let mut sorted: Vec<VarId> = members.to_vec();
@@ -140,7 +133,8 @@ pub(crate) fn emit_pointwise_kernel(
     let stores = external_stores(p, members)?;
     let mut src = String::new();
     let _ = writeln!(src, "// Fused pointwise kernel ({} ops).", members.len());
-    let mut params: Vec<String> = vec!["size_t n".into(), "int rank".into(), "uint64_t seed".into()];
+    let mut params: Vec<String> =
+        vec!["size_t n".into(), "int rank".into(), "uint64_t seed".into()];
     for &l in &loads {
         let node = p.node(l)?;
         params.push(format!("const {}* {}", cuda_type(p, l)?, node.name()));
@@ -154,8 +148,15 @@ pub(crate) fn emit_pointwise_kernel(
             params.push(format!("{}* {}", cuda_type(p, *t)?, p.node(*t)?.name()));
         }
     }
-    let _ = writeln!(src, "__global__ void {kernel_name}({}) {{", params.join(", "));
-    let _ = writeln!(src, "  size_t idx = blockIdx.x * (size_t)blockDim.x + threadIdx.x;");
+    let _ = writeln!(
+        src,
+        "__global__ void {kernel_name}({}) {{",
+        params.join(", ")
+    );
+    let _ = writeln!(
+        src,
+        "  size_t idx = blockIdx.x * (size_t)blockDim.x + threadIdx.x;"
+    );
     let _ = writeln!(src, "  if (idx >= n) return;");
     let _ = writeln!(src, "  size_t gidx = globalOffset(rank, n) + idx;");
     for &l in &loads {
@@ -163,11 +164,7 @@ pub(crate) fn emit_pointwise_kernel(
         if matches!(node.op(), OpKind::Slice(_)) {
             let _ = writeln!(src, "  {}", op_expression(p, l)?);
         } else {
-            let _ = writeln!(
-                src,
-                "  float x_{0} = (float){0}[idx];",
-                node.name()
-            );
+            let _ = writeln!(src, "  float x_{0} = (float){0}[idx];", node.name());
         }
     }
     src.push_str(&compute_body(p, members, "  ")?);
@@ -221,7 +218,10 @@ pub(crate) fn emit_fused_collective(
         src,
         "__device__ __forceinline__ void computeEpilogue_{idx}(PackT* pack, FusedArgs_{idx}* a, size_t idx, size_t gidx, int rank, uint64_t seed) {{"
     );
-    let _ = writeln!(src, "  constexpr int kEltsPerPack = sizeof(PackT) / sizeof(T);");
+    let _ = writeln!(
+        src,
+        "  constexpr int kEltsPerPack = sizeof(PackT) / sizeof(T);"
+    );
     let _ = writeln!(src, "  #pragma unroll");
     let _ = writeln!(src, "  for (int e = 0; e < kEltsPerPack; ++e) {{");
     let loads = external_loads(p, &compute_members)?;
@@ -237,8 +237,11 @@ pub(crate) fn emit_fused_collective(
             );
         }
     }
-    let _ = writeln!(src, "    float x_{} = toFloat(unpack<T>(pack, e));",
-        rs_name(p, members)?);
+    let _ = writeln!(
+        src,
+        "    float x_{} = toFloat(unpack<T>(pack, e));",
+        rs_name(p, members)?
+    );
     src.push_str(&compute_body(p, &compute_members, "    ")?);
     for &s in &external_stores(p, &compute_members)? {
         let name = p.node(s)?.name();
@@ -250,11 +253,23 @@ pub(crate) fn emit_fused_collective(
     // Mixed-precision pack handling (§5.2): find the largest element
     // type among the fused computation's operands and derive how many
     // elements one protocol pack carries.
-    let _ = writeln!(src, "// Mixed precision (§5.2): packs carry kEltsPerPack elements of the");
-    let _ = writeln!(src, "// widest participating type; narrower tensors are converted on load.");
-    let _ = writeln!(src, "template <typename TWide, typename TNarrow, typename PackT>");
+    let _ = writeln!(
+        src,
+        "// Mixed precision (§5.2): packs carry kEltsPerPack elements of the"
+    );
+    let _ = writeln!(
+        src,
+        "// widest participating type; narrower tensors are converted on load."
+    );
+    let _ = writeln!(
+        src,
+        "template <typename TWide, typename TNarrow, typename PackT>"
+    );
     let _ = writeln!(src, "__device__ __forceinline__ void loadMixed_{idx}(const TNarrow* src, size_t idx, float* out) {{");
-    let _ = writeln!(src, "  constexpr int kEltsPerPack = sizeof(PackT) / sizeof(TWide);");
+    let _ = writeln!(
+        src,
+        "  constexpr int kEltsPerPack = sizeof(PackT) / sizeof(TWide);"
+    );
     let _ = writeln!(src, "  #pragma unroll");
     let _ = writeln!(src, "  for (int e = 0; e < kEltsPerPack; ++e) {{");
     let _ = writeln!(src, "    out[e] = toFloat(src[idx + e]);");
@@ -264,7 +279,10 @@ pub(crate) fn emit_fused_collective(
     // Sliced-tensor index mapping (§5.2): accesses inside the fused
     // kernel map to elements of the rank's slice; the AllGather phase
     // uses the inverse mapping.
-    let _ = writeln!(src, "// Sliced tensors (§5.2): map a global element index to this rank's");
+    let _ = writeln!(
+        src,
+        "// Sliced tensors (§5.2): map a global element index to this rank's"
+    );
     let _ = writeln!(src, "// slice, and back for the AllGather phase.");
     let _ = writeln!(src, "__device__ __forceinline__ size_t sliceIndex_{idx}(size_t gidx, int rank, size_t sliceElems) {{");
     let _ = writeln!(src, "  return gidx - (size_t)rank * sliceElems;");
@@ -276,17 +294,38 @@ pub(crate) fn emit_fused_collective(
     // Embedded scalar all-reduces for sliced tensor reductions.
     for (i, &n) in norms.iter().enumerate() {
         let name = p.node(n)?.name();
-        let _ = writeln!(src, "// Embedded scalar AllReduce for {name} (§5.2 Tensor Reduction):");
-        let _ = writeln!(src, "// each rank reduces its slice locally, then an in-kernel AllReduce");
-        let _ = writeln!(src, "// over the already-established ring connections combines partials.");
-        let _ = writeln!(src, "__device__ float embeddedAllReduce_{idx}_{i}(float partial, CommHandle* h) {{");
+        let _ = writeln!(
+            src,
+            "// Embedded scalar AllReduce for {name} (§5.2 Tensor Reduction):"
+        );
+        let _ = writeln!(
+            src,
+            "// each rank reduces its slice locally, then an in-kernel AllReduce"
+        );
+        let _ = writeln!(
+            src,
+            "// over the already-established ring connections combines partials."
+        );
+        let _ = writeln!(
+            src,
+            "__device__ float embeddedAllReduce_{idx}_{i}(float partial, CommHandle* h) {{"
+        );
         let _ = writeln!(src, "  partial = warpReduceSum(partial);");
         let _ = writeln!(src, "  __shared__ float warpPartials_{i}[32];");
-        let _ = writeln!(src, "  if (laneId() == 0) warpPartials_{i}[warpId()] = partial;");
+        let _ = writeln!(
+            src,
+            "  if (laneId() == 0) warpPartials_{i}[warpId()] = partial;"
+        );
         let _ = writeln!(src, "  __syncthreads();");
         let _ = writeln!(src, "  if (warpId() == 0) {{");
-        let _ = writeln!(src, "    partial = warpReduceSum(warpPartials_{i}[laneId()]);");
-        let _ = writeln!(src, "    if (laneId() == 0) atomicAdd(&h->scratch[{i}], partial);");
+        let _ = writeln!(
+            src,
+            "    partial = warpReduceSum(warpPartials_{i}[laneId()]);"
+        );
+        let _ = writeln!(
+            src,
+            "    if (laneId() == 0) atomicAdd(&h->scratch[{i}], partial);"
+        );
         let _ = writeln!(src, "  }}");
         let _ = writeln!(src, "  ringBarrier(h); // reuses established connections");
         let _ = writeln!(src, "  scalarRingAllReduce(h, &h->scratch[{i}]);");
@@ -340,21 +379,39 @@ fn emit_protocol_runner(src: &mut String, idx: usize, proto: &str) {
     );
     let _ = writeln!(src, "  using PackT = {pack};");
     let _ = writeln!(src, "  const int chunkSize = h->{lines}ChunkSize;");
-    let _ = writeln!(src, "  // Connection setup: advance the flag epoch and wait for peers.");
+    let _ = writeln!(
+        src,
+        "  // Connection setup: advance the flag epoch and wait for peers."
+    );
     let _ = writeln!(src, "  if (threadIdx.x == 0) {{");
     let _ = writeln!(src, "    h->flag = h->opCount + 1;");
     let _ = writeln!(src, "    barrierArrive(h->peerBarrier);");
     let _ = writeln!(src, "  }}");
     let _ = writeln!(src, "  __syncthreads();");
-    let _ = writeln!(src, "  for (int step = 0; step < 2 * (nranks - 1); ++step) {{");
+    let _ = writeln!(
+        src,
+        "  for (int step = 0; step < 2 * (nranks - 1); ++step) {{"
+    );
     let _ = writeln!(src, "    int chunk = ringChunk(h->ringPos, step, nranks);");
     let _ = writeln!(src, "    size_t off = (size_t)chunk * chunkSize;");
     match proto {
         "LL" => {
-            let _ = writeln!(src, "    // LL: 8-byte packs, 4B data + 4B flag, no fences.");
-            let _ = writeln!(src, "    for (size_t i = tid(); i < chunkSize; i += nthreads()) {{");
-            let _ = writeln!(src, "      PackT v = readLL(h->recvBuff, off + i, h->flag);");
-            let _ = writeln!(src, "      v = reduceLL<T>(v, loadLocal<PackT>(args.input, off + i));");
+            let _ = writeln!(
+                src,
+                "    // LL: 8-byte packs, 4B data + 4B flag, no fences."
+            );
+            let _ = writeln!(
+                src,
+                "    for (size_t i = tid(); i < chunkSize; i += nthreads()) {{"
+            );
+            let _ = writeln!(
+                src,
+                "      PackT v = readLL(h->recvBuff, off + i, h->flag);"
+            );
+            let _ = writeln!(
+                src,
+                "      v = reduceLL<T>(v, loadLocal<PackT>(args.input, off + i));"
+            );
             let _ = writeln!(src, "      if (step >= nranks - 1) {{");
             let _ = writeln!(src, "        computeEpilogue_{idx}<T, PackT>(&v, &args, off + i, h->gOff + off + i, h->rank, args.seed);");
             let _ = writeln!(src, "      }}");
@@ -362,23 +419,44 @@ fn emit_protocol_runner(src: &mut String, idx: usize, proto: &str) {
             let _ = writeln!(src, "    }}");
         }
         "LL128" => {
-            let _ = writeln!(src, "    // LL128: 128-byte lines staged through shared memory.");
+            let _ = writeln!(
+                src,
+                "    // LL128: 128-byte lines staged through shared memory."
+            );
             let _ = writeln!(src, "    __shared__ PackT stage[NCCL_LL128_SHMEM_ELEMS];");
-            let _ = writeln!(src, "    for (size_t i = warpTile(); i < chunkSize; i += warpStride()) {{");
+            let _ = writeln!(
+                src,
+                "    for (size_t i = warpTile(); i < chunkSize; i += warpStride()) {{"
+            );
             let _ = writeln!(src, "      loadLine128(h->recvBuff, off + i, stage);");
             let _ = writeln!(src, "      reduceLine128<T>(stage, args.input, off + i);");
             let _ = writeln!(src, "      if (step >= nranks - 1) {{");
             let _ = writeln!(src, "        computeEpilogue_{idx}<T, PackT>(stage, &args, off + i, h->gOff + off + i, h->rank, args.seed);");
             let _ = writeln!(src, "      }}");
-            let _ = writeln!(src, "      storeLine128(h->sendBuff, off + i, stage, h->flag);");
+            let _ = writeln!(
+                src,
+                "      storeLine128(h->sendBuff, off + i, stage, h->flag);"
+            );
             let _ = writeln!(src, "    }}");
         }
         _ => {
-            let _ = writeln!(src, "    // Simple: full-rate global loads/stores, fence per chunk.");
+            let _ = writeln!(
+                src,
+                "    // Simple: full-rate global loads/stores, fence per chunk."
+            );
             let _ = writeln!(src, "    waitPeer(h, step);");
-            let _ = writeln!(src, "    for (size_t i = tid(); i < chunkSize; i += nthreads()) {{");
-            let _ = writeln!(src, "      PackT v = loadGlobal<PackT>(h->recvBuff, off + i);");
-            let _ = writeln!(src, "      v = reduceSimple<T>(v, loadLocal<PackT>(args.input, off + i));");
+            let _ = writeln!(
+                src,
+                "    for (size_t i = tid(); i < chunkSize; i += nthreads()) {{"
+            );
+            let _ = writeln!(
+                src,
+                "      PackT v = loadGlobal<PackT>(h->recvBuff, off + i);"
+            );
+            let _ = writeln!(
+                src,
+                "      v = reduceSimple<T>(v, loadLocal<PackT>(args.input, off + i));"
+            );
             let _ = writeln!(src, "      if (step >= nranks - 1) {{");
             let _ = writeln!(src, "        computeEpilogue_{idx}<T, PackT>(&v, &args, off + i, h->gOff + off + i, h->rank, args.seed);");
             let _ = writeln!(src, "      }}");
@@ -388,7 +466,10 @@ fn emit_protocol_runner(src: &mut String, idx: usize, proto: &str) {
         }
     }
     let _ = writeln!(src, "  }}");
-    let _ = writeln!(src, "  // Drain: make the final AllGather stores visible system-wide.");
+    let _ = writeln!(
+        src,
+        "  // Drain: make the final AllGather stores visible system-wide."
+    );
     let _ = writeln!(src, "  __threadfence_system();");
     let _ = writeln!(src, "  if (threadIdx.x == 0) {{");
     let _ = writeln!(src, "    h->opCount += 1;");
@@ -430,7 +511,10 @@ pub(crate) fn emit_fused_send(
     let _ = writeln!(src, "template <typename T>");
     let _ = writeln!(src, "__global__ void {kernel}(SendArgs_{idx} args) {{");
     let _ = writeln!(src, "  CommHandle* h = p2pHandle(args.comm, blockIdx.x);");
-    let _ = writeln!(src, "  for (size_t idx = tid(); idx < args.count; idx += nthreads()) {{");
+    let _ = writeln!(
+        src,
+        "  for (size_t idx = tid(); idx < args.count; idx += nthreads()) {{"
+    );
     let _ = writeln!(src, "    size_t gidx = args.sliceOff + idx;");
     let loads = external_loads(p, &compute_members)?;
     for &l in &loads {
@@ -438,7 +522,11 @@ pub(crate) fn emit_fused_send(
         if matches!(node.op(), OpKind::Slice(_)) {
             let _ = writeln!(src, "    {}", op_expression(p, l)?);
         } else {
-            let _ = writeln!(src, "    float x_{0} = toFloat(args.{0}[idx]);", node.name());
+            let _ = writeln!(
+                src,
+                "    float x_{0} = toFloat(args.{0}[idx]);",
+                node.name()
+            );
         }
     }
     src.push_str(&compute_body(p, &compute_members, "    ")?);

@@ -258,7 +258,10 @@ mod tests {
     }
 
     fn binding() -> Binding {
-        Binding::new(16).bind("B", 8).bind("S", 1024).bind("H", 3072)
+        Binding::new(16)
+            .bind("B", 8)
+            .bind("S", 1024)
+            .bind("H", 3072)
     }
 
     #[test]

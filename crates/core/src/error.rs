@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use coconet_tensor::TensorError;
+
 /// Errors produced while building, transforming, or lowering a program.
 ///
 /// Transformation errors correspond to the validity rules of §3 of the
@@ -62,6 +64,9 @@ pub enum CoreError {
         /// Number of parts required.
         parts: u64,
     },
+    /// An underlying tensor operation failed (e.g. while folding
+    /// constants or materializing a concrete shape).
+    Tensor(TensorError),
 }
 
 impl fmt::Display for CoreError {
@@ -86,13 +91,32 @@ impl fmt::Display for CoreError {
             }
             CoreError::MalformedProgram(detail) => write!(f, "malformed program: {detail}"),
             CoreError::IndivisibleSize { what, total, parts } => {
-                write!(f, "{what} of size {total} does not divide into {parts} parts")
+                write!(
+                    f,
+                    "{what} of size {total} does not divide into {parts} parts"
+                )
             }
+            CoreError::Tensor(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl Error for CoreError {}
+impl Error for CoreError {
+    // Transparent wrapping: Display forwards to the tensor error, so
+    // source() skips it to avoid double-reporting in walked chains.
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Tensor(e) => e.source(),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> CoreError {
+        CoreError::Tensor(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -126,6 +150,7 @@ mod tests {
                 total: 10,
                 parts: 3,
             },
+            CoreError::from(TensorError::ConcatMismatch),
         ];
         for e in errors {
             let msg = e.to_string();

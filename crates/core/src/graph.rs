@@ -736,11 +736,7 @@ impl Program {
         }
         for v in self.live_vars() {
             for dep in self.nodes[v.index()].op.inputs() {
-                if self
-                    .nodes
-                    .get(dep.index())
-                    .is_none_or(|n| n.deleted)
-                {
+                if self.nodes.get(dep.index()).is_none_or(|n| n.deleted) {
                     return Err(CoreError::MalformedProgram(format!(
                         "{v} reads dead variable {dep}"
                     )));
@@ -846,12 +842,7 @@ impl Program {
                     );
                 }
                 OpKind::Dropout(a, p) => {
-                    let _ = writeln!(
-                        out,
-                        "Var {} = Dropout({}, {p});",
-                        node.name,
-                        name_of(*a)
-                    );
+                    let _ = writeln!(out, "Var {} = Dropout({}, {p});", node.name, name_of(*a));
                 }
                 OpKind::Update(t, x) => {
                     let _ = writeln!(
@@ -912,12 +903,7 @@ impl Program {
                     );
                 }
                 OpKind::Send(a, peer) => {
-                    let _ = writeln!(
-                        out,
-                        "Var {} = Send({}, {peer});",
-                        node.name,
-                        name_of(*a)
-                    );
+                    let _ = writeln!(out, "Var {} = Send({}, {peer});", node.name, name_of(*a));
                 }
             }
         }
@@ -1060,7 +1046,6 @@ mod tests {
         assert_eq!(p.ty(x).unwrap().shape.rank(), 0);
         assert_eq!(p.ty(x).unwrap().layout, Layout::Replicated);
     }
-
 
     #[test]
     fn validate_rejects_read_after_update_hazard() {

@@ -44,11 +44,7 @@ fn check_same_group(op: &str, a: &TensorType, b: &TensorType) -> Result<(), Core
 ///
 /// Returns [`CoreError::ShapeIncompatible`] or
 /// [`CoreError::LayoutIncompatible`] when the rule table has no entry.
-pub fn infer_binary(
-    op: &str,
-    a: &TensorType,
-    b: &TensorType,
-) -> Result<TensorType, CoreError> {
+pub fn infer_binary(op: &str, a: &TensorType, b: &TensorType) -> Result<TensorType, CoreError> {
     check_same_group(op, a, b)?;
     let shape = a.shape.broadcast(&b.shape)?;
     let dtype = DType::promote(a.dtype, b.dtype);
@@ -69,12 +65,8 @@ pub fn infer_binary(
             }
             Layout::Sliced(d)
         }
-        (Layout::Sliced(d), Layout::Replicated) => {
-            sliced_replicated(op, d, &a.shape, &b.shape)?
-        }
-        (Layout::Replicated, Layout::Sliced(d)) => {
-            sliced_replicated(op, d, &b.shape, &a.shape)?
-        }
+        (Layout::Sliced(d), Layout::Replicated) => sliced_replicated(op, d, &a.shape, &b.shape)?,
+        (Layout::Replicated, Layout::Sliced(d)) => sliced_replicated(op, d, &b.shape, &a.shape)?,
         (Layout::Sliced(_), Layout::Local) | (Layout::Local, Layout::Sliced(_)) => {
             return Err(layout_err(op, "cannot combine sliced and local operands"));
         }
@@ -168,9 +160,7 @@ pub fn infer_matmul(a: &TensorType, w: &TensorType) -> Result<TensorType, CoreEr
 
     let a_rank = a.shape.rank();
     let layout = match (a.layout, w.layout) {
-        (Layout::Sliced(SliceDim::Dim(d)), Layout::Sliced(SliceDim::Dim(0)))
-            if d == a_rank - 1 =>
-        {
+        (Layout::Sliced(SliceDim::Dim(d)), Layout::Sliced(SliceDim::Dim(0))) if d == a_rank - 1 => {
             Layout::Local
         }
         (Layout::Replicated, Layout::Sliced(SliceDim::Dim(1))) => {
@@ -182,10 +172,7 @@ pub fn infer_matmul(a: &TensorType, w: &TensorType) -> Result<TensorType, CoreEr
             Layout::Sliced(SliceDim::Dim(d))
         }
         (la, lw) => {
-            return Err(layout_err(
-                "MatMul",
-                format!("no rule for {la} @ {lw}"),
-            ));
+            return Err(layout_err("MatMul", format!("no rule for {la} @ {lw}")));
         }
     };
     Ok(TensorType {
@@ -248,9 +235,7 @@ pub fn infer_conv2d(
     let layout = match (x.layout, w.layout) {
         (Layout::Replicated, Layout::Replicated) => Layout::Replicated,
         (Layout::Local, Layout::Replicated) => Layout::Local,
-        (Layout::Sliced(SliceDim::Dim(0)), Layout::Replicated) => {
-            Layout::Sliced(SliceDim::Dim(0))
-        }
+        (Layout::Sliced(SliceDim::Dim(0)), Layout::Replicated) => Layout::Sliced(SliceDim::Dim(0)),
         (lx, lw) => {
             return Err(layout_err("Conv2d", format!("no rule for {lx} conv {lw}")));
         }
@@ -438,10 +423,7 @@ pub fn infer_update(target: &TensorType, value: &TensorType) -> Result<TensorTyp
         (a, b) if a == b => a,
         (Layout::Replicated, Layout::Sliced(d)) => Layout::Sliced(d),
         (t, v) => {
-            return Err(layout_err(
-                "Update",
-                format!("target is {t}, value is {v}"),
-            ));
+            return Err(layout_err("Update", format!("target is {t}, value is {v}")));
         }
     };
     Ok(TensorType {
@@ -459,10 +441,7 @@ pub fn infer_update(target: &TensorType, value: &TensorType) -> Result<TensorTyp
 ///
 /// Propagates the per-operation inference errors; leaf operations
 /// (`Input`, `ConstScalar`) return [`CoreError::MalformedProgram`].
-pub fn infer_op(
-    op: &crate::OpKind,
-    tys: &[&TensorType],
-) -> Result<TensorType, CoreError> {
+pub fn infer_op(op: &crate::OpKind, tys: &[&TensorType]) -> Result<TensorType, CoreError> {
     use crate::OpKind;
     match op {
         OpKind::Input | OpKind::ConstScalar(_) => Err(CoreError::MalformedProgram(

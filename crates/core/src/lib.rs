@@ -4,32 +4,31 @@
 
 #![warn(missing_docs)]
 
+pub mod autotune;
+pub mod codegen;
 mod dim;
 mod error;
 mod graph;
 mod infer;
 mod layout;
-mod op;
-pub mod autotune;
-pub mod codegen;
 mod lower;
+mod op;
 mod plan;
 mod types;
 pub mod xform;
 
 pub use coconet_tensor::{Conv2dParams, DType, ReduceOp};
 
+pub use autotune::{Autotuner, Candidate, PlanEvaluator, TuneReport};
+pub use codegen::{braces_balanced, generate_cuda, GeneratedCode};
 pub use dim::{Binding, Dim, SymShape};
 pub use error::CoreError;
 pub use graph::{FuseKind, FusionGroup, Node, OverlapGroup, Program};
 pub use layout::{Layout, SliceDim};
-pub use op::{BinaryOp, OpKind, PeerSelector, UnaryOp, VarId};
 pub use lower::lower;
+pub use op::{BinaryOp, OpKind, PeerSelector, UnaryOp, VarId};
 pub use plan::{
-    CollKind, CollectiveStep, CommConfig, ExecPlan, FixedStep, FusedCollectiveStep,
-    KernelStep, MatMulStep, OverlapStage, OverlappedStep, Protocol, ScatterInfo,
-    SendRecvStep, Step,
+    CollKind, CollectiveStep, CommConfig, ExecPlan, FixedStep, FusedCollectiveStep, KernelStep,
+    MatMulStep, OverlapStage, OverlappedStep, Protocol, ScatterInfo, SendRecvStep, Step,
 };
-pub use autotune::{Autotuner, Candidate, PlanEvaluator, TuneReport};
-pub use codegen::{braces_balanced, generate_cuda, GeneratedCode};
 pub use types::TensorType;

@@ -10,9 +10,9 @@
 use std::collections::{HashMap, HashSet};
 
 use crate::{
-    Binding, CollKind, CommConfig, CoreError, ExecPlan, FuseKind, FusedCollectiveStep,
-    KernelStep, Layout, MatMulStep, OpKind, OverlapStage, OverlappedStep, Program,
-    SendRecvStep, SliceDim, Step, VarId,
+    Binding, CollKind, CommConfig, CoreError, ExecPlan, FuseKind, FusedCollectiveStep, KernelStep,
+    Layout, MatMulStep, OpKind, OverlapStage, OverlappedStep, Program, SendRecvStep, SliceDim,
+    Step, VarId,
 };
 
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -39,8 +39,7 @@ struct Unit {
 pub fn lower(p: &Program, binding: &Binding, config: CommConfig) -> Result<ExecPlan, CoreError> {
     p.validate()?;
     let topo = p.topo_order();
-    let position: HashMap<VarId, usize> =
-        topo.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let position: HashMap<VarId, usize> = topo.iter().enumerate().map(|(i, &v)| (v, i)).collect();
 
     // ---- build units -----------------------------------------------------
     let mut unit_of: HashMap<VarId, usize> = HashMap::new();
@@ -60,7 +59,10 @@ pub fn lower(p: &Program, binding: &Binding, config: CommConfig) -> Result<ExecP
             continue;
         }
         let op = p.op(v)?;
-        if matches!(op, OpKind::Input | OpKind::ConstScalar(_) | OpKind::Slice(_)) {
+        if matches!(
+            op,
+            OpKind::Input | OpKind::ConstScalar(_) | OpKind::Slice(_)
+        ) {
             continue;
         }
         let idx = units.len();
@@ -159,11 +161,7 @@ fn step_to_stage(step: Step) -> Result<OverlapStage, CoreError> {
 }
 
 /// Per-rank extents of a (possibly sliced) operand.
-fn local_dims(
-    p: &Program,
-    v: VarId,
-    binding: &Binding,
-) -> Result<Vec<u64>, CoreError> {
+fn local_dims(p: &Program, v: VarId, binding: &Binding) -> Result<Vec<u64>, CoreError> {
     let ty = p.ty(v)?;
     let shape = ty.shape.eval(binding)?;
     let mut dims: Vec<u64> = shape.dims().iter().map(|&d| d as u64).collect();
@@ -241,16 +239,18 @@ fn external_write_bytes(
     Ok(bytes)
 }
 
-fn compute_flops(p: &Program, members: &HashSet<VarId>, binding: &Binding) -> Result<u64, CoreError> {
+fn compute_flops(
+    p: &Program,
+    members: &HashSet<VarId>,
+    binding: &Binding,
+) -> Result<u64, CoreError> {
     let mut flops = 0u64;
     for &m in members {
         let op = p.op(m)?;
         if op.is_pointwise() && !matches!(op, OpKind::ConstScalar(_) | OpKind::Slice(_)) {
             // Norm reads its input's elements; others produce them.
             let n = match op {
-                OpKind::Norm(x) | OpKind::ReduceTensor(_, x) => {
-                    p.ty(*x)?.local_numel(binding)?
-                }
+                OpKind::Norm(x) | OpKind::ReduceTensor(_, x) => p.ty(*x)?.local_numel(binding)?,
                 _ => p.ty(m)?.local_numel(binding)?,
             };
             flops += n;
@@ -289,9 +289,7 @@ fn lower_unit(p: &Program, binding: &Binding, unit: &Unit) -> Result<Vec<Step>, 
             let n_ops = unit
                 .members
                 .iter()
-                .filter(|&&m| {
-                    !matches!(p.op(m), Ok(OpKind::ConstScalar(_)) | Ok(OpKind::Slice(_)))
-                })
+                .filter(|&&m| !matches!(p.op(m), Ok(OpKind::ConstScalar(_)) | Ok(OpKind::Slice(_))))
                 .count();
             let mut steps = vec![Step::Kernel(KernelStep {
                 label: format!("fused[{}]", label_of(p, &unit.members)),
@@ -322,9 +320,11 @@ fn lower_unit(p: &Program, binding: &Binding, unit: &Unit) -> Result<Vec<Step>, 
                 .iter()
                 .find(|&&m| matches!(p.op(m), Ok(OpKind::ReduceScatter(..))))
                 .copied()
-                .ok_or_else(|| CoreError::MalformedProgram(
-                    "FusedAllReduce group without a ReduceScatter".into(),
-                ))?;
+                .ok_or_else(|| {
+                    CoreError::MalformedProgram(
+                        "FusedAllReduce group without a ReduceScatter".into(),
+                    )
+                })?;
             let rs_input = p.op(rs)?.inputs()[0];
             let ags: HashSet<VarId> = unit
                 .members
@@ -417,9 +417,13 @@ fn lower_single(p: &Program, binding: &Binding, v: VarId) -> Result<Vec<Step>, C
             })])
         }
         OpKind::AllReduce(_, x) => Ok(vec![collective(p, binding, CollKind::AllReduce, x, name)?]),
-        OpKind::ReduceScatter(_, x) => {
-            Ok(vec![collective(p, binding, CollKind::ReduceScatter, x, name)?])
-        }
+        OpKind::ReduceScatter(_, x) => Ok(vec![collective(
+            p,
+            binding,
+            CollKind::ReduceScatter,
+            x,
+            name,
+        )?]),
         OpKind::AllGather(x) => Ok(vec![collective(p, binding, CollKind::AllGather, x, name)?]),
         OpKind::Broadcast(x, _) => Ok(vec![collective(p, binding, CollKind::Broadcast, x, name)?]),
         OpKind::Reduce(_, x, _) => Ok(vec![collective(p, binding, CollKind::Reduce, x, name)?]),
@@ -485,7 +489,10 @@ mod tests {
     use crate::{DType, Program, ReduceOp};
 
     fn binding() -> Binding {
-        Binding::new(16).bind("B", 8).bind("S", 1024).bind("H", 1024)
+        Binding::new(16)
+            .bind("B", 8)
+            .bind("S", 1024)
+            .bind("H", 1024)
     }
 
     fn figure3() -> (Program, Vec<VarId>) {

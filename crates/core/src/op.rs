@@ -319,7 +319,10 @@ mod tests {
     #[test]
     fn mnemonics() {
         let v = VarId(0);
-        assert_eq!(OpKind::AllReduce(ReduceOp::Sum, v).mnemonic(), "AllReduce(+)");
+        assert_eq!(
+            OpKind::AllReduce(ReduceOp::Sum, v).mnemonic(),
+            "AllReduce(+)"
+        );
         assert_eq!(OpKind::MatMul(v, v).mnemonic(), "MatMul");
         assert_eq!(
             OpKind::Send(v, PeerSelector::NextGroupSameRank).mnemonic(),

@@ -117,7 +117,12 @@ pub fn fuse_compute(p: &mut Program, members: &[VarId]) -> Result<usize, CoreErr
     }
     check_convex(p, &set, "fuse")?;
     let absorbed = check_group_overlap(p, &set, "fuse")?;
-    Ok(install_group(p, FuseKind::Compute, members.to_vec(), absorbed))
+    Ok(install_group(
+        p,
+        FuseKind::Compute,
+        members.to_vec(),
+        absorbed,
+    ))
 }
 
 /// Fuses a ReduceScatter, sliced computations, and AllGather(s) into a

@@ -32,7 +32,10 @@ use super::invalid;
 /// group.
 pub fn overlap(p: &mut Program, stages: &[VarId]) -> Result<(), CoreError> {
     if stages.len() < 2 {
-        return Err(invalid("overlap", "need at least two operations to overlap"));
+        return Err(invalid(
+            "overlap",
+            "need at least two operations to overlap",
+        ));
     }
     // Expand each stage to its fusion group (or itself).
     let mut expanded: Vec<Vec<VarId>> = Vec::with_capacity(stages.len());

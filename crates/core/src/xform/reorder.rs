@@ -158,8 +158,7 @@ pub fn reorder_all_gather(
         .into_iter()
         .filter(|v| region.contains(v))
         .collect();
-    let mut slice_cache: std::collections::HashMap<VarId, VarId> =
-        std::collections::HashMap::new();
+    let mut slice_cache: std::collections::HashMap<VarId, VarId> = std::collections::HashMap::new();
 
     for &m in &topo {
         let mut op = p.node(m)?.op().clone();

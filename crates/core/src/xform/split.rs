@@ -45,7 +45,10 @@ pub fn split_all_reduce(p: &mut Program, ar: VarId) -> Result<(VarId, VarId), Co
         }
     };
     if p.fusion_group_of(ar).is_some() {
-        return Err(invalid("split", "AllReduce is already inside a fusion group"));
+        return Err(invalid(
+            "split",
+            "AllReduce is already inside a fusion group",
+        ));
     }
     let base = node.name().to_string();
     let rs = p.reduce_scatter(op, input)?;

@@ -31,7 +31,11 @@ pub fn as_slice(p: &mut Program, input: VarId) -> Result<(), CoreError> {
     if node.ty().layout != Layout::Replicated {
         return Err(invalid(
             "asSlice",
-            format!("{} is {}, expected Replicated", node.name(), node.ty().layout),
+            format!(
+                "{} is {}, expected Replicated",
+                node.name(),
+                node.ty().layout
+            ),
         ));
     }
     // Commit the layout change.

@@ -108,17 +108,12 @@ pub fn pipeline_epilogue_time(
 /// End-to-end pipeline inference speedup (Table 5): layers-per-node
 /// transformer layers of GEMM + model-parallel epilogue, then one
 /// pipeline boundary per node.
-pub fn pipeline_inference_speedup(
-    cfg: &ModelConfig,
-    batch: usize,
-    layers_per_node: usize,
-) -> f64 {
+pub fn pipeline_inference_speedup(cfg: &ModelConfig, batch: usize, layers_per_node: usize) -> f64 {
     let machine = MachineSpec::dgx2_cluster(16);
     let mp = 16;
     let gemm = layer_gemm_time(cfg, batch, mp, &machine) * layers_per_node as f64;
-    let mp_epilogue =
-        model_parallel_epilogue_time(cfg, batch, mp, BlockSchedule::Megatron)
-            * layers_per_node as f64;
+    let mp_epilogue = model_parallel_epilogue_time(cfg, batch, mp, BlockSchedule::Megatron)
+        * layers_per_node as f64;
     let base = pipeline_epilogue_time(cfg, batch, 16, 16, PipelineSchedule::Megatron);
     let best = pipeline_epilogue_time(cfg, batch, 16, 16, PipelineSchedule::Overlap);
     let compute = gemm * 0.5 + mp_epilogue;

@@ -101,7 +101,7 @@ impl MemoryModel {
             (Strategy::PyTorchDdp, _) => base + state + 25e6 * 2.0, // two live buckets
             (Strategy::Zero, Optimizer::Adam) => base + state_sharded,
             (Strategy::Zero, Optimizer::Lamb) => base + state, // cannot shard LAMB
-            (Strategy::CoCoNet, _) => base + state_sharded, // scattered tensors: no copy buffer
+            (Strategy::CoCoNet, _) => base + state_sharded,    // scattered tensors: no copy buffer
         }
     }
 

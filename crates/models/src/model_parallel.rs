@@ -184,7 +184,10 @@ mod tests {
         Inputs::new()
             .global("w", Tensor::randn([contract, h], DType::F16, rng, 0))
             .global("b", Tensor::randn([h], DType::F16, rng, 50_000))
-            .global("in", Tensor::randn([b, s, contract], DType::F16, rng, 100_000))
+            .global(
+                "in",
+                Tensor::randn([b, s, contract], DType::F16, rng, 100_000),
+            )
             .global("r", Tensor::randn([b, s, h], DType::F16, rng, 200_000))
     }
 
@@ -194,8 +197,7 @@ mod tests {
             let binding = small_binding();
             let inputs = inputs_for(block, &binding);
             let opts = RunOptions { seed: 5 };
-            let (base, _, base_out) =
-                apply_block_schedule(block, BlockSchedule::Megatron).unwrap();
+            let (base, _, base_out) = apply_block_schedule(block, BlockSchedule::Megatron).unwrap();
             let reference = run_program(&base, &binding, &inputs, opts)
                 .unwrap()
                 .global(&base_out)
@@ -225,7 +227,8 @@ mod tests {
             .bind("H", 3072)
             .bind("H4", 4 * 3072);
         // Megatron: 5 separate launches.
-        let (p, _, _) = apply_block_schedule(Block::SelfAttention, BlockSchedule::Megatron).unwrap();
+        let (p, _, _) =
+            apply_block_schedule(Block::SelfAttention, BlockSchedule::Megatron).unwrap();
         let plan = coconet_core::lower(&p, &binding, CommConfig::default()).unwrap();
         assert_eq!(plan.total_launches(), 5);
         // MM-AR-C: MatMul + AR + one fused kernel = 3.

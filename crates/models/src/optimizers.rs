@@ -99,46 +99,154 @@ pub fn optimizer_program(
     let eps = p.constant(hyper.eps);
 
     // m_ = Update(m, m*beta1 + (1-beta1)*avg)
-    let m_decay = { let node = p.mul(m, b1)?; comps.push(node); node };
-    let g_scaled = { let node = p.mul(avg, one_minus_b1)?; comps.push(node); node };
-    let m_new = { let node = p.add(m_decay, g_scaled)?; comps.push(node); node };
-    let m_ = { let node = p.update(m, m_new)?; comps.push(node); node };
+    let m_decay = {
+        let node = p.mul(m, b1)?;
+        comps.push(node);
+        node
+    };
+    let g_scaled = {
+        let node = p.mul(avg, one_minus_b1)?;
+        comps.push(node);
+        node
+    };
+    let m_new = {
+        let node = p.add(m_decay, g_scaled)?;
+        comps.push(node);
+        node
+    };
+    let m_ = {
+        let node = p.update(m, m_new)?;
+        comps.push(node);
+        node
+    };
     p.set_name(m_, "m_")?;
     // v_ = Update(v, v*beta2 + (1-beta2)*avg*avg)
-    let v_decay = { let node = p.mul(v, b2)?; comps.push(node); node };
-    let g_sq = { let node = p.mul(avg, avg)?; comps.push(node); node };
-    let g_sq_scaled = { let node = p.mul(g_sq, one_minus_b2)?; comps.push(node); node };
-    let v_new = { let node = p.add(v_decay, g_sq_scaled)?; comps.push(node); node };
-    let v_ = { let node = p.update(v, v_new)?; comps.push(node); node };
+    let v_decay = {
+        let node = p.mul(v, b2)?;
+        comps.push(node);
+        node
+    };
+    let g_sq = {
+        let node = p.mul(avg, avg)?;
+        comps.push(node);
+        node
+    };
+    let g_sq_scaled = {
+        let node = p.mul(g_sq, one_minus_b2)?;
+        comps.push(node);
+        node
+    };
+    let v_new = {
+        let node = p.add(v_decay, g_sq_scaled)?;
+        comps.push(node);
+        node
+    };
+    let v_ = {
+        let node = p.update(v, v_new)?;
+        comps.push(node);
+        node
+    };
     p.set_name(v_, "v_")?;
     // Bias correction: m1 = m_/(1 - beta1^t), v1 = v_/(1 - beta2^t).
     let one = p.constant(1.0);
-    let b1t = { let node = p.pow(b1, t)?; comps.push(node); node };
-    let corr1 = { let node = p.sub(one, b1t)?; comps.push(node); node };
-    let m1 = { let node = p.div(m_, corr1)?; comps.push(node); node };
-    let b2t = { let node = p.pow(b2, t)?; comps.push(node); node };
-    let corr2 = { let node = p.sub(one, b2t)?; comps.push(node); node };
-    let v1 = { let node = p.div(v_, corr2)?; comps.push(node); node };
+    let b1t = {
+        let node = p.pow(b1, t)?;
+        comps.push(node);
+        node
+    };
+    let corr1 = {
+        let node = p.sub(one, b1t)?;
+        comps.push(node);
+        node
+    };
+    let m1 = {
+        let node = p.div(m_, corr1)?;
+        comps.push(node);
+        node
+    };
+    let b2t = {
+        let node = p.pow(b2, t)?;
+        comps.push(node);
+        node
+    };
+    let corr2 = {
+        let node = p.sub(one, b2t)?;
+        comps.push(node);
+        node
+    };
+    let v1 = {
+        let node = p.div(v_, corr2)?;
+        comps.push(node);
+        node
+    };
 
     // update = m1 / (sqrt(v1) + eps) [+ lambda*p for LAMB]
-    let sq = { let node = p.sqrt(v1)?; comps.push(node); node };
-    let denom = { let node = p.add(sq, eps)?; comps.push(node); node };
-    let mut update = { let node = p.div(m1, denom)?; comps.push(node); node };
+    let sq = {
+        let node = p.sqrt(v1)?;
+        comps.push(node);
+        node
+    };
+    let denom = {
+        let node = p.add(sq, eps)?;
+        comps.push(node);
+        node
+    };
+    let mut update = {
+        let node = p.div(m1, denom)?;
+        comps.push(node);
+        node
+    };
     if opt == Optimizer::Lamb {
         let lam = p.constant(hyper.lambda);
-        let decay = { let node = p.mul(param, lam)?; comps.push(node); node };
-        update = { let node = p.add(update, decay)?; comps.push(node); node };
+        let decay = {
+            let node = p.mul(param, lam)?;
+            comps.push(node);
+            node
+        };
+        update = {
+            let node = p.add(update, decay)?;
+            comps.push(node);
+            node
+        };
         p.set_name(update, "update")?;
         // Trust ratio: r1/r2 over tensor norms.
-        let r1 = { let node = p.norm(param)?; comps.push(node); node };
+        let r1 = {
+            let node = p.norm(param)?;
+            comps.push(node);
+            node
+        };
         p.set_name(r1, "r1")?;
-        let r2 = { let node = p.norm(update)?; comps.push(node); node };
+        let r2 = {
+            let node = p.norm(update)?;
+            comps.push(node);
+            node
+        };
         p.set_name(r2, "r2")?;
-        let ratio = { let node = p.div(r1, r2)?; comps.push(node); node };
-        let scaled_lr = { let node = p.mul(lr, ratio)?; comps.push(node); node };
-        let step = { let node = p.mul(update, scaled_lr)?; comps.push(node); node };
-        let p_new = { let node = p.sub(param, step)?; comps.push(node); node };
-        let p_ = { let node = p.update(param, p_new)?; comps.push(node); node };
+        let ratio = {
+            let node = p.div(r1, r2)?;
+            comps.push(node);
+            node
+        };
+        let scaled_lr = {
+            let node = p.mul(lr, ratio)?;
+            comps.push(node);
+            node
+        };
+        let step = {
+            let node = p.mul(update, scaled_lr)?;
+            comps.push(node);
+            node
+        };
+        let p_new = {
+            let node = p.sub(param, step)?;
+            comps.push(node);
+            node
+        };
+        let p_ = {
+            let node = p.update(param, p_new)?;
+            comps.push(node);
+            node
+        };
         p.set_name(p_, "p_")?;
         p.set_io(&[g, param, m, v, lr, t], &[p_])?;
         return Ok((
@@ -152,9 +260,21 @@ pub fn optimizer_program(
         ));
     }
     // Adam: p_ = Update(p, p - lr * update)
-    let step = { let node = p.mul(update, lr)?; comps.push(node); node };
-    let p_new = { let node = p.sub(param, step)?; comps.push(node); node };
-    let p_ = { let node = p.update(param, p_new)?; comps.push(node); node };
+    let step = {
+        let node = p.mul(update, lr)?;
+        comps.push(node);
+        node
+    };
+    let p_new = {
+        let node = p.sub(param, step)?;
+        comps.push(node);
+        node
+    };
+    let p_ = {
+        let node = p.update(param, p_new)?;
+        comps.push(node);
+        node
+    };
     p.set_name(p_, "p_")?;
     p.set_io(&[g, param, m, v, lr, t], &[p_])?;
     Ok((
@@ -227,9 +347,9 @@ pub fn apply_optimizer_schedule(
             // line 6). The parameter gather (program output) stays.
             let mut param_gathers = Vec::new();
             for (member, gather) in &result.gathers {
-                if vars.state.iter().any(|&s| {
-                    matches!(p.op(*member), Ok(coconet_core::OpKind::Update(t, _)) if *t == s)
-                }) {
+                if vars.state.iter().any(
+                    |&s| matches!(p.op(*member), Ok(coconet_core::OpKind::Update(t, _)) if *t == s),
+                ) {
                     let target = match p.op(*member) {
                         Ok(coconet_core::OpKind::Update(t, _)) => *t,
                         _ => unreachable!("filtered above"),
@@ -394,14 +514,16 @@ mod tests {
     fn sliced_schedule_reduces_state_memory() {
         // After fuse(RS-Adam-AG) the optimizer state is sliced: each
         // rank stores 1/k of m and v (the memory saving of §6.1.2).
-        let (p, _) =
-            apply_optimizer_schedule(Optimizer::Adam, Hyper::default(), OptimizerSchedule::FusedRsOptAg)
-                .unwrap();
+        let (p, _) = apply_optimizer_schedule(
+            Optimizer::Adam,
+            Hyper::default(),
+            OptimizerSchedule::FusedRsOptAg,
+        )
+        .unwrap();
         let binding = Binding::new(256).bind("N", 1 << 20);
         let mut sliced_inputs = 0;
         for v in p.live_vars() {
-            if matches!(p.op(v).unwrap(), OpKind::Input) && p.ty(v).unwrap().layout.is_sliced()
-            {
+            if matches!(p.op(v).unwrap(), OpKind::Input) && p.ty(v).unwrap().layout.is_sliced() {
                 assert_eq!(
                     p.ty(v).unwrap().local_numel(&binding).unwrap(),
                     (1 << 20) / 256

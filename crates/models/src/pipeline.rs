@@ -8,9 +8,7 @@
 //! *same* data `group_size` times over the inter-node fabric — the
 //! redundancy CoCoNet's sliced P2P eliminates (Figure 7).
 
-use coconet_core::xform::{
-    fuse_send, overlap, reorder_all_gather, split_all_reduce,
-};
+use coconet_core::xform::{fuse_send, overlap, reorder_all_gather, split_all_reduce};
 use coconet_core::{CoreError, DType, Layout, PeerSelector, Program, ReduceOp, VarId};
 
 /// Handles into a pipeline-parallel transformer program.

@@ -148,8 +148,7 @@ pub fn optimizer_step_time(
             // Bucketed AllReduce partially overlapped with backward:
             // the exposed fraction plus per-bucket launch/sync costs
             // and the full replicated optimizer.
-            let ar_time =
-                cost.collective_time(CollKind::AllReduce, n, DType::F16, geom, config);
+            let ar_time = cost.collective_time(CollKind::AllReduce, n, DType::F16, geom, config);
             let n_buckets = (2 * n).div_ceil(25_000_000) as f64;
             0.6 * ar_time
                 + n_buckets * 20e-6
@@ -202,11 +201,7 @@ mod tests {
         let coconet = optimizer_step_time(&sim, &cfg, Optimizer::Adam, Strategy::CoCoNet, 256);
         for s in [Strategy::NvBert, Strategy::PyTorchDdp, Strategy::Zero] {
             let t = optimizer_step_time(&sim, &cfg, Optimizer::Adam, s, 256);
-            assert!(
-                coconet < t,
-                "CoCoNet {coconet} vs {} {t}",
-                s.name()
-            );
+            assert!(coconet < t, "CoCoNet {coconet} vs {} {t}", s.name());
         }
     }
 
@@ -216,16 +211,52 @@ mod tests {
         let memory = MemoryModel::default();
         // 336M: modest speedup from the optimizer step alone.
         let cfg = ModelConfig::bert_336m();
-        let nv = estimate_iteration(&sim, &memory, &cfg, Optimizer::Adam, Strategy::NvBert, 256, 8192).unwrap();
-        let coco = estimate_iteration(&sim, &memory, &cfg, Optimizer::Adam, Strategy::CoCoNet, 256, 8192).unwrap();
+        let nv = estimate_iteration(
+            &sim,
+            &memory,
+            &cfg,
+            Optimizer::Adam,
+            Strategy::NvBert,
+            256,
+            8192,
+        )
+        .unwrap();
+        let coco = estimate_iteration(
+            &sim,
+            &memory,
+            &cfg,
+            Optimizer::Adam,
+            Strategy::CoCoNet,
+            256,
+            8192,
+        )
+        .unwrap();
         let speedup = nv.total() / coco.total();
         assert!((1.005..1.6).contains(&speedup), "336M speedup {speedup}");
 
         // 1.2B: bigger speedup because CoCoNet also trains at micro
         // batch 32 vs 8 (paper: 1.53x over NV BERT).
         let cfg = ModelConfig::bert_1_2b();
-        let nv = estimate_iteration(&sim, &memory, &cfg, Optimizer::Adam, Strategy::NvBert, 256, 8192).unwrap();
-        let coco = estimate_iteration(&sim, &memory, &cfg, Optimizer::Adam, Strategy::CoCoNet, 256, 8192).unwrap();
+        let nv = estimate_iteration(
+            &sim,
+            &memory,
+            &cfg,
+            Optimizer::Adam,
+            Strategy::NvBert,
+            256,
+            8192,
+        )
+        .unwrap();
+        let coco = estimate_iteration(
+            &sim,
+            &memory,
+            &cfg,
+            Optimizer::Adam,
+            Strategy::CoCoNet,
+            256,
+            8192,
+        )
+        .unwrap();
         assert_eq!(nv.micro_batch, 8);
         assert_eq!(coco.micro_batch, 32);
         let speedup = nv.total() / coco.total();
@@ -234,9 +265,36 @@ mod tests {
         // 3.9B: baselines OOM, CoCoNet trains, and still beats ZeRO
         // (paper: 1.22x).
         let cfg = ModelConfig::bert_3_9b();
-        assert!(estimate_iteration(&sim, &memory, &cfg, Optimizer::Adam, Strategy::NvBert, 256, 8192).is_none());
-        let zero = estimate_iteration(&sim, &memory, &cfg, Optimizer::Adam, Strategy::Zero, 256, 8192).unwrap();
-        let coco = estimate_iteration(&sim, &memory, &cfg, Optimizer::Adam, Strategy::CoCoNet, 256, 8192).unwrap();
+        assert!(estimate_iteration(
+            &sim,
+            &memory,
+            &cfg,
+            Optimizer::Adam,
+            Strategy::NvBert,
+            256,
+            8192
+        )
+        .is_none());
+        let zero = estimate_iteration(
+            &sim,
+            &memory,
+            &cfg,
+            Optimizer::Adam,
+            Strategy::Zero,
+            256,
+            8192,
+        )
+        .unwrap();
+        let coco = estimate_iteration(
+            &sim,
+            &memory,
+            &cfg,
+            Optimizer::Adam,
+            Strategy::CoCoNet,
+            256,
+            8192,
+        )
+        .unwrap();
         let speedup = zero.total() / coco.total();
         assert!(speedup > 1.0, "3.9B vs ZeRO {speedup}");
     }
@@ -250,13 +308,49 @@ mod tests {
         let memory = MemoryModel::default();
         let cfg = ModelConfig::bert_1_2b();
         let adam_gap = {
-            let z = estimate_iteration(&sim, &memory, &cfg, Optimizer::Adam, Strategy::Zero, 256, 8192).unwrap();
-            let c = estimate_iteration(&sim, &memory, &cfg, Optimizer::Adam, Strategy::CoCoNet, 256, 8192).unwrap();
+            let z = estimate_iteration(
+                &sim,
+                &memory,
+                &cfg,
+                Optimizer::Adam,
+                Strategy::Zero,
+                256,
+                8192,
+            )
+            .unwrap();
+            let c = estimate_iteration(
+                &sim,
+                &memory,
+                &cfg,
+                Optimizer::Adam,
+                Strategy::CoCoNet,
+                256,
+                8192,
+            )
+            .unwrap();
             z.total() / c.total()
         };
         let lamb_gap = {
-            let z = estimate_iteration(&sim, &memory, &cfg, Optimizer::Lamb, Strategy::Zero, 256, 65536).unwrap();
-            let c = estimate_iteration(&sim, &memory, &cfg, Optimizer::Lamb, Strategy::CoCoNet, 256, 65536).unwrap();
+            let z = estimate_iteration(
+                &sim,
+                &memory,
+                &cfg,
+                Optimizer::Lamb,
+                Strategy::Zero,
+                256,
+                65536,
+            )
+            .unwrap();
+            let c = estimate_iteration(
+                &sim,
+                &memory,
+                &cfg,
+                Optimizer::Lamb,
+                Strategy::CoCoNet,
+                256,
+                65536,
+            )
+            .unwrap();
             z.total() / c.total()
         };
         assert!(lamb_gap > adam_gap, "lamb {lamb_gap} vs adam {adam_gap}");

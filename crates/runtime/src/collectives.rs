@@ -102,7 +102,8 @@ pub fn ring_reduce_scatter(comm: &RankComm, group: Group, input: &Tensor, op: Re
         }
     }
     let (off, len) = chunk_range(n, k, me);
-    acc.slice_flat(off, len).unwrap_or_else(|_| Tensor::zeros([0usize; 1], input.dtype()))
+    acc.slice_flat(off, len)
+        .unwrap_or_else(|_| Tensor::zeros([0usize; 1], input.dtype()))
 }
 
 /// Ring AllGather: every rank contributes its chunk (position `i`
@@ -162,13 +163,7 @@ pub fn broadcast(comm: &RankComm, group: Group, value: Option<&Tensor>, root: us
 
 /// Reduce to the group-relative `root` position; non-roots return their
 /// own contribution unchanged (the result is only meaningful on root).
-pub fn reduce(
-    comm: &RankComm,
-    group: Group,
-    input: &Tensor,
-    op: ReduceOp,
-    root: usize,
-) -> Tensor {
+pub fn reduce(comm: &RankComm, group: Group, input: &Tensor, op: ReduceOp, root: usize) -> Tensor {
     let me = group.position(comm.rank());
     if me == root {
         let mut acc = input.clone();
@@ -194,8 +189,8 @@ pub fn all_reduce_scalar(comm: &RankComm, group: Group, value: f64, op: ReduceOp
         ReduceOp::Sum => {
             let hi = value as f32;
             let lo = (value - f64::from(hi)) as f32;
-            let t = Tensor::from_f32([2], coconet_tensor::DType::F32, &[hi, lo])
-                .expect("two elements");
+            let t =
+                Tensor::from_f32([2], coconet_tensor::DType::F32, &[hi, lo]).expect("two elements");
             let reduced = ring_all_reduce(comm, group, &t, op);
             f64::from(reduced.get(0)) + f64::from(reduced.get(1))
         }
@@ -226,7 +221,10 @@ mod tests {
                 thread::spawn(move || f(comm))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
     }
 
     #[test]
@@ -249,9 +247,7 @@ mod tests {
         let k = 4;
         let results = run_ranks(k, move |comm| {
             let group = Group { start: 0, size: k };
-            let input = Tensor::from_fn([10], DType::F32, |i| {
-                (comm.rank() * 100 + i) as f32
-            });
+            let input = Tensor::from_fn([10], DType::F32, |i| (comm.rank() * 100 + i) as f32);
             ring_all_reduce(&comm, group, &input, ReduceOp::Sum)
         });
         // Expected: sum over ranks of (100r + i) = 600 + 4i.
@@ -305,9 +301,7 @@ mod tests {
         let n = 21; // uneven on purpose
         let results = run_ranks(k, move |comm| {
             let group = Group { start: 0, size: k };
-            let input = Tensor::from_fn([n], DType::F32, |i| {
-                ((comm.rank() + 1) * (i + 1)) as f32
-            });
+            let input = Tensor::from_fn([n], DType::F32, |i| ((comm.rank() + 1) * (i + 1)) as f32);
             let direct = ring_all_reduce(&comm, group, &input, ReduceOp::Sum);
             let chunk = ring_reduce_scatter(&comm, group, &input, ReduceOp::Sum);
             let gathered = ring_all_gather(&comm, group, &chunk);
@@ -351,7 +345,9 @@ mod tests {
             let bcast = broadcast(
                 &comm,
                 group,
-                (me == 1).then(|| Tensor::full([2], DType::F32, 42.0)).as_ref(),
+                (me == 1)
+                    .then(|| Tensor::full([2], DType::F32, 42.0))
+                    .as_ref(),
                 1,
             );
             let contrib = Tensor::full([2], DType::F32, (me + 1) as f32);

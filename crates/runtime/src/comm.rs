@@ -30,8 +30,9 @@ impl RankComm {
         assert!(world > 0, "world must have at least one rank");
         // channels[src][dst]
         let mut senders: Vec<Vec<Sender<Tensor>>> = Vec::with_capacity(world);
-        let mut receivers: Vec<Vec<Option<Receiver<Tensor>>>> =
-            (0..world).map(|_| (0..world).map(|_| None).collect()).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Tensor>>>> = (0..world)
+            .map(|_| (0..world).map(|_| None).collect())
+            .collect();
         for src in 0..world {
             let mut row = Vec::with_capacity(world);
             for dst in 0..world {

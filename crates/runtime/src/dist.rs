@@ -128,10 +128,7 @@ impl DistValue {
                             .checked_sub(self.pos * local_extent)
                             .filter(|&c| c < local_extent)
                             .unwrap_or_else(|| {
-                                panic!(
-                                    "rank pos {} does not hold dim-{d} coordinate",
-                                    self.pos
-                                )
+                                panic!("rank pos {} does not hold dim-{d} coordinate", self.pos)
                             });
                     }
                     l += coord * l_strides[dim];
@@ -146,9 +143,7 @@ impl DistValue {
     pub fn local_shape(global: &Shape, layout: Layout, group_size: usize) -> Shape {
         match layout {
             Layout::Replicated | Layout::Local => global.clone(),
-            Layout::Sliced(SliceDim::Flat) => {
-                Shape::from([global.numel() / group_size])
-            }
+            Layout::Sliced(SliceDim::Flat) => Shape::from([global.numel() / group_size]),
             Layout::Sliced(SliceDim::Dim(d)) => {
                 let mut dims = global.dims().to_vec();
                 dims[d] /= group_size;

@@ -48,10 +48,12 @@ impl fmt::Display for RuntimeError {
 }
 
 impl Error for RuntimeError {
+    // Transparent wrapping: Display forwards to the wrapped error, so
+    // source() skips it to avoid double-reporting in walked chains.
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            RuntimeError::Core(e) => Some(e),
-            RuntimeError::Tensor(e) => Some(e),
+            RuntimeError::Core(e) => e.source(),
+            RuntimeError::Tensor(e) => e.source(),
             _ => None,
         }
     }
@@ -77,10 +79,18 @@ mod tests {
     fn display_and_source() {
         let e = RuntimeError::MissingInput("w".into());
         assert!(e.to_string().contains("`w`"));
+        // Transparent wrapping: the message forwards, and source()
+        // skips the forwarding layer so walked chains show each
+        // message exactly once.
         let core = RuntimeError::from(CoreError::UnboundSymbol("B".into()));
-        assert!(core.source().is_some());
+        assert_eq!(
+            core.to_string(),
+            CoreError::UnboundSymbol("B".into()).to_string()
+        );
+        assert!(core.source().is_none());
         let t = RuntimeError::from(TensorError::ConcatMismatch);
-        assert!(t.source().is_some());
+        assert_eq!(t.to_string(), TensorError::ConcatMismatch.to_string());
+        assert!(t.source().is_none());
         assert!(RuntimeError::RankPanicked(3).to_string().contains('3'));
     }
 }

@@ -16,8 +16,8 @@ use coconet_core::{Binding, Layout, OpKind, Program, SliceDim, VarId};
 use coconet_tensor::{CounterRng, ReduceOp, Shape, Tensor};
 
 use crate::collectives::{
-    all_reduce_scalar, broadcast, reduce, ring_all_gather, ring_all_reduce,
-    ring_reduce_scatter, Group,
+    all_reduce_scalar, broadcast, reduce, ring_all_gather, ring_all_reduce, ring_reduce_scatter,
+    Group,
 };
 use crate::{DistValue, RankComm, RuntimeError};
 
@@ -113,8 +113,7 @@ impl RunResult {
             match first.layout {
                 Layout::Replicated | Layout::Local => return Ok(first.local.clone()),
                 Layout::Sliced(SliceDim::Flat) => {
-                    let mut out =
-                        Tensor::zeros(first.global_shape.clone(), first.local.dtype());
+                    let mut out = Tensor::zeros(first.global_shape.clone(), first.local.dtype());
                     let mut off = 0;
                     for r in group_start..group_start + gs {
                         let v = self.per_rank[r]
@@ -237,7 +236,12 @@ fn execute_rank(
         }
     }
 
-    let n_nodes = program.topo_order().iter().map(|v| v.index()).max().map_or(0, |m| m + 1);
+    let n_nodes = program
+        .topo_order()
+        .iter()
+        .map(|v| v.index())
+        .max()
+        .map_or(0, |m| m + 1);
     let mut values: Vec<Option<DistValue>> = vec![None; n_nodes];
 
     for v in program.topo_order() {
@@ -285,7 +289,8 @@ fn execute_rank(
             ),
             OpKind::Dropout(a, p) => {
                 let rng = CounterRng::new(
-                    opts.seed.wrapping_add(dropout_ordinal[&v].wrapping_mul(0x9E37_79B9)),
+                    opts.seed
+                        .wrapping_add(dropout_ordinal[&v].wrapping_mul(0x9E37_79B9)),
                 );
                 let scale = (1.0 / (1.0 - p)) as f32;
                 eval_elementwise(
@@ -331,7 +336,9 @@ fn execute_rank(
                 }
                 out
             }
-            OpKind::MatMul(a, w) => eval_matmul(&values, a, w, &out_shape, out_layout, out_dtype, pos, gs)?,
+            OpKind::MatMul(a, w) => {
+                eval_matmul(&values, a, w, &out_shape, out_layout, out_dtype, pos, gs)?
+            }
             OpKind::Conv2d(x, w, params) => {
                 match (values[x.index()].as_ref(), values[w.index()].as_ref()) {
                     (Some(xv), Some(wv)) => {
@@ -374,10 +381,8 @@ fn execute_rank(
                     let full = match input.layout {
                         Layout::Sliced(SliceDim::Dim(d)) => Tensor::concat(&refs, d)?,
                         _ => {
-                            let mut out = Tensor::zeros(
-                                input.global_shape.clone(),
-                                input.local.dtype(),
-                            );
+                            let mut out =
+                                Tensor::zeros(input.global_shape.clone(), input.local.dtype());
                             let mut off = 0;
                             for c in &chunks {
                                 out.write_flat(off, c)?;
@@ -386,15 +391,15 @@ fn execute_rank(
                             out
                         }
                     };
-                    Some(DistValue::replicated(full.reshape(out_shape.clone())?, pos, gs))
+                    Some(DistValue::replicated(
+                        full.reshape(out_shape.clone())?,
+                        pos,
+                        gs,
+                    ))
                 }
             },
             OpKind::Broadcast(a, root) => values[a.index()].as_ref().map(|input| {
-                DistValue::replicated(
-                    broadcast(&comm, group, Some(&input.local), root),
-                    pos,
-                    gs,
-                )
+                DistValue::replicated(broadcast(&comm, group, Some(&input.local), root), pos, gs)
             }),
             OpKind::Reduce(op, a, root) => values[a.index()].as_ref().map(|input| {
                 DistValue::local(reduce(&comm, group, &input.local, op, root), pos, gs)
@@ -485,10 +490,7 @@ fn materialize_input(
             if t.shape() != &local_shape {
                 return Err(RuntimeError::BadInput {
                     name: name.into(),
-                    detail: format!(
-                        "expected per-rank shape {local_shape}, got {}",
-                        t.shape()
-                    ),
+                    detail: format!("expected per-rank shape {local_shape}, got {}", t.shape()),
                 });
             }
             Ok(DistValue {
@@ -554,8 +556,7 @@ fn eval_matmul(
     pos: usize,
     gs: usize,
 ) -> Result<Option<DistValue>, RuntimeError> {
-    let (Some(av), Some(wv)) = (values[a.index()].as_ref(), values[w.index()].as_ref())
-    else {
+    let (Some(av), Some(wv)) = (values[a.index()].as_ref(), values[w.index()].as_ref()) else {
         return Ok(None);
     };
     let product = av.local.matmul(&wv.local)?.cast(out_dtype);
@@ -627,7 +628,11 @@ mod tests {
     }
 
     fn figure3_inputs() -> (Binding, Inputs) {
-        let binding = Binding::new(4).bind("B", 2).bind("S", 4).bind("H", 8).bind("H2", 12);
+        let binding = Binding::new(4)
+            .bind("B", 2)
+            .bind("S", 4)
+            .bind("H", 8)
+            .bind("H2", 12);
         let rng = CounterRng::new(7);
         let inputs = Inputs::new()
             .global("w", Tensor::randn([8, 12], DType::F16, rng, 0))
@@ -784,7 +789,12 @@ mod tests {
         let inputs = Inputs::new().global("x", Tensor::zeros([5], DType::F32));
         let err = run_program(&p, &binding, &inputs, RunOptions::default());
         assert!(
-            matches!(err, Err(RuntimeError::Core(coconet_core::CoreError::IndivisibleSize { .. }))),
+            matches!(
+                err,
+                Err(RuntimeError::Core(
+                    coconet_core::CoreError::IndivisibleSize { .. }
+                ))
+            ),
             "got {err:?}"
         );
     }
@@ -813,7 +823,10 @@ mod tests {
             .global("m", Tensor::from_fn([8], DType::F32, |i| i as f32));
         let result = run_program(&p, &binding, &inputs, RunOptions::default()).unwrap();
         let m_ = result.global("m_").unwrap();
-        assert_eq!(m_.to_f32_vec(), (0..8).map(|i| 2.0 * i as f32).collect::<Vec<_>>());
+        assert_eq!(
+            m_.to_f32_vec(),
+            (0..8).map(|i| 2.0 * i as f32).collect::<Vec<_>>()
+        );
         // Norm of the reduce-scattered g: each element is 4.0 summed
         // over ranks -> sqrt(8 * 16).
         let norm = result.global("norm").unwrap();

@@ -182,22 +182,12 @@ mod tests {
                 let rank = comm.rank();
                 thread::spawn(move || {
                     let group = Group { start: 0, size: k };
-                    let a = Tensor::randn(
-                        [rows, inner],
-                        DType::F32,
-                        rng,
-                        (rank * 1000) as u64,
-                    );
+                    let a = Tensor::randn([rows, inner], DType::F32, rng, (rank * 1000) as u64);
                     let w = Tensor::randn([inner, cols], DType::F32, rng, 50_000);
                     let overlapped =
-                        overlapped_matmul_all_reduce(&comm, group, &a, &w, ReduceOp::Sum)
-                            .unwrap();
-                    let sequential = crate::ring_all_reduce(
-                        &comm,
-                        group,
-                        &a.matmul(&w).unwrap(),
-                        ReduceOp::Sum,
-                    );
+                        overlapped_matmul_all_reduce(&comm, group, &a, &w, ReduceOp::Sum).unwrap();
+                    let sequential =
+                        crate::ring_all_reduce(&comm, group, &a.matmul(&w).unwrap(), ReduceOp::Sum);
                     (overlapped, sequential)
                 })
             })

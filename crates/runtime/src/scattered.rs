@@ -260,7 +260,8 @@ mod tests {
         assert_eq!(s.tensors()[1].get(2), 99.0);
         let chunk = s.slice_flat(2, 3).unwrap();
         assert_eq!(chunk.to_f32_vec(), vec![2.0, 10.0, 11.0]);
-        s.write_flat(0, &Tensor::full([2], DType::F32, -1.0)).unwrap();
+        s.write_flat(0, &Tensor::full([2], DType::F32, -1.0))
+            .unwrap();
         assert_eq!(s.tensors()[0].get(0), -1.0);
         assert!(s.slice_flat(6, 3).is_err());
     }

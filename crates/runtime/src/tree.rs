@@ -71,9 +71,8 @@ mod tests {
             .map(|comm| {
                 thread::spawn(move || {
                     let group = Group { start: 0, size: k };
-                    let input = Tensor::from_fn([10], DType::F32, |i| {
-                        ((comm.rank() + 1) * (i + 1)) as f32
-                    });
+                    let input =
+                        Tensor::from_fn([10], DType::F32, |i| ((comm.rank() + 1) * (i + 1)) as f32);
                     tree_all_reduce(&comm, group, &input, ReduceOp::Sum)
                 })
             })
@@ -107,9 +106,8 @@ mod tests {
             .map(|comm| {
                 thread::spawn(move || {
                     let group = Group { start: 0, size: k };
-                    let input = Tensor::from_fn([13], DType::F32, |i| {
-                        (comm.rank() * 31 + i * 7) as f32
-                    });
+                    let input =
+                        Tensor::from_fn([13], DType::F32, |i| (comm.rank() * 31 + i * 7) as f32);
                     let tree = tree_all_reduce(&comm, group, &input, ReduceOp::Sum);
                     let ring = crate::ring_all_reduce(&comm, group, &input, ReduceOp::Sum);
                     (tree, ring)

@@ -245,13 +245,7 @@ impl CostModel {
         group: GroupGeom,
         config: CommConfig,
     ) -> f64 {
-        let base = self.collective_time(
-            CollKind::AllReduce,
-            step.elems,
-            step.dtype,
-            group,
-            config,
-        );
+        let base = self.collective_time(CollKind::AllReduce, step.elems, step.dtype, group, config);
         let launch = self.launch();
         let comm = base - launch;
         // Register pressure caps thread-level parallelism: a fixed
@@ -383,7 +377,10 @@ mod tests {
         };
         let t_big = m.matmul_time(&big);
         let ideal = big.flops() as f64 / (125e12 * 0.70);
-        assert!(t_big >= ideal && t_big < ideal * 1.4, "t={t_big}, ideal={ideal}");
+        assert!(
+            t_big >= ideal && t_big < ideal * 1.4,
+            "t={t_big}, ideal={ideal}"
+        );
         // Skinny-K GEMM (model-parallel slice) is less efficient per flop.
         let skinny = MatMulStep {
             label: "skinny".into(),
@@ -550,10 +547,7 @@ mod tests {
         };
         let t_repl = m.send_recv_time(&replicated, g, true, c);
         let t_sliced = m.send_recv_time(&sliced, g, true, c);
-        assert!(
-            t_repl > 10.0 * t_sliced,
-            "repl={t_repl}, sliced={t_sliced}"
-        );
+        assert!(t_repl > 10.0 * t_sliced, "repl={t_repl}, sliced={t_sliced}");
     }
 
     #[test]

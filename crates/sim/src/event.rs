@@ -123,11 +123,7 @@ impl TaskGraph {
                 if t.deps.iter().any(|d| !scheduled[d.0]) {
                     continue;
                 }
-                let ready = t
-                    .deps
-                    .iter()
-                    .map(|d| finish[d.0])
-                    .fold(0.0f64, f64::max);
+                let ready = t.deps.iter().map(|d| finish[d.0]).fold(0.0f64, f64::max);
                 let free = resource_free.get(&t.resource.0).copied().unwrap_or(0.0);
                 let s = ready.max(free);
                 let better = match best {
@@ -162,11 +158,7 @@ impl TaskGraph {
     pub fn critical_path(&self) -> f64 {
         let mut longest = vec![0.0f64; self.tasks.len()];
         for (i, t) in self.tasks.iter().enumerate() {
-            let dep_max = t
-                .deps
-                .iter()
-                .map(|d| longest[d.0])
-                .fold(0.0f64, f64::max);
+            let dep_max = t.deps.iter().map(|d| longest[d.0]).fold(0.0f64, f64::max);
             longest[i] = dep_max + t.duration;
         }
         longest.iter().copied().fold(0.0f64, f64::max)
@@ -306,11 +298,15 @@ mod tests {
 
     fn arb_graph() -> impl Strategy<Value = TaskGraph> {
         // Random DAG: each task depends on a subset of earlier tasks.
-        (1usize..4, prop::collection::vec((0.0f64..5.0, any::<u64>()), 1..20)).prop_map(
-            |(n_res, specs)| {
+        (
+            1usize..4,
+            prop::collection::vec((0.0f64..5.0, any::<u64>()), 1..20),
+        )
+            .prop_map(|(n_res, specs)| {
                 let mut g = TaskGraph::new();
-                let rs: Vec<ResourceId> =
-                    (0..n_res).map(|i| g.add_resource(format!("r{i}"))).collect();
+                let rs: Vec<ResourceId> = (0..n_res)
+                    .map(|i| g.add_resource(format!("r{i}")))
+                    .collect();
                 let mut ids: Vec<TaskId> = Vec::new();
                 for (i, (dur, bits)) in specs.into_iter().enumerate() {
                     let deps: Vec<TaskId> = ids
@@ -323,8 +319,7 @@ mod tests {
                     ids.push(g.add_task(format!("t{i}"), r, dur, &deps));
                 }
                 g
-            },
-        )
+            })
     }
 
     proptest! {

@@ -77,9 +77,7 @@ pub fn simulate_overlap_with_tiles(
                     cost.collective_time(c.kind, c.elems, c.dtype, geom, config)
                 }
                 OverlapStage::FusedCollective(f) => cost.fused_collective_time(f, geom, config),
-                OverlapStage::SendRecv(sr) => {
-                    cost.send_recv_time(sr, geom, crosses_nodes, config)
-                }
+                OverlapStage::SendRecv(sr) => cost.send_recv_time(sr, geom, crosses_nodes, config),
             };
             (s.label().to_string(), (t - launch).max(0.0))
         })
@@ -175,8 +173,7 @@ pub(crate) fn stage_kind(stage: &OverlapStage) -> Option<CollKind> {
 mod tests {
     use super::*;
     use coconet_core::{
-        CollectiveStep, CommConfig, DType, FusedCollectiveStep, MatMulStep, Protocol,
-        SendRecvStep,
+        CollectiveStep, CommConfig, DType, FusedCollectiveStep, MatMulStep, Protocol, SendRecvStep,
     };
     use coconet_topology::MachineSpec;
 
@@ -245,7 +242,11 @@ mod tests {
         assert!(sim.total >= slowest);
         // Figure 1's claim: most of the MatMul hides under the AllReduce;
         // the pipeline is within ~35 % of the slower stage.
-        assert!(sim.total < 1.35 * slowest, "total={}, slowest={slowest}", sim.total);
+        assert!(
+            sim.total < 1.35 * slowest,
+            "total={}, slowest={slowest}",
+            sim.total
+        );
     }
 
     #[test]

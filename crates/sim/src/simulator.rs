@@ -119,7 +119,9 @@ impl Simulator {
         }
         // Rank 0 of group 0 vs rank 0 of group 1.
         let peer = self.group_size;
-        !self.cluster.same_node(0, peer.min(self.cluster.world_size() - 1))
+        !self
+            .cluster
+            .same_node(0, peer.min(self.cluster.world_size() - 1))
     }
 
     /// Times a single step.
@@ -156,22 +158,13 @@ impl Simulator {
             },
             Step::SendRecv(sr) => StepTime {
                 label: sr.label.clone(),
-                seconds: self.cost.send_recv_time(
-                    sr,
-                    geom,
-                    self.p2p_crosses_nodes(),
-                    config,
-                ),
+                seconds: self
+                    .cost
+                    .send_recv_time(sr, geom, self.p2p_crosses_nodes(), config),
                 category: StepCategory::Communication,
             },
             Step::Overlapped(ol) => {
-                let sim = simulate_overlap(
-                    &self.cost,
-                    ol,
-                    geom,
-                    self.p2p_crosses_nodes(),
-                    config,
-                );
+                let sim = simulate_overlap(&self.cost, ol, geom, self.p2p_crosses_nodes(), config);
                 StepTime {
                     label: ol.label.clone(),
                     seconds: sim.total,

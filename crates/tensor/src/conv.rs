@@ -59,10 +59,7 @@ impl Tensor {
                 rhs: w.clone(),
             });
         }
-        let (Some(oh), Some(ow)) = (
-            params.out_extent(h, r),
-            params.out_extent(wd, s),
-        ) else {
+        let (Some(oh), Some(ow)) = (params.out_extent(h, r), params.out_extent(wd, s)) else {
             return Err(TensorError::MatMulDims {
                 lhs: x.clone(),
                 rhs: w.clone(),
@@ -95,10 +92,7 @@ impl Tensor {
                                 for si in 0..s {
                                     let hy = ohi as isize * stride + ri as isize - p;
                                     let wx = owi as isize * stride + si as isize - p;
-                                    if hy >= 0
-                                        && wx >= 0
-                                        && (hy as usize) < h
-                                        && (wx as usize) < wd
+                                    if hy >= 0 && wx >= 0 && (hy as usize) < h && (wx as usize) < wd
                                     {
                                         acc += xi(ni, ci, hy as usize, wx as usize)
                                             * wi(ki, ci, ri, si);

@@ -117,21 +117,24 @@ mod tests {
     #[test]
     fn identity() {
         let a = Tensor::from_fn([3, 3], DType::F32, |i| i as f32);
-        let eye = Tensor::from_fn([3, 3], DType::F32, |i| {
-            if i / 3 == i % 3 {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let eye = Tensor::from_fn(
+            [3, 3],
+            DType::F32,
+            |i| {
+                if i / 3 == i % 3 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
         assert_eq!(a.matmul(&eye).unwrap().to_f32_vec(), a.to_f32_vec());
     }
 
     #[test]
     fn known_product() {
         let a = Tensor::from_f32([2, 3], DType::F32, &[1., 2., 3., 4., 5., 6.]).unwrap();
-        let b =
-            Tensor::from_f32([3, 2], DType::F32, &[7., 8., 9., 10., 11., 12.]).unwrap();
+        let b = Tensor::from_f32([3, 2], DType::F32, &[7., 8., 9., 10., 11., 12.]).unwrap();
         let c = a.matmul(&b).unwrap();
         assert_eq!(c.shape(), &Shape::from([2, 2]));
         assert_eq!(c.to_f32_vec(), vec![58., 64., 139., 154.]);
@@ -152,10 +155,7 @@ mod tests {
     fn dim_mismatch() {
         let a = Tensor::zeros([2, 3], DType::F32);
         let b = Tensor::zeros([4, 2], DType::F32);
-        assert!(matches!(
-            a.matmul(&b),
-            Err(TensorError::MatMulDims { .. })
-        ));
+        assert!(matches!(a.matmul(&b), Err(TensorError::MatMulDims { .. })));
         let b1 = Tensor::zeros([3], DType::F32);
         assert!(a.matmul(&b1).is_err(), "rhs must be 2-D");
     }
@@ -174,7 +174,9 @@ mod tests {
         // Cross the BLOCK boundary to exercise tiling edges.
         let (m, k, n) = (70, 65, 130);
         let a: Vec<f32> = (0..m * k).map(|i| ((i * 7919) % 13) as f32 - 6.0).collect();
-        let b: Vec<f32> = (0..k * n).map(|i| ((i * 104729) % 11) as f32 - 5.0).collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 104729) % 11) as f32 - 5.0)
+            .collect();
         let ta = Tensor::from_f32([m, k], DType::F32, &a).unwrap();
         let tb = Tensor::from_f32([k, n], DType::F32, &b).unwrap();
         let c = ta.matmul(&tb).unwrap();

@@ -20,11 +20,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::BroadcastMismatch`] when the shapes cannot
     /// be broadcast together.
-    pub fn zip(
-        &self,
-        other: &Tensor,
-        f: impl Fn(f32, f32) -> f32,
-    ) -> Result<Tensor, TensorError> {
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor, TensorError> {
         let out_shape = self.shape().broadcast(other.shape())?;
         let dtype = DType::promote(self.dtype(), other.dtype());
         let lhs_shape = self.shape().clone();
@@ -217,15 +213,11 @@ pub fn reduce_elementwise(
             });
         }
     }
-    Ok(Tensor::from_fn(
-        first.shape().clone(),
-        first.dtype(),
-        |i| {
-            tensors[1..]
-                .iter()
-                .fold(first.get(i), |acc, t| f(acc, t.get(i)))
-        },
-    ))
+    Ok(Tensor::from_fn(first.shape().clone(), first.dtype(), |i| {
+        tensors[1..]
+            .iter()
+            .fold(first.get(i), |acc, t| f(acc, t.get(i)))
+    }))
 }
 
 /// The reduction operator of a collective (NCCL supports sum/min/max;
@@ -366,8 +358,7 @@ mod tests {
         let k = 4;
         let part = n / k;
         for r in 0..k {
-            let slice =
-                Tensor::from_fn([part], DType::F32, |i| t.get(r * part + i));
+            let slice = Tensor::from_fn([part], DType::F32, |i| t.get(r * part + i));
             let sliced_drop = slice.dropout(0.5, rng, (r * part) as u64).unwrap();
             for i in 0..part {
                 assert_eq!(sliced_drop.get(i), full.get(r * part + i));

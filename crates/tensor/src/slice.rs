@@ -14,12 +14,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::DimOutOfRange`] or
     /// [`TensorError::SliceOutOfRange`] for invalid arguments.
-    pub fn slice_dim(
-        &self,
-        dim: usize,
-        start: usize,
-        len: usize,
-    ) -> Result<Tensor, TensorError> {
+    pub fn slice_dim(&self, dim: usize, start: usize, len: usize) -> Result<Tensor, TensorError> {
         let rank = self.shape().rank();
         if dim >= rank {
             return Err(TensorError::DimOutOfRange { dim, rank });
@@ -143,7 +138,9 @@ impl Tensor {
                 extent: self.numel(),
             });
         }
-        Ok(Tensor::from_fn([len], self.dtype(), |i| self.get(start + i)))
+        Ok(Tensor::from_fn([len], self.dtype(), |i| {
+            self.get(start + i)
+        }))
     }
 
     /// Writes a 1-D tensor into the flat element range starting at
@@ -247,9 +244,7 @@ mod tests {
         assert_eq!(copy.get(3), 3.0);
         assert_eq!(copy.get(0), 0.0);
         assert!(copy.write_flat(6, &chunk).is_err());
-        assert!(copy
-            .write_flat(0, &Tensor::zeros([1], DType::F16))
-            .is_err());
+        assert!(copy.write_flat(0, &Tensor::zeros([1], DType::F16)).is_err());
     }
 
     proptest! {

@@ -73,11 +73,7 @@ impl Tensor {
     }
 
     /// A tensor whose element at linear index `i` is `f(i)`.
-    pub fn from_fn(
-        shape: impl Into<Shape>,
-        dtype: DType,
-        f: impl Fn(usize) -> f32,
-    ) -> Tensor {
+    pub fn from_fn(shape: impl Into<Shape>, dtype: DType, f: impl Fn(usize) -> f32) -> Tensor {
         let shape = shape.into();
         let n = shape.numel();
         let buf = match dtype {
@@ -112,15 +108,8 @@ impl Tensor {
     /// counter RNG: element `i` is `rng.normal_at(offset + i)`, so two
     /// ranks materializing different slices of the same logical tensor
     /// see consistent values.
-    pub fn randn(
-        shape: impl Into<Shape>,
-        dtype: DType,
-        rng: CounterRng,
-        offset: u64,
-    ) -> Tensor {
-        Tensor::from_fn(shape, dtype, |i| {
-            rng.normal_at(offset + i as u64) as f32
-        })
+    pub fn randn(shape: impl Into<Shape>, dtype: DType, rng: CounterRng, offset: u64) -> Tensor {
+        Tensor::from_fn(shape, dtype, |i| rng.normal_at(offset + i as u64) as f32)
     }
 
     /// The tensor's shape.
@@ -269,7 +258,10 @@ mod tests {
         assert!(Tensor::from_f32([2, 2], DType::F32, &[1.0; 4]).is_ok());
         assert!(matches!(
             Tensor::from_f32([2, 2], DType::F32, &[1.0; 3]),
-            Err(TensorError::DataLength { expected: 4, actual: 3 })
+            Err(TensorError::DataLength {
+                expected: 4,
+                actual: 3
+            })
         ));
     }
 

@@ -61,7 +61,10 @@ fn transformer_layer() -> Result<(Program, Vec<VarId>), coconet::core::CoreError
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (program, _) = transformer_layer()?;
-    println!("--- composed transformer layer ---\n{}", program.to_dsl_string());
+    println!(
+        "--- composed transformer layer ---\n{}",
+        program.to_dsl_string()
+    );
 
     // ---- 1. Autotune the whole layer at GPT-2 8.3B sizes --------------
     let sim = Simulator::new(MachineSpec::dgx2_cluster(16), 16, 16);

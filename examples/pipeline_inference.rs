@@ -23,7 +23,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut baseline = None;
     for schedule in PipelineSchedule::ALL {
         let (p, log, _) = apply_pipeline_schedule(schedule)?;
-        let t = sim.time_plan(&lower(&p, &gpt3, CommConfig::default())?).total;
+        let t = sim
+            .time_plan(&lower(&p, &gpt3, CommConfig::default())?)
+            .total;
         let base = *baseline.get_or_insert(t);
         println!(
             "  {:>28}: {:>8.3} ms  ({:.2}x)",
@@ -38,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- 2. Execute the best schedule functionally (2 groups x 4 ranks)
     let (p, _, out_name) = apply_pipeline_schedule(PipelineSchedule::Overlap)?;
-    let small = Binding::new(4).with_groups(2).bind("B", 2).bind("S", 4).bind("H", 8);
+    let small = Binding::new(4)
+        .with_groups(2)
+        .bind("B", 2)
+        .bind("S", 4)
+        .bind("H", 8);
     let rng = CounterRng::new(5);
     let inputs = Inputs::new()
         .per_rank(
@@ -56,7 +62,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          (first element {:.4})",
         received.get(0)
     );
-    assert!(result.local(0, &out_name).is_none(), "group 0 keeps nothing");
-    assert!(result.local(4, &out_name).is_some(), "group 1 holds the output");
+    assert!(
+        result.local(0, &out_name).is_none(),
+        "group 0 keeps nothing"
+    );
+    assert!(
+        result.local(4, &out_name).is_some(),
+        "group 1 holds the output"
+    );
     Ok(())
 }

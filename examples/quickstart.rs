@@ -56,9 +56,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ---- 4. Time both on the simulated 16-GPU DGX-2 --------------------
-    let big = Binding::new(16).bind("B", 8).bind("S", 1024).bind("H", 3072);
+    let big = Binding::new(16)
+        .bind("B", 8)
+        .bind("S", 1024)
+        .bind("H", 3072);
     let sim = Simulator::new(MachineSpec::dgx2_cluster(1), 16, 1);
-    let t_base = sim.time_plan(&lower(&p, &big, CommConfig::default())?).total;
+    let t_base = sim
+        .time_plan(&lower(&p, &big, CommConfig::default())?)
+        .total;
     let t_sched = sim
         .time_plan(&lower(&scheduled, &big, CommConfig::default())?)
         .total;

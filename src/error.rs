@@ -1,0 +1,125 @@
+//! The workspace-wide error type: any layer's error converts into
+//! [`Error`] with `?`, so application code composing the DSL, tensors,
+//! topology, and the runtime needs no ad-hoc mapping.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use coconet_core::CoreError;
+use coconet_runtime::RuntimeError;
+use coconet_tensor::TensorError;
+use coconet_topology::GroupError;
+
+/// Any error produced by a CoCoNet crate.
+///
+/// Each layer keeps its own precise error type (`CoreError`,
+/// `TensorError`, `RuntimeError`, `GroupError`); this facade enum is the
+/// common denominator for code that crosses layers. All four convert in
+/// via [`From`], as does `RuntimeError`'s own nesting of core/tensor
+/// errors, so a single `?` works anywhere:
+///
+/// ```
+/// use coconet::core::{Binding, DType, Layout, Program, ReduceOp};
+/// use coconet::runtime::{run_program, Inputs, RunOptions};
+/// use coconet::tensor::Tensor;
+///
+/// fn sum_of_ones() -> Result<f32, coconet::Error> {
+///     let mut p = Program::new("avg");
+///     let g = p.input("g", DType::F32, ["N"], Layout::Local);
+///     let s = p.all_reduce(ReduceOp::Sum, g)?; // CoreError
+///     p.set_name(s, "sum")?;
+///     p.set_io(&[g], &[s])?;
+///     let binding = Binding::new(2).bind("N", 4);
+///     let ones = Tensor::full([4], DType::F32, 1.0);
+///     let inputs = Inputs::new().per_rank("g", vec![ones.clone(), ones]);
+///     let out = run_program(&p, &binding, &inputs, RunOptions::default())?; // RuntimeError
+///     Ok(out.global("sum")?.get(0))
+/// }
+/// assert_eq!(sum_of_ones().unwrap(), 2.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum Error {
+    /// DSL, transformation, or lowering error.
+    Core(CoreError),
+    /// Tensor construction or arithmetic error.
+    Tensor(TensorError),
+    /// Functional-runtime execution error.
+    Runtime(RuntimeError),
+    /// Process-group construction error.
+    Group(GroupError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Core(e) => write!(f, "{e}"),
+            Error::Tensor(e) => write!(f, "{e}"),
+            Error::Runtime(e) => write!(f, "{e}"),
+            Error::Group(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl StdError for Error {
+    // Transparent wrapping: Display already forwards to the inner
+    // error, so source() skips it to avoid double-reporting in
+    // chain-walking reporters.
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Core(e) => e.source(),
+            Error::Tensor(e) => e.source(),
+            Error::Runtime(e) => e.source(),
+            Error::Group(e) => e.source(),
+        }
+    }
+}
+
+impl From<CoreError> for Error {
+    fn from(e: CoreError) -> Error {
+        Error::Core(e)
+    }
+}
+
+impl From<TensorError> for Error {
+    fn from(e: TensorError) -> Error {
+        Error::Tensor(e)
+    }
+}
+
+impl From<RuntimeError> for Error {
+    fn from(e: RuntimeError) -> Error {
+        Error::Runtime(e)
+    }
+}
+
+impl From<GroupError> for Error {
+    fn from(e: GroupError) -> Error {
+        Error::Group(e)
+    }
+}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_source_chain() {
+        let core: Error = CoreError::UnboundSymbol("B".into()).into();
+        assert!(core.to_string().contains("`B`"));
+        let tensor: Error = TensorError::ConcatMismatch.into();
+        assert!(tensor.to_string().contains("concatenation"));
+        let runtime: Error = RuntimeError::MissingInput("w".into()).into();
+        assert!(matches!(runtime, Error::Runtime(_)));
+        let group: Error = GroupError::Empty.into();
+        assert!(group.to_string().contains("empty"));
+        // Transparent wrapping: Display forwards to the innermost
+        // message and source() skips the forwarding layers, so each
+        // message appears exactly once in a walked chain.
+        let nested: Error = RuntimeError::from(TensorError::ConcatMismatch).into();
+        assert_eq!(nested.to_string(), TensorError::ConcatMismatch.to_string());
+        assert!(nested.source().is_none());
+    }
+}

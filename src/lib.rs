@@ -10,9 +10,13 @@
 //! See the repository README for a quickstart and `DESIGN.md` for the
 //! system inventory.
 
+mod error;
+
 pub use coconet_core as core;
 pub use coconet_models as models;
 pub use coconet_runtime as runtime;
 pub use coconet_sim as sim;
 pub use coconet_tensor as tensor;
 pub use coconet_topology as topology;
+
+pub use error::{Error, Result};

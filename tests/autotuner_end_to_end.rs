@@ -49,9 +49,12 @@ fn optimizer_schedule_depends_on_size() {
 #[test]
 fn model_parallel_winner_is_overlap() {
     let sim = Simulator::new(MachineSpec::dgx2_cluster(1), 16, 1);
-    let (program, _) = block_program(coconet::models::model_parallel::Block::SelfAttention)
-        .unwrap();
-    let binding = Binding::new(16).bind("B", 8).bind("S", 1024).bind("H", 3072);
+    let (program, _) =
+        block_program(coconet::models::model_parallel::Block::SelfAttention).unwrap();
+    let binding = Binding::new(16)
+        .bind("B", 8)
+        .bind("S", 1024)
+        .bind("H", 3072);
     let report = tune(&program, &binding, &sim);
     let best = report.best().label();
     assert!(best.contains("overlap"), "got: {best}");
@@ -86,8 +89,8 @@ fn pipeline_winner_is_three_stage_overlap() {
 #[test]
 fn tuned_winner_is_semantics_preserving() {
     let sim = Simulator::new(MachineSpec::dgx2_cluster(1), 4, 1);
-    let (program, _) = block_program(coconet::models::model_parallel::Block::SelfAttention)
-        .unwrap();
+    let (program, _) =
+        block_program(coconet::models::model_parallel::Block::SelfAttention).unwrap();
     let binding = Binding::new(4).bind("B", 2).bind("S", 4).bind("H", 16);
     let report = tune(&program, &binding, &sim);
     let best = &report.best().program;
@@ -123,7 +126,11 @@ fn exploration_statistics() {
     let sim = Simulator::new(MachineSpec::paper_testbed(), 256, 1);
     let (adam, _) = optimizer_program(Optimizer::Adam, Hyper::default()).unwrap();
     let report = tune(&adam, &Binding::new(256).bind("N", 1 << 24), &sim);
-    assert!(report.schedules_explored >= 8, "{}", report.schedules_explored);
+    assert!(
+        report.schedules_explored >= 8,
+        "{}",
+        report.schedules_explored
+    );
     assert!(report.configs_evaluated >= 100);
     assert!(report.elapsed.as_secs_f64() < 30.0);
     // Candidates are sorted best-first.

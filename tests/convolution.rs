@@ -14,7 +14,10 @@ fn conv_forward_in_dsl_matches_direct_computation() {
     let mut p = Program::new("cnn");
     let x = p.input("x", DType::F32, [4u64, 2, 5, 5], Layout::sliced(0));
     let w = p.input("w", DType::F32, [3u64, 2, 3, 3], Layout::Replicated);
-    let params = Conv2dParams { stride: 1, padding: 1 };
+    let params = Conv2dParams {
+        stride: 1,
+        padding: 1,
+    };
     let y = p.conv2d(x, w, params).unwrap();
     let a = p.relu(y).unwrap();
     p.set_name(a, "act").unwrap();

@@ -50,9 +50,7 @@ fn build_program(ops: &[EpilogueOp]) -> (Program, VarId, Vec<VarId>) {
             EpilogueOp::AddBias => p.add(cur, bias).unwrap(),
             EpilogueOp::AddResidual => p.add(cur, res).unwrap(),
             EpilogueOp::MulResidual => p.mul(cur, res).unwrap(),
-            EpilogueOp::Dropout(tenths) => {
-                p.dropout(cur, f64::from(*tenths) / 10.0).unwrap()
-            }
+            EpilogueOp::Dropout(tenths) => p.dropout(cur, f64::from(*tenths) / 10.0).unwrap(),
             EpilogueOp::Relu => p.relu(cur).unwrap(),
             EpilogueOp::Tanh => p.tanh(cur).unwrap(),
             EpilogueOp::Scale(s) => {

@@ -6,9 +6,7 @@
 use coconet::core::xform::{fuse_all_reduce, overlap, reorder_all_gather, split_all_reduce};
 use coconet::core::{Binding, DType, Layout, Program, ReduceOp};
 use coconet::models::model_parallel::{apply_block_schedule, Block, BlockSchedule};
-use coconet::models::optimizers::{
-    apply_optimizer_schedule, optimizer_program, reference_step,
-};
+use coconet::models::optimizers::{apply_optimizer_schedule, optimizer_program, reference_step};
 use coconet::models::pipeline::{apply_pipeline_schedule, PipelineSchedule};
 use coconet::models::{Hyper, Optimizer, OptimizerSchedule};
 use coconet::runtime::{run_program, Inputs, RunOptions};
@@ -36,7 +34,11 @@ fn running_example_all_group_sizes() {
         };
         // H must divide k; use H = 8k, H2 = 16.
         let h = (8 * k) as u64;
-        let binding = Binding::new(k).bind("B", 2).bind("S", 4).bind("H", h).bind("H2", 16);
+        let binding = Binding::new(k)
+            .bind("B", 2)
+            .bind("S", 4)
+            .bind("H", h)
+            .bind("H2", 16);
         let rng = CounterRng::new(1234 + k as u64);
         let inputs = Inputs::new()
             .global("w", Tensor::randn([h as usize, 16], DType::F16, rng, 0))
@@ -79,8 +81,7 @@ fn adam_multi_step_training_matches_reference() {
     let k = 4usize;
     let binding = Binding::new(k).bind("N", n as u64);
     let (program, _) =
-        apply_optimizer_schedule(Optimizer::Adam, hyper, OptimizerSchedule::FusedRsOptAg)
-            .unwrap();
+        apply_optimizer_schedule(Optimizer::Adam, hyper, OptimizerSchedule::FusedRsOptAg).unwrap();
     let rng = CounterRng::new(2024);
 
     let mut p_state = Tensor::randn([n], DType::F32, rng, 0);
@@ -199,7 +200,10 @@ fn model_parallel_blocks_all_schedules() {
                 Block::Mlp => 4 * h,
             } as usize;
             let inputs = Inputs::new()
-                .global("w", Tensor::randn([contract, h as usize], DType::F16, rng, 0))
+                .global(
+                    "w",
+                    Tensor::randn([contract, h as usize], DType::F16, rng, 0),
+                )
                 .global("b", Tensor::randn([h as usize], DType::F16, rng, 10_000))
                 .global(
                     "in",
@@ -210,8 +214,7 @@ fn model_parallel_blocks_all_schedules() {
                     Tensor::randn([2, 2, h as usize], DType::F16, rng, 30_000),
                 );
             let opts = RunOptions { seed: 11 };
-            let (base, _, base_out) =
-                apply_block_schedule(block, BlockSchedule::Megatron).unwrap();
+            let (base, _, base_out) = apply_block_schedule(block, BlockSchedule::Megatron).unwrap();
             let reference = run_program(&base, &binding, &inputs, opts)
                 .unwrap()
                 .global(&base_out)
@@ -223,7 +226,12 @@ fn model_parallel_blocks_all_schedules() {
                     .global(&out)
                     .unwrap();
                 let diff = got.max_abs_diff(&reference);
-                assert!(diff < 3e-2, "k={k} {:?} {}: {diff}", block, schedule.label());
+                assert!(
+                    diff < 3e-2,
+                    "k={k} {:?} {}: {diff}",
+                    block,
+                    schedule.label()
+                );
             }
         }
     }

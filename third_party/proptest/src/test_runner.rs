@@ -1,0 +1,130 @@
+//! Case execution: the deterministic RNG, per-case results, and the
+//! loop driving the configured number of cases.
+
+/// Per-test configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails.
+    Fail(String),
+    /// A `prop_assume!` did not hold; the case is skipped.
+    Reject,
+}
+
+impl TestCaseError {
+    /// A failure carrying the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// The result of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic splitmix64 generator seeded per attempt.
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// A generator with the given seed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng(seed)
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Runs `case` until `config.cases` cases pass, panicking on the first
+/// failure. Rejected cases (`prop_assume!`) are retried with fresh
+/// values, up to a cap.
+///
+/// # Panics
+///
+/// Panics when a case fails or when too many cases are rejected.
+pub fn run(config: &ProptestConfig, mut case: impl FnMut(&mut TestRng) -> TestCaseResult) {
+    let mut passed = 0u32;
+    let mut rejected = 0u64;
+    let mut attempt = 0u64;
+    while passed < config.cases {
+        // Fixed base seed: failures reproduce run-to-run by attempt number.
+        let mut rng =
+            TestRng::from_seed(0xC0C0_4E75_0000_5EED ^ attempt.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        attempt += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= 64 * u64::from(config.cases),
+                    "too many prop_assume! rejections ({rejected}) after {passed} passing cases"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest case failed (attempt {attempt}): {msg}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut n = 0;
+        run(&ProptestConfig::with_cases(10), |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn rejections_do_not_count() {
+        let mut total = 0u64;
+        run(&ProptestConfig::with_cases(5), |rng| {
+            total += 1;
+            if rng.next_u64() % 2 == 0 {
+                Err(TestCaseError::Reject)
+            } else {
+                Ok(())
+            }
+        });
+        assert!(total >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failure_panics() {
+        run(&ProptestConfig::default(), |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}
