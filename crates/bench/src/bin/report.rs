@@ -1,0 +1,131 @@
+//! The benchmark trajectory reporter: runs the paper's headline
+//! experiments through the sim-backed evaluator and emits
+//! `BENCH_coconet.json`, the machine-readable perf record CI archives
+//! on every run.
+//!
+//! ```text
+//! report [--quick] [--out PATH] [--baseline PATH] [--tolerance FRACTION]
+//! ```
+//!
+//! - `--quick`      CI mode: the fast experiment subset (still ≥ 6 rows)
+//! - `--out`        output path (default `BENCH_coconet.json`)
+//! - `--baseline`   committed baseline to diff against; any experiment
+//!   whose speedup regresses beyond the tolerance fails the run
+//! - `--tolerance`  allowed speedup loss as a fraction (default `0.10`)
+//!
+//! Exit status: `0` on success, `1` on a tuner-consistency failure
+//! (pruned and exhaustive searches disagreeing) or a speedup
+//! regression against the baseline.
+
+use std::process::ExitCode;
+
+use coconet_bench::json::Json;
+use coconet_bench::{fmt_time, fmt_x, trajectory, Report};
+
+struct Args {
+    quick: bool,
+    out: String,
+    baseline: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        out: "BENCH_coconet.json".to_string(),
+        baseline: None,
+        tolerance: 0.10,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = value("--out")?,
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--tolerance" => {
+                args.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("bad --tolerance: {e}"))?;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    let trajectory = trajectory::collect(args.quick)?;
+    let results = &trajectory.results;
+    let doc = trajectory::to_json(results);
+
+    let mut table = Report::new(
+        if args.quick {
+            "Benchmark trajectory (quick)"
+        } else {
+            "Benchmark trajectory"
+        },
+        &[
+            "experiment",
+            "baseline",
+            "coconet",
+            "speedup",
+            "schedules",
+            "configs",
+            "tune wall",
+        ],
+    );
+    for r in results {
+        table.row(&[
+            r.name.to_string(),
+            fmt_time(r.baseline_s),
+            fmt_time(r.coconet_s),
+            fmt_x(r.speedup()),
+            r.schedules_explored.to_string(),
+            r.configs_evaluated.to_string(),
+            if r.tune_wall_ms > 0.0 {
+                format!("{:.1} ms", r.tune_wall_ms)
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    table.note(
+        "tab3 rows: parallel pruned tuner, verified against the exhaustive search \
+         at the same worker count (identical winner, fewer configs, less wall-clock)",
+    );
+    table.print();
+
+    // Write the trajectory before enforcing any gate so the file is
+    // available for diagnosis even on a failing run.
+    std::fs::write(&args.out, doc.render_pretty())
+        .map_err(|e| format!("writing {}: {e}", args.out))?;
+    println!("wrote {}", args.out);
+
+    if !trajectory.gate_failures.is_empty() {
+        return Err(trajectory.gate_failures.join("\n"));
+    }
+
+    if let Some(path) = &args.baseline {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let baseline = Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        trajectory::regression_check(&doc, &baseline, args.tolerance)?;
+        println!(
+            "no speedup regression beyond {:.0} % vs {path}",
+            args.tolerance * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -484,23 +484,31 @@ pub fn table3c() -> Vec<Tab3Row> {
     .collect()
 }
 
-/// Runs the real autotuner on a workload and reports (schedules
-/// explored, configs evaluated, wall seconds, best label).
-pub fn autotune_workload(which: &str) -> (usize, usize, f64, String) {
-    let sim = Simulator::new(MachineSpec::paper_testbed(), DP_RANKS, 1);
-    let (program, binding) = match which {
-        "adam" => (
-            optimizers::optimizer_program(Optimizer::Adam, coconet_models::Hyper::default())
-                .expect("builds")
-                .0,
-            Binding::new(DP_RANKS).bind("N", 1 << 26),
-        ),
-        "lamb" => (
-            optimizers::optimizer_program(Optimizer::Lamb, coconet_models::Hyper::default())
-                .expect("builds")
-                .0,
-            Binding::new(DP_RANKS).bind("N", 1 << 26),
-        ),
+/// The Table 3 autotuner workloads, by name.
+pub const AUTOTUNE_WORKLOADS: [&str; 4] = ["adam", "lamb", "model-parallel", "pipeline"];
+
+/// Builds the program, binding, and machine simulator of one Table 3
+/// autotuner workload (see [`AUTOTUNE_WORKLOADS`]).
+///
+/// # Panics
+///
+/// Panics on an unknown workload name.
+pub fn autotune_setup(which: &str) -> (coconet_core::Program, Binding, Simulator) {
+    match which {
+        "adam" | "lamb" => {
+            let opt = if which == "adam" {
+                Optimizer::Adam
+            } else {
+                Optimizer::Lamb
+            };
+            let (p, _) = optimizers::optimizer_program(opt, coconet_models::Hyper::default())
+                .expect("builds");
+            (
+                p,
+                Binding::new(DP_RANKS).bind("N", 1 << 26),
+                Simulator::new(MachineSpec::paper_testbed(), DP_RANKS, 1),
+            )
+        }
         "model-parallel" => {
             let (p, _) = coconet_models::model_parallel::block_program(Block::SelfAttention)
                 .expect("builds");
@@ -510,6 +518,7 @@ pub fn autotune_workload(which: &str) -> (usize, usize, f64, String) {
                     .bind("B", 8)
                     .bind("S", 1024)
                     .bind("H", 3072),
+                Simulator::new(MachineSpec::dgx2_cluster(1), 16, 1),
             )
         }
         "pipeline" => {
@@ -521,23 +530,24 @@ pub fn autotune_workload(which: &str) -> (usize, usize, f64, String) {
                     .bind("B", 2)
                     .bind("S", 2048)
                     .bind("H", 12288),
+                Simulator::new(MachineSpec::dgx2_cluster(16), 16, 16),
             )
         }
         other => panic!("unknown workload {other}"),
-    };
-    let geometry = match which {
-        "model-parallel" => Simulator::new(MachineSpec::dgx2_cluster(1), 16, 1),
-        "pipeline" => Simulator::new(MachineSpec::dgx2_cluster(16), 16, 16),
-        _ => sim,
-    };
+    }
+}
+
+/// Runs the real autotuner on a workload and reports (schedules
+/// explored, configs evaluated, wall seconds, best label).
+pub fn autotune_workload(which: &str) -> (usize, usize, f64, String) {
+    let (program, binding, sim) = autotune_setup(which);
     let tuner = coconet_core::Autotuner::default();
-    let evaluator = |plan: &coconet_core::ExecPlan| geometry.time_plan(plan).total;
-    let report = tuner.tune(&program, &binding, &evaluator).expect("tunes");
+    let report = tuner.tune(&program, &binding, &sim).expect("tunes");
     (
         report.schedules_explored,
         report.configs_evaluated,
         report.elapsed.as_secs_f64(),
-        report.best().label(),
+        report.best().expect("baseline lowers").label(),
     )
 }
 

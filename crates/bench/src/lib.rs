@@ -7,6 +7,10 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod report;
+pub mod trajectory;
 
+pub use json::{Json, JsonError};
 pub use report::{fmt_time, fmt_x, Report};
+pub use trajectory::{collect, regression_check, to_json, ExperimentResult};

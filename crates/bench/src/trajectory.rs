@@ -1,0 +1,488 @@
+//! The machine-readable benchmark trajectory: every CI run distills
+//! the paper's headline experiments (Tables 2/3/4, Figures 1/10/11)
+//! into one `BENCH_coconet.json`, the perf-trajectory source of truth
+//! the repository tracks across PRs.
+//!
+//! Schema — one top-level object, experiment name → row:
+//!
+//! ```json
+//! {
+//!   "tab3_autotuner_adam": {
+//!     "baseline_s": 0.0123,
+//!     "coconet_s": 0.0061,
+//!     "speedup": 2.01,
+//!     "schedules_explored": 14,
+//!     "configs_evaluated": 182,
+//!     "tune_wall_ms": 41.5
+//!   }
+//! }
+//! ```
+//!
+//! Rows produced without running the autotuner report zero for the
+//! exploration counters. The `tab3_*` rows additionally carry the
+//! exhaustive-reference counters used by the pruned-vs-exhaustive
+//! consistency check.
+
+use coconet_core::Autotuner;
+use coconet_models::{MemoryModel, ModelConfig, Optimizer, Strategy};
+use coconet_sim::Simulator;
+use coconet_topology::MachineSpec;
+
+use crate::experiments;
+use crate::json::Json;
+
+/// Workers both trajectory tuner modes run on, so the pruned search is
+/// compared against the exhaustive reference at identical parallelism
+/// ("… on ≥ 2 worker threads").
+pub const TUNE_WORKERS: usize = 2;
+
+/// One experiment's distilled measurement.
+#[derive(Clone, Debug)]
+pub struct ExperimentResult {
+    /// Stable experiment key (JSON object key).
+    pub name: &'static str,
+    /// Baseline schedule time, seconds.
+    pub baseline_s: f64,
+    /// CoCoNet's best schedule time, seconds.
+    pub coconet_s: f64,
+    /// Schedules the autotuner explored (0 for analytic experiments).
+    pub schedules_explored: usize,
+    /// Configurations the autotuner costed (0 for analytic ones).
+    pub configs_evaluated: usize,
+    /// Autotuner wall-clock, milliseconds (0 for analytic ones).
+    pub tune_wall_ms: f64,
+    /// Extra per-experiment fields appended to the JSON row.
+    pub extra: Vec<(String, Json)>,
+}
+
+impl ExperimentResult {
+    /// Baseline-over-CoCoNet speedup.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_s / self.coconet_s
+    }
+
+    fn analytic(name: &'static str, baseline_s: f64, coconet_s: f64) -> ExperimentResult {
+        ExperimentResult {
+            name,
+            baseline_s,
+            coconet_s,
+            schedules_explored: 0,
+            configs_evaluated: 0,
+            tune_wall_ms: 0.0,
+            extra: Vec::new(),
+        }
+    }
+}
+
+/// A collected trajectory: the experiment rows plus any tuner
+/// consistency-gate failures. Rows are produced even when the gate
+/// fails, so the trajectory file can always be written (and archived)
+/// for diagnosis before the run is declared red.
+#[derive(Clone, Debug)]
+pub struct Trajectory {
+    /// All experiment rows, in emission order.
+    pub results: Vec<ExperimentResult>,
+    /// Violations of the `tab3_*` pruned-vs-exhaustive invariants
+    /// (identical winner, strictly fewer configurations, strictly
+    /// less aggregate wall-clock); empty when everything held.
+    pub gate_failures: Vec<String>,
+}
+
+/// Runs the trajectory experiments. `quick` (the CI mode) keeps the
+/// fast two-thirds: all analytic rows plus the `adam` and
+/// `model-parallel` tuner rows; the full mode adds the `lamb` and
+/// `pipeline` tuner rows.
+///
+/// # Errors
+///
+/// Returns a description of the failure only when an experiment
+/// cannot run at all (a workload failing to build or tune); tuner
+/// consistency violations land in [`Trajectory::gate_failures`]
+/// instead so the rows survive for diagnosis.
+pub fn collect(quick: bool) -> Result<Trajectory, String> {
+    let mut results = vec![fig1(), fig10(), fig11(), tab2(), tab4()];
+    let workloads: &[&str] = if quick {
+        &["adam", "model-parallel"]
+    } else {
+        &["adam", "lamb", "model-parallel", "pipeline"]
+    };
+    let (tab3_rows, gate_failures) = tab3_experiments(workloads)?;
+    results.extend(tab3_rows);
+    Ok(Trajectory {
+        results,
+        gate_failures,
+    })
+}
+
+/// Figure 1's largest point: overlapped MatMul+AllReduce vs
+/// sequential at batch 64.
+fn fig1() -> ExperimentResult {
+    let row = experiments::figure1().pop().expect("figure1 has rows");
+    ExperimentResult::analytic("fig1_overlap", row.sequential, row.overlapped)
+}
+
+/// Figure 10 at 2^30 elements: Adam, baseline AR+FusedOpt vs
+/// `fuse(RS-Opt-AG)`.
+fn fig10() -> ExperimentResult {
+    let row = experiments::figure10(Optimizer::Adam, &[30])
+        .pop()
+        .expect("figure10 has rows");
+    ExperimentResult::analytic(
+        "fig10_data_parallel",
+        row.baseline,
+        row.baseline / row.fused,
+    )
+}
+
+/// Figure 11's first group (self-attention epilogue, batch 8):
+/// Megatron-LM vs the overlapped schedule.
+fn fig11() -> ExperimentResult {
+    let rows = experiments::figure11();
+    let group = &rows[..4];
+    ExperimentResult::analytic("fig11_model_parallel", group[0].time, group[3].time)
+}
+
+/// Table 2 (Adam): scattered-tensor fused update vs contiguous.
+/// "Baseline" here is the scattered layout — the row tracks how small
+/// CoCoNet keeps the scattered-tensor overhead, so its speedup sits
+/// just below 1.
+fn tab2() -> ExperimentResult {
+    let (scattered, contiguous) = experiments::table2(Optimizer::Adam);
+    ExperimentResult::analytic("tab2_scattered_params", contiguous, scattered)
+}
+
+/// Table 4's first row (BERT 336M, Adam): the strongest non-CoCoNet
+/// baseline vs CoCoNet's iteration time.
+fn tab4() -> ExperimentResult {
+    let sim = Simulator::new(MachineSpec::paper_testbed(), experiments::DP_RANKS, 1);
+    let memory = MemoryModel::default();
+    let cfg = ModelConfig::bert_336m();
+    let est = |s: Strategy| {
+        coconet_models::training::estimate_iteration(
+            &sim,
+            &memory,
+            &cfg,
+            Optimizer::Adam,
+            s,
+            experiments::DP_RANKS,
+            8192,
+        )
+    };
+    let coconet = est(Strategy::ALL[3]).expect("CoCoNet always trains");
+    let best_baseline = Strategy::ALL[..3]
+        .iter()
+        .filter_map(|&s| est(s))
+        .map(|e| e.total())
+        .fold(f64::INFINITY, f64::min);
+    ExperimentResult::analytic("tab4_bert_training", best_baseline, coconet.total())
+}
+
+/// One workload's pair of searches (invariant violations, if any, are
+/// reported alongside by [`tab3_run`]).
+struct Tab3Run {
+    name: &'static str,
+    baseline_s: f64,
+    pruned: coconet_core::TuneReport,
+    pruned_best: coconet_core::Candidate,
+    exhaustive: coconet_core::TuneReport,
+}
+
+/// The Table 3 autotuner rows: each workload runs the pruned tuner and
+/// the exhaustive reference on the same worker count
+/// ([`TUNE_WORKERS`]), proving pruning changes nothing but the work
+/// done — identical winner, strictly fewer configurations costed, and
+/// (aggregated across the workloads, wall-clock being the one noisy
+/// measurement) strictly less tuning time. Invariant violations are
+/// returned alongside the rows rather than in place of them, so the
+/// trajectory file is always written for diagnosis.
+fn tab3_experiments(workloads: &[&str]) -> Result<(Vec<ExperimentResult>, Vec<String>), String> {
+    let run_all = || -> Result<(Vec<Tab3Run>, Vec<String>), String> {
+        let mut runs = Vec::new();
+        let mut failures = Vec::new();
+        for w in workloads {
+            let (run, mut violations) = tab3_run(w)?;
+            runs.push(run);
+            failures.append(&mut violations);
+        }
+        Ok((runs, failures))
+    };
+    let wall = |runs: &[Tab3Run], f: fn(&Tab3Run) -> std::time::Duration| -> std::time::Duration {
+        runs.iter().map(f).sum()
+    };
+    let (mut runs, mut gate_failures) = run_all()?;
+    // Up to two retries of the wall-clock comparison; each keeps the
+    // fastest timing seen per workload per mode (min-of-attempts
+    // approximates the true cost — the counts and winner are
+    // deterministic, so mixing attempts is sound). This keeps the gate
+    // meaningful without letting one noisy scheduler hiccup on a
+    // shared runner fail the job. Deterministic violations (winner
+    // mismatch, no configuration savings) are not retried — they can
+    // only repeat.
+    if gate_failures.is_empty() {
+        for _ in 0..2 {
+            if wall(&runs, |r| r.pruned.elapsed) < wall(&runs, |r| r.exhaustive.elapsed) {
+                break;
+            }
+            let (again, fresh_failures) = run_all()?;
+            gate_failures.extend(fresh_failures);
+            for (best, fresh) in runs.iter_mut().zip(again) {
+                if fresh.pruned.elapsed < best.pruned.elapsed {
+                    best.pruned = fresh.pruned;
+                    best.pruned_best = fresh.pruned_best;
+                }
+                if fresh.exhaustive.elapsed < best.exhaustive.elapsed {
+                    best.exhaustive = fresh.exhaustive;
+                }
+            }
+        }
+        let pruned_wall = wall(&runs, |r| r.pruned.elapsed);
+        let exhaustive_wall = wall(&runs, |r| r.exhaustive.elapsed);
+        if pruned_wall >= exhaustive_wall {
+            gate_failures.push(format!(
+                "pruned search was not faster in aggregate over {workloads:?}: \
+                 {pruned_wall:?} vs exhaustive {exhaustive_wall:?}"
+            ));
+        }
+    }
+    let rows = runs
+        .into_iter()
+        .map(|run| ExperimentResult {
+            name: run.name,
+            baseline_s: run.baseline_s,
+            coconet_s: run.pruned_best.time,
+            schedules_explored: run.pruned.schedules_explored,
+            configs_evaluated: run.pruned.configs_evaluated,
+            tune_wall_ms: run.pruned.elapsed.as_secs_f64() * 1e3,
+            extra: vec![
+                ("winner".into(), Json::Str(run.pruned_best.label())),
+                (
+                    "configs_pruned".into(),
+                    Json::Num(run.pruned.configs_pruned as f64),
+                ),
+                (
+                    "exhaustive_configs_evaluated".into(),
+                    Json::Num(run.exhaustive.configs_evaluated as f64),
+                ),
+                (
+                    "exhaustive_tune_wall_ms".into(),
+                    Json::Num(run.exhaustive.elapsed.as_secs_f64() * 1e3),
+                ),
+            ],
+        })
+        .collect();
+    Ok((rows, gate_failures))
+}
+
+/// Runs one workload in both modes and returns the run plus any
+/// violations of the deterministic invariants (winner identity,
+/// strict configuration savings). Each mode runs three times keeping
+/// the fastest wall-clock — the standard noise-robust benchmark
+/// statistic; the winner and the configuration counts are identical
+/// across repeats by construction.
+fn tab3_run(workload: &str) -> Result<(Tab3Run, Vec<String>), String> {
+    let (program, binding, sim) = experiments::autotune_setup(workload);
+
+    let run = |tuner: &Autotuner| {
+        let mut fastest: Option<coconet_core::TuneReport> = None;
+        for _ in 0..3 {
+            let report = tuner
+                .tune(&program, &binding, &sim)
+                .map_err(|e| format!("{workload}: tuning failed: {e}"))?;
+            if fastest.as_ref().is_none_or(|f| report.elapsed < f.elapsed) {
+                fastest = Some(report);
+            }
+        }
+        let report = fastest.expect("three runs happened");
+        let best = report
+            .best()
+            .map_err(|e| format!("{workload}: {e}"))?
+            .clone();
+        Ok::<_, String>((report, best))
+    };
+    let (pruned, pruned_best) = run(&Autotuner::default().with_workers(TUNE_WORKERS))?;
+    let (exhaustive, exhaustive_best) =
+        run(&Autotuner::default().exhaustive().with_workers(TUNE_WORKERS))?;
+
+    let mut violations = Vec::new();
+    // The winner must be identical — pruning is a pure work-saver.
+    if pruned_best.schedule != exhaustive_best.schedule
+        || pruned_best.config != exhaustive_best.config
+    {
+        violations.push(format!(
+            "{workload}: pruned winner {:?} @ {} != exhaustive winner {:?} @ {}",
+            pruned_best.schedule,
+            pruned_best.config,
+            exhaustive_best.schedule,
+            exhaustive_best.config,
+        ));
+    }
+    if pruned.configs_evaluated >= exhaustive.configs_evaluated {
+        violations.push(format!(
+            "{workload}: pruned search costed {} configs, exhaustive {} — pruning saved nothing",
+            pruned.configs_evaluated, exhaustive.configs_evaluated,
+        ));
+    }
+
+    let baseline = exhaustive
+        .candidates
+        .iter()
+        .find(|c| c.schedule.is_empty())
+        .ok_or_else(|| format!("{workload}: exhaustive search lost the baseline schedule"))?
+        .time;
+
+    let name: &'static str = match workload {
+        "adam" => "tab3_autotuner_adam",
+        "lamb" => "tab3_autotuner_lamb",
+        "model-parallel" => "tab3_autotuner_model_parallel",
+        "pipeline" => "tab3_autotuner_pipeline",
+        other => return Err(format!("unknown workload {other}")),
+    };
+    Ok((
+        Tab3Run {
+            name,
+            baseline_s: baseline,
+            pruned,
+            pruned_best,
+            exhaustive,
+        },
+        violations,
+    ))
+}
+
+/// Renders the results as the `BENCH_coconet.json` document.
+pub fn to_json(results: &[ExperimentResult]) -> Json {
+    Json::Obj(
+        results
+            .iter()
+            .map(|r| {
+                let mut row = vec![
+                    ("baseline_s".to_string(), Json::Num(r.baseline_s)),
+                    ("coconet_s".to_string(), Json::Num(r.coconet_s)),
+                    ("speedup".to_string(), Json::Num(r.speedup())),
+                    (
+                        "schedules_explored".to_string(),
+                        Json::Num(r.schedules_explored as f64),
+                    ),
+                    (
+                        "configs_evaluated".to_string(),
+                        Json::Num(r.configs_evaluated as f64),
+                    ),
+                    ("tune_wall_ms".to_string(), Json::Num(r.tune_wall_ms)),
+                ];
+                row.extend(r.extra.iter().cloned());
+                (r.name.to_string(), Json::Obj(row))
+            })
+            .collect(),
+    )
+}
+
+/// Compares a fresh trajectory against the committed baseline: every
+/// experiment present in the baseline must still exist and keep its
+/// speedup within `tolerance` (e.g. `0.10` = may lose up to 10 %).
+/// Wall-clock fields are intentionally not compared — only the
+/// schedule-quality ratios are stable across machines.
+///
+/// # Errors
+///
+/// Returns the list of regressions, one message per failing
+/// experiment, or a message describing a malformed document.
+pub fn regression_check(current: &Json, baseline: &Json, tolerance: f64) -> Result<(), String> {
+    let baseline_rows = baseline
+        .entries()
+        .ok_or("baseline document is not a JSON object")?;
+    let mut failures = Vec::new();
+    for (name, row) in baseline_rows {
+        let want = row
+            .get("speedup")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("baseline `{name}` has no numeric speedup"))?;
+        let Some(got) = current.get(name).and_then(|r| r.get("speedup")) else {
+            failures.push(format!(
+                "experiment `{name}` disappeared from the trajectory"
+            ));
+            continue;
+        };
+        let got = got
+            .as_f64()
+            .ok_or_else(|| format!("current `{name}` has no numeric speedup"))?;
+        if got < want * (1.0 - tolerance) {
+            failures.push(format!(
+                "`{name}` speedup regressed: {got:.3}x vs baseline {want:.3}x \
+                 (tolerance {:.0} %)",
+                tolerance * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_trajectory_covers_the_headline_experiments() {
+        let trajectory = collect(true).expect("trajectory collects");
+        assert!(
+            trajectory.gate_failures.is_empty(),
+            "tuner gate failed: {:?}",
+            trajectory.gate_failures
+        );
+        let results = trajectory.results;
+        assert!(results.len() >= 6, "only {} experiments", results.len());
+        let doc = to_json(&results);
+        let text = doc.render_pretty();
+        let back = Json::parse(&text).expect("self-parse");
+        assert_eq!(doc, back);
+        for r in &results {
+            let row = back.get(r.name).expect("row present");
+            for field in [
+                "baseline_s",
+                "coconet_s",
+                "speedup",
+                "schedules_explored",
+                "configs_evaluated",
+                "tune_wall_ms",
+            ] {
+                assert!(
+                    row.get(field).and_then(Json::as_f64).is_some(),
+                    "{}.{field} missing",
+                    r.name
+                );
+            }
+            assert!(r.baseline_s > 0.0 && r.coconet_s > 0.0);
+        }
+        // The tuner rows carry the pruned-vs-exhaustive evidence.
+        let adam = back.get("tab3_autotuner_adam").expect("adam row");
+        let costed = adam
+            .get("configs_evaluated")
+            .and_then(Json::as_f64)
+            .unwrap();
+        let exhaustive = adam
+            .get("exhaustive_configs_evaluated")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!(
+            costed < exhaustive,
+            "pruning saved nothing: {costed} vs {exhaustive}"
+        );
+    }
+
+    #[test]
+    fn regression_check_flags_drops_and_disappearances() {
+        let baseline =
+            Json::parse(r#"{"a": {"speedup": 2.0}, "b": {"speedup": 1.5}, "c": {"speedup": 1.0}}"#)
+                .unwrap();
+        let current = Json::parse(r#"{"a": {"speedup": 1.5}, "c": {"speedup": 0.95}}"#).unwrap();
+        let err = regression_check(&current, &baseline, 0.10).unwrap_err();
+        assert!(err.contains("`a` speedup regressed"), "{err}");
+        assert!(err.contains("`b` disappeared"), "{err}");
+        assert!(!err.contains("`c`"), "c is within tolerance: {err}");
+        // Identical trajectories pass.
+        regression_check(&baseline, &baseline, 0.10).unwrap();
+    }
+}

@@ -10,8 +10,19 @@
 //!
 //! The tuner is generic over a [`PlanEvaluator`] — `coconet-sim`
 //! provides the machine model; tests can plug in synthetic evaluators.
+//!
+//! The search is parallel (candidate schedules of each BFS level are
+//! costed on a scoped-thread worker pool), memoized (structurally
+//! identical plans are costed once), and pruned (a branch whose
+//! optimistic [`PlanEvaluator::lower_bound`] already exceeds the
+//! incumbent best is dropped). [`Autotuner::exhaustive`] switches the
+//! pruning off; the tier-1 tests prove both modes agree on the winner.
 
-use std::collections::HashSet;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::xform;
@@ -19,12 +30,55 @@ use crate::{lower, Binding, CommConfig, CoreError, ExecPlan, OpKind, Program, Pr
 
 /// Evaluates the cost of an executable plan (lower is better).
 /// Implemented by `coconet_sim::Simulator` over the machine model.
-pub trait PlanEvaluator {
+///
+/// The trait is object-safe and `Sync` so a single evaluator can be
+/// shared by the tuner's worker threads. Estimated times must be
+/// non-negative and free of NaNs (the incumbent tracking compares raw
+/// IEEE-754 bits).
+pub trait PlanEvaluator: Sync {
     /// Estimated execution time of the plan, in seconds.
     fn evaluate(&self, plan: &ExecPlan) -> f64;
+
+    /// A cheap optimistic lower bound on [`evaluate`](Self::evaluate)
+    /// for *this plan* (over-estimating can change the winner; the
+    /// bound need not cover derived schedules). Configurations whose
+    /// bound already exceeds the incumbent best are skipped without
+    /// full evaluation. The default of `0.0` disables the skip.
+    fn lower_bound(&self, _plan: &ExecPlan) -> f64 {
+        0.0
+    }
+
+    /// A lower bound that additionally covers *every schedule
+    /// derivable from the plan's program by further transformations*
+    /// under the same configuration — necessarily looser than
+    /// [`lower_bound`](Self::lower_bound). A branch whose minimum
+    /// descendant bound across configurations exceeds the incumbent
+    /// best is not expanded. The default of `0.0` disables branch
+    /// pruning.
+    fn descendant_lower_bound(&self, _plan: &ExecPlan) -> f64 {
+        0.0
+    }
+
+    /// Both bounds for one plan under many configurations in a single
+    /// call, returned as `(tight, descendant)` vectors parallel to
+    /// `configs`; entry `i` must equal the per-config methods with
+    /// `plan.config = configs[i]`. Model-backed evaluators override
+    /// this to amortize the walk over the plan's steps — the bounds
+    /// are typically `fixed + wire / bandwidth(config)`, so one walk
+    /// answers the whole sweep.
+    fn lower_bound_sweep(&self, plan: &ExecPlan, configs: &[CommConfig]) -> (Vec<f64>, Vec<f64>) {
+        let mut p = plan.clone();
+        configs
+            .iter()
+            .map(|&config| {
+                p.config = config;
+                (self.lower_bound(&p), self.descendant_lower_bound(&p))
+            })
+            .unzip()
+    }
 }
 
-impl<F: Fn(&ExecPlan) -> f64> PlanEvaluator for F {
+impl<F: Fn(&ExecPlan) -> f64 + Sync> PlanEvaluator for F {
     fn evaluate(&self, plan: &ExecPlan) -> f64 {
         self(plan)
     }
@@ -56,14 +110,31 @@ impl Candidate {
 
 /// The autotuner's result: every explored schedule (sorted best-first)
 /// plus bookkeeping for Table 3.
+///
+/// The winning candidate is identical across worker counts and between
+/// pruned and exhaustive runs (ties break on breadth-first discovery
+/// order, and pruning only discards configurations that are provably
+/// worse than the incumbent). Times recorded for *losing* candidates
+/// may be coarser under pruning, since their cheapest configurations
+/// can be skipped.
 #[derive(Clone, Debug)]
 pub struct TuneReport {
     /// Explored schedules, best first.
     pub candidates: Vec<Candidate>,
     /// Number of distinct schedules explored.
     pub schedules_explored: usize,
-    /// Number of (schedule, protocol, channels) evaluations.
+    /// Number of (schedule, protocol, channels) cost lookups (memoized
+    /// lookups included, pruned ones not).
     pub configs_evaluated: usize,
+    /// Configurations skipped because their lower bound exceeded the
+    /// incumbent best (zero when pruning is off).
+    pub configs_pruned: usize,
+    /// Schedules whose expansion was cut because even their optimistic
+    /// lower bound exceeded the incumbent best.
+    pub branches_pruned: usize,
+    /// Cost lookups answered from the structural-hash memo table
+    /// instead of the evaluator.
+    pub memo_hits: usize,
     /// Wall-clock time of the exploration.
     pub elapsed: Duration,
 }
@@ -71,14 +142,13 @@ pub struct TuneReport {
 impl TuneReport {
     /// The winning candidate.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no schedule could be lowered (cannot happen for valid
-    /// programs: the baseline always lowers).
-    pub fn best(&self) -> &Candidate {
-        self.candidates
-            .first()
-            .expect("at least the baseline schedule")
+    /// Returns [`CoreError::NoViableSchedule`] if no explored schedule
+    /// lowered under any configuration (cannot happen for valid
+    /// programs with a lowerable baseline).
+    pub fn best(&self) -> Result<&Candidate, CoreError> {
+        self.candidates.first().ok_or(CoreError::NoViableSchedule)
     }
 }
 
@@ -94,6 +164,12 @@ pub struct Autotuner {
     /// Also branch into slicing optimizer state (`asSlice` + `dead`,
     /// §4) after reorders that leave dangling state gathers.
     pub slice_state: bool,
+    /// Worker threads costing candidates (`0` = one per available
+    /// core). `1` keeps the whole search on the calling thread.
+    pub workers: usize,
+    /// Beam pruning: drop configurations and branches whose
+    /// [`PlanEvaluator::lower_bound`] exceeds the incumbent best.
+    pub prune: bool,
 }
 
 impl Default for Autotuner {
@@ -103,6 +179,8 @@ impl Default for Autotuner {
             protocols: Protocol::ALL.to_vec(),
             channels: vec![2, 4, 8, 16, 32, 64],
             slice_state: true,
+            workers: 0,
+            prune: true,
         }
     }
 }
@@ -155,9 +233,53 @@ impl Move {
     }
 }
 
+/// Outcome of sweeping one schedule over every configuration.
+struct SweepOutcome {
+    /// Best `(config, time)` among the configurations costed.
+    best: Option<(CommConfig, f64)>,
+    /// Minimum [`PlanEvaluator::descendant_lower_bound`] across all
+    /// configurations — an optimistic floor for this schedule and its
+    /// descendants (`0.0` when nothing lowered, so un-lowerable
+    /// schedules keep expanding exactly as the exhaustive search
+    /// does).
+    floor: f64,
+}
+
+/// Shared, thread-safe bookkeeping for one `tune` run.
+struct SearchState {
+    /// Best time seen so far, stored as IEEE-754 bits (valid because
+    /// times are non-negative, so the bit order is the numeric order).
+    incumbent: AtomicU64,
+    /// (plan-hash → time) memo across schedules and configurations.
+    memo: Mutex<HashMap<u64, f64>>,
+    configs_evaluated: AtomicUsize,
+    configs_pruned: AtomicUsize,
+    memo_hits: AtomicUsize,
+}
+
+impl SearchState {
+    fn new() -> SearchState {
+        SearchState {
+            incumbent: AtomicU64::new(f64::INFINITY.to_bits()),
+            memo: Mutex::new(HashMap::new()),
+            configs_evaluated: AtomicUsize::new(0),
+            configs_pruned: AtomicUsize::new(0),
+            memo_hits: AtomicUsize::new(0),
+        }
+    }
+
+    fn incumbent(&self) -> f64 {
+        f64::from_bits(self.incumbent.load(Ordering::Relaxed))
+    }
+}
+
 impl Autotuner {
-    /// Explores the schedule space of `program` and evaluates every
-    /// schedule under every protocol/channel configuration.
+    /// Explores the schedule space of `program` and costs every
+    /// schedule under every protocol/channel configuration, in
+    /// parallel, memoizing structurally identical plans and (unless
+    /// [`exhaustive`](Autotuner::exhaustive)) beam-pruning
+    /// configurations and branches that provably cannot beat the
+    /// incumbent best.
     ///
     /// # Errors
     ///
@@ -175,81 +297,362 @@ impl Autotuner {
         let mut base = program.clone();
         fuse_pointwise_chains(&mut base);
 
-        // BFS over transformation sequences.
-        let mut frontier: Vec<(Program, Vec<String>)> = vec![(base.clone(), Vec::new())];
-        let mut seen: HashSet<String> = HashSet::new();
-        seen.insert(canonical(&base));
-        let mut explored: Vec<(Program, Vec<String>)> = Vec::new();
+        let state = SearchState::new();
+        let workers = self.worker_count();
 
-        let mut depth = 0;
-        while !frontier.is_empty() && depth <= self.max_depth {
-            let mut next = Vec::new();
-            for (p, desc) in frontier.drain(..) {
+        let (candidates, schedules_explored, branches_pruned) = if workers <= 1 {
+            // Fully serial: sweep each schedule on the calling thread.
+            self.search(base, &state, |jobs| {
+                jobs.into_iter()
+                    .map(|(p, d)| {
+                        let outcome = self.sweep_configs(&p, binding, evaluator, &state);
+                        (p, d, outcome)
+                    })
+                    .collect()
+            })
+        } else {
+            // Persistent worker pool: spawned once for the whole
+            // search (not per BFS level), fed contiguous chunks of
+            // each level through an MPMC job queue (one message per
+            // worker per level, not one per schedule), idle-blocking
+            // between levels.
+            type Chunk = Vec<(Program, Vec<String>)>;
+            type DoneChunk = Vec<(Program, Vec<String>, SweepOutcome)>;
+            // A chunk result is Err if the evaluator panicked while
+            // sweeping it; the driver re-raises on its own thread. The
+            // catch keeps the protocol alive — without it the dead
+            // worker's chunk never arrives and the driver would block
+            // on the result channel forever.
+            type ChunkResult = Result<DoneChunk, String>;
+            crossbeam::thread::scope(|s| {
+                // The channels are owned by this closure so that a
+                // panicking driver drops `job_tx` during unwind, the
+                // idle workers see the closed queue and exit, and the
+                // scope's join completes instead of deadlocking.
+                let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, Chunk)>();
+                let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, ChunkResult)>();
+                let state_ref = &state;
+                for _ in 0..workers {
+                    let job_rx = job_rx.clone();
+                    let res_tx = res_tx.clone();
+                    s.spawn(move |_| {
+                        while let Ok((start, chunk)) = job_rx.recv() {
+                            let done = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                || -> DoneChunk {
+                                    chunk
+                                        .into_iter()
+                                        .map(|(p, d)| {
+                                            let outcome = self
+                                                .sweep_configs(&p, binding, evaluator, state_ref);
+                                            (p, d, outcome)
+                                        })
+                                        .collect()
+                                },
+                            ))
+                            .map_err(|payload| {
+                                payload
+                                    .downcast_ref::<&str>()
+                                    .map(|m| (*m).to_string())
+                                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "non-string panic payload".to_string())
+                            });
+                            let _ = res_tx.send((start, done));
+                        }
+                    });
+                }
+                drop(job_rx);
+                drop(res_tx);
+                let out = self.search(base, &state, |jobs| {
+                    let chunk_size = jobs.len().div_ceil(workers).max(1);
+                    let mut iter = jobs.into_iter();
+                    let mut sent = 0usize;
+                    let mut start = 0usize;
+                    loop {
+                        let chunk: Chunk = iter.by_ref().take(chunk_size).collect();
+                        if chunk.is_empty() {
+                            break;
+                        }
+                        let len = chunk.len();
+                        job_tx.send((start, chunk)).expect("workers alive");
+                        start += len;
+                        sent += 1;
+                    }
+                    let mut done: Vec<(usize, DoneChunk)> = (0..sent)
+                        .map(|_| {
+                            let (start, result) = res_rx.recv().expect("worker result");
+                            match result {
+                                Ok(chunk) => (start, chunk),
+                                Err(message) => {
+                                    panic!("autotuner worker panicked: {message}")
+                                }
+                            }
+                        })
+                        .collect();
+                    done.sort_by_key(|&(start, _)| start);
+                    done.into_iter().flat_map(|(_, chunk)| chunk).collect()
+                });
+                drop(job_tx); // close the queue; scope joins the workers
+                out
+            })
+            .expect("autotuner worker scope")
+        };
+
+        let mut candidates = candidates;
+        candidates.sort_by(|a, b| a.1.time.total_cmp(&b.1.time).then(a.0.cmp(&b.0)));
+
+        Ok(TuneReport {
+            candidates: candidates.into_iter().map(|(_, c)| c).collect(),
+            schedules_explored,
+            configs_evaluated: state.configs_evaluated.load(Ordering::Relaxed),
+            configs_pruned: state.configs_pruned.load(Ordering::Relaxed),
+            branches_pruned,
+            memo_hits: state.memo_hits.load(Ordering::Relaxed),
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// The BFS driver: explores level by level through `eval_level`
+    /// (which owns how sweeps are executed — inline or on the pool and
+    /// must preserve order), expanding surviving schedules on the
+    /// calling thread. Each candidate carries its discovery sequence
+    /// number so that ties sort identically regardless of worker count
+    /// or pruning.
+    fn search(
+        &self,
+        base: Program,
+        state: &SearchState,
+        mut eval_level: impl FnMut(
+            Vec<(Program, Vec<String>)>,
+        ) -> Vec<(Program, Vec<String>, SweepOutcome)>,
+    ) -> (Vec<(usize, Candidate)>, usize, usize) {
+        let mut seen: HashSet<u64> = HashSet::new();
+        seen.insert(structural_hash(&base));
+        let mut frontier: Vec<(Program, Vec<String>)> = vec![(base, Vec::new())];
+        let mut candidates: Vec<(usize, Candidate)> = Vec::new();
+        let mut schedules_explored = 0usize;
+        let mut branches_pruned = 0usize;
+        let mut depth = 0usize;
+
+        while !frontier.is_empty() {
+            let evaluated = eval_level(std::mem::take(&mut frontier));
+            for (i, (p, schedule, outcome)) in evaluated.iter().enumerate() {
+                if let Some((config, time)) = outcome.best {
+                    candidates.push((
+                        schedules_explored + i,
+                        Candidate {
+                            schedule: schedule.clone(),
+                            program: p.clone(),
+                            config,
+                            time,
+                        },
+                    ));
+                }
+            }
+            schedules_explored += evaluated.len();
+
+            if depth > self.max_depth {
+                break;
+            }
+            let incumbent = state.incumbent();
+            for (p, desc, outcome) in evaluated {
+                if self.prune && outcome.floor > incumbent {
+                    branches_pruned += 1;
+                    continue;
+                }
                 for mv in find_moves(&p, self.slice_state) {
                     let mut q = p.clone();
                     let label = mv.describe(&q);
                     if mv.apply(&mut q).is_err() {
                         continue;
                     }
-                    let key = canonical(&q);
-                    if seen.insert(key) {
+                    if seen.insert(structural_hash(&q)) {
                         let mut d = desc.clone();
                         d.push(label);
-                        next.push((q, d));
+                        frontier.push((q, d));
                     }
                 }
-                explored.push((p, desc));
             }
-            frontier = next;
             depth += 1;
         }
-        explored.extend(frontier);
+        (candidates, schedules_explored, branches_pruned)
+    }
 
-        // Evaluate every schedule under every configuration.
-        let mut candidates = Vec::new();
-        let mut configs_evaluated = 0usize;
-        for (p, schedule) in &explored {
-            let mut best: Option<(CommConfig, f64)> = None;
-            for &protocol in &self.protocols {
-                for &channels in &self.channels {
-                    let config = CommConfig { protocol, channels };
-                    let Ok(plan) = lower(p, binding, config) else {
-                        continue;
-                    };
-                    let t = evaluator.evaluate(&plan);
-                    configs_evaluated += 1;
-                    if best.is_none_or(|(_, bt)| t < bt) {
-                        best = Some((config, t));
-                    }
+    /// Disables beam pruning (and keeps everything else), so every
+    /// schedule is costed under every configuration — the reference
+    /// mode the pruned search is tested against.
+    pub fn exhaustive(mut self) -> Autotuner {
+        self.prune = false;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = one per available core,
+    /// `1` = fully serial).
+    pub fn with_workers(mut self, workers: usize) -> Autotuner {
+        self.workers = workers;
+        self
+    }
+
+    fn worker_count(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+
+    /// Sweeps every protocol/channel configuration of one schedule.
+    ///
+    /// Lowering is configuration-independent (the configuration rides
+    /// in [`ExecPlan::config`]; the steps never depend on it), so the
+    /// schedule is lowered once and re-tagged per configuration — the
+    /// dominant fixed cost of the old per-config lowering loop.
+    fn sweep_configs(
+        &self,
+        p: &Program,
+        binding: &Binding,
+        evaluator: &dyn PlanEvaluator,
+        state: &SearchState,
+    ) -> SweepOutcome {
+        let configs: Vec<CommConfig> = self
+            .protocols
+            .iter()
+            .flat_map(|&protocol| {
+                self.channels
+                    .iter()
+                    .map(move |&channels| CommConfig { protocol, channels })
+            })
+            .collect();
+        let Some(&first) = configs.first() else {
+            return SweepOutcome {
+                best: None,
+                floor: 0.0,
+            };
+        };
+        let Ok(mut plan) = lower(p, binding, first) else {
+            return SweepOutcome {
+                best: None,
+                floor: 0.0,
+            };
+        };
+        let steps_key = steps_hash(&plan);
+        // Both bound vectors in one evaluator pass; when pruning is
+        // off, neither is needed.
+        let (tight, descendant) = if self.prune {
+            evaluator.lower_bound_sweep(&plan, &configs)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
+        let mut best: Option<(CommConfig, f64)> = None;
+        let mut floor = if self.prune { f64::INFINITY } else { 0.0 };
+        for (i, &config) in configs.iter().enumerate() {
+            plan.config = config;
+            if self.prune {
+                floor = floor.min(descendant[i]);
+                if tight[i] > state.incumbent() {
+                    state.configs_pruned.fetch_add(1, Ordering::Relaxed);
+                    continue;
                 }
             }
-            if let Some((config, time)) = best {
-                candidates.push(Candidate {
-                    schedule: schedule.clone(),
-                    program: p.clone(),
-                    config,
-                    time,
-                });
+            let key = {
+                let mut h = DefaultHasher::new();
+                steps_key.hash(&mut h);
+                config.hash(&mut h);
+                h.finish()
+            };
+            let memoized = state.memo.lock().expect("memo lock").get(&key).copied();
+            let t = match memoized {
+                Some(t) => {
+                    state.memo_hits.fetch_add(1, Ordering::Relaxed);
+                    t
+                }
+                None => {
+                    let t = evaluator.evaluate(&plan);
+                    state.memo.lock().expect("memo lock").insert(key, t);
+                    t
+                }
+            };
+            state.configs_evaluated.fetch_add(1, Ordering::Relaxed);
+            state.incumbent.fetch_min(t.to_bits(), Ordering::Relaxed);
+            if best.is_none_or(|(_, bt)| t < bt) {
+                best = Some((config, t));
             }
         }
-        candidates.sort_by(|a, b| a.time.total_cmp(&b.time));
-
-        Ok(TuneReport {
-            schedules_explored: explored.len(),
-            configs_evaluated,
-            elapsed: start.elapsed(),
-            candidates,
-        })
+        SweepOutcome {
+            best,
+            floor: if floor.is_finite() { floor } else { 0.0 },
+        }
     }
 }
 
-fn canonical(p: &Program) -> String {
-    format!(
-        "{}|{:?}|{:?}",
-        p.to_dsl_string(),
-        p.fusion_groups(),
-        p.overlap_groups()
-    )
+/// A structural hash of a program: node kinds, scalar payloads, types,
+/// and group structure over topologically renumbered variables. Two
+/// schedules that differ only in variable numbering or display names
+/// (isomorphic programs) hash identically, which is what dedupes
+/// transformation sequences that commute into the same program.
+pub fn structural_hash(p: &Program) -> u64 {
+    let mut h = DefaultHasher::new();
+    let order = p.topo_order();
+    let rank: HashMap<VarId, usize> = order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let r = |v: VarId| rank.get(&v).copied().unwrap_or(usize::MAX);
+    for &v in &order {
+        let Ok(op) = p.op(v) else { continue };
+        std::mem::discriminant(op).hash(&mut h);
+        for input in op.inputs() {
+            r(input).hash(&mut h);
+        }
+        // Non-variable payloads, which the discriminant cannot see.
+        match op {
+            OpKind::ConstScalar(c) => c.to_bits().hash(&mut h),
+            OpKind::Unary(u, _) => u.hash(&mut h),
+            OpKind::Binary(b, ..) => b.hash(&mut h),
+            OpKind::Conv2d(_, _, params) => params.hash(&mut h),
+            OpKind::Dropout(_, prob) => prob.to_bits().hash(&mut h),
+            OpKind::ReduceTensor(ro, _)
+            | OpKind::AllReduce(ro, _)
+            | OpKind::ReduceScatter(ro, _) => ro.hash(&mut h),
+            OpKind::Broadcast(_, root) => root.hash(&mut h),
+            OpKind::Reduce(ro, _, root) => {
+                ro.hash(&mut h);
+                root.hash(&mut h);
+            }
+            OpKind::Send(_, peer) => peer.hash(&mut h),
+            _ => {}
+        }
+        if let Ok(t) = p.ty(v) {
+            t.hash(&mut h);
+        }
+    }
+    for &v in p.inputs() {
+        r(v).hash(&mut h);
+    }
+    for &v in p.outputs() {
+        r(v).hash(&mut h);
+    }
+    for g in p.fusion_groups() {
+        g.kind.hash(&mut h);
+        let mut members: Vec<usize> = g.members.iter().map(|&v| r(v)).collect();
+        members.sort_unstable();
+        members.hash(&mut h);
+    }
+    for g in p.overlap_groups() {
+        // Stage order matters for overlap, so no sorting here.
+        let members: Vec<usize> = g.members.iter().map(|&v| r(v)).collect();
+        members.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// A structural hash of a lowered plan's steps (the configuration is
+/// hashed in separately per sweep iteration), keying the evaluation
+/// memo: schedules that lower to the same executable steps are costed
+/// once per configuration.
+fn steps_hash(plan: &ExecPlan) -> u64 {
+    let mut h = DefaultHasher::new();
+    format!("{:?}", plan.steps).hash(&mut h);
+    h.finish()
 }
 
 /// Fuses every maximal chain of connected pointwise computations into a
@@ -659,7 +1062,7 @@ mod tests {
             report.schedules_explored
         );
         assert!(report.configs_evaluated > report.schedules_explored);
-        let best = report.best();
+        let best = report.best().unwrap();
         // The best schedule must contain an overlap (the paper's
         // winning ol(MM, fuse(RS-C-AG)) schedule).
         assert!(
@@ -741,5 +1144,133 @@ mod tests {
         for w in report.candidates.windows(2) {
             assert!(w[0].time <= w[1].time);
         }
+    }
+
+    #[test]
+    fn empty_report_best_is_an_error() {
+        let report = TuneReport {
+            candidates: Vec::new(),
+            schedules_explored: 0,
+            configs_evaluated: 0,
+            configs_pruned: 0,
+            branches_pruned: 0,
+            memo_hits: 0,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(report.best().unwrap_err(), CoreError::NoViableSchedule);
+    }
+
+    #[test]
+    fn structural_hash_ignores_names_but_not_structure() {
+        let a = self_attention();
+        let mut renamed = a.clone();
+        let v = renamed.topo_order()[0];
+        renamed.set_name(v, "completely-different").unwrap();
+        assert_eq!(structural_hash(&a), structural_hash(&renamed));
+
+        let mut extended = a.clone();
+        let out = *extended.outputs().last().unwrap();
+        extended.relu(out).unwrap();
+        assert_ne!(structural_hash(&a), structural_hash(&extended));
+    }
+
+    /// An evaluator with a genuine (admissible) lower bound: the toy
+    /// cost minus every launch/latency term it could ever shed.
+    struct BoundedToy;
+
+    impl PlanEvaluator for BoundedToy {
+        fn evaluate(&self, plan: &ExecPlan) -> f64 {
+            toy_evaluator(plan)
+        }
+
+        fn lower_bound(&self, plan: &ExecPlan) -> f64 {
+            self.descendant_lower_bound(plan)
+        }
+
+        fn descendant_lower_bound(&self, plan: &ExecPlan) -> f64 {
+            // Half the largest single communication payload at full
+            // bandwidth: no descendant schedule can beat it, because
+            // every transformation preserves at least the
+            // ReduceScatter-volume wire traffic of the largest
+            // collective.
+            plan.steps
+                .iter()
+                .map(|s| match s {
+                    Step::Collective(c) => c.elems as f64 / 100e9,
+                    Step::FusedCollective(f) => f.elems as f64 / 100e9,
+                    _ => 0.0,
+                })
+                .fold(0.0f64, f64::max)
+        }
+    }
+
+    #[test]
+    fn pruned_parallel_matches_exhaustive_serial() {
+        let p = self_attention();
+        let binding = Binding::new(16)
+            .bind("B", 8)
+            .bind("S", 1024)
+            .bind("H", 3072);
+        let exhaustive = Autotuner::default()
+            .exhaustive()
+            .with_workers(1)
+            .tune(&p, &binding, &BoundedToy)
+            .unwrap();
+        let pruned = Autotuner::default()
+            .with_workers(2)
+            .tune(&p, &binding, &BoundedToy)
+            .unwrap();
+        let e = exhaustive.best().unwrap();
+        let b = pruned.best().unwrap();
+        assert_eq!(e.schedule, b.schedule);
+        assert_eq!(e.config, b.config);
+        assert!((e.time - b.time).abs() < 1e-15);
+        assert!(pruned.configs_evaluated <= exhaustive.configs_evaluated);
+        assert_eq!(exhaustive.configs_pruned, 0);
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_hanging() {
+        // A panicking evaluator on the worker pool must fail the tune
+        // call (on the calling thread), not deadlock the result
+        // channel. Run with a watchdog so a regression fails fast
+        // instead of hanging the suite.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let p = self_attention();
+            let binding = Binding::new(16)
+                .bind("B", 8)
+                .bind("S", 1024)
+                .bind("H", 3072);
+            let bomb = |_: &ExecPlan| -> f64 { panic!("evaluator exploded") };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Autotuner::default()
+                    .with_workers(2)
+                    .tune(&p, &binding, &bomb)
+            }));
+            let _ = tx.send(result.is_err());
+        });
+        let panicked = rx
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .expect("tune() must finish (panic), not hang");
+        assert!(panicked, "the evaluator panic must propagate");
+    }
+
+    #[test]
+    fn memo_and_counts_are_consistent() {
+        let p = self_attention();
+        let binding = Binding::new(16)
+            .bind("B", 8)
+            .bind("S", 1024)
+            .bind("H", 3072);
+        let report = Autotuner::default()
+            .exhaustive()
+            .tune(&p, &binding, &toy_evaluator)
+            .unwrap();
+        // Every counted lookup is either fresh or memoized; pruning is
+        // off so nothing was skipped.
+        assert!(report.memo_hits <= report.configs_evaluated);
+        assert_eq!(report.configs_pruned, 0);
+        assert_eq!(report.branches_pruned, 0);
     }
 }

@@ -64,6 +64,9 @@ pub enum CoreError {
         /// Number of parts required.
         parts: u64,
     },
+    /// The autotuner finished without a single viable candidate (no
+    /// explored schedule lowered under any configuration).
+    NoViableSchedule,
     /// An underlying tensor operation failed (e.g. while folding
     /// constants or materializing a concrete shape).
     Tensor(TensorError),
@@ -95,6 +98,9 @@ impl fmt::Display for CoreError {
                     f,
                     "{what} of size {total} does not divide into {parts} parts"
                 )
+            }
+            CoreError::NoViableSchedule => {
+                write!(f, "autotuner explored no viable schedule")
             }
             CoreError::Tensor(e) => write!(f, "{e}"),
         }
@@ -150,6 +156,7 @@ mod tests {
                 total: 10,
                 parts: 3,
             },
+            CoreError::NoViableSchedule,
             CoreError::from(TensorError::ConcatMismatch),
         ];
         for e in errors {

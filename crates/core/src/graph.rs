@@ -50,7 +50,7 @@ impl Node {
 }
 
 /// What a fusion group lowers to (§3.3).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FuseKind {
     /// A single kernel performing a series of pointwise computations
     /// ("Computation Fuse").

@@ -19,7 +19,7 @@ pub mod xform;
 
 pub use coconet_tensor::{Conv2dParams, DType, ReduceOp};
 
-pub use autotune::{Autotuner, Candidate, PlanEvaluator, TuneReport};
+pub use autotune::{structural_hash, Autotuner, Candidate, PlanEvaluator, TuneReport};
 pub use codegen::{braces_balanced, generate_cuda, GeneratedCode};
 pub use dim::{Binding, Dim, SymShape};
 pub use error::CoreError;

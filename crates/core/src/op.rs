@@ -28,7 +28,7 @@ impl fmt::Display for VarId {
 }
 
 /// Unary pointwise operations.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum UnaryOp {
     /// Elementwise square root (`Sqrt` in Table 1).
     Sqrt,
@@ -63,7 +63,7 @@ impl UnaryOp {
 }
 
 /// Binary pointwise operations.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BinaryOp {
     /// Elementwise addition.
     Add,

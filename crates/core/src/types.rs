@@ -10,7 +10,7 @@ use crate::{Binding, CoreError, Layout, SymShape};
 /// shape, distributed layout, and which process group it lives on
 /// (expressed as a shift from the defining group — a `Send` moves a
 /// value one group downstream).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct TensorType {
     /// Element type.
     pub dtype: DType,

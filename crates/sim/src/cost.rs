@@ -131,6 +131,76 @@ impl CostModel {
         self.launch() + t_compute.max(t_mem)
     }
 
+    /// Ring steps a collective performs over a `k`-rank group.
+    fn ring_steps(kind: CollKind, k: f64) -> f64 {
+        match kind {
+            CollKind::AllReduce => 2.0 * (k - 1.0),
+            CollKind::ReduceScatter
+            | CollKind::AllGather
+            | CollKind::Broadcast
+            | CollKind::Reduce => k - 1.0,
+        }
+    }
+
+    /// Effective aggregate ring bandwidth under a configuration: each
+    /// channel gets a slice of the GPU's NVLink bandwidth; rings that
+    /// span nodes are bottlenecked by their channel's NIC share.
+    pub fn ring_bandwidth(&self, group: GroupGeom, config: CommConfig) -> f64 {
+        let proto = protocol::params(config.protocol);
+        let ch = config.channels.max(1) as f64;
+        let ic = &self.machine.interconnect;
+        let intra = ic.nvlink_bw_per_gpu / ch;
+        let edge_bw = if group.nodes_spanned > 1 {
+            let inter = ic.ib_bw_per_nic().min(ic.ib_bw_per_node / ch);
+            intra.min(inter)
+        } else {
+            intra
+        };
+        ch * edge_bw * proto.bw_factor * self.knobs.fabric_efficiency
+    }
+
+    /// The configuration-independent numerator of
+    /// [`collective_bandwidth_floor`]: the bytes one rank pushes
+    /// through its ring edge (`ring_steps · payload / k`). Dividing by
+    /// [`ring_bandwidth`] gives the floor, which is what lets the
+    /// autotuner bound a whole configuration sweep from one pass over
+    /// the steps.
+    ///
+    /// [`collective_bandwidth_floor`]: CostModel::collective_bandwidth_floor
+    /// [`ring_bandwidth`]: CostModel::ring_bandwidth
+    pub fn collective_wire_bytes(
+        &self,
+        kind: CollKind,
+        elems: u64,
+        dtype: DType,
+        group: GroupGeom,
+    ) -> f64 {
+        let k = group.size as f64;
+        if group.size <= 1 {
+            return 0.0;
+        }
+        let bytes = (elems * dtype.size_bytes() as u64) as f64;
+        Self::ring_steps(kind, k) * bytes / k
+    }
+
+    /// The wire-transfer term of [`collective_time`] alone — no
+    /// launch, base-latency, per-hop latency, or sync terms. This is
+    /// the irreducible cost a schedule transformation cannot remove,
+    /// which makes it the building block of the autotuner's
+    /// beam-pruning lower bound.
+    ///
+    /// [`collective_time`]: CostModel::collective_time
+    pub fn collective_bandwidth_floor(
+        &self,
+        kind: CollKind,
+        elems: u64,
+        dtype: DType,
+        group: GroupGeom,
+        config: CommConfig,
+    ) -> f64 {
+        self.collective_wire_bytes(kind, elems, dtype, group) / self.ring_bandwidth(group, config)
+    }
+
     /// Ring-algorithm time for a collective over `group`.
     pub fn collective_time(
         &self,
@@ -145,29 +215,8 @@ impl CostModel {
             return self.launch();
         }
         let proto = protocol::params(config.protocol);
-        let bytes = (elems * dtype.size_bytes() as u64) as f64;
-        let steps = match kind {
-            CollKind::AllReduce => 2.0 * (k - 1.0),
-            CollKind::ReduceScatter
-            | CollKind::AllGather
-            | CollKind::Broadcast
-            | CollKind::Reduce => k - 1.0,
-        };
-
-        // Effective per-edge bandwidth: each channel gets a slice of the
-        // GPU's NVLink bandwidth; rings that span nodes are bottlenecked
-        // by their channel's NIC share.
-        let ch = config.channels.max(1) as f64;
-        let ic = &self.machine.interconnect;
-        let intra = ic.nvlink_bw_per_gpu / ch;
-        let edge_bw = if group.nodes_spanned > 1 {
-            let inter = ic.ib_bw_per_nic().min(ic.ib_bw_per_node / ch);
-            intra.min(inter)
-        } else {
-            intra
-        };
-        let bw = ch * edge_bw * proto.bw_factor * self.knobs.fabric_efficiency;
-        let t_bw = steps * bytes / (k * bw);
+        let steps = Self::ring_steps(kind, k);
+        let t_bw = self.collective_bandwidth_floor(kind, elems, dtype, group, config);
 
         // Latency: per-step hop latency, averaged over the ring's
         // intra- and inter-node edges.
@@ -203,14 +252,7 @@ impl CostModel {
         let proto = protocol::params(config.protocol);
         let bytes = (elems * dtype.size_bytes() as u64) as f64;
         let rounds = 2.0 * k.log2().ceil();
-        let ic = &self.machine.interconnect;
-        let ch = config.channels.max(1) as f64;
-        let edge_bw = if group.nodes_spanned > 1 {
-            (ic.nvlink_bw_per_gpu / ch).min(ic.ib_bw_per_nic().min(ic.ib_bw_per_node / ch))
-        } else {
-            ic.nvlink_bw_per_gpu / ch
-        };
-        let bw = ch * edge_bw * proto.bw_factor * self.knobs.fabric_efficiency;
+        let bw = self.ring_bandwidth(group, config);
         // Every round ships the full payload over one link pair.
         let t_bw = rounds * bytes / bw;
         // Latency: half the rounds cross nodes in the worst case.

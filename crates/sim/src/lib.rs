@@ -43,4 +43,4 @@ pub use cost::{CostKnobs, CostModel, GroupGeom};
 pub use event::{ResourceId, TaskGraph, TaskId, Timeline};
 pub use overlap::{simulate_overlap, simulate_overlap_with_tiles, tile_count, OverlapSim};
 pub use protocol::{channel_sweep, default_protocol, params as protocol_params, ProtocolParams};
-pub use simulator::{PlanTime, Simulator, StepCategory, StepTime};
+pub use simulator::{FloorProfile, PlanTime, Simulator, StepCategory, StepTime};

@@ -1,7 +1,7 @@
 //! End-to-end plan timing: the machine-level evaluator the autotuner
 //! and benchmarks use.
 
-use coconet_core::{CommConfig, ExecPlan, Step};
+use coconet_core::{CollKind, CommConfig, ExecPlan, OverlapStage, PlanEvaluator, Step};
 use coconet_topology::{Cluster, MachineSpec};
 
 use crate::overlap::simulate_overlap;
@@ -191,6 +191,169 @@ impl Simulator {
             steps,
         }
     }
+
+    /// The configuration-independent coefficients of both autotuner
+    /// lower bounds, from one pass over the plan's steps. Under a
+    /// configuration `c` with effective ring bandwidth `bw(c)`:
+    ///
+    /// - tight per-plan floor = `fixed_s + wire_bytes / bw(c)`
+    /// - descendant floor = `descendant_wire_bytes / bw(c)`
+    pub fn floor_profile(&self, plan: &ExecPlan) -> FloorProfile {
+        let geom = self.group_geom();
+        let launch = self.cost_model().machine().gpu.launch_overhead;
+        // Per-rank ring-edge bytes of a step, at the step's own volume.
+        let wire = |kind: CollKind, elems: u64, dtype| {
+            self.cost.collective_wire_bytes(kind, elems, dtype, geom)
+        };
+        // What of that volume survives every further transformation:
+        // an AllReduce may split (and an overlapped pipeline is
+        // bounded only by its largest stage), so it keeps only its
+        // ReduceScatter half; an AllGather can be eliminated entirely
+        // (`asSlice` + `dead`) and a send can shrink by the group size
+        // once slicing applies, so both keep nothing.
+        let durable_wire = |kind: CollKind, elems: u64, dtype| match kind {
+            CollKind::AllReduce => wire(CollKind::ReduceScatter, elems, dtype),
+            CollKind::AllGather => 0.0,
+            k => wire(k, elems, dtype),
+        };
+        let mut profile = FloorProfile {
+            fixed_s: 0.0,
+            wire_bytes: 0.0,
+            descendant_wire_bytes: 0.0,
+        };
+        for step in &plan.steps {
+            let (fixed, wire_bytes, durable) = match step {
+                Step::Collective(c) => (
+                    launch,
+                    wire(c.kind, c.elems, c.dtype),
+                    durable_wire(c.kind, c.elems, c.dtype),
+                ),
+                Step::FusedCollective(f) => (
+                    launch,
+                    wire(CollKind::AllReduce, f.elems, f.dtype),
+                    durable_wire(CollKind::AllReduce, f.elems, f.dtype),
+                ),
+                // The pipeline can hide everything but its largest
+                // communication stage (launch amortization inside the
+                // pipeline is the overlap engine's business, so no
+                // launch term here).
+                Step::Overlapped(ol) => {
+                    let stage_wire = |st: &coconet_core::OverlapStage, durable: bool| match st {
+                        OverlapStage::Collective(c) => {
+                            if durable {
+                                durable_wire(c.kind, c.elems, c.dtype)
+                            } else {
+                                wire(c.kind, c.elems, c.dtype)
+                            }
+                        }
+                        OverlapStage::FusedCollective(f) => {
+                            if durable {
+                                durable_wire(CollKind::AllReduce, f.elems, f.dtype)
+                            } else {
+                                wire(CollKind::AllReduce, f.elems, f.dtype)
+                            }
+                        }
+                        OverlapStage::MatMul(_) | OverlapStage::SendRecv(_) => 0.0,
+                    };
+                    (
+                        0.0,
+                        ol.stages
+                            .iter()
+                            .map(|st| stage_wire(st, false))
+                            .fold(0.0f64, f64::max),
+                        ol.stages
+                            .iter()
+                            .map(|st| stage_wire(st, true))
+                            .fold(0.0f64, f64::max),
+                    )
+                }
+                // Every kernel/GEMM/P2P cost path starts at the launch
+                // overhead; fixed steps cost exactly what they say.
+                Step::Kernel(_) | Step::MatMul(_) | Step::SendRecv(_) => (launch, 0.0, 0.0),
+                Step::Fixed(f) => (f.seconds, 0.0, 0.0),
+            };
+            profile.fixed_s += fixed;
+            profile.wire_bytes += wire_bytes;
+            profile.descendant_wire_bytes = profile.descendant_wire_bytes.max(durable);
+        }
+        profile
+    }
+
+    /// A tight optimistic lower bound on
+    /// [`time_plan`](Simulator::time_plan) for *this* plan: per step,
+    /// the launch overhead plus the step's own bandwidth-only wire
+    /// time, summed — every term [`time_plan`] also pays, with all
+    /// latency, sync, efficiency-curve, and register-pressure terms
+    /// dropped. The autotuner uses it to skip configurations (e.g. the
+    /// LL protocol on a bandwidth-bound AllReduce) that provably
+    /// cannot beat the incumbent.
+    pub fn plan_time_floor(&self, plan: &ExecPlan) -> f64 {
+        let profile = self.floor_profile(plan);
+        let bw = self.cost.ring_bandwidth(self.group_geom(), plan.config);
+        profile.fixed_s + profile.wire_bytes / bw
+    }
+
+    /// An optimistic lower bound on [`time_plan`](Simulator::time_plan)
+    /// that also under-estimates every schedule derivable from the
+    /// plan's program by further transformations — the admissibility
+    /// the autotuner's branch pruning relies on. The bound is the
+    /// largest irreducible wire transfer in the plan (see
+    /// [`floor_profile`](Simulator::floor_profile) for what counts as
+    /// irreducible).
+    pub fn plan_lower_bound(&self, plan: &ExecPlan) -> f64 {
+        let profile = self.floor_profile(plan);
+        let bw = self.cost.ring_bandwidth(self.group_geom(), plan.config);
+        profile.descendant_wire_bytes / bw
+    }
+}
+
+/// Configuration-independent lower-bound coefficients of one plan —
+/// see [`Simulator::floor_profile`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FloorProfile {
+    /// Launch/fixed seconds every configuration pays.
+    pub fixed_s: f64,
+    /// Summed per-rank ring-edge bytes of the plan's communication.
+    pub wire_bytes: f64,
+    /// The largest per-rank ring-edge byte count that survives every
+    /// further transformation.
+    pub descendant_wire_bytes: f64,
+}
+
+/// The machine simulator *is* the autotuner's evaluator: estimated
+/// plan time as the cost, the per-plan time floor for configuration
+/// pruning, and the irreducible-communication floor for branch
+/// pruning.
+impl PlanEvaluator for Simulator {
+    fn evaluate(&self, plan: &ExecPlan) -> f64 {
+        self.time_plan(plan).total
+    }
+
+    fn lower_bound(&self, plan: &ExecPlan) -> f64 {
+        self.plan_time_floor(plan)
+    }
+
+    fn descendant_lower_bound(&self, plan: &ExecPlan) -> f64 {
+        self.plan_lower_bound(plan)
+    }
+
+    fn lower_bound_sweep(&self, plan: &ExecPlan, configs: &[CommConfig]) -> (Vec<f64>, Vec<f64>) {
+        // One pass over the steps, one division per configuration —
+        // this is what keeps pruning cheaper than the evaluations it
+        // saves.
+        let profile = self.floor_profile(plan);
+        let geom = self.group_geom();
+        configs
+            .iter()
+            .map(|&config| {
+                let bw = self.cost.ring_bandwidth(geom, config);
+                (
+                    profile.fixed_s + profile.wire_bytes / bw,
+                    profile.descendant_wire_bytes / bw,
+                )
+            })
+            .unzip()
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +427,50 @@ mod tests {
         assert_eq!(t.category_total(StepCategory::Fixed), 25e-6);
         assert!(t.category_total(StepCategory::Compute) > 0.0);
         assert!(t.category_total(StepCategory::Communication) > 0.0);
+    }
+
+    #[test]
+    fn lower_bound_is_admissible_and_positive_for_comm() {
+        let s = simulator();
+        for protocol in coconet_core::Protocol::ALL {
+            for channels in [2usize, 16, 64] {
+                let config = CommConfig { protocol, channels };
+                let plan = ExecPlan {
+                    name: "lb".into(),
+                    steps: vec![
+                        Step::MatMul(coconet_core::MatMulStep {
+                            label: "mm".into(),
+                            m: 4096,
+                            k: 1024,
+                            n: 4096,
+                            dtype: DType::F16,
+                        }),
+                        Step::Collective(CollectiveStep {
+                            label: "ar".into(),
+                            kind: CollKind::AllReduce,
+                            elems: 1 << 26,
+                            dtype: DType::F16,
+                            scattered: None,
+                        }),
+                    ],
+                    config,
+                };
+                let descendant = s.plan_lower_bound(&plan);
+                let tight = s.plan_time_floor(&plan);
+                let t = s.time_plan(&plan).total;
+                assert!(descendant > 0.0, "comm plans have a positive floor");
+                assert!(
+                    descendant <= tight,
+                    "descendant bound {descendant} must be looser than {tight}"
+                );
+                assert!(tight <= t, "floor {tight} must not exceed actual {t}");
+                // And the evaluator trait agrees with the inherent API.
+                use coconet_core::PlanEvaluator as _;
+                assert_eq!(s.evaluate(&plan), t);
+                assert_eq!(s.lower_bound(&plan), tight);
+                assert_eq!(s.descendant_lower_bound(&plan), descendant);
+            }
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for c in report.candidates.iter().take(4) {
         println!("  {:>9.3} ms  [{}]  {}", c.time * 1e3, c.config, c.label());
     }
-    let best = report.best();
+    let best = report.best()?;
     println!("winner: {}\n", best.label());
 
     // ---- 3. Verify the winning schedule on the runtime (4 ranks) -------

@@ -85,7 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "autotuner: {} schedules, {} configs, {:.2?}",
         report.schedules_explored, report.configs_evaluated, report.elapsed
     );
-    let best = report.best();
+    let best = report.best()?;
     let baseline = report
         .candidates
         .iter()

@@ -1,0 +1,123 @@
+//! Property: the parallel pruned autotuner and the serial exhaustive
+//! reference pick the *same* winning schedule and configuration for
+//! randomly generated pointwise+collective programs — pruning and
+//! parallelism are pure work-savers, never quality trades.
+
+use coconet::core::{Autotuner, Binding, DType, Layout, Program, ReduceOp, VarId};
+use coconet::sim::Simulator;
+use coconet::topology::MachineSpec;
+use proptest::prelude::*;
+
+/// One random pointwise epilogue op applied after the collective.
+#[derive(Clone, Debug)]
+enum EpilogueOp {
+    AddBias,
+    AddResidual,
+    MulResidual,
+    Dropout(u8),
+    Relu,
+    Tanh,
+    Scale(i8),
+}
+
+fn arb_epilogue() -> impl Strategy<Value = Vec<EpilogueOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(EpilogueOp::AddBias),
+            Just(EpilogueOp::AddResidual),
+            Just(EpilogueOp::MulResidual),
+            (1u8..9).prop_map(EpilogueOp::Dropout),
+            Just(EpilogueOp::Relu),
+            Just(EpilogueOp::Tanh),
+            (-3i8..4).prop_map(EpilogueOp::Scale),
+        ],
+        1..5,
+    )
+}
+
+/// Builds `out = epilogue(AllReduce(...))`, optionally with a sliced
+/// MatMul producing the reduction input (which opens the `overlap`
+/// move space as well).
+fn build_program(ops: &[EpilogueOp], with_matmul: bool) -> Program {
+    let mut p = Program::new("generated");
+    let reduced = if with_matmul {
+        let input = p.input("in", DType::F16, ["R", "C"], Layout::sliced(1));
+        let w = p.input("w", DType::F16, ["C", "C"], Layout::sliced(0));
+        let mm = p.matmul(input, w).unwrap();
+        p.all_reduce(ReduceOp::Sum, mm).unwrap()
+    } else {
+        let g = p.input("g", DType::F16, ["R", "C"], Layout::Local);
+        p.all_reduce(ReduceOp::Sum, g).unwrap()
+    };
+    let bias = p.input("bias", DType::F16, ["C"], Layout::Replicated);
+    let res = p.input("res", DType::F16, ["R", "C"], Layout::Replicated);
+    let mut cur = reduced;
+    for op in ops {
+        cur = match op {
+            EpilogueOp::AddBias => p.add(cur, bias).unwrap(),
+            EpilogueOp::AddResidual => p.add(cur, res).unwrap(),
+            EpilogueOp::MulResidual => p.mul(cur, res).unwrap(),
+            EpilogueOp::Dropout(tenths) => p.dropout(cur, f64::from(*tenths) / 10.0).unwrap(),
+            EpilogueOp::Relu => p.relu(cur).unwrap(),
+            EpilogueOp::Tanh => p.tanh(cur).unwrap(),
+            EpilogueOp::Scale(s) => {
+                let c = p.constant(f64::from(*s) / 2.0);
+                p.mul(cur, c).unwrap()
+            }
+        };
+    }
+    let inputs: Vec<VarId> = p.inputs().to_vec();
+    p.set_io(&inputs, &[cur]).unwrap();
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The pruned search on two workers returns the exhaustive serial
+    /// winner while provably doing no more work.
+    #[test]
+    fn pruned_parallel_matches_exhaustive_serial(
+        ops in arb_epilogue(),
+        with_matmul in any::<bool>(),
+        log_r in 6u32..12,
+        log_c in 8u32..12,
+    ) {
+        let program = build_program(&ops, with_matmul);
+        let binding = Binding::new(16)
+            .bind("R", 1u64 << log_r)
+            .bind("C", 1u64 << log_c);
+        let sim = Simulator::new(MachineSpec::dgx2_cluster(1), 16, 1);
+
+        let exhaustive = Autotuner::default()
+            .exhaustive()
+            .with_workers(1)
+            .tune(&program, &binding, &sim)
+            .expect("exhaustive tunes");
+        let pruned = Autotuner::default()
+            .with_workers(2)
+            .tune(&program, &binding, &sim)
+            .expect("pruned tunes");
+
+        let e = exhaustive.best().expect("exhaustive winner");
+        let p = pruned.best().expect("pruned winner");
+        prop_assert_eq!(
+            &e.schedule, &p.schedule,
+            "winning schedule diverged for ops {:?} (matmul: {})", ops, with_matmul
+        );
+        prop_assert_eq!(e.config, p.config);
+        prop_assert!(
+            (e.time - p.time).abs() <= 1e-15 * e.time.max(1.0),
+            "winning times diverged: {} vs {}", e.time, p.time
+        );
+        // Pruning never does more work, and the exhaustive reference
+        // never skips any.
+        prop_assert!(pruned.configs_evaluated <= exhaustive.configs_evaluated);
+        prop_assert_eq!(exhaustive.configs_pruned, 0);
+        prop_assert_eq!(exhaustive.branches_pruned, 0);
+        // The pruned search enumerates a subset of the exhaustive
+        // schedule space (a proper subset only when a branch was
+        // provably hopeless).
+        prop_assert!(pruned.schedules_explored <= exhaustive.schedules_explored);
+    }
+}

@@ -27,14 +27,14 @@ fn optimizer_schedule_depends_on_size() {
     let (program, _) = optimizer_program(Optimizer::Adam, Hyper::default()).unwrap();
 
     let large = tune(&program, &Binding::new(256).bind("N", 1 << 28), &sim);
-    let best_large = large.best().label();
+    let best_large = large.best().unwrap().label();
     assert!(
         best_large.contains("AllReduceFuse"),
         "large tensors want the fused schedule, got: {best_large}"
     );
 
     let small = tune(&program, &Binding::new(256).bind("N", 1 << 12), &sim);
-    let best_small = small.best().label();
+    let best_small = small.best().unwrap().label();
     assert!(
         !best_small.contains("reorder"),
         "small tensors keep the AllReduce schedule, got: {best_small}"
@@ -56,7 +56,7 @@ fn model_parallel_winner_is_overlap() {
         .bind("S", 1024)
         .bind("H", 3072);
     let report = tune(&program, &binding, &sim);
-    let best = report.best().label();
+    let best = report.best().unwrap().label();
     assert!(best.contains("overlap"), "got: {best}");
     assert!(best.contains("AllReduceFuse"), "got: {best}");
 }
@@ -72,7 +72,7 @@ fn pipeline_winner_is_three_stage_overlap() {
         .bind("S", 2048)
         .bind("H", 12288);
     let report = tune(&program, &binding, &sim);
-    let best = report.best();
+    let best = report.best().unwrap();
     assert!(best.label().contains("SendFuse"), "got: {}", best.label());
     assert!(best.label().contains("overlap"), "got: {}", best.label());
     // And it is several times faster than the baseline.
@@ -93,7 +93,7 @@ fn tuned_winner_is_semantics_preserving() {
         block_program(coconet::models::model_parallel::Block::SelfAttention).unwrap();
     let binding = Binding::new(4).bind("B", 2).bind("S", 4).bind("H", 16);
     let report = tune(&program, &binding, &sim);
-    let best = &report.best().program;
+    let best = &report.best().unwrap().program;
 
     let rng = CounterRng::new(64);
     let inputs = Inputs::new()

@@ -1,23 +1,65 @@
-//! Offline stand-in for the `crossbeam` crate: the `channel` subset the
-//! workspace uses, implemented over `std::sync::mpsc`. See
+//! Offline stand-in for the `crossbeam` crate: the `channel` and
+//! `thread` subsets the workspace uses, implemented over
+//! `std::sync::mpsc` and `std::thread::scope`. See
 //! `third_party/README.md`.
 
-/// Multi-producer channels (the `crossbeam-channel` subset in use).
+/// Multi-producer multi-consumer channels (the `crossbeam-channel`
+/// subset in use). Unlike `std::sync::mpsc`, receivers clone — a
+/// shared work queue for a worker pool — so the implementation is a
+/// mutex-guarded queue with a condvar, not a wrapped `mpsc`.
 pub mod channel {
+    use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::mpsc;
+    use std::sync::{Arc, Condvar, Mutex};
 
-    pub use std::sync::mpsc::{RecvError, SendError};
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
 
     /// Sending half of an unbounded channel.
-    pub struct Sender<T>(mpsc::Sender<T>);
+    pub struct Sender<T>(Arc<Shared<T>>);
 
-    /// Receiving half of an unbounded channel.
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    /// Receiving half of an unbounded channel; clones share one queue
+    /// (each value is delivered to exactly one receiver).
+    pub struct Receiver<T>(Arc<Shared<T>>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            self.0.state.lock().expect("channel lock").senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().expect("channel lock").receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.state.lock().expect("channel lock");
+            state.senders -= 1;
+            if state.senders == 0 {
+                // Wake blocked receivers so they observe the hangup.
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.state.lock().expect("channel lock").receivers -= 1;
         }
     }
 
@@ -34,29 +76,58 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Sends a value; fails only if the receiver was dropped.
+        /// Sends a value; fails only if every receiver was dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value)
+            let mut state = self.0.state.lock().expect("channel lock");
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.queue.push_back(value);
+            self.0.ready.notify_one();
+            Ok(())
         }
     }
 
     impl<T> Receiver<T> {
         /// Blocks until a value arrives; fails only if every sender was
-        /// dropped.
+        /// dropped and the queue drained.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv()
+            let mut state = self.0.state.lock().expect("channel lock");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.0.ready.wait(state).expect("channel lock");
+            }
         }
 
         /// Returns a value if one is ready, without blocking.
-        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
-            self.0.try_recv()
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.0.state.lock().expect("channel lock");
+            if let Some(value) = state.queue.pop_front() {
+                Ok(value)
+            } else if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
         }
     }
 
     /// Creates an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
     }
 
     #[cfg(test)]
@@ -72,6 +143,129 @@ pub mod channel {
             assert_eq!(rx.recv().unwrap(), 2);
             drop(tx);
             assert!(rx.recv().is_err());
+        }
+
+        #[test]
+        fn multi_consumer_work_queue() {
+            let (tx, rx) = unbounded();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let sum = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        let rx = rx.clone();
+                        s.spawn(move || {
+                            let mut sum = 0u64;
+                            while let Ok(v) = rx.recv() {
+                                sum += v;
+                            }
+                            sum
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+            });
+            assert_eq!(sum, (0..100).sum::<u64>());
+        }
+
+        #[test]
+        fn send_fails_with_no_receivers() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+    }
+}
+
+/// Scoped threads (the `crossbeam-utils` `thread::scope` subset in
+/// use), implemented over `std::thread::scope`.
+pub mod thread {
+    /// A scope handle passed to [`scope`]'s closure and to every
+    /// spawned thread's closure, mirroring `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread, joinable before the scope ends.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread that may borrow from the enclosing scope.
+        /// The closure receives the scope (crossbeam's signature), so
+        /// workers can spawn further scoped threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, yielding its result (`Err`
+        /// if it panicked).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads; all spawned
+    /// threads are joined before this returns. Unlike real crossbeam —
+    /// which returns `Err` with the panic payloads of unjoined
+    /// panicked children — the `std` scope underneath re-raises such
+    /// panics, so this always returns `Ok` (the matching subset for
+    /// callers that `.unwrap()` the result, as this workspace does).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn borrows_and_joins() {
+            let counter = AtomicUsize::new(0);
+            let counter = &counter;
+            let sum = super::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|i| {
+                        s.spawn(move |_| {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                            i
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .sum::<usize>()
+            })
+            .unwrap();
+            assert_eq!(sum, 6);
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let v = super::scope(|s| {
+                s.spawn(|s2| s2.spawn(|_| 7).join().unwrap())
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(v, 7);
         }
     }
 }
