@@ -49,18 +49,24 @@ fn main() {
     r.print();
 
     let mut r = Report::new(
-        "Ablation: ring vs tree AllReduce (256 GPUs, tuned protocol/channels)",
-        &["elems", "ring", "tree", "winner"],
+        "Ablation: collective algorithm per message size (AllReduce, 256 GPUs, \
+         tuned protocol/channels per algorithm)",
+        &["elems", "ring", "tree", "hierarchical", "winner"],
     );
-    for (e, ring, tree) in experiments::ablation_ring_vs_tree(&[10, 14, 18, 22, 26, 30]) {
+    for (e, times) in experiments::ablation_algorithms(&[10, 14, 18, 22, 26, 30]) {
+        let [ring, tree, hier] = times;
         r.row(&[
             format!("2^{e}"),
             fmt_time(ring),
             fmt_time(tree),
-            if tree < ring { "tree" } else { "ring" }.to_string(),
+            fmt_time(hier),
+            experiments::algo_winner(&times).to_string(),
         ]);
     }
-    r.note("section 5.1's two logical topologies: trees win latency-bound sizes");
+    r.note(
+        "section 5.1's logical topologies as a tuned dimension: trees win latency-bound \
+         sizes, rings win bandwidth-bound ones, two-level hierarchical sits between",
+    );
     r.print();
 
     let mut r = Report::new(

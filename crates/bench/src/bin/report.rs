@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! report [--quick] [--out PATH] [--baseline PATH] [--tolerance FRACTION]
+//!        [--write-baseline]
 //! ```
 //!
 //! - `--quick`      CI mode: the fast experiment subset (still ≥ 6 rows)
@@ -12,6 +13,13 @@
 //! - `--baseline`   committed baseline to diff against; any experiment
 //!   whose speedup regresses beyond the tolerance fails the run
 //! - `--tolerance`  allowed speedup loss as a fraction (default `0.10`)
+//! - `--write-baseline` rewrite the baseline file (the `--baseline`
+//!   path, default `ci/bench_baseline.json`) from this run instead of
+//!   diffing against it — the supported way to regenerate the
+//!   committed baseline after an intentional perf change, replacing
+//!   hand edits. Implies `--quick`: the baseline describes the quick
+//!   set CI gates on, so a full-set baseline would make every `--quick`
+//!   gate report its extra rows as disappeared
 //!
 //! Exit status: `0` on success, `1` on a tuner-consistency failure
 //! (pruned and exhaustive searches disagreeing) or a speedup
@@ -27,6 +35,7 @@ struct Args {
     out: String,
     baseline: Option<String>,
     tolerance: f64,
+    write_baseline: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         out: "BENCH_coconet.json".to_string(),
         baseline: None,
         tolerance: 0.10,
+        write_baseline: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -48,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --tolerance: {e}"))?;
             }
+            "--write-baseline" => args.write_baseline = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -55,7 +66,14 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn run() -> Result<(), String> {
-    let args = parse_args()?;
+    let mut args = parse_args()?;
+    if args.write_baseline && !args.quick {
+        // The committed baseline describes the quick set CI gates on; a
+        // full-set baseline would fail every subsequent --quick check
+        // with "experiment disappeared".
+        println!("note: --write-baseline implies --quick (the CI gate checks the quick set)");
+        args.quick = true;
+    }
 
     let trajectory = trajectory::collect(args.quick)?;
     let results = &trajectory.results;
@@ -108,7 +126,17 @@ fn run() -> Result<(), String> {
         return Err(trajectory.gate_failures.join("\n"));
     }
 
-    if let Some(path) = &args.baseline {
+    let baseline_path = args.baseline.clone().or_else(|| {
+        args.write_baseline
+            .then(|| "ci/bench_baseline.json".to_string())
+    });
+    if args.write_baseline {
+        // Regenerate the committed baseline from this run instead of
+        // diffing against it.
+        let path = baseline_path.expect("defaulted above");
+        std::fs::write(&path, doc.render_pretty()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("rewrote baseline {path}");
+    } else if let Some(path) = &baseline_path {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         let baseline = Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
         trajectory::regression_check(&doc, &baseline, args.tolerance)?;

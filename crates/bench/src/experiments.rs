@@ -4,8 +4,8 @@
 //! the bench targets print them next to the paper's reported values.
 
 use coconet_core::{
-    lower, Binding, CollKind, CollectiveStep, CommConfig, DType, FixedStep, FusedCollectiveStep,
-    KernelStep, Protocol, ScatterInfo, Step,
+    lower, Binding, CollAlgo, CollKind, CollectiveStep, CommConfig, DType, FixedStep,
+    FusedCollectiveStep, KernelStep, Protocol, ScatterInfo, Step,
 };
 use coconet_models::inference::{
     model_parallel_epilogue_time, model_parallel_inference_speedup, pipeline_epilogue_time,
@@ -23,11 +23,24 @@ use coconet_topology::MachineSpec;
 /// Ranks in the paper's data-parallel experiments.
 pub const DP_RANKS: usize = 256;
 
+/// The best ring-algorithm `protocol × channels` configuration — the
+/// sweep the paper's fixed-schedule experiments use. The algorithm
+/// dimension is swept separately by [`ablation_algorithms`] and by the
+/// autotuner itself.
 fn best_config<F: Fn(CommConfig) -> f64>(eval: F) -> (CommConfig, f64) {
+    best_config_for_algo(CollAlgo::Ring, eval)
+}
+
+/// The best `protocol × channels` configuration under one algorithm.
+fn best_config_for_algo<F: Fn(CommConfig) -> f64>(algo: CollAlgo, eval: F) -> (CommConfig, f64) {
     let mut best: Option<(CommConfig, f64)> = None;
     for protocol in Protocol::ALL {
         for channels in [2usize, 4, 8, 16, 32, 64] {
-            let config = CommConfig { protocol, channels };
+            let config = CommConfig {
+                algo,
+                protocol,
+                channels,
+            };
             let t = eval(config);
             if best.is_none_or(|(_, bt)| t < bt) {
                 best = Some((config, t));
@@ -76,6 +89,7 @@ pub fn figure1() -> Vec<Fig1Row> {
             };
             let ar = FusedCollectiveStep {
                 label: "AR".into(),
+                algo: CollAlgo::Ring,
                 elems: batch * 1024 * 3072,
                 dtype: DType::F16,
                 extra_bytes_read: 0,
@@ -152,6 +166,7 @@ pub fn figure10(opt: Optimizer, exponents: &[u32]) -> Vec<Fig10Row> {
             // Baseline: default NCCL config, AR + preprocessing + fused
             // optimizer kernel.
             let default_cfg = CommConfig {
+                algo: CollAlgo::Ring,
                 protocol: default_protocol(bytes),
                 channels: 16,
             };
@@ -192,6 +207,7 @@ pub fn figure10(opt: Optimizer, exponents: &[u32]) -> Vec<Fig10Row> {
             // fuse(RS-Opt-AG): one fused collective.
             let fused_step = FusedCollectiveStep {
                 label: "fused".into(),
+                algo: CollAlgo::Ring,
                 elems: n,
                 dtype: DType::F16,
                 extra_bytes_read: 14 * n / DP_RANKS as u64,
@@ -372,11 +388,13 @@ pub fn table2(opt: Optimizer) -> (f64, f64) {
         Optimizer::Lamb => 2,
     };
     let config = CommConfig {
+        algo: CollAlgo::Ring,
         protocol: Protocol::Simple,
         channels: 16,
     };
     let fused = |scattered: Option<ScatterInfo>| FusedCollectiveStep {
         label: "fuse(RS-Opt-AG)".into(),
+        algo: CollAlgo::Ring,
         elems: n,
         dtype: DType::F16,
         extra_bytes_read: 14 * n / DP_RANKS as u64,
@@ -654,6 +672,7 @@ pub fn ablation_protocols(exponents: &[u32]) -> Vec<(u32, [f64; 3])> {
                     DType::F16,
                     geom,
                     CommConfig {
+                        algo: CollAlgo::Ring,
                         protocol: p,
                         channels: 16,
                     },
@@ -680,6 +699,7 @@ pub fn ablation_channels(elems: u64) -> Vec<(usize, f64)> {
                     DType::F16,
                     geom,
                     CommConfig {
+                        algo: CollAlgo::Ring,
                         protocol: Protocol::Simple,
                         channels: ch,
                     },
@@ -689,21 +709,41 @@ pub fn ablation_channels(elems: u64) -> Vec<(usize, f64)> {
         .collect()
 }
 
-/// Ablation: ring vs tree AllReduce per message size (§5.1's two
-/// logical topologies): trees win latency-bound small messages at 256
-/// ranks, rings win bandwidth-bound large ones.
-pub fn ablation_ring_vs_tree(exponents: &[u32]) -> Vec<(u32, f64, f64)> {
+/// Name of the winning algorithm among `[ring, tree, hierarchical]`
+/// times, as produced by [`ablation_algorithms`] — ties resolve in
+/// [`CollAlgo::ALL`] order (ring first), matching the autotuner's own
+/// tie-breaking.
+pub fn algo_winner(times: &[f64; 3]) -> &'static str {
+    let names = ["ring", "tree", "hierarchical"];
+    let mut best = 0;
+    for (i, &t) in times.iter().enumerate().skip(1) {
+        if t < times[best] {
+            best = i;
+        }
+    }
+    names[best]
+}
+
+/// Ablation: AllReduce time per collective algorithm and message size
+/// (256 GPUs, each algorithm at its own best `protocol × channels`).
+/// Returns `(log2_elems, [ring, tree, hierarchical])` — the size
+/// crossover the autotuner's algorithm dimension exploits: trees win
+/// latency-bound small messages, rings win bandwidth-bound large ones,
+/// the two-level hierarchical variant sits between.
+pub fn ablation_algorithms(exponents: &[u32]) -> Vec<(u32, [f64; 3])> {
     let sim = Simulator::new(MachineSpec::paper_testbed(), DP_RANKS, 1);
     let geom = sim.group_geom();
     let cost = sim.cost_model();
     exponents
         .iter()
         .map(|&e| {
-            let (_, ring) = best_config(|c| {
-                cost.collective_time(CollKind::AllReduce, 1 << e, DType::F16, geom, c)
+            let times = CollAlgo::ALL.map(|algo| {
+                best_config_for_algo(algo, |c| {
+                    cost.collective_time(CollKind::AllReduce, 1 << e, DType::F16, geom, c)
+                })
+                .1
             });
-            let (_, tree) = best_config(|c| cost.tree_all_reduce_time(1 << e, DType::F16, geom, c));
-            (e, ring, tree)
+            (e, times)
         })
         .collect()
 }
@@ -727,6 +767,7 @@ pub fn ablation_tile_count(batch: u64) -> Vec<(usize, f64)> {
             }),
             coconet_core::OverlapStage::FusedCollective(FusedCollectiveStep {
                 label: "ar".into(),
+                algo: CollAlgo::Ring,
                 elems: batch * 1024 * 3072,
                 dtype: DType::F16,
                 extra_bytes_read: 0,
@@ -739,6 +780,7 @@ pub fn ablation_tile_count(batch: u64) -> Vec<(usize, f64)> {
         ],
     };
     let config = CommConfig {
+        algo: CollAlgo::Ring,
         protocol: Protocol::Simple,
         channels: 16,
     };
@@ -796,6 +838,7 @@ pub fn demo_plan() -> coconet_core::ExecPlan {
             Step::Collective(CollectiveStep {
                 label: "ar".into(),
                 kind: CollKind::AllReduce,
+                algo: CollAlgo::Ring,
                 elems: 1 << 24,
                 dtype: DType::F16,
                 scattered: None,
@@ -946,17 +989,24 @@ mod tests {
         let most = tiles.last().unwrap().1;
         assert!(best < one, "tiling must beat no-overlap");
         assert!(most > best, "over-tiling costs spin-locks");
-        // Tree wins tiny messages, ring wins huge ones (256 ranks).
-        let rvt = ablation_ring_vs_tree(&[10, 30]);
-        let (_, ring_small, tree_small) = rvt[0];
-        let (_, ring_large, tree_large) = rvt[1];
-        assert!(
-            tree_small < ring_small,
-            "tree {tree_small} vs ring {ring_small}"
-        );
-        assert!(
-            ring_large < tree_large,
-            "ring {ring_large} vs tree {tree_large}"
-        );
+        // The ring/tree/hierarchical size crossover has its own test
+        // (algorithm_ablation_exhibits_size_crossover).
+    }
+
+    #[test]
+    fn algorithm_ablation_exhibits_size_crossover() {
+        let rows = ablation_algorithms(&[10, 30]);
+        let (_, [ring_s, tree_s, hier_s]) = rows[0];
+        let (_, [ring_l, tree_l, hier_l]) = rows[1];
+        // Small messages: the tree's log-depth latency wins.
+        assert!(tree_s < ring_s, "small: tree {tree_s} !< ring {ring_s}");
+        assert!(tree_s < hier_s, "small: tree {tree_s} !< hier {hier_s}");
+        // Large messages: the ring's bandwidth optimality wins, with
+        // hierarchical between the two.
+        assert!(ring_l < hier_l, "large: ring {ring_l} !< hier {hier_l}");
+        assert!(hier_l < tree_l, "large: hier {hier_l} !< tree {tree_l}");
+        // Hierarchical beats the flat ring's latency at small sizes
+        // (fewer hops than 2(k-1) once the group spans 16 nodes).
+        assert!(hier_s < ring_s, "small: hier {hier_s} !< ring {ring_s}");
     }
 }

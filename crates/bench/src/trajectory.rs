@@ -1,5 +1,6 @@
 //! The machine-readable benchmark trajectory: every CI run distills
 //! the paper's headline experiments (Tables 2/3/4, Figures 1/10/11)
+//! plus the collective-algorithm ablation (ring / tree / hierarchical)
 //! into one `BENCH_coconet.json`, the perf-trajectory source of truth
 //! the repository tracks across PRs.
 //!
@@ -100,7 +101,15 @@ pub struct Trajectory {
 /// consistency violations land in [`Trajectory::gate_failures`]
 /// instead so the rows survive for diagnosis.
 pub fn collect(quick: bool) -> Result<Trajectory, String> {
-    let mut results = vec![fig1(), fig10(), fig11(), tab2(), tab4()];
+    let mut results = vec![
+        fig1(),
+        fig10(),
+        fig11(),
+        tab2(),
+        tab4(),
+        algo_ablation("ablation_algo_small", 14),
+        algo_ablation("ablation_algo_large", 30),
+    ];
     let workloads: &[&str] = if quick {
         &["adam", "model-parallel"]
     } else {
@@ -140,6 +149,31 @@ fn fig11() -> ExperimentResult {
     let rows = experiments::figure11();
     let group = &rows[..4];
     ExperimentResult::analytic("fig11_model_parallel", group[0].time, group[3].time)
+}
+
+/// The collective-algorithm ablation at one message size: AllReduce of
+/// `2^log2_elems` FP16 elements on 256 GPUs, each algorithm at its own
+/// best `protocol × channels`. The row's baseline is the flat ring and
+/// its `coconet_s` is the best algorithm — so the small-message row
+/// shows the tree's win (speedup > 1) and the large-message row shows
+/// the ring staying optimal (speedup 1.0), the size crossover the
+/// autotuner's algorithm dimension exists to exploit.
+fn algo_ablation(name: &'static str, log2_elems: u32) -> ExperimentResult {
+    let (_, times) = experiments::ablation_algorithms(&[log2_elems])
+        .pop()
+        .expect("one exponent");
+    let [ring, tree, hier] = times;
+    let best = ring.min(tree).min(hier);
+    let winner = experiments::algo_winner(&times);
+    let mut row = ExperimentResult::analytic(name, ring, best);
+    row.extra = vec![
+        ("ring_s".into(), Json::Num(ring)),
+        ("tree_s".into(), Json::Num(tree)),
+        ("hierarchical_s".into(), Json::Num(hier)),
+        ("winner".into(), Json::Str(winner.into())),
+        ("log2_elems".into(), Json::Num(f64::from(log2_elems))),
+    ];
+    row
 }
 
 /// Table 2 (Adam): scattered-tensor fused update vs contiguous.
@@ -456,6 +490,22 @@ mod tests {
             }
             assert!(r.baseline_s > 0.0 && r.coconet_s > 0.0);
         }
+        // The algorithm-ablation rows exhibit the size crossover: tree
+        // wins the small message, ring stays optimal at the large one.
+        let small = back.get("ablation_algo_small").expect("small algo row");
+        assert_eq!(
+            small.get("winner").and_then(Json::as_str),
+            Some("tree"),
+            "small-message winner"
+        );
+        assert!(small.get("speedup").and_then(Json::as_f64).unwrap() > 1.0);
+        let large = back.get("ablation_algo_large").expect("large algo row");
+        assert_eq!(
+            large.get("winner").and_then(Json::as_str),
+            Some("ring"),
+            "large-message winner"
+        );
+        assert_eq!(large.get("speedup").and_then(Json::as_f64), Some(1.0));
         // The tuner rows carry the pruned-vs-exhaustive evidence.
         let adam = back.get("tab3_autotuner_adam").expect("adam row");
         let costed = adam

@@ -26,7 +26,9 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::xform;
-use crate::{lower, Binding, CommConfig, CoreError, ExecPlan, OpKind, Program, Protocol, VarId};
+use crate::{
+    lower, Binding, CollAlgo, CommConfig, CoreError, ExecPlan, OpKind, Program, Protocol, VarId,
+};
 
 /// Evaluates the cost of an executable plan (lower is better).
 /// Implemented by `coconet_sim::Simulator` over the machine model.
@@ -71,7 +73,7 @@ pub trait PlanEvaluator: Sync {
         configs
             .iter()
             .map(|&config| {
-                p.config = config;
+                p.set_config(config);
                 (self.lower_bound(&p), self.descendant_lower_bound(&p))
             })
             .unzip()
@@ -157,6 +159,9 @@ impl TuneReport {
 pub struct Autotuner {
     /// Maximum number of transformations in a schedule.
     pub max_depth: usize,
+    /// Collective algorithms to sweep (ring / tree / hierarchical —
+    /// the logical topologies of §5.1).
+    pub algos: Vec<CollAlgo>,
     /// Protocols to sweep.
     pub protocols: Vec<Protocol>,
     /// Channel counts to sweep (the paper sweeps 2..64).
@@ -176,6 +181,7 @@ impl Default for Autotuner {
     fn default() -> Autotuner {
         Autotuner {
             max_depth: 6,
+            algos: CollAlgo::ALL.to_vec(),
             protocols: Protocol::ALL.to_vec(),
             channels: vec![2, 4, 8, 16, 32, 64],
             slice_state: true,
@@ -502,12 +508,14 @@ impl Autotuner {
         }
     }
 
-    /// Sweeps every protocol/channel configuration of one schedule.
+    /// Sweeps every algorithm/protocol/channel configuration of one
+    /// schedule.
     ///
-    /// Lowering is configuration-independent (the configuration rides
-    /// in [`ExecPlan::config`]; the steps never depend on it), so the
-    /// schedule is lowered once and re-tagged per configuration — the
-    /// dominant fixed cost of the old per-config lowering loop.
+    /// Lowering is configuration-independent up to the algorithm stamp
+    /// (the steps' shapes never depend on the configuration), so the
+    /// schedule is lowered once and re-tagged per configuration via
+    /// [`ExecPlan::set_config`] — the dominant fixed cost of the old
+    /// per-config lowering loop.
     fn sweep_configs(
         &self,
         p: &Program,
@@ -516,12 +524,16 @@ impl Autotuner {
         state: &SearchState,
     ) -> SweepOutcome {
         let configs: Vec<CommConfig> = self
-            .protocols
+            .algos
             .iter()
-            .flat_map(|&protocol| {
-                self.channels
-                    .iter()
-                    .map(move |&channels| CommConfig { protocol, channels })
+            .flat_map(|&algo| {
+                self.protocols.iter().flat_map(move |&protocol| {
+                    self.channels.iter().map(move |&channels| CommConfig {
+                        algo,
+                        protocol,
+                        channels,
+                    })
+                })
             })
             .collect();
         let Some(&first) = configs.first() else {
@@ -548,7 +560,6 @@ impl Autotuner {
         let mut best: Option<(CommConfig, f64)> = None;
         let mut floor = if self.prune { f64::INFINITY } else { 0.0 };
         for (i, &config) in configs.iter().enumerate() {
-            plan.config = config;
             if self.prune {
                 floor = floor.min(descendant[i]);
                 if tight[i] > state.incumbent() {
@@ -569,6 +580,10 @@ impl Autotuner {
                     t
                 }
                 None => {
+                    // Restamp only when the evaluator will actually
+                    // read the plan — pruned and memoized
+                    // configurations skip the O(steps) walk.
+                    plan.set_config(config);
                     let t = evaluator.evaluate(&plan);
                     state.memo.lock().expect("memo lock").insert(key, t);
                     t

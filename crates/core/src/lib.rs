@@ -28,7 +28,8 @@ pub use layout::{Layout, SliceDim};
 pub use lower::lower;
 pub use op::{BinaryOp, OpKind, PeerSelector, UnaryOp, VarId};
 pub use plan::{
-    CollKind, CollectiveStep, CommConfig, ExecPlan, FixedStep, FusedCollectiveStep, KernelStep,
-    MatMulStep, OverlapStage, OverlappedStep, Protocol, ScatterInfo, SendRecvStep, Step,
+    CollAlgo, CollKind, CollectiveStep, CommConfig, ExecPlan, FixedStep, FusedCollectiveStep,
+    KernelStep, MatMulStep, OverlapStage, OverlappedStep, Protocol, ScatterInfo, SendRecvStep,
+    Step,
 };
 pub use types::TensorType;

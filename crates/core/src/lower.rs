@@ -10,9 +10,9 @@
 use std::collections::{HashMap, HashSet};
 
 use crate::{
-    Binding, CollKind, CommConfig, CoreError, ExecPlan, FuseKind, FusedCollectiveStep, KernelStep,
-    Layout, MatMulStep, OpKind, OverlapStage, OverlappedStep, Program, SendRecvStep, SliceDim,
-    Step, VarId,
+    Binding, CollAlgo, CollKind, CommConfig, CoreError, ExecPlan, FuseKind, FusedCollectiveStep,
+    KernelStep, Layout, MatMulStep, OpKind, OverlapStage, OverlappedStep, Program, SendRecvStep,
+    SliceDim, Step, VarId,
 };
 
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -28,7 +28,8 @@ struct Unit {
 }
 
 /// Lowers a validated program to an executable plan under a binding
-/// and communication configuration.
+/// and communication configuration. The configuration's collective
+/// algorithm is stamped into every collective step it emits.
 ///
 /// # Errors
 ///
@@ -120,7 +121,7 @@ pub fn lower(p: &Program, binding: &Binding, config: CommConfig) -> Result<ExecP
                 let mut stages = Vec::new();
                 let mut labels = Vec::new();
                 for &cu in &overlap_units[og] {
-                    let sub = lower_unit(p, binding, &units[cu])?;
+                    let sub = lower_unit(p, binding, config.algo, &units[cu])?;
                     for s in sub {
                         labels.push(s.label().to_string());
                         stages.push(step_to_stage(s)?);
@@ -133,7 +134,7 @@ pub fn lower(p: &Program, binding: &Binding, config: CommConfig) -> Result<ExecP
             }
             continue;
         }
-        steps.extend(lower_unit(p, binding, &units[u])?);
+        steps.extend(lower_unit(p, binding, config.algo, &units[u])?);
     }
 
     Ok(ExecPlan {
@@ -278,10 +279,15 @@ fn label_of(p: &Program, members: &[VarId]) -> String {
         .join("+")
 }
 
-fn lower_unit(p: &Program, binding: &Binding, unit: &Unit) -> Result<Vec<Step>, CoreError> {
+fn lower_unit(
+    p: &Program,
+    binding: &Binding,
+    algo: CollAlgo,
+    unit: &Unit,
+) -> Result<Vec<Step>, CoreError> {
     let member_set: HashSet<VarId> = unit.members.iter().copied().collect();
     match unit.kind {
-        UnitKind::Single => lower_single(p, binding, unit.members[0]),
+        UnitKind::Single => lower_single(p, binding, algo, unit.members[0]),
         UnitKind::Fused(FuseKind::Compute) => {
             let reads = external_read_bytes(p, &member_set, binding, &HashSet::new())?;
             let writes = external_write_bytes(p, &member_set, binding, &HashSet::new())?;
@@ -305,6 +311,7 @@ fn lower_unit(p: &Program, binding: &Binding, unit: &Unit) -> Result<Vec<Step>, 
                         steps.push(Step::Collective(crate::CollectiveStep {
                             label: format!("norm-allreduce[{}]", p.node(m)?.name()),
                             kind: CollKind::AllReduce,
+                            algo,
                             elems: 1,
                             dtype: crate::DType::F32,
                             scattered: None,
@@ -345,6 +352,7 @@ fn lower_unit(p: &Program, binding: &Binding, unit: &Unit) -> Result<Vec<Step>, 
                 .collect();
             Ok(vec![Step::FusedCollective(FusedCollectiveStep {
                 label: format!("fusedAR[{}]", label_of(p, &unit.members)),
+                algo,
                 elems: p.ty(rs_input)?.numel(binding)?,
                 dtype: p.ty(rs_input)?.dtype,
                 extra_bytes_read: extra_reads,
@@ -379,7 +387,12 @@ fn lower_unit(p: &Program, binding: &Binding, unit: &Unit) -> Result<Vec<Step>, 
     }
 }
 
-fn lower_single(p: &Program, binding: &Binding, v: VarId) -> Result<Vec<Step>, CoreError> {
+fn lower_single(
+    p: &Program,
+    binding: &Binding,
+    algo: CollAlgo,
+    v: VarId,
+) -> Result<Vec<Step>, CoreError> {
     let node = p.node(v)?;
     let ty = node.ty().clone();
     let name = node.name().to_string();
@@ -416,17 +429,46 @@ fn lower_single(p: &Program, binding: &Binding, v: VarId) -> Result<Vec<Step>, C
                 dtype: ty.dtype,
             })])
         }
-        OpKind::AllReduce(_, x) => Ok(vec![collective(p, binding, CollKind::AllReduce, x, name)?]),
+        OpKind::AllReduce(_, x) => Ok(vec![collective(
+            p,
+            binding,
+            CollKind::AllReduce,
+            algo,
+            x,
+            name,
+        )?]),
         OpKind::ReduceScatter(_, x) => Ok(vec![collective(
             p,
             binding,
             CollKind::ReduceScatter,
+            algo,
             x,
             name,
         )?]),
-        OpKind::AllGather(x) => Ok(vec![collective(p, binding, CollKind::AllGather, x, name)?]),
-        OpKind::Broadcast(x, _) => Ok(vec![collective(p, binding, CollKind::Broadcast, x, name)?]),
-        OpKind::Reduce(_, x, _) => Ok(vec![collective(p, binding, CollKind::Reduce, x, name)?]),
+        OpKind::AllGather(x) => Ok(vec![collective(
+            p,
+            binding,
+            CollKind::AllGather,
+            algo,
+            x,
+            name,
+        )?]),
+        OpKind::Broadcast(x, _) => Ok(vec![collective(
+            p,
+            binding,
+            CollKind::Broadcast,
+            algo,
+            x,
+            name,
+        )?]),
+        OpKind::Reduce(_, x, _) => Ok(vec![collective(
+            p,
+            binding,
+            CollKind::Reduce,
+            algo,
+            x,
+            name,
+        )?]),
         OpKind::Send(x, _) => Ok(vec![Step::SendRecv(SendRecvStep {
             label: name,
             elems_per_rank: p.ty(x)?.local_numel(binding)?,
@@ -451,6 +493,7 @@ fn lower_single(p: &Program, binding: &Binding, v: VarId) -> Result<Vec<Step>, C
                     steps.push(Step::Collective(crate::CollectiveStep {
                         label: format!("norm-allreduce[{name}]"),
                         kind: CollKind::AllReduce,
+                        algo,
                         elems: 1,
                         dtype: crate::DType::F32,
                         scattered: None,
@@ -470,12 +513,14 @@ fn collective(
     p: &Program,
     binding: &Binding,
     kind: CollKind,
+    algo: CollAlgo,
     input: VarId,
     label: String,
 ) -> Result<Step, CoreError> {
     Ok(Step::Collective(crate::CollectiveStep {
         label,
         kind,
+        algo,
         elems: p.ty(input)?.numel(binding)?,
         dtype: p.ty(input)?.dtype,
         scattered: None,

@@ -40,19 +40,75 @@ impl fmt::Display for Protocol {
     }
 }
 
-/// Communication configuration for a plan: protocol and channel count
-/// (each NCCL channel is one thread block bound to one NIC/ring copy).
+/// Collective algorithm — the logical topology a collective runs over
+/// (§5.1: "NCCL creates logical topologies, such as ring and tree,
+/// over the underlying interconnect network"). Like the protocol, the
+/// algorithm is a tuned schedule dimension: rings win bandwidth-bound
+/// large messages, trees win latency-bound small ones, and the
+/// two-level hierarchical variant splits the work into intra-node
+/// NVLink rings plus an inter-node exchange across node leaders.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CollAlgo {
+    /// Flat ring over all ranks: `2(k−1)` steps, `2(k−1)/k` volume for
+    /// an AllReduce — the bandwidth-optimal choice.
+    Ring,
+    /// Binomial tree (reduce + broadcast): `2·log2(k)` rounds moving
+    /// the full payload each — the latency-optimal choice.
+    Tree,
+    /// Two-level: intra-node ring over NVLink, inter-node exchange
+    /// across node leaders over InfiniBand (the DGX-2 shape).
+    Hierarchical,
+}
+
+impl CollAlgo {
+    /// All algorithms, for autotuner sweeps.
+    pub const ALL: [CollAlgo; 3] = [CollAlgo::Ring, CollAlgo::Tree, CollAlgo::Hierarchical];
+
+    /// Position of this algorithm in [`CollAlgo::ALL`] (for
+    /// per-algorithm lookup tables).
+    pub fn index(self) -> usize {
+        match self {
+            CollAlgo::Ring => 0,
+            CollAlgo::Tree => 1,
+            CollAlgo::Hierarchical => 2,
+        }
+    }
+}
+
+impl fmt::Display for CollAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollAlgo::Ring => write!(f, "Ring"),
+            CollAlgo::Tree => write!(f, "Tree"),
+            CollAlgo::Hierarchical => write!(f, "Hier"),
+        }
+    }
+}
+
+/// Communication configuration for a plan: collective algorithm,
+/// protocol, and channel count (each NCCL channel is one thread block
+/// bound to one NIC/ring copy).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CommConfig {
+    /// Collective algorithm (logical topology).
+    pub algo: CollAlgo,
     /// Wire protocol.
     pub protocol: Protocol,
     /// Number of channels (2–64 in the paper's autotuner sweep).
     pub channels: usize,
 }
 
+impl CommConfig {
+    /// The same configuration under a different algorithm.
+    pub fn with_algo(self, algo: CollAlgo) -> CommConfig {
+        CommConfig { algo, ..self }
+    }
+}
+
 impl Default for CommConfig {
     fn default() -> CommConfig {
         CommConfig {
+            algo: CollAlgo::Ring,
             protocol: Protocol::Simple,
             channels: 16,
         }
@@ -61,7 +117,7 @@ impl Default for CommConfig {
 
 impl fmt::Display for CommConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{}ch", self.protocol, self.channels)
+        write!(f, "{}/{}/{}ch", self.algo, self.protocol, self.channels)
     }
 }
 
@@ -153,6 +209,9 @@ pub struct CollectiveStep {
     pub label: String,
     /// Collective kind.
     pub kind: CollKind,
+    /// Collective algorithm, stamped by lowering from the plan's
+    /// [`CommConfig`].
+    pub algo: CollAlgo,
     /// Global element count of the communicated tensor.
     pub elems: u64,
     /// Element type.
@@ -168,6 +227,9 @@ pub struct CollectiveStep {
 pub struct FusedCollectiveStep {
     /// Human-readable label.
     pub label: String,
+    /// Collective algorithm, stamped by lowering from the plan's
+    /// [`CommConfig`].
+    pub algo: CollAlgo,
     /// Global element count of the reduced tensor.
     pub elems: u64,
     /// Element type of the communicated data.
@@ -315,6 +377,51 @@ impl ExecPlan {
     pub fn total_launches(&self) -> usize {
         self.steps.iter().map(Step::launches).sum()
     }
+
+    /// Whether every collective and fused-collective step (including
+    /// overlap stages) carries the plan configuration's algorithm —
+    /// the invariant [`set_config`](ExecPlan::set_config) maintains
+    /// and evaluator lower bounds assume (a mismatched hand-built
+    /// plan would be bounded under one algorithm but timed under
+    /// another).
+    pub fn algo_stamps_consistent(&self) -> bool {
+        let algo = self.config.algo;
+        self.steps.iter().all(|step| match step {
+            Step::Collective(c) => c.algo == algo,
+            Step::FusedCollective(f) => f.algo == algo,
+            Step::Overlapped(ol) => ol.stages.iter().all(|stage| match stage {
+                OverlapStage::Collective(c) => c.algo == algo,
+                OverlapStage::FusedCollective(f) => f.algo == algo,
+                OverlapStage::MatMul(_) | OverlapStage::SendRecv(_) => true,
+            }),
+            Step::Kernel(_) | Step::MatMul(_) | Step::SendRecv(_) | Step::Fixed(_) => true,
+        })
+    }
+
+    /// Re-tags the plan with `config`, restamping the algorithm into
+    /// every collective and fused-collective step (including overlap
+    /// stages). Lowering is configuration-independent apart from the
+    /// stamp, so this is how the autotuner sweeps one lowered plan
+    /// across the whole `algo × protocol × channels` grid.
+    pub fn set_config(&mut self, config: CommConfig) {
+        self.config = config;
+        for step in &mut self.steps {
+            match step {
+                Step::Collective(c) => c.algo = config.algo,
+                Step::FusedCollective(f) => f.algo = config.algo,
+                Step::Overlapped(ol) => {
+                    for stage in &mut ol.stages {
+                        match stage {
+                            OverlapStage::Collective(c) => c.algo = config.algo,
+                            OverlapStage::FusedCollective(f) => f.algo = config.algo,
+                            OverlapStage::MatMul(_) | OverlapStage::SendRecv(_) => {}
+                        }
+                    }
+                }
+                Step::Kernel(_) | Step::MatMul(_) | Step::SendRecv(_) | Step::Fixed(_) => {}
+            }
+        }
+    }
 }
 
 impl fmt::Display for ExecPlan {
@@ -356,6 +463,7 @@ mod tests {
         let coll = CollectiveStep {
             label: "ar".into(),
             kind: CollKind::AllReduce,
+            algo: CollAlgo::Ring,
             elems: 8,
             dtype: DType::F16,
             scattered: None,
@@ -383,7 +491,7 @@ mod tests {
         };
         assert_eq!(plan.total_launches(), 3);
         let text = plan.to_string();
-        assert!(text.contains("plan t [Simple/16ch]"));
+        assert!(text.contains("plan t [Ring/Simple/16ch]"));
         assert!(text.contains("ol"));
     }
 
@@ -393,5 +501,64 @@ mod tests {
         assert_eq!(Protocol::LL128.to_string(), "LL128");
         assert_eq!(Protocol::Simple.to_string(), "Simple");
         assert_eq!(CollKind::ReduceScatter.to_string(), "ReduceScatter");
+        assert_eq!(CollAlgo::Ring.to_string(), "Ring");
+        assert_eq!(CollAlgo::Tree.to_string(), "Tree");
+        assert_eq!(CollAlgo::Hierarchical.to_string(), "Hier");
+    }
+
+    #[test]
+    fn set_config_restamps_every_collective() {
+        let coll = CollectiveStep {
+            label: "ar".into(),
+            kind: CollKind::AllReduce,
+            algo: CollAlgo::Ring,
+            elems: 8,
+            dtype: DType::F16,
+            scattered: None,
+        };
+        let fused = FusedCollectiveStep {
+            label: "f".into(),
+            algo: CollAlgo::Ring,
+            elems: 8,
+            dtype: DType::F16,
+            extra_bytes_read: 0,
+            extra_bytes_written: 0,
+            flops: 0,
+            embedded_scalar_allreduces: 0,
+            n_fused_ops: 1,
+            scattered: None,
+        };
+        let mut plan = ExecPlan {
+            name: "t".into(),
+            steps: vec![
+                Step::Collective(coll.clone()),
+                Step::Overlapped(OverlappedStep {
+                    label: "ol".into(),
+                    stages: vec![
+                        OverlapStage::Collective(coll),
+                        OverlapStage::FusedCollective(fused),
+                    ],
+                }),
+            ],
+            config: CommConfig::default(),
+        };
+        plan.set_config(CommConfig::default().with_algo(CollAlgo::Tree));
+        assert_eq!(plan.config.algo, CollAlgo::Tree);
+        match &plan.steps[0] {
+            Step::Collective(c) => assert_eq!(c.algo, CollAlgo::Tree),
+            other => panic!("unexpected step {other:?}"),
+        }
+        match &plan.steps[1] {
+            Step::Overlapped(ol) => {
+                for stage in &ol.stages {
+                    match stage {
+                        OverlapStage::Collective(c) => assert_eq!(c.algo, CollAlgo::Tree),
+                        OverlapStage::FusedCollective(f) => assert_eq!(f.algo, CollAlgo::Tree),
+                        other => panic!("unexpected stage {other:?}"),
+                    }
+                }
+            }
+            other => panic!("unexpected step {other:?}"),
+        }
     }
 }

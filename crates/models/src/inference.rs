@@ -10,7 +10,7 @@
 //! standalone (the pipeline epilogue is a small slice of a 175B
 //! model's compute).
 
-use coconet_core::{lower, Binding, CommConfig, Protocol};
+use coconet_core::{lower, Binding, CollAlgo, CommConfig, Protocol};
 use coconet_sim::Simulator;
 use coconet_topology::MachineSpec;
 
@@ -44,6 +44,7 @@ pub fn model_parallel_epilogue_time(
 ) -> f64 {
     let sim = Simulator::new(MachineSpec::dgx2_cluster(1), mp, 1);
     let config = CommConfig {
+        algo: CollAlgo::Ring,
         protocol: Protocol::Simple,
         channels: 16,
     };
@@ -92,6 +93,7 @@ pub fn pipeline_epilogue_time(
         num_groups,
     );
     let config = CommConfig {
+        algo: CollAlgo::Ring,
         protocol: Protocol::Simple,
         channels: 16,
     };

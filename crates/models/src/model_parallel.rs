@@ -196,7 +196,7 @@ mod tests {
         for block in [Block::SelfAttention, Block::Mlp] {
             let binding = small_binding();
             let inputs = inputs_for(block, &binding);
-            let opts = RunOptions { seed: 5 };
+            let opts = RunOptions::default().with_seed(5);
             let (base, _, base_out) = apply_block_schedule(block, BlockSchedule::Megatron).unwrap();
             let reference = run_program(&base, &binding, &inputs, opts)
                 .unwrap()

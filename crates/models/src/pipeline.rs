@@ -188,7 +188,7 @@ mod tests {
     fn all_schedules_deliver_identical_data_to_next_group() {
         let binding = binding();
         let inputs = inputs(&binding);
-        let opts = RunOptions { seed: 3 };
+        let opts = RunOptions::default().with_seed(3);
         let (base, _, base_out) = apply_pipeline_schedule(PipelineSchedule::Megatron).unwrap();
         let reference = run_program(&base, &binding, &inputs, opts)
             .unwrap()

@@ -10,7 +10,7 @@
 //! `fuse(RS-Opt-AG)` kernel.
 
 use coconet_core::{
-    CollKind, CommConfig, DType, FusedCollectiveStep, KernelStep, Protocol, ScatterInfo,
+    CollAlgo, CollKind, CommConfig, DType, FusedCollectiveStep, KernelStep, Protocol, ScatterInfo,
 };
 use coconet_sim::{GroupGeom, Simulator};
 
@@ -101,6 +101,7 @@ pub fn optimizer_step_time(
     };
     let cost = sim.cost_model();
     let config = CommConfig {
+        algo: CollAlgo::Ring,
         protocol: Protocol::Simple,
         channels: 16,
     };
@@ -168,6 +169,7 @@ pub fn optimizer_step_time(
             // One fused scattered-tensor kernel (§5.4 + §5.2).
             let fused = FusedCollectiveStep {
                 label: "fuse(RS-Opt-AG)".into(),
+                algo: CollAlgo::Ring,
                 elems: n,
                 dtype: DType::F16,
                 extra_bytes_read: 14 * n / ranks as u64,

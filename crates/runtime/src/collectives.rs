@@ -61,7 +61,7 @@ pub fn chunk_range(numel: usize, k: usize, c: usize) -> (usize, usize) {
     (start, len)
 }
 
-fn reduce_into(acc: &mut Tensor, incoming: &Tensor, op: ReduceOp) {
+pub(crate) fn reduce_into(acc: &mut Tensor, incoming: &Tensor, op: ReduceOp) {
     debug_assert_eq!(acc.numel(), incoming.numel());
     for i in 0..acc.numel() {
         acc.set(i, op.apply(acc.get(i), incoming.get(i)));
@@ -205,27 +205,8 @@ pub fn all_reduce_scalar(comm: &RankComm, group: Group, value: f64, op: ReduceOp
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::comm::run_ranks;
     use coconet_tensor::DType;
-    use std::thread;
-
-    /// Runs `f` on `k` rank threads and returns the per-rank results.
-    fn run_ranks<T: Send + 'static>(
-        k: usize,
-        f: impl Fn(RankComm) -> T + Send + Sync + Clone + 'static,
-    ) -> Vec<T> {
-        let world = RankComm::world(k);
-        let handles: Vec<_> = world
-            .into_iter()
-            .map(|comm| {
-                let f = f.clone();
-                thread::spawn(move || f(comm))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rank panicked"))
-            .collect()
-    }
 
     #[test]
     fn chunk_ranges_tile_exactly() {
@@ -239,6 +220,56 @@ mod tests {
                 total += len;
             }
             assert_eq!(total, n, "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn chunk_range_with_more_chunks_than_elements() {
+        // k > numel: the first `numel` chunks get one element each,
+        // the trailing chunks are empty — and the ranges still tile.
+        for (n, k) in [(3usize, 8usize), (1, 4), (0, 5), (7, 16)] {
+            let mut next = 0;
+            for c in 0..k {
+                let (off, len) = chunk_range(n, k, c);
+                assert_eq!(off, next, "n={n} k={k} c={c}");
+                assert!(len <= 1, "n={n} k={k} c={c}: len {len}");
+                assert_eq!(len, usize::from(c < n), "n={n} k={k} c={c}");
+                next = off + len;
+            }
+            assert_eq!(next, n);
+        }
+        // Trailing empty chunks have in-bounds offsets (== numel).
+        assert_eq!(chunk_range(3, 8, 7), (3, 0));
+    }
+
+    /// Regression: the ring collectives must survive degenerate
+    /// chunking (`numel < k`, empty trailing chunks) without panicking
+    /// and still produce the exact reduction/gather.
+    #[test]
+    fn ring_collectives_handle_degenerate_chunking() {
+        let k = 6;
+        for n in [0usize, 1, 3, 5] {
+            let results = run_ranks(k, move |comm| {
+                let group = Group { start: 0, size: k };
+                let input = Tensor::from_fn([n], DType::F32, |i| (comm.rank() * 10 + i) as f32);
+                let ar = ring_all_reduce(&comm, group, &input, ReduceOp::Sum);
+                let chunk = ring_reduce_scatter(&comm, group, &input, ReduceOp::Sum);
+                let gathered = ring_all_gather(&comm, group, &chunk);
+                (ar, chunk, gathered)
+            });
+            // Column sums over ranks: sum_r (10r + i) = 150 + 6i.
+            for (r, (ar, chunk, gathered)) in results.iter().enumerate() {
+                assert_eq!(ar.numel(), n);
+                for i in 0..n {
+                    assert_eq!(ar.get(i), (150 + 6 * i) as f32, "n={n} rank={r}");
+                }
+                let (_, len) = chunk_range(n, k, r);
+                assert_eq!(chunk.numel(), len, "n={n} rank={r}");
+                let total: usize = gathered.iter().map(Tensor::numel).sum();
+                assert_eq!(total, n, "n={n} rank={r}");
+                let flat: Vec<f32> = gathered.iter().flat_map(|c| c.to_f32_vec()).collect();
+                assert_eq!(flat, ar.to_f32_vec(), "n={n} rank={r}");
+            }
         }
     }
 

@@ -90,6 +90,32 @@ impl RankComm {
     }
 }
 
+/// Runs `f` on `k` rank threads over a fresh communication world and
+/// returns the per-rank results in rank order — the harness the
+/// collective test suites (unit and integration) drive the message
+/// fabric with.
+///
+/// # Panics
+///
+/// Panics if any rank thread panics.
+pub fn run_ranks<T: Send + 'static>(
+    k: usize,
+    f: impl Fn(RankComm) -> T + Send + Sync + Clone + 'static,
+) -> Vec<T> {
+    let world = RankComm::world(k);
+    let handles: Vec<_> = world
+        .into_iter()
+        .map(|comm| {
+            let f = f.clone();
+            std::thread::spawn(move || f(comm))
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("rank panicked"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,24 +1,35 @@
 //! SPMD interpretation of CoCoNet programs with real data movement.
 //!
 //! Every rank thread walks the program's DFG in topological order,
-//! evaluating computations on its local data and calling the ring
-//! collectives for communication operations. Because transformations
-//! only rewrite the graph (fusion/overlap are schedule annotations),
-//! the same interpreter executes a program *before and after* any
-//! schedule is applied — which is how the integration tests verify the
-//! transformations are semantics preserving.
+//! evaluating computations on its local data and dispatching
+//! communication operations onto the collective algorithm the run's
+//! [`RunOptions`] selects — the flat ring, the binomial tree, or the
+//! two-level hierarchical variant, mirroring how a tuned plan's
+//! [`CommConfig`](coconet_core::CommConfig) stamps its `CollAlgo` into
+//! every collective step. Because transformations only rewrite the
+//! graph (fusion/overlap are schedule annotations), the same
+//! interpreter executes a program *before and after* any schedule is
+//! applied — which is how the integration tests verify the
+//! transformations are semantics preserving, and because every
+//! algorithm implements the same collective contract, the tests also
+//! verify the algorithms agree with each other.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread;
 
-use coconet_core::{Binding, Layout, OpKind, Program, SliceDim, VarId};
+use coconet_core::{Binding, CollAlgo, CommConfig, Layout, OpKind, Program, SliceDim, VarId};
 use coconet_tensor::{CounterRng, ReduceOp, Shape, Tensor};
+use coconet_topology::Cluster;
 
 use crate::collectives::{
     all_reduce_scalar, broadcast, reduce, ring_all_gather, ring_all_reduce, ring_reduce_scatter,
     Group,
 };
+use crate::hierarchical::{
+    hierarchical_all_gather, hierarchical_all_reduce, hierarchical_reduce_scatter,
+};
+use crate::tree::tree_all_reduce;
 use crate::{DistValue, RankComm, RuntimeError};
 
 /// How to initialize a declared input tensor.
@@ -73,11 +84,68 @@ pub struct RunOptions {
     /// schedules* of the same program with the same seed produce
     /// identical dropout masks.
     pub seed: u64,
+    /// Collective algorithm the interpreter's communication operations
+    /// run on — the runtime counterpart of a tuned plan's
+    /// [`CommConfig::algo`]. Binomial trees only exist for AllReduce
+    /// (NCCL builds no tree ReduceScatter/AllGather either); those fall
+    /// back to the ring with an identical result.
+    pub algo: CollAlgo,
+    /// Consecutive group ranks per node, for the hierarchical
+    /// algorithm's intra-node/inter-node split. `0` means the whole
+    /// group shares one node, degenerating hierarchical to the ring.
+    pub ranks_per_node: usize,
 }
 
 impl Default for RunOptions {
     fn default() -> RunOptions {
-        RunOptions { seed: 0x5eed }
+        RunOptions {
+            seed: 0x5eed,
+            algo: CollAlgo::Ring,
+            ranks_per_node: 0,
+        }
+    }
+}
+
+impl RunOptions {
+    /// A fixed dropout seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> RunOptions {
+        self.seed = seed;
+        self
+    }
+
+    /// A collective algorithm (builder style).
+    pub fn with_algo(mut self, algo: CollAlgo) -> RunOptions {
+        self.algo = algo;
+        self
+    }
+
+    /// The node size for the hierarchical algorithm (builder style).
+    pub fn with_ranks_per_node(mut self, ranks_per_node: usize) -> RunOptions {
+        self.ranks_per_node = ranks_per_node;
+        self
+    }
+
+    /// Adopts a tuned plan's communication configuration: the
+    /// interpreter will run the collectives on the algorithm the
+    /// autotuner selected. The configuration carries no node geometry,
+    /// so `ranks_per_node` is left untouched — a hierarchical plan run
+    /// with the default of `0` degenerates to the flat ring (same
+    /// results, but not the two-level data movement). Pair with
+    /// [`with_ranks_per_node`](RunOptions::with_ranks_per_node), or
+    /// use [`for_cluster`](RunOptions::for_cluster) to take both from
+    /// the machine in one step.
+    pub fn with_comm(self, config: CommConfig) -> RunOptions {
+        self.with_algo(config.algo)
+    }
+
+    /// Adopts a tuned plan's communication configuration *and* the
+    /// cluster's node geometry: collectives run on the algorithm the
+    /// autotuner selected, with the hierarchical intra/inter-node
+    /// split taken from the cluster's node size
+    /// ([`Cluster::node_group`]).
+    pub fn for_cluster(self, config: CommConfig, cluster: &Cluster) -> RunOptions {
+        self.with_comm(config)
+            .with_ranks_per_node(cluster.node_group(0).size())
     }
 }
 
@@ -361,10 +429,10 @@ fn execute_rank(
                 eval_full_reduction(&values, a, &comm, group, pos, gs, op, false)
             }
             OpKind::AllReduce(op, a) => values[a.index()].as_ref().map(|input| {
-                DistValue::replicated(ring_all_reduce(&comm, group, &input.local, op), pos, gs)
+                DistValue::replicated(all_reduce(&comm, group, &input.local, op, opts), pos, gs)
             }),
             OpKind::ReduceScatter(op, a) => values[a.index()].as_ref().map(|input| {
-                let chunk = ring_reduce_scatter(&comm, group, &input.local, op);
+                let chunk = reduce_scatter(&comm, group, &input.local, op, opts);
                 DistValue {
                     global_shape: input.global_shape.clone(),
                     layout: Layout::sliced_flat(),
@@ -376,7 +444,7 @@ fn execute_rank(
             OpKind::AllGather(a) => match values[a.index()].as_ref() {
                 None => None,
                 Some(input) => {
-                    let chunks = ring_all_gather(&comm, group, &input.local);
+                    let chunks = all_gather(&comm, group, &input.local, opts);
                     let refs: Vec<&Tensor> = chunks.iter().collect();
                     let full = match input.layout {
                         Layout::Sliced(SliceDim::Dim(d)) => Tensor::concat(&refs, d)?,
@@ -441,6 +509,51 @@ fn execute_rank(
         }
     }
     Ok(outputs)
+}
+
+/// AllReduce under the options' algorithm (the tree is §5.1's second
+/// logical topology; the hierarchical variant splits intra/inter-node).
+fn all_reduce(
+    comm: &RankComm,
+    group: Group,
+    input: &Tensor,
+    op: ReduceOp,
+    opts: RunOptions,
+) -> Tensor {
+    match opts.algo {
+        CollAlgo::Ring => ring_all_reduce(comm, group, input, op),
+        CollAlgo::Tree => tree_all_reduce(comm, group, input, op),
+        CollAlgo::Hierarchical => {
+            hierarchical_all_reduce(comm, group, input, op, opts.ranks_per_node)
+        }
+    }
+}
+
+/// ReduceScatter under the options' algorithm. There is no binomial
+/// tree ReduceScatter; the tree algorithm uses the ring's, which has
+/// the identical postcondition.
+fn reduce_scatter(
+    comm: &RankComm,
+    group: Group,
+    input: &Tensor,
+    op: ReduceOp,
+    opts: RunOptions,
+) -> Tensor {
+    match opts.algo {
+        CollAlgo::Ring | CollAlgo::Tree => ring_reduce_scatter(comm, group, input, op),
+        CollAlgo::Hierarchical => {
+            hierarchical_reduce_scatter(comm, group, input, op, opts.ranks_per_node)
+        }
+    }
+}
+
+/// AllGather under the options' algorithm (tree falls back to ring,
+/// like ReduceScatter).
+fn all_gather(comm: &RankComm, group: Group, chunk: &Tensor, opts: RunOptions) -> Vec<Tensor> {
+    match opts.algo {
+        CollAlgo::Ring | CollAlgo::Tree => ring_all_gather(comm, group, chunk),
+        CollAlgo::Hierarchical => hierarchical_all_gather(comm, group, chunk, opts.ranks_per_node),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -664,7 +777,7 @@ mod tests {
     fn transformed_schedule_is_semantics_preserving() {
         let (base, _) = figure3();
         let (binding, inputs) = figure3_inputs();
-        let opts = RunOptions { seed: 1234 };
+        let opts = RunOptions::default().with_seed(1234);
         let reference = run_program(&base, &binding, &inputs, opts)
             .unwrap()
             .global("out")
@@ -698,7 +811,7 @@ mod tests {
     fn split_and_reorder_each_preserve_semantics() {
         let (base, _) = figure3();
         let (binding, inputs) = figure3_inputs();
-        let opts = RunOptions { seed: 99 };
+        let opts = RunOptions::default().with_seed(99);
         let reference = run_program(&base, &binding, &inputs, opts)
             .unwrap()
             .global("out")
@@ -755,6 +868,28 @@ mod tests {
             assert_eq!(v.local.get(0), 3.0);
         }
         assert_eq!(result.global("received").unwrap().get(0), 3.0);
+    }
+
+    /// Every collective algorithm produces the same program outputs —
+    /// the executor-level counterpart of the ring-vs-tree-vs-
+    /// hierarchical equivalences the collective unit tests prove.
+    #[test]
+    fn all_algorithms_agree_on_figure3() {
+        let (p, _) = figure3();
+        let (binding, inputs) = figure3_inputs();
+        let reference = run_program(&p, &binding, &inputs, RunOptions::default())
+            .unwrap()
+            .global("out")
+            .unwrap();
+        for algo in CollAlgo::ALL {
+            let opts = RunOptions::default().with_algo(algo).with_ranks_per_node(2); // 4 ranks = 2 nodes of 2
+            let got = run_program(&p, &binding, &inputs, opts)
+                .unwrap()
+                .global("out")
+                .unwrap();
+            let diff = got.max_abs_diff(&reference);
+            assert!(diff <= 2e-2, "{algo}: diff {diff}");
+        }
     }
 
     #[test]

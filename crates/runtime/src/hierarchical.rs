@@ -1,0 +1,396 @@
+//! Two-level hierarchical collectives — the third logical topology the
+//! schedule's [`CollAlgo`](coconet_core::CollAlgo) dimension can pick.
+//!
+//! The DGX-2 testbed the cost model parameterizes has two fabrics:
+//! NVLink/NVSwitch inside a node and InfiniBand between nodes. The
+//! hierarchical algorithms exploit that split with real data movement:
+//! an **intra-node ring** phase over each node's consecutive ranks,
+//! an **inter-node exchange across node leaders** (the first rank of
+//! each node), and an intra-node redistribution. Their postconditions
+//! are identical to the flat ring collectives' — rank at group
+//! position `i` owns chunk `i` after a ReduceScatter — so they compose
+//! with each other and with the ring variants interchangeably, which
+//! is what the semantics-preservation property tests machine-check.
+//!
+//! `node_size` is the number of consecutive group ranks per node
+//! (`Cluster::node_of` maps consecutive global ranks to nodes the same
+//! way). `0`, or a value covering the whole group, means the group
+//! fits one node and the algorithms degenerate to the flat ring.
+
+use coconet_tensor::{ReduceOp, Tensor};
+
+use crate::collectives::{chunk_range, reduce_into, ring_all_gather, ring_reduce_scatter, Group};
+use crate::RankComm;
+
+/// Layout of one rank's node within a hierarchical group.
+struct NodeGeom {
+    /// The whole group the collective runs over.
+    group: Group,
+    /// Consecutive group ranks per node.
+    node_size: usize,
+    /// This rank's position within the whole group.
+    me: usize,
+    /// Index of this rank's node (consecutive `node_size` blocks).
+    my_node: usize,
+    /// Number of nodes the group spans (last may be smaller).
+    n_nodes: usize,
+    /// Group position of this node's leader (its first rank).
+    node_first: usize,
+    /// The node-local subgroup of consecutive ranks.
+    sub: Group,
+    /// This rank's position within the node subgroup.
+    local_pos: usize,
+}
+
+impl NodeGeom {
+    fn new(comm: &RankComm, group: Group, node_size: usize) -> NodeGeom {
+        let me = group.position(comm.rank());
+        let my_node = me / node_size;
+        let node_first = my_node * node_size;
+        NodeGeom {
+            group,
+            node_size,
+            me,
+            my_node,
+            n_nodes: group.size.div_ceil(node_size),
+            node_first,
+            sub: Group {
+                start: group.start + node_first,
+                size: node_size.min(group.size - node_first),
+            },
+            local_pos: me - node_first,
+        }
+    }
+
+    /// Global rank of a node's leader.
+    fn leader(&self, node: usize) -> usize {
+        self.group.start + node * self.node_size
+    }
+
+    /// Ranks on `node` (the last node may be short).
+    fn node_members(&self, node: usize) -> usize {
+        self.node_size.min(self.group.size - node * self.node_size)
+    }
+}
+
+fn empty(dtype: coconet_tensor::DType) -> Tensor {
+    Tensor::zeros([0usize; 1], dtype)
+}
+
+fn slice_or_empty(t: &Tensor, off: usize, len: usize) -> Tensor {
+    if len == 0 {
+        empty(t.dtype())
+    } else {
+        t.slice_flat(off, len).expect("in range")
+    }
+}
+
+/// Whether `node_size` actually splits the group into multiple nodes.
+fn is_flat(group: Group, node_size: usize) -> bool {
+    node_size == 0 || node_size >= group.size
+}
+
+/// Hierarchical ReduceScatter: intra-node ring ReduceScatter, chunk
+/// hand-off to the node leader, a direct superchunk exchange across
+/// node leaders over the inter-node fabric, and an intra-node scatter
+/// of the final chunks. Same postcondition as
+/// [`ring_reduce_scatter`](crate::ring_reduce_scatter): group position
+/// `i` returns owning the fully reduced flat chunk
+/// `chunk_range(numel, k, i)`.
+pub fn hierarchical_reduce_scatter(
+    comm: &RankComm,
+    group: Group,
+    input: &Tensor,
+    op: ReduceOp,
+    node_size: usize,
+) -> Tensor {
+    if is_flat(group, node_size) {
+        return ring_reduce_scatter(comm, group, input, op);
+    }
+    let k = group.size;
+    let n = input.numel();
+    let g = NodeGeom::new(comm, group, node_size);
+
+    // Phase 1: intra-node ring ReduceScatter — local position `j` owns
+    // the node-reduced chunk `chunk_range(n, sub.size, j)`.
+    let local_chunk = ring_reduce_scatter(comm, g.sub, input, op);
+
+    if g.local_pos != 0 {
+        // Phase 2: hand the node-reduced chunk to the leader; phase 4:
+        // receive the globally reduced final chunk back.
+        comm.send(g.sub.start, local_chunk);
+        return comm.recv(g.sub.start);
+    }
+
+    // Leader: reassemble the node-partial tensor from member chunks.
+    let mut partial = Tensor::zeros([n], input.dtype());
+    let (own_off, own_len) = chunk_range(n, g.sub.size, 0);
+    if own_len > 0 {
+        partial.write_flat(own_off, &local_chunk).expect("in range");
+    }
+    for j in 1..g.sub.size {
+        let t = comm.recv(g.sub.start + j);
+        let (off, len) = chunk_range(n, g.sub.size, j);
+        if len > 0 {
+            partial.write_flat(off, &t).expect("in range");
+        }
+    }
+
+    // Superchunk of a node: the contiguous union of its members'
+    // global chunks (members are consecutive, so chunks are too).
+    let superchunk = |node: usize| {
+        let first = node * node_size;
+        let last = ((node + 1) * node_size).min(k);
+        let (off, _) = chunk_range(n, k, first);
+        let end = if last == k {
+            n
+        } else {
+            chunk_range(n, k, last).0
+        };
+        (off, end - off)
+    };
+
+    // Phase 3: direct exchange across node leaders — send every other
+    // leader our partial over *their* superchunk, receive theirs over
+    // ours, and reduce.
+    for node in 0..g.n_nodes {
+        if node == g.my_node {
+            continue;
+        }
+        let (off, len) = superchunk(node);
+        comm.send(g.leader(node), slice_or_empty(&partial, off, len));
+    }
+    let (s_off, s_len) = superchunk(g.my_node);
+    let mut acc = slice_or_empty(&partial, s_off, s_len);
+    for node in 0..g.n_nodes {
+        if node == g.my_node {
+            continue;
+        }
+        let incoming = comm.recv(g.leader(node));
+        reduce_into(&mut acc, &incoming, op);
+    }
+
+    // Phase 4: scatter the final chunks to the node's members.
+    for j in 1..g.sub.size {
+        let (off, len) = chunk_range(n, k, g.node_first + j);
+        comm.send(g.sub.start + j, slice_or_empty(&acc, off - s_off, len));
+    }
+    let (off, len) = chunk_range(n, k, g.me);
+    slice_or_empty(&acc, off - s_off, len)
+}
+
+/// Hierarchical AllGather: intra-node ring AllGather, a chunk exchange
+/// across node leaders, and an intra-node forward of the remote
+/// chunks. Same postcondition as
+/// [`ring_all_gather`](crate::ring_all_gather): every rank returns all
+/// `k` chunks in group-position order.
+pub fn hierarchical_all_gather(
+    comm: &RankComm,
+    group: Group,
+    chunk: &Tensor,
+    node_size: usize,
+) -> Vec<Tensor> {
+    if is_flat(group, node_size) {
+        return ring_all_gather(comm, group, chunk);
+    }
+    let k = group.size;
+    let g = NodeGeom::new(comm, group, node_size);
+
+    // Phase 1: intra-node ring AllGather — every member of the node
+    // holds all of the node's chunks.
+    let node_chunks = ring_all_gather(comm, g.sub, chunk);
+
+    let mut all: Vec<Option<Tensor>> = vec![None; k];
+    for (j, c) in node_chunks.into_iter().enumerate() {
+        all[g.node_first + j] = Some(c);
+    }
+    let is_local = |pos: usize| pos >= g.node_first && pos < g.node_first + g.sub.size;
+
+    if g.local_pos == 0 {
+        // Phase 2: leaders exchange their nodes' chunks (ascending
+        // position order on both sides).
+        for node in 0..g.n_nodes {
+            if node == g.my_node {
+                continue;
+            }
+            let dst = g.leader(node);
+            for j in 0..g.sub.size {
+                comm.send(dst, all[g.node_first + j].clone().expect("own node chunk"));
+            }
+        }
+        for node in 0..g.n_nodes {
+            if node == g.my_node {
+                continue;
+            }
+            let src = g.leader(node);
+            for j in 0..g.node_members(node) {
+                all[node * node_size + j] = Some(comm.recv(src));
+            }
+        }
+        // Phase 3: forward the remote chunks to the node's members.
+        for member in 1..g.sub.size {
+            for (pos, c) in all.iter().enumerate() {
+                if !is_local(pos) {
+                    comm.send(g.sub.start + member, c.clone().expect("gathered above"));
+                }
+            }
+        }
+    } else {
+        // Members receive the remote chunks from their leader, in the
+        // same ascending position order the leader sends them.
+        for (pos, slot) in all.iter_mut().enumerate() {
+            if !is_local(pos) {
+                *slot = Some(comm.recv(g.sub.start));
+            }
+        }
+    }
+    all.into_iter()
+        .map(|c| c.expect("all chunks gathered"))
+        .collect()
+}
+
+/// Hierarchical AllReduce = hierarchical ReduceScatter ∘ hierarchical
+/// AllGather; returns the fully reduced tensor with the input's shape,
+/// exactly like [`ring_all_reduce`](crate::ring_all_reduce).
+pub fn hierarchical_all_reduce(
+    comm: &RankComm,
+    group: Group,
+    input: &Tensor,
+    op: ReduceOp,
+    node_size: usize,
+) -> Tensor {
+    let my_chunk = hierarchical_reduce_scatter(comm, group, input, op, node_size);
+    let chunks = hierarchical_all_gather(comm, group, &my_chunk, node_size);
+    let mut out = Tensor::zeros(input.shape().clone(), input.dtype());
+    let mut off = 0usize;
+    for c in chunks {
+        out.write_flat(off, &c).expect("chunks tile the tensor");
+        off += c.numel();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::run_ranks;
+    use crate::{ring_all_reduce, ring_reduce_scatter};
+    use coconet_tensor::DType;
+
+    #[test]
+    fn hierarchical_allreduce_matches_ring_across_geometries() {
+        for (k, node_size) in [(4usize, 2usize), (8, 2), (8, 4), (6, 3), (8, 3), (5, 2)] {
+            for n in [1usize, 4, 21, 64] {
+                let results = run_ranks(k, move |comm| {
+                    let group = Group { start: 0, size: k };
+                    let input =
+                        Tensor::from_fn([n], DType::F32, |i| ((comm.rank() + 1) * (i + 3)) as f32);
+                    let hier =
+                        hierarchical_all_reduce(&comm, group, &input, ReduceOp::Sum, node_size);
+                    let ring = ring_all_reduce(&comm, group, &input, ReduceOp::Sum);
+                    (hier, ring)
+                });
+                for (r, (hier, ring)) in results.iter().enumerate() {
+                    assert_eq!(
+                        hier.to_f32_vec(),
+                        ring.to_f32_vec(),
+                        "k={k} node_size={node_size} n={n} rank={r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_reduce_scatter_owns_chunk_i() {
+        let (k, node_size, n) = (6usize, 2usize, 16usize);
+        let results = run_ranks(k, move |comm| {
+            let group = Group { start: 0, size: k };
+            let input = Tensor::from_fn([n], DType::F32, |i| i as f32);
+            let hier = hierarchical_reduce_scatter(&comm, group, &input, ReduceOp::Sum, node_size);
+            let ring = ring_reduce_scatter(&comm, group, &input, ReduceOp::Sum);
+            (hier, ring)
+        });
+        for (r, (hier, ring)) in results.iter().enumerate() {
+            let (off, len) = chunk_range(n, k, r);
+            assert_eq!(hier.numel(), len);
+            assert_eq!(hier.to_f32_vec(), ring.to_f32_vec(), "rank {r}");
+            for i in 0..len {
+                assert_eq!(hier.get(i), (k * (off + i)) as f32, "rank {r} elem {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_all_gather_reassembles() {
+        let (k, node_size) = (6usize, 3usize);
+        let results = run_ranks(k, move |comm| {
+            let group = Group { start: 0, size: k };
+            let me = comm.rank();
+            let chunk = Tensor::from_fn([3], DType::F32, |i| (me * 3 + i) as f32);
+            hierarchical_all_gather(&comm, group, &chunk, node_size)
+        });
+        for chunks in &results {
+            let flat: Vec<f32> = chunks.iter().flat_map(|c| c.to_f32_vec()).collect();
+            assert_eq!(flat, (0..18).map(|i| i as f32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn degenerate_node_size_falls_back_to_ring() {
+        let k = 4usize;
+        for node_size in [0usize, 4, 9] {
+            let results = run_ranks(k, move |comm| {
+                let group = Group { start: 0, size: k };
+                let input = Tensor::full([5], DType::F32, (comm.rank() + 1) as f32);
+                hierarchical_all_reduce(&comm, group, &input, ReduceOp::Sum, node_size)
+            });
+            for t in &results {
+                assert_eq!(t.get(0), 10.0, "node_size={node_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_max_and_subgroups() {
+        // Two independent 4-rank groups in an 8-rank world, 2 ranks
+        // per node, min/max reductions.
+        let results = run_ranks(8, move |comm| {
+            let g = if comm.rank() < 4 {
+                Group { start: 0, size: 4 }
+            } else {
+                Group { start: 4, size: 4 }
+            };
+            let input = Tensor::full([2], DType::F32, comm.rank() as f32);
+            let mn = hierarchical_all_reduce(&comm, g, &input, ReduceOp::Min, 2);
+            let mx = hierarchical_all_reduce(&comm, g, &input, ReduceOp::Max, 2);
+            (mn, mx)
+        });
+        for (r, (mn, mx)) in results.iter().enumerate() {
+            if r < 4 {
+                assert_eq!((mn.get(0), mx.get(0)), (0.0, 3.0), "rank {r}");
+            } else {
+                assert_eq!((mn.get(0), mx.get(0)), (4.0, 7.0), "rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_chunking_with_more_ranks_than_elements() {
+        // numel < k: trailing chunks are empty; nothing panics and the
+        // result still matches the ring.
+        let (k, node_size) = (8usize, 4usize);
+        for n in [0usize, 1, 3, 7] {
+            let results = run_ranks(k, move |comm| {
+                let group = Group { start: 0, size: k };
+                let input = Tensor::from_fn([n], DType::F32, |i| (comm.rank() + i) as f32);
+                let hier = hierarchical_all_reduce(&comm, group, &input, ReduceOp::Sum, node_size);
+                let ring = ring_all_reduce(&comm, group, &input, ReduceOp::Sum);
+                (hier, ring)
+            });
+            for (hier, ring) in &results {
+                assert_eq!(hier.to_f32_vec(), ring.to_f32_vec(), "n={n}");
+            }
+        }
+    }
+}

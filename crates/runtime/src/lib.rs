@@ -41,6 +41,7 @@ mod comm;
 mod dist;
 mod error;
 mod executor;
+mod hierarchical;
 mod overlap_exec;
 mod scattered;
 mod tree;
@@ -49,10 +50,13 @@ pub use collectives::{
     all_reduce_scalar, broadcast, chunk_range, reduce, ring_all_gather, ring_all_reduce,
     ring_reduce_scatter, Group,
 };
-pub use comm::RankComm;
+pub use comm::{run_ranks, RankComm};
 pub use dist::DistValue;
 pub use error::RuntimeError;
 pub use executor::{run_program, InitValue, Inputs, RunOptions, RunResult};
+pub use hierarchical::{
+    hierarchical_all_gather, hierarchical_all_reduce, hierarchical_reduce_scatter,
+};
 pub use overlap_exec::{overlapped_matmul_all_reduce, production_order};
 pub use scattered::{BucketTable, ScatteredTensors, BUCKET_ELEMS};
 pub use tree::tree_all_reduce;

@@ -10,11 +10,48 @@
 //! §6.1.1).
 
 use coconet_core::{
-    CollKind, CommConfig, DType, FusedCollectiveStep, KernelStep, MatMulStep, SendRecvStep,
+    CollAlgo, CollKind, CommConfig, DType, FusedCollectiveStep, KernelStep, MatMulStep,
+    SendRecvStep,
 };
 use coconet_topology::MachineSpec;
 
 use crate::protocol;
+
+/// Per-rank wire bytes of one collective under one algorithm, split
+/// by fabric segment. Ring and tree algorithms are bottlenecked by
+/// their slowest logical edge (`edge`); the hierarchical algorithm's
+/// phases occupy the intra-node NVLink fabric (`intra`) and the node
+/// leader's InfiniBand NICs (`inter`) separately. Dividing each field
+/// by the matching effective bandwidth and summing gives the
+/// bandwidth-only transfer time — the admissible floor the autotuner
+/// prunes with.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WireBytes {
+    /// Bytes crossing the flat ring/tree bottleneck edge.
+    pub edge: f64,
+    /// Bytes moved over intra-node NVLink (hierarchical phases).
+    pub intra: f64,
+    /// Bytes a node leader moves over InfiniBand (hierarchical).
+    pub inter: f64,
+}
+
+impl WireBytes {
+    /// Field-wise sum.
+    pub fn accumulate(&mut self, other: WireBytes) {
+        self.edge += other.edge;
+        self.intra += other.intra;
+        self.inter += other.inter;
+    }
+
+    /// Field-wise maximum.
+    pub fn max(self, other: WireBytes) -> WireBytes {
+        WireBytes {
+            edge: self.edge.max(other.edge),
+            intra: self.intra.max(other.intra),
+            inter: self.inter.max(other.inter),
+        }
+    }
+}
 
 /// Geometry of the process group a collective runs over.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -142,6 +179,129 @@ impl CostModel {
         }
     }
 
+    /// Binomial-tree rounds of a collective over a `k`-rank group.
+    /// Each round ships the whole payload over one link pair, which is
+    /// what makes trees bandwidth-poor but latency-rich. Only the
+    /// AllReduce has a tree form the runtime executes; every other
+    /// kind resolves to the ring via
+    /// [`effective_algo`](Self::effective_algo) before reaching here.
+    fn tree_rounds(kind: CollKind, k: f64) -> f64 {
+        match kind {
+            CollKind::AllReduce => 2.0 * k.log2().ceil(),
+            CollKind::ReduceScatter
+            | CollKind::AllGather
+            | CollKind::Broadcast
+            | CollKind::Reduce => {
+                unreachable!("non-AllReduce tree collectives are costed as the ring")
+            }
+        }
+    }
+
+    /// The algorithm a collective kind actually runs under. The cost
+    /// model only prices algorithms the runtime executes, so a tuned
+    /// configuration's predicted time is the time of what runs:
+    /// Broadcast/Reduce have a single root-based implementation (the
+    /// algorithm dimension does not apply to them), there is no tree
+    /// ReduceScatter/AllGather (NCCL builds none either), and on a
+    /// single-node group the two-level hierarchical algorithm *is* the
+    /// flat intra-node ring — all of those resolve to the ring.
+    fn effective_algo(algo: CollAlgo, kind: CollKind, group: GroupGeom) -> CollAlgo {
+        match (algo, kind) {
+            (_, CollKind::Broadcast | CollKind::Reduce) => CollAlgo::Ring,
+            (CollAlgo::Tree, CollKind::ReduceScatter | CollKind::AllGather) => CollAlgo::Ring,
+            (CollAlgo::Hierarchical, _) if group.nodes_spanned <= 1 => CollAlgo::Ring,
+            _ => algo,
+        }
+    }
+
+    /// Effective intra-node bandwidth under a configuration: NVLink at
+    /// the protocol's line-rate fraction (channels split and re-merge
+    /// on the same links, so they cancel intra-node).
+    pub fn intra_bandwidth(&self, config: CommConfig) -> f64 {
+        let proto = protocol::params(config.protocol);
+        self.machine.interconnect.nvlink_bw_per_gpu * proto.bw_factor * self.knobs.fabric_efficiency
+    }
+
+    /// Effective inter-node bandwidth available to one node's sender(s)
+    /// under a configuration: each channel binds to one NIC, so the
+    /// leader drives `min(channels × NIC, node aggregate)`.
+    pub fn inter_bandwidth(&self, config: CommConfig) -> f64 {
+        let proto = protocol::params(config.protocol);
+        let ic = &self.machine.interconnect;
+        let ch = config.channels.max(1) as f64;
+        (ch * ic.ib_bw_per_nic()).min(ic.ib_bw_per_node)
+            * proto.bw_factor
+            * self.knobs.fabric_efficiency
+    }
+
+    /// The per-rank wire bytes one collective moves under `algo`, split
+    /// by fabric segment (see [`WireBytes`]). This is the
+    /// configuration-independent numerator of the bandwidth floor; one
+    /// walk over a plan's steps computes it for all three algorithms at
+    /// once, which is what lets [`lower_bound_sweep`] answer the whole
+    /// `algo × protocol × channels` grid from a single pass.
+    ///
+    /// [`lower_bound_sweep`]: coconet_core::PlanEvaluator::lower_bound_sweep
+    pub fn collective_wire(
+        &self,
+        algo: CollAlgo,
+        kind: CollKind,
+        elems: u64,
+        dtype: DType,
+        group: GroupGeom,
+    ) -> WireBytes {
+        let algo = Self::effective_algo(algo, kind, group);
+        let k = group.size as f64;
+        if group.size <= 1 {
+            return WireBytes::default();
+        }
+        let bytes = (elems * dtype.size_bytes() as u64) as f64;
+        match algo {
+            CollAlgo::Ring => WireBytes {
+                edge: Self::ring_steps(kind, k) * bytes / k,
+                ..WireBytes::default()
+            },
+            CollAlgo::Tree => WireBytes {
+                edge: Self::tree_rounds(kind, k) * bytes,
+                ..WireBytes::default()
+            },
+            // `effective_algo` resolved single-node groups to Ring,
+            // so this arm always has a genuine two-level split.
+            CollAlgo::Hierarchical => {
+                let m = group.ranks_per_node.max(1) as f64;
+                let n = group.nodes_spanned as f64;
+                // AllReduce runs both phases twice (reduce + gather
+                // directions); ReduceScatter/AllGather once. Other
+                // kinds resolved to the ring in `effective_algo`.
+                let phases = match kind {
+                    CollKind::AllReduce => 2.0,
+                    _ => 1.0,
+                };
+                WireBytes {
+                    edge: 0.0,
+                    intra: phases * (m - 1.0) / m * bytes,
+                    inter: phases * (n - 1.0) / n * bytes,
+                }
+            }
+        }
+    }
+
+    /// The bandwidth-only transfer time of `wire` under a
+    /// configuration: each fabric segment at its effective rate.
+    pub fn wire_time(&self, wire: WireBytes, group: GroupGeom, config: CommConfig) -> f64 {
+        let mut t = 0.0;
+        if wire.edge > 0.0 {
+            t += wire.edge / self.ring_bandwidth(group, config);
+        }
+        if wire.intra > 0.0 {
+            t += wire.intra / self.intra_bandwidth(config);
+        }
+        if wire.inter > 0.0 {
+            t += wire.inter / self.inter_bandwidth(config);
+        }
+        t
+    }
+
     /// Effective aggregate ring bandwidth under a configuration: each
     /// channel gets a slice of the GPU's NVLink bandwidth; rings that
     /// span nodes are bottlenecked by their channel's NIC share.
@@ -159,35 +319,11 @@ impl CostModel {
         ch * edge_bw * proto.bw_factor * self.knobs.fabric_efficiency
     }
 
-    /// The configuration-independent numerator of
-    /// [`collective_bandwidth_floor`]: the bytes one rank pushes
-    /// through its ring edge (`ring_steps · payload / k`). Dividing by
-    /// [`ring_bandwidth`] gives the floor, which is what lets the
-    /// autotuner bound a whole configuration sweep from one pass over
-    /// the steps.
-    ///
-    /// [`collective_bandwidth_floor`]: CostModel::collective_bandwidth_floor
-    /// [`ring_bandwidth`]: CostModel::ring_bandwidth
-    pub fn collective_wire_bytes(
-        &self,
-        kind: CollKind,
-        elems: u64,
-        dtype: DType,
-        group: GroupGeom,
-    ) -> f64 {
-        let k = group.size as f64;
-        if group.size <= 1 {
-            return 0.0;
-        }
-        let bytes = (elems * dtype.size_bytes() as u64) as f64;
-        Self::ring_steps(kind, k) * bytes / k
-    }
-
     /// The wire-transfer term of [`collective_time`] alone — no
-    /// launch, base-latency, per-hop latency, or sync terms. This is
-    /// the irreducible cost a schedule transformation cannot remove,
-    /// which makes it the building block of the autotuner's
-    /// beam-pruning lower bound.
+    /// launch, base-latency, per-hop latency, or sync terms — under the
+    /// configuration's algorithm. This is the irreducible cost a
+    /// schedule transformation cannot remove, which makes it the
+    /// building block of the autotuner's beam-pruning lower bound.
     ///
     /// [`collective_time`]: CostModel::collective_time
     pub fn collective_bandwidth_floor(
@@ -198,10 +334,13 @@ impl CostModel {
         group: GroupGeom,
         config: CommConfig,
     ) -> f64 {
-        self.collective_wire_bytes(kind, elems, dtype, group) / self.ring_bandwidth(group, config)
+        let wire = self.collective_wire(config.algo, kind, elems, dtype, group);
+        self.wire_time(wire, group, config)
     }
 
-    /// Ring-algorithm time for a collective over `group`.
+    /// Time for a collective over `group` under the configuration's
+    /// algorithm (ring / tree / hierarchical — §5.1's logical
+    /// topologies, promoted to a tuned dimension).
     pub fn collective_time(
         &self,
         kind: CollKind,
@@ -210,25 +349,50 @@ impl CostModel {
         group: GroupGeom,
         config: CommConfig,
     ) -> f64 {
+        let config = config.with_algo(Self::effective_algo(config.algo, kind, group));
         let k = group.size as f64;
         if group.size <= 1 {
             return self.launch();
         }
         let proto = protocol::params(config.protocol);
-        let steps = Self::ring_steps(kind, k);
         let t_bw = self.collective_bandwidth_floor(kind, elems, dtype, group, config);
 
-        // Latency: per-step hop latency, averaged over the ring's
-        // intra- and inter-node edges.
-        let inter_edges = if group.nodes_spanned > 1 {
-            group.nodes_spanned as f64
-        } else {
-            0.0
+        let t_lat = match config.algo {
+            // Ring: per-step hop latency, averaged over the ring's
+            // intra- and inter-node edges.
+            CollAlgo::Ring => {
+                let inter_edges = if group.nodes_spanned > 1 {
+                    group.nodes_spanned as f64
+                } else {
+                    0.0
+                };
+                let alpha = (proto.hop_latency_intra * (k - inter_edges)
+                    + proto.hop_latency_inter * inter_edges)
+                    / k;
+                Self::ring_steps(kind, k) * alpha
+            }
+            // Tree: half the rounds cross nodes in the worst case.
+            CollAlgo::Tree => {
+                let alpha = if group.nodes_spanned > 1 {
+                    (proto.hop_latency_intra + proto.hop_latency_inter) / 2.0
+                } else {
+                    proto.hop_latency_intra
+                };
+                Self::tree_rounds(kind, k) * alpha
+            }
+            // Hierarchical: intra-node ring hops plus the leader
+            // exchange's inter-node hops, per phase (single-node
+            // groups were resolved to Ring by `effective_algo`).
+            CollAlgo::Hierarchical => {
+                let m = group.ranks_per_node.max(1) as f64;
+                let n = group.nodes_spanned as f64;
+                let phases = match kind {
+                    CollKind::AllReduce => 2.0,
+                    _ => 1.0,
+                };
+                phases * ((m - 1.0) * proto.hop_latency_intra + (n - 1.0) * proto.hop_latency_inter)
+            }
         };
-        let alpha = (proto.hop_latency_intra * (k - inter_edges)
-            + proto.hop_latency_inter * inter_edges)
-            / k;
-        let t_lat = steps * alpha;
 
         let sync = self.knobs.call_sync_per_log_rank * k.log2();
         self.launch() + proto.base_latency + sync + t_lat + t_bw
@@ -238,6 +402,10 @@ impl CostModel {
     /// a binomial reduce + broadcast in `2·log2(k)` rounds. Each round
     /// moves the *whole* payload, so trees lose to rings on bandwidth
     /// but win on latency at small sizes and large rank counts.
+    /// Convenience wrapper over [`collective_time`] with the
+    /// configuration forced to [`CollAlgo::Tree`].
+    ///
+    /// [`collective_time`]: CostModel::collective_time
     pub fn tree_all_reduce_time(
         &self,
         elems: u64,
@@ -245,24 +413,13 @@ impl CostModel {
         group: GroupGeom,
         config: CommConfig,
     ) -> f64 {
-        let k = group.size as f64;
-        if group.size <= 1 {
-            return self.launch();
-        }
-        let proto = protocol::params(config.protocol);
-        let bytes = (elems * dtype.size_bytes() as u64) as f64;
-        let rounds = 2.0 * k.log2().ceil();
-        let bw = self.ring_bandwidth(group, config);
-        // Every round ships the full payload over one link pair.
-        let t_bw = rounds * bytes / bw;
-        // Latency: half the rounds cross nodes in the worst case.
-        let alpha = if group.nodes_spanned > 1 {
-            (proto.hop_latency_intra + proto.hop_latency_inter) / 2.0
-        } else {
-            proto.hop_latency_intra
-        };
-        let sync = self.knobs.call_sync_per_log_rank * k.log2();
-        self.launch() + proto.base_latency + sync + rounds * alpha + t_bw
+        self.collective_time(
+            CollKind::AllReduce,
+            elems,
+            dtype,
+            group,
+            config.with_algo(CollAlgo::Tree),
+        )
     }
 
     /// Extra cost of walking scattered tensors through bucket tables
@@ -377,6 +534,7 @@ mod tests {
 
     fn cfg(p: Protocol, ch: usize) -> CommConfig {
         CommConfig {
+            algo: CollAlgo::Ring,
             protocol: p,
             channels: ch,
         }
@@ -510,6 +668,7 @@ mod tests {
         let c = cfg(Protocol::LL, 2);
         let small_fused = FusedCollectiveStep {
             label: "f".into(),
+            algo: CollAlgo::Ring,
             elems: 1 << 12,
             dtype: DType::F16,
             extra_bytes_read: 1 << 12,
@@ -544,6 +703,7 @@ mod tests {
         // Adam-like state traffic: ~28 bytes per slice element.
         let fused = FusedCollectiveStep {
             label: "f".into(),
+            algo: CollAlgo::Ring,
             elems,
             dtype: DType::F16,
             extra_bytes_read: slice * 14,
@@ -599,5 +759,133 @@ mod tests {
         let overhead = m.scattered_overhead(360, 334_000_000 / 1024);
         assert!(overhead < 1e-3, "overhead = {overhead}");
         assert!(overhead > 0.0);
+    }
+
+    fn algo_cfg(algo: CollAlgo) -> CommConfig {
+        CommConfig {
+            algo,
+            protocol: Protocol::Simple,
+            channels: 16,
+        }
+    }
+
+    #[test]
+    fn algorithm_size_crossover() {
+        // Tree wins latency-bound small messages; ring wins
+        // bandwidth-bound large ones; hierarchical sits between on a
+        // multi-node group (§5.1's logical-topology tradeoff).
+        let m = model();
+        let g = world_group();
+        let time = |algo, elems| {
+            m.collective_time(CollKind::AllReduce, elems, DType::F16, g, algo_cfg(algo))
+        };
+        let small = 1u64 << 10;
+        let t_ring = time(CollAlgo::Ring, small);
+        let t_tree = time(CollAlgo::Tree, small);
+        let t_hier = time(CollAlgo::Hierarchical, small);
+        assert!(t_tree < t_hier, "small: tree {t_tree} !< hier {t_hier}");
+        assert!(t_hier < t_ring, "small: hier {t_hier} !< ring {t_ring}");
+
+        let large = 1u64 << 28;
+        let t_ring = time(CollAlgo::Ring, large);
+        let t_tree = time(CollAlgo::Tree, large);
+        let t_hier = time(CollAlgo::Hierarchical, large);
+        assert!(t_ring < t_hier, "large: ring {t_ring} !< hier {t_hier}");
+        assert!(t_hier < t_tree, "large: hier {t_hier} !< tree {t_tree}");
+    }
+
+    #[test]
+    fn hierarchical_degenerates_to_ring_on_one_node() {
+        let m = model();
+        let g = intra_group();
+        for elems in [1u64 << 10, 1 << 20, 1 << 28] {
+            for kind in [
+                CollKind::AllReduce,
+                CollKind::ReduceScatter,
+                CollKind::AllGather,
+            ] {
+                let ring = m.collective_time(kind, elems, DType::F16, g, algo_cfg(CollAlgo::Ring));
+                let hier =
+                    m.collective_time(kind, elems, DType::F16, g, algo_cfg(CollAlgo::Hierarchical));
+                assert_eq!(ring, hier, "kind {kind}, elems {elems}");
+            }
+        }
+    }
+
+    #[test]
+    fn wire_matches_bandwidth_floor_per_algo() {
+        // The floor is exactly the wire bytes at the effective rates —
+        // the invariant the autotuner's pruning admissibility rests on.
+        let m = model();
+        let g = world_group();
+        for algo in CollAlgo::ALL {
+            for ch in [2usize, 16, 64] {
+                let config = CommConfig {
+                    algo,
+                    protocol: Protocol::LL128,
+                    channels: ch,
+                };
+                let elems = 1u64 << 22;
+                let wire = m.collective_wire(algo, CollKind::AllReduce, elems, DType::F16, g);
+                let floor =
+                    m.collective_bandwidth_floor(CollKind::AllReduce, elems, DType::F16, g, config);
+                assert!((m.wire_time(wire, g, config) - floor).abs() < 1e-15);
+                let t = m.collective_time(CollKind::AllReduce, elems, DType::F16, g, config);
+                assert!(floor <= t, "{algo}: floor {floor} !<= time {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn unimplemented_algorithm_kinds_cost_as_ring() {
+        // The cost model only prices algorithms the runtime executes:
+        // there is no tree ReduceScatter/AllGather, and Broadcast/
+        // Reduce have one root-based implementation regardless of the
+        // configured algorithm — all of those must cost exactly as the
+        // ring, or the tuner would price schedules on an algorithm
+        // that never runs.
+        let m = model();
+        for g in [intra_group(), world_group()] {
+            for elems in [1u64 << 10, 1 << 24] {
+                let ring_time =
+                    |kind| m.collective_time(kind, elems, DType::F16, g, algo_cfg(CollAlgo::Ring));
+                for algo in [CollAlgo::Tree, CollAlgo::Hierarchical] {
+                    for kind in [CollKind::Broadcast, CollKind::Reduce] {
+                        let t = m.collective_time(kind, elems, DType::F16, g, algo_cfg(algo));
+                        assert_eq!(ring_time(kind), t, "{algo} {kind}, elems {elems}");
+                    }
+                }
+                for kind in [CollKind::ReduceScatter, CollKind::AllGather] {
+                    let tree =
+                        m.collective_time(kind, elems, DType::F16, g, algo_cfg(CollAlgo::Tree));
+                    assert_eq!(ring_time(kind), tree, "tree {kind}, elems {elems}");
+                    assert_eq!(
+                        m.collective_wire(CollAlgo::Ring, kind, elems, DType::F16, g),
+                        m.collective_wire(CollAlgo::Tree, kind, elems, DType::F16, g),
+                    );
+                }
+                // AllReduce does have tree and hierarchical forms, and
+                // they differ (on multi-node groups for hierarchical).
+                let ar = |algo| {
+                    m.collective_time(CollKind::AllReduce, elems, DType::F16, g, algo_cfg(algo))
+                };
+                assert_ne!(ar(CollAlgo::Ring), ar(CollAlgo::Tree));
+                if g.nodes_spanned > 1 {
+                    assert_ne!(ar(CollAlgo::Ring), ar(CollAlgo::Hierarchical));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inter_bandwidth_scales_with_channels_up_to_node_aggregate() {
+        let m = model();
+        let c2 = m.inter_bandwidth(cfg(Protocol::Simple, 2));
+        let c8 = m.inter_bandwidth(cfg(Protocol::Simple, 8));
+        let c64 = m.inter_bandwidth(cfg(Protocol::Simple, 64));
+        assert!(c2 < c8, "2 NICs < 8 NICs");
+        assert_eq!(c8, c64, "aggregate caps at the node's 8 NICs");
+        // Intra-node NVLink is channel-independent and faster.
+        assert!(m.intra_bandwidth(cfg(Protocol::Simple, 2)) > c64);
     }
 }

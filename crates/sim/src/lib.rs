@@ -15,7 +15,7 @@
 //! # Examples
 //!
 //! ```
-//! use coconet_core::{CollKind, CollectiveStep, CommConfig, DType, Step};
+//! use coconet_core::{CollAlgo, CollKind, CollectiveStep, CommConfig, DType, Step};
 //! use coconet_sim::Simulator;
 //! use coconet_topology::MachineSpec;
 //!
@@ -23,6 +23,7 @@
 //! let ar = Step::Collective(CollectiveStep {
 //!     label: "allreduce".into(),
 //!     kind: CollKind::AllReduce,
+//!     algo: CollAlgo::Ring,
 //!     elems: 1 << 26,
 //!     dtype: DType::F16,
 //!     scattered: None,
@@ -39,7 +40,7 @@ mod overlap;
 mod protocol;
 mod simulator;
 
-pub use cost::{CostKnobs, CostModel, GroupGeom};
+pub use cost::{CostKnobs, CostModel, GroupGeom, WireBytes};
 pub use event::{ResourceId, TaskGraph, TaskId, Timeline};
 pub use overlap::{simulate_overlap, simulate_overlap_with_tiles, tile_count, OverlapSim};
 pub use protocol::{channel_sweep, default_protocol, params as protocol_params, ProtocolParams};

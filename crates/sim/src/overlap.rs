@@ -74,9 +74,11 @@ pub fn simulate_overlap_with_tiles(
             let t = match s {
                 OverlapStage::MatMul(mm) => cost.matmul_time(mm),
                 OverlapStage::Collective(c) => {
-                    cost.collective_time(c.kind, c.elems, c.dtype, geom, config)
+                    cost.collective_time(c.kind, c.elems, c.dtype, geom, config.with_algo(c.algo))
                 }
-                OverlapStage::FusedCollective(f) => cost.fused_collective_time(f, geom, config),
+                OverlapStage::FusedCollective(f) => {
+                    cost.fused_collective_time(f, geom, config.with_algo(f.algo))
+                }
                 OverlapStage::SendRecv(sr) => cost.send_recv_time(sr, geom, crosses_nodes, config),
             };
             (s.label().to_string(), (t - launch).max(0.0))
@@ -173,7 +175,8 @@ pub(crate) fn stage_kind(stage: &OverlapStage) -> Option<CollKind> {
 mod tests {
     use super::*;
     use coconet_core::{
-        CollectiveStep, CommConfig, DType, FusedCollectiveStep, MatMulStep, Protocol, SendRecvStep,
+        CollAlgo, CollectiveStep, CommConfig, DType, FusedCollectiveStep, MatMulStep, Protocol,
+        SendRecvStep,
     };
     use coconet_topology::MachineSpec;
 
@@ -191,6 +194,7 @@ mod tests {
 
     fn cfg() -> CommConfig {
         CommConfig {
+            algo: CollAlgo::Ring,
             protocol: Protocol::Simple,
             channels: 16,
         }
@@ -210,6 +214,7 @@ mod tests {
                 }),
                 OverlapStage::FusedCollective(FusedCollectiveStep {
                     label: "fusedAR".into(),
+                    algo: CollAlgo::Ring,
                     elems: b * 1024 * 3072,
                     dtype: DType::F16,
                     extra_bytes_read: 0,
@@ -260,6 +265,7 @@ mod tests {
                 OverlapStage::Collective(CollectiveStep {
                     label: "rs".into(),
                     kind: CollKind::ReduceScatter,
+                    algo: CollAlgo::Ring,
                     elems,
                     dtype: DType::F16,
                     scattered: None,
@@ -275,6 +281,7 @@ mod tests {
                 OverlapStage::Collective(CollectiveStep {
                     label: "ag".into(),
                     kind: CollKind::AllGather,
+                    algo: CollAlgo::Ring,
                     elems,
                     dtype: DType::F16,
                     scattered: None,

@@ -1,11 +1,15 @@
 //! End-to-end plan timing: the machine-level evaluator the autotuner
 //! and benchmarks use.
 
-use coconet_core::{CollKind, CommConfig, ExecPlan, OverlapStage, PlanEvaluator, Step};
+use coconet_core::{CollAlgo, CollKind, CommConfig, ExecPlan, OverlapStage, PlanEvaluator, Step};
 use coconet_topology::{Cluster, MachineSpec};
 
+use crate::cost::WireBytes;
 use crate::overlap::simulate_overlap;
 use crate::{CostModel, GroupGeom};
+
+/// Number of collective algorithms ([`CollAlgo::ALL`]).
+const N_ALGOS: usize = CollAlgo::ALL.len();
 
 /// Category of a timed step, for the stacked-bar breakdowns of
 /// Figures 11 and 12.
@@ -139,9 +143,16 @@ impl Simulator {
                 category: StepCategory::Compute,
             },
             Step::Collective(c) => {
-                let mut t = self
-                    .cost
-                    .collective_time(c.kind, c.elems, c.dtype, geom, config);
+                // The step's stamped algorithm wins over the plan-level
+                // configuration (lowering keeps them consistent; the
+                // stamp is authoritative for hand-built plans).
+                let mut t = self.cost.collective_time(
+                    c.kind,
+                    c.elems,
+                    c.dtype,
+                    geom,
+                    config.with_algo(c.algo),
+                );
                 if let Some(s) = c.scattered {
                     t += self.cost.scattered_overhead(s.n_tensors, s.n_buckets);
                 }
@@ -153,7 +164,9 @@ impl Simulator {
             }
             Step::FusedCollective(f) => StepTime {
                 label: f.label.clone(),
-                seconds: self.cost.fused_collective_time(f, geom, config),
+                seconds: self
+                    .cost
+                    .fused_collective_time(f, geom, config.with_algo(f.algo)),
                 category: StepCategory::FusedCommunication,
             },
             Step::SendRecv(sr) => StepTime {
@@ -193,131 +206,197 @@ impl Simulator {
     }
 
     /// The configuration-independent coefficients of both autotuner
-    /// lower bounds, from one pass over the plan's steps. Under a
-    /// configuration `c` with effective ring bandwidth `bw(c)`:
+    /// lower bounds for *all three collective algorithms*, from one
+    /// pass over the plan's steps. Under a configuration `c`:
     ///
-    /// - tight per-plan floor = `fixed_s + wire_bytes / bw(c)`
-    /// - descendant floor = `descendant_wire_bytes / bw(c)`
+    /// - tight per-plan floor = `fixed_s + wire_time(wire[c.algo], c)`
+    ///   plus each overlapped step's largest-stage floor
+    /// - descendant floor = the largest single-segment transfer of
+    ///   `durable[c.algo]` at `c`'s effective rates
     pub fn floor_profile(&self, plan: &ExecPlan) -> FloorProfile {
         let geom = self.group_geom();
         let launch = self.cost_model().machine().gpu.launch_overhead;
-        // Per-rank ring-edge bytes of a step, at the step's own volume.
-        let wire = |kind: CollKind, elems: u64, dtype| {
-            self.cost.collective_wire_bytes(kind, elems, dtype, geom)
+        let wire = |algo: CollAlgo, kind: CollKind, elems: u64, dtype| {
+            self.cost.collective_wire(algo, kind, elems, dtype, geom)
         };
-        // What of that volume survives every further transformation:
-        // an AllReduce may split (and an overlapped pipeline is
-        // bounded only by its largest stage), so it keeps only its
-        // ReduceScatter half; an AllGather can be eliminated entirely
-        // (`asSlice` + `dead`) and a send can shrink by the group size
-        // once slicing applies, so both keep nothing.
-        let durable_wire = |kind: CollKind, elems: u64, dtype| match kind {
-            CollKind::AllReduce => wire(CollKind::ReduceScatter, elems, dtype),
-            CollKind::AllGather => 0.0,
-            k => wire(k, elems, dtype),
+        // What of a step's volume survives every further
+        // transformation: an AllReduce may split (and an overlapped
+        // pipeline is bounded only by its largest stage), so it keeps
+        // only its ReduceScatter half; an AllGather can be eliminated
+        // entirely (`asSlice` + `dead`) and a send can shrink by the
+        // group size once slicing applies, so both keep nothing.
+        let durable_wire = |algo: CollAlgo, kind: CollKind, elems: u64, dtype| match kind {
+            CollKind::AllReduce => wire(algo, CollKind::ReduceScatter, elems, dtype),
+            CollKind::AllGather => WireBytes::default(),
+            k => wire(algo, k, elems, dtype),
         };
         let mut profile = FloorProfile {
             fixed_s: 0.0,
-            wire_bytes: 0.0,
-            descendant_wire_bytes: 0.0,
+            wire: [WireBytes::default(); N_ALGOS],
+            overlap_wire: Vec::new(),
+            durable: [WireBytes::default(); N_ALGOS],
         };
         for step in &plan.steps {
-            let (fixed, wire_bytes, durable) = match step {
-                Step::Collective(c) => (
-                    launch,
-                    wire(c.kind, c.elems, c.dtype),
-                    durable_wire(c.kind, c.elems, c.dtype),
-                ),
-                Step::FusedCollective(f) => (
-                    launch,
-                    wire(CollKind::AllReduce, f.elems, f.dtype),
-                    durable_wire(CollKind::AllReduce, f.elems, f.dtype),
-                ),
+            match step {
+                Step::Collective(c) => {
+                    profile.fixed_s += launch;
+                    for algo in CollAlgo::ALL {
+                        let i = algo.index();
+                        profile.wire[i].accumulate(wire(algo, c.kind, c.elems, c.dtype));
+                        profile.durable[i] =
+                            profile.durable[i].max(durable_wire(algo, c.kind, c.elems, c.dtype));
+                    }
+                }
+                Step::FusedCollective(f) => {
+                    profile.fixed_s += launch;
+                    for algo in CollAlgo::ALL {
+                        let i = algo.index();
+                        profile.wire[i].accumulate(wire(
+                            algo,
+                            CollKind::AllReduce,
+                            f.elems,
+                            f.dtype,
+                        ));
+                        profile.durable[i] = profile.durable[i].max(durable_wire(
+                            algo,
+                            CollKind::AllReduce,
+                            f.elems,
+                            f.dtype,
+                        ));
+                    }
+                }
                 // The pipeline can hide everything but its largest
                 // communication stage (launch amortization inside the
                 // pipeline is the overlap engine's business, so no
-                // launch term here).
+                // launch term here). Stage maxima are kept field-wise
+                // per algorithm; the per-config bound takes the largest
+                // single segment, which under-approximates the true
+                // largest stage and stays admissible.
                 Step::Overlapped(ol) => {
-                    let stage_wire = |st: &coconet_core::OverlapStage, durable: bool| match st {
-                        OverlapStage::Collective(c) => {
-                            if durable {
-                                durable_wire(c.kind, c.elems, c.dtype)
-                            } else {
-                                wire(c.kind, c.elems, c.dtype)
+                    let mut stage_max = [WireBytes::default(); N_ALGOS];
+                    for st in &ol.stages {
+                        let (kind, elems, dtype) = match st {
+                            OverlapStage::Collective(c) => (c.kind, c.elems, c.dtype),
+                            OverlapStage::FusedCollective(f) => {
+                                (CollKind::AllReduce, f.elems, f.dtype)
                             }
+                            OverlapStage::MatMul(_) | OverlapStage::SendRecv(_) => continue,
+                        };
+                        for algo in CollAlgo::ALL {
+                            let i = algo.index();
+                            stage_max[i] = stage_max[i].max(wire(algo, kind, elems, dtype));
+                            profile.durable[i] =
+                                profile.durable[i].max(durable_wire(algo, kind, elems, dtype));
                         }
-                        OverlapStage::FusedCollective(f) => {
-                            if durable {
-                                durable_wire(CollKind::AllReduce, f.elems, f.dtype)
-                            } else {
-                                wire(CollKind::AllReduce, f.elems, f.dtype)
-                            }
-                        }
-                        OverlapStage::MatMul(_) | OverlapStage::SendRecv(_) => 0.0,
-                    };
-                    (
-                        0.0,
-                        ol.stages
-                            .iter()
-                            .map(|st| stage_wire(st, false))
-                            .fold(0.0f64, f64::max),
-                        ol.stages
-                            .iter()
-                            .map(|st| stage_wire(st, true))
-                            .fold(0.0f64, f64::max),
-                    )
+                    }
+                    profile.overlap_wire.push(stage_max);
                 }
                 // Every kernel/GEMM/P2P cost path starts at the launch
                 // overhead; fixed steps cost exactly what they say.
-                Step::Kernel(_) | Step::MatMul(_) | Step::SendRecv(_) => (launch, 0.0, 0.0),
-                Step::Fixed(f) => (f.seconds, 0.0, 0.0),
-            };
-            profile.fixed_s += fixed;
-            profile.wire_bytes += wire_bytes;
-            profile.descendant_wire_bytes = profile.descendant_wire_bytes.max(durable);
+                Step::Kernel(_) | Step::MatMul(_) | Step::SendRecv(_) => profile.fixed_s += launch,
+                Step::Fixed(f) => profile.fixed_s += f.seconds,
+            }
         }
         profile
     }
 
+    /// Both bounds of one profile under one configuration — the single
+    /// code path behind [`plan_time_floor`], [`plan_lower_bound`], and
+    /// the sweep, so they agree bit-for-bit (the contract
+    /// [`PlanEvaluator::lower_bound_sweep`] requires).
+    ///
+    /// [`plan_time_floor`]: Simulator::plan_time_floor
+    /// [`plan_lower_bound`]: Simulator::plan_lower_bound
+    fn bounds_for_config(&self, profile: &FloorProfile, config: CommConfig) -> (f64, f64) {
+        let geom = self.group_geom();
+        let i = config.algo.index();
+        // Largest single-segment floor of a field-wise maximum: each
+        // term is one real stage's partial wire time, so the max never
+        // exceeds the true slowest stage (admissible).
+        let largest_segment = |w: WireBytes| {
+            let e = if w.edge > 0.0 {
+                w.edge / self.cost.ring_bandwidth(geom, config)
+            } else {
+                0.0
+            };
+            let intra = if w.intra > 0.0 {
+                w.intra / self.cost.intra_bandwidth(config)
+            } else {
+                0.0
+            };
+            let inter = if w.inter > 0.0 {
+                w.inter / self.cost.inter_bandwidth(config)
+            } else {
+                0.0
+            };
+            e.max(intra).max(inter)
+        };
+        let mut tight = profile.fixed_s + self.cost.wire_time(profile.wire[i], geom, config);
+        for stage_max in &profile.overlap_wire {
+            tight += largest_segment(stage_max[i]);
+        }
+        let descendant = largest_segment(profile.durable[i]);
+        (tight, descendant)
+    }
+
     /// A tight optimistic lower bound on
-    /// [`time_plan`](Simulator::time_plan) for *this* plan: per step,
+    /// [`time_plan`](Simulator::time_plan) for *this* plan under its
+    /// configuration (including its collective algorithm): per step,
     /// the launch overhead plus the step's own bandwidth-only wire
-    /// time, summed — every term [`time_plan`] also pays, with all
+    /// time, summed — every term [`time_plan`](Simulator::time_plan)
+    /// also pays, with all
     /// latency, sync, efficiency-curve, and register-pressure terms
     /// dropped. The autotuner uses it to skip configurations (e.g. the
-    /// LL protocol on a bandwidth-bound AllReduce) that provably
-    /// cannot beat the incumbent.
+    /// LL protocol on a bandwidth-bound AllReduce, or the tree
+    /// algorithm on a large payload) that provably cannot beat the
+    /// incumbent.
     pub fn plan_time_floor(&self, plan: &ExecPlan) -> f64 {
-        let profile = self.floor_profile(plan);
-        let bw = self.cost.ring_bandwidth(self.group_geom(), plan.config);
-        profile.fixed_s + profile.wire_bytes / bw
+        debug_assert!(
+            plan.algo_stamps_consistent(),
+            "bounds assume the steps carry the plan config's algorithm; \
+             use ExecPlan::set_config to retag"
+        );
+        self.bounds_for_config(&self.floor_profile(plan), plan.config)
+            .0
     }
 
     /// An optimistic lower bound on [`time_plan`](Simulator::time_plan)
     /// that also under-estimates every schedule derivable from the
-    /// plan's program by further transformations — the admissibility
-    /// the autotuner's branch pruning relies on. The bound is the
-    /// largest irreducible wire transfer in the plan (see
+    /// plan's program by further transformations under the same
+    /// configuration — the admissibility the autotuner's branch
+    /// pruning relies on. Like
+    /// [`plan_time_floor`](Simulator::plan_time_floor), the bound is
+    /// taken under `plan.config.algo` and assumes the steps are
+    /// stamped consistently (guaranteed by [`ExecPlan::set_config`]). The bound is the largest irreducible wire
+    /// transfer in the plan under the configuration's algorithm (see
     /// [`floor_profile`](Simulator::floor_profile) for what counts as
     /// irreducible).
     pub fn plan_lower_bound(&self, plan: &ExecPlan) -> f64 {
-        let profile = self.floor_profile(plan);
-        let bw = self.cost.ring_bandwidth(self.group_geom(), plan.config);
-        profile.descendant_wire_bytes / bw
+        debug_assert!(
+            plan.algo_stamps_consistent(),
+            "bounds assume the steps carry the plan config's algorithm; \
+             use ExecPlan::set_config to retag"
+        );
+        self.bounds_for_config(&self.floor_profile(plan), plan.config)
+            .1
     }
 }
 
-/// Configuration-independent lower-bound coefficients of one plan —
-/// see [`Simulator::floor_profile`].
-#[derive(Clone, Copy, Debug, PartialEq)]
+/// Configuration-independent lower-bound coefficients of one plan,
+/// per collective algorithm — see [`Simulator::floor_profile`].
+#[derive(Clone, Debug, PartialEq)]
 pub struct FloorProfile {
     /// Launch/fixed seconds every configuration pays.
     pub fixed_s: f64,
-    /// Summed per-rank ring-edge bytes of the plan's communication.
-    pub wire_bytes: f64,
-    /// The largest per-rank ring-edge byte count that survives every
-    /// further transformation.
-    pub descendant_wire_bytes: f64,
+    /// Summed wire bytes of the plan's non-overlapped communication,
+    /// indexed by [`CollAlgo::index`].
+    pub wire: [WireBytes; N_ALGOS],
+    /// Field-wise stage maxima of each overlapped step's communication,
+    /// indexed by [`CollAlgo::index`].
+    pub overlap_wire: Vec<[WireBytes; N_ALGOS]>,
+    /// Field-wise maxima of the wire bytes that survive every further
+    /// transformation, indexed by [`CollAlgo::index`].
+    pub durable: [WireBytes; N_ALGOS],
 }
 
 /// The machine simulator *is* the autotuner's evaluator: estimated
@@ -338,20 +417,14 @@ impl PlanEvaluator for Simulator {
     }
 
     fn lower_bound_sweep(&self, plan: &ExecPlan, configs: &[CommConfig]) -> (Vec<f64>, Vec<f64>) {
-        // One pass over the steps, one division per configuration —
-        // this is what keeps pruning cheaper than the evaluations it
-        // saves.
+        // One pass over the steps (covering all three algorithms), a
+        // few divisions per configuration — this is what keeps pruning
+        // cheaper than the evaluations it saves across the enlarged
+        // `algo × protocol × channels` grid.
         let profile = self.floor_profile(plan);
-        let geom = self.group_geom();
         configs
             .iter()
-            .map(|&config| {
-                let bw = self.cost.ring_bandwidth(geom, config);
-                (
-                    profile.fixed_s + profile.wire_bytes / bw,
-                    profile.descendant_wire_bytes / bw,
-                )
-            })
+            .map(|&config| self.bounds_for_config(&profile, config))
             .unzip()
     }
 }
@@ -359,9 +432,7 @@ impl PlanEvaluator for Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use coconet_core::{
-        CollKind, CollectiveStep, DType, FixedStep, KernelStep, Protocol, ScatterInfo,
-    };
+    use coconet_core::{CollectiveStep, DType, FixedStep, KernelStep, Protocol, ScatterInfo};
 
     fn simulator() -> Simulator {
         Simulator::new(MachineSpec::dgx2_cluster(16), 256, 1)
@@ -406,6 +477,7 @@ mod tests {
                 Step::Collective(CollectiveStep {
                     label: "ar".into(),
                     kind: CollKind::AllReduce,
+                    algo: CollAlgo::Ring,
                     elems: 1 << 20,
                     dtype: DType::F16,
                     scattered: None,
@@ -416,6 +488,7 @@ mod tests {
                 }),
             ],
             config: CommConfig {
+                algo: CollAlgo::Ring,
                 protocol: Protocol::Simple,
                 channels: 16,
             },
@@ -432,43 +505,55 @@ mod tests {
     #[test]
     fn lower_bound_is_admissible_and_positive_for_comm() {
         let s = simulator();
-        for protocol in coconet_core::Protocol::ALL {
-            for channels in [2usize, 16, 64] {
-                let config = CommConfig { protocol, channels };
-                let plan = ExecPlan {
-                    name: "lb".into(),
-                    steps: vec![
-                        Step::MatMul(coconet_core::MatMulStep {
-                            label: "mm".into(),
-                            m: 4096,
-                            k: 1024,
-                            n: 4096,
-                            dtype: DType::F16,
-                        }),
-                        Step::Collective(CollectiveStep {
-                            label: "ar".into(),
-                            kind: CollKind::AllReduce,
-                            elems: 1 << 26,
-                            dtype: DType::F16,
-                            scattered: None,
-                        }),
-                    ],
-                    config,
-                };
-                let descendant = s.plan_lower_bound(&plan);
-                let tight = s.plan_time_floor(&plan);
-                let t = s.time_plan(&plan).total;
-                assert!(descendant > 0.0, "comm plans have a positive floor");
-                assert!(
-                    descendant <= tight,
-                    "descendant bound {descendant} must be looser than {tight}"
-                );
-                assert!(tight <= t, "floor {tight} must not exceed actual {t}");
-                // And the evaluator trait agrees with the inherent API.
-                use coconet_core::PlanEvaluator as _;
-                assert_eq!(s.evaluate(&plan), t);
-                assert_eq!(s.lower_bound(&plan), tight);
-                assert_eq!(s.descendant_lower_bound(&plan), descendant);
+        for algo in CollAlgo::ALL {
+            for protocol in coconet_core::Protocol::ALL {
+                for channels in [2usize, 16, 64] {
+                    let config = CommConfig {
+                        algo,
+                        protocol,
+                        channels,
+                    };
+                    let mut plan = ExecPlan {
+                        name: "lb".into(),
+                        steps: vec![
+                            Step::MatMul(coconet_core::MatMulStep {
+                                label: "mm".into(),
+                                m: 4096,
+                                k: 1024,
+                                n: 4096,
+                                dtype: DType::F16,
+                            }),
+                            Step::Collective(CollectiveStep {
+                                label: "ar".into(),
+                                kind: CollKind::AllReduce,
+                                algo: CollAlgo::Ring,
+                                elems: 1 << 26,
+                                dtype: DType::F16,
+                                scattered: None,
+                            }),
+                        ],
+                        config,
+                    };
+                    plan.set_config(config);
+                    let descendant = s.plan_lower_bound(&plan);
+                    let tight = s.plan_time_floor(&plan);
+                    let t = s.time_plan(&plan).total;
+                    assert!(descendant > 0.0, "comm plans have a positive floor");
+                    assert!(
+                        descendant <= tight,
+                        "descendant bound {descendant} must be looser than {tight}"
+                    );
+                    assert!(tight <= t, "floor {tight} must not exceed actual {t}");
+                    // And the evaluator trait agrees with the inherent
+                    // API, including the one-pass sweep.
+                    use coconet_core::PlanEvaluator as _;
+                    assert_eq!(s.evaluate(&plan), t);
+                    assert_eq!(s.lower_bound(&plan), tight);
+                    assert_eq!(s.descendant_lower_bound(&plan), descendant);
+                    let (tights, descendants) = s.lower_bound_sweep(&plan, &[config]);
+                    assert_eq!(tights[0], tight);
+                    assert_eq!(descendants[0], descendant);
+                }
             }
         }
     }
@@ -480,6 +565,7 @@ mod tests {
         let base = CollectiveStep {
             label: "ar".into(),
             kind: CollKind::AllReduce,
+            algo: CollAlgo::Ring,
             elems: 334_000_000,
             dtype: DType::F16,
             scattered: None,

@@ -92,6 +92,31 @@ impl Cluster {
         nodes.dedup();
         nodes.len()
     }
+
+    /// The group of all ranks on one node — the intra-node ring of the
+    /// hierarchical collective algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node_group(&self, node: usize) -> ProcessGroup {
+        assert!(node < self.spec.nodes, "node {node} out of range");
+        ProcessGroup::range(node * self.spec.gpus_per_node, self.spec.gpus_per_node)
+    }
+
+    /// One leader rank per node (each node's first rank) — the
+    /// participants of the hierarchical algorithm's inter-node
+    /// exchange.
+    pub fn node_leaders(&self) -> Vec<Rank> {
+        (0..self.spec.nodes)
+            .map(|n| n * self.spec.gpus_per_node)
+            .collect()
+    }
+
+    /// Whether `rank` is its node's leader.
+    pub fn is_node_leader(&self, rank: Rank) -> bool {
+        self.local_index(rank) == 0
+    }
 }
 
 /// A set of consecutive ranks participating in a collective.
@@ -247,6 +272,28 @@ mod tests {
     #[should_panic(expected = "equal groups")]
     fn uneven_groups_panic() {
         cluster().consecutive_groups(3);
+    }
+
+    #[test]
+    fn node_groups_and_leaders() {
+        let c = cluster();
+        let n0 = c.node_group(0);
+        assert_eq!(n0.ranks(), (0..16).collect::<Vec<_>>());
+        assert_eq!(c.node_group(1).first(), 16);
+        assert_eq!(c.node_leaders(), vec![0, 16]);
+        assert!(c.is_node_leader(16));
+        assert!(!c.is_node_leader(17));
+        // Leaders are exactly the first rank of each node group.
+        for (&leader, node) in c.node_leaders().iter().zip(0..) {
+            assert_eq!(c.node_group(node).first(), leader);
+            assert_eq!(c.local_index(leader), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_node_group_panics() {
+        cluster().node_group(2);
     }
 
     #[test]

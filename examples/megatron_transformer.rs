@@ -120,7 +120,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .global("wMlp", Tensor::randn([32, 8], DType::F16, rng, 4_000))
         .global("bMlp", Tensor::randn([8], DType::F16, rng, 5_000))
         .global("hMlp", Tensor::randn([2, 4, 32], DType::F16, rng, 80_000));
-    let opts = RunOptions { seed: 42 };
+    let opts = RunOptions::default().with_seed(42);
     let reference = run_program(&program, &small, &inputs, opts)?;
     let ref_out = reference.global("next")?;
     let out_name = {

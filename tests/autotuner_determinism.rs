@@ -110,6 +110,15 @@ proptest! {
             (e.time - p.time).abs() <= 1e-15 * e.time.max(1.0),
             "winning times diverged: {} vs {}", e.time, p.time
         );
+        // The sweep covers the enlarged grid: every lowerable schedule
+        // is costed under algo × protocol × channels = 3 × 3 × 6 = 54
+        // configurations in the exhaustive reference.
+        let grid = Autotuner::default();
+        let grid_size = grid.algos.len() * grid.protocols.len() * grid.channels.len();
+        prop_assert_eq!(grid_size, 54);
+        prop_assert!(exhaustive.configs_evaluated >= grid_size);
+        prop_assert_eq!(exhaustive.configs_evaluated % grid_size, 0);
+
         // Pruning never does more work, and the exhaustive reference
         // never skips any.
         prop_assert!(pruned.configs_evaluated <= exhaustive.configs_evaluated);

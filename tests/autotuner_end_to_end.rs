@@ -101,7 +101,7 @@ fn tuned_winner_is_semantics_preserving() {
         .global("b", Tensor::randn([16], DType::F16, rng, 5_000))
         .global("in", Tensor::randn([2, 4, 16], DType::F16, rng, 6_000))
         .global("r", Tensor::randn([2, 4, 16], DType::F16, rng, 7_000));
-    let opts = RunOptions { seed: 21 };
+    let opts = RunOptions::default().with_seed(21);
     let reference = run_program(&program, &binding, &inputs, opts)
         .unwrap()
         .global("out")

@@ -92,7 +92,7 @@ proptest! {
             )
             .global("bias", Tensor::randn([cols], DType::F32, rng, 777_000))
             .global("res", Tensor::randn([rows, cols], DType::F32, rng, 888_000));
-        let opts = RunOptions { seed: seed ^ 0xabcd };
+        let opts = RunOptions::default().with_seed(seed ^ 0xabcd);
 
         let (base, _, _) = build_program(&ops);
         let reference = run_program(&base, &binding, &inputs, opts)
@@ -140,7 +140,7 @@ proptest! {
             )
             .global("bias", Tensor::randn([8], DType::F32, rng, 1_000))
             .global("res", Tensor::randn([2, 8], DType::F32, rng, 2_000));
-        let opts = RunOptions { seed };
+        let opts = RunOptions::default().with_seed(seed);
 
         let (base, _, _) = build_program(&ops);
         let reference = run_program(&base, &binding, &inputs, opts)

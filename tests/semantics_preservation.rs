@@ -4,13 +4,19 @@
 //! program's outputs.
 
 use coconet::core::xform::{fuse_all_reduce, overlap, reorder_all_gather, split_all_reduce};
-use coconet::core::{Binding, DType, Layout, Program, ReduceOp};
+use coconet::core::{Autotuner, Binding, CollAlgo, DType, Layout, Program, ReduceOp};
 use coconet::models::model_parallel::{apply_block_schedule, Block, BlockSchedule};
 use coconet::models::optimizers::{apply_optimizer_schedule, optimizer_program, reference_step};
 use coconet::models::pipeline::{apply_pipeline_schedule, PipelineSchedule};
 use coconet::models::{Hyper, Optimizer, OptimizerSchedule};
-use coconet::runtime::{run_program, Inputs, RunOptions};
+use coconet::runtime::{
+    hierarchical_all_gather, hierarchical_reduce_scatter, ring_all_reduce, run_program, run_ranks,
+    Group, Inputs, RunOptions,
+};
+use coconet::sim::Simulator;
 use coconet::tensor::{CounterRng, Tensor};
+use coconet::topology::{Cluster, GpuSpec, InterconnectSpec, MachineSpec};
+use proptest::prelude::*;
 
 /// The paper's running example at several group sizes: the fully
 /// scheduled program must match the baseline on every geometry.
@@ -48,7 +54,7 @@ fn running_example_all_group_sizes() {
                 Tensor::randn([2, 4, h as usize], DType::F16, rng, 50_000),
             )
             .global("r", Tensor::randn([2, 4, 16], DType::F16, rng, 60_000));
-        let opts = RunOptions { seed: 777 };
+        let opts = RunOptions::default().with_seed(777);
 
         let (base, _) = build();
         let reference = run_program(&base, &binding, &inputs, opts)
@@ -213,7 +219,7 @@ fn model_parallel_blocks_all_schedules() {
                     "r",
                     Tensor::randn([2, 2, h as usize], DType::F16, rng, 30_000),
                 );
-            let opts = RunOptions { seed: 11 };
+            let opts = RunOptions::default().with_seed(11);
             let (base, _, base_out) = apply_block_schedule(block, BlockSchedule::Megatron).unwrap();
             let reference = run_program(&base, &binding, &inputs, opts)
                 .unwrap()
@@ -259,7 +265,7 @@ fn pipeline_three_groups_all_schedules() {
         )
         .global("b", Tensor::randn([8], DType::F16, rng, 1_000))
         .global("r", Tensor::randn([2, 2, 8], DType::F16, rng, 2_000));
-    let opts = RunOptions { seed: 31 };
+    let opts = RunOptions::default().with_seed(31);
     let (base, _, base_out) = apply_pipeline_schedule(PipelineSchedule::Megatron).unwrap();
     let base_run = run_program(&base, &binding, &inputs, opts).unwrap();
     let reference = base_run.global(&base_out).unwrap();
@@ -277,4 +283,156 @@ fn pipeline_three_groups_all_schedules() {
         let diff = got.max_abs_diff(&reference);
         assert!(diff < 3e-2, "{}: {diff}", schedule.label());
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: the hierarchical two-level ReduceScatter composed with
+    /// the hierarchical AllGather equals the flat ring AllReduce — for
+    /// every `ReduceOp`, uneven tensor sizes (including fewer elements
+    /// than ranks), and multi-node group splits (including a short
+    /// last node).
+    #[test]
+    fn hierarchical_rs_ag_equals_flat_ring_allreduce(
+        k in 2usize..9,
+        node_size in 1usize..5,
+        numel in 0usize..40,
+        op_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let op = [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max][op_idx];
+        let results = run_ranks(k, move |comm| {
+            let group = Group { start: 0, size: k };
+            // Small integer values: every partial reduction is exactly
+            // representable in f32, so the two algorithms' different
+            // reduction orders must agree bit for bit.
+            let input = Tensor::from_fn([numel], DType::F32, |i| {
+                ((seed as usize + comm.rank() * 31 + i * 7) % 17) as f32 - 8.0
+            });
+            let reference = ring_all_reduce(&comm, group, &input, op);
+            let chunk = hierarchical_reduce_scatter(&comm, group, &input, op, node_size);
+            let gathered = hierarchical_all_gather(&comm, group, &chunk, node_size);
+            let mut composed = Tensor::zeros([numel], DType::F32);
+            let mut off = 0;
+            for c in gathered {
+                composed.write_flat(off, &c).unwrap();
+                off += c.numel();
+            }
+            (reference, composed)
+        });
+        for (r, (reference, composed)) in results.iter().enumerate() {
+            prop_assert_eq!(
+                reference.to_f32_vec(),
+                composed.to_f32_vec(),
+                "k={} node_size={} numel={} op={:?} rank={}",
+                k, node_size, numel, op, r
+            );
+        }
+    }
+}
+
+/// A 2-node, 2-GPUs-per-node machine, so that a 4-rank group genuinely
+/// spans nodes and the hierarchical algorithm is non-degenerate in both
+/// the cost model and the runtime.
+fn two_by_two_machine() -> MachineSpec {
+    MachineSpec {
+        gpu: GpuSpec::v100(),
+        interconnect: InterconnectSpec::dgx2(),
+        gpus_per_node: 2,
+        nodes: 2,
+    }
+}
+
+/// The executor runs the collective algorithm a *tuned plan* selected —
+/// not just the ring. For each algorithm, the autotuner (restricted to
+/// that algorithm's slice of the grid) picks a winning configuration;
+/// the functional runtime then executes the winning schedule under that
+/// configuration and must reproduce the baseline ring output.
+#[test]
+fn executor_runs_tuned_tree_and_hierarchical_plans() {
+    let build = || -> Program {
+        let mut p = Program::new("self_attention");
+        let w = p.input("w", DType::F16, ["H", "H2"], Layout::sliced(0));
+        let b = p.input("b", DType::F16, ["H2"], Layout::Replicated);
+        let input = p.input("in", DType::F16, ["B", "S", "H"], Layout::sliced(2));
+        let layer = p.matmul(input, w).unwrap();
+        let sum = p.all_reduce(ReduceOp::Sum, layer).unwrap();
+        let out = p.add(sum, b).unwrap();
+        p.set_name(out, "out").unwrap();
+        p.set_io(&[w, input, b], &[out]).unwrap();
+        p
+    };
+    let k = 4usize;
+    let binding = Binding::new(k)
+        .bind("B", 2)
+        .bind("S", 4)
+        .bind("H", 8)
+        .bind("H2", 12);
+    let rng = CounterRng::new(2026);
+    let inputs = Inputs::new()
+        .global("w", Tensor::randn([8, 12], DType::F16, rng, 0))
+        .global("b", Tensor::randn([12], DType::F16, rng, 9_000))
+        .global("in", Tensor::randn([2, 4, 8], DType::F16, rng, 11_000));
+    let sim = Simulator::new(two_by_two_machine(), k, 1);
+    let cluster = Cluster::new(two_by_two_machine());
+    // The hierarchical algorithm's participants, straight from the
+    // cluster: two nodes of two ranks, led by ranks 0 and 2.
+    assert_eq!(cluster.node_leaders(), vec![0, 2]);
+    assert!(cluster.is_node_leader(2) && !cluster.is_node_leader(3));
+
+    let reference = run_program(&build(), &binding, &inputs, RunOptions::default())
+        .unwrap()
+        .global("out")
+        .unwrap();
+
+    let mut winner_times = Vec::new();
+    for algo in CollAlgo::ALL {
+        let tuner = Autotuner {
+            algos: vec![algo],
+            ..Autotuner::default()
+        };
+        let report = tuner.tune(&build(), &binding, &sim).expect("tunes");
+        let best = report.best().expect("winner");
+        assert_eq!(best.config.algo, algo, "the tuned plan carries {algo}");
+        winner_times.push(best.time);
+
+        // Execute the winning schedule under the tuned configuration:
+        // the interpreter dispatches onto the plan's algorithm, with
+        // the node geometry taken from the cluster.
+        let opts = RunOptions::default().for_cluster(best.config, &cluster);
+        let result = run_program(&best.program, &binding, &inputs, opts).unwrap();
+        let out_name = {
+            let out = best.program.outputs()[0];
+            best.program.node(out).unwrap().name().to_string()
+        };
+        let got = result.global(&out_name).unwrap();
+        let diff = got.max_abs_diff(&reference);
+        assert!(diff <= 2e-2, "{algo}: diff {diff}");
+    }
+
+    // The full-grid tuner picks the best of the per-algorithm winners,
+    // and its plan also executes correctly.
+    let report = Autotuner::default()
+        .tune(&build(), &binding, &sim)
+        .expect("tunes");
+    let best = report.best().expect("winner");
+    let min_single = winner_times.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        best.time <= min_single + 1e-15,
+        "full grid {} !<= best single-algorithm {min_single}",
+        best.time
+    );
+    let opts = RunOptions::default().for_cluster(best.config, &cluster);
+    let result = run_program(&best.program, &binding, &inputs, opts).unwrap();
+    let out_name = {
+        let out = best.program.outputs()[0];
+        best.program.node(out).unwrap().name().to_string()
+    };
+    let diff = result.global(&out_name).unwrap().max_abs_diff(&reference);
+    assert!(
+        diff <= 2e-2,
+        "full-grid winner ({}): diff {diff}",
+        best.config
+    );
 }

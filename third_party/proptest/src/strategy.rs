@@ -213,7 +213,7 @@ tuple_strategy!(A, B, C, D);
 tuple_strategy!(A, B, C, D, E);
 tuple_strategy!(A, B, C, D, E, F);
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`].
 pub struct VecStrategy<S> {
     elem: S,
     len: Range<usize>,
