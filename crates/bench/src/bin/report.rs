@@ -28,7 +28,7 @@
 use std::process::ExitCode;
 
 use coconet_bench::json::Json;
-use coconet_bench::{fmt_time, fmt_x, trajectory, Report};
+use coconet_bench::{fmt_bytes, fmt_time, fmt_x, trajectory, Report};
 
 struct Args {
     quick: bool,
@@ -96,10 +96,17 @@ fn run() -> Result<(), String> {
         ],
     );
     for r in results {
+        // The ledger rows carry bytes, not seconds, in the
+        // baseline/coconet columns; they say so via a `unit` field.
+        let is_bytes = r
+            .extra
+            .iter()
+            .any(|(k, v)| matches!((k.as_str(), v), ("unit", Json::Str(s)) if s.contains("bytes")));
+        let fmt = if is_bytes { fmt_bytes } else { fmt_time };
         table.row(&[
             r.name.to_string(),
-            fmt_time(r.baseline_s),
-            fmt_time(r.coconet_s),
+            fmt(r.baseline_s),
+            fmt(r.coconet_s),
             fmt_x(r.speedup()),
             r.schedules_explored.to_string(),
             r.configs_evaluated.to_string(),

@@ -10,7 +10,8 @@ pub mod experiments;
 pub mod json;
 pub mod report;
 pub mod trajectory;
+pub mod zerocopy;
 
 pub use json::{Json, JsonError};
-pub use report::{fmt_time, fmt_x, Report};
+pub use report::{fmt_bytes, fmt_time, fmt_x, Report};
 pub use trajectory::{collect, regression_check, to_json, ExperimentResult};

@@ -1,8 +1,9 @@
 //! The machine-readable benchmark trajectory: every CI run distills
-//! the paper's headline experiments (Tables 2/3/4, Figures 1/10/11)
-//! plus the collective-algorithm ablation (ring / tree / hierarchical)
-//! into one `BENCH_coconet.json`, the perf-trajectory source of truth
-//! the repository tracks across PRs.
+//! the paper's headline experiments (Tables 2/3/4, Figures 1/10/11),
+//! the collective-algorithm ablation (ring / tree / hierarchical),
+//! and the measured zero-copy runtime rows (`microbench_zero_copy`,
+//! `ledger_allreduce`) into one `BENCH_coconet.json`, the
+//! perf-trajectory source of truth the repository tracks across PRs.
 //!
 //! Schema — one top-level object, experiment name → row:
 //!
@@ -110,13 +111,16 @@ pub fn collect(quick: bool) -> Result<Trajectory, String> {
         algo_ablation("ablation_algo_small", 14),
         algo_ablation("ablation_algo_large", 30),
     ];
+    let (zc_rows, mut gate_failures) = zero_copy_experiments();
+    results.extend(zc_rows);
     let workloads: &[&str] = if quick {
         &["adam", "model-parallel"]
     } else {
         &["adam", "lamb", "model-parallel", "pipeline"]
     };
-    let (tab3_rows, gate_failures) = tab3_experiments(workloads)?;
+    let (tab3_rows, tab3_failures) = tab3_experiments(workloads)?;
     results.extend(tab3_rows);
+    gate_failures.extend(tab3_failures);
     Ok(Trajectory {
         results,
         gate_failures,
@@ -174,6 +178,72 @@ fn algo_ablation(name: &'static str, log2_elems: u32) -> ExperimentResult {
         ("log2_elems".into(), Json::Num(f64::from(log2_elems))),
     ];
     row
+}
+
+/// The measured zero-copy rows: one real ring AllReduce of
+/// [`ZC_ELEMS`](crate::zerocopy::ZC_ELEMS) F32 elements over
+/// [`ZC_RANKS`](crate::zerocopy::ZC_RANKS) rank threads, reported
+/// twice — as the wall-clock microbenchmark against the reconstructed
+/// deep-copy seed runtime, and as the [`BytesLedger`] row whose
+/// baseline/coconet pair is *bytes per rank* (measured wire bytes over
+/// the analytic `2·(p−1)/p·n·dtype_size`, so its speedup is exactly
+/// 1.0 for a zero-copy run). Ledger-invariant violations — wire bytes
+/// or materializations beyond the analytic volume — are returned as
+/// gate failures, the same treatment as a tuner inconsistency.
+///
+/// [`BytesLedger`]: coconet_runtime::BytesLedger
+fn zero_copy_experiments() -> (Vec<ExperimentResult>, Vec<String>) {
+    use crate::zerocopy::{zero_copy_microbench, GATED_SPEEDUP_CAP, ZC_ELEMS, ZC_RANKS};
+    // Debug builds (the test suite) keep the single-iteration run;
+    // release CI takes the fastest of two.
+    let iters = if cfg!(debug_assertions) { 1 } else { 2 };
+    let row = zero_copy_microbench(ZC_ELEMS, ZC_RANKS, iters);
+    // The row's baseline is the deep-copy wall, capped so the gated
+    // speedup never exceeds GATED_SPEEDUP_CAP (see its docs); the raw
+    // measurement rides along in `measured_speedup`/`deep_copy_s`.
+    let gated_baseline = row.deep_copy_s.min(row.zero_copy_s * GATED_SPEEDUP_CAP);
+    let mut micro =
+        ExperimentResult::analytic("microbench_zero_copy", gated_baseline, row.zero_copy_s);
+    micro.extra = vec![
+        ("elems".into(), Json::Num(row.elems as f64)),
+        ("ranks".into(), Json::Num(row.ranks as f64)),
+        ("iters".into(), Json::Num(iters as f64)),
+        ("deep_copy_s".into(), Json::Num(row.deep_copy_s)),
+        ("measured_speedup".into(), Json::Num(row.speedup())),
+    ];
+    let mut ledger = ExperimentResult::analytic(
+        "ledger_allreduce",
+        row.ledger.bytes_sent as f64,
+        row.analytic_bytes as f64,
+    );
+    ledger.extra = vec![
+        ("unit".into(), Json::Str("bytes per rank".into())),
+        ("bytes_sent".into(), Json::Num(row.ledger.bytes_sent as f64)),
+        (
+            "analytic_bytes".into(),
+            Json::Num(row.analytic_bytes as f64),
+        ),
+        ("sends".into(), Json::Num(row.ledger.sends as f64)),
+        ("cow_bytes".into(), Json::Num(row.ledger.cow_bytes as f64)),
+        (
+            "expected_cow_bytes".into(),
+            Json::Num(row.expected_cow_bytes() as f64),
+        ),
+        (
+            "allocations".into(),
+            Json::Num(row.ledger.allocations as f64),
+        ),
+        (
+            "bytes_allocated".into(),
+            Json::Num(row.ledger.bytes_allocated as f64),
+        ),
+    ];
+    let failures = row
+        .ledger_violations()
+        .into_iter()
+        .map(|v| format!("ledger_allreduce: {v}"))
+        .collect();
+    (vec![micro, ledger], failures)
 }
 
 /// Table 2 (Adam): scattered-tensor fused update vs contiguous.
@@ -506,6 +576,35 @@ mod tests {
             "large-message winner"
         );
         assert_eq!(large.get("speedup").and_then(Json::as_f64), Some(1.0));
+        // The measured zero-copy rows: the substrate beats the
+        // deep-copy reconstruction, and the ledger matches the
+        // analytic wire volume exactly (speedup is bytes/bytes = 1).
+        let micro = back.get("microbench_zero_copy").expect("microbench row");
+        assert!(
+            micro.get("speedup").and_then(Json::as_f64).unwrap() > 1.0,
+            "zero-copy runtime must beat the deep-copy baseline"
+        );
+        assert!(
+            micro
+                .get("measured_speedup")
+                .and_then(Json::as_f64)
+                .unwrap()
+                >= micro.get("speedup").and_then(Json::as_f64).unwrap()
+        );
+        assert_eq!(
+            micro.get("elems").and_then(Json::as_f64),
+            Some(crate::zerocopy::ZC_ELEMS as f64)
+        );
+        let ledger = back.get("ledger_allreduce").expect("ledger row");
+        assert_eq!(ledger.get("speedup").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            ledger.get("bytes_sent").and_then(Json::as_f64),
+            ledger.get("analytic_bytes").and_then(Json::as_f64),
+        );
+        assert_eq!(
+            ledger.get("cow_bytes").and_then(Json::as_f64),
+            ledger.get("expected_cow_bytes").and_then(Json::as_f64),
+        );
         // The tuner rows carry the pruned-vs-exhaustive evidence.
         let adam = back.get("tab3_autotuner_adam").expect("adam row");
         let costed = adam

@@ -5,6 +5,13 @@
 //! property the paper's overlapped MatMul schedules against, §5.3),
 //! with reductions accumulated in `f32` like the generated mixed-
 //! precision kernels.
+//!
+//! Data movement is minimal by construction: chunks travel as
+//! copy-on-write buffer handles (a send copies nothing), reductions
+//! fold the incoming chunk into the local one in place, and the only
+//! materializations are the one detach-copy per chunk the first
+//! reduction performs plus the final output assembly — which is what
+//! the [`BytesLedger`](crate::BytesLedger) suite asserts.
 
 use coconet_tensor::{ReduceOp, Tensor};
 
@@ -61,16 +68,15 @@ pub fn chunk_range(numel: usize, k: usize, c: usize) -> (usize, usize) {
     (start, len)
 }
 
-pub(crate) fn reduce_into(acc: &mut Tensor, incoming: &Tensor, op: ReduceOp) {
-    debug_assert_eq!(acc.numel(), incoming.numel());
-    for i in 0..acc.numel() {
-        acc.set(i, op.apply(acc.get(i), incoming.get(i)));
-    }
-}
-
 /// Ring ReduceScatter: every rank contributes its full local tensor;
 /// rank at group position `i` returns with the fully reduced chunk `i`
 /// (flattened element range `chunk_range(numel, k, i)`).
+///
+/// The local contribution is held as `k` zero-copy chunk views; each
+/// chunk detaches (one chunk-sized copy-on-write materialization) the
+/// first — and only — time an incoming partial is reduced into it, so
+/// the whole ReduceScatter copies `(k−1)/k` of the tensor once and
+/// nothing else.
 pub fn ring_reduce_scatter(comm: &RankComm, group: Group, input: &Tensor, op: ReduceOp) -> Tensor {
     let k = group.size;
     let me = group.position(comm.rank());
@@ -78,41 +84,36 @@ pub fn ring_reduce_scatter(comm: &RankComm, group: Group, input: &Tensor, op: Re
     if k == 1 {
         return input.slice_flat(0, n).expect("full range");
     }
-    // Work on a mutable copy of the local contribution.
-    let mut acc = input.clone();
+    let mut chunks: Vec<Tensor> = (0..k)
+        .map(|c| {
+            let (off, len) = chunk_range(n, k, c);
+            input.slice_flat(off, len).expect("in range")
+        })
+        .collect();
     // Textbook ring RS shifted so position i ends owning chunk i: run
     // the schedule of a virtual position j = i - 1 (mod k).
     let j = (me + k - 1) % k;
     for step in 0..k - 1 {
         let send_c = (j + k - step % k) % k;
         let recv_c = (j + k - step - 1) % k;
-        let (s_off, s_len) = chunk_range(n, k, send_c);
-        let outgoing = if s_len == 0 {
-            Tensor::zeros([0usize; 1], input.dtype())
-        } else {
-            acc.slice_flat(s_off, s_len).expect("in range")
-        };
-        comm.send(group.next(comm.rank()), outgoing);
+        comm.send(group.next(comm.rank()), chunks[send_c].clone());
         let incoming = comm.recv(group.prev(comm.rank()));
-        let (r_off, r_len) = chunk_range(n, k, recv_c);
-        if r_len > 0 {
-            let mut local = acc.slice_flat(r_off, r_len).expect("in range");
-            reduce_into(&mut local, &incoming, op);
-            acc.write_flat(r_off, &local).expect("in range");
-        }
+        chunks[recv_c]
+            .reduce_assign(&incoming, op)
+            .expect("ring chunks agree on geometry");
     }
-    let (off, len) = chunk_range(n, k, me);
-    acc.slice_flat(off, len)
-        .unwrap_or_else(|_| Tensor::zeros([0usize; 1], input.dtype()))
+    chunks.swap_remove(me)
 }
 
 /// Ring AllGather: every rank contributes its chunk (position `i`
 /// contributes chunk `i`); returns the flat concatenation of all
-/// chunks, in position order.
+/// chunks, in position order. Every hop forwards a buffer handle —
+/// the gather allocates nothing.
 pub fn ring_all_gather(comm: &RankComm, group: Group, chunk: &Tensor) -> Vec<Tensor> {
     let k = group.size;
     let me = group.position(comm.rank());
     let mut chunks: Vec<Option<Tensor>> = vec![None; k];
+    // A handle copy of the owned chunk, not a materialization.
     chunks[me] = Some(chunk.clone());
     if k == 1 {
         return chunks.into_iter().map(|c| c.expect("own chunk")).collect();
@@ -145,7 +146,9 @@ pub fn ring_all_reduce(comm: &RankComm, group: Group, input: &Tensor, op: Reduce
     out
 }
 
-/// Broadcast from the group-relative `root` position.
+/// Broadcast from the group-relative `root` position. The root fans
+/// out one shared buffer handle per peer — the value itself is never
+/// duplicated, no matter the group size.
 pub fn broadcast(comm: &RankComm, group: Group, value: Option<&Tensor>, root: usize) -> Tensor {
     let me = group.position(comm.rank());
     if me == root {
@@ -166,12 +169,15 @@ pub fn broadcast(comm: &RankComm, group: Group, value: Option<&Tensor>, root: us
 pub fn reduce(comm: &RankComm, group: Group, input: &Tensor, op: ReduceOp, root: usize) -> Tensor {
     let me = group.position(comm.rank());
     if me == root {
+        // One copy-on-write materialization on the first fold; every
+        // later contribution reduces in place.
         let mut acc = input.clone();
         // Deterministic order: ascending positions.
         for pos in 0..group.size {
             if pos != root {
                 let incoming = comm.recv(group.rank_at(pos));
-                reduce_into(&mut acc, &incoming, op);
+                acc.reduce_assign(&incoming, op)
+                    .expect("contributions agree on geometry");
             }
         }
         acc

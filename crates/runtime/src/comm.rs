@@ -8,14 +8,22 @@
 use coconet_tensor::Tensor;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
+use crate::ledger::{BytesLedger, LedgerState};
+
 /// One rank's endpoints into the world: senders to every rank and
 /// receivers from every rank.
+///
+/// Sending a tensor transfers its copy-on-write buffer handle through
+/// the channel — no element data is copied — while the embedded
+/// [`BytesLedger`] accounts the logical payload as wire traffic, so
+/// data movement stays measurable even though nothing is duplicated.
 #[derive(Debug)]
 pub struct RankComm {
     rank: usize,
     world: usize,
     to: Vec<Sender<Tensor>>,
     from: Vec<Receiver<Tensor>>,
+    ledger: LedgerState,
 }
 
 impl RankComm {
@@ -51,6 +59,7 @@ impl RankComm {
                 world,
                 to,
                 from: from.into_iter().map(|r| r.expect("filled above")).collect(),
+                ledger: LedgerState::new(),
             })
             .collect()
     }
@@ -65,13 +74,15 @@ impl RankComm {
         self.world
     }
 
-    /// Sends a tensor to `dst`.
+    /// Sends a tensor to `dst` — a buffer-handle transfer, accounted
+    /// in this rank's [`BytesLedger`] at the tensor's payload size.
     ///
     /// # Panics
     ///
     /// Panics if `dst` is out of range or the destination endpoint was
     /// dropped (a peer thread panicked).
     pub fn send(&self, dst: usize, tensor: Tensor) {
+        self.ledger.record_send(tensor.size_bytes());
         self.to[dst]
             .send(tensor)
             .unwrap_or_else(|_| panic!("rank {dst} hung up"));
@@ -84,9 +95,25 @@ impl RankComm {
     /// Panics if `src` is out of range or the source endpoint was
     /// dropped without sending.
     pub fn recv(&self, src: usize) -> Tensor {
-        self.from[src]
+        let tensor = self.from[src]
             .recv()
-            .unwrap_or_else(|_| panic!("rank {src} hung up"))
+            .unwrap_or_else(|_| panic!("rank {src} hung up"));
+        self.ledger.record_recv(tensor.size_bytes());
+        tensor
+    }
+
+    /// Zeroes this rank's [`BytesLedger`] and re-baselines the
+    /// allocation counters against the *calling thread* — call it on
+    /// the rank's own thread at the start of the region to meter.
+    pub fn reset_ledger(&self) {
+        self.ledger.reset();
+    }
+
+    /// This rank's data-movement measurements since the last
+    /// [`reset_ledger`](RankComm::reset_ledger) (or construction, for
+    /// the wire counters).
+    pub fn ledger(&self) -> BytesLedger {
+        self.ledger.snapshot()
     }
 }
 

@@ -74,20 +74,44 @@ impl DistValue {
 
     /// Maps a local element index to its global flat index.
     pub fn global_index(&self, local_idx: usize) -> usize {
-        match self.layout {
+        DistValue::global_index_in(
+            &self.global_shape,
+            self.layout,
+            self.local.shape(),
+            self.pos,
+            self.group_size,
+            local_idx,
+        )
+    }
+
+    /// The local-to-global index mapping without a materialized
+    /// [`DistValue`] — what callers use to fill a local buffer in one
+    /// pass instead of allocating a placeholder tensor first.
+    pub(crate) fn global_index_in(
+        global_shape: &Shape,
+        layout: Layout,
+        local_shape: &Shape,
+        pos: usize,
+        group_size: usize,
+        local_idx: usize,
+    ) -> usize {
+        match layout {
             Layout::Replicated | Layout::Local => local_idx,
-            Layout::Sliced(SliceDim::Flat) => self.pos * self.flat_chunk() + local_idx,
+            Layout::Sliced(SliceDim::Flat) => {
+                let n = global_shape.numel();
+                assert_eq!(n % group_size, 0, "indivisible sliced tensor");
+                pos * (n / group_size) + local_idx
+            }
             Layout::Sliced(SliceDim::Dim(d)) => {
-                let global_dims = self.global_shape.dims();
-                let local_extent = global_dims[d] / self.group_size;
-                let local_shape = self.local.shape();
+                let global_dims = global_shape.dims();
+                let local_extent = global_dims[d] / group_size;
                 let l_strides = local_shape.strides();
-                let g_strides = self.global_shape.strides();
+                let g_strides = global_shape.strides();
                 let mut g = 0usize;
                 for dim in 0..local_shape.rank() {
                     let mut coord = (local_idx / l_strides[dim]) % local_shape.dim(dim);
                     if dim == d {
-                        coord += self.pos * local_extent;
+                        coord += pos * local_extent;
                     }
                     g += coord * g_strides[dim];
                 }

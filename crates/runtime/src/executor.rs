@@ -15,7 +15,6 @@
 //! verify the algorithms agree with each other.
 
 use std::collections::HashMap;
-use std::sync::Arc;
 use std::thread;
 
 use coconet_core::{Binding, CollAlgo, CommConfig, Layout, OpKind, Program, SliceDim, VarId};
@@ -241,35 +240,30 @@ pub fn run_program(
         }
     }
 
-    let program = Arc::new(program.clone());
-    let binding = Arc::new(binding.clone());
-    let inputs = Arc::new(inputs.clone());
+    // Scoped rank threads borrow the program, binding, and inputs
+    // directly — no deep copies, no reference counting at spawn time.
     let comms = RankComm::world(world);
-    let handles: Vec<_> = comms
-        .into_iter()
-        .map(|comm| {
-            let program = Arc::clone(&program);
-            let binding = Arc::clone(&binding);
-            let inputs = Arc::clone(&inputs);
-            thread::spawn(move || execute_rank(&program, &binding, &inputs, comm, opts))
-        })
-        .collect();
-
     let mut per_rank = Vec::with_capacity(world);
     let mut first_err = None;
-    for (rank, h) in handles.into_iter().enumerate() {
-        match h.join() {
-            Ok(Ok(outputs)) => per_rank.push(outputs),
-            Ok(Err(e)) => {
-                per_rank.push(HashMap::new());
-                first_err.get_or_insert(e);
-            }
-            Err(_) => {
-                per_rank.push(HashMap::new());
-                first_err.get_or_insert(RuntimeError::RankPanicked(rank));
+    thread::scope(|s| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| s.spawn(move || execute_rank(program, binding, inputs, comm, opts)))
+            .collect();
+        for (rank, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(Ok(outputs)) => per_rank.push(outputs),
+                Ok(Err(e)) => {
+                    per_rank.push(HashMap::new());
+                    first_err.get_or_insert(e);
+                }
+                Err(_) => {
+                    per_rank.push(HashMap::new());
+                    first_err.get_or_insert(RuntimeError::RankPanicked(rank));
+                }
             }
         }
-    }
+    });
     match first_err {
         Some(e) => Err(e),
         None => Ok(RunResult {
@@ -583,20 +577,37 @@ fn materialize_input(
                 });
             }
             let t = t.cast(dtype);
-            // Build the local slice through the global-index mapping.
-            let mut view = DistValue {
+            // Replicated and Local layouts store the full tensor: every
+            // rank shares one buffer handle instead of copying the
+            // initializer world_size times (the old broadcast chain).
+            if matches!(layout, Layout::Replicated | Layout::Local) {
+                return Ok(DistValue {
+                    global_shape: global_shape.clone(),
+                    layout,
+                    local: t,
+                    pos,
+                    group_size: gs,
+                });
+            }
+            // Sliced layouts build the local slice through the
+            // global-index mapping, in one allocation.
+            let local = Tensor::from_fn(local_shape.clone(), dtype, |l| {
+                t.get(DistValue::global_index_in(
+                    global_shape,
+                    layout,
+                    &local_shape,
+                    pos,
+                    gs,
+                    l,
+                ))
+            });
+            Ok(DistValue {
                 global_shape: global_shape.clone(),
                 layout,
-                local: Tensor::zeros(local_shape.clone(), dtype),
+                local,
                 pos,
                 group_size: gs,
-            };
-            let mut local = Tensor::zeros(local_shape, dtype);
-            for l in 0..local.numel() {
-                local.set(l, t.get(view.global_index(l)));
-            }
-            view.local = local;
-            Ok(view)
+            })
         }
         InitValue::PerRank(ts) => {
             let t = ts[rank].cast(dtype);
@@ -637,25 +648,26 @@ fn eval_elementwise(
         .collect();
     let ops = ops?;
     let local_shape = DistValue::local_shape(out_shape, out_layout, gs);
-    let mut out = DistValue {
-        global_shape: out_shape.clone(),
-        layout: out_layout,
-        local: Tensor::zeros(local_shape.clone(), out_dtype),
-        pos,
-        group_size: gs,
-    };
-    let mut local = Tensor::zeros(local_shape, out_dtype);
+    // One pass into a staging vector, one buffer materialization — no
+    // placeholder tensor for the index mapping.
+    let mut data = vec![0.0f32; local_shape.numel()];
     let mut args = vec![0.0f32; ops.len()];
-    for l in 0..local.numel() {
-        let gidx = out.global_index(l);
+    for (l, slot_out) in data.iter_mut().enumerate() {
+        let gidx = DistValue::global_index_in(out_shape, out_layout, &local_shape, pos, gs, l);
         for (slot, op) in args.iter_mut().zip(&ops) {
             let op_gidx = op.global_shape.broadcast_index(out_shape, gidx);
             *slot = op.read_global(op_gidx);
         }
-        local.set(l, f(&args, gidx));
+        *slot_out = f(&args, gidx);
     }
-    out.local = local;
-    Some(out)
+    let local = Tensor::from_f32_vec(local_shape, out_dtype, data).expect("same element count");
+    Some(DistValue {
+        global_shape: out_shape.clone(),
+        layout: out_layout,
+        local,
+        pos,
+        group_size: gs,
+    })
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -19,7 +19,7 @@
 
 use coconet_tensor::{ReduceOp, Tensor};
 
-use crate::collectives::{chunk_range, reduce_into, ring_all_gather, ring_reduce_scatter, Group};
+use crate::collectives::{chunk_range, ring_all_gather, ring_reduce_scatter, Group};
 use crate::RankComm;
 
 /// Layout of one rank's node within a hierarchical group.
@@ -73,13 +73,11 @@ impl NodeGeom {
     }
 }
 
-fn empty(dtype: coconet_tensor::DType) -> Tensor {
-    Tensor::zeros([0usize; 1], dtype)
-}
-
+/// A zero-copy window view, tolerating the degenerate empty ranges the
+/// short-last-node geometries produce.
 fn slice_or_empty(t: &Tensor, off: usize, len: usize) -> Tensor {
     if len == 0 {
-        empty(t.dtype())
+        t.slice_flat(0, 0).expect("empty view")
     } else {
         t.slice_flat(off, len).expect("in range")
     }
@@ -161,13 +159,16 @@ pub fn hierarchical_reduce_scatter(
         comm.send(g.leader(node), slice_or_empty(&partial, off, len));
     }
     let (s_off, s_len) = superchunk(g.my_node);
+    // A view of the node partial; the first fold detaches exactly the
+    // superchunk window, then reduces in place.
     let mut acc = slice_or_empty(&partial, s_off, s_len);
     for node in 0..g.n_nodes {
         if node == g.my_node {
             continue;
         }
         let incoming = comm.recv(g.leader(node));
-        reduce_into(&mut acc, &incoming, op);
+        acc.reduce_assign(&incoming, op)
+            .expect("leaders agree on superchunk geometry");
     }
 
     // Phase 4: scatter the final chunks to the node's members.

@@ -1,0 +1,302 @@
+//! The per-rank bytes-moved ledger.
+//!
+//! SparCML's observation — collective performance is governed by the
+//! bytes actually moved — is the quantity this module measures. Every
+//! [`RankComm`](crate::RankComm) endpoint counts the bytes and messages
+//! it puts on (and takes off) the wire, and pairs them with the
+//! [`coconet_tensor::alloc_stats`] counters of its rank thread, so a
+//! test or bench can assert, not eyeball, that a collective moved
+//! exactly its analytic wire volume and copied nothing beyond it.
+//!
+//! The flow is: call [`RankComm::reset_ledger`] *on the rank's own
+//! thread* at the start of the region to meter, run the collective,
+//! then read [`RankComm::ledger`]. Wire counters are exact from
+//! construction; the allocation fields are deltas of the rank thread's
+//! counters since the last reset (tensor allocations are thread-local,
+//! so the baseline must be captured on the thread that will run).
+
+use std::cell::Cell;
+
+use coconet_tensor::{alloc_stats, AllocStats, DType};
+
+/// One rank's data-movement measurements over a metered region.
+///
+/// Wire fields count logical tensor payloads (`numel × dtype size`) —
+/// a handle transfer of an 8 MiB tensor is *accounted* as 8 MiB moved,
+/// because that is what the modeled interconnect would carry — while
+/// the allocation fields count what the rank's memory system actually
+/// did. A zero-copy collective therefore shows full wire volume and
+/// near-zero `cow_bytes`/`bytes_allocated`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BytesLedger {
+    /// Bytes of tensor payload this rank sent.
+    pub bytes_sent: u64,
+    /// Messages this rank sent.
+    pub sends: u64,
+    /// Bytes of tensor payload this rank received.
+    pub bytes_received: u64,
+    /// Messages this rank received.
+    pub recvs: u64,
+    /// Buffer materializations on this rank's thread (fresh tensors
+    /// plus copy-on-write copies).
+    pub allocations: u64,
+    /// Bytes of those materializations.
+    pub bytes_allocated: u64,
+    /// Copy-on-write materializations (shared buffer written).
+    pub cow_copies: u64,
+    /// Bytes copied by copy-on-write materializations.
+    pub cow_bytes: u64,
+}
+
+impl BytesLedger {
+    pub(crate) fn from_parts(wire: WireCounters, alloc: AllocStats) -> BytesLedger {
+        BytesLedger {
+            bytes_sent: wire.bytes_sent,
+            sends: wire.sends,
+            bytes_received: wire.bytes_received,
+            recvs: wire.recvs,
+            allocations: alloc.allocations,
+            bytes_allocated: alloc.bytes_allocated,
+            cow_copies: alloc.cow_copies,
+            cow_bytes: alloc.cow_bytes,
+        }
+    }
+}
+
+/// The analytic per-rank send volume of a ring AllReduce: ReduceScatter
+/// plus AllGather each ship `(p−1)/p` of the tensor, so a rank sends
+/// `2·(p−1)/p · n · dtype_size` bytes (exact when `p` divides `n`;
+/// uneven chunks shift single elements between ranks).
+pub fn ring_all_reduce_wire_bytes(n: usize, p: usize, dtype: DType) -> u64 {
+    if p <= 1 {
+        return 0;
+    }
+    (2 * (p - 1) * (n / p) * dtype.size_bytes()) as u64
+}
+
+/// Interior-mutable wire counters owned by a [`RankComm`]. Each rank
+/// endpoint lives on exactly one thread, so plain `Cell`s suffice — no
+/// atomics on the send path.
+///
+/// [`RankComm`]: crate::RankComm
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct WireCounters {
+    bytes_sent: u64,
+    sends: u64,
+    bytes_received: u64,
+    recvs: u64,
+}
+
+/// The ledger state embedded in a [`RankComm`](crate::RankComm).
+#[derive(Debug)]
+pub(crate) struct LedgerState {
+    wire: Cell<WireCounters>,
+    alloc_base: Cell<AllocStats>,
+}
+
+impl WireCounters {
+    fn add_send(mut self, bytes: u64) -> WireCounters {
+        self.bytes_sent += bytes;
+        self.sends += 1;
+        self
+    }
+
+    fn add_recv(mut self, bytes: u64) -> WireCounters {
+        self.bytes_received += bytes;
+        self.recvs += 1;
+        self
+    }
+}
+
+impl LedgerState {
+    pub(crate) fn new() -> LedgerState {
+        LedgerState {
+            wire: Cell::new(WireCounters::default()),
+            alloc_base: Cell::new(alloc_stats()),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record_send(&self, bytes: usize) {
+        self.wire.set(self.wire.get().add_send(bytes as u64));
+    }
+
+    #[inline]
+    pub(crate) fn record_recv(&self, bytes: usize) {
+        self.wire.set(self.wire.get().add_recv(bytes as u64));
+    }
+
+    pub(crate) fn reset(&self) {
+        self.wire.set(WireCounters::default());
+        self.alloc_base.set(alloc_stats());
+    }
+
+    pub(crate) fn snapshot(&self) -> BytesLedger {
+        BytesLedger::from_parts(self.wire.get(), alloc_stats().since(self.alloc_base.get()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_counters_accumulate() {
+        let state = LedgerState::new();
+        state.reset();
+        state.record_send(100);
+        state.record_send(28);
+        state.record_recv(64);
+        let l = state.snapshot();
+        assert_eq!(l.bytes_sent, 128);
+        assert_eq!(l.sends, 2);
+        assert_eq!(l.bytes_received, 64);
+        assert_eq!(l.recvs, 1);
+        state.reset();
+        assert_eq!(state.snapshot().bytes_sent, 0);
+    }
+
+    #[test]
+    fn analytic_ring_volume() {
+        assert_eq!(ring_all_reduce_wire_bytes(16, 4, DType::F32), 96);
+        assert_eq!(ring_all_reduce_wire_bytes(1 << 24, 8, DType::F32), {
+            let n = 1u64 << 24;
+            2 * 7 * (n / 8) * 4
+        });
+        assert_eq!(ring_all_reduce_wire_bytes(100, 1, DType::F16), 0);
+    }
+
+    #[test]
+    fn alloc_delta_tracks_this_thread() {
+        let state = LedgerState::new();
+        state.reset();
+        let _t = coconet_tensor::Tensor::zeros([64], DType::F32);
+        let l = state.snapshot();
+        assert_eq!(l.allocations, 1);
+        assert_eq!(l.bytes_allocated, 256);
+    }
+
+    mod collective_volumes {
+        use coconet_tensor::{DType, ReduceOp, Tensor};
+
+        use crate::comm::run_ranks;
+        use crate::hierarchical::hierarchical_all_reduce;
+        use crate::tree::tree_all_reduce;
+        use crate::{ring_all_reduce, ring_all_reduce_wire_bytes, BytesLedger, Group};
+
+        fn metered<T: Send + 'static>(
+            k: usize,
+            f: impl Fn(&crate::RankComm, Group, Tensor) -> T + Send + Sync + Clone + 'static,
+        ) -> Vec<(T, BytesLedger)> {
+            run_ranks(k, move |comm| {
+                let group = Group { start: 0, size: k };
+                let input = Tensor::from_fn([64], DType::F32, |i| (comm.rank() * 100 + i) as f32);
+                comm.reset_ledger();
+                let out = f(&comm, group, input);
+                (out, comm.ledger())
+            })
+        }
+
+        /// The acceptance invariant: a ring AllReduce sends exactly the
+        /// analytic `2·(p−1)/p·n·dtype_size` bytes per rank, and the
+        /// only materializations are the `(p−1)/p·n` detach-copy of the
+        /// reduction plus the final output buffer — sends are handle
+        /// transfers, reduces are in place, nothing else is copied.
+        #[test]
+        fn ring_all_reduce_moves_exactly_the_analytic_volume() {
+            let (k, n, ds) = (4usize, 64usize, DType::F32.size_bytes());
+            let results = metered(k, |comm, group, input| {
+                ring_all_reduce(comm, group, &input, ReduceOp::Sum)
+            });
+            let wire = ring_all_reduce_wire_bytes(n, k, DType::F32);
+            assert_eq!(wire, (2 * (k - 1) * (n / k) * ds) as u64);
+            for (rank, (out, l)) in results.iter().enumerate() {
+                assert_eq!(out.numel(), n);
+                assert_eq!(l.bytes_sent, wire, "rank {rank}");
+                assert_eq!(l.bytes_received, wire, "rank {rank}");
+                assert_eq!(l.sends, 2 * (k as u64 - 1), "rank {rank}");
+                // Reduce-scatter detaches each of the k-1 reduced
+                // chunks once: (k-1)/k of the tensor, copy-on-write.
+                let cow = ((k - 1) * (n / k) * ds) as u64;
+                assert_eq!(l.cow_bytes, cow, "rank {rank}: {l:?}");
+                assert_eq!(l.cow_copies, k as u64 - 1, "rank {rank}");
+                // Plus exactly one fresh buffer: the assembled output.
+                assert_eq!(l.allocations, k as u64, "rank {rank}: {l:?}");
+                assert_eq!(l.bytes_allocated, cow + (n * ds) as u64, "rank {rank}");
+            }
+        }
+
+        /// Tree AllReduce: every non-root sends its tensor once up the
+        /// reduction tree, and every internal node sends once per child
+        /// on the way down — `2(p−1)` tensor payloads in aggregate.
+        #[test]
+        fn tree_all_reduce_reports_analytic_volume() {
+            let (k, n, ds) = (4usize, 64usize, DType::F32.size_bytes());
+            let results = metered(k, |comm, group, input| {
+                tree_all_reduce(comm, group, &input, ReduceOp::Sum)
+            });
+            let total: u64 = results.iter().map(|(_, l)| l.bytes_sent).sum();
+            assert_eq!(total, (2 * (k - 1) * n * ds) as u64);
+            // Per-position: pos 0 (root) forwards to its log2(k)
+            // subtree children; leaf pos 3 only sends its contribution.
+            let payload = (n * ds) as u64;
+            assert_eq!(
+                results[0].1.bytes_sent,
+                2 * payload,
+                "root sends to 2 children"
+            );
+            assert_eq!(results[3].1.bytes_sent, payload, "leaf sends once");
+        }
+
+        /// Hierarchical AllReduce over 2 nodes of 2: phase-by-phase
+        /// derivation for `p = 4`, `node_size = 2`, elements `n`
+        /// divisible by 4 —
+        ///
+        /// leader (node position 0) sends, in elements:
+        ///   RS: intra ring n/2, leader exchange n/2, member scatter n/4
+        ///   AG: intra ring n/4, leader exchange n/2, member forward n/2
+        ///   total 5n/2;
+        /// member sends: intra RS n/2, chunk hand-off n/2, intra AG n/4
+        ///   — total 5n/4.
+        #[test]
+        fn hierarchical_all_reduce_reports_analytic_volume() {
+            let (k, n, ds) = (4usize, 64usize, DType::F32.size_bytes());
+            let results = metered(k, |comm, group, input| {
+                hierarchical_all_reduce(comm, group, &input, ReduceOp::Sum, 2)
+            });
+            let leader = (5 * n / 2 * ds) as u64;
+            let member = (5 * n / 4 * ds) as u64;
+            for (rank, (out, l)) in results.iter().enumerate() {
+                assert_eq!(out.numel(), n);
+                let want = if rank % 2 == 0 { leader } else { member };
+                assert_eq!(l.bytes_sent, want, "rank {rank}: {l:?}");
+            }
+            let total: u64 = results.iter().map(|(_, l)| l.bytes_sent).sum();
+            assert_eq!(total, 2 * (leader + member));
+        }
+
+        /// Metering is per region: a reset between two collectives
+        /// isolates the second one's traffic.
+        #[test]
+        fn reset_isolates_regions() {
+            let k = 2;
+            let results = run_ranks(k, move |comm| {
+                let group = Group { start: 0, size: k };
+                let input = Tensor::from_fn([8], DType::F32, |i| i as f32);
+                comm.reset_ledger();
+                let _ = ring_all_reduce(&comm, group, &input, ReduceOp::Sum);
+                let first = comm.ledger();
+                comm.reset_ledger();
+                let _ = ring_all_reduce(&comm, group, &input, ReduceOp::Sum);
+                (first, comm.ledger())
+            });
+            for (first, second) in results {
+                assert_eq!(first.bytes_sent, second.bytes_sent);
+                assert_eq!(
+                    first.bytes_sent,
+                    ring_all_reduce_wire_bytes(8, 2, DType::F32)
+                );
+            }
+        }
+    }
+}

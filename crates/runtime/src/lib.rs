@@ -10,6 +10,12 @@
 //! checked: a transformed program must produce the same tensors as the
 //! original, up to FP16 rounding.
 //!
+//! Data movement is both minimized and measured: sends transfer
+//! copy-on-write buffer handles, collectives reduce received chunks in
+//! place, and every [`RankComm`] carries a [`BytesLedger`] whose wire
+//! and allocation counters let tests assert a collective moved exactly
+//! its analytic volume and copied nothing beyond it.
+//!
 //! # Examples
 //!
 //! ```
@@ -42,6 +48,7 @@ mod dist;
 mod error;
 mod executor;
 mod hierarchical;
+mod ledger;
 mod overlap_exec;
 mod scattered;
 mod tree;
@@ -57,6 +64,7 @@ pub use executor::{run_program, InitValue, Inputs, RunOptions, RunResult};
 pub use hierarchical::{
     hierarchical_all_gather, hierarchical_all_reduce, hierarchical_reduce_scatter,
 };
+pub use ledger::{ring_all_reduce_wire_bytes, BytesLedger};
 pub use overlap_exec::{overlapped_matmul_all_reduce, production_order};
 pub use scattered::{BucketTable, ScatteredTensors, BUCKET_ELEMS};
 pub use tree::tree_all_reduce;

@@ -37,6 +37,7 @@ impl ChunkedProducer {
         self.produced[chunk] = true;
     }
 
+    /// A zero-copy view of an already-produced chunk.
     fn read_chunk(&self, chunk: usize) -> Tensor {
         assert!(
             self.produced[chunk],
@@ -83,16 +84,16 @@ pub fn overlapped_matmul_all_reduce(
     let k = group.size;
     let pos = group.position(comm.rank());
     let full = a.matmul(w)?; // the values; production order enforced below
+    let out_shape = full.shape().clone();
+    let out_dtype = full.dtype();
     let n = full.numel();
     let mut producer = ChunkedProducer::new(full, k);
-    let mut acc = Tensor::zeros([n], a.dtype());
     let order = production_order(pos, k);
     let mut next_to_produce = 0usize;
 
     if k == 1 {
         producer.produce(order[0]);
-        let t = producer.read_chunk(0);
-        return t.reshape(a.matmul(w)?.shape().clone());
+        return producer.read_chunk(0).reshape(out_shape);
     }
 
     // T=1 in Figure 9: the MatMul produces the first chunk before any
@@ -102,6 +103,10 @@ pub fn overlapped_matmul_all_reduce(
 
     // Reduce-scatter phase, chunk-granular: before each step, the
     // MatMul has produced exactly the chunks the ring needs so far.
+    // Each reduced chunk starts as a view of the MatMul output and is
+    // detached (one chunk-sized copy) by its single in-place fold — no
+    // per-step accumulator rebuild.
+    let mut reduced: Vec<Option<Tensor>> = vec![None; k];
     let j = (pos + k - 1) % k;
     for step in 0..k - 1 {
         let send_c = (j + k - step % k) % k;
@@ -110,9 +115,8 @@ pub fn overlapped_matmul_all_reduce(
         let outgoing = if step == 0 {
             producer.read_chunk(send_c)
         } else {
-            // Forward the partially reduced chunk from the accumulator.
-            let (off, len) = chunk_range(n, k, send_c);
-            acc.slice_flat(off, len)?
+            // Forward the partially reduced chunk (a handle copy).
+            reduced[send_c].clone().expect("reduced by schedule")
         };
         comm.send(group.next(comm.rank()), outgoing);
         // Produce the next chunk while the wire is busy (T=2..5).
@@ -121,22 +125,17 @@ pub fn overlapped_matmul_all_reduce(
             next_to_produce += 1;
         }
         let incoming = comm.recv(group.prev(comm.rank()));
-        // Each chunk is visited exactly once in this phase: combine the
-        // incoming partial with the local contribution and stash it.
-        let local = producer.read_chunk(recv_c);
-        let (off, len) = chunk_range(n, k, recv_c);
-        let mut sum = Tensor::zeros([len], a.dtype());
-        for i in 0..len {
-            sum.set(i, op.apply(incoming.get(i), local.get(i)));
-        }
-        acc.write_flat(off, &sum)?;
+        // Each chunk is visited exactly once in this phase: fold the
+        // incoming partial into the local contribution in place.
+        let mut local = producer.read_chunk(recv_c);
+        local.reduce_assign(&incoming, op)?;
+        reduced[recv_c] = Some(local);
     }
 
-    // All-gather phase over the fully reduced chunks.
+    // All-gather phase over the fully reduced chunks (handle hops).
     let me_chunk = pos;
     let mut chunks: Vec<Option<Tensor>> = vec![None; k];
-    let (off, len) = chunk_range(n, k, me_chunk);
-    chunks[me_chunk] = Some(acc.slice_flat(off, len)?);
+    chunks[me_chunk] = reduced[me_chunk].take();
     for step in 0..k - 1 {
         let send_c = (me_chunk + k - step % k) % k;
         let recv_c = (me_chunk + k - step - 1) % k;
@@ -145,13 +144,13 @@ pub fn overlapped_matmul_all_reduce(
         let incoming = comm.recv(group.prev(comm.rank()));
         chunks[recv_c] = Some(incoming);
     }
-    let mut out = Tensor::zeros([n], a.dtype());
+    let mut out = Tensor::zeros([n], out_dtype);
     let mut offset = 0usize;
     for c in chunks.into_iter().map(|c| c.expect("gathered")) {
         out.write_flat(offset, &c)?;
         offset += c.numel();
     }
-    out.reshape(a.matmul(w)?.shape().clone())
+    out.reshape(out_shape)
 }
 
 #[cfg(test)]

@@ -203,6 +203,37 @@ impl ScatteredTensors {
         Ok(())
     }
 
+    /// Reduces a received chunk into the flat range starting at
+    /// `start`, in place through the bucket table — the scattered
+    /// counterpart of [`Tensor::reduce_flat`], so a ring step over
+    /// scattered gradients updates the original layer buffers directly
+    /// instead of slicing a copy out and writing it back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::SliceOutOfRange`] for bad ranges.
+    pub fn reduce_flat(
+        &mut self,
+        start: usize,
+        incoming: &Tensor,
+        op: coconet_tensor::ReduceOp,
+    ) -> Result<(), TensorError> {
+        if start + incoming.numel() > self.numel() {
+            return Err(TensorError::SliceOutOfRange {
+                dim: 0,
+                start,
+                len: incoming.numel(),
+                extent: self.numel(),
+            });
+        }
+        for i in 0..incoming.numel() {
+            let (t, e) = self.table.locate(start + i);
+            let folded = op.apply(self.tensors[t].get(e), incoming.get(i));
+            self.tensors[t].set(e, folded);
+        }
+        Ok(())
+    }
+
     /// Unwraps the underlying tensors.
     pub fn into_tensors(self) -> Vec<Tensor> {
         self.tensors
@@ -264,6 +295,22 @@ mod tests {
             .unwrap();
         assert_eq!(s.tensors()[0].get(0), -1.0);
         assert!(s.slice_flat(6, 3).is_err());
+    }
+
+    #[test]
+    fn reduce_flat_folds_in_place_across_tensor_boundaries() {
+        use coconet_tensor::ReduceOp;
+        let a = Tensor::from_fn([3], DType::F32, |i| i as f32);
+        let b = Tensor::from_fn([4], DType::F32, |i| 10.0 + i as f32);
+        let mut s = ScatteredTensors::new(vec![a, b]).unwrap();
+        // Fold [5, 5, 5] into flat range 2..5 (crosses the boundary).
+        let incoming = Tensor::full([3], DType::F32, 5.0);
+        s.reduce_flat(2, &incoming, ReduceOp::Sum).unwrap();
+        assert_eq!(s.tensors()[0].get(2), 7.0);
+        assert_eq!(s.tensors()[1].get(0), 15.0);
+        assert_eq!(s.tensors()[1].get(1), 16.0);
+        assert_eq!(s.tensors()[1].get(2), 12.0, "outside the range");
+        assert!(s.reduce_flat(6, &incoming, ReduceOp::Sum).is_err());
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::RankComm;
 pub fn tree_all_reduce(comm: &RankComm, group: Group, input: &Tensor, op: ReduceOp) -> Tensor {
     let k = group.size;
     let pos = group.position(comm.rank());
+    // A handle copy; the first in-place reduction detaches it.
     let mut acc = input.clone();
 
     // Reduce phase: at round d (1, 2, 4, ...), positions with the d bit
@@ -30,9 +31,8 @@ pub fn tree_all_reduce(comm: &RankComm, group: Group, input: &Tensor, op: Reduce
             break;
         } else if pos + d < k {
             let incoming = comm.recv(group.rank_at(pos + d));
-            for i in 0..acc.numel() {
-                acc.set(i, op.apply(acc.get(i), incoming.get(i)));
-            }
+            acc.reduce_assign(&incoming, op)
+                .expect("tree peers agree on geometry");
         }
         d <<= 1;
     }

@@ -13,9 +13,14 @@
 //!   workloads);
 //! - [`Shape`] — row-major shapes with PyTorch broadcast semantics;
 //! - [`Tensor`] — dense tensors with the pointwise ops, activations,
-//!   reductions and GEMM of the paper's Table 1;
+//!   reductions and GEMM of the paper's Table 1, backed by `Arc`
+//!   copy-on-write buffers whose clones and flat slices are zero-copy
+//!   views (the substrate of the runtime's handle-transfer sends);
 //! - [`CounterRng`] — the counter-based RNG that makes `Dropout`
-//!   produce identical masks under the `reorder` transformation.
+//!   produce identical masks under the `reorder` transformation;
+//! - [`alloc_stats`] — per-thread buffer-allocation and copy-on-write
+//!   counters, the data-movement evidence the runtime's bytes ledger
+//!   and the zero-copy benches assert against.
 //!
 //! # Examples
 //!
@@ -43,6 +48,7 @@ mod ops;
 mod rng;
 mod shape;
 mod slice;
+mod stats;
 mod tensor;
 
 pub use conv::Conv2dParams;
@@ -52,4 +58,5 @@ pub use half::F16;
 pub use ops::{reduce_elementwise, reduce_identity, ReduceOp};
 pub use rng::CounterRng;
 pub use shape::Shape;
+pub use stats::{alloc_stats, AllocStats};
 pub use tensor::Tensor;

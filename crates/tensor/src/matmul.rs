@@ -55,16 +55,32 @@ impl Tensor {
         let n = rhs_shape.dim(1);
         let m = lhs_shape.numel() / k;
 
-        // f32 staging buffers: read once, then run a blocked kernel.
-        let a = self.to_f32_vec();
-        let b = rhs.to_f32_vec();
+        // F32 operands are read in place; only FP16 inputs stage
+        // through a widening copy. The accumulator vector becomes the
+        // output buffer without a read-back pass.
+        let a_staged;
+        let a = match self.as_f32_slice() {
+            Some(s) => s,
+            None => {
+                a_staged = self.to_f32_vec();
+                &a_staged
+            }
+        };
+        let b_staged;
+        let b = match rhs.as_f32_slice() {
+            Some(s) => s,
+            None => {
+                b_staged = rhs.to_f32_vec();
+                &b_staged
+            }
+        };
         let mut c = vec![0.0f32; m * n];
-        gemm_blocked(&a, &b, &mut c, m, k, n);
+        gemm_blocked(a, b, &mut c, m, k, n);
 
         let mut out_dims = lhs_shape.dims().to_vec();
         *out_dims.last_mut().expect("rank >= 1") = n;
         let dtype = DType::promote(self.dtype(), rhs.dtype());
-        Tensor::from_f32(Shape::new(out_dims), dtype, &c)
+        Tensor::from_f32_vec(Shape::new(out_dims), dtype, c)
     }
 }
 

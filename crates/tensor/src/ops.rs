@@ -5,22 +5,40 @@
 //! `Dropout`, `tanh`, `ReLU`). Binary operations follow PyTorch
 //! broadcast semantics and promote mixed dtypes to the wider type.
 
+use crate::tensor::BufferData;
 use crate::{CounterRng, DType, Shape, Tensor, TensorError};
 
 impl Tensor {
     /// Applies `f` to every element, preserving shape and dtype.
+    /// F32 tensors read their buffer directly (no staging copy).
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor::from_fn(self.shape().clone(), self.dtype(), |i| f(self.get(i)))
+        match self.as_f32_slice() {
+            Some(v) => {
+                let out: Vec<f32> = v.iter().map(|&x| f(x)).collect();
+                Tensor::from_f32_vec(self.shape().clone(), DType::F32, out)
+                    .expect("same element count")
+            }
+            None => Tensor::from_fn(self.shape().clone(), self.dtype(), |i| f(self.get(i))),
+        }
     }
 
     /// Applies `f` pairwise after broadcasting; the result has the
-    /// broadcast shape and the promoted dtype.
+    /// broadcast shape and the promoted dtype. Same-shape F32 operands
+    /// take a slice-to-slice fast path with no index arithmetic or
+    /// staging copies.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::BroadcastMismatch`] when the shapes cannot
     /// be broadcast together.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor, TensorError> {
+        if self.shape() == other.shape() {
+            if let (Some(a), Some(b)) = (self.as_f32_slice(), other.as_f32_slice()) {
+                let out: Vec<f32> = a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect();
+                return Ok(Tensor::from_f32_vec(self.shape().clone(), DType::F32, out)
+                    .expect("same element count"));
+            }
+        }
         let out_shape = self.shape().broadcast(other.shape())?;
         let dtype = DType::promote(self.dtype(), other.dtype());
         let lhs_shape = self.shape().clone();
@@ -157,14 +175,25 @@ impl Tensor {
     /// In-place update: `self = f(self)` elementwise. This is the
     /// paper's `Update` operation, which overwrites a tensor and makes
     /// the new value visible at that position of the data-flow graph.
+    /// The buffer is unshared once up front, so the loop writes
+    /// directly (no per-element copy-on-write checks).
     pub fn update(&mut self, f: impl Fn(f32) -> f32) {
-        for i in 0..self.numel() {
-            self.set(i, f(self.get(i)));
+        match self.buf.make_mut() {
+            BufferData::F32(v) => {
+                for x in v.iter_mut() {
+                    *x = f(*x);
+                }
+            }
+            BufferData::F16(v) => {
+                for x in v.iter_mut() {
+                    *x = crate::F16::from_f32(f(x.to_f32()));
+                }
+            }
         }
     }
 
     /// In-place elementwise assignment from another tensor of identical
-    /// shape.
+    /// shape. Same-dtype assignments are a single block copy.
     ///
     /// # Errors
     ///
@@ -176,8 +205,100 @@ impl Tensor {
                 actual: other.shape().clone(),
             });
         }
+        if self.dtype() == other.dtype() {
+            // write_flat only reads element count and dtype — no need
+            // to flatten `other` first.
+            return self.write_flat(0, other);
+        }
         for i in 0..self.numel() {
             self.set(i, other.get(i));
+        }
+        Ok(())
+    }
+
+    /// In-place reduction: `self[i] = op(self[i], incoming[i])` for
+    /// every element, the hot loop of every ring collective. The
+    /// element counts must match (shapes may differ — collectives
+    /// reduce 1-D chunks into tensor windows); F32 pairs reduce slice
+    /// against slice with no staging.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] when the element counts
+    /// differ and [`TensorError::DTypeMismatch`] on dtype disagreement.
+    pub fn reduce_assign(&mut self, incoming: &Tensor, op: ReduceOp) -> Result<(), TensorError> {
+        if incoming.numel() != self.numel() {
+            return Err(TensorError::DataLength {
+                expected: self.numel(),
+                actual: incoming.numel(),
+            });
+        }
+        if incoming.dtype() != self.dtype() {
+            return Err(TensorError::DTypeMismatch {
+                expected: self.dtype(),
+                actual: incoming.dtype(),
+            });
+        }
+        match self.buf.make_mut() {
+            BufferData::F32(acc) => {
+                let inc = incoming.buf.as_f32().expect("dtype checked");
+                for (a, &b) in acc.iter_mut().zip(inc) {
+                    *a = op.apply(*a, b);
+                }
+            }
+            BufferData::F16(acc) => {
+                let inc = incoming.buf.as_f16().expect("dtype checked");
+                for (a, &b) in acc.iter_mut().zip(inc) {
+                    *a = crate::F16::from_f32(op.apply(a.to_f32(), b.to_f32()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// In-place reduction of `incoming` into the flat element window
+    /// `start..start+incoming.numel()` of `self` — how the collectives
+    /// fold a received chunk into a preallocated output without
+    /// slicing it out and writing it back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::SliceOutOfRange`] for an out-of-bounds
+    /// window and [`TensorError::DTypeMismatch`] on dtype disagreement.
+    pub fn reduce_flat(
+        &mut self,
+        start: usize,
+        incoming: &Tensor,
+        op: ReduceOp,
+    ) -> Result<(), TensorError> {
+        let n = incoming.numel();
+        if start + n > self.numel() {
+            return Err(TensorError::SliceOutOfRange {
+                dim: 0,
+                start,
+                len: n,
+                extent: self.numel(),
+            });
+        }
+        if incoming.dtype() != self.dtype() {
+            return Err(TensorError::DTypeMismatch {
+                expected: self.dtype(),
+                actual: incoming.dtype(),
+            });
+        }
+        match self.buf.make_mut() {
+            BufferData::F32(acc) => {
+                let inc = incoming.buf.as_f32().expect("dtype checked");
+                for (a, &b) in acc[start..start + n].iter_mut().zip(inc) {
+                    *a = op.apply(*a, b);
+                }
+            }
+            BufferData::F16(acc) => {
+                let inc = incoming.buf.as_f16().expect("dtype checked");
+                for (a, &b) in acc[start..start + n].iter_mut().zip(inc) {
+                    *a = crate::F16::from_f32(op.apply(a.to_f32(), b.to_f32()));
+                }
+            }
         }
         Ok(())
     }

@@ -1,10 +1,13 @@
 //! Slicing, splitting, and concatenation.
 //!
 //! The `Sliced(d)` layout distributes a tensor along dimension `d`
-//! across the ranks of a group (§2.1). These operations materialize the
-//! per-rank slices and reassemble them, and provide the flat chunk
-//! views the ring collectives communicate.
+//! across the ranks of a group (§2.1). These operations produce the
+//! per-rank slices and reassemble them. Leading-dimension slices and
+//! the flat chunks the ring collectives communicate are zero-copy
+//! copy-on-write views; only interior-dimension slices (strided in
+//! row-major order) materialize storage.
 
+use crate::tensor::BufferData;
 use crate::{Shape, Tensor, TensorError};
 
 impl Tensor {
@@ -31,6 +34,13 @@ impl Tensor {
         let mut out_dims = self.shape().dims().to_vec();
         out_dims[dim] = len;
         let out_shape = Shape::new(out_dims);
+        if dim == 0 {
+            // Leading-dimension slices are contiguous in row-major
+            // order: reshape a zero-copy flat view instead of copying.
+            let row = self.numel() / extent;
+            let view = self.slice_flat(start * row, len * row)?;
+            return view.reshape(out_shape);
+        }
         let in_strides = self.shape().strides();
         let out_strides = out_shape.strides();
         let out_dims = out_shape.dims().to_vec();
@@ -102,6 +112,16 @@ impl Tensor {
         let out_strides = out_shape.strides();
 
         let mut out = Tensor::zeros(out_shape.clone(), first.dtype());
+        if dim == 0 {
+            // Leading-dimension concatenation is a sequence of
+            // contiguous block copies.
+            let mut elem_off = 0usize;
+            for t in parts {
+                out.write_flat(elem_off, t)?;
+                elem_off += t.numel();
+            }
+            return Ok(out);
+        }
         let mut offset = 0usize;
         for t in parts {
             let t_extent = t.shape().dim(dim);
@@ -122,40 +142,23 @@ impl Tensor {
         Ok(out)
     }
 
-    /// Copies the flat element range `start..start+len` as a 1-D tensor
-    /// (a communication chunk).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TensorError::SliceOutOfRange`] for an out-of-bounds
-    /// range.
-    pub fn slice_flat(&self, start: usize, len: usize) -> Result<Tensor, TensorError> {
-        if start + len > self.numel() {
-            return Err(TensorError::SliceOutOfRange {
-                dim: 0,
-                start,
-                len,
-                extent: self.numel(),
-            });
-        }
-        Ok(Tensor::from_fn([len], self.dtype(), |i| {
-            self.get(start + i)
-        }))
-    }
-
-    /// Writes a 1-D tensor into the flat element range starting at
-    /// `start`.
+    /// Writes `src`'s elements (in row-major flat order; any shape)
+    /// into the flat element range starting at
+    /// `start`. Same-dtype writes are a single block copy (after at
+    /// most one copy-on-write materialization of `self`); `src` may
+    /// alias `self`, in which case the pre-write values are read.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::SliceOutOfRange`] for an out-of-bounds
     /// range and [`TensorError::DTypeMismatch`] on dtype disagreement.
     pub fn write_flat(&mut self, start: usize, src: &Tensor) -> Result<(), TensorError> {
-        if start + src.numel() > self.numel() {
+        let n = src.numel();
+        if start + n > self.numel() {
             return Err(TensorError::SliceOutOfRange {
                 dim: 0,
                 start,
-                len: src.numel(),
+                len: n,
                 extent: self.numel(),
             });
         }
@@ -165,8 +168,13 @@ impl Tensor {
                 actual: src.dtype(),
             });
         }
-        for i in 0..src.numel() {
-            self.set(start + i, src.get(i));
+        match self.buf.make_mut() {
+            BufferData::F32(dst) => {
+                dst[start..start + n].copy_from_slice(src.buf.as_f32().expect("dtype checked"));
+            }
+            BufferData::F16(dst) => {
+                dst[start..start + n].copy_from_slice(src.buf.as_f16().expect("dtype checked"));
+            }
         }
         Ok(())
     }

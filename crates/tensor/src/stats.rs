@@ -1,0 +1,149 @@
+//! Thread-local buffer-allocation accounting.
+//!
+//! The paper's central claim is about *bytes moved*: fused kernels win
+//! because they eliminate redundant materializations at the
+//! computation/communication boundary (§5). To let the runtime and the
+//! benches assert copy elimination rather than eyeball it, every fresh
+//! [`Tensor`](crate::Tensor) buffer materialization is counted here —
+//! including the copy-on-write unsharing copies the [`Arc`]-backed
+//! storage performs when a shared buffer is written.
+//!
+//! Counters are **per thread**. The distributed runtime runs one rank
+//! per OS thread, so a rank's ledger is simply the delta of this
+//! thread's counters over the timed region — no cross-rank
+//! synchronization, no contention on the hot paths.
+//!
+//! [`Arc`]: std::sync::Arc
+
+use std::cell::Cell;
+use std::ops::Sub;
+
+/// A snapshot of this thread's buffer-allocation counters.
+///
+/// `cow_*` is the subset of `alloc_*` that was triggered by writing a
+/// shared or sliced buffer (the copy-on-write materializations); the
+/// rest are ordinary fresh allocations (`zeros`, `from_fn`, …).
+///
+/// # Examples
+///
+/// ```
+/// use coconet_tensor::{alloc_stats, DType, Tensor};
+///
+/// let before = alloc_stats();
+/// let a = Tensor::zeros([1024], DType::F32);
+/// let mut b = a.clone(); // handle copy: no allocation
+/// b.set(0, 1.0); // copy-on-write: one materialization
+/// let d = alloc_stats().since(before);
+/// assert_eq!(d.cow_copies, 1);
+/// assert_eq!(d.cow_bytes, 4096);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Fresh buffer materializations on this thread.
+    pub allocations: u64,
+    /// Bytes of those materializations.
+    pub bytes_allocated: u64,
+    /// Copy-on-write materializations (shared/sliced buffer written).
+    pub cow_copies: u64,
+    /// Bytes copied by copy-on-write materializations.
+    pub cow_bytes: u64,
+}
+
+impl AllocStats {
+    /// The counters accumulated since an earlier snapshot.
+    #[must_use]
+    pub fn since(self, baseline: AllocStats) -> AllocStats {
+        self - baseline
+    }
+}
+
+impl Sub for AllocStats {
+    type Output = AllocStats;
+
+    // Saturating: a baseline captured on another thread (whose
+    // counters ran ahead) must clamp to zero, not underflow.
+    fn sub(self, rhs: AllocStats) -> AllocStats {
+        AllocStats {
+            allocations: self.allocations.saturating_sub(rhs.allocations),
+            bytes_allocated: self.bytes_allocated.saturating_sub(rhs.bytes_allocated),
+            cow_copies: self.cow_copies.saturating_sub(rhs.cow_copies),
+            cow_bytes: self.cow_bytes.saturating_sub(rhs.cow_bytes),
+        }
+    }
+}
+
+thread_local! {
+    static STATS: Cell<AllocStats> = const { Cell::new(AllocStats {
+        allocations: 0,
+        bytes_allocated: 0,
+        cow_copies: 0,
+        cow_bytes: 0,
+    }) };
+}
+
+/// This thread's buffer-allocation counters, monotonically increasing
+/// since the thread started. Diff two snapshots with
+/// [`AllocStats::since`] to meter a region.
+pub fn alloc_stats() -> AllocStats {
+    STATS.with(Cell::get)
+}
+
+#[inline]
+pub(crate) fn record_alloc(bytes: usize) {
+    STATS.with(|s| {
+        let mut v = s.get();
+        v.allocations += 1;
+        v.bytes_allocated += bytes as u64;
+        s.set(v);
+    });
+}
+
+#[inline]
+pub(crate) fn record_cow(bytes: usize) {
+    STATS.with(|s| {
+        let mut v = s.get();
+        v.allocations += 1;
+        v.bytes_allocated += bytes as u64;
+        v.cow_copies += 1;
+        v.cow_bytes += bytes as u64;
+        s.set(v);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DType, Tensor};
+
+    #[test]
+    fn fresh_allocations_are_counted() {
+        let before = alloc_stats();
+        let _t = Tensor::zeros([16], DType::F32);
+        let d = alloc_stats().since(before);
+        assert_eq!(d.allocations, 1);
+        assert_eq!(d.bytes_allocated, 64);
+        assert_eq!(d.cow_copies, 0);
+    }
+
+    #[test]
+    fn clones_and_views_do_not_allocate() {
+        let t = Tensor::from_fn([32], DType::F16, |i| i as f32);
+        let before = alloc_stats();
+        let c = t.clone();
+        let v = t.slice_flat(4, 8).unwrap();
+        let d = alloc_stats().since(before);
+        assert_eq!(d.allocations, 0, "clone {c:?} and view {v:?} allocated");
+    }
+
+    #[test]
+    fn cow_is_counted_once_per_unshare() {
+        let t = Tensor::zeros([8], DType::F32);
+        let mut c = t.clone();
+        let before = alloc_stats();
+        c.set(0, 1.0);
+        c.set(1, 2.0); // already unshared: no second copy
+        let d = alloc_stats().since(before);
+        assert_eq!(d.cow_copies, 1);
+        assert_eq!(d.cow_bytes, 32);
+    }
+}
