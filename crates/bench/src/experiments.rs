@@ -5,7 +5,7 @@
 
 use coconet_core::{
     lower, Binding, CollAlgo, CollKind, CollectiveStep, CommConfig, DType, FixedStep,
-    FusedCollectiveStep, KernelStep, Protocol, ScatterInfo, Step,
+    FusedCollectiveStep, KernelStep, Protocol, ReduceOp, ScatterInfo, Step, WireFormat,
 };
 use coconet_models::inference::{
     model_parallel_epilogue_time, model_parallel_inference_speedup, pipeline_epilogue_time,
@@ -40,6 +40,7 @@ fn best_config_for_algo<F: Fn(CommConfig) -> f64>(algo: CollAlgo, eval: F) -> (C
                 algo,
                 protocol,
                 channels,
+                format: WireFormat::Dense,
             };
             let t = eval(config);
             if best.is_none_or(|(_, bt)| t < bt) {
@@ -169,6 +170,7 @@ pub fn figure10(opt: Optimizer, exponents: &[u32]) -> Vec<Fig10Row> {
                 algo: CollAlgo::Ring,
                 protocol: default_protocol(bytes),
                 channels: 16,
+                format: WireFormat::Dense,
             };
             let opt_kernel = KernelStep {
                 label: "opt".into(),
@@ -391,6 +393,7 @@ pub fn table2(opt: Optimizer) -> (f64, f64) {
         algo: CollAlgo::Ring,
         protocol: Protocol::Simple,
         channels: 16,
+        format: WireFormat::Dense,
     };
     let fused = |scattered: Option<ScatterInfo>| FusedCollectiveStep {
         label: "fuse(RS-Opt-AG)".into(),
@@ -675,6 +678,7 @@ pub fn ablation_protocols(exponents: &[u32]) -> Vec<(u32, [f64; 3])> {
                         algo: CollAlgo::Ring,
                         protocol: p,
                         channels: 16,
+                        format: WireFormat::Dense,
                     },
                 )
             });
@@ -702,6 +706,7 @@ pub fn ablation_channels(elems: u64) -> Vec<(usize, f64)> {
                         algo: CollAlgo::Ring,
                         protocol: Protocol::Simple,
                         channels: ch,
+                        format: WireFormat::Dense,
                     },
                 ),
             )
@@ -783,6 +788,7 @@ pub fn ablation_tile_count(batch: u64) -> Vec<(usize, f64)> {
         algo: CollAlgo::Ring,
         protocol: Protocol::Simple,
         channels: 16,
+        format: WireFormat::Dense,
     };
     [1usize, 2, 4, 8, 16, 32, 64, 128, 256]
         .into_iter()
@@ -838,6 +844,7 @@ pub fn demo_plan() -> coconet_core::ExecPlan {
             Step::Collective(CollectiveStep {
                 label: "ar".into(),
                 kind: CollKind::AllReduce,
+                op: ReduceOp::Sum,
                 algo: CollAlgo::Ring,
                 elems: 1 << 24,
                 dtype: DType::F16,

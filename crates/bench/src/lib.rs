@@ -6,6 +6,7 @@
 
 #![warn(missing_docs)]
 
+pub mod compression;
 pub mod experiments;
 pub mod json;
 pub mod report;

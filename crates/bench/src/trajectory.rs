@@ -110,9 +110,14 @@ pub fn collect(quick: bool) -> Result<Trajectory, String> {
         tab4(),
         algo_ablation("ablation_algo_small", 14),
         algo_ablation("ablation_algo_large", 30),
+        compression_ablation("compression_ablation_small", 14),
+        compression_ablation("compression_ablation_large", 28),
     ];
     let (zc_rows, mut gate_failures) = zero_copy_experiments();
     results.extend(zc_rows);
+    let (comp_row, comp_failures) = compression_ledger();
+    results.push(comp_row);
+    gate_failures.extend(comp_failures);
     let workloads: &[&str] = if quick {
         &["adam", "model-parallel"]
     } else {
@@ -244,6 +249,66 @@ fn zero_copy_experiments() -> (Vec<ExperimentResult>, Vec<String>) {
         .map(|v| format!("ledger_allreduce: {v}"))
         .collect();
     (vec![micro, ledger], failures)
+}
+
+/// The wire-format ablation at one message size: AllReduce of
+/// `2^log2_elems` FP16 gradients on 256 GPUs, each format at its own
+/// best `algorithm × protocol`. The row's baseline is the dense wire
+/// and its `coconet_s` is the best format — the small row shows dense
+/// winning the latency-bound regime (speedup 1.0), the large row shows
+/// the sparse wire's win, and the 100 ‰ point pins the sparse↔dense
+/// switchover (its time equals dense exactly).
+fn compression_ablation(name: &'static str, log2_elems: u32) -> ExperimentResult {
+    use crate::compression::{ablation_formats, format_winner};
+    let rows = ablation_formats(log2_elems);
+    let dense = rows.iter().find(|r| r.0 == "dense").expect("dense row").1;
+    let best = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+    let winner = format_winner(&rows);
+    let mut row = ExperimentResult::analytic(name, dense, best);
+    row.extra = rows
+        .iter()
+        .map(|&(label, t)| (format!("{label}_s"), Json::Num(t)))
+        .collect();
+    row.extra.push(("winner".into(), Json::Str(winner.into())));
+    row.extra
+        .push(("log2_elems".into(), Json::Num(f64::from(log2_elems))));
+    row
+}
+
+/// The measured compressed-collective row: real ring AllReduces of
+/// [`LEDGER_ELEMS`](crate::compression::LEDGER_ELEMS) F32 elements
+/// over 8 rank threads under the dense, FP16, and 10 ‰ top-k wires.
+/// The row's baseline/coconet pair is *bytes per rank* (dense over
+/// top-k), so its speedup is the ledger-verified volume reduction the
+/// regression gate tracks (~29x, deterministic). Analytic-volume
+/// deviations — dense off the ring formula, FP16 not exactly half,
+/// top-k off the sparse formula or ≥ 5 % of dense — are gate failures.
+fn compression_ledger() -> (ExperimentResult, Vec<String>) {
+    use crate::compression::{compression_ledger_bench, LEDGER_ELEMS, LEDGER_RANKS};
+    let row = compression_ledger_bench(LEDGER_ELEMS, LEDGER_RANKS);
+    let mut result = ExperimentResult::analytic(
+        "ledger_compression",
+        row.dense_bytes as f64,
+        row.topk_bytes as f64,
+    );
+    result.extra = vec![
+        ("unit".into(), Json::Str("bytes per rank".into())),
+        ("elems".into(), Json::Num(row.elems as f64)),
+        ("ranks".into(), Json::Num(row.ranks as f64)),
+        ("dense_bytes".into(), Json::Num(row.dense_bytes as f64)),
+        ("fp16_bytes".into(), Json::Num(row.fp16_bytes as f64)),
+        ("topk10_bytes".into(), Json::Num(row.topk_bytes as f64)),
+        (
+            "topk_fraction_of_dense".into(),
+            Json::Num(row.topk_bytes as f64 / row.dense_bytes as f64),
+        ),
+    ];
+    let failures = row
+        .violations()
+        .into_iter()
+        .map(|v| format!("ledger_compression: {v}"))
+        .collect();
+    (result, failures)
 }
 
 /// Table 2 (Adam): scattered-tensor fused update vs contiguous.
@@ -604,6 +669,35 @@ mod tests {
         assert_eq!(
             ledger.get("cow_bytes").and_then(Json::as_f64),
             ledger.get("expected_cow_bytes").and_then(Json::as_f64),
+        );
+        // The wire-compression ablation rows: dense wins the
+        // latency-bound small regime, the sparse wire wins large.
+        let small = back
+            .get("compression_ablation_small")
+            .expect("compression small row");
+        assert_eq!(small.get("winner").and_then(Json::as_str), Some("dense"));
+        assert_eq!(small.get("speedup").and_then(Json::as_f64), Some(1.0));
+        let large = back
+            .get("compression_ablation_large")
+            .expect("compression large row");
+        assert!(large
+            .get("winner")
+            .and_then(Json::as_str)
+            .unwrap()
+            .starts_with("topk"));
+        assert!(large.get("speedup").and_then(Json::as_f64).unwrap() > 2.0);
+        // 100 ‰ has switched over to the dense wire: identical time.
+        assert_eq!(
+            large.get("topk100_s").and_then(Json::as_f64),
+            large.get("dense_s").and_then(Json::as_f64),
+        );
+        // The measured ledger-compression row: the gated speedup IS the
+        // volume reduction, and FP16 is exactly half of dense.
+        let comp = back.get("ledger_compression").expect("ledger row");
+        assert!(comp.get("speedup").and_then(Json::as_f64).unwrap() > 25.0);
+        assert_eq!(
+            comp.get("fp16_bytes").and_then(Json::as_f64).unwrap() * 2.0,
+            comp.get("dense_bytes").and_then(Json::as_f64).unwrap(),
         );
         // The tuner rows carry the pruned-vs-exhaustive evidence.
         let adam = back.get("tab3_autotuner_adam").expect("adam row");

@@ -1,0 +1,455 @@
+//! # coconet-compress
+//!
+//! The wire-compression subsystem: what a collective's payload looks
+//! like *on the wire*, promoted to a tuned schedule dimension.
+//!
+//! The paper's thesis is that communication choices must be visible to
+//! the optimizer instead of hidden behind an opaque `AllReduce`; NCCL's
+//! protocol and logical topology are already tuned dimensions in this
+//! reproduction, and SparCML (PAPERS.md) shows the *representation* of
+//! the payload is one too: half-precision and top-k sparsified gradient
+//! streams move a fraction of the dense volume, with a dense switchover
+//! once density makes the sparse form larger. [`WireFormat`] is that
+//! dimension; this crate holds the codecs, the deterministic top-k
+//! selection with SparCML-style error-feedback residuals, and the
+//! analytic wire-volume formulas the bytes ledger and the simulator's
+//! admissible pruning bounds share.
+//!
+//! Layering: `coconet-compress` sits between the tensor substrate and
+//! `coconet-core` — the DSL's `CommConfig` carries a [`WireFormat`],
+//! the simulator costs compressed bytes-on-wire with it, and the
+//! runtime's collectives encode/decode real payloads with it.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use coconet_tensor::{DType, SparseChunk, Tensor, SPARSE_ENTRY_BYTES};
+
+/// How a collective's payload is represented on the wire.
+///
+/// Like the protocol and the collective algorithm, the format is a
+/// *schedule* choice: it never changes what a program computes (up to
+/// the stated loss), only how many bytes the interconnect carries.
+///
+/// # Examples
+///
+/// ```
+/// use coconet_compress::WireFormat;
+/// use coconet_tensor::DType;
+///
+/// let topk = WireFormat::TopK { k_permille: 10 };
+/// assert_eq!(topk.k_for(1000), 10);
+/// // FP16 halves an F32 payload; Dense moves it whole.
+/// assert_eq!(WireFormat::Fp16.payload_bytes(100, DType::F32), 200);
+/// assert_eq!(WireFormat::Dense.payload_bytes(100, DType::F32), 400);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum WireFormat {
+    /// The payload travels in its own element type, uncompressed.
+    #[default]
+    Dense,
+    /// Every element is rounded to IEEE 754 binary16 before the send
+    /// and widened after the receive (lossless when the payload is
+    /// already FP16; otherwise a half-ULP rounding per hop).
+    Fp16,
+    /// Only the `k = k_permille/1000 · n` largest-magnitude entries
+    /// travel, as `(index, value)` pairs, with per-rank error-feedback
+    /// residuals carrying the dropped mass into the next iteration
+    /// (SparCML). Applies to sum AllReduces; everything else and any
+    /// density past the switchover runs dense.
+    TopK {
+        /// Kept entries per thousand elements (1 ‰ – 1000 ‰).
+        k_permille: u16,
+    },
+}
+
+impl WireFormat {
+    /// The default autotuner sweep: dense, FP16, and 10 ‰ top-k — the
+    /// three points that expose the format crossovers without blowing
+    /// up the grid.
+    pub const SWEEP: [WireFormat; 3] = [
+        WireFormat::Dense,
+        WireFormat::Fp16,
+        WireFormat::TopK { k_permille: 10 },
+    ];
+
+    /// Whether decoding can differ from the encoded input (FP16
+    /// rounding, top-k truncation).
+    pub fn is_lossy(self) -> bool {
+        !matches!(self, WireFormat::Dense)
+    }
+
+    /// The top-k entry count for an `n`-element payload: at least one
+    /// entry, at most all of them.
+    pub fn k_for(self, n: u64) -> u64 {
+        match self {
+            WireFormat::TopK { k_permille } => {
+                (n * u64::from(k_permille) / 1000).clamp(1.min(n), n)
+            }
+            _ => n,
+        }
+    }
+
+    /// The bytes an `n`-element message of `dtype` occupies on the wire
+    /// under this format. For [`WireFormat::TopK`] this is the *sparse
+    /// chunk* size (`k` entries of [`SPARSE_ENTRY_BYTES`]); whether the
+    /// sparse exchange pattern applies at all is the collective's
+    /// decision (see [`sparse_all_reduce_wire_bytes`]).
+    pub fn payload_bytes(self, elems: u64, dtype: DType) -> u64 {
+        match self {
+            WireFormat::Dense => elems * dtype.size_bytes() as u64,
+            // Already-FP16 payloads are unchanged; F32 halves.
+            WireFormat::Fp16 => elems * (dtype.size_bytes().min(2)) as u64,
+            WireFormat::TopK { .. } => self.k_for(elems) * SPARSE_ENTRY_BYTES as u64,
+        }
+    }
+
+    /// The element type payloads carry on the wire under this format
+    /// (the sparse format's values are F32 entries).
+    pub fn wire_dtype(self, dtype: DType) -> DType {
+        match self {
+            WireFormat::Dense | WireFormat::TopK { .. } => dtype,
+            WireFormat::Fp16 => DType::F16,
+        }
+    }
+}
+
+impl fmt::Display for WireFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireFormat::Dense => write!(f, "Dense"),
+            WireFormat::Fp16 => write!(f, "FP16"),
+            WireFormat::TopK { k_permille } => write!(f, "TopK{k_permille}"),
+        }
+    }
+}
+
+/// The analytic per-rank send volume of the *dense* ring AllReduce —
+/// `2·(p−1)/p · n · dtype_size` — duplicated from the runtime ledger
+/// (which sits above this crate) so the switchover rule can compare
+/// against it without a dependency cycle.
+pub fn dense_ring_all_reduce_wire_bytes(n: u64, p: u64, dtype: DType) -> u64 {
+    if p <= 1 {
+        return 0;
+    }
+    2 * (p - 1) * (n / p) * dtype.size_bytes() as u64
+}
+
+/// The analytic per-rank send volume of the sparse AllReduce of an
+/// `n`-element tensor over `p` ranks with `k` kept entries:
+///
+/// - power-of-two groups run the SparCML recursive-doubling exchange
+///   with fixed-`k` re-sparsification — `log2(p)` rounds of one
+///   `k`-entry chunk each, `log2(p) · k · 8` bytes;
+/// - other groups run the AllGather form — every rank's `k`-entry
+///   chunk travels the ring, `(p−1) · k · 8` bytes per rank (the
+///   aggregate is `p · (p−1) · k` entries, "`p · k` chunks on the
+///   wire" in SparCML's accounting).
+///
+/// Both forms pad every chunk to exactly `k` entries, so the volume is
+/// data-independent and the ledger can assert it exactly.
+pub fn sparse_all_reduce_wire_bytes(n: u64, p: u64, k: u64) -> u64 {
+    if p <= 1 {
+        return 0;
+    }
+    let k = k.min(n);
+    let entry = SPARSE_ENTRY_BYTES as u64;
+    if p.is_power_of_two() {
+        u64::from(p.ilog2()) * k * entry
+    } else {
+        (p - 1) * k * entry
+    }
+}
+
+/// The dense switchover rule: the sparse AllReduce runs only while it
+/// is *strictly smaller* than the dense ring AllReduce of the same
+/// tensor — past that density the collective silently runs dense.
+/// Shared verbatim by the runtime dispatch and the simulator's cost
+/// model so the tuner always prices exactly what runs.
+pub fn sparse_beats_dense(n: u64, p: u64, k: u64, dtype: DType) -> bool {
+    p > 1 && sparse_all_reduce_wire_bytes(n, p, k) < dense_ring_all_reduce_wire_bytes(n, p, dtype)
+}
+
+/// The exchange rounds of the sparse AllReduce (for latency modeling):
+/// `log2(p)` pairwise rounds on power-of-two groups, `p − 1` ring hops
+/// on the AllGather form.
+pub fn sparse_all_reduce_rounds(p: u64) -> u64 {
+    if p <= 1 {
+        0
+    } else if p.is_power_of_two() {
+        u64::from(p.ilog2())
+    } else {
+        p - 1
+    }
+}
+
+/// Deterministic top-k sparsification: the `k` largest-magnitude
+/// elements (ties break toward the lower index) as a [`SparseChunk`].
+/// `k` is clamped to the element count, so the chunk always holds
+/// exactly `min(k, n)` entries — zero values included when the tensor
+/// has that few large ones — which is what keeps the sparse wire
+/// volume data-independent.
+pub fn sparsify_top_k(t: &Tensor, k: usize) -> SparseChunk {
+    let n = t.numel();
+    let k = k.min(n);
+    if k == 0 {
+        return SparseChunk::empty(n);
+    }
+    // Precompute the magnitude keys once (the selection compares each
+    // element O(1) times amortized, but the key closure would re-read
+    // the tensor through its dtype dispatch on every comparison — this
+    // is the per-iteration hot path of the 2^24-element benchmarks).
+    let keys: Vec<u32> = match t.as_f32_slice() {
+        Some(vals) => vals.iter().map(|v| ordered(v.abs())).collect(),
+        None => (0..n).map(|i| ordered(t.get(i).abs())).collect(),
+    };
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    // Partial selection: the k largest by |value|, ties to lower index.
+    order.select_nth_unstable_by_key(k - 1, |i| (std::cmp::Reverse(keys[*i as usize]), *i));
+    let mut selected: Vec<u32> = order[..k].to_vec();
+    selected.sort_unstable();
+    let values = selected.iter().map(|&i| t.get(i as usize)).collect();
+    SparseChunk::new(n, selected, values).expect("sorted unique in-range indices")
+}
+
+/// Total-orders a non-NaN magnitude via its IEEE bits (non-negative
+/// floats sort identically to their bit patterns).
+fn ordered(v: f32) -> u32 {
+    debug_assert!(!v.is_nan(), "gradients must be finite");
+    v.to_bits()
+}
+
+/// The per-rank error-feedback residual of a top-k compressed gradient
+/// stream (SparCML / 1-bit-SGD style): everything the wire dropped is
+/// remembered and re-injected into the next iteration's gradient, which
+/// is what makes top-k SGD converge to the dense trajectory.
+///
+/// One accumulator per logical tensor per rank; the runtime's one-shot
+/// collectives take `Option<&mut ErrorFeedback>` and simply drop the
+/// residual when none is supplied.
+#[derive(Clone, Debug, Default)]
+pub struct ErrorFeedback {
+    residual: Option<Tensor>,
+}
+
+impl ErrorFeedback {
+    /// A fresh residual (zero).
+    pub fn new() -> ErrorFeedback {
+        ErrorFeedback::default()
+    }
+
+    /// The gradient with the carried residual re-injected (`g + r`),
+    /// in F32. The first call is a plain widening copy.
+    pub fn inject(&self, grad: &Tensor) -> Tensor {
+        let g = grad.cast(DType::F32);
+        match &self.residual {
+            None => g,
+            Some(r) => g.add(r).expect("residual tracks the gradient shape"),
+        }
+    }
+
+    /// Records what this iteration's wire dropped: `residual =
+    /// corrected − sent`, where `corrected` is [`inject`]'s output and
+    /// `sent` is the chunk that actually traveled.
+    ///
+    /// [`inject`]: ErrorFeedback::inject
+    pub fn absorb(&mut self, corrected: &Tensor, sent: &SparseChunk) {
+        // A handle copy; the first subtraction's copy-on-write detaches
+        // it, so `corrected` is never observably mutated.
+        let mut r = corrected.cast(DType::F32);
+        for (i, v) in sent.entries() {
+            let at = i as usize;
+            r.set(at, r.get(at) - v);
+        }
+        self.residual = Some(r);
+    }
+
+    /// Folds additional dropped mass (e.g. a re-sparsification round's
+    /// truncation, pre-scaled by the caller) into the residual.
+    pub fn absorb_scaled(&mut self, dropped: &SparseChunk, scale: f32) {
+        let r = match &mut self.residual {
+            Some(r) => r,
+            None => {
+                self.residual = Some(Tensor::zeros([dropped.dense_len()], DType::F32));
+                self.residual.as_mut().expect("just set")
+            }
+        };
+        for (i, v) in dropped.entries() {
+            let at = i as usize;
+            r.set(at, r.get(at) + v * scale);
+        }
+    }
+
+    /// The current residual, if any iteration has run.
+    pub fn residual(&self) -> Option<&Tensor> {
+        self.residual.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn display_and_sweep() {
+        assert_eq!(WireFormat::Dense.to_string(), "Dense");
+        assert_eq!(WireFormat::Fp16.to_string(), "FP16");
+        assert_eq!(WireFormat::TopK { k_permille: 10 }.to_string(), "TopK10");
+        assert_eq!(WireFormat::SWEEP.len(), 3);
+        assert_eq!(WireFormat::default(), WireFormat::Dense);
+        assert!(!WireFormat::Dense.is_lossy());
+        assert!(WireFormat::Fp16.is_lossy());
+    }
+
+    #[test]
+    fn k_clamps() {
+        let f = WireFormat::TopK { k_permille: 10 };
+        assert_eq!(f.k_for(1000), 10);
+        assert_eq!(f.k_for(50), 1, "at least one entry");
+        assert_eq!(f.k_for(0), 0, "empty tensors stay empty");
+        assert_eq!(WireFormat::TopK { k_permille: 1000 }.k_for(64), 64);
+        assert_eq!(WireFormat::Dense.k_for(64), 64);
+    }
+
+    #[test]
+    fn payload_bytes_per_format() {
+        assert_eq!(WireFormat::Dense.payload_bytes(64, DType::F32), 256);
+        assert_eq!(WireFormat::Fp16.payload_bytes(64, DType::F32), 128);
+        assert_eq!(
+            WireFormat::Fp16.payload_bytes(64, DType::F16),
+            64 * 2,
+            "already-half payloads are unchanged"
+        );
+        let topk = WireFormat::TopK { k_permille: 125 };
+        assert_eq!(topk.payload_bytes(64, DType::F32), 8 * 8);
+    }
+
+    #[test]
+    fn analytic_volumes() {
+        // Recursive doubling on 8 ranks: 3 rounds of k entries.
+        assert_eq!(
+            sparse_all_reduce_wire_bytes(1 << 20, 8, 1 << 10),
+            3 * (1 << 10) * 8
+        );
+        // AllGather form on 6 ranks: 5 chunks of k entries.
+        assert_eq!(sparse_all_reduce_wire_bytes(1 << 20, 6, 100), 5 * 100 * 8);
+        assert_eq!(sparse_all_reduce_wire_bytes(64, 1, 10), 0);
+        assert_eq!(
+            dense_ring_all_reduce_wire_bytes(16, 4, DType::F32),
+            96,
+            "matches the runtime ledger formula"
+        );
+    }
+
+    #[test]
+    fn acceptance_volume_ratio() {
+        // The acceptance criterion's numbers: a 2^24-element, 8-rank
+        // F32 AllReduce at 10 ‰ moves under 5 % of the dense volume.
+        let (n, p) = (1u64 << 24, 8u64);
+        let k = WireFormat::TopK { k_permille: 10 }.k_for(n);
+        let sparse = sparse_all_reduce_wire_bytes(n, p, k);
+        let dense = dense_ring_all_reduce_wire_bytes(n, p, DType::F32);
+        assert!(
+            (sparse as f64) < 0.05 * dense as f64,
+            "sparse {sparse} vs dense {dense}"
+        );
+        assert!(sparse_beats_dense(n, p, k, DType::F32));
+    }
+
+    #[test]
+    fn switchover_trips_at_high_density() {
+        // 100 ‰ on an FP16 tensor over 8 ranks: sparse = 3·0.1n·8 =
+        // 2.4n, dense = 2·(7/8)·2n = 3.5n — still sparse. At 200 ‰
+        // sparse is 4.8n > 3.5n: dense wins.
+        let n = 1u64 << 16;
+        let k100 = WireFormat::TopK { k_permille: 100 }.k_for(n);
+        let k200 = WireFormat::TopK { k_permille: 200 }.k_for(n);
+        assert!(sparse_beats_dense(n, 8, k100, DType::F16));
+        assert!(!sparse_beats_dense(n, 8, k200, DType::F16));
+        // Single rank never goes sparse.
+        assert!(!sparse_beats_dense(n, 1, 1, DType::F32));
+    }
+
+    #[test]
+    fn sparsify_selects_magnitudes_deterministically() {
+        let t =
+            coconet_tensor::Tensor::from_f32([6], DType::F32, &[0.5, -4.0, 1.0, 4.0, -0.25, 2.0])
+                .unwrap();
+        let c = sparsify_top_k(&t, 3);
+        assert_eq!(
+            c.entries().collect::<Vec<_>>(),
+            vec![(1, -4.0), (3, 4.0), (5, 2.0)]
+        );
+        // Ties break toward the lower index.
+        let t = coconet_tensor::Tensor::full([4], DType::F32, 1.0);
+        let c = sparsify_top_k(&t, 2);
+        assert_eq!(c.entries().map(|(i, _)| i).collect::<Vec<_>>(), vec![0, 1]);
+        // k >= n keeps everything (lossless).
+        let all = sparsify_top_k(&t, 10);
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn error_feedback_carries_dropped_mass() {
+        let grad =
+            coconet_tensor::Tensor::from_f32([4], DType::F32, &[3.0, 0.5, -2.0, 0.25]).unwrap();
+        let mut ef = ErrorFeedback::new();
+        let corrected = ef.inject(&grad);
+        assert_eq!(corrected.to_f32_vec(), grad.to_f32_vec());
+        let sent = sparsify_top_k(&corrected, 2); // keeps 3.0 and -2.0
+        ef.absorb(&corrected, &sent);
+        assert_eq!(
+            ef.residual().unwrap().to_f32_vec(),
+            vec![0.0, 0.5, 0.0, 0.25]
+        );
+        // Next iteration: the residual rides along.
+        let next = ef.inject(&grad);
+        assert_eq!(next.to_f32_vec(), vec![3.0, 1.0, -2.0, 0.5]);
+        // Scaled absorption accumulates.
+        let extra = SparseChunk::new(4, vec![1], vec![2.0]).unwrap();
+        ef.absorb_scaled(&extra, 0.5);
+        assert_eq!(ef.residual().unwrap().get(1), 0.5 + 1.0);
+    }
+
+    proptest! {
+        /// Sparsify keeps exactly min(k, n) entries and they dominate
+        /// everything it dropped.
+        #[test]
+        fn sparsify_keeps_the_largest(
+            values in prop::collection::vec(-100.0f32..100.0, 1..64),
+            k in 1usize..16,
+        ) {
+            let n = values.len();
+            let t = coconet_tensor::Tensor::from_f32([n], DType::F32, &values).unwrap();
+            let c = sparsify_top_k(&t, k);
+            prop_assert_eq!(c.len(), k.min(n));
+            let kept: std::collections::HashSet<u32> = c.entries().map(|(i, _)| i).collect();
+            let min_kept = c
+                .entries()
+                .map(|(_, v)| ordered(v.abs()))
+                .min()
+                .unwrap();
+            for (i, &v) in values.iter().enumerate() {
+                if !kept.contains(&(i as u32)) {
+                    prop_assert!(ordered(v.abs()) <= min_kept);
+                }
+            }
+        }
+
+        /// The switchover is consistent with the raw byte counts.
+        #[test]
+        fn switchover_matches_byte_comparison(
+            log_n in 4u32..24,
+            p in 2u64..17,
+            k_permille in 1u16..1000,
+        ) {
+            let n = 1u64 << log_n;
+            let k = WireFormat::TopK { k_permille }.k_for(n);
+            let sparse = sparse_all_reduce_wire_bytes(n, p, k);
+            let dense = dense_ring_all_reduce_wire_bytes(n, p, DType::F32);
+            prop_assert_eq!(sparse_beats_dense(n, p, k, DType::F32), sparse < dense);
+        }
+    }
+}

@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 use crate::xform;
 use crate::{
     lower, Binding, CollAlgo, CommConfig, CoreError, ExecPlan, OpKind, Program, Protocol, VarId,
+    WireFormat,
 };
 
 /// Evaluates the cost of an executable plan (lower is better).
@@ -166,6 +167,10 @@ pub struct Autotuner {
     pub protocols: Vec<Protocol>,
     /// Channel counts to sweep (the paper sweeps 2..64).
     pub channels: Vec<usize>,
+    /// Wire formats to sweep (dense / FP16 / top-k — the
+    /// `coconet-compress` dimension; SparCML's observation that the
+    /// payload representation is a tunable too).
+    pub formats: Vec<WireFormat>,
     /// Also branch into slicing optimizer state (`asSlice` + `dead`,
     /// §4) after reorders that leave dangling state gathers.
     pub slice_state: bool,
@@ -184,6 +189,7 @@ impl Default for Autotuner {
             algos: CollAlgo::ALL.to_vec(),
             protocols: Protocol::ALL.to_vec(),
             channels: vec![2, 4, 8, 16, 32, 64],
+            formats: WireFormat::SWEEP.to_vec(),
             slice_state: true,
             workers: 0,
             prune: true,
@@ -508,8 +514,8 @@ impl Autotuner {
         }
     }
 
-    /// Sweeps every algorithm/protocol/channel configuration of one
-    /// schedule.
+    /// Sweeps every algorithm/protocol/channel/wire-format
+    /// configuration of one schedule.
     ///
     /// Lowering is configuration-independent up to the algorithm stamp
     /// (the steps' shapes never depend on the configuration), so the
@@ -528,10 +534,13 @@ impl Autotuner {
             .iter()
             .flat_map(|&algo| {
                 self.protocols.iter().flat_map(move |&protocol| {
-                    self.channels.iter().map(move |&channels| CommConfig {
-                        algo,
-                        protocol,
-                        channels,
+                    self.channels.iter().flat_map(move |&channels| {
+                        self.formats.iter().map(move |&format| CommConfig {
+                            algo,
+                            protocol,
+                            channels,
+                            format,
+                        })
                     })
                 })
             })

@@ -17,6 +17,7 @@ mod plan;
 mod types;
 pub mod xform;
 
+pub use coconet_compress::WireFormat;
 pub use coconet_tensor::{Conv2dParams, DType, ReduceOp};
 
 pub use autotune::{structural_hash, Autotuner, Candidate, PlanEvaluator, TuneReport};

@@ -311,6 +311,7 @@ fn lower_unit(
                         steps.push(Step::Collective(crate::CollectiveStep {
                             label: format!("norm-allreduce[{}]", p.node(m)?.name()),
                             kind: CollKind::AllReduce,
+                            op: crate::ReduceOp::Sum,
                             algo,
                             elems: 1,
                             dtype: crate::DType::F32,
@@ -429,18 +430,20 @@ fn lower_single(
                 dtype: ty.dtype,
             })])
         }
-        OpKind::AllReduce(_, x) => Ok(vec![collective(
+        OpKind::AllReduce(op, x) => Ok(vec![collective(
             p,
             binding,
             CollKind::AllReduce,
+            op,
             algo,
             x,
             name,
         )?]),
-        OpKind::ReduceScatter(_, x) => Ok(vec![collective(
+        OpKind::ReduceScatter(op, x) => Ok(vec![collective(
             p,
             binding,
             CollKind::ReduceScatter,
+            op,
             algo,
             x,
             name,
@@ -449,6 +452,7 @@ fn lower_single(
             p,
             binding,
             CollKind::AllGather,
+            crate::ReduceOp::Sum,
             algo,
             x,
             name,
@@ -457,14 +461,16 @@ fn lower_single(
             p,
             binding,
             CollKind::Broadcast,
+            crate::ReduceOp::Sum,
             algo,
             x,
             name,
         )?]),
-        OpKind::Reduce(_, x, _) => Ok(vec![collective(
+        OpKind::Reduce(op, x, _) => Ok(vec![collective(
             p,
             binding,
             CollKind::Reduce,
+            op,
             algo,
             x,
             name,
@@ -493,6 +499,7 @@ fn lower_single(
                     steps.push(Step::Collective(crate::CollectiveStep {
                         label: format!("norm-allreduce[{name}]"),
                         kind: CollKind::AllReduce,
+                        op: crate::ReduceOp::Sum,
                         algo,
                         elems: 1,
                         dtype: crate::DType::F32,
@@ -509,10 +516,12 @@ fn lower_single(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn collective(
     p: &Program,
     binding: &Binding,
     kind: CollKind,
+    op: crate::ReduceOp,
     algo: CollAlgo,
     input: VarId,
     label: String,
@@ -520,6 +529,7 @@ fn collective(
     Ok(Step::Collective(crate::CollectiveStep {
         label,
         kind,
+        op,
         algo,
         elems: p.ty(input)?.numel(binding)?,
         dtype: p.ty(input)?.dtype,

@@ -8,7 +8,8 @@
 
 use std::fmt;
 
-use coconet_tensor::DType;
+use coconet_compress::WireFormat;
+use coconet_tensor::{DType, ReduceOp};
 
 /// NCCL communication protocol (§5.1). Protocols trade latency for
 /// bandwidth: `LL` (low latency) sends 8-byte packs with inline flags
@@ -86,8 +87,10 @@ impl fmt::Display for CollAlgo {
 }
 
 /// Communication configuration for a plan: collective algorithm,
-/// protocol, and channel count (each NCCL channel is one thread block
-/// bound to one NIC/ring copy).
+/// protocol, channel count (each NCCL channel is one thread block
+/// bound to one NIC/ring copy), and the payload's wire format
+/// (dense / FP16 / top-k sparsified — the `coconet-compress`
+/// dimension).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CommConfig {
     /// Collective algorithm (logical topology).
@@ -96,12 +99,19 @@ pub struct CommConfig {
     pub protocol: Protocol,
     /// Number of channels (2–64 in the paper's autotuner sweep).
     pub channels: usize,
+    /// Payload representation on the wire.
+    pub format: WireFormat,
 }
 
 impl CommConfig {
     /// The same configuration under a different algorithm.
     pub fn with_algo(self, algo: CollAlgo) -> CommConfig {
         CommConfig { algo, ..self }
+    }
+
+    /// The same configuration under a different wire format.
+    pub fn with_format(self, format: WireFormat) -> CommConfig {
+        CommConfig { format, ..self }
     }
 }
 
@@ -111,13 +121,18 @@ impl Default for CommConfig {
             algo: CollAlgo::Ring,
             protocol: Protocol::Simple,
             channels: 16,
+            format: WireFormat::Dense,
         }
     }
 }
 
 impl fmt::Display for CommConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{}/{}ch", self.algo, self.protocol, self.channels)
+        write!(
+            f,
+            "{}/{}/{}ch/{}",
+            self.algo, self.protocol, self.channels, self.format
+        )
     }
 }
 
@@ -209,6 +224,12 @@ pub struct CollectiveStep {
     pub label: String,
     /// Collective kind.
     pub kind: CollKind,
+    /// The reduction operator, for the reducing kinds (`Sum` for the
+    /// gather/broadcast kinds, where it is unused). The cost model
+    /// needs it because the sparse top-k wire exists only for *sum*
+    /// AllReduces — a Min/Max AllReduce must be priced on the wire the
+    /// runtime will actually run.
+    pub op: ReduceOp,
     /// Collective algorithm, stamped by lowering from the plan's
     /// [`CommConfig`].
     pub algo: CollAlgo,
@@ -463,6 +484,7 @@ mod tests {
         let coll = CollectiveStep {
             label: "ar".into(),
             kind: CollKind::AllReduce,
+            op: ReduceOp::Sum,
             algo: CollAlgo::Ring,
             elems: 8,
             dtype: DType::F16,
@@ -491,7 +513,7 @@ mod tests {
         };
         assert_eq!(plan.total_launches(), 3);
         let text = plan.to_string();
-        assert!(text.contains("plan t [Ring/Simple/16ch]"));
+        assert!(text.contains("plan t [Ring/Simple/16ch/Dense]"));
         assert!(text.contains("ol"));
     }
 
@@ -511,6 +533,7 @@ mod tests {
         let coll = CollectiveStep {
             label: "ar".into(),
             kind: CollKind::AllReduce,
+            op: ReduceOp::Sum,
             algo: CollAlgo::Ring,
             elems: 8,
             dtype: DType::F16,

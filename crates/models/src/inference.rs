@@ -10,7 +10,7 @@
 //! standalone (the pipeline epilogue is a small slice of a 175B
 //! model's compute).
 
-use coconet_core::{lower, Binding, CollAlgo, CommConfig, Protocol};
+use coconet_core::{lower, Binding, CollAlgo, CommConfig, Protocol, WireFormat};
 use coconet_sim::Simulator;
 use coconet_topology::MachineSpec;
 
@@ -47,6 +47,7 @@ pub fn model_parallel_epilogue_time(
         algo: CollAlgo::Ring,
         protocol: Protocol::Simple,
         channels: 16,
+        format: WireFormat::Dense,
     };
     let mut total = 0.0;
     for block in [Block::SelfAttention, Block::Mlp] {
@@ -96,6 +97,7 @@ pub fn pipeline_epilogue_time(
         algo: CollAlgo::Ring,
         protocol: Protocol::Simple,
         channels: 16,
+        format: WireFormat::Dense,
     };
     let binding = Binding::new(group_size)
         .with_groups(num_groups)

@@ -10,7 +10,9 @@
 //! - [`pipeline`] — pipeline-parallel transformer boundaries (Figure 8)
 //!   with the Figure 12 schedules;
 //! - [`memory`] / [`training`] — the GPU memory model and iteration
-//!   model behind Table 4;
+//!   model behind Table 4, plus the *executable* data-parallel loop
+//!   ([`training::train_data_parallel`]) that proves top-k gradient
+//!   compression with error feedback converges like the dense wire;
 //! - [`inference`] — the end-to-end inference models behind §6.2.2 and
 //!   Table 5.
 

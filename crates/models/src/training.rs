@@ -10,7 +10,8 @@
 //! `fuse(RS-Opt-AG)` kernel.
 
 use coconet_core::{
-    CollAlgo, CollKind, CommConfig, DType, FusedCollectiveStep, KernelStep, Protocol, ScatterInfo,
+    CollAlgo, CollKind, CommConfig, DType, FusedCollectiveStep, KernelStep, Protocol, ReduceOp,
+    ScatterInfo, WireFormat,
 };
 use coconet_sim::{GroupGeom, Simulator};
 
@@ -104,6 +105,7 @@ pub fn optimizer_step_time(
         algo: CollAlgo::Ring,
         protocol: Protocol::Simple,
         channels: 16,
+        format: WireFormat::Dense,
     };
     let norms = match opt {
         Optimizer::Adam => 0,
@@ -184,6 +186,159 @@ pub fn optimizer_step_time(
             };
             cost.fused_collective_time(&fused, geom, config)
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Executable data-parallel training (the wire-compression proof).
+// ---------------------------------------------------------------------
+
+/// Configuration of the *executable* data-parallel loop: a linear
+/// least-squares model trained by synchronous gradient descent on real
+/// rank threads, with the gradient AllReduce running under a
+/// [`WireFormat`] — the end-to-end demonstration that top-k
+/// sparsification with SparCML-style error feedback converges like the
+/// dense wire while moving a fraction of the bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct DataParallelSpec {
+    /// Rank threads (data shards).
+    pub ranks: usize,
+    /// Model dimension (weights).
+    pub dim: usize,
+    /// Training samples per rank.
+    pub samples_per_rank: usize,
+    /// Gradient-descent iterations.
+    pub iters: usize,
+    /// Initial learning rate.
+    pub lr: f32,
+    /// Inverse-time learning-rate decay: iteration `t` steps at
+    /// `lr / (1 + lr_decay · t)`. Decay is what lets the error-feedback
+    /// loop close the gap to the dense trajectory exactly (the
+    /// steady-state perturbation of a compressed gradient stream is
+    /// proportional to the step size).
+    pub lr_decay: f32,
+    /// Data/initialization seed.
+    pub seed: u64,
+    /// Wire format of the gradient AllReduce.
+    pub format: WireFormat,
+}
+
+impl Default for DataParallelSpec {
+    fn default() -> DataParallelSpec {
+        DataParallelSpec {
+            ranks: 4,
+            dim: 64,
+            samples_per_rank: 32,
+            iters: 400,
+            lr: 0.2,
+            lr_decay: 0.03,
+            seed: 2026,
+            format: WireFormat::Dense,
+        }
+    }
+}
+
+/// The outcome of one [`train_data_parallel`] run.
+#[derive(Clone, Debug)]
+pub struct DataParallelRun {
+    /// Global mean-squared error after each iteration.
+    pub losses: Vec<f64>,
+    /// Final (replicated) weights.
+    pub weights: coconet_tensor::Tensor,
+    /// Rank 0's gradient-exchange wire bytes over the whole run (the
+    /// loss reduction is metered out), as the [`BytesLedger`] counted
+    /// them — the compression subsystem's measured volume.
+    ///
+    /// [`BytesLedger`]: coconet_runtime::BytesLedger
+    pub grad_bytes_per_rank: u64,
+}
+
+impl DataParallelRun {
+    /// The last iteration's loss.
+    pub fn final_loss(&self) -> f64 {
+        *self.losses.last().expect("at least one iteration")
+    }
+}
+
+/// Trains `y = X·w` by synchronous data-parallel gradient descent on
+/// `spec.ranks` real rank threads. Each rank holds its own shard of a
+/// common synthetic regression problem (`y = X·w* + noise`, all drawn
+/// from the deterministic counter RNG), computes its local gradient,
+/// and the gradient mean travels through
+/// [`all_reduce_wire`](coconet_runtime::all_reduce_wire) under
+/// `spec.format` — with a *persistent per-rank
+/// [`ErrorFeedback`](coconet_compress::ErrorFeedback) residual*, so
+/// the top-k wire re-injects everything it ever dropped. Every rank
+/// applies the identical replicated update, so the weights stay
+/// replicated throughout.
+pub fn train_data_parallel(spec: &DataParallelSpec) -> DataParallelRun {
+    use coconet_compress::ErrorFeedback;
+    use coconet_runtime::{all_reduce_scalar, all_reduce_wire, run_ranks, Group};
+    use coconet_tensor::{CounterRng, Tensor};
+
+    let s = *spec;
+    let (p, d, m) = (s.ranks, s.dim, s.samples_per_rank);
+    let total = (p * m) as f64;
+    let mut results = run_ranks(p, move |comm| {
+        let group = Group { start: 0, size: p };
+        let rank = comm.rank();
+        let rng = CounterRng::new(s.seed);
+        // The common ground truth, plus this rank's shard: features,
+        // labels with a small noise floor (so the converged loss is a
+        // stable nonzero target to compare formats against).
+        let w_star = Tensor::randn([d], DType::F32, rng, 0);
+        let x = Tensor::randn([m, d], DType::F32, rng, (1 + rank as u64) * 1_000_000);
+        let noise = Tensor::randn([m], DType::F32, rng, (1 + rank as u64) * 7_000_000);
+        let y = Tensor::from_fn([m], DType::F32, |i| {
+            (0..d)
+                .map(|j| x.get(i * d + j) * w_star.get(j))
+                .sum::<f32>()
+                + 0.1 * noise.get(i)
+        });
+
+        let mut w = Tensor::zeros([d], DType::F32);
+        let mut feedback = ErrorFeedback::new();
+        let mut losses = Vec::with_capacity(s.iters);
+        let mut grad_bytes = 0u64;
+        for t in 0..s.iters {
+            // Residuals and local gradient of the global MSE
+            // (1/M)·Σ (x·w − y)²: grad = (2/M)·Xᵀr, summed exactly by
+            // the AllReduce because each rank scales by 1/M.
+            let residual = Tensor::from_fn([m], DType::F32, |i| {
+                (0..d).map(|j| x.get(i * d + j) * w.get(j)).sum::<f32>() - y.get(i)
+            });
+            let grad = Tensor::from_fn([d], DType::F32, |j| {
+                (2.0 / total as f32)
+                    * (0..m)
+                        .map(|i| x.get(i * d + j) * residual.get(i))
+                        .sum::<f32>()
+            });
+            comm.reset_ledger();
+            let global_grad = all_reduce_wire(
+                &comm,
+                group,
+                &grad,
+                ReduceOp::Sum,
+                CollAlgo::Ring,
+                0,
+                s.format,
+                Some(&mut feedback),
+            );
+            grad_bytes += comm.ledger().bytes_sent;
+            let step = s.lr / (1.0 + s.lr_decay * t as f32);
+            for j in 0..d {
+                w.set(j, w.get(j) - step * global_grad.get(j));
+            }
+            let sse: f64 = (0..m).map(|i| f64::from(residual.get(i)).powi(2)).sum();
+            losses.push(all_reduce_scalar(&comm, group, sse, ReduceOp::Sum) / total);
+        }
+        (losses, w, grad_bytes)
+    });
+    let (losses, weights, grad_bytes_per_rank) = results.swap_remove(0);
+    DataParallelRun {
+        losses,
+        weights,
+        grad_bytes_per_rank,
     }
 }
 
@@ -356,6 +511,63 @@ mod tests {
             z.total() / c.total()
         };
         assert!(lamb_gap > adam_gap, "lamb {lamb_gap} vs adam {adam_gap}");
+    }
+
+    /// The acceptance criterion's convergence half: with persistent
+    /// error feedback, the top-k compressed loop lands within 1 % of
+    /// the dense loop's final loss, and FP16 lands essentially on it.
+    #[test]
+    fn compressed_training_matches_dense_loss_within_one_percent() {
+        let dense = train_data_parallel(&DataParallelSpec::default());
+        // The loop actually optimizes: two orders of magnitude down.
+        assert!(
+            dense.final_loss() < dense.losses[0] / 100.0,
+            "dense did not converge: {} -> {}",
+            dense.losses[0],
+            dense.final_loss()
+        );
+        for format in [WireFormat::Fp16, WireFormat::TopK { k_permille: 90 }] {
+            let run = train_data_parallel(&DataParallelSpec {
+                format,
+                ..DataParallelSpec::default()
+            });
+            let rel = (run.final_loss() - dense.final_loss()).abs() / dense.final_loss();
+            assert!(
+                rel <= 0.01,
+                "{format}: final loss {} vs dense {} ({:.3} % off)",
+                run.final_loss(),
+                dense.final_loss(),
+                rel * 100.0
+            );
+        }
+    }
+
+    /// The ledger-verified volume half: over the whole training run
+    /// the FP16 gradient stream moves exactly half the dense bytes and
+    /// the top-k stream moves the analytic sparse volume — a small
+    /// fraction of dense.
+    #[test]
+    fn compressed_training_moves_the_analytic_bytes() {
+        let spec = DataParallelSpec::default();
+        let dense = train_data_parallel(&spec);
+        let fp16 = train_data_parallel(&DataParallelSpec {
+            format: WireFormat::Fp16,
+            ..spec
+        });
+        let topk = train_data_parallel(&DataParallelSpec {
+            format: WireFormat::TopK { k_permille: 90 },
+            ..spec
+        });
+        // Per-iteration analytic volumes × iterations, exactly.
+        let iters = spec.iters as u64;
+        let ring = coconet_runtime::ring_all_reduce_wire_bytes(spec.dim, spec.ranks, DType::F32);
+        assert_eq!(dense.grad_bytes_per_rank, iters * ring);
+        assert_eq!(fp16.grad_bytes_per_rank * 2, dense.grad_bytes_per_rank);
+        assert_eq!(
+            topk.grad_bytes_per_rank,
+            iters * coconet_runtime::top_k_all_reduce_wire_bytes(spec.dim, spec.ranks, 90)
+        );
+        assert!(topk.grad_bytes_per_rank < dense.grad_bytes_per_rank / 4);
     }
 
     #[test]

@@ -13,9 +13,31 @@
 //! reduction performs plus the final output assembly — which is what
 //! the [`BytesLedger`](crate::BytesLedger) suite asserts.
 
-use coconet_tensor::{ReduceOp, Tensor};
+use coconet_compress::WireFormat;
+use coconet_tensor::{DType, ReduceOp, Tensor};
 
 use crate::RankComm;
+
+/// Encodes a tensor for the wire: a handle copy for the dense wire, an
+/// FP16 rounding for [`WireFormat::Fp16`]. The top-k format never
+/// reaches the dense collectives' send path (its AllReduce is the
+/// sparse exchange; everything else resolves to dense), so it encodes
+/// as dense here.
+pub(crate) fn wire_encode(t: &Tensor, wire: WireFormat) -> Tensor {
+    match wire {
+        WireFormat::Fp16 => t.cast(DType::F16),
+        WireFormat::Dense | WireFormat::TopK { .. } => t.clone(),
+    }
+}
+
+/// Decodes a received wire payload back to the collective's working
+/// element type (a no-op on the dense wire, a widening for FP16).
+pub(crate) fn wire_decode(t: Tensor, wire: WireFormat, dtype: DType) -> Tensor {
+    match wire {
+        WireFormat::Fp16 => t.cast(dtype),
+        WireFormat::Dense | WireFormat::TopK { .. } => t,
+    }
+}
 
 /// A group of consecutive ranks participating in a collective.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -78,12 +100,29 @@ pub fn chunk_range(numel: usize, k: usize, c: usize) -> (usize, usize) {
 /// the whole ReduceScatter copies `(k−1)/k` of the tensor once and
 /// nothing else.
 pub fn ring_reduce_scatter(comm: &RankComm, group: Group, input: &Tensor, op: ReduceOp) -> Tensor {
+    ring_reduce_scatter_wire(comm, group, input, op, WireFormat::Dense)
+}
+
+/// [`ring_reduce_scatter`] with the payload encoded per `wire` on
+/// every hop: under FP16 each partial sum is rounded to half precision
+/// before it travels (the per-hop rounding a real FP16-wire collective
+/// performs) and widened back before the fold, halving the bytes the
+/// [`BytesLedger`](crate::BytesLedger) records. The dense wire is
+/// byte- and allocation-identical to [`ring_reduce_scatter`].
+pub fn ring_reduce_scatter_wire(
+    comm: &RankComm,
+    group: Group,
+    input: &Tensor,
+    op: ReduceOp,
+    wire: WireFormat,
+) -> Tensor {
     let k = group.size;
     let me = group.position(comm.rank());
     let n = input.numel();
     if k == 1 {
         return input.slice_flat(0, n).expect("full range");
     }
+    let dtype = input.dtype();
     let mut chunks: Vec<Tensor> = (0..k)
         .map(|c| {
             let (off, len) = chunk_range(n, k, c);
@@ -96,8 +135,8 @@ pub fn ring_reduce_scatter(comm: &RankComm, group: Group, input: &Tensor, op: Re
     for step in 0..k - 1 {
         let send_c = (j + k - step % k) % k;
         let recv_c = (j + k - step - 1) % k;
-        comm.send(group.next(comm.rank()), chunks[send_c].clone());
-        let incoming = comm.recv(group.prev(comm.rank()));
+        comm.send(group.next(comm.rank()), wire_encode(&chunks[send_c], wire));
+        let incoming = wire_decode(comm.recv(group.prev(comm.rank())), wire, dtype);
         chunks[recv_c]
             .reduce_assign(&incoming, op)
             .expect("ring chunks agree on geometry");
@@ -110,14 +149,30 @@ pub fn ring_reduce_scatter(comm: &RankComm, group: Group, input: &Tensor, op: Re
 /// chunks, in position order. Every hop forwards a buffer handle —
 /// the gather allocates nothing.
 pub fn ring_all_gather(comm: &RankComm, group: Group, chunk: &Tensor) -> Vec<Tensor> {
+    ring_all_gather_wire(comm, group, chunk, WireFormat::Dense)
+}
+
+/// [`ring_all_gather`] with the payload encoded per `wire`: the owned
+/// chunk is encoded once on entry, every hop forwards the *encoded*
+/// buffer handle (no re-rounding, no copies), and every chunk is
+/// decoded back to the input's element type at the end. The dense wire
+/// is byte- and allocation-identical to [`ring_all_gather`].
+pub fn ring_all_gather_wire(
+    comm: &RankComm,
+    group: Group,
+    chunk: &Tensor,
+    wire: WireFormat,
+) -> Vec<Tensor> {
     let k = group.size;
     let me = group.position(comm.rank());
-    let mut chunks: Vec<Option<Tensor>> = vec![None; k];
-    // A handle copy of the owned chunk, not a materialization.
-    chunks[me] = Some(chunk.clone());
+    let dtype = chunk.dtype();
     if k == 1 {
-        return chunks.into_iter().map(|c| c.expect("own chunk")).collect();
+        return vec![chunk.clone()];
     }
+    let mut chunks: Vec<Option<Tensor>> = vec![None; k];
+    // On the dense wire a handle copy, under FP16 the one encode this
+    // rank's chunk ever gets.
+    chunks[me] = Some(wire_encode(chunk, wire));
     for step in 0..k - 1 {
         let send_c = (me + k - step % k) % k;
         let recv_c = (me + k - step - 1) % k;
@@ -128,15 +183,28 @@ pub fn ring_all_gather(comm: &RankComm, group: Group, chunk: &Tensor) -> Vec<Ten
     }
     chunks
         .into_iter()
-        .map(|c| c.expect("all chunks gathered"))
+        .map(|c| wire_decode(c.expect("all chunks gathered"), wire, dtype))
         .collect()
 }
 
 /// Ring AllReduce = ReduceScatter + AllGather over flat chunks;
 /// returns the fully reduced tensor with the input's shape.
 pub fn ring_all_reduce(comm: &RankComm, group: Group, input: &Tensor, op: ReduceOp) -> Tensor {
-    let my_chunk = ring_reduce_scatter(comm, group, input, op);
-    let chunks = ring_all_gather(comm, group, &my_chunk);
+    ring_all_reduce_wire(comm, group, input, op, WireFormat::Dense)
+}
+
+/// [`ring_all_reduce`] with every hop of both phases encoded per
+/// `wire` — under FP16 the collective moves exactly half the dense
+/// bytes on F32 payloads.
+pub fn ring_all_reduce_wire(
+    comm: &RankComm,
+    group: Group,
+    input: &Tensor,
+    op: ReduceOp,
+    wire: WireFormat,
+) -> Tensor {
+    let my_chunk = ring_reduce_scatter_wire(comm, group, input, op, wire);
+    let chunks = ring_all_gather_wire(comm, group, &my_chunk, wire);
     let mut out = Tensor::zeros(input.shape().clone(), input.dtype());
     let mut off = 0usize;
     for c in chunks {

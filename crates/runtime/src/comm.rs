@@ -4,11 +4,38 @@
 //! ranks gets an unbounded crossbeam channel. This is the substrate the
 //! ring collectives move real tensor data over — the reproduction's
 //! stand-in for NVLink/InfiniBand transports.
+//!
+//! The fabric is format-agnostic: a message is either a dense tensor
+//! (possibly FP16-encoded by a compressed collective) or a
+//! [`SparseChunk`] of a top-k sparsified stream, and the embedded
+//! [`BytesLedger`] accounts each at its *wire* size — which is exactly
+//! how the compression subsystem's volume claims become assertable.
 
-use coconet_tensor::Tensor;
+use coconet_tensor::{SparseChunk, Tensor};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::ledger::{BytesLedger, LedgerState};
+
+/// One message on the wire: a dense tensor payload or a sparse
+/// `(index, value)` chunk.
+#[derive(Clone, Debug)]
+pub enum WireMsg {
+    /// A dense tensor (a copy-on-write buffer handle).
+    Tensor(Tensor),
+    /// A top-k sparsified chunk.
+    Sparse(SparseChunk),
+}
+
+impl WireMsg {
+    /// The bytes this message occupies on the modeled interconnect —
+    /// what the [`BytesLedger`] records.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            WireMsg::Tensor(t) => t.size_bytes(),
+            WireMsg::Sparse(c) => c.wire_bytes(),
+        }
+    }
+}
 
 /// One rank's endpoints into the world: senders to every rank and
 /// receivers from every rank.
@@ -21,8 +48,8 @@ use crate::ledger::{BytesLedger, LedgerState};
 pub struct RankComm {
     rank: usize,
     world: usize,
-    to: Vec<Sender<Tensor>>,
-    from: Vec<Receiver<Tensor>>,
+    to: Vec<Sender<WireMsg>>,
+    from: Vec<Receiver<WireMsg>>,
     ledger: LedgerState,
 }
 
@@ -37,8 +64,8 @@ impl RankComm {
     pub fn world(world: usize) -> Vec<RankComm> {
         assert!(world > 0, "world must have at least one rank");
         // channels[src][dst]
-        let mut senders: Vec<Vec<Sender<Tensor>>> = Vec::with_capacity(world);
-        let mut receivers: Vec<Vec<Option<Receiver<Tensor>>>> = (0..world)
+        let mut senders: Vec<Vec<Sender<WireMsg>>> = Vec::with_capacity(world);
+        let mut receivers: Vec<Vec<Option<Receiver<WireMsg>>>> = (0..world)
             .map(|_| (0..world).map(|_| None).collect())
             .collect();
         for src in 0..world {
@@ -82,9 +109,31 @@ impl RankComm {
     /// Panics if `dst` is out of range or the destination endpoint was
     /// dropped (a peer thread panicked).
     pub fn send(&self, dst: usize, tensor: Tensor) {
-        self.ledger.record_send(tensor.size_bytes());
+        self.send_msg(dst, WireMsg::Tensor(tensor));
+    }
+
+    /// Sends a sparse chunk to `dst`, accounted at its
+    /// [`wire_bytes`](SparseChunk::wire_bytes) — the compressed size is
+    /// what the modeled interconnect carries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range or the destination endpoint was
+    /// dropped.
+    pub fn send_sparse(&self, dst: usize, chunk: SparseChunk) {
+        self.send_msg(dst, WireMsg::Sparse(chunk));
+    }
+
+    /// Sends a raw wire message to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range or the destination endpoint was
+    /// dropped.
+    pub fn send_msg(&self, dst: usize, msg: WireMsg) {
+        self.ledger.record_send(msg.wire_bytes());
         self.to[dst]
-            .send(tensor)
+            .send(msg)
             .unwrap_or_else(|_| panic!("rank {dst} hung up"));
     }
 
@@ -92,14 +141,45 @@ impl RankComm {
     ///
     /// # Panics
     ///
+    /// Panics if `src` is out of range, the source endpoint was
+    /// dropped without sending, or the next message is a sparse chunk
+    /// (a collective protocol mismatch).
+    pub fn recv(&self, src: usize) -> Tensor {
+        match self.recv_msg(src) {
+            WireMsg::Tensor(t) => t,
+            WireMsg::Sparse(_) => {
+                panic!("rank {src} sent a sparse chunk where a tensor was expected")
+            }
+        }
+    }
+
+    /// Receives the next sparse chunk sent by `src` (blocking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range, the source endpoint was
+    /// dropped, or the next message is a dense tensor.
+    pub fn recv_sparse(&self, src: usize) -> SparseChunk {
+        match self.recv_msg(src) {
+            WireMsg::Sparse(c) => c,
+            WireMsg::Tensor(_) => {
+                panic!("rank {src} sent a tensor where a sparse chunk was expected")
+            }
+        }
+    }
+
+    /// Receives the next wire message sent by `src` (blocking).
+    ///
+    /// # Panics
+    ///
     /// Panics if `src` is out of range or the source endpoint was
     /// dropped without sending.
-    pub fn recv(&self, src: usize) -> Tensor {
-        let tensor = self.from[src]
+    pub fn recv_msg(&self, src: usize) -> WireMsg {
+        let msg = self.from[src]
             .recv()
             .unwrap_or_else(|_| panic!("rank {src} hung up"));
-        self.ledger.record_recv(tensor.size_bytes());
-        tensor
+        self.ledger.record_recv(msg.wire_bytes());
+        msg
     }
 
     /// Zeroes this rank's [`BytesLedger`] and re-baselines the

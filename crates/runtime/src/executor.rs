@@ -17,18 +17,16 @@
 use std::collections::HashMap;
 use std::thread;
 
+use coconet_compress::WireFormat;
 use coconet_core::{Binding, CollAlgo, CommConfig, Layout, OpKind, Program, SliceDim, VarId};
 use coconet_tensor::{CounterRng, ReduceOp, Shape, Tensor};
 use coconet_topology::Cluster;
 
 use crate::collectives::{
-    all_reduce_scalar, broadcast, reduce, ring_all_gather, ring_all_reduce, ring_reduce_scatter,
-    Group,
+    all_reduce_scalar, broadcast, reduce, ring_all_gather_wire, ring_reduce_scatter_wire, Group,
 };
-use crate::hierarchical::{
-    hierarchical_all_gather, hierarchical_all_reduce, hierarchical_reduce_scatter,
-};
-use crate::tree::tree_all_reduce;
+use crate::compressed::all_reduce_wire;
+use crate::hierarchical::{hierarchical_all_gather_wire, hierarchical_reduce_scatter_wire};
 use crate::{DistValue, RankComm, RuntimeError};
 
 /// How to initialize a declared input tensor.
@@ -93,6 +91,12 @@ pub struct RunOptions {
     /// algorithm's intra-node/inter-node split. `0` means the whole
     /// group shares one node, degenerating hierarchical to the ring.
     pub ranks_per_node: usize,
+    /// Wire format the communication operations encode their payloads
+    /// with — the runtime counterpart of a tuned plan's
+    /// [`CommConfig::format`]. Top-k applies to sum AllReduces (with
+    /// the automatic dense switchover); one-shot program runs discard
+    /// the error-feedback residual.
+    pub format: WireFormat,
 }
 
 impl Default for RunOptions {
@@ -101,6 +105,7 @@ impl Default for RunOptions {
             seed: 0x5eed,
             algo: CollAlgo::Ring,
             ranks_per_node: 0,
+            format: WireFormat::Dense,
         }
     }
 }
@@ -124,6 +129,12 @@ impl RunOptions {
         self
     }
 
+    /// A wire format (builder style).
+    pub fn with_format(mut self, format: WireFormat) -> RunOptions {
+        self.format = format;
+        self
+    }
+
     /// Adopts a tuned plan's communication configuration: the
     /// interpreter will run the collectives on the algorithm the
     /// autotuner selected. The configuration carries no node geometry,
@@ -134,7 +145,7 @@ impl RunOptions {
     /// use [`for_cluster`](RunOptions::for_cluster) to take both from
     /// the machine in one step.
     pub fn with_comm(self, config: CommConfig) -> RunOptions {
-        self.with_algo(config.algo)
+        self.with_algo(config.algo).with_format(config.format)
     }
 
     /// Adopts a tuned plan's communication configuration *and* the
@@ -505,8 +516,10 @@ fn execute_rank(
     Ok(outputs)
 }
 
-/// AllReduce under the options' algorithm (the tree is §5.1's second
-/// logical topology; the hierarchical variant splits intra/inter-node).
+/// AllReduce under the options' algorithm and wire format (the tree is
+/// §5.1's second logical topology; the hierarchical variant splits
+/// intra/inter-node; top-k rides the sparse exchange when active).
+/// One-shot program runs carry no error-feedback residual.
 fn all_reduce(
     comm: &RankComm,
     group: Group,
@@ -514,18 +527,23 @@ fn all_reduce(
     op: ReduceOp,
     opts: RunOptions,
 ) -> Tensor {
-    match opts.algo {
-        CollAlgo::Ring => ring_all_reduce(comm, group, input, op),
-        CollAlgo::Tree => tree_all_reduce(comm, group, input, op),
-        CollAlgo::Hierarchical => {
-            hierarchical_all_reduce(comm, group, input, op, opts.ranks_per_node)
-        }
-    }
+    all_reduce_wire(
+        comm,
+        group,
+        input,
+        op,
+        opts.algo,
+        opts.ranks_per_node,
+        opts.format,
+        None,
+    )
 }
 
-/// ReduceScatter under the options' algorithm. There is no binomial
-/// tree ReduceScatter; the tree algorithm uses the ring's, which has
-/// the identical postcondition.
+/// ReduceScatter under the options' algorithm and wire format. There
+/// is no binomial tree ReduceScatter (the tree algorithm uses the
+/// ring's, which has the identical postcondition), and no sparse one —
+/// top-k resolves to the dense wire here, exactly as the cost model
+/// prices it.
 fn reduce_scatter(
     comm: &RankComm,
     group: Group,
@@ -533,20 +551,33 @@ fn reduce_scatter(
     op: ReduceOp,
     opts: RunOptions,
 ) -> Tensor {
+    let wire = rs_ag_format(opts.format);
     match opts.algo {
-        CollAlgo::Ring | CollAlgo::Tree => ring_reduce_scatter(comm, group, input, op),
+        CollAlgo::Ring | CollAlgo::Tree => ring_reduce_scatter_wire(comm, group, input, op, wire),
         CollAlgo::Hierarchical => {
-            hierarchical_reduce_scatter(comm, group, input, op, opts.ranks_per_node)
+            hierarchical_reduce_scatter_wire(comm, group, input, op, opts.ranks_per_node, wire)
         }
     }
 }
 
-/// AllGather under the options' algorithm (tree falls back to ring,
-/// like ReduceScatter).
+/// AllGather under the options' algorithm and wire format (tree falls
+/// back to ring and top-k to dense, like ReduceScatter).
 fn all_gather(comm: &RankComm, group: Group, chunk: &Tensor, opts: RunOptions) -> Vec<Tensor> {
+    let wire = rs_ag_format(opts.format);
     match opts.algo {
-        CollAlgo::Ring | CollAlgo::Tree => ring_all_gather(comm, group, chunk),
-        CollAlgo::Hierarchical => hierarchical_all_gather(comm, group, chunk, opts.ranks_per_node),
+        CollAlgo::Ring | CollAlgo::Tree => ring_all_gather_wire(comm, group, chunk, wire),
+        CollAlgo::Hierarchical => {
+            hierarchical_all_gather_wire(comm, group, chunk, opts.ranks_per_node, wire)
+        }
+    }
+}
+
+/// The wire format ReduceScatter/AllGather run under: FP16 passes
+/// through, top-k has no sparse RS/AG form and runs dense.
+fn rs_ag_format(format: WireFormat) -> WireFormat {
+    match format {
+        WireFormat::TopK { .. } => WireFormat::Dense,
+        f => f,
     }
 }
 
@@ -901,6 +932,65 @@ mod tests {
                 .unwrap();
             let diff = got.max_abs_diff(&reference);
             assert!(diff <= 2e-2, "{algo}: diff {diff}");
+        }
+    }
+
+    /// Every wire format executes every algorithm and preserves the
+    /// program's semantics: the dense wire exactly, FP16 within the
+    /// per-hop rounding of the values (lossless here — the payloads
+    /// are already FP16), and one-shot top-k within its stated
+    /// tolerance: an element the wire dropped is off by at most its
+    /// own magnitude, so the output error is bounded by the largest
+    /// reference magnitude (across-iteration recovery is the error
+    /// feedback loop's job, proven in `coconet-models`).
+    #[test]
+    fn every_wire_format_preserves_semantics_within_tolerance() {
+        let (p, _) = figure3();
+        let (binding, inputs) = figure3_inputs();
+        let reference = run_program(&p, &binding, &inputs, RunOptions::default())
+            .unwrap()
+            .global("out")
+            .unwrap();
+        let ref_max = reference
+            .to_f32_vec()
+            .iter()
+            .fold(0.0f32, |a, &b| a.max(b.abs()));
+        for algo in CollAlgo::ALL {
+            for format in coconet_compress::WireFormat::SWEEP {
+                let opts = RunOptions::default()
+                    .with_algo(algo)
+                    .with_ranks_per_node(2)
+                    .with_format(format);
+                let got = run_program(&p, &binding, &inputs, opts)
+                    .unwrap()
+                    .global("out")
+                    .unwrap();
+                let diff = got.max_abs_diff(&reference);
+                let tol = match format {
+                    // The ring is the reference; other algorithms
+                    // reduce in a different order (FP16 data rounds
+                    // differently, same bound the cross-algorithm
+                    // equivalence test uses).
+                    coconet_compress::WireFormat::Dense if algo == CollAlgo::Ring => 0.0,
+                    coconet_compress::WireFormat::Dense | coconet_compress::WireFormat::Fp16 => {
+                        2e-2
+                    }
+                    coconet_compress::WireFormat::TopK { .. } => 1.5 * ref_max,
+                };
+                assert!(diff <= tol, "{algo}/{format}: diff {diff} > tol {tol}");
+                // Replicated outputs stay replicated under every
+                // format (the sparse exchange densifies the identical
+                // combined chunk on every rank).
+                let result = run_program(&p, &binding, &inputs, opts).unwrap();
+                let global = result.global("out").unwrap();
+                for rank in 0..4 {
+                    assert_eq!(
+                        result.local(rank, "out").unwrap().local.to_f32_vec(),
+                        global.to_f32_vec(),
+                        "{algo}/{format} rank {rank}"
+                    );
+                }
+            }
         }
     }
 

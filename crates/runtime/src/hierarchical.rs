@@ -17,9 +17,12 @@
 //! way). `0`, or a value covering the whole group, means the group
 //! fits one node and the algorithms degenerate to the flat ring.
 
+use coconet_compress::WireFormat;
 use coconet_tensor::{ReduceOp, Tensor};
 
-use crate::collectives::{chunk_range, ring_all_gather, ring_reduce_scatter, Group};
+use crate::collectives::{
+    chunk_range, ring_all_gather_wire, ring_reduce_scatter_wire, wire_decode, wire_encode, Group,
+};
 use crate::RankComm;
 
 /// Layout of one rank's node within a hierarchical group.
@@ -102,22 +105,38 @@ pub fn hierarchical_reduce_scatter(
     op: ReduceOp,
     node_size: usize,
 ) -> Tensor {
+    hierarchical_reduce_scatter_wire(comm, group, input, op, node_size, WireFormat::Dense)
+}
+
+/// [`hierarchical_reduce_scatter`] with every payload — the intra-node
+/// ring hops, the leader hand-offs, the inter-node superchunk
+/// exchange, and the final scatter — encoded per `wire`. The dense
+/// wire is byte- and allocation-identical to the plain variant.
+pub fn hierarchical_reduce_scatter_wire(
+    comm: &RankComm,
+    group: Group,
+    input: &Tensor,
+    op: ReduceOp,
+    node_size: usize,
+    wire: WireFormat,
+) -> Tensor {
     if is_flat(group, node_size) {
-        return ring_reduce_scatter(comm, group, input, op);
+        return ring_reduce_scatter_wire(comm, group, input, op, wire);
     }
     let k = group.size;
     let n = input.numel();
+    let dtype = input.dtype();
     let g = NodeGeom::new(comm, group, node_size);
 
     // Phase 1: intra-node ring ReduceScatter — local position `j` owns
     // the node-reduced chunk `chunk_range(n, sub.size, j)`.
-    let local_chunk = ring_reduce_scatter(comm, g.sub, input, op);
+    let local_chunk = ring_reduce_scatter_wire(comm, g.sub, input, op, wire);
 
     if g.local_pos != 0 {
         // Phase 2: hand the node-reduced chunk to the leader; phase 4:
         // receive the globally reduced final chunk back.
-        comm.send(g.sub.start, local_chunk);
-        return comm.recv(g.sub.start);
+        comm.send(g.sub.start, wire_encode(&local_chunk, wire));
+        return wire_decode(comm.recv(g.sub.start), wire, dtype);
     }
 
     // Leader: reassemble the node-partial tensor from member chunks.
@@ -127,7 +146,7 @@ pub fn hierarchical_reduce_scatter(
         partial.write_flat(own_off, &local_chunk).expect("in range");
     }
     for j in 1..g.sub.size {
-        let t = comm.recv(g.sub.start + j);
+        let t = wire_decode(comm.recv(g.sub.start + j), wire, dtype);
         let (off, len) = chunk_range(n, g.sub.size, j);
         if len > 0 {
             partial.write_flat(off, &t).expect("in range");
@@ -156,7 +175,10 @@ pub fn hierarchical_reduce_scatter(
             continue;
         }
         let (off, len) = superchunk(node);
-        comm.send(g.leader(node), slice_or_empty(&partial, off, len));
+        comm.send(
+            g.leader(node),
+            wire_encode(&slice_or_empty(&partial, off, len), wire),
+        );
     }
     let (s_off, s_len) = superchunk(g.my_node);
     // A view of the node partial; the first fold detaches exactly the
@@ -166,7 +188,7 @@ pub fn hierarchical_reduce_scatter(
         if node == g.my_node {
             continue;
         }
-        let incoming = comm.recv(g.leader(node));
+        let incoming = wire_decode(comm.recv(g.leader(node)), wire, dtype);
         acc.reduce_assign(&incoming, op)
             .expect("leaders agree on superchunk geometry");
     }
@@ -174,7 +196,10 @@ pub fn hierarchical_reduce_scatter(
     // Phase 4: scatter the final chunks to the node's members.
     for j in 1..g.sub.size {
         let (off, len) = chunk_range(n, k, g.node_first + j);
-        comm.send(g.sub.start + j, slice_or_empty(&acc, off - s_off, len));
+        comm.send(
+            g.sub.start + j,
+            wire_encode(&slice_or_empty(&acc, off - s_off, len), wire),
+        );
     }
     let (off, len) = chunk_range(n, k, g.me);
     slice_or_empty(&acc, off - s_off, len)
@@ -191,19 +216,39 @@ pub fn hierarchical_all_gather(
     chunk: &Tensor,
     node_size: usize,
 ) -> Vec<Tensor> {
+    hierarchical_all_gather_wire(comm, group, chunk, node_size, WireFormat::Dense)
+}
+
+/// [`hierarchical_all_gather`] with every payload encoded per `wire`
+/// (chunks travel encoded across the leader exchange and the
+/// intra-node forward, one decode per chunk per rank at the phase
+/// boundaries). The dense wire is byte- and allocation-identical to
+/// the plain variant.
+pub fn hierarchical_all_gather_wire(
+    comm: &RankComm,
+    group: Group,
+    chunk: &Tensor,
+    node_size: usize,
+    wire: WireFormat,
+) -> Vec<Tensor> {
     if is_flat(group, node_size) {
-        return ring_all_gather(comm, group, chunk);
+        return ring_all_gather_wire(comm, group, chunk, wire);
     }
     let k = group.size;
+    let dtype = chunk.dtype();
     let g = NodeGeom::new(comm, group, node_size);
 
     // Phase 1: intra-node ring AllGather — every member of the node
-    // holds all of the node's chunks.
-    let node_chunks = ring_all_gather(comm, g.sub, chunk);
+    // holds all of the node's chunks. From here on `all` lives in
+    // *wire encoding*: each local chunk is encoded exactly once, every
+    // forward (leader exchange and intra-node fan-out) is a buffer
+    // handle of the already-encoded payload, and every rank decodes
+    // each chunk exactly once at the end.
+    let node_chunks = ring_all_gather_wire(comm, g.sub, chunk, wire);
 
     let mut all: Vec<Option<Tensor>> = vec![None; k];
     for (j, c) in node_chunks.into_iter().enumerate() {
-        all[g.node_first + j] = Some(c);
+        all[g.node_first + j] = Some(wire_encode(&c, wire));
     }
     let is_local = |pos: usize| pos >= g.node_first && pos < g.node_first + g.sub.size;
 
@@ -228,7 +273,8 @@ pub fn hierarchical_all_gather(
                 all[node * node_size + j] = Some(comm.recv(src));
             }
         }
-        // Phase 3: forward the remote chunks to the node's members.
+        // Phase 3: forward the remote chunks to the node's members —
+        // handle copies of the encoded buffers.
         for member in 1..g.sub.size {
             for (pos, c) in all.iter().enumerate() {
                 if !is_local(pos) {
@@ -246,7 +292,7 @@ pub fn hierarchical_all_gather(
         }
     }
     all.into_iter()
-        .map(|c| c.expect("all chunks gathered"))
+        .map(|c| wire_decode(c.expect("all chunks gathered"), wire, dtype))
         .collect()
 }
 
@@ -260,8 +306,22 @@ pub fn hierarchical_all_reduce(
     op: ReduceOp,
     node_size: usize,
 ) -> Tensor {
-    let my_chunk = hierarchical_reduce_scatter(comm, group, input, op, node_size);
-    let chunks = hierarchical_all_gather(comm, group, &my_chunk, node_size);
+    hierarchical_all_reduce_wire(comm, group, input, op, node_size, WireFormat::Dense)
+}
+
+/// [`hierarchical_all_reduce`] with every payload of both phases
+/// encoded per `wire` — under FP16 the two-level exchange moves
+/// exactly half the dense bytes on F32 payloads.
+pub fn hierarchical_all_reduce_wire(
+    comm: &RankComm,
+    group: Group,
+    input: &Tensor,
+    op: ReduceOp,
+    node_size: usize,
+    wire: WireFormat,
+) -> Tensor {
+    let my_chunk = hierarchical_reduce_scatter_wire(comm, group, input, op, node_size, wire);
+    let chunks = hierarchical_all_gather_wire(comm, group, &my_chunk, node_size, wire);
     let mut out = Tensor::zeros(input.shape().clone(), input.dtype());
     let mut off = 0usize;
     for c in chunks {

@@ -44,6 +44,7 @@
 
 mod collectives;
 mod comm;
+mod compressed;
 mod dist;
 mod error;
 mod executor;
@@ -54,17 +55,19 @@ mod scattered;
 mod tree;
 
 pub use collectives::{
-    all_reduce_scalar, broadcast, chunk_range, reduce, ring_all_gather, ring_all_reduce,
-    ring_reduce_scatter, Group,
+    all_reduce_scalar, broadcast, chunk_range, reduce, ring_all_gather, ring_all_gather_wire,
+    ring_all_reduce, ring_all_reduce_wire, ring_reduce_scatter, ring_reduce_scatter_wire, Group,
 };
-pub use comm::{run_ranks, RankComm};
+pub use comm::{run_ranks, RankComm, WireMsg};
+pub use compressed::{all_reduce_wire, resolve_all_reduce_format, sparse_all_reduce};
 pub use dist::DistValue;
 pub use error::RuntimeError;
 pub use executor::{run_program, InitValue, Inputs, RunOptions, RunResult};
 pub use hierarchical::{
-    hierarchical_all_gather, hierarchical_all_reduce, hierarchical_reduce_scatter,
+    hierarchical_all_gather, hierarchical_all_gather_wire, hierarchical_all_reduce,
+    hierarchical_all_reduce_wire, hierarchical_reduce_scatter, hierarchical_reduce_scatter_wire,
 };
-pub use ledger::{ring_all_reduce_wire_bytes, BytesLedger};
+pub use ledger::{ring_all_reduce_wire_bytes, top_k_all_reduce_wire_bytes, BytesLedger};
 pub use overlap_exec::{overlapped_matmul_all_reduce, production_order};
 pub use scattered::{BucketTable, ScatteredTensors, BUCKET_ELEMS};
-pub use tree::tree_all_reduce;
+pub use tree::{tree_all_reduce, tree_all_reduce_wire};

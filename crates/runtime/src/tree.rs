@@ -9,16 +9,35 @@
 //! paper use rings; this module is the reproduction's implementation of
 //! the tree alternative, used by the ring-vs-tree ablation.
 
+use coconet_compress::WireFormat;
 use coconet_tensor::{ReduceOp, Tensor};
 
-use crate::collectives::Group;
+use crate::collectives::{wire_decode, wire_encode, Group};
 use crate::RankComm;
 
 /// Binomial-tree Reduce to group position 0, then binomial Broadcast —
 /// an AllReduce in `2·ceil(log2(k))` rounds.
 pub fn tree_all_reduce(comm: &RankComm, group: Group, input: &Tensor, op: ReduceOp) -> Tensor {
+    tree_all_reduce_wire(comm, group, input, op, WireFormat::Dense)
+}
+
+/// [`tree_all_reduce`] with every payload encoded per `wire`. Under
+/// FP16 each reduce-phase partial rounds to half precision as it
+/// travels, and the root rounds its final value once before the
+/// broadcast so every rank (the root included) returns the identical
+/// decoded tensor — the all-ranks-agree postcondition the dense tree
+/// has. The dense wire is byte- and allocation-identical to
+/// [`tree_all_reduce`].
+pub fn tree_all_reduce_wire(
+    comm: &RankComm,
+    group: Group,
+    input: &Tensor,
+    op: ReduceOp,
+    wire: WireFormat,
+) -> Tensor {
     let k = group.size;
     let pos = group.position(comm.rank());
+    let dtype = input.dtype();
     // A handle copy; the first in-place reduction detaches it.
     let mut acc = input.clone();
 
@@ -27,17 +46,24 @@ pub fn tree_all_reduce(comm: &RankComm, group: Group, input: &Tensor, op: Reduce
     let mut d = 1usize;
     while d < k {
         if pos & d != 0 {
-            comm.send(group.rank_at(pos - d), acc.clone());
+            comm.send(group.rank_at(pos - d), wire_encode(&acc, wire));
             break;
         } else if pos + d < k {
-            let incoming = comm.recv(group.rank_at(pos + d));
+            let incoming = wire_decode(comm.recv(group.rank_at(pos + d)), wire, dtype);
             acc.reduce_assign(&incoming, op)
                 .expect("tree peers agree on geometry");
         }
         d <<= 1;
     }
 
-    // Broadcast phase: mirror image, highest round first.
+    // Broadcast phase: mirror image, highest round first. The value
+    // travels in wire encoding the whole way down (forwards are handle
+    // copies of the encoded buffer) and every rank decodes at the end;
+    // the root's once-through-the-codec round trip makes its value
+    // bit-identical to everyone else's.
+    if pos == 0 {
+        acc = wire_encode(&acc, wire);
+    }
     let mut rounds = Vec::new();
     let mut e = 1usize;
     while e < k {
@@ -55,7 +81,7 @@ pub fn tree_all_reduce(comm: &RankComm, group: Group, input: &Tensor, op: Reduce
             comm.send(group.rank_at(pos + d), acc.clone());
         }
     }
-    acc
+    wire_decode(acc, wire, dtype)
 }
 
 #[cfg(test)]

@@ -9,9 +9,12 @@
 //! penalties of fused kernels (why fusion loses at small sizes,
 //! §6.1.1).
 
+use coconet_compress::{
+    sparse_all_reduce_rounds, sparse_all_reduce_wire_bytes, sparse_beats_dense,
+};
 use coconet_core::{
     CollAlgo, CollKind, CommConfig, DType, FusedCollectiveStep, KernelStep, MatMulStep,
-    SendRecvStep,
+    SendRecvStep, WireFormat,
 };
 use coconet_topology::MachineSpec;
 
@@ -214,6 +217,100 @@ impl CostModel {
         }
     }
 
+    /// The wire format a collective kind actually runs under — the
+    /// cost-model twin of the runtime dispatch, so the tuner always
+    /// prices exactly what runs:
+    ///
+    /// - Broadcast/Reduce ship dense (they are root-based fan-outs off
+    ///   the gradient path; the runtime does not compress them);
+    /// - the sparse top-k exchange exists only for the AllReduce, and
+    ///   only while it is strictly smaller than the dense ring volume
+    ///   (the automatic dense switchover) — everything else resolves
+    ///   to dense;
+    /// - FP16 applies to AllReduce/ReduceScatter/AllGather.
+    pub fn effective_wire_format(
+        format: WireFormat,
+        kind: CollKind,
+        elems: u64,
+        dtype: DType,
+        group: GroupGeom,
+    ) -> WireFormat {
+        match (format, kind) {
+            (_, CollKind::Broadcast | CollKind::Reduce) => WireFormat::Dense,
+            (WireFormat::TopK { .. }, CollKind::AllReduce)
+                if sparse_beats_dense(elems, group.size as u64, format.k_for(elems), dtype) =>
+            {
+                format
+            }
+            (WireFormat::TopK { .. }, _) => WireFormat::Dense,
+            (f, _) => f,
+        }
+    }
+
+    /// Whether a (resolved) format runs the sparse exchange for `kind`.
+    fn sparse_active(format: WireFormat, kind: CollKind) -> bool {
+        matches!(format, WireFormat::TopK { .. }) && kind == CollKind::AllReduce
+    }
+
+    /// The wire format a *fused* collective runs under: top-k cannot
+    /// fuse (no RS/AG phase to compute between), FP16 and dense pass
+    /// through.
+    pub fn fused_wire_format(format: WireFormat) -> WireFormat {
+        match format {
+            WireFormat::TopK { .. } => WireFormat::Dense,
+            f => f,
+        }
+    }
+
+    /// The wire format a plain collective step runs under given its
+    /// reduction operator: the sparse exchange only *sums* (a dropped
+    /// entry is additively neutral, not min/max-neutral), so non-sum
+    /// steps resolve top-k to dense — the cost-model twin of the
+    /// runtime dispatch's `op == Sum` requirement, keeping "the tuner
+    /// prices what runs" true for Min/Max AllReduces.
+    pub fn step_wire_format(format: WireFormat, op: coconet_core::ReduceOp) -> WireFormat {
+        if op == coconet_core::ReduceOp::Sum {
+            format
+        } else {
+            Self::fused_wire_format(format)
+        }
+    }
+
+    /// The encode/decode compute cost of a (resolved) wire format: two
+    /// codec kernel launches (the conversions are separate kernels, not
+    /// free — the term that makes dense win latency-bound small
+    /// messages) plus a constant number of streaming passes over the
+    /// payload at memory bandwidth. Never part of the bandwidth floor —
+    /// codecs only add time above the irreducible wire transfer, which
+    /// keeps the pruning bounds admissible.
+    fn codec_time(&self, format: WireFormat, elems: u64, dtype: DType, group: GroupGeom) -> f64 {
+        let n = elems as f64;
+        let ds = dtype.size_bytes() as f64;
+        match format {
+            WireFormat::Dense => 0.0,
+            // Already-FP16 payloads need no conversion; F32 pays an
+            // encode and a decode kernel (read + write each).
+            WireFormat::Fp16 => {
+                if dtype == DType::F16 {
+                    0.0
+                } else {
+                    2.0 * self.launch() + 2.0 * n * (ds + 2.0) / self.mem_bw()
+                }
+            }
+            // A selection kernel, a densification kernel, and one
+            // merge/re-sparsify kernel per exchange round (the rounds
+            // cannot fuse across communication); selection and the
+            // residual update stream the gradient a few times, each
+            // round's merge touches two k-entry chunks.
+            WireFormat::TopK { .. } => {
+                let k = format.k_for(elems) as f64;
+                let rounds = sparse_all_reduce_rounds(group.size as u64) as f64;
+                (2.0 + rounds) * self.launch()
+                    + (4.0 * n * ds + rounds * 3.0 * k * 8.0) / self.mem_bw()
+            }
+        }
+    }
+
     /// Effective intra-node bandwidth under a configuration: NVLink at
     /// the protocol's line-rate fraction (channels split and re-merge
     /// on the same links, so they cancel intra-node).
@@ -234,12 +331,21 @@ impl CostModel {
             * self.knobs.fabric_efficiency
     }
 
-    /// The per-rank wire bytes one collective moves under `algo`, split
-    /// by fabric segment (see [`WireBytes`]). This is the
-    /// configuration-independent numerator of the bandwidth floor; one
-    /// walk over a plan's steps computes it for all three algorithms at
-    /// once, which is what lets [`lower_bound_sweep`] answer the whole
-    /// `algo × protocol × channels` grid from a single pass.
+    /// The per-rank wire bytes one collective moves under `algo` and
+    /// `format`, split by fabric segment (see [`WireBytes`]). This is
+    /// the configuration-independent numerator of the bandwidth floor;
+    /// one walk over a plan's steps computes it for all three
+    /// algorithms at once, which is what lets [`lower_bound_sweep`]
+    /// answer the whole `algo × protocol × channels` slice of one
+    /// format's grid from a single pass.
+    ///
+    /// The format resolves through
+    /// [`effective_wire_format`](Self::effective_wire_format) first:
+    /// FP16 scales every payload to two bytes per element, and an
+    /// active top-k AllReduce replaces the topology's pattern entirely
+    /// with the sparse exchange volume (identical for every algorithm —
+    /// the `(index, value)` rounds run over whatever fabric the ring
+    /// would).
     ///
     /// [`lower_bound_sweep`]: coconet_core::PlanEvaluator::lower_bound_sweep
     pub fn collective_wire(
@@ -249,13 +355,22 @@ impl CostModel {
         elems: u64,
         dtype: DType,
         group: GroupGeom,
+        format: WireFormat,
     ) -> WireBytes {
         let algo = Self::effective_algo(algo, kind, group);
+        let format = Self::effective_wire_format(format, kind, elems, dtype, group);
         let k = group.size as f64;
         if group.size <= 1 {
             return WireBytes::default();
         }
-        let bytes = (elems * dtype.size_bytes() as u64) as f64;
+        if Self::sparse_active(format, kind) {
+            return WireBytes {
+                edge: sparse_all_reduce_wire_bytes(elems, group.size as u64, format.k_for(elems))
+                    as f64,
+                ..WireBytes::default()
+            };
+        }
+        let bytes = format.payload_bytes(elems, dtype) as f64;
         match algo {
             CollAlgo::Ring => WireBytes {
                 edge: Self::ring_steps(kind, k) * bytes / k,
@@ -334,7 +449,7 @@ impl CostModel {
         group: GroupGeom,
         config: CommConfig,
     ) -> f64 {
-        let wire = self.collective_wire(config.algo, kind, elems, dtype, group);
+        let wire = self.collective_wire(config.algo, kind, elems, dtype, group, config.format);
         self.wire_time(wire, group, config)
     }
 
@@ -349,53 +464,75 @@ impl CostModel {
         group: GroupGeom,
         config: CommConfig,
     ) -> f64 {
-        let config = config.with_algo(Self::effective_algo(config.algo, kind, group));
+        let config = config
+            .with_algo(Self::effective_algo(config.algo, kind, group))
+            .with_format(Self::effective_wire_format(
+                config.format,
+                kind,
+                elems,
+                dtype,
+                group,
+            ));
         let k = group.size as f64;
         if group.size <= 1 {
             return self.launch();
         }
         let proto = protocol::params(config.protocol);
         let t_bw = self.collective_bandwidth_floor(kind, elems, dtype, group, config);
+        let t_codec = self.codec_time(config.format, elems, dtype, group);
 
-        let t_lat = match config.algo {
-            // Ring: per-step hop latency, averaged over the ring's
-            // intra- and inter-node edges.
-            CollAlgo::Ring => {
-                let inter_edges = if group.nodes_spanned > 1 {
-                    group.nodes_spanned as f64
-                } else {
-                    0.0
-                };
-                let alpha = (proto.hop_latency_intra * (k - inter_edges)
-                    + proto.hop_latency_inter * inter_edges)
-                    / k;
-                Self::ring_steps(kind, k) * alpha
-            }
-            // Tree: half the rounds cross nodes in the worst case.
-            CollAlgo::Tree => {
-                let alpha = if group.nodes_spanned > 1 {
-                    (proto.hop_latency_intra + proto.hop_latency_inter) / 2.0
-                } else {
-                    proto.hop_latency_intra
-                };
-                Self::tree_rounds(kind, k) * alpha
-            }
-            // Hierarchical: intra-node ring hops plus the leader
-            // exchange's inter-node hops, per phase (single-node
-            // groups were resolved to Ring by `effective_algo`).
-            CollAlgo::Hierarchical => {
-                let m = group.ranks_per_node.max(1) as f64;
-                let n = group.nodes_spanned as f64;
-                let phases = match kind {
-                    CollKind::AllReduce => 2.0,
-                    _ => 1.0,
-                };
-                phases * ((m - 1.0) * proto.hop_latency_intra + (n - 1.0) * proto.hop_latency_inter)
+        let t_lat = if Self::sparse_active(config.format, kind) {
+            // The sparse exchange's pairwise/ring rounds; later rounds
+            // cross nodes on multi-node groups, like the tree's.
+            let alpha = if group.nodes_spanned > 1 {
+                (proto.hop_latency_intra + proto.hop_latency_inter) / 2.0
+            } else {
+                proto.hop_latency_intra
+            };
+            sparse_all_reduce_rounds(group.size as u64) as f64 * alpha
+        } else {
+            match config.algo {
+                // Ring: per-step hop latency, averaged over the ring's
+                // intra- and inter-node edges.
+                CollAlgo::Ring => {
+                    let inter_edges = if group.nodes_spanned > 1 {
+                        group.nodes_spanned as f64
+                    } else {
+                        0.0
+                    };
+                    let alpha = (proto.hop_latency_intra * (k - inter_edges)
+                        + proto.hop_latency_inter * inter_edges)
+                        / k;
+                    Self::ring_steps(kind, k) * alpha
+                }
+                // Tree: half the rounds cross nodes in the worst case.
+                CollAlgo::Tree => {
+                    let alpha = if group.nodes_spanned > 1 {
+                        (proto.hop_latency_intra + proto.hop_latency_inter) / 2.0
+                    } else {
+                        proto.hop_latency_intra
+                    };
+                    Self::tree_rounds(kind, k) * alpha
+                }
+                // Hierarchical: intra-node ring hops plus the leader
+                // exchange's inter-node hops, per phase (single-node
+                // groups were resolved to Ring by `effective_algo`).
+                CollAlgo::Hierarchical => {
+                    let m = group.ranks_per_node.max(1) as f64;
+                    let n = group.nodes_spanned as f64;
+                    let phases = match kind {
+                        CollKind::AllReduce => 2.0,
+                        _ => 1.0,
+                    };
+                    phases
+                        * ((m - 1.0) * proto.hop_latency_intra
+                            + (n - 1.0) * proto.hop_latency_inter)
+                }
             }
         };
 
         let sync = self.knobs.call_sync_per_log_rank * k.log2();
-        self.launch() + proto.base_latency + sync + t_lat + t_bw
+        self.launch() + proto.base_latency + sync + t_lat + t_bw + t_codec
     }
 
     /// Tree-algorithm AllReduce time (§5.1's second logical topology):
@@ -444,6 +581,11 @@ impl CostModel {
         group: GroupGeom,
         config: CommConfig,
     ) -> f64 {
+        // The fused kernel computes *between* the ReduceScatter and
+        // AllGather phases, which the gather-based sparse exchange does
+        // not have — a top-k configuration runs fused collectives on
+        // the dense wire (FP16 still applies).
+        let config = config.with_format(Self::fused_wire_format(config.format));
         let base = self.collective_time(CollKind::AllReduce, step.elems, step.dtype, group, config);
         let launch = self.launch();
         let comm = base - launch;
@@ -537,6 +679,7 @@ mod tests {
             algo: CollAlgo::Ring,
             protocol: p,
             channels: ch,
+            format: WireFormat::Dense,
         }
     }
 
@@ -766,6 +909,7 @@ mod tests {
             algo,
             protocol: Protocol::Simple,
             channels: 16,
+            format: WireFormat::Dense,
         }
     }
 
@@ -824,9 +968,17 @@ mod tests {
                     algo,
                     protocol: Protocol::LL128,
                     channels: ch,
+                    format: WireFormat::Dense,
                 };
                 let elems = 1u64 << 22;
-                let wire = m.collective_wire(algo, CollKind::AllReduce, elems, DType::F16, g);
+                let wire = m.collective_wire(
+                    algo,
+                    CollKind::AllReduce,
+                    elems,
+                    DType::F16,
+                    g,
+                    config.format,
+                );
                 let floor =
                     m.collective_bandwidth_floor(CollKind::AllReduce, elems, DType::F16, g, config);
                 assert!((m.wire_time(wire, g, config) - floor).abs() < 1e-15);
@@ -860,8 +1012,22 @@ mod tests {
                         m.collective_time(kind, elems, DType::F16, g, algo_cfg(CollAlgo::Tree));
                     assert_eq!(ring_time(kind), tree, "tree {kind}, elems {elems}");
                     assert_eq!(
-                        m.collective_wire(CollAlgo::Ring, kind, elems, DType::F16, g),
-                        m.collective_wire(CollAlgo::Tree, kind, elems, DType::F16, g),
+                        m.collective_wire(
+                            CollAlgo::Ring,
+                            kind,
+                            elems,
+                            DType::F16,
+                            g,
+                            WireFormat::Dense
+                        ),
+                        m.collective_wire(
+                            CollAlgo::Tree,
+                            kind,
+                            elems,
+                            DType::F16,
+                            g,
+                            WireFormat::Dense
+                        ),
                     );
                 }
                 // AllReduce does have tree and hierarchical forms, and
@@ -875,6 +1041,229 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fp16_wire_halves_f32_payloads_everywhere() {
+        // The FP16 format halves the wire bytes of every algorithm and
+        // kind on F32 payloads, and is byte-identical to dense on
+        // payloads that are already FP16.
+        let m = model();
+        let g = world_group();
+        let elems = 1u64 << 22;
+        for algo in CollAlgo::ALL {
+            for kind in [
+                CollKind::AllReduce,
+                CollKind::ReduceScatter,
+                CollKind::AllGather,
+            ] {
+                let dense = m.collective_wire(algo, kind, elems, DType::F32, g, WireFormat::Dense);
+                let fp16 = m.collective_wire(algo, kind, elems, DType::F32, g, WireFormat::Fp16);
+                assert_eq!(fp16.edge * 2.0, dense.edge, "{algo} {kind}");
+                assert_eq!(fp16.intra * 2.0, dense.intra, "{algo} {kind}");
+                assert_eq!(fp16.inter * 2.0, dense.inter, "{algo} {kind}");
+                let dense_h =
+                    m.collective_wire(algo, kind, elems, DType::F16, g, WireFormat::Dense);
+                let fp16_h = m.collective_wire(algo, kind, elems, DType::F16, g, WireFormat::Fp16);
+                assert_eq!(dense_h, fp16_h, "{algo} {kind}: FP16-on-FP16 is dense");
+            }
+        }
+    }
+
+    #[test]
+    fn topk_allreduce_prices_the_sparse_exchange() {
+        let m = model();
+        let g = world_group();
+        let elems = 1u64 << 24;
+        let topk = WireFormat::TopK { k_permille: 10 };
+        let k = topk.k_for(elems);
+        // Every algorithm prices the same sparse exchange — the sparse
+        // wire replaces the logical topology.
+        for algo in CollAlgo::ALL {
+            let wire = m.collective_wire(algo, CollKind::AllReduce, elems, DType::F32, g, topk);
+            assert_eq!(
+                wire.edge,
+                coconet_compress::sparse_all_reduce_wire_bytes(elems, g.size as u64, k) as f64,
+                "{algo}"
+            );
+            assert_eq!((wire.intra, wire.inter), (0.0, 0.0), "{algo}");
+            // And it undercuts the dense wire at 10 ‰ (the < 5 %
+            // acceptance ratio is an 8-rank number; at 256 ranks the
+            // log2(p) rounds still win by an order of magnitude less).
+            let dense = m.collective_wire(
+                algo,
+                CollKind::AllReduce,
+                elems,
+                DType::F32,
+                g,
+                WireFormat::Dense,
+            );
+            assert!(wire.edge < 0.1 * (dense.edge + dense.intra + dense.inter));
+        }
+        // Non-AllReduce kinds fall back to the dense wire under top-k.
+        for kind in [CollKind::ReduceScatter, CollKind::AllGather] {
+            assert_eq!(
+                m.collective_wire(CollAlgo::Ring, kind, elems, DType::F32, g, topk),
+                m.collective_wire(
+                    CollAlgo::Ring,
+                    kind,
+                    elems,
+                    DType::F32,
+                    g,
+                    WireFormat::Dense
+                ),
+                "{kind}"
+            );
+        }
+        // The dense switchover: at 200 ‰ on FP16 payloads the sparse
+        // form is larger, so the collective prices (and runs) dense.
+        let heavy = WireFormat::TopK { k_permille: 200 };
+        assert_eq!(
+            m.collective_wire(
+                CollAlgo::Ring,
+                CollKind::AllReduce,
+                elems,
+                DType::F16,
+                g,
+                heavy
+            ),
+            m.collective_wire(
+                CollAlgo::Ring,
+                CollKind::AllReduce,
+                elems,
+                DType::F16,
+                g,
+                WireFormat::Dense
+            ),
+        );
+    }
+
+    #[test]
+    fn compressed_floors_stay_admissible() {
+        // floor <= collective_time for every format × algorithm ×
+        // protocol — the invariant the enlarged grid's pruning rests
+        // on (codec time lives above the floor, never inside it).
+        let m = model();
+        for g in [intra_group(), world_group()] {
+            for format in WireFormat::SWEEP {
+                for algo in CollAlgo::ALL {
+                    for protocol in Protocol::ALL {
+                        let config = CommConfig {
+                            algo,
+                            protocol,
+                            channels: 16,
+                            format,
+                        };
+                        for elems in [1u64 << 10, 1 << 24] {
+                            let floor = m.collective_bandwidth_floor(
+                                CollKind::AllReduce,
+                                elems,
+                                DType::F32,
+                                g,
+                                config,
+                            );
+                            let t = m.collective_time(
+                                CollKind::AllReduce,
+                                elems,
+                                DType::F32,
+                                g,
+                                config,
+                            );
+                            assert!(
+                                floor <= t,
+                                "{format} {algo} {protocol} {elems}: {floor} > {t}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_collectives_never_ride_the_sparse_wire() {
+        // Top-k resolves to dense for fused collectives (no RS/AG
+        // phase to compute between); FP16 passes through.
+        let m = model();
+        let g = world_group();
+        let fused = FusedCollectiveStep {
+            label: "f".into(),
+            algo: CollAlgo::Ring,
+            elems: 1 << 26,
+            dtype: DType::F32,
+            extra_bytes_read: 1 << 20,
+            extra_bytes_written: 1 << 20,
+            flops: 1 << 20,
+            embedded_scalar_allreduces: 0,
+            n_fused_ops: 8,
+            scattered: None,
+        };
+        let at = |format| {
+            m.fused_collective_time(
+                &fused,
+                g,
+                CommConfig {
+                    algo: CollAlgo::Ring,
+                    protocol: Protocol::Simple,
+                    channels: 16,
+                    format,
+                },
+            )
+        };
+        assert_eq!(
+            at(WireFormat::TopK { k_permille: 10 }),
+            at(WireFormat::Dense)
+        );
+        assert!(at(WireFormat::Fp16) < at(WireFormat::Dense));
+        assert_eq!(
+            CostModel::fused_wire_format(WireFormat::TopK { k_permille: 1 }),
+            WireFormat::Dense
+        );
+        assert_eq!(
+            CostModel::fused_wire_format(WireFormat::Fp16),
+            WireFormat::Fp16
+        );
+    }
+
+    #[test]
+    fn format_crossover_small_vs_large() {
+        // Small messages: the codec/launch terms dominate, dense wins.
+        // Large F32 messages: FP16 halves the wall, top-k at 10 ‰ wins
+        // outright — the crossover the compression_ablation rows track.
+        let m = model();
+        let g = world_group();
+        // Each format runs at its best algorithm/protocol — the
+        // comparison the ablation rows and the autotuner make.
+        let time = |format, elems: u64| {
+            let mut best = f64::INFINITY;
+            for algo in CollAlgo::ALL {
+                for protocol in Protocol::ALL {
+                    let config = CommConfig {
+                        algo,
+                        protocol,
+                        channels: 16,
+                        format,
+                    };
+                    best = best.min(m.collective_time(
+                        CollKind::AllReduce,
+                        elems,
+                        DType::F32,
+                        g,
+                        config,
+                    ));
+                }
+            }
+            best
+        };
+        let small = 1u64 << 10;
+        assert!(time(WireFormat::Dense, small) <= time(WireFormat::Fp16, small));
+        assert!(time(WireFormat::Dense, small) <= time(WireFormat::TopK { k_permille: 10 }, small));
+        let large = 1u64 << 28;
+        let t_dense = time(WireFormat::Dense, large);
+        let t_fp16 = time(WireFormat::Fp16, large);
+        let t_topk = time(WireFormat::TopK { k_permille: 10 }, large);
+        assert!(t_fp16 < t_dense, "fp16 {t_fp16} !< dense {t_dense}");
+        assert!(t_topk < t_fp16, "topk {t_topk} !< fp16 {t_fp16}");
     }
 
     #[test]

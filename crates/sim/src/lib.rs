@@ -15,7 +15,7 @@
 //! # Examples
 //!
 //! ```
-//! use coconet_core::{CollAlgo, CollKind, CollectiveStep, CommConfig, DType, Step};
+//! use coconet_core::{CollAlgo, CollKind, CollectiveStep, CommConfig, DType, ReduceOp, Step};
 //! use coconet_sim::Simulator;
 //! use coconet_topology::MachineSpec;
 //!
@@ -23,6 +23,7 @@
 //! let ar = Step::Collective(CollectiveStep {
 //!     label: "allreduce".into(),
 //!     kind: CollKind::AllReduce,
+//!     op: ReduceOp::Sum,
 //!     algo: CollAlgo::Ring,
 //!     elems: 1 << 26,
 //!     dtype: DType::F16,
@@ -44,4 +45,4 @@ pub use cost::{CostKnobs, CostModel, GroupGeom, WireBytes};
 pub use event::{ResourceId, TaskGraph, TaskId, Timeline};
 pub use overlap::{simulate_overlap, simulate_overlap_with_tiles, tile_count, OverlapSim};
 pub use protocol::{channel_sweep, default_protocol, params as protocol_params, ProtocolParams};
-pub use simulator::{FloorProfile, PlanTime, Simulator, StepCategory, StepTime};
+pub use simulator::{DurableFloor, FloorProfile, PlanTime, Simulator, StepCategory, StepTime};

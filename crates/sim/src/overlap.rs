@@ -73,9 +73,15 @@ pub fn simulate_overlap_with_tiles(
         .map(|s| {
             let t = match s {
                 OverlapStage::MatMul(mm) => cost.matmul_time(mm),
-                OverlapStage::Collective(c) => {
-                    cost.collective_time(c.kind, c.elems, c.dtype, geom, config.with_algo(c.algo))
-                }
+                OverlapStage::Collective(c) => cost.collective_time(
+                    c.kind,
+                    c.elems,
+                    c.dtype,
+                    geom,
+                    config
+                        .with_algo(c.algo)
+                        .with_format(CostModel::step_wire_format(config.format, c.op)),
+                ),
                 OverlapStage::FusedCollective(f) => {
                     cost.fused_collective_time(f, geom, config.with_algo(f.algo))
                 }
@@ -174,6 +180,7 @@ pub(crate) fn stage_kind(stage: &OverlapStage) -> Option<CollKind> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use coconet_core::ReduceOp;
     use coconet_core::{
         CollAlgo, CollectiveStep, CommConfig, DType, FusedCollectiveStep, MatMulStep, Protocol,
         SendRecvStep,
@@ -194,6 +201,7 @@ mod tests {
 
     fn cfg() -> CommConfig {
         CommConfig {
+            format: coconet_core::WireFormat::Dense,
             algo: CollAlgo::Ring,
             protocol: Protocol::Simple,
             channels: 16,
@@ -265,6 +273,7 @@ mod tests {
                 OverlapStage::Collective(CollectiveStep {
                     label: "rs".into(),
                     kind: CollKind::ReduceScatter,
+                    op: ReduceOp::Sum,
                     algo: CollAlgo::Ring,
                     elems,
                     dtype: DType::F16,
@@ -281,6 +290,7 @@ mod tests {
                 OverlapStage::Collective(CollectiveStep {
                     label: "ag".into(),
                     kind: CollKind::AllGather,
+                    op: ReduceOp::Sum,
                     algo: CollAlgo::Ring,
                     elems,
                     dtype: DType::F16,

@@ -1,7 +1,9 @@
 //! End-to-end plan timing: the machine-level evaluator the autotuner
 //! and benchmarks use.
 
-use coconet_core::{CollAlgo, CollKind, CommConfig, ExecPlan, OverlapStage, PlanEvaluator, Step};
+use coconet_core::{
+    CollAlgo, CollKind, CommConfig, ExecPlan, OverlapStage, PlanEvaluator, Step, WireFormat,
+};
 use coconet_topology::{Cluster, MachineSpec};
 
 use crate::cost::WireBytes;
@@ -145,13 +147,17 @@ impl Simulator {
             Step::Collective(c) => {
                 // The step's stamped algorithm wins over the plan-level
                 // configuration (lowering keeps them consistent; the
-                // stamp is authoritative for hand-built plans).
+                // stamp is authoritative for hand-built plans), and a
+                // non-sum reduction strips the sparse wire the runtime
+                // would refuse to run.
                 let mut t = self.cost.collective_time(
                     c.kind,
                     c.elems,
                     c.dtype,
                     geom,
-                    config.with_algo(c.algo),
+                    config
+                        .with_algo(c.algo)
+                        .with_format(CostModel::step_wire_format(config.format, c.op)),
                 );
                 if let Some(s) = c.scattered {
                     t += self.cost.scattered_overhead(s.n_tensors, s.n_buckets);
@@ -206,46 +212,102 @@ impl Simulator {
     }
 
     /// The configuration-independent coefficients of both autotuner
-    /// lower bounds for *all three collective algorithms*, from one
-    /// pass over the plan's steps. Under a configuration `c`:
+    /// lower bounds for *all three collective algorithms* under one
+    /// wire format, from one pass over the plan's steps. Under a
+    /// configuration `c` with `c.format == format`:
     ///
     /// - tight per-plan floor = `fixed_s + wire_time(wire[c.algo], c)`
     ///   plus each overlapped step's largest-stage floor
-    /// - descendant floor = the largest single-segment transfer of
-    ///   `durable[c.algo]` at `c`'s effective rates
-    pub fn floor_profile(&self, plan: &ExecPlan) -> FloorProfile {
+    /// - descendant floor = the largest per-step irreducible transfer
+    ///   of `durable` at `c`'s effective rates
+    ///
+    /// The format is a profile-level coefficient (compressed payloads
+    /// change every step's bytes), so the sweep computes one profile
+    /// per distinct format in its configuration list.
+    pub fn floor_profile(&self, plan: &ExecPlan, format: WireFormat) -> FloorProfile {
         let geom = self.group_geom();
         let launch = self.cost_model().machine().gpu.launch_overhead;
-        let wire = |algo: CollAlgo, kind: CollKind, elems: u64, dtype| {
-            self.cost.collective_wire(algo, kind, elems, dtype, geom)
+        // Fused collectives cannot run the sparse exchange; their wire
+        // resolves top-k to dense (`CostModel::fused_wire_format`).
+        let fused_fmt = CostModel::fused_wire_format(format);
+        let wire = |algo: CollAlgo, kind: CollKind, elems: u64, dtype, f: WireFormat| {
+            self.cost.collective_wire(algo, kind, elems, dtype, geom, f)
         };
         // What of a step's volume survives every further
         // transformation: an AllReduce may split (and an overlapped
         // pipeline is bounded only by its largest stage), so it keeps
-        // only its ReduceScatter half; an AllGather can be eliminated
-        // entirely (`asSlice` + `dead`) and a send can shrink by the
-        // group size once slicing applies, so both keep nothing.
-        let durable_wire = |algo: CollAlgo, kind: CollKind, elems: u64, dtype| match kind {
-            CollKind::AllReduce => wire(algo, CollKind::ReduceScatter, elems, dtype),
-            CollKind::AllGather => WireBytes::default(),
-            k => wire(algo, k, elems, dtype),
-        };
+        // only its ReduceScatter half — on the dense wire when the
+        // configuration is top-k (there is no sparse ReduceScatter) —
+        // or, staying a plain AllReduce, the sparse exchange volume;
+        // an AllGather can be eliminated entirely (`asSlice` + `dead`)
+        // and a send can shrink by the group size once slicing
+        // applies, so both keep nothing.
+        let durable_entry =
+            |kind: CollKind, elems: u64, dtype, f: WireFormat| -> Option<DurableFloor> {
+                match kind {
+                    CollKind::AllGather => None,
+                    CollKind::AllReduce => {
+                        let rs_format = CostModel::fused_wire_format(f);
+                        let mut dense = [WireBytes::default(); N_ALGOS];
+                        for algo in CollAlgo::ALL {
+                            dense[algo.index()] =
+                                wire(algo, CollKind::ReduceScatter, elems, dtype, rs_format);
+                        }
+                        // The sparse alternative, when the switchover
+                        // keeps it active for this size.
+                        let resolved = CostModel::effective_wire_format(
+                            f,
+                            CollKind::AllReduce,
+                            elems,
+                            dtype,
+                            geom,
+                        );
+                        let sparse_bytes = match resolved {
+                            WireFormat::TopK { .. } => {
+                                Some(coconet_compress::sparse_all_reduce_wire_bytes(
+                                    elems,
+                                    geom.size as u64,
+                                    resolved.k_for(elems),
+                                ) as f64)
+                            }
+                            _ => None,
+                        };
+                        Some(DurableFloor {
+                            dense,
+                            sparse_bytes,
+                        })
+                    }
+                    k => {
+                        let mut dense = [WireBytes::default(); N_ALGOS];
+                        for algo in CollAlgo::ALL {
+                            dense[algo.index()] = wire(algo, k, elems, dtype, f);
+                        }
+                        Some(DurableFloor {
+                            dense,
+                            sparse_bytes: None,
+                        })
+                    }
+                }
+            };
         let mut profile = FloorProfile {
+            format,
             fixed_s: 0.0,
             wire: [WireBytes::default(); N_ALGOS],
             overlap_wire: Vec::new(),
-            durable: [WireBytes::default(); N_ALGOS],
+            durable: Vec::new(),
         };
         for step in &plan.steps {
             match step {
                 Step::Collective(c) => {
                     profile.fixed_s += launch;
+                    let f = CostModel::step_wire_format(format, c.op);
                     for algo in CollAlgo::ALL {
                         let i = algo.index();
-                        profile.wire[i].accumulate(wire(algo, c.kind, c.elems, c.dtype));
-                        profile.durable[i] =
-                            profile.durable[i].max(durable_wire(algo, c.kind, c.elems, c.dtype));
+                        profile.wire[i].accumulate(wire(algo, c.kind, c.elems, c.dtype, f));
                     }
+                    profile
+                        .durable
+                        .extend(durable_entry(c.kind, c.elems, c.dtype, f));
                 }
                 Step::FusedCollective(f) => {
                     profile.fixed_s += launch;
@@ -256,14 +318,15 @@ impl Simulator {
                             CollKind::AllReduce,
                             f.elems,
                             f.dtype,
-                        ));
-                        profile.durable[i] = profile.durable[i].max(durable_wire(
-                            algo,
-                            CollKind::AllReduce,
-                            f.elems,
-                            f.dtype,
+                            fused_fmt,
                         ));
                     }
+                    profile.durable.extend(durable_entry(
+                        CollKind::AllReduce,
+                        f.elems,
+                        f.dtype,
+                        fused_fmt,
+                    ));
                 }
                 // The pipeline can hide everything but its largest
                 // communication stage (launch amortization inside the
@@ -275,19 +338,23 @@ impl Simulator {
                 Step::Overlapped(ol) => {
                     let mut stage_max = [WireBytes::default(); N_ALGOS];
                     for st in &ol.stages {
-                        let (kind, elems, dtype) = match st {
-                            OverlapStage::Collective(c) => (c.kind, c.elems, c.dtype),
+                        let (kind, elems, dtype, f) = match st {
+                            OverlapStage::Collective(c) => (
+                                c.kind,
+                                c.elems,
+                                c.dtype,
+                                CostModel::step_wire_format(format, c.op),
+                            ),
                             OverlapStage::FusedCollective(f) => {
-                                (CollKind::AllReduce, f.elems, f.dtype)
+                                (CollKind::AllReduce, f.elems, f.dtype, fused_fmt)
                             }
                             OverlapStage::MatMul(_) | OverlapStage::SendRecv(_) => continue,
                         };
                         for algo in CollAlgo::ALL {
                             let i = algo.index();
-                            stage_max[i] = stage_max[i].max(wire(algo, kind, elems, dtype));
-                            profile.durable[i] =
-                                profile.durable[i].max(durable_wire(algo, kind, elems, dtype));
+                            stage_max[i] = stage_max[i].max(wire(algo, kind, elems, dtype, f));
                         }
+                        profile.durable.extend(durable_entry(kind, elems, dtype, f));
                     }
                     profile.overlap_wire.push(stage_max);
                 }
@@ -308,6 +375,10 @@ impl Simulator {
     /// [`plan_time_floor`]: Simulator::plan_time_floor
     /// [`plan_lower_bound`]: Simulator::plan_lower_bound
     fn bounds_for_config(&self, profile: &FloorProfile, config: CommConfig) -> (f64, f64) {
+        debug_assert_eq!(
+            profile.format, config.format,
+            "a floor profile answers only its own wire format"
+        );
         let geom = self.group_geom();
         let i = config.algo.index();
         // Largest single-segment floor of a field-wise maximum: each
@@ -335,7 +406,21 @@ impl Simulator {
         for stage_max in &profile.overlap_wire {
             tight += largest_segment(stage_max[i]);
         }
-        let descendant = largest_segment(profile.durable[i]);
+        // Per step, the cheaper of its two irreducible futures (dense
+        // ReduceScatter half vs staying a sparse AllReduce) under this
+        // configuration's rates; the plan keeps at least its most
+        // expensive step's floor.
+        let descendant = profile
+            .durable
+            .iter()
+            .map(|d| {
+                let dense = largest_segment(d.dense[i]);
+                match d.sparse_bytes {
+                    Some(bytes) => dense.min(bytes / self.cost.ring_bandwidth(geom, config)),
+                    None => dense,
+                }
+            })
+            .fold(0.0f64, f64::max);
         (tight, descendant)
     }
 
@@ -356,7 +441,7 @@ impl Simulator {
             "bounds assume the steps carry the plan config's algorithm; \
              use ExecPlan::set_config to retag"
         );
-        self.bounds_for_config(&self.floor_profile(plan), plan.config)
+        self.bounds_for_config(&self.floor_profile(plan, plan.config.format), plan.config)
             .0
     }
 
@@ -377,15 +462,18 @@ impl Simulator {
             "bounds assume the steps carry the plan config's algorithm; \
              use ExecPlan::set_config to retag"
         );
-        self.bounds_for_config(&self.floor_profile(plan), plan.config)
+        self.bounds_for_config(&self.floor_profile(plan, plan.config.format), plan.config)
             .1
     }
 }
 
-/// Configuration-independent lower-bound coefficients of one plan,
-/// per collective algorithm — see [`Simulator::floor_profile`].
+/// Configuration-independent lower-bound coefficients of one plan
+/// under one wire format, per collective algorithm — see
+/// [`Simulator::floor_profile`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct FloorProfile {
+    /// The wire format the coefficients were computed under.
+    pub format: WireFormat,
     /// Launch/fixed seconds every configuration pays.
     pub fixed_s: f64,
     /// Summed wire bytes of the plan's non-overlapped communication,
@@ -394,9 +482,23 @@ pub struct FloorProfile {
     /// Field-wise stage maxima of each overlapped step's communication,
     /// indexed by [`CollAlgo::index`].
     pub overlap_wire: Vec<[WireBytes; N_ALGOS]>,
-    /// Field-wise maxima of the wire bytes that survive every further
-    /// transformation, indexed by [`CollAlgo::index`].
-    pub durable: [WireBytes; N_ALGOS],
+    /// One irreducible transfer per communication step — the wire bytes
+    /// that survive every further transformation.
+    pub durable: Vec<DurableFloor>,
+}
+
+/// The irreducible remainder of one communication step under every
+/// descendant schedule: the dense wire its ReduceScatter half keeps
+/// (indexed by [`CollAlgo::index`]), and — for a top-k AllReduce that
+/// stays sparse — the sparse exchange's byte alternative, whichever is
+/// cheaper under the configuration being bounded.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DurableFloor {
+    /// Dense-wire remainders per algorithm.
+    pub dense: [WireBytes; N_ALGOS],
+    /// Sparse-exchange alternative (bytes over the ring fabric), when
+    /// the step may stay a sparse AllReduce.
+    pub sparse_bytes: Option<f64>,
 }
 
 /// The machine simulator *is* the autotuner's evaluator: estimated
@@ -417,21 +519,34 @@ impl PlanEvaluator for Simulator {
     }
 
     fn lower_bound_sweep(&self, plan: &ExecPlan, configs: &[CommConfig]) -> (Vec<f64>, Vec<f64>) {
-        // One pass over the steps (covering all three algorithms), a
-        // few divisions per configuration — this is what keeps pruning
+        // One pass over the steps per *distinct wire format* in the
+        // sweep (each pass covers all three algorithms), then a few
+        // divisions per configuration — this is what keeps pruning
         // cheaper than the evaluations it saves across the enlarged
-        // `algo × protocol × channels` grid.
-        let profile = self.floor_profile(plan);
-        configs
-            .iter()
-            .map(|&config| self.bounds_for_config(&profile, config))
-            .unzip()
+        // `algo × protocol × channels × format` grid.
+        let mut profiles: Vec<FloorProfile> = Vec::new();
+        let mut tights = Vec::with_capacity(configs.len());
+        let mut descendants = Vec::with_capacity(configs.len());
+        for &config in configs {
+            if !profiles.iter().any(|p| p.format == config.format) {
+                profiles.push(self.floor_profile(plan, config.format));
+            }
+            let profile = profiles
+                .iter()
+                .find(|p| p.format == config.format)
+                .expect("pushed above");
+            let (tight, descendant) = self.bounds_for_config(profile, config);
+            tights.push(tight);
+            descendants.push(descendant);
+        }
+        (tights, descendants)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use coconet_core::ReduceOp;
     use coconet_core::{CollectiveStep, DType, FixedStep, KernelStep, Protocol, ScatterInfo};
 
     fn simulator() -> Simulator {
@@ -477,6 +592,7 @@ mod tests {
                 Step::Collective(CollectiveStep {
                     label: "ar".into(),
                     kind: CollKind::AllReduce,
+                    op: ReduceOp::Sum,
                     algo: CollAlgo::Ring,
                     elems: 1 << 20,
                     dtype: DType::F16,
@@ -491,6 +607,7 @@ mod tests {
                 algo: CollAlgo::Ring,
                 protocol: Protocol::Simple,
                 channels: 16,
+                format: WireFormat::Dense,
             },
         };
         let t = s.time_plan(&plan);
@@ -512,6 +629,7 @@ mod tests {
                         algo,
                         protocol,
                         channels,
+                        format: WireFormat::Dense,
                     };
                     let mut plan = ExecPlan {
                         name: "lb".into(),
@@ -526,6 +644,7 @@ mod tests {
                             Step::Collective(CollectiveStep {
                                 label: "ar".into(),
                                 kind: CollKind::AllReduce,
+                                op: ReduceOp::Sum,
                                 algo: CollAlgo::Ring,
                                 elems: 1 << 26,
                                 dtype: DType::F16,
@@ -558,6 +677,52 @@ mod tests {
         }
     }
 
+    /// The tuner prices what runs: a Min/Max AllReduce has no sparse
+    /// form (the runtime dispatch requires a sum), so under a top-k
+    /// configuration it must cost exactly as the dense wire — both in
+    /// the step time and in the pruning floors.
+    #[test]
+    fn non_sum_allreduce_never_priced_sparse() {
+        let s = simulator();
+        let step = |op| {
+            Step::Collective(CollectiveStep {
+                label: "maxreduce".into(),
+                kind: CollKind::AllReduce,
+                op,
+                algo: CollAlgo::Ring,
+                elems: 1 << 24,
+                dtype: DType::F32,
+                scattered: None,
+            })
+        };
+        let topk =
+            CommConfig::default().with_format(coconet_core::WireFormat::TopK { k_permille: 10 });
+        let dense = CommConfig::default();
+        for op in [coconet_core::ReduceOp::Max, coconet_core::ReduceOp::Min] {
+            assert_eq!(
+                s.time_step(&step(op), topk).seconds,
+                s.time_step(&step(op), dense).seconds,
+                "{op:?} must run (and be priced) dense"
+            );
+            let plan = |config| ExecPlan {
+                name: "t".into(),
+                steps: vec![step(op)],
+                config,
+            };
+            assert_eq!(
+                s.plan_time_floor(&plan(topk)),
+                s.plan_time_floor(&plan(dense)),
+            );
+            assert_eq!(
+                s.plan_lower_bound(&plan(topk)),
+                s.plan_lower_bound(&plan(dense)),
+            );
+        }
+        // A sum AllReduce under the same configuration IS sparse.
+        let sum = step(coconet_core::ReduceOp::Sum);
+        assert!(s.time_step(&sum, topk).seconds < s.time_step(&sum, dense).seconds);
+    }
+
     #[test]
     fn scattered_collective_adds_overhead() {
         let s = simulator();
@@ -565,6 +730,7 @@ mod tests {
         let base = CollectiveStep {
             label: "ar".into(),
             kind: CollKind::AllReduce,
+            op: ReduceOp::Sum,
             algo: CollAlgo::Ring,
             elems: 334_000_000,
             dtype: DType::F16,

@@ -293,6 +293,86 @@ mod tests {
         assert_eq!((-a).to_f32(), -1.5);
     }
 
+    /// The ULP of the half-precision value nearest `v`: `2^(e-10)` for
+    /// a normal with unbiased exponent `e`, the constant `2^-24` in
+    /// the subnormal range.
+    fn f16_ulp(v: f32) -> f32 {
+        let mag = v.abs();
+        if mag < 2.0f32.powi(-14) {
+            2.0f32.powi(-24)
+        } else {
+            // Exact unbiased exponent from the f32 bit pattern (the
+            // magnitude is normal in f32 whenever it is normal in f16),
+            // clamped to the normal-half exponents.
+            let e = (((mag.to_bits() >> 23) & 0xFF) as i32 - 127).clamp(-14, 15);
+            2.0f32.powi(e - 10)
+        }
+    }
+
+    #[test]
+    fn nan_inf_subnormal_pinned() {
+        // NaN: any f32 NaN encodes to a half NaN, sign and quietness
+        // aside, and decodes back to an f32 NaN.
+        for nan in [f32::NAN, -f32::NAN, f32::from_bits(0x7F80_0001)] {
+            let h = F16::from_f32(nan);
+            assert!(h.is_nan());
+            assert!(h.to_f32().is_nan());
+        }
+        // Infinities roundtrip exactly, signs preserved.
+        assert_eq!(F16::from_f32(f32::INFINITY), F16::INFINITY);
+        assert_eq!(F16::from_f32(f32::NEG_INFINITY), F16::NEG_INFINITY);
+        assert_eq!(F16::INFINITY.to_f32(), f32::INFINITY);
+        assert_eq!(F16::NEG_INFINITY.to_f32(), f32::NEG_INFINITY);
+        // The subnormal boundary values are exact.
+        let min_sub = 2.0f32.powi(-24); // smallest positive subnormal
+        let max_sub = 2.0f32.powi(-14) - 2.0f32.powi(-24); // largest subnormal
+        for v in [min_sub, -min_sub, max_sub, -max_sub] {
+            assert_eq!(F16::from_f32(v).to_f32(), v, "{v}");
+        }
+        // Half of the smallest subnormal is a tie to zero (round to
+        // even), and anything strictly below that underflows too.
+        assert_eq!(F16::from_f32(2.0f32.powi(-25)).to_f32(), 0.0);
+        assert_eq!(F16::from_f32(-2.0f32.powi(-25)).to_bits(), 0x8000);
+        // Just above the tie rounds up to the smallest subnormal.
+        assert_eq!(F16::from_f32(1.1 * 2.0f32.powi(-25)).to_f32(), min_sub);
+    }
+
+    proptest! {
+        /// The round-trip error of encode/decode is at most half a ULP
+        /// of the destination format for every finite `f32` inside the
+        /// half range — the bound round-to-nearest-even guarantees,
+        /// and the bound the FP16 wire format's loss analysis quotes.
+        #[test]
+        fn conversion_error_within_half_ulp(bits in any::<u32>()) {
+            let v = f32::from_bits(bits);
+            // Constrain to finite values inside the half range: above
+            // 65520 the correct answer is infinity, handled separately.
+            prop_assume!(v.is_finite() && v.abs() < 65520.0);
+            let h = F16::from_f32(v);
+            prop_assert!(h.is_finite(), "in-range input stayed finite");
+            let err = (h.to_f32() - v).abs();
+            let bound = f16_ulp(v) / 2.0;
+            prop_assert!(
+                err <= bound,
+                "|{} - {}| = {err} > ulp/2 = {bound}", h.to_f32(), v
+            );
+        }
+
+        /// Values beyond the finite half range round to infinity, and
+        /// every finite half decodes/encodes losslessly.
+        #[test]
+        fn out_of_range_overflows_and_halves_roundtrip(bits in any::<u16>()) {
+            let h = F16::from_bits(bits);
+            prop_assume!(!h.is_nan());
+            prop_assert_eq!(F16::from_f32(h.to_f32()).to_bits(), h.to_bits());
+            // Push the magnitude past the range: overflow to infinity.
+            let big = h.to_f32() * 3.0 + 1e6 * h.to_f32().signum();
+            if big != 0.0 {
+                prop_assert!(F16::from_f32(big * 65536.0).is_infinite() || big.abs() < 65520.0);
+            }
+        }
+    }
+
     proptest! {
         /// Converting f16 -> f32 -> f16 is the identity on all bit patterns
         /// (modulo NaN payload, which must stay NaN).

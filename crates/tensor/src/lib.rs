@@ -16,6 +16,9 @@
 //!   reductions and GEMM of the paper's Table 1, backed by `Arc`
 //!   copy-on-write buffers whose clones and flat slices are zero-copy
 //!   views (the substrate of the runtime's handle-transfer sends);
+//! - [`SparseChunk`] — the `(index, value)` wire representation of a
+//!   top-k sparsified tensor, the payload of the runtime's compressed
+//!   collectives;
 //! - [`CounterRng`] — the counter-based RNG that makes `Dropout`
 //!   produce identical masks under the `reorder` transformation;
 //! - [`alloc_stats`] — per-thread buffer-allocation and copy-on-write
@@ -48,6 +51,7 @@ mod ops;
 mod rng;
 mod shape;
 mod slice;
+mod sparse;
 mod stats;
 mod tensor;
 
@@ -58,5 +62,6 @@ pub use half::F16;
 pub use ops::{reduce_elementwise, reduce_identity, ReduceOp};
 pub use rng::CounterRng;
 pub use shape::Shape;
+pub use sparse::{SparseChunk, SPARSE_ENTRY_BYTES};
 pub use stats::{alloc_stats, AllocStats};
 pub use tensor::Tensor;

@@ -1,0 +1,304 @@
+//! The sparse communication chunk — the wire representation of a
+//! top-k sparsified tensor.
+//!
+//! SparCML's observation (PAPERS.md) is that gradient streams are
+//! compressible: shipping only the `k` largest-magnitude entries as
+//! `(index, value)` pairs moves `k · 8` bytes instead of `n ·
+//! dtype_size`. A [`SparseChunk`] is that pair list plus the dense
+//! length it was cut from, the payload the runtime's sparse collectives
+//! exchange and the [`BytesLedger`](../../coconet_runtime) accounts at
+//! [`SparseChunk::wire_bytes`].
+//!
+//! Entries are kept **sorted by index** (ties cannot occur — indices
+//! are unique) so that merging two chunks is a linear zip and every
+//! rank that merges the same pair of chunks produces the identical
+//! result, the determinism the sparse AllReduce's replicated output
+//! rests on.
+
+use crate::{DType, Shape, Tensor, TensorError};
+
+/// Bytes of one `(index, value)` wire entry: a `u32` index plus an
+/// `f32` value.
+pub const SPARSE_ENTRY_BYTES: usize = 8;
+
+/// A sparse view of a 1-D dense tensor: `(index, value)` pairs sorted
+/// by index, plus the dense length they index into.
+///
+/// # Examples
+///
+/// ```
+/// use coconet_tensor::{DType, SparseChunk, Tensor};
+///
+/// let chunk = SparseChunk::new(8, vec![1, 5], vec![2.0, -3.0])?;
+/// assert_eq!(chunk.wire_bytes(), 16);
+/// let dense = chunk.to_dense(DType::F32);
+/// assert_eq!(dense.get(5), -3.0);
+/// assert_eq!(dense.get(0), 0.0);
+/// # Ok::<(), coconet_tensor::TensorError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseChunk {
+    dense_len: usize,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl SparseChunk {
+    /// A chunk from parallel index/value lists. Indices must be strictly
+    /// increasing (sorted, unique) and in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] when the lists disagree in
+    /// length and [`TensorError::SliceOutOfRange`] when an index is out
+    /// of range or out of order.
+    pub fn new(
+        dense_len: usize,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<SparseChunk, TensorError> {
+        if indices.len() != values.len() {
+            return Err(TensorError::DataLength {
+                expected: indices.len(),
+                actual: values.len(),
+            });
+        }
+        let mut prev: Option<u32> = None;
+        for &i in &indices {
+            let ordered = prev.is_none_or(|p| i > p);
+            if (i as usize) >= dense_len || !ordered {
+                return Err(TensorError::SliceOutOfRange {
+                    dim: 0,
+                    start: i as usize,
+                    len: 1,
+                    extent: dense_len,
+                });
+            }
+            prev = Some(i);
+        }
+        Ok(SparseChunk {
+            dense_len,
+            indices,
+            values,
+        })
+    }
+
+    /// An empty chunk over a dense length.
+    pub fn empty(dense_len: usize) -> SparseChunk {
+        SparseChunk {
+            dense_len,
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the chunk stores no entries.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// The dense length the indices address.
+    pub fn dense_len(&self) -> usize {
+        self.dense_len
+    }
+
+    /// The bytes this chunk occupies on the wire:
+    /// [`SPARSE_ENTRY_BYTES`] per entry. This is what the runtime's
+    /// [`BytesLedger`] records when a sparse chunk is sent — the whole
+    /// point of the sparse representation.
+    ///
+    /// [`BytesLedger`]: ../../coconet_runtime
+    pub fn wire_bytes(&self) -> usize {
+        self.len() * SPARSE_ENTRY_BYTES
+    }
+
+    /// The entries as `(index, value)` pairs, ascending by index.
+    pub fn entries(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
+    }
+
+    /// Materializes the chunk as a dense 1-D tensor of `dense_len`
+    /// elements (zeros where no entry exists).
+    pub fn to_dense(&self, dtype: DType) -> Tensor {
+        let mut out = Tensor::zeros(Shape::from([self.dense_len]), dtype);
+        self.add_into(&mut out);
+        out
+    }
+
+    /// Scatter-adds the entries into a dense tensor of matching element
+    /// count (the decode half of the sparse codec).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.numel() != self.dense_len()`.
+    pub fn add_into(&self, out: &mut Tensor) {
+        assert_eq!(out.numel(), self.dense_len, "dense target length mismatch");
+        for (i, v) in self.entries() {
+            let at = i as usize;
+            out.set(at, out.get(at) + v);
+        }
+    }
+
+    /// The elementwise sum of two chunks over the same dense length, as
+    /// a new chunk whose entries are the union of indices (duplicates
+    /// summed). A linear merge of the two sorted entry lists — both
+    /// operands of a symmetric exchange compute the identical result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dense lengths differ.
+    pub fn merge_sum(&self, other: &SparseChunk) -> SparseChunk {
+        assert_eq!(
+            self.dense_len, other.dense_len,
+            "merged chunks must cover the same dense length"
+        );
+        let mut indices = Vec::with_capacity(self.len() + other.len());
+        let mut values = Vec::with_capacity(self.len() + other.len());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.len() || b < other.len() {
+            let ia = self.indices.get(a).copied();
+            let ib = other.indices.get(b).copied();
+            match (ia, ib) {
+                (Some(x), Some(y)) if x == y => {
+                    indices.push(x);
+                    values.push(self.values[a] + other.values[b]);
+                    a += 1;
+                    b += 1;
+                }
+                (Some(x), Some(y)) if x < y => {
+                    indices.push(x);
+                    values.push(self.values[a]);
+                    a += 1;
+                }
+                (Some(_) | None, Some(y)) => {
+                    indices.push(y);
+                    values.push(other.values[b]);
+                    b += 1;
+                }
+                (Some(x), None) => {
+                    indices.push(x);
+                    values.push(self.values[a]);
+                    a += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        SparseChunk {
+            dense_len: self.dense_len,
+            indices,
+            values,
+        }
+    }
+
+    /// Splits the entries into the `k` largest by `|value|` (ties break
+    /// toward the lower index) and the rest — the re-sparsification
+    /// step of the recursive-doubling sparse AllReduce. Both returned
+    /// chunks keep index order. When the chunk has at most `k` entries
+    /// the second chunk is empty.
+    pub fn split_top_k(&self, k: usize) -> (SparseChunk, SparseChunk) {
+        if self.len() <= k {
+            return (self.clone(), SparseChunk::empty(self.dense_len));
+        }
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.values[b]
+                .abs()
+                .partial_cmp(&self.values[a].abs())
+                .expect("finite magnitudes")
+                .then(self.indices[a].cmp(&self.indices[b]))
+        });
+        let mut keep = vec![false; self.len()];
+        for &i in &order[..k] {
+            keep[i] = true;
+        }
+        let pick = |wanted: bool| {
+            let mut indices = Vec::new();
+            let mut values = Vec::new();
+            for ((&kept, &i), &v) in keep.iter().zip(&self.indices).zip(&self.values) {
+                if kept == wanted {
+                    indices.push(i);
+                    values.push(v);
+                }
+            }
+            SparseChunk {
+                dense_len: self.dense_len,
+                indices,
+                values,
+            }
+        };
+        (pick(true), pick(false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(SparseChunk::new(4, vec![0, 3], vec![1.0, 2.0]).is_ok());
+        // Length mismatch.
+        assert!(SparseChunk::new(4, vec![0], vec![1.0, 2.0]).is_err());
+        // Out of range.
+        assert!(SparseChunk::new(4, vec![4], vec![1.0]).is_err());
+        // Out of order / duplicate.
+        assert!(SparseChunk::new(4, vec![2, 1], vec![1.0, 2.0]).is_err());
+        assert!(SparseChunk::new(4, vec![2, 2], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn wire_bytes_counts_entries() {
+        let c = SparseChunk::new(100, vec![1, 2, 50], vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(c.wire_bytes(), 3 * SPARSE_ENTRY_BYTES);
+        assert_eq!(SparseChunk::empty(100).wire_bytes(), 0);
+        assert!(SparseChunk::empty(100).is_empty());
+    }
+
+    #[test]
+    fn dense_roundtrip_and_scatter_add() {
+        let c = SparseChunk::new(5, vec![0, 4], vec![1.5, -2.0]).unwrap();
+        let d = c.to_dense(DType::F32);
+        assert_eq!(d.to_f32_vec(), vec![1.5, 0.0, 0.0, 0.0, -2.0]);
+        let mut acc = Tensor::full([5], DType::F32, 1.0);
+        c.add_into(&mut acc);
+        assert_eq!(acc.to_f32_vec(), vec![2.5, 1.0, 1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn merge_sums_duplicates_and_keeps_order() {
+        let a = SparseChunk::new(8, vec![1, 3, 6], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = SparseChunk::new(8, vec![0, 3, 7], vec![10.0, 20.0, 30.0]).unwrap();
+        let m = a.merge_sum(&b);
+        assert_eq!(m, b.merge_sum(&a), "merge is symmetric");
+        let entries: Vec<(u32, f32)> = m.entries().collect();
+        assert_eq!(
+            entries,
+            vec![(0, 10.0), (1, 1.0), (3, 22.0), (6, 3.0), (7, 30.0)]
+        );
+    }
+
+    #[test]
+    fn split_top_k_is_deterministic() {
+        let c = SparseChunk::new(8, vec![0, 2, 4, 6], vec![1.0, -5.0, 5.0, 0.5]).unwrap();
+        let (top, rest) = c.split_top_k(2);
+        // |−5| and |5| tie with nothing; both selected. Order by index.
+        assert_eq!(top.entries().collect::<Vec<_>>(), vec![(2, -5.0), (4, 5.0)]);
+        assert_eq!(rest.entries().collect::<Vec<_>>(), vec![(0, 1.0), (6, 0.5)]);
+        // Tie on magnitude: lower index wins.
+        let t = SparseChunk::new(4, vec![1, 2], vec![3.0, -3.0]).unwrap();
+        let (top, _) = t.split_top_k(1);
+        assert_eq!(top.entries().collect::<Vec<_>>(), vec![(1, 3.0)]);
+        // k >= len keeps everything.
+        let (all, none) = c.split_top_k(10);
+        assert_eq!(all, c);
+        assert!(none.is_empty());
+    }
+}

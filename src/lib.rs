@@ -2,7 +2,8 @@
 //!
 //! Facade crate re-exporting the whole CoCoNet workspace: the DSL and
 //! transformations ([`coconet_core`]), the tensor substrate
-//! ([`coconet_tensor`]), the cluster topology ([`coconet_topology`]),
+//! ([`coconet_tensor`]), the wire-compression subsystem
+//! ([`coconet_compress`]), the cluster topology ([`coconet_topology`]),
 //! the performance simulator ([`coconet_sim`]), the functional
 //! distributed runtime ([`coconet_runtime`]), and the paper's workloads
 //! ([`coconet_models`]).
@@ -12,6 +13,7 @@
 
 mod error;
 
+pub use coconet_compress as compress;
 pub use coconet_core as core;
 pub use coconet_models as models;
 pub use coconet_runtime as runtime;

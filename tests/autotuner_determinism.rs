@@ -1,7 +1,10 @@
 //! Property: the parallel pruned autotuner and the serial exhaustive
 //! reference pick the *same* winning schedule and configuration for
 //! randomly generated pointwise+collective programs — pruning and
-//! parallelism are pure work-savers, never quality trades.
+//! parallelism are pure work-savers, never quality trades. The grid
+//! includes the wire-format dimension (dense / FP16 / top-k), so the
+//! per-format floor profiles behind the pruning bounds are re-proven
+//! admissible on every generated program.
 
 use coconet::core::{Autotuner, Binding, DType, Layout, Program, ReduceOp, VarId};
 use coconet::sim::Simulator;
@@ -111,11 +114,15 @@ proptest! {
             "winning times diverged: {} vs {}", e.time, p.time
         );
         // The sweep covers the enlarged grid: every lowerable schedule
-        // is costed under algo × protocol × channels = 3 × 3 × 6 = 54
-        // configurations in the exhaustive reference.
+        // is costed under algo × protocol × channels × format =
+        // 3 × 3 × 6 × 3 = 162 configurations in the exhaustive
+        // reference (the wire formats are dense, FP16, and 10 ‰
+        // top-k).
         let grid = Autotuner::default();
-        let grid_size = grid.algos.len() * grid.protocols.len() * grid.channels.len();
-        prop_assert_eq!(grid_size, 54);
+        let grid_size =
+            grid.algos.len() * grid.protocols.len() * grid.channels.len() * grid.formats.len();
+        prop_assert_eq!(grid_size, 162);
+        prop_assert_eq!(grid.formats, coconet::compress::WireFormat::SWEEP.to_vec());
         prop_assert!(exhaustive.configs_evaluated >= grid_size);
         prop_assert_eq!(exhaustive.configs_evaluated % grid_size, 0);
 

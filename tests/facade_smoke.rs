@@ -47,6 +47,7 @@ fn facade_layers_compose() {
     let step = coconet::core::Step::Collective(coconet::core::CollectiveStep {
         label: "ar".into(),
         kind: coconet::core::CollKind::AllReduce,
+        op: coconet::core::ReduceOp::Sum,
         algo: coconet::core::CollAlgo::Ring,
         elems: 1 << 20,
         dtype: DType::F16,
