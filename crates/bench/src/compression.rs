@@ -73,6 +73,7 @@ pub fn ablation_formats(log2_elems: u32) -> Vec<(&'static str, f64)> {
                         protocol,
                         channels: 16,
                         format,
+                        ..CommConfig::default()
                     };
                     best = best.min(cost.collective_time(
                         CollKind::AllReduce,

@@ -41,6 +41,7 @@ fn best_config_for_algo<F: Fn(CommConfig) -> f64>(algo: CollAlgo, eval: F) -> (C
                 protocol,
                 channels,
                 format: WireFormat::Dense,
+                ..CommConfig::default()
             };
             let t = eval(config);
             if best.is_none_or(|(_, bt)| t < bt) {
@@ -171,6 +172,7 @@ pub fn figure10(opt: Optimizer, exponents: &[u32]) -> Vec<Fig10Row> {
                 protocol: default_protocol(bytes),
                 channels: 16,
                 format: WireFormat::Dense,
+                ..CommConfig::default()
             };
             let opt_kernel = KernelStep {
                 label: "opt".into(),
@@ -394,6 +396,7 @@ pub fn table2(opt: Optimizer) -> (f64, f64) {
         protocol: Protocol::Simple,
         channels: 16,
         format: WireFormat::Dense,
+        ..CommConfig::default()
     };
     let fused = |scattered: Option<ScatterInfo>| FusedCollectiveStep {
         label: "fuse(RS-Opt-AG)".into(),
@@ -679,6 +682,7 @@ pub fn ablation_protocols(exponents: &[u32]) -> Vec<(u32, [f64; 3])> {
                         protocol: p,
                         channels: 16,
                         format: WireFormat::Dense,
+                        ..CommConfig::default()
                     },
                 )
             });
@@ -707,6 +711,7 @@ pub fn ablation_channels(elems: u64) -> Vec<(usize, f64)> {
                         protocol: Protocol::Simple,
                         channels: ch,
                         format: WireFormat::Dense,
+                        ..CommConfig::default()
                     },
                 ),
             )
@@ -789,6 +794,7 @@ pub fn ablation_tile_count(batch: u64) -> Vec<(usize, f64)> {
         protocol: Protocol::Simple,
         channels: 16,
         format: WireFormat::Dense,
+        ..CommConfig::default()
     };
     [1usize, 2, 4, 8, 16, 32, 64, 128, 256]
         .into_iter()

@@ -10,6 +10,7 @@ pub mod compression;
 pub mod experiments;
 pub mod json;
 pub mod report;
+pub mod steady;
 pub mod trajectory;
 pub mod zerocopy;
 

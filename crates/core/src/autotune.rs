@@ -27,8 +27,8 @@ use std::time::{Duration, Instant};
 
 use crate::xform;
 use crate::{
-    lower, Binding, CollAlgo, CommConfig, CoreError, ExecPlan, OpKind, Program, Protocol, VarId,
-    WireFormat,
+    lower, Binding, CollAlgo, CommConfig, CommSched, CoreError, ExecPlan, OpKind, Program,
+    Protocol, VarId, WireFormat,
 };
 
 /// Evaluates the cost of an executable plan (lower is better).
@@ -171,6 +171,10 @@ pub struct Autotuner {
     /// `coconet-compress` dimension; SparCML's observation that the
     /// payload representation is a tunable too).
     pub formats: Vec<WireFormat>,
+    /// Iteration-scheduling disciplines to sweep (barriered /
+    /// priority-streamed — MLfabric's observation that reordering
+    /// in-flight transfers is a performance dimension worth costing).
+    pub scheds: Vec<CommSched>,
     /// Also branch into slicing optimizer state (`asSlice` + `dead`,
     /// §4) after reorders that leave dangling state gathers.
     pub slice_state: bool,
@@ -190,6 +194,7 @@ impl Default for Autotuner {
             protocols: Protocol::ALL.to_vec(),
             channels: vec![2, 4, 8, 16, 32, 64],
             formats: WireFormat::SWEEP.to_vec(),
+            scheds: CommSched::ALL.to_vec(),
             slice_state: true,
             workers: 0,
             prune: true,
@@ -514,7 +519,7 @@ impl Autotuner {
         }
     }
 
-    /// Sweeps every algorithm/protocol/channel/wire-format
+    /// Sweeps every algorithm/protocol/channel/wire-format/scheduling
     /// configuration of one schedule.
     ///
     /// Lowering is configuration-independent up to the algorithm stamp
@@ -529,17 +534,25 @@ impl Autotuner {
         evaluator: &dyn PlanEvaluator,
         state: &SearchState,
     ) -> SweepOutcome {
+        // The scheduling discipline is the innermost loop with
+        // `Barriered` enumerated first (see [`CommSched::ALL`]), so a
+        // tie — any comm-free or compute-free plan, where streaming
+        // changes nothing — deterministically keeps the simpler
+        // barriered discipline (the sweep keeps the *first* best).
         let configs: Vec<CommConfig> = self
             .algos
             .iter()
             .flat_map(|&algo| {
                 self.protocols.iter().flat_map(move |&protocol| {
                     self.channels.iter().flat_map(move |&channels| {
-                        self.formats.iter().map(move |&format| CommConfig {
-                            algo,
-                            protocol,
-                            channels,
-                            format,
+                        self.formats.iter().flat_map(move |&format| {
+                            self.scheds.iter().map(move |&sched| CommConfig {
+                                algo,
+                                protocol,
+                                channels,
+                                format,
+                                sched,
+                            })
                         })
                     })
                 })

@@ -29,8 +29,8 @@ pub use layout::{Layout, SliceDim};
 pub use lower::lower;
 pub use op::{BinaryOp, OpKind, PeerSelector, UnaryOp, VarId};
 pub use plan::{
-    CollAlgo, CollKind, CollectiveStep, CommConfig, ExecPlan, FixedStep, FusedCollectiveStep,
-    KernelStep, MatMulStep, OverlapStage, OverlappedStep, Protocol, ScatterInfo, SendRecvStep,
-    Step,
+    CollAlgo, CollKind, CollectiveStep, CommConfig, CommSched, ExecPlan, FixedStep,
+    FusedCollectiveStep, KernelStep, MatMulStep, OverlapStage, OverlappedStep, Protocol,
+    ScatterInfo, SendRecvStep, Step,
 };
 pub use types::TensorType;

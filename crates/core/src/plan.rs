@@ -86,11 +86,56 @@ impl fmt::Display for CollAlgo {
     }
 }
 
+/// How iteration boundaries are scheduled onto the communication
+/// fabric — the steady-state dimension (ROADMAP item 1, BytePS's
+/// "cross global barrier"). Like the algorithm and protocol, the
+/// scheduling discipline is a tuned dimension: the barriered loop
+/// drains every collective before the next iteration starts, while
+/// the priority scheduler keeps iteration *i*'s gradient collectives
+/// draining under iteration *i+1*'s forward pass, servicing the
+/// earliest-consumed tensors first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CommSched {
+    /// Global barrier between iterations: all collectives drain before
+    /// the next iteration's first kernel.
+    Barriered,
+    /// Barrier-free streaming: collectives are tagged with the
+    /// consuming step's position in the next iteration's forward order
+    /// and the fabric services the highest-priority (earliest-consumed)
+    /// tensors first, preempting between chunks.
+    Priority,
+}
+
+impl CommSched {
+    /// All scheduling disciplines, for autotuner sweeps. `Barriered`
+    /// comes first so a tie (any comm-free plan) deterministically
+    /// keeps the simpler discipline.
+    pub const ALL: [CommSched; 2] = [CommSched::Barriered, CommSched::Priority];
+
+    /// Position of this discipline in [`CommSched::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            CommSched::Barriered => 0,
+            CommSched::Priority => 1,
+        }
+    }
+}
+
+impl fmt::Display for CommSched {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommSched::Barriered => write!(f, "Barriered"),
+            CommSched::Priority => write!(f, "Priority"),
+        }
+    }
+}
+
 /// Communication configuration for a plan: collective algorithm,
 /// protocol, channel count (each NCCL channel is one thread block
-/// bound to one NIC/ring copy), and the payload's wire format
+/// bound to one NIC/ring copy), the payload's wire format
 /// (dense / FP16 / top-k sparsified — the `coconet-compress`
-/// dimension).
+/// dimension), and the iteration-scheduling discipline
+/// (barriered / priority-streamed — the steady-state dimension).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CommConfig {
     /// Collective algorithm (logical topology).
@@ -101,6 +146,8 @@ pub struct CommConfig {
     pub channels: usize,
     /// Payload representation on the wire.
     pub format: WireFormat,
+    /// Iteration-boundary scheduling discipline.
+    pub sched: CommSched,
 }
 
 impl CommConfig {
@@ -113,6 +160,11 @@ impl CommConfig {
     pub fn with_format(self, format: WireFormat) -> CommConfig {
         CommConfig { format, ..self }
     }
+
+    /// The same configuration under a different scheduling discipline.
+    pub fn with_sched(self, sched: CommSched) -> CommConfig {
+        CommConfig { sched, ..self }
+    }
 }
 
 impl Default for CommConfig {
@@ -122,6 +174,7 @@ impl Default for CommConfig {
             protocol: Protocol::Simple,
             channels: 16,
             format: WireFormat::Dense,
+            sched: CommSched::Barriered,
         }
     }
 }
@@ -132,7 +185,13 @@ impl fmt::Display for CommConfig {
             f,
             "{}/{}/{}ch/{}",
             self.algo, self.protocol, self.channels, self.format
-        )
+        )?;
+        // The default discipline is elided, keeping single-iteration
+        // plan displays (and their pinned test strings) unchanged.
+        if self.sched != CommSched::Barriered {
+            write!(f, "/{}", self.sched)?;
+        }
+        Ok(())
     }
 }
 
@@ -526,6 +585,21 @@ mod tests {
         assert_eq!(CollAlgo::Ring.to_string(), "Ring");
         assert_eq!(CollAlgo::Tree.to_string(), "Tree");
         assert_eq!(CollAlgo::Hierarchical.to_string(), "Hier");
+    }
+
+    #[test]
+    fn sched_dimension_display_and_index() {
+        assert_eq!(CommSched::Barriered.to_string(), "Barriered");
+        assert_eq!(CommSched::Priority.to_string(), "Priority");
+        for (i, s) in CommSched::ALL.into_iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        // The default (barriered) discipline stays invisible in plan
+        // displays; the streaming discipline is appended.
+        let dense = CommConfig::default();
+        assert_eq!(dense.to_string(), "Ring/Simple/16ch/Dense");
+        let streamed = dense.with_sched(CommSched::Priority);
+        assert_eq!(streamed.to_string(), "Ring/Simple/16ch/Dense/Priority");
     }
 
     #[test]

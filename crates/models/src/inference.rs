@@ -48,6 +48,7 @@ pub fn model_parallel_epilogue_time(
         protocol: Protocol::Simple,
         channels: 16,
         format: WireFormat::Dense,
+        ..CommConfig::default()
     };
     let mut total = 0.0;
     for block in [Block::SelfAttention, Block::Mlp] {
@@ -98,6 +99,7 @@ pub fn pipeline_epilogue_time(
         protocol: Protocol::Simple,
         channels: 16,
         format: WireFormat::Dense,
+        ..CommConfig::default()
     };
     let binding = Binding::new(group_size)
         .with_groups(num_groups)

@@ -10,8 +10,8 @@
 //! `fuse(RS-Opt-AG)` kernel.
 
 use coconet_core::{
-    CollAlgo, CollKind, CommConfig, DType, FusedCollectiveStep, KernelStep, Protocol, ReduceOp,
-    ScatterInfo, WireFormat,
+    CollAlgo, CollKind, CommConfig, CommSched, DType, FusedCollectiveStep, KernelStep, Protocol,
+    ReduceOp, ScatterInfo, WireFormat,
 };
 use coconet_sim::{GroupGeom, Simulator};
 
@@ -106,6 +106,7 @@ pub fn optimizer_step_time(
         protocol: Protocol::Simple,
         channels: 16,
         format: WireFormat::Dense,
+        ..CommConfig::default()
     };
     let norms = match opt {
         Optimizer::Adam => 0,
@@ -221,6 +222,16 @@ pub struct DataParallelSpec {
     pub seed: u64,
     /// Wire format of the gradient AllReduce.
     pub format: WireFormat,
+    /// Communication schedule of the gradient exchange. `Barriered`
+    /// runs the classic blocking loop; `Priority` drives the loop
+    /// through the barrier-free
+    /// [`StreamExecutor`](coconet_runtime::StreamExecutor), whose
+    /// gradient jobs drain on the priority-scheduled fabric while the
+    /// next iteration's forward proceeds. Results are bit-identical;
+    /// the top-k wire has no streaming ring form and keeps the
+    /// blocking loop (its sparse exchange carries the error-feedback
+    /// residual).
+    pub sched: CommSched,
 }
 
 impl Default for DataParallelSpec {
@@ -234,6 +245,7 @@ impl Default for DataParallelSpec {
             lr_decay: 0.03,
             seed: 2026,
             format: WireFormat::Dense,
+            sched: CommSched::Barriered,
         }
     }
 }
@@ -273,7 +285,7 @@ impl DataParallelRun {
 /// replicated throughout.
 pub fn train_data_parallel(spec: &DataParallelSpec) -> DataParallelRun {
     use coconet_compress::ErrorFeedback;
-    use coconet_runtime::{all_reduce_scalar, all_reduce_wire, run_ranks, Group};
+    use coconet_runtime::{all_reduce_scalar, all_reduce_wire, run_ranks, Group, StreamExecutor};
     use coconet_tensor::{CounterRng, Tensor};
 
     let s = *spec;
@@ -295,6 +307,53 @@ pub fn train_data_parallel(spec: &DataParallelSpec) -> DataParallelRun {
                 .sum::<f32>()
                 + 0.1 * noise.get(i)
         });
+
+        // Barrier-free path: the same synchronous-SGD recurrence, but
+        // the gradient AllReduce is a priority-scheduled streaming job
+        // instead of a blocking call. The streamed ring is
+        // bit-identical to the blocking one, so losses and weights
+        // match the barriered loop exactly; the per-class ledger
+        // counters (instead of per-iteration resets) meter the
+        // gradient traffic, since iteration boundaries overlap.
+        if s.sched == CommSched::Priority && !matches!(s.format, WireFormat::TopK { .. }) {
+            let mut exec = StreamExecutor::new(
+                group,
+                vec![Tensor::zeros([d], DType::F32)],
+                CommSched::Priority,
+                s.format,
+            );
+            let mut losses = Vec::with_capacity(s.iters);
+            let mut apply_iter = 0u64;
+            exec.run_iterations(
+                &comm,
+                s.iters as u64,
+                |_, _, _| {},
+                |_, _, w| {
+                    let residual = Tensor::from_fn([m], DType::F32, |i| {
+                        (0..d).map(|j| x.get(i * d + j) * w.get(j)).sum::<f32>() - y.get(i)
+                    });
+                    let grad = Tensor::from_fn([d], DType::F32, |j| {
+                        (2.0 / total as f32)
+                            * (0..m)
+                                .map(|i| x.get(i * d + j) * residual.get(i))
+                                .sum::<f32>()
+                    });
+                    let sse: f64 = (0..m).map(|i| f64::from(residual.get(i)).powi(2)).sum();
+                    losses.push(all_reduce_scalar(&comm, group, sse, ReduceOp::Sum) / total);
+                    grad
+                },
+                |_, w, g| {
+                    let step = s.lr / (1.0 + s.lr_decay * apply_iter as f32);
+                    apply_iter += 1;
+                    for j in 0..d {
+                        w.set(j, w.get(j) - step * g.get(j));
+                    }
+                },
+            );
+            let weights = exec.params().swap_remove(0);
+            let grad_bytes: u64 = comm.ledger().class_bytes_sent.iter().sum();
+            return (losses, weights, grad_bytes);
+        }
 
         let mut w = Tensor::zeros([d], DType::F32);
         let mut feedback = ErrorFeedback::new();
@@ -568,6 +627,31 @@ mod tests {
             iters * coconet_runtime::top_k_all_reduce_wire_bytes(spec.dim, spec.ranks, 90)
         );
         assert!(topk.grad_bytes_per_rank < dense.grad_bytes_per_rank / 4);
+    }
+
+    /// The barrier-free streaming path is a pure scheduling change:
+    /// losses and weights are bit-identical to the barriered loop, and
+    /// the gradient stream still moves exactly the analytic ring
+    /// volume — now metered by the per-class ledger counters, since
+    /// iteration boundaries overlap and per-iteration resets are gone.
+    #[test]
+    fn streamed_training_is_bit_identical_to_barriered() {
+        let spec = DataParallelSpec {
+            iters: 60,
+            ..DataParallelSpec::default()
+        };
+        let barriered = train_data_parallel(&spec);
+        let streamed = train_data_parallel(&DataParallelSpec {
+            sched: CommSched::Priority,
+            ..spec
+        });
+        assert_eq!(barriered.losses, streamed.losses);
+        assert_eq!(
+            barriered.weights.to_f32_vec(),
+            streamed.weights.to_f32_vec()
+        );
+        let ring = coconet_runtime::ring_all_reduce_wire_bytes(spec.dim, spec.ranks, DType::F32);
+        assert_eq!(streamed.grad_bytes_per_rank, spec.iters as u64 * ring);
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! [`BytesLedger`] accounts each at its *wire* size — which is exactly
 //! how the compression subsystem's volume claims become assertable.
 
+use std::cell::RefCell;
+use std::collections::VecDeque;
+
 use coconet_tensor::{SparseChunk, Tensor};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
@@ -37,6 +40,21 @@ impl WireMsg {
     }
 }
 
+/// What actually travels through a channel: either a plain message of
+/// the classic blocking protocol, or a *tagged* message belonging to an
+/// asynchronous job multiplexed over the same fabric by the priority
+/// scheduler. Tags let a receiver pull messages for one job without
+/// disturbing the FIFO stream of another — the substrate of
+/// completion-order independence.
+#[derive(Clone, Debug)]
+enum Packet {
+    /// An untagged message of a blocking collective.
+    Plain(WireMsg),
+    /// One chunk of job `job` (the class it was sent at is recorded in
+    /// the sender's ledger; the receiver routes by job alone).
+    Tagged { job: u64, msg: WireMsg },
+}
+
 /// One rank's endpoints into the world: senders to every rank and
 /// receivers from every rank.
 ///
@@ -48,8 +66,13 @@ impl WireMsg {
 pub struct RankComm {
     rank: usize,
     world: usize,
-    to: Vec<Sender<WireMsg>>,
-    from: Vec<Receiver<WireMsg>>,
+    to: Vec<Sender<Packet>>,
+    from: Vec<Receiver<Packet>>,
+    /// Per-source stash of plain messages pulled off the channel while
+    /// looking for a tagged one (and vice versa). Within one source the
+    /// channel is FIFO, so stashing preserves each protocol's order.
+    plain_stash: Vec<RefCell<VecDeque<WireMsg>>>,
+    tagged_stash: Vec<RefCell<VecDeque<(u64, WireMsg)>>>,
     ledger: LedgerState,
 }
 
@@ -64,8 +87,8 @@ impl RankComm {
     pub fn world(world: usize) -> Vec<RankComm> {
         assert!(world > 0, "world must have at least one rank");
         // channels[src][dst]
-        let mut senders: Vec<Vec<Sender<WireMsg>>> = Vec::with_capacity(world);
-        let mut receivers: Vec<Vec<Option<Receiver<WireMsg>>>> = (0..world)
+        let mut senders: Vec<Vec<Sender<Packet>>> = Vec::with_capacity(world);
+        let mut receivers: Vec<Vec<Option<Receiver<Packet>>>> = (0..world)
             .map(|_| (0..world).map(|_| None).collect())
             .collect();
         for src in 0..world {
@@ -86,6 +109,8 @@ impl RankComm {
                 world,
                 to,
                 from: from.into_iter().map(|r| r.expect("filled above")).collect(),
+                plain_stash: (0..world).map(|_| RefCell::new(VecDeque::new())).collect(),
+                tagged_stash: (0..world).map(|_| RefCell::new(VecDeque::new())).collect(),
                 ledger: LedgerState::new(),
             })
             .collect()
@@ -133,7 +158,24 @@ impl RankComm {
     pub fn send_msg(&self, dst: usize, msg: WireMsg) {
         self.ledger.record_send(msg.wire_bytes());
         self.to[dst]
-            .send(msg)
+            .send(Packet::Plain(msg))
+            .unwrap_or_else(|_| panic!("rank {dst} hung up"));
+    }
+
+    /// Sends one chunk of asynchronous job `job` to `dst` at priority
+    /// `class` (0 = most urgent). The bytes are accounted both in the
+    /// aggregate wire counters and in the per-class bucket, so the
+    /// ledger can later prove in which order the scheduler drained its
+    /// queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range or the destination endpoint was
+    /// dropped.
+    pub fn send_tagged(&self, dst: usize, job: u64, class: u8, msg: WireMsg) {
+        self.ledger.record_send_class(class, msg.wire_bytes());
+        self.to[dst]
+            .send(Packet::Tagged { job, msg })
             .unwrap_or_else(|_| panic!("rank {dst} hung up"));
     }
 
@@ -175,11 +217,87 @@ impl RankComm {
     /// Panics if `src` is out of range or the source endpoint was
     /// dropped without sending.
     pub fn recv_msg(&self, src: usize) -> WireMsg {
-        let msg = self.from[src]
+        if let Some(msg) = self.plain_stash[src].borrow_mut().pop_front() {
+            return msg;
+        }
+        loop {
+            match self.pull(src) {
+                Packet::Plain(msg) => return msg,
+                Packet::Tagged { job, msg, .. } => {
+                    self.tagged_stash[src].borrow_mut().push_back((job, msg));
+                }
+            }
+        }
+    }
+
+    /// Receives the next chunk of asynchronous job `job` from `src`
+    /// (blocking). Plain messages and other jobs' chunks encountered on
+    /// the way are stashed, preserving their per-source FIFO order — a
+    /// later-issued job can therefore complete before an earlier one
+    /// without corrupting either stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range or the source endpoint was
+    /// dropped without sending.
+    pub fn recv_tagged(&self, src: usize, job: u64) -> WireMsg {
+        if let Some(msg) = self.take_stashed_tagged(src, job) {
+            return msg;
+        }
+        loop {
+            match self.pull(src) {
+                Packet::Plain(msg) => self.plain_stash[src].borrow_mut().push_back(msg),
+                Packet::Tagged { job: j, msg, .. } => {
+                    if j == job {
+                        return msg;
+                    }
+                    self.tagged_stash[src].borrow_mut().push_back((j, msg));
+                }
+            }
+        }
+    }
+
+    /// Non-blocking [`recv_tagged`](RankComm::recv_tagged): drains
+    /// whatever has already arrived from `src` and returns `job`'s next
+    /// chunk if it is among it.
+    pub fn try_recv_tagged(&self, src: usize, job: u64) -> Option<WireMsg> {
+        if let Some(msg) = self.take_stashed_tagged(src, job) {
+            return Some(msg);
+        }
+        while let Ok(packet) = self.from[src].try_recv() {
+            self.ledger.record_recv(match &packet {
+                Packet::Plain(m) | Packet::Tagged { msg: m, .. } => m.wire_bytes(),
+            });
+            match packet {
+                Packet::Plain(msg) => self.plain_stash[src].borrow_mut().push_back(msg),
+                Packet::Tagged { job: j, msg, .. } => {
+                    if j == job {
+                        return Some(msg);
+                    }
+                    self.tagged_stash[src].borrow_mut().push_back((j, msg));
+                }
+            }
+        }
+        None
+    }
+
+    /// Pulls the next packet off `src`'s channel, recording its wire
+    /// bytes as received.
+    fn pull(&self, src: usize) -> Packet {
+        let packet = self.from[src]
             .recv()
             .unwrap_or_else(|_| panic!("rank {src} hung up"));
-        self.ledger.record_recv(msg.wire_bytes());
-        msg
+        self.ledger.record_recv(match &packet {
+            Packet::Plain(m) | Packet::Tagged { msg: m, .. } => m.wire_bytes(),
+        });
+        packet
+    }
+
+    /// Removes and returns `job`'s first stashed chunk from `src`.
+    fn take_stashed_tagged(&self, src: usize, job: u64) -> Option<WireMsg> {
+        let mut stash = self.tagged_stash[src].borrow_mut();
+        let pos = stash.iter().position(|(j, _)| *j == job)?;
+        Some(stash.remove(pos).expect("position just found").1)
     }
 
     /// Zeroes this rank's [`BytesLedger`] and re-baselines the
@@ -269,5 +387,65 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn empty_world_panics() {
         RankComm::world(0);
+    }
+
+    /// Tagged jobs and the plain blocking protocol share one channel
+    /// without disturbing each other: a receiver may consume them in
+    /// any interleaving, each stream staying FIFO.
+    #[test]
+    fn tagged_and_plain_streams_are_independent() {
+        let mut world = RankComm::world(2);
+        let c1 = world.pop().unwrap();
+        let c0 = world.pop().unwrap();
+        c0.send_tagged(
+            1,
+            7,
+            0,
+            WireMsg::Tensor(Tensor::full([1], DType::F32, 70.0)),
+        );
+        c0.send(1, Tensor::full([1], DType::F32, 1.0));
+        c0.send_tagged(
+            1,
+            9,
+            3,
+            WireMsg::Tensor(Tensor::full([1], DType::F32, 90.0)),
+        );
+        c0.send_tagged(
+            1,
+            7,
+            0,
+            WireMsg::Tensor(Tensor::full([1], DType::F32, 71.0)),
+        );
+        c0.send(1, Tensor::full([1], DType::F32, 2.0));
+
+        // Pull the later-issued job first: earlier traffic is stashed.
+        match c1.recv_tagged(0, 9) {
+            WireMsg::Tensor(t) => assert_eq!(t.get(0), 90.0),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The plain stream still arrives in order.
+        assert_eq!(c1.recv(0).get(0), 1.0);
+        // Job 7's chunks kept their own order.
+        match c1.recv_tagged(0, 7) {
+            WireMsg::Tensor(t) => assert_eq!(t.get(0), 70.0),
+            other => panic!("unexpected {other:?}"),
+        }
+        match c1.try_recv_tagged(0, 7) {
+            Some(WireMsg::Tensor(t)) => assert_eq!(t.get(0), 71.0),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c1.recv(0).get(0), 2.0);
+        // Nothing left of either job.
+        assert!(c1.try_recv_tagged(0, 7).is_none());
+        assert!(c1.try_recv_tagged(0, 9).is_none());
+
+        // The sender's ledger split the traffic by class: job 7 (class
+        // 0) sent 8 bytes, job 9 (class 3) sent 4, plain sent 8 more.
+        let l = c0.ledger();
+        assert_eq!(l.class_bytes_sent[0], 8);
+        assert_eq!(l.class_bytes_sent[3], 4);
+        assert_eq!(l.bytes_sent, 20);
+        // The receiver counted every byte exactly once.
+        assert_eq!(c1.ledger().bytes_received, 20);
     }
 }

@@ -46,7 +46,17 @@ pub struct BytesLedger {
     pub cow_copies: u64,
     /// Bytes copied by copy-on-write materializations.
     pub cow_bytes: u64,
+    /// Bytes sent per priority class (class 0 = most urgent, consumed
+    /// first by the next iteration; classes past
+    /// [`PRIORITY_CLASSES`]`-1` clamp into the last bucket). Untagged
+    /// traffic counts only in [`bytes_sent`](BytesLedger::bytes_sent),
+    /// so these stay zero unless the priority scheduler ran — which is
+    /// what lets a test assert the fabric actually reordered traffic.
+    pub class_bytes_sent: [u64; PRIORITY_CLASSES],
 }
+
+/// Number of distinct wire priority classes the ledger distinguishes.
+pub const PRIORITY_CLASSES: usize = 8;
 
 impl BytesLedger {
     pub(crate) fn from_parts(wire: WireCounters, alloc: AllocStats) -> BytesLedger {
@@ -59,7 +69,18 @@ impl BytesLedger {
             bytes_allocated: alloc.bytes_allocated,
             cow_copies: alloc.cow_copies,
             cow_bytes: alloc.cow_bytes,
+            class_bytes_sent: wire.class_bytes_sent,
         }
+    }
+
+    /// Bytes sent at priority classes strictly more urgent than
+    /// `class` — the quantity a reordering assertion compares against
+    /// a later class's progress.
+    pub fn bytes_sent_before_class(&self, class: u8) -> u64 {
+        self.class_bytes_sent
+            .iter()
+            .take((class as usize).min(PRIORITY_CLASSES))
+            .sum()
     }
 }
 
@@ -95,6 +116,7 @@ pub(crate) struct WireCounters {
     sends: u64,
     bytes_received: u64,
     recvs: u64,
+    class_bytes_sent: [u64; PRIORITY_CLASSES],
 }
 
 /// The ledger state embedded in a [`RankComm`](crate::RankComm).
@@ -109,6 +131,11 @@ impl WireCounters {
         self.bytes_sent += bytes;
         self.sends += 1;
         self
+    }
+
+    fn add_send_class(mut self, class: u8, bytes: u64) -> WireCounters {
+        self.class_bytes_sent[(class as usize).min(PRIORITY_CLASSES - 1)] += bytes;
+        self.add_send(bytes)
     }
 
     fn add_recv(mut self, bytes: u64) -> WireCounters {
@@ -129,6 +156,12 @@ impl LedgerState {
     #[inline]
     pub(crate) fn record_send(&self, bytes: usize) {
         self.wire.set(self.wire.get().add_send(bytes as u64));
+    }
+
+    #[inline]
+    pub(crate) fn record_send_class(&self, class: u8, bytes: usize) {
+        self.wire
+            .set(self.wire.get().add_send_class(class, bytes as u64));
     }
 
     #[inline]
@@ -164,6 +197,28 @@ mod tests {
         assert_eq!(l.recvs, 1);
         state.reset();
         assert_eq!(state.snapshot().bytes_sent, 0);
+    }
+
+    #[test]
+    fn class_counters_track_tagged_sends_only() {
+        let state = LedgerState::new();
+        state.reset();
+        state.record_send(100); // untagged: no class bucket
+        state.record_send_class(0, 8);
+        state.record_send_class(2, 16);
+        state.record_send_class(200, 32); // clamps into the last bucket
+        let l = state.snapshot();
+        assert_eq!(l.bytes_sent, 156);
+        assert_eq!(l.sends, 4);
+        assert_eq!(l.class_bytes_sent[0], 8);
+        assert_eq!(l.class_bytes_sent[2], 16);
+        assert_eq!(l.class_bytes_sent[PRIORITY_CLASSES - 1], 32);
+        assert_eq!(l.class_bytes_sent.iter().sum::<u64>(), 56);
+        assert_eq!(l.bytes_sent_before_class(1), 8);
+        assert_eq!(l.bytes_sent_before_class(3), 24);
+        assert_eq!(l.bytes_sent_before_class(255), 56);
+        state.reset();
+        assert_eq!(state.snapshot().class_bytes_sent, [0; PRIORITY_CLASSES]);
     }
 
     #[test]

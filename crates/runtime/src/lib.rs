@@ -52,6 +52,7 @@ mod hierarchical;
 mod ledger;
 mod overlap_exec;
 mod scattered;
+mod stream;
 mod tree;
 
 pub use collectives::{
@@ -62,12 +63,15 @@ pub use comm::{run_ranks, RankComm, WireMsg};
 pub use compressed::{all_reduce_wire, resolve_all_reduce_format, sparse_all_reduce};
 pub use dist::DistValue;
 pub use error::RuntimeError;
-pub use executor::{run_program, InitValue, Inputs, RunOptions, RunResult};
+pub use executor::{run_program, run_program_iterations, InitValue, Inputs, RunOptions, RunResult};
 pub use hierarchical::{
     hierarchical_all_gather, hierarchical_all_gather_wire, hierarchical_all_reduce,
     hierarchical_all_reduce_wire, hierarchical_reduce_scatter, hierarchical_reduce_scatter_wire,
 };
-pub use ledger::{ring_all_reduce_wire_bytes, top_k_all_reduce_wire_bytes, BytesLedger};
+pub use ledger::{
+    ring_all_reduce_wire_bytes, top_k_all_reduce_wire_bytes, BytesLedger, PRIORITY_CLASSES,
+};
 pub use overlap_exec::{overlapped_matmul_all_reduce, production_order};
 pub use scattered::{BucketTable, ScatteredTensors, BUCKET_ELEMS};
+pub use stream::{CommScheduler, RingJob, StreamExecutor};
 pub use tree::{tree_all_reduce, tree_all_reduce_wire};

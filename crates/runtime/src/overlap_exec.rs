@@ -9,11 +9,34 @@
 //! about to touch has already been produced. If the paper's chunk
 //! ordering were wrong, these runs would panic or produce different
 //! results from the unoverlapped execution.
+//!
+//! # Completion-order independence
+//!
+//! An earlier version of this pipeline received with plain FIFO
+//! `recv`, implicitly assuming every hop *completes* in the order it
+//! was issued — true of the in-process channel, but not of a real
+//! async fabric, where a later-issued send can land first. Every hop
+//! is now a *tagged* message carrying the chunk index it transports
+//! (reduce-scatter hops tag `chunk`, all-gather hops tag `k + chunk`),
+//! and each step receives *by tag*: delivery order no longer matters,
+//! only data dependences do. The regression test
+//! `tolerates_chunks_delivered_out_of_issue_order` delivers a
+//! later-issued hop first and the result must stay bit-identical.
 
 use coconet_tensor::{ReduceOp, Tensor, TensorError};
 
 use crate::collectives::{chunk_range, Group};
+use crate::comm::WireMsg;
 use crate::RankComm;
+
+/// Receives the tagged hop `tag` from `src`, unwrapping the dense
+/// payload (the overlap pipeline never rides the sparse wire).
+fn recv_chunk(comm: &RankComm, src: usize, tag: u64) -> Tensor {
+    match comm.recv_tagged(src, tag) {
+        WireMsg::Tensor(t) => t,
+        WireMsg::Sparse(_) => unreachable!("overlap hops are dense"),
+    }
+}
 
 /// A lazily produced output tensor: chunks materialize in a fixed
 /// production order, and reads assert availability (the functional
@@ -118,13 +141,18 @@ pub fn overlapped_matmul_all_reduce(
             // Forward the partially reduced chunk (a handle copy).
             reduced[send_c].clone().expect("reduced by schedule")
         };
-        comm.send(group.next(comm.rank()), outgoing);
+        comm.send_tagged(
+            group.next(comm.rank()),
+            send_c as u64,
+            0,
+            WireMsg::Tensor(outgoing),
+        );
         // Produce the next chunk while the wire is busy (T=2..5).
         if next_to_produce < k {
             producer.produce(order[next_to_produce]);
             next_to_produce += 1;
         }
-        let incoming = comm.recv(group.prev(comm.rank()));
+        let incoming = recv_chunk(comm, group.prev(comm.rank()), recv_c as u64);
         // Each chunk is visited exactly once in this phase: fold the
         // incoming partial into the local contribution in place.
         let mut local = producer.read_chunk(recv_c);
@@ -140,8 +168,13 @@ pub fn overlapped_matmul_all_reduce(
         let send_c = (me_chunk + k - step % k) % k;
         let recv_c = (me_chunk + k - step - 1) % k;
         let outgoing = chunks[send_c].clone().expect("present by schedule");
-        comm.send(group.next(comm.rank()), outgoing);
-        let incoming = comm.recv(group.prev(comm.rank()));
+        comm.send_tagged(
+            group.next(comm.rank()),
+            (k + send_c) as u64,
+            0,
+            WireMsg::Tensor(outgoing),
+        );
+        let incoming = recv_chunk(comm, group.prev(comm.rank()), (k + recv_c) as u64);
         chunks[recv_c] = Some(incoming);
     }
     let mut out = Tensor::zeros([n], out_dtype);
@@ -203,6 +236,69 @@ mod tests {
         for (o, _) in &results[1..] {
             assert_eq!(o.to_f32_vec(), results[0].0.to_f32_vec());
         }
+    }
+
+    /// Completion-order independence (the regression this module's
+    /// header documents): a scripted peer delivers a later-issued hop
+    /// — its all-gather chunks — *before* its reduce-scatter partials,
+    /// and the pipeline still produces the exact AllReduce result,
+    /// because every step receives by chunk tag instead of by arrival
+    /// order. Under the old FIFO `recv` this delivery order mis-folded
+    /// the chunks.
+    #[test]
+    fn tolerates_chunks_delivered_out_of_issue_order() {
+        let k = 3usize;
+        let (rows, inner, cols) = (3usize, 2usize, 3usize);
+        // Integer-valued inputs: every partial sum is exact in f32, so
+        // the assertion below is bitwise no matter the fold order.
+        let a: Vec<Tensor> = (0..k)
+            .map(|r| Tensor::from_fn([rows, inner], DType::F32, move |i| ((i + r) % 5) as f32))
+            .collect();
+        let w = Tensor::from_fn([inner, cols], DType::F32, |i| ((i % 3) + 1) as f32);
+        let p: Vec<Vec<f32>> = a
+            .iter()
+            .map(|ar| ar.matmul(&w).unwrap().to_f32_vec())
+            .collect();
+        let n = rows * cols;
+        let chunk = |v: &[f32], c: usize| -> Vec<f32> {
+            let (off, len) = chunk_range(n, k, c);
+            v[off..off + len].to_vec()
+        };
+        let add =
+            |x: &[f32], y: &[f32]| -> Vec<f32> { x.iter().zip(y).map(|(a, b)| a + b).collect() };
+        let total: Vec<f32> = (0..n).map(|i| p[0][i] + p[1][i] + p[2][i]).collect();
+
+        let mut world = RankComm::world(k);
+        let c2 = world.pop().unwrap(); // scripted sink (rank 1's next)
+        let c1 = world.pop().unwrap(); // runs the real pipeline
+        let c0 = world.pop().unwrap(); // scripted peer (rank 1's prev)
+
+        let (a1, w1) = (a[1].clone(), w.clone());
+        let handle = thread::spawn(move || {
+            let group = Group { start: 0, size: k };
+            overlapped_matmul_all_reduce(&c1, group, &a1, &w1, ReduceOp::Sum).unwrap()
+        });
+
+        // What the honest rank 0 sends rank 1, per the ring schedule:
+        //   RS step 0 (tag 2): its own chunk 2.
+        //   RS step 1 (tag 1): chunk 1 folded with rank 2's partial.
+        //   AG step 0 (tag 3+0): the fully reduced chunk 0 it owns.
+        //   AG step 1 (tag 3+2): the fully reduced chunk 2 it forwards.
+        let msg = |vals: Vec<f32>| {
+            WireMsg::Tensor(Tensor::from_f32([vals.len()], DType::F32, &vals).unwrap())
+        };
+        // Deliver the later-issued hops FIRST: both all-gather chunks,
+        // then the reduce-scatter partials in reversed step order.
+        c0.send_tagged(1, (k + 2) as u64, 0, msg(chunk(&total, 2)));
+        c0.send_tagged(1, (k) as u64, 0, msg(chunk(&total, 0)));
+        c0.send_tagged(1, 1, 0, msg(add(&chunk(&p[0], 1), &chunk(&p[2], 1))));
+        c0.send_tagged(1, 2, 0, msg(chunk(&p[0], 2)));
+
+        let got = handle.join().unwrap();
+        assert_eq!(got.to_f32_vec(), total);
+        // Keep the sink alive until the pipeline has sent its hops.
+        drop(c2);
+        drop(c0);
     }
 
     #[test]

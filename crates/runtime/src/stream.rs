@@ -1,0 +1,772 @@
+//! Barrier-free streaming execution: poll-driven ring collectives
+//! multiplexed over the tagged fabric by a priority scheduler.
+//!
+//! The blocking collectives in [`crate::collectives`] synchronize a
+//! whole group at every call — a training loop built on them ends each
+//! iteration with a global barrier. This module removes the barrier:
+//!
+//! * [`RingJob`] is the ring AllReduce re-expressed as a poll-driven
+//!   state machine. Each poll advances at most one chunk hop (one send
+//!   and/or one receive+fold), so many jobs interleave on one rank
+//!   thread at chunk granularity. The arithmetic — chunk geometry,
+//!   virtual-position schedule, fold order, wire encode points — is
+//!   *identical* to [`ring_all_reduce_wire`](crate::ring_all_reduce_wire),
+//!   which makes results bit-identical no matter how polls interleave.
+//! * [`CommScheduler`] owns the in-flight jobs and services them in
+//!   strict `(priority class, enqueue order)` order: each scheduling
+//!   round runs one chunk hop of the highest-priority job that can make
+//!   progress. A high-priority job enqueued late preempts lower ones at
+//!   the next chunk boundary; a blocked high-priority job parks and
+//!   lower-priority traffic fills the wire until its chunk arrives.
+//! * [`StreamExecutor`] is the barrier-free training loop: parameters
+//!   carry a *ready epoch*, gradient AllReduces are enqueued with the
+//!   class of the layer's position in the **next** iteration's forward
+//!   order, and iteration `i+1`'s forward blocks only on the specific
+//!   parameter it is about to touch. First-layer gradients overtake
+//!   last-layer gradients that backprop produced earlier — exactly the
+//!   reordering the per-class [`BytesLedger`](crate::BytesLedger)
+//!   counters and the scheduler's completion log expose.
+//!
+//! Deadlock freedom: sends never block (the fabric's channels are
+//! unbounded), receives are non-blocking polls, and every rank polls
+//! every unfinished job each round. The globally highest-priority
+//! unfinished job is therefore always serviced on every rank it
+//! touches, so it completes; induction over the priority order covers
+//! the rest.
+
+use coconet_compress::WireFormat;
+use coconet_core::CommSched;
+use coconet_tensor::{DType, ReduceOp, Shape, Tensor};
+
+use crate::collectives::{chunk_range, wire_decode, wire_encode, Group};
+use crate::comm::{RankComm, WireMsg};
+use crate::ledger::PRIORITY_CLASSES;
+
+/// Where a [`RingJob`] is in the reduce-scatter → all-gather protocol.
+#[derive(Debug)]
+enum JobState {
+    /// Reduce-scatter phase: `step` of `k-1`, `sent` marks whether this
+    /// step's chunk is already on the wire.
+    ReduceScatter { step: usize, sent: bool },
+    /// All-gather phase over the fully reduced chunks.
+    AllGather { step: usize, sent: bool },
+    /// Finished; the assembled result is waiting to be taken.
+    Done(Tensor),
+}
+
+/// A ring AllReduce in flight: the blocking collective's exact schedule,
+/// advanced one chunk hop per poll instead of running to completion.
+///
+/// Chunks travel as *tagged* messages (`job` = this job's id), so any
+/// number of jobs share each rank-to-rank stream without disturbing one
+/// another — the receiver routes by tag, never by arrival order.
+#[derive(Debug)]
+pub struct RingJob {
+    id: u64,
+    class: u8,
+    seq: u64,
+    group: Group,
+    op: ReduceOp,
+    wire: WireFormat,
+    dtype: DType,
+    shape: Shape,
+    /// Reduce-scatter working set: chunk views of the input, folded in
+    /// place as partials arrive (same fold order as the blocking ring).
+    rs_chunks: Vec<Tensor>,
+    /// All-gather working set: wire-encoded chunk handles by position.
+    ag_chunks: Vec<Option<Tensor>>,
+    state: JobState,
+}
+
+impl RingJob {
+    /// Starts a ring AllReduce of `input` over `group`, tagged `id` on
+    /// the wire and scheduled at `class` (lower = serviced first).
+    ///
+    /// Top-k has no streaming ring form (like ReduceScatter/AllGather
+    /// it resolves to the dense wire); `Dense` and `Fp16` reproduce
+    /// [`ring_all_reduce_wire`](crate::ring_all_reduce_wire) exactly.
+    pub fn new(
+        id: u64,
+        class: u8,
+        seq: u64,
+        group: Group,
+        input: &Tensor,
+        op: ReduceOp,
+        wire: WireFormat,
+    ) -> RingJob {
+        let wire = match wire {
+            WireFormat::TopK { .. } => WireFormat::Dense,
+            f => f,
+        };
+        let k = group.size;
+        let n = input.numel();
+        let dtype = input.dtype();
+        let shape = input.shape().clone();
+        if k == 1 {
+            // Degenerate group: the blocking ring returns the input's
+            // values re-assembled into a fresh tensor; match it.
+            let chunk = input.slice_flat(0, n).expect("full range");
+            let mut out = Tensor::zeros(shape.clone(), dtype);
+            out.write_flat(0, &chunk).expect("full range");
+            return RingJob {
+                id,
+                class,
+                seq,
+                group,
+                op,
+                wire,
+                dtype,
+                shape,
+                rs_chunks: Vec::new(),
+                ag_chunks: Vec::new(),
+                state: JobState::Done(out),
+            };
+        }
+        let rs_chunks = (0..k)
+            .map(|c| {
+                let (off, len) = chunk_range(n, k, c);
+                input.slice_flat(off, len).expect("in range")
+            })
+            .collect();
+        RingJob {
+            id,
+            class,
+            seq,
+            group,
+            op,
+            wire,
+            dtype,
+            shape,
+            rs_chunks,
+            ag_chunks: vec![None; k],
+            state: JobState::ReduceScatter {
+                step: 0,
+                sent: false,
+            },
+        }
+    }
+
+    /// This job's wire tag.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// This job's priority class.
+    pub fn class(&self) -> u8 {
+        self.class
+    }
+
+    fn is_done(&self) -> bool {
+        matches!(self.state, JobState::Done(_))
+    }
+
+    fn take_result(self) -> Tensor {
+        match self.state {
+            JobState::Done(t) => t,
+            _ => unreachable!("take_result on an unfinished job"),
+        }
+    }
+
+    /// Advances the job by at most one chunk hop: sends this step's
+    /// chunk if it is not on the wire yet, then polls for the incoming
+    /// chunk and folds/stores it. Returns `true` if anything moved.
+    ///
+    /// Sends go through [`RankComm::send_tagged`], so the per-class
+    /// ledger counters attribute every byte to this job's class.
+    fn poll(&mut self, comm: &RankComm) -> bool {
+        let k = self.group.size;
+        let me = self.group.position(comm.rank());
+        let next = self.group.next(comm.rank());
+        let prev = self.group.prev(comm.rank());
+        let mut progressed = false;
+        match &mut self.state {
+            JobState::ReduceScatter { step, sent } => {
+                // The blocking ring's virtual-position schedule.
+                let j = (me + k - 1) % k;
+                let send_c = (j + k - *step % k) % k;
+                let recv_c = (j + k - *step - 1) % k;
+                if !*sent {
+                    let payload = wire_encode(&self.rs_chunks[send_c], self.wire);
+                    comm.send_tagged(next, self.id, self.class, WireMsg::Tensor(payload));
+                    *sent = true;
+                    progressed = true;
+                }
+                if let Some(msg) = comm.try_recv_tagged(prev, self.id) {
+                    let incoming = wire_decode(expect_tensor(msg), self.wire, self.dtype);
+                    self.rs_chunks[recv_c]
+                        .reduce_assign(&incoming, self.op)
+                        .expect("ring chunks agree on geometry");
+                    progressed = true;
+                    if *step + 1 < k - 1 {
+                        *step += 1;
+                        *sent = false;
+                    } else {
+                        // Reduce-scatter complete: position `me` owns
+                        // the fully reduced chunk `me`. Seed the gather
+                        // with its one-time wire encoding.
+                        let mine = self.rs_chunks.swap_remove(me);
+                        self.ag_chunks[me] = Some(wire_encode(&mine, self.wire));
+                        self.rs_chunks.clear();
+                        self.state = JobState::AllGather {
+                            step: 0,
+                            sent: false,
+                        };
+                    }
+                }
+            }
+            JobState::AllGather { step, sent } => {
+                let send_c = (me + k - *step % k) % k;
+                let recv_c = (me + k - *step - 1) % k;
+                if !*sent {
+                    let payload = self.ag_chunks[send_c]
+                        .clone()
+                        .expect("chunk present by schedule");
+                    comm.send_tagged(next, self.id, self.class, WireMsg::Tensor(payload));
+                    *sent = true;
+                    progressed = true;
+                }
+                if let Some(msg) = comm.try_recv_tagged(prev, self.id) {
+                    self.ag_chunks[recv_c] = Some(expect_tensor(msg));
+                    progressed = true;
+                    if *step + 1 < k - 1 {
+                        *step += 1;
+                        *sent = false;
+                    } else {
+                        self.state = JobState::Done(self.assemble());
+                    }
+                }
+            }
+            JobState::Done(_) => {}
+        }
+        progressed
+    }
+
+    /// Decodes the gathered chunks and assembles the replicated result
+    /// — the blocking ring's exact epilogue.
+    fn assemble(&mut self) -> Tensor {
+        let mut out = Tensor::zeros(self.shape.clone(), self.dtype);
+        let mut off = 0usize;
+        for c in self.ag_chunks.drain(..) {
+            let c = wire_decode(c.expect("all chunks gathered"), self.wire, self.dtype);
+            out.write_flat(off, &c).expect("chunks tile the tensor");
+            off += c.numel();
+        }
+        out
+    }
+}
+
+fn expect_tensor(msg: WireMsg) -> Tensor {
+    match msg {
+        WireMsg::Tensor(t) => t,
+        WireMsg::Sparse(_) => unreachable!("streaming ring jobs are dense-wire only"),
+    }
+}
+
+/// The priority queue in front of the comm fabric: in-flight
+/// [`RingJob`]s serviced in strict `(class, enqueue order)` order with
+/// chunk-granular preemption between priority levels.
+#[derive(Debug, Default)]
+pub struct CommScheduler {
+    /// Unfinished jobs, kept sorted by `(class, seq)`.
+    jobs: Vec<RingJob>,
+    next_seq: u64,
+    /// Finished results waiting for [`CommScheduler::wait`].
+    completed: Vec<(u64, Tensor)>,
+    /// Job ids in the order they finished — the reordering witness the
+    /// steady-state experiment asserts on.
+    completion_log: Vec<u64>,
+}
+
+impl CommScheduler {
+    /// An empty scheduler.
+    pub fn new() -> CommScheduler {
+        CommScheduler::default()
+    }
+
+    /// Launches a ring AllReduce of `input` at `class` (clamped to
+    /// [`PRIORITY_CLASSES`]; lower classes are serviced first — tag the
+    /// launch with the consuming step's position in the next
+    /// iteration's forward order). `id` must be agreed on by every rank
+    /// in the group; it tags the job's chunks on the wire.
+    ///
+    /// Enqueuing performs no communication: the first chunk goes out on
+    /// the first [`poll`](CommScheduler::poll) that services this job.
+    pub fn enqueue(
+        &mut self,
+        id: u64,
+        class: u8,
+        group: Group,
+        input: &Tensor,
+        op: ReduceOp,
+        wire: WireFormat,
+    ) {
+        let class = class.min(PRIORITY_CLASSES as u8 - 1);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let job = RingJob::new(id, class, seq, group, input, op, wire);
+        if job.is_done() {
+            // Single-rank groups finish at enqueue time.
+            self.completion_log.push(id);
+            self.completed.push((id, job.take_result()));
+            return;
+        }
+        let at = self
+            .jobs
+            .partition_point(|j| (j.class, j.seq) <= (job.class, job.seq));
+        self.jobs.insert(at, job);
+    }
+
+    /// One scheduling round: runs one chunk hop of the highest-priority
+    /// job that can make progress. Blocked jobs park; the first
+    /// runnable lower-priority job fills the gap — that is the
+    /// chunk-granular preemption between priority levels. Returns
+    /// `true` if any job moved.
+    pub fn poll(&mut self, comm: &RankComm) -> bool {
+        for i in 0..self.jobs.len() {
+            if self.jobs[i].poll(comm) {
+                if self.jobs[i].is_done() {
+                    let job = self.jobs.remove(i);
+                    self.completion_log.push(job.id());
+                    self.completed.push((job.id(), job.take_result()));
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Polls until job `id` completes and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never enqueued.
+    pub fn wait(&mut self, comm: &RankComm, id: u64) -> Tensor {
+        loop {
+            if let Some(at) = self.completed.iter().position(|(j, _)| *j == id) {
+                return self.completed.swap_remove(at).1;
+            }
+            assert!(
+                self.jobs.iter().any(|j| j.id() == id),
+                "waiting on job {id} that was never enqueued"
+            );
+            if !self.poll(comm) {
+                // Every local job is blocked on the wire; yield while
+                // peers catch up.
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Polls until every in-flight job completes; results stay claimable
+    /// via [`wait`](CommScheduler::wait) (which no longer blocks).
+    pub fn drain(&mut self, comm: &RankComm) {
+        while !self.jobs.is_empty() {
+            if !self.poll(comm) {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Number of unfinished jobs.
+    pub fn in_flight(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Job ids in completion order — under priority scheduling the
+    /// first-consumed (lowest-class) tensors appear first even when
+    /// they were enqueued last.
+    pub fn completion_log(&self) -> &[u64] {
+        &self.completion_log
+    }
+}
+
+/// One parameter of the streaming training loop: the tensor plus the
+/// readiness bookkeeping that replaces the global barrier.
+#[derive(Debug)]
+struct StreamParam {
+    value: Tensor,
+    /// Last iteration whose gradient has been applied to `value`.
+    ready_epoch: u64,
+    /// The in-flight gradient job that must land before the *next*
+    /// forward may touch this parameter.
+    pending: Option<u64>,
+}
+
+/// The barrier-free multi-iteration executor: a data-parallel training
+/// loop whose per-layer parameters are gated by ready-epochs instead of
+/// an end-of-iteration barrier.
+///
+/// Per iteration: the forward walks layers first to last, blocking only
+/// on the parameter it is about to touch (waiting applies the pending
+/// reduced gradient and bumps the ready-epoch); the backward walks last
+/// to first, enqueuing each layer's gradient AllReduce with priority
+/// class = the layer's position in the next forward (clamped to
+/// [`PRIORITY_CLASSES`]). Layer 0's gradient — produced *last* by
+/// backprop — therefore overtakes layer L−1's on the wire, and the next
+/// iteration's first layers unblock while later gradients still drain.
+///
+/// Under [`CommSched::Barriered`] the same loop drains every gradient
+/// and applies every update at each iteration's end — the classic
+/// barrier, kept as the baseline the steady-state experiment measures
+/// against.
+#[derive(Debug)]
+pub struct StreamExecutor {
+    group: Group,
+    sched: CommSched,
+    wire: WireFormat,
+    scheduler: CommScheduler,
+    params: Vec<StreamParam>,
+    /// Iterations fully applied to every parameter.
+    epoch: u64,
+}
+
+impl StreamExecutor {
+    /// A streaming executor over `params` (one tensor per layer, in
+    /// forward order) for the group `comm` belongs to.
+    pub fn new(group: Group, params: Vec<Tensor>, sched: CommSched, wire: WireFormat) -> Self {
+        StreamExecutor {
+            group,
+            sched,
+            wire,
+            scheduler: CommScheduler::new(),
+            params: params
+                .into_iter()
+                .map(|value| StreamParam {
+                    value,
+                    ready_epoch: 0,
+                    pending: None,
+                })
+                .collect(),
+            epoch: 0,
+        }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The scheduler's completion log (job id = `iter * L + layer`).
+    pub fn completion_log(&self) -> &[u64] {
+        self.scheduler.completion_log()
+    }
+
+    /// The wire tag of iteration `iter`'s layer-`layer` gradient job.
+    /// Deterministic and rank-independent, as the fabric requires.
+    pub fn job_id(&self, iter: u64, layer: usize) -> u64 {
+        iter * self.params.len() as u64 + layer as u64
+    }
+
+    /// Blocks until `layer`'s parameter is up to date with every
+    /// iteration whose gradient job was enqueued, applying the pending
+    /// update through `apply`. This is the *only* wait the barrier-free
+    /// forward performs — one parameter, not the world.
+    fn ensure_ready(
+        &mut self,
+        comm: &RankComm,
+        layer: usize,
+        apply: &mut impl FnMut(usize, &mut Tensor, &Tensor),
+    ) {
+        if let Some(job) = self.params[layer].pending.take() {
+            let reduced = self.scheduler.wait(comm, job);
+            apply(layer, &mut self.params[layer].value, &reduced);
+            self.params[layer].ready_epoch += 1;
+        }
+    }
+
+    /// Progress tick at a kernel boundary: under the barrier-free
+    /// schedule, drive every runnable chunk hop forward between two
+    /// compute steps. This is what hides communication under compute —
+    /// the gradients still draining from iteration `i` advance while
+    /// iteration `i+1`'s forward runs, in strict priority order. The
+    /// barriered schedule deliberately skips the tick: its fabric only
+    /// moves inside the end-of-iteration drain, which is exactly the
+    /// serialization the steady-state experiment measures against.
+    fn tick(&mut self, comm: &RankComm) {
+        if self.sched == CommSched::Priority {
+            while self.scheduler.poll(comm) {}
+        }
+    }
+
+    /// Runs `iters` iterations of the forward/backward/update loop.
+    ///
+    /// * `forward(layer, iter, param)` — the layer's forward compute
+    ///   (called with the parameter guaranteed ready for `iter`).
+    /// * `grad(layer, iter, param)` — produces this rank's local
+    ///   gradient for the layer (called in reverse layer order).
+    /// * `apply(layer, param, reduced)` — folds the group-reduced
+    ///   gradient into the parameter.
+    ///
+    /// On return every enqueued gradient has been applied: the stream
+    /// ends with one drain instead of `iters` barriers. Outputs are
+    /// bit-identical to the barriered schedule — the scheduler reorders
+    /// *wire traffic*, never the read-after-write order of parameters.
+    pub fn run_iterations(
+        &mut self,
+        comm: &RankComm,
+        iters: u64,
+        mut forward: impl FnMut(usize, u64, &Tensor),
+        mut grad: impl FnMut(usize, u64, &Tensor) -> Tensor,
+        mut apply: impl FnMut(usize, &mut Tensor, &Tensor),
+    ) {
+        let layers = self.params.len();
+        for _ in 0..iters {
+            let iter = self.epoch;
+            // Forward: first layers first, each gated on its own
+            // ready-epoch only.
+            for l in 0..layers {
+                self.ensure_ready(comm, l, &mut apply);
+                debug_assert_eq!(self.params[l].ready_epoch, iter);
+                forward(l, iter, &self.params[l].value);
+                // Later layers' gradients drain while this layer's
+                // forward just ran; the next ensure_ready usually
+                // finds its job already complete.
+                self.tick(comm);
+            }
+            // Backward: gradients appear last layer first; each is
+            // launched at the priority of its consumption point in the
+            // next forward.
+            for l in (0..layers).rev() {
+                let g = grad(l, iter, &self.params[l].value);
+                let id = self.job_id(iter, l);
+                self.scheduler.enqueue(
+                    id,
+                    l.min(PRIORITY_CLASSES - 1) as u8,
+                    self.group,
+                    &g,
+                    ReduceOp::Sum,
+                    self.wire,
+                );
+                self.params[l].pending = Some(id);
+            }
+            if self.sched == CommSched::Barriered {
+                // The classic end-of-iteration barrier: drain the
+                // fabric and update every parameter before the next
+                // forward may start.
+                self.scheduler.drain(comm);
+                for l in 0..layers {
+                    self.ensure_ready(comm, l, &mut apply);
+                }
+            }
+            self.epoch += 1;
+        }
+        // End of stream: settle outstanding updates so callers observe
+        // the same final parameters as the barriered schedule.
+        self.scheduler.drain(comm);
+        for l in 0..layers {
+            self.ensure_ready(comm, l, &mut apply);
+        }
+    }
+
+    /// The parameter tensors, in layer order.
+    pub fn params(&self) -> Vec<Tensor> {
+        self.params.iter().map(|p| p.value.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::ring_all_reduce;
+    use crate::comm::run_ranks;
+    use coconet_tensor::CounterRng;
+
+    fn group_of(k: usize) -> Group {
+        Group { start: 0, size: k }
+    }
+
+    /// A polled job reproduces the blocking ring bit for bit, for every
+    /// group size including the degenerate singleton.
+    #[test]
+    fn ring_job_matches_blocking_ring() {
+        for k in [1usize, 2, 3, 4] {
+            let results = run_ranks(k, move |comm| {
+                let rng = CounterRng::new(42);
+                let input = Tensor::randn([13], DType::F32, rng, (comm.rank() * 1000) as u64);
+                let reference = ring_all_reduce(&comm, group_of(k), &input, ReduceOp::Sum);
+                let mut sched = CommScheduler::new();
+                sched.enqueue(9, 0, group_of(k), &input, ReduceOp::Sum, WireFormat::Dense);
+                let got = sched.wait(&comm, 9);
+                (got, reference)
+            });
+            for (got, reference) in results {
+                assert_eq!(got.to_f32_vec(), reference.to_f32_vec(), "k={k}");
+                assert_eq!(got.shape(), reference.shape());
+            }
+        }
+    }
+
+    /// Two concurrent jobs of different classes complete in *priority*
+    /// order even though the low-priority one was enqueued first, and
+    /// both match the blocking reference.
+    #[test]
+    fn scheduler_reorders_completion_to_priority_order() {
+        let k = 4usize;
+        let results = run_ranks(k, move |comm| {
+            let rng = CounterRng::new(7);
+            let late = Tensor::randn([11], DType::F32, rng, (comm.rank() * 10) as u64);
+            let urgent = Tensor::randn([11], DType::F32, rng, (comm.rank() * 10 + 5) as u64);
+            let ref_late = ring_all_reduce(&comm, group_of(k), &late, ReduceOp::Sum);
+            let ref_urgent = ring_all_reduce(&comm, group_of(k), &urgent, ReduceOp::Sum);
+            let mut sched = CommScheduler::new();
+            // Enqueue order is backprop order: the last-consumed tensor
+            // appears first.
+            sched.enqueue(100, 5, group_of(k), &late, ReduceOp::Sum, WireFormat::Dense);
+            sched.enqueue(
+                200,
+                0,
+                group_of(k),
+                &urgent,
+                ReduceOp::Sum,
+                WireFormat::Dense,
+            );
+            sched.drain(&comm);
+            let log = sched.completion_log().to_vec();
+            let got_urgent = sched.wait(&comm, 200);
+            let got_late = sched.wait(&comm, 100);
+            (log, got_urgent, ref_urgent, got_late, ref_late)
+        });
+        for (log, got_urgent, ref_urgent, got_late, ref_late) in results {
+            assert_eq!(log, vec![200, 100], "class 0 must finish first");
+            assert_eq!(got_urgent.to_f32_vec(), ref_urgent.to_f32_vec());
+            assert_eq!(got_late.to_f32_vec(), ref_late.to_f32_vec());
+        }
+    }
+
+    /// Deterministic preemption proof against a scripted peer: a
+    /// low-class job whose peer chunks are withheld parks, the
+    /// high-class-number job enqueued *after* it cannot overtake it,
+    /// and the per-class ledger shows class-0 traffic fully drained
+    /// while class-5 traffic is still partial.
+    #[test]
+    fn priority_traffic_drains_before_low_priority_traffic() {
+        let k = 2usize;
+        let n = 8usize; // per-rank elements; k=2 -> two 4-element chunks
+        let mut world = RankComm::world(k);
+        let peer = world.pop().unwrap(); // rank 1, scripted
+        let me = world.pop().unwrap(); // rank 0, runs the scheduler
+
+        let urgent_in = Tensor::from_fn([n], DType::F32, |i| i as f32);
+        let low_in = Tensor::from_fn([n], DType::F32, |i| (i * 10) as f32);
+        let mut sched = CommScheduler::new();
+        // Backprop order: the low-priority (last-consumed) gradient is
+        // produced and enqueued first.
+        sched.enqueue(1, 5, group_of(k), &low_in, ReduceOp::Sum, WireFormat::Dense);
+        sched.enqueue(
+            2,
+            0,
+            group_of(k),
+            &urgent_in,
+            ReduceOp::Sum,
+            WireFormat::Dense,
+        );
+
+        // Round 1: the class-0 job is serviced first — its RS chunk
+        // goes out before the earlier-enqueued class-5 job's.
+        assert!(sched.poll(&me));
+        let after_first_send = me.ledger();
+        assert_eq!(after_first_send.class_bytes_sent[0], 16, "4 f32 chunk");
+        assert_eq!(
+            after_first_send.class_bytes_sent[5], 0,
+            "class 5 parked behind class 0"
+        );
+
+        // The scripted peer answers job 2 (urgent) promptly — its RS
+        // partial, then its fully reduced gather chunk — but withholds
+        // job 1 entirely; rank 0's scheduler must drive the urgent job
+        // to completion with the low job parked on the wire.
+        let peer_rs = Tensor::from_fn([4], DType::F32, |i| 100.0 + i as f32);
+        let peer_ag = Tensor::from_fn([4], DType::F32, |i| 200.0 + i as f32);
+        peer.send_tagged(0, 2, 0, WireMsg::Tensor(peer_rs));
+        peer.send_tagged(0, 2, 0, WireMsg::Tensor(peer_ag));
+        let urgent = sched.wait(&me, 2);
+        // Chunk 0 is the local [0..4] folded with the peer's partial;
+        // chunk 1 arrived verbatim from the peer's gather hop.
+        assert_eq!(
+            urgent.to_f32_vec(),
+            vec![100.0, 102.0, 104.0, 106.0, 200.0, 201.0, 202.0, 203.0]
+        );
+
+        let ledger = me.ledger();
+        let full_volume = 2 * 16u64; // one RS + one AG chunk of 4 f32
+        assert_eq!(
+            ledger.class_bytes_sent[0], full_volume,
+            "urgent job fully drained"
+        );
+        assert!(
+            ledger.class_bytes_sent[5] < full_volume,
+            "low-priority job still partial: {} bytes",
+            ledger.class_bytes_sent[5]
+        );
+        assert_eq!(sched.in_flight(), 1, "low job still in flight");
+        assert_eq!(sched.completion_log(), &[2]);
+
+        // Unblock the peer side (its RS partial, then its gather chunk)
+        // so the low job can finish too.
+        peer.send_tagged(0, 1, 5, WireMsg::Tensor(Tensor::zeros([4], DType::F32)));
+        peer.send_tagged(0, 1, 5, WireMsg::Tensor(Tensor::zeros([4], DType::F32)));
+        sched.drain(&me);
+        assert_eq!(sched.completion_log(), &[2, 1]);
+        assert_eq!(me.ledger().class_bytes_sent[5], full_volume);
+        // The scripted peer leaves its incoming chunks unread; that is
+        // fine — channels are unbounded and the test owns both ends.
+    }
+
+    /// The streaming loop produces bit-identical parameters to the
+    /// barriered loop, while its completion log proves first-consumed
+    /// gradients synchronized first.
+    #[test]
+    fn stream_executor_matches_barriered_and_reorders() {
+        let k = 4usize;
+        let layers = 3usize;
+        let iters = 5u64;
+        let run = move |sched_kind: CommSched| {
+            run_ranks(k, move |comm| {
+                let rng = CounterRng::new(11);
+                let params: Vec<Tensor> = (0..layers)
+                    .map(|l| Tensor::randn([6], DType::F32, rng, l as u64))
+                    .collect();
+                let mut exec =
+                    StreamExecutor::new(group_of(k), params, sched_kind, WireFormat::Dense);
+                let rank = comm.rank();
+                exec.run_iterations(
+                    &comm,
+                    iters,
+                    |_, _, _| {},
+                    move |l, iter, p| {
+                        // Rank- and iteration-dependent local gradient.
+                        let scale = (rank + 1) as f32 * 0.01 + iter as f32 * 0.001;
+                        let lf = l as f32;
+                        Tensor::from_fn([6], DType::F32, |i| p.get(i) * scale + lf + i as f32 * 0.1)
+                    },
+                    |_, p, g| {
+                        let lr = 0.05f32;
+                        let step = Tensor::from_fn([6], DType::F32, |i| p.get(i) - lr * g.get(i));
+                        *p = step;
+                    },
+                );
+                (exec.params(), exec.completion_log().to_vec())
+            })
+        };
+        let barriered = run(CommSched::Barriered);
+        let streamed = run(CommSched::Priority);
+        for ((bp, _), (sp, log)) in barriered.iter().zip(streamed.iter()) {
+            for (b, s) in bp.iter().zip(sp.iter()) {
+                assert_eq!(b.to_f32_vec(), s.to_f32_vec(), "params diverge");
+            }
+            // Within each iteration the layer-0 job (enqueued last)
+            // completes before the layer-2 job (enqueued first).
+            for it in 0..iters {
+                let pos = |l: usize| {
+                    log.iter()
+                        .position(|&j| j == it * layers as u64 + l as u64)
+                        .expect("job completed")
+                };
+                assert!(
+                    pos(0) < pos(layers - 1),
+                    "iter {it}: first-consumed gradient must land first"
+                );
+            }
+        }
+    }
+}

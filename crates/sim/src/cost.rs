@@ -680,6 +680,7 @@ mod tests {
             protocol: p,
             channels: ch,
             format: WireFormat::Dense,
+            ..CommConfig::default()
         }
     }
 
@@ -910,6 +911,7 @@ mod tests {
             protocol: Protocol::Simple,
             channels: 16,
             format: WireFormat::Dense,
+            ..CommConfig::default()
         }
     }
 
@@ -969,6 +971,7 @@ mod tests {
                     protocol: Protocol::LL128,
                     channels: ch,
                     format: WireFormat::Dense,
+                    ..CommConfig::default()
                 };
                 let elems = 1u64 << 22;
                 let wire = m.collective_wire(
@@ -1153,6 +1156,7 @@ mod tests {
                             protocol,
                             channels: 16,
                             format,
+                            ..CommConfig::default()
                         };
                         for elems in [1u64 << 10, 1 << 24] {
                             let floor = m.collective_bandwidth_floor(
@@ -1207,6 +1211,7 @@ mod tests {
                     protocol: Protocol::Simple,
                     channels: 16,
                     format,
+                    ..CommConfig::default()
                 },
             )
         };
@@ -1243,6 +1248,7 @@ mod tests {
                         protocol,
                         channels: 16,
                         format,
+                        ..CommConfig::default()
                     };
                     best = best.min(m.collective_time(
                         CollKind::AllReduce,

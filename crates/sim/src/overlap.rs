@@ -205,6 +205,7 @@ mod tests {
             algo: CollAlgo::Ring,
             protocol: Protocol::Simple,
             channels: 16,
+            ..CommConfig::default()
         }
     }
 

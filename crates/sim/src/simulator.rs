@@ -2,13 +2,14 @@
 //! and benchmarks use.
 
 use coconet_core::{
-    CollAlgo, CollKind, CommConfig, ExecPlan, OverlapStage, PlanEvaluator, Step, WireFormat,
+    CollAlgo, CollKind, CommConfig, CommSched, ExecPlan, OverlapStage, PlanEvaluator, Step,
+    WireFormat,
 };
 use coconet_topology::{Cluster, MachineSpec};
 
 use crate::cost::WireBytes;
 use crate::overlap::simulate_overlap;
-use crate::{CostModel, GroupGeom};
+use crate::{CostModel, GroupGeom, TaskGraph};
 
 /// Number of collective algorithms ([`CollAlgo::ALL`]).
 const N_ALGOS: usize = CollAlgo::ALL.len();
@@ -199,16 +200,160 @@ impl Simulator {
     }
 
     /// Times a whole plan.
+    ///
+    /// Under the default barriered discipline the total is the serial
+    /// sum of the steps (overlap happens only *inside* `Overlapped`
+    /// steps). Under [`CommSched::Priority`] the total is the
+    /// *steady-state per-iteration time* of running the plan as a
+    /// stream of iterations without a global barrier: iteration *i*'s
+    /// communication drains on the fabric while iteration *i+1*'s
+    /// computation proceeds, blocked only on the specific tensors it
+    /// consumes (`steady_state_total`, the compute/comm pipeline
+    /// makespan).
     pub fn time_plan(&self, plan: &ExecPlan) -> PlanTime {
         let steps: Vec<StepTime> = plan
             .steps
             .iter()
             .map(|s| self.time_step(s, plan.config))
             .collect();
-        PlanTime {
-            total: steps.iter().map(|s| s.seconds).sum(),
-            steps,
+        let total = match plan.config.sched {
+            CommSched::Barriered => steps.iter().map(|s| s.seconds).sum(),
+            CommSched::Priority => self.steady_state_total(&steps),
+        };
+        PlanTime { total, steps }
+    }
+
+    /// Steady-state per-iteration time of the priority-streamed
+    /// discipline: the marginal cost of one more iteration in an
+    /// infinite pipeline where the compute pipe and the comm fabric
+    /// are distinct resources, iteration *i+1*'s *j*-th compute step
+    /// blocks only on iteration *i*'s *j*-th communication step (the
+    /// per-tensor readiness model: first-consumed tensors are
+    /// synchronized first), and each communication step waits for the
+    /// compute step that produced its payload.
+    ///
+    /// The marginal cost is measured as `makespan(3 iterations) −
+    /// makespan(2 iterations)` of that pipeline, then clamped from
+    /// below by both resources' per-iteration busy times — the fabric
+    /// still moves every byte and the compute pipe still runs every
+    /// kernel, which is exactly what keeps the pruning bounds
+    /// admissible on the enlarged grid (a wire-only floor never
+    /// exceeds the fabric busy time).
+    fn steady_state_total(&self, steps: &[StepTime]) -> f64 {
+        let is_comm = |c: StepCategory| {
+            matches!(
+                c,
+                StepCategory::Communication
+                    | StepCategory::FusedCommunication
+                    | StepCategory::Overlapped
+            )
+        };
+        let compute: f64 = steps
+            .iter()
+            .filter(|s| !is_comm(s.category))
+            .map(|s| s.seconds)
+            .sum();
+        let comm: f64 = steps
+            .iter()
+            .filter(|s| is_comm(s.category))
+            .map(|s| s.seconds)
+            .sum();
+        // With one resource idle there is nothing to overlap: the
+        // stream degenerates to the barriered loop.
+        if compute == 0.0 || comm == 0.0 {
+            return compute + comm;
         }
+        let marginal =
+            self.pipeline_makespan(steps, &is_comm, 3) - self.pipeline_makespan(steps, &is_comm, 2);
+        marginal.max(compute).max(comm)
+    }
+
+    /// Makespan of `iters` back-to-back plan iterations under the
+    /// barrier-free dependency structure (see
+    /// [`steady_state_total`](Self::steady_state_total)).
+    fn pipeline_makespan(
+        &self,
+        steps: &[StepTime],
+        is_comm: &impl Fn(StepCategory) -> bool,
+        iters: usize,
+    ) -> f64 {
+        let mut g = TaskGraph::new();
+        let compute_res = g.add_resource("compute");
+        let fabric_res = g.add_resource("fabric");
+        // Only the *trailing* communication block — collectives no
+        // compute step follows in program order — has its consumers in
+        // the next iteration (the gradient-sync pattern the readiness
+        // model relaxes). A collective a later compute step consumes
+        // stays on the iteration's serial data-dependence chain, so
+        // e.g. a split RS→opt→AG epilogue cannot pretend its AllGather
+        // overlaps the very MatMul that reads its output.
+        let last_compute_pos = steps
+            .iter()
+            .rposition(|s| !is_comm(s.category))
+            .expect("caller guarantees a compute step");
+        let mut prev_trailing_comm: Vec<crate::TaskId> = Vec::new();
+        let mut prev_iter_last_compute: Option<crate::TaskId> = None;
+        let mut prev_iter_last_task: Option<crate::TaskId> = None;
+        for i in 0..iters {
+            let mut trailing_comm = Vec::new();
+            let mut last_compute: Option<crate::TaskId> = None;
+            let mut last_comm: Option<crate::TaskId> = None;
+            let mut last_task: Option<crate::TaskId> = None;
+            let mut compute_idx = 0usize;
+            for (j, s) in steps.iter().enumerate() {
+                if is_comm(s.category) {
+                    // Communication launches as soon as its producer
+                    // finishes: the preceding compute step of its own
+                    // iteration, or — for a plan that *starts* with a
+                    // collective — the previous iteration's final
+                    // compute step (the payload a leading gradient
+                    // exchange ships was produced by the last
+                    // iteration; the stream may not leapfrog it). The
+                    // fabric resource serializes it against other
+                    // in-flight collectives in priority order
+                    // (insertion order = consumption order).
+                    let deps: Vec<crate::TaskId> = last_compute
+                        .or(prev_iter_last_compute)
+                        .into_iter()
+                        .collect();
+                    let t = g.add_task(format!("comm[{i}.{j}]"), fabric_res, s.seconds, &deps);
+                    if j > last_compute_pos {
+                        trailing_comm.push(t);
+                    }
+                    last_comm = Some(t);
+                    last_task = Some(t);
+                } else {
+                    // Compute blocks on (i) the previous compute step
+                    // of its own iteration, (ii) any collective that
+                    // precedes it *in the same iteration's program
+                    // order* (it consumes that collective's output —
+                    // the stream never reorders a data dependence),
+                    // and (iii) the matching tensor of the *previous*
+                    // iteration's trailing block being synchronized
+                    // (clamped: trailing compute waits on the last
+                    // collective) — never on a global barrier. A plan
+                    // with no trailing collectives has nothing to
+                    // stream past: its next iteration starts after the
+                    // previous one ends.
+                    let mut deps: Vec<crate::TaskId> =
+                        last_compute.into_iter().chain(last_comm).collect();
+                    if !prev_trailing_comm.is_empty() {
+                        let k = compute_idx.min(prev_trailing_comm.len() - 1);
+                        deps.push(prev_trailing_comm[k]);
+                    } else if deps.is_empty() {
+                        deps.extend(prev_iter_last_task);
+                    }
+                    let t = g.add_task(format!("comp[{i}.{j}]"), compute_res, s.seconds, &deps);
+                    last_compute = Some(t);
+                    last_task = Some(t);
+                    compute_idx += 1;
+                }
+            }
+            prev_trailing_comm = trailing_comm;
+            prev_iter_last_compute = last_compute.or(prev_iter_last_compute);
+            prev_iter_last_task = last_task.or(prev_iter_last_task);
+        }
+        g.schedule().makespan()
     }
 
     /// The configuration-independent coefficients of both autotuner
@@ -402,7 +547,17 @@ impl Simulator {
             };
             e.max(intra).max(inter)
         };
-        let mut tight = profile.fixed_s + self.cost.wire_time(profile.wire[i], geom, config);
+        // Under the barriered discipline every configuration pays the
+        // launch/fixed seconds serially. The priority stream hides
+        // compute (and launches) under in-flight communication, so its
+        // floor keeps only the communication terms — which never
+        // exceed the fabric busy time that clamps
+        // [`steady_state_total`](Simulator::steady_state_total) from
+        // below, keeping the bound admissible.
+        let mut tight = match config.sched {
+            CommSched::Barriered => profile.fixed_s,
+            CommSched::Priority => 0.0,
+        } + self.cost.wire_time(profile.wire[i], geom, config);
         for stage_max in &profile.overlap_wire {
             tight += largest_segment(stage_max[i]);
         }
@@ -608,6 +763,7 @@ mod tests {
                 protocol: Protocol::Simple,
                 channels: 16,
                 format: WireFormat::Dense,
+                ..CommConfig::default()
             },
         };
         let t = s.time_plan(&plan);
@@ -624,12 +780,20 @@ mod tests {
         let s = simulator();
         for algo in CollAlgo::ALL {
             for protocol in coconet_core::Protocol::ALL {
-                for channels in [2usize, 16, 64] {
+                for (channels, sched) in [
+                    (2usize, CommSched::Barriered),
+                    (2, CommSched::Priority),
+                    (16, CommSched::Barriered),
+                    (16, CommSched::Priority),
+                    (64, CommSched::Barriered),
+                    (64, CommSched::Priority),
+                ] {
                     let config = CommConfig {
                         algo,
                         protocol,
                         channels,
                         format: WireFormat::Dense,
+                        sched,
                     };
                     let mut plan = ExecPlan {
                         name: "lb".into(),
@@ -721,6 +885,97 @@ mod tests {
         // A sum AllReduce under the same configuration IS sparse.
         let sum = step(coconet_core::ReduceOp::Sum);
         assert!(s.time_step(&sum, topk).seconds < s.time_step(&sum, dense).seconds);
+    }
+
+    /// The steady-state (priority-streamed) discipline: a plan with
+    /// both compute and communication pipelines them across iteration
+    /// boundaries, so its per-iteration time drops below the barriered
+    /// serial sum but never below either resource's busy time. Plans
+    /// with only one kind of work gain nothing.
+    #[test]
+    fn priority_stream_overlaps_iterations() {
+        let s = simulator();
+        let kernel = Step::Kernel(KernelStep {
+            label: "k".into(),
+            bytes_read: 1 << 28,
+            bytes_written: 1 << 28,
+            flops: 1 << 24,
+            n_ops: 2,
+        });
+        let ar = Step::Collective(CollectiveStep {
+            label: "ar".into(),
+            kind: CollKind::AllReduce,
+            op: ReduceOp::Sum,
+            algo: CollAlgo::Ring,
+            elems: 1 << 26,
+            dtype: DType::F16,
+            scattered: None,
+        });
+        let plan = |steps: Vec<Step>, sched| ExecPlan {
+            name: "ss".into(),
+            steps,
+            config: CommConfig::default().with_sched(sched),
+        };
+        // Two layers in the training shape — the backward computes,
+        // then the trailing gradient syncs: layer 1's sync drains on
+        // the fabric while the next iteration's compute (blocked only
+        // on layer 0's earlier sync) proceeds. A single layer has
+        // nothing to overlap with — its sync is consumed immediately.
+        let both = vec![kernel.clone(), kernel.clone(), ar.clone(), ar.clone()];
+        let barriered = s.time_plan(&plan(both.clone(), CommSched::Barriered));
+        let streamed = s.time_plan(&plan(both, CommSched::Priority));
+        // Per-step timings are discipline-independent; only the
+        // iteration-level composition changes.
+        for (b, p) in barriered.steps.iter().zip(&streamed.steps) {
+            assert_eq!(b.seconds, p.seconds);
+        }
+        let compute = barriered.category_total(StepCategory::Compute);
+        let comm = barriered.category_total(StepCategory::Communication);
+        assert!(
+            streamed.total < barriered.total,
+            "stream {} !< barrier {}",
+            streamed.total,
+            barriered.total
+        );
+        assert!(streamed.total >= compute.max(comm) - 1e-12);
+        // The floors stay admissible under the streamed discipline.
+        let mut p = plan(
+            vec![
+                Step::Kernel(KernelStep {
+                    label: "k".into(),
+                    bytes_read: 1 << 28,
+                    bytes_written: 1 << 28,
+                    flops: 1 << 24,
+                    n_ops: 2,
+                }),
+                Step::Collective(CollectiveStep {
+                    label: "ar".into(),
+                    kind: CollKind::AllReduce,
+                    op: ReduceOp::Sum,
+                    algo: CollAlgo::Ring,
+                    elems: 1 << 26,
+                    dtype: DType::F16,
+                    scattered: None,
+                }),
+            ],
+            CommSched::Priority,
+        );
+        p.set_config(p.config);
+        assert!(s.plan_time_floor(&p) <= s.time_plan(&p).total);
+        assert!(s.plan_lower_bound(&p) <= s.plan_time_floor(&p));
+        // Comm-only and compute-only plans degenerate to the serial sum.
+        let comm_only = vec![ar];
+        assert_eq!(
+            s.time_plan(&plan(comm_only.clone(), CommSched::Priority))
+                .total,
+            s.time_plan(&plan(comm_only, CommSched::Barriered)).total,
+        );
+        let compute_only = vec![kernel];
+        assert_eq!(
+            s.time_plan(&plan(compute_only.clone(), CommSched::Priority))
+                .total,
+            s.time_plan(&plan(compute_only, CommSched::Barriered)).total,
+        );
     }
 
     #[test]

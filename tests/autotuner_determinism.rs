@@ -114,15 +114,19 @@ proptest! {
             "winning times diverged: {} vs {}", e.time, p.time
         );
         // The sweep covers the enlarged grid: every lowerable schedule
-        // is costed under algo × protocol × channels × format =
-        // 3 × 3 × 6 × 3 = 162 configurations in the exhaustive
+        // is costed under algo × protocol × channels × format × sched
+        // = 3 × 3 × 6 × 3 × 2 = 324 configurations in the exhaustive
         // reference (the wire formats are dense, FP16, and 10 ‰
-        // top-k).
+        // top-k; the schedules are barriered and priority-streamed).
         let grid = Autotuner::default();
-        let grid_size =
-            grid.algos.len() * grid.protocols.len() * grid.channels.len() * grid.formats.len();
-        prop_assert_eq!(grid_size, 162);
+        let grid_size = grid.algos.len()
+            * grid.protocols.len()
+            * grid.channels.len()
+            * grid.formats.len()
+            * grid.scheds.len();
+        prop_assert_eq!(grid_size, 324);
         prop_assert_eq!(grid.formats, coconet::compress::WireFormat::SWEEP.to_vec());
+        prop_assert_eq!(grid.scheds, coconet::core::CommSched::ALL.to_vec());
         prop_assert!(exhaustive.configs_evaluated >= grid_size);
         prop_assert_eq!(exhaustive.configs_evaluated % grid_size, 0);
 
