@@ -51,21 +51,51 @@ fn main() {
     let mut r = Report::new(
         "Ablation: collective algorithm per message size (AllReduce, 256 GPUs, \
          tuned protocol/channels per algorithm)",
-        &["elems", "ring", "tree", "hierarchical", "winner"],
+        &["elems", "ring", "tree", "hierarchical", "switch", "winner"],
     );
     for (e, times) in experiments::ablation_algorithms(&[10, 14, 18, 22, 26, 30]) {
-        let [ring, tree, hier] = times;
+        let [ring, tree, hier, switch] = times;
         r.row(&[
             format!("2^{e}"),
             fmt_time(ring),
             fmt_time(tree),
             fmt_time(hier),
+            fmt_time(switch),
             experiments::algo_winner(&times).to_string(),
         ]);
     }
     r.note(
         "section 5.1's logical topologies as a tuned dimension: trees win latency-bound \
          sizes, rings win bandwidth-bound ones, two-level hierarchical sits between",
+    );
+    r.print();
+
+    let mut r = Report::new(
+        "Ablation: collective algorithm per worker count (AllReduce of 2^18 F32 \
+         elements, 1 rank/node, tuned protocol/channels per algorithm)",
+        &[
+            "workers",
+            "ring",
+            "tree",
+            "hierarchical",
+            "switch",
+            "winner",
+        ],
+    );
+    for (w, times) in experiments::ablation_switch_workers(&[2, 4, 8, 16, 32]) {
+        let [ring, tree, hier, switch] = times;
+        r.row(&[
+            w.to_string(),
+            fmt_time(ring),
+            fmt_time(tree),
+            fmt_time(hier),
+            fmt_time(switch),
+            experiments::algo_winner(&times).to_string(),
+        ]);
+    }
+    r.note(
+        "SwitchML's in-network aggregation: per-worker volume is 2n words at any k, \
+         so the switch overtakes every host-side algorithm as the group grows",
     );
     r.print();
 

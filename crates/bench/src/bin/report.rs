@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! report [--quick] [--out PATH] [--baseline PATH] [--tolerance FRACTION]
-//!        [--write-baseline]
+//!        [--write-baseline] [--drift-against PATH]
 //! ```
 //!
 //! - `--quick`      CI mode: the fast experiment subset (still ≥ 6 rows)
@@ -20,10 +20,16 @@
 //!   hand edits. Implies `--quick`: the baseline describes the quick
 //!   set CI gates on, so a full-set baseline would make every `--quick`
 //!   gate report its extra rows as disappeared
+//! - `--drift-against` the CI staleness guard: compare this run
+//!   against the committed baseline at PATH in *both* directions —
+//!   an experiment missing from either side, or a speedup that moved
+//!   beyond the tolerance either way, means the committed file no
+//!   longer describes the code and must be regenerated with
+//!   `--write-baseline`. Implies `--quick` like `--write-baseline`
 //!
 //! Exit status: `0` on success, `1` on a tuner-consistency failure
-//! (pruned and exhaustive searches disagreeing) or a speedup
-//! regression against the baseline.
+//! (pruned and exhaustive searches disagreeing), a speedup regression
+//! against the baseline, or a stale committed baseline.
 
 use std::process::ExitCode;
 
@@ -36,6 +42,7 @@ struct Args {
     baseline: Option<String>,
     tolerance: f64,
     write_baseline: bool,
+    drift_against: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         tolerance: 0.10,
         write_baseline: false,
+        drift_against: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -59,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --tolerance: {e}"))?;
             }
             "--write-baseline" => args.write_baseline = true,
+            "--drift-against" => args.drift_against = Some(value("--drift-against")?),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -67,11 +76,11 @@ fn parse_args() -> Result<Args, String> {
 
 fn run() -> Result<(), String> {
     let mut args = parse_args()?;
-    if args.write_baseline && !args.quick {
+    if (args.write_baseline || args.drift_against.is_some()) && !args.quick {
         // The committed baseline describes the quick set CI gates on; a
         // full-set baseline would fail every subsequent --quick check
         // with "experiment disappeared".
-        println!("note: --write-baseline implies --quick (the CI gate checks the quick set)");
+        println!("note: baseline modes imply --quick (the CI gate checks the quick set)");
         args.quick = true;
     }
 
@@ -149,6 +158,30 @@ fn run() -> Result<(), String> {
         trajectory::regression_check(&doc, &baseline, args.tolerance)?;
         println!(
             "no speedup regression beyond {:.0} % vs {path}",
+            args.tolerance * 100.0
+        );
+    }
+
+    if let Some(path) = &args.drift_against {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let committed = Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        // Bidirectional: a regression in either direction — or a row
+        // present on only one side — means the committed file no
+        // longer describes the code.
+        let stale = trajectory::regression_check(&doc, &committed, args.tolerance)
+            .err()
+            .into_iter()
+            .chain(trajectory::regression_check(&committed, &doc, args.tolerance).err())
+            .collect::<Vec<_>>();
+        if !stale.is_empty() {
+            return Err(format!(
+                "committed baseline {path} is stale — regenerate it with \
+                 `report --write-baseline` and commit the result:\n{}",
+                stale.join("\n")
+            ));
+        }
+        println!(
+            "committed baseline {path} is fresh (within {:.0} % both ways)",
             args.tolerance * 100.0
         );
     }

@@ -719,12 +719,12 @@ pub fn ablation_channels(elems: u64) -> Vec<(usize, f64)> {
         .collect()
 }
 
-/// Name of the winning algorithm among `[ring, tree, hierarchical]`
-/// times, as produced by [`ablation_algorithms`] — ties resolve in
-/// [`CollAlgo::ALL`] order (ring first), matching the autotuner's own
-/// tie-breaking.
-pub fn algo_winner(times: &[f64; 3]) -> &'static str {
-    let names = ["ring", "tree", "hierarchical"];
+/// Name of the winning algorithm among
+/// `[ring, tree, hierarchical, switch]` times, as produced by
+/// [`ablation_algorithms`] — ties resolve in [`CollAlgo::ALL`] order
+/// (ring first), matching the autotuner's own tie-breaking.
+pub fn algo_winner(times: &[f64; 4]) -> &'static str {
+    let names = ["ring", "tree", "hierarchical", "switch"];
     let mut best = 0;
     for (i, &t) in times.iter().enumerate().skip(1) {
         if t < times[best] {
@@ -736,11 +736,14 @@ pub fn algo_winner(times: &[f64; 3]) -> &'static str {
 
 /// Ablation: AllReduce time per collective algorithm and message size
 /// (256 GPUs, each algorithm at its own best `protocol × channels`).
-/// Returns `(log2_elems, [ring, tree, hierarchical])` — the size
-/// crossover the autotuner's algorithm dimension exploits: trees win
-/// latency-bound small messages, rings win bandwidth-bound large ones,
-/// the two-level hierarchical variant sits between.
-pub fn ablation_algorithms(exponents: &[u32]) -> Vec<(u32, [f64; 3])> {
+/// Returns `(log2_elems, [ring, tree, hierarchical, switch])` — the
+/// size crossover the autotuner's algorithm dimension exploits: trees
+/// win latency-bound small messages, rings win bandwidth-bound large
+/// ones, the two-level hierarchical variant sits between, and the
+/// in-network switch's constant-in-`k` volume pays a quantization
+/// codec that keeps it behind the ring at this dense geometry (its win
+/// is the *worker-count* axis — see [`ablation_switch_workers`]).
+pub fn ablation_algorithms(exponents: &[u32]) -> Vec<(u32, [f64; 4])> {
     let sim = Simulator::new(MachineSpec::paper_testbed(), DP_RANKS, 1);
     let geom = sim.group_geom();
     let cost = sim.cost_model();
@@ -754,6 +757,39 @@ pub fn ablation_algorithms(exponents: &[u32]) -> Vec<(u32, [f64; 3])> {
                 .1
             });
             (e, times)
+        })
+        .collect()
+}
+
+/// Ablation: AllReduce time per collective algorithm as the *worker
+/// count* grows, one rank per node (the SwitchML geometry), 2^18 F32
+/// elements, each algorithm at its own best `protocol × channels`.
+/// Returns `(workers, [ring, tree, hierarchical, switch])`.
+///
+/// This is the axis the in-network switch wins: every host-side
+/// algorithm's time grows with `k` through `(k−1)/k` volume factors
+/// and `log k`/`k−1` latency chains, while the switch moves `2·n`
+/// words per worker at two fabric hops regardless of `k` — the
+/// crossover the gated `ablation_switch_workers` trajectory row pins.
+pub fn ablation_switch_workers(workers: &[usize]) -> Vec<(usize, [f64; 4])> {
+    let sim = Simulator::new(MachineSpec::paper_testbed(), DP_RANKS, 1);
+    let cost = sim.cost_model();
+    let elems = 1u64 << 18;
+    workers
+        .iter()
+        .map(|&w| {
+            let geom = GroupGeom {
+                size: w,
+                nodes_spanned: w,
+                ranks_per_node: 1,
+            };
+            let times = CollAlgo::ALL.map(|algo| {
+                best_config_for_algo(algo, |c| {
+                    cost.collective_time(CollKind::AllReduce, elems, DType::F32, geom, c)
+                })
+                .1
+            });
+            (w, times)
         })
         .collect()
 }
@@ -1009,8 +1045,8 @@ mod tests {
     #[test]
     fn algorithm_ablation_exhibits_size_crossover() {
         let rows = ablation_algorithms(&[10, 30]);
-        let (_, [ring_s, tree_s, hier_s]) = rows[0];
-        let (_, [ring_l, tree_l, hier_l]) = rows[1];
+        let (_, [ring_s, tree_s, hier_s, _switch_s]) = rows[0];
+        let (_, [ring_l, tree_l, hier_l, _switch_l]) = rows[1];
         // Small messages: the tree's log-depth latency wins.
         assert!(tree_s < ring_s, "small: tree {tree_s} !< ring {ring_s}");
         assert!(tree_s < hier_s, "small: tree {tree_s} !< hier {hier_s}");
@@ -1021,5 +1057,28 @@ mod tests {
         // Hierarchical beats the flat ring's latency at small sizes
         // (fewer hops than 2(k-1) once the group spans 16 nodes).
         assert!(hier_s < ring_s, "small: hier {hier_s} !< ring {ring_s}");
+    }
+
+    #[test]
+    fn switch_worker_sweep_exhibits_crossover() {
+        let rows = ablation_switch_workers(&[2, 4, 8, 16, 32]);
+        let (_, [ring_2, _, _, switch_2]) = rows[0];
+        let (w_last, [ring_32, tree_32, hier_32, switch_32]) = rows[rows.len() - 1];
+        assert_eq!(w_last, 32);
+        // Two workers: quantization codec overhead outweighs the tiny
+        // volume edge — the ring wins.
+        assert!(ring_2 < switch_2, "w=2: ring {ring_2} !< switch {switch_2}");
+        // 32 workers: the switch's constant volume beats every
+        // host-side algorithm.
+        assert!(switch_32 < ring_32, "w=32: switch !< ring");
+        assert!(switch_32 < tree_32, "w=32: switch !< tree");
+        assert!(switch_32 < hier_32, "w=32: switch !< hier");
+        // And the switch's own time is flat-ish in k: growing the
+        // group 16× costs it less than 2× (only the per-hop latency
+        // terms move).
+        assert!(
+            switch_32 < 2.0 * switch_2,
+            "switch time must be near-constant in worker count"
+        );
     }
 }

@@ -11,6 +11,7 @@ pub mod experiments;
 pub mod json;
 pub mod report;
 pub mod steady;
+pub mod switchnet;
 pub mod trajectory;
 pub mod zerocopy;
 

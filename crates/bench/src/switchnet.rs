@@ -1,0 +1,190 @@
+//! Measured (not simulated) in-network aggregation experiment.
+//!
+//! Executes the runtime's [`switch_all_reduce`] — the emulated
+//! programmable-switch collective — on real rank threads and checks
+//! its headline property against the [`BytesLedger`]: every worker
+//! moves exactly `2·n` quantization words (`n·4` bytes up to the
+//! switch, `n·4` bytes multicast back) **independent of the worker
+//! count**. The run is repeated at a small and at the acceptance
+//! group size over the same tensor so the constancy is witnessed, not
+//! just derived from the formula; the switch dataplane's own traffic
+//! (`k·n·4` in each direction) is attributed to the separate switch
+//! counters and must stay off every worker's books.
+//!
+//! [`BytesLedger`]: coconet_runtime::BytesLedger
+
+use coconet_runtime::{
+    run_ranks, switch_all_reduce, switch_all_reduce_wire_bytes, BytesLedger, Group,
+};
+use coconet_tensor::{DType, ReduceOp, Tensor};
+
+/// Elements of the measured switch AllReduce: 2^24 — the acceptance
+/// size — in release builds, which produce every committed
+/// `BENCH_coconet.json`. Debug builds (the unit-test suite) shrink to
+/// 2^18 so `cargo test` does not quantize 64 MiB per rank.
+pub const SWITCH_ELEMS: usize = if cfg!(debug_assertions) {
+    1 << 18
+} else {
+    1 << 24
+};
+
+/// Rank threads of the acceptance-geometry run.
+pub const SWITCH_RANKS: usize = 8;
+
+/// The contrast group size: same tensor, a quarter of the workers.
+/// Per-worker volume must not move.
+pub const SWITCH_RANKS_SMALL: usize = 2;
+
+/// One measured switch-collective run: per-worker and dataplane
+/// ledgers at both group sizes.
+#[derive(Clone, Debug)]
+pub struct SwitchLedgerRow {
+    /// Elements reduced (identical at both group sizes).
+    pub elems: usize,
+    /// Workers in the acceptance-geometry run.
+    pub ranks: usize,
+    /// Per-rank ledgers of the acceptance-geometry run.
+    pub ledgers: Vec<BytesLedger>,
+    /// Per-rank ledgers of the [`SWITCH_RANKS_SMALL`] run.
+    pub small_ledgers: Vec<BytesLedger>,
+}
+
+impl SwitchLedgerRow {
+    /// The analytic per-worker round trip: `2·n` quantization words.
+    pub fn analytic_bytes(&self) -> u64 {
+        switch_all_reduce_wire_bytes(self.elems)
+    }
+
+    /// Measured per-worker volume (sent + received) of rank 0 in the
+    /// acceptance run. Every rank must match it — enforced by
+    /// [`violations`](Self::violations).
+    pub fn per_worker_bytes(&self) -> u64 {
+        self.ledgers[0].bytes_sent + self.ledgers[0].bytes_received
+    }
+
+    /// Measured per-worker volume of the small-group run.
+    pub fn small_group_bytes(&self) -> u64 {
+        self.small_ledgers[0].bytes_sent + self.small_ledgers[0].bytes_received
+    }
+
+    /// The switch dataplane's own traffic in the acceptance run
+    /// (attributed to the hosting rank's switch counters, both
+    /// directions).
+    pub fn dataplane_bytes(&self) -> u64 {
+        self.ledgers
+            .iter()
+            .map(|l| l.switch_bytes_sent + l.switch_bytes_recv)
+            .sum()
+    }
+
+    /// Violations of the switch-volume invariants (empty when every
+    /// worker moved exactly `2·n` words at both group sizes and the
+    /// dataplane stayed off the worker books).
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let leg = self.analytic_bytes() / 2;
+        for (ledgers, k) in [
+            (&self.ledgers, self.ranks),
+            (&self.small_ledgers, SWITCH_RANKS_SMALL),
+        ] {
+            for (rank, l) in ledgers.iter().enumerate() {
+                if l.bytes_sent != leg || l.bytes_received != leg {
+                    v.push(format!(
+                        "switch AllReduce over {k} workers: rank {rank} moved \
+                         {} up / {} down bytes, analytic leg is {leg}",
+                        l.bytes_sent, l.bytes_received
+                    ));
+                }
+            }
+            // The dataplane lives on the group's first rank and turns
+            // around exactly k legs in each direction.
+            let dataplane: u64 = k as u64 * leg;
+            if ledgers[0].switch_bytes_recv != dataplane
+                || ledgers[0].switch_bytes_sent != dataplane
+            {
+                v.push(format!(
+                    "switch dataplane over {k} workers aggregated {} / multicast {} \
+                     bytes, expected {dataplane} each way",
+                    ledgers[0].switch_bytes_recv, ledgers[0].switch_bytes_sent
+                ));
+            }
+            for (rank, l) in ledgers.iter().enumerate().skip(1) {
+                if l.switch_bytes_sent != 0 || l.switch_bytes_recv != 0 {
+                    v.push(format!(
+                        "rank {rank} recorded switch-dataplane traffic but rank 0 \
+                         hosts the switch"
+                    ));
+                }
+            }
+        }
+        if self.per_worker_bytes() != self.small_group_bytes() {
+            v.push(format!(
+                "per-worker volume moved with the group size: {} bytes at {} \
+                 workers vs {} at {} — in-network aggregation must be constant in k",
+                self.per_worker_bytes(),
+                self.ranks,
+                self.small_group_bytes(),
+                SWITCH_RANKS_SMALL,
+            ));
+        }
+        v
+    }
+}
+
+/// Runs the measured switch collective at both group sizes and
+/// collects every rank's ledger.
+pub fn switch_ledger_bench(elems: usize) -> SwitchLedgerRow {
+    SwitchLedgerRow {
+        elems,
+        ranks: SWITCH_RANKS,
+        ledgers: metered_switch(elems, SWITCH_RANKS),
+        small_ledgers: metered_switch(elems, SWITCH_RANKS_SMALL),
+    }
+}
+
+/// One switch AllReduce over fresh rank threads; spot-checks the
+/// reduction so the ledger cannot be satisfied by a no-op.
+fn metered_switch(elems: usize, ranks: usize) -> Vec<BytesLedger> {
+    run_ranks(ranks, move |comm| {
+        let group = Group {
+            start: 0,
+            size: ranks,
+        };
+        let rank = comm.rank() as f32;
+        // Values on the 1/16 fixed-point lattice, so the quantized
+        // reduction is exact and the spot-check is strict.
+        let input = Tensor::from_fn([elems], DType::F32, move |i| rank + (i % 13) as f32 / 16.0);
+        comm.reset_ledger();
+        let out = switch_all_reduce(&comm, group, &input, ReduceOp::Sum);
+        assert_eq!(out.numel(), elems);
+        let want: f32 = (0..ranks).map(|r| r as f32).sum();
+        assert_eq!(out.get(0), want);
+        comm.ledger()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small-size run: the invariants hold and the volume really is
+    /// constant across group sizes (the acceptance-size run lives in
+    /// the trajectory, measured under `--release`).
+    #[test]
+    fn switch_ledger_is_exact_and_constant_in_group_size() {
+        let row = SwitchLedgerRow {
+            elems: 1 << 12,
+            ranks: SWITCH_RANKS,
+            ledgers: metered_switch(1 << 12, SWITCH_RANKS),
+            small_ledgers: metered_switch(1 << 12, SWITCH_RANKS_SMALL),
+        };
+        assert_eq!(row.violations(), Vec::<String>::new());
+        assert_eq!(row.per_worker_bytes(), row.analytic_bytes());
+        assert_eq!(row.per_worker_bytes(), (1u64 << 12) * 2 * 4);
+        // Dataplane turns around k legs each way on the hosting rank.
+        assert_eq!(
+            row.dataplane_bytes(),
+            SWITCH_RANKS as u64 * 2 * (1u64 << 12) * 4
+        );
+    }
+}

@@ -1,8 +1,9 @@
 //! The machine-readable benchmark trajectory: every CI run distills
 //! the paper's headline experiments (Tables 2/3/4, Figures 1/10/11),
-//! the collective-algorithm ablation (ring / tree / hierarchical),
-//! and the measured zero-copy runtime rows (`microbench_zero_copy`,
-//! `ledger_allreduce`) into one `BENCH_coconet.json`, the
+//! the collective-algorithm ablation (ring / tree / hierarchical /
+//! switch, over message size and over worker count), and the measured
+//! runtime rows (`microbench_zero_copy`, `ledger_allreduce`,
+//! `ledger_switch`) into one `BENCH_coconet.json`, the
 //! perf-trajectory source of truth the repository tracks across PRs.
 //!
 //! Schema — one top-level object, experiment name → row:
@@ -115,6 +116,12 @@ pub fn collect(quick: bool) -> Result<Trajectory, String> {
     ];
     let (zc_rows, mut gate_failures) = zero_copy_experiments();
     results.extend(zc_rows);
+    let (switch_row, switch_failures) = switch_worker_ablation();
+    results.push(switch_row);
+    gate_failures.extend(switch_failures);
+    let (sledger_row, sledger_failures) = switch_ledger_experiment();
+    results.push(sledger_row);
+    gate_failures.extend(sledger_failures);
     let (comp_row, comp_failures) = compression_ledger();
     results.push(comp_row);
     gate_failures.extend(comp_failures);
@@ -169,23 +176,133 @@ fn fig11() -> ExperimentResult {
 /// its `coconet_s` is the best algorithm — so the small-message row
 /// shows the tree's win (speedup > 1) and the large-message row shows
 /// the ring staying optimal (speedup 1.0), the size crossover the
-/// autotuner's algorithm dimension exists to exploit.
+/// autotuner's algorithm dimension exists to exploit. The switch
+/// column rides along but stays behind at this dense 8-rank/node
+/// geometry; its win is the worker-count axis
+/// ([`switch_worker_ablation`]).
 fn algo_ablation(name: &'static str, log2_elems: u32) -> ExperimentResult {
     let (_, times) = experiments::ablation_algorithms(&[log2_elems])
         .pop()
         .expect("one exponent");
-    let [ring, tree, hier] = times;
-    let best = ring.min(tree).min(hier);
+    let [ring, tree, hier, switch] = times;
+    let best = ring.min(tree).min(hier).min(switch);
     let winner = experiments::algo_winner(&times);
     let mut row = ExperimentResult::analytic(name, ring, best);
     row.extra = vec![
         ("ring_s".into(), Json::Num(ring)),
         ("tree_s".into(), Json::Num(tree)),
         ("hierarchical_s".into(), Json::Num(hier)),
+        ("switch_s".into(), Json::Num(switch)),
         ("winner".into(), Json::Str(winner.into())),
         ("log2_elems".into(), Json::Num(f64::from(log2_elems))),
     ];
     row
+}
+
+/// The in-network aggregation ablation over *worker count*: AllReduce
+/// of 2^18 F32 elements at 1 rank/node, every algorithm at its own
+/// best `protocol × channels`, at 2 and at 32 workers. The row's
+/// baseline is the best host-side algorithm at 32 workers and its
+/// `coconet_s` is the switch — so the gated speedup is the in-network
+/// win at scale, while the 2-worker columns pin the other side of the
+/// crossover (a plain ring beats the switch's quantize/dequantize
+/// latency in a tiny group). Both ends of the crossover are enforced
+/// as gate failures, the same treatment as a ledger inconsistency.
+fn switch_worker_ablation() -> (ExperimentResult, Vec<String>) {
+    let rows = experiments::ablation_switch_workers(&[2, 32]);
+    let (_, [ring_2, tree_2, hier_2, switch_2]) = rows[0];
+    let (_, [ring_32, tree_32, hier_32, switch_32]) = rows[1];
+    let host_best_32 = ring_32.min(tree_32).min(hier_32);
+    let mut row = ExperimentResult::analytic("ablation_switch_workers", host_best_32, switch_32);
+    row.extra = vec![
+        ("ring_2_s".into(), Json::Num(ring_2)),
+        ("switch_2_s".into(), Json::Num(switch_2)),
+        ("ring_32_s".into(), Json::Num(ring_32)),
+        ("tree_32_s".into(), Json::Num(tree_32)),
+        ("hierarchical_32_s".into(), Json::Num(hier_32)),
+        ("switch_32_s".into(), Json::Num(switch_32)),
+        (
+            "winner_2".into(),
+            Json::Str(experiments::algo_winner(&rows[0].1).into()),
+        ),
+        (
+            "winner_32".into(),
+            Json::Str(experiments::algo_winner(&rows[1].1).into()),
+        ),
+        ("log2_elems".into(), Json::Num(18.0)),
+    ];
+    let mut failures = Vec::new();
+    if switch_32 >= host_best_32 {
+        failures.push(format!(
+            "ablation_switch_workers: switch lost at 32 workers \
+             ({switch_32:.3e}s vs best host-side {host_best_32:.3e}s) — \
+             in-network aggregation must win at scale"
+        ));
+    }
+    if switch_2 <= ring_2.min(tree_2).min(hier_2) {
+        failures.push(format!(
+            "ablation_switch_workers: switch won at 2 workers \
+             ({switch_2:.3e}s) — the crossover collapsed, check the \
+             switch_process knob"
+        ));
+    }
+    (row, failures)
+}
+
+/// The measured in-network aggregation row: real [`switch_all_reduce`]
+/// runs of [`SWITCH_ELEMS`](crate::switchnet::SWITCH_ELEMS) F32
+/// elements over 8 and over 2 worker threads. The row's
+/// baseline/coconet pair is *bytes per worker* (measured round trip
+/// over the analytic `2·n` quantization words), so its speedup is
+/// exactly 1.0 for a healthy run at any group size. Volume deviations
+/// — a worker off the `2·n` contract, per-worker bytes moving with
+/// the worker count, dataplane traffic leaking onto a worker's books —
+/// are gate failures.
+///
+/// [`switch_all_reduce`]: coconet_runtime::switch_all_reduce
+fn switch_ledger_experiment() -> (ExperimentResult, Vec<String>) {
+    use crate::switchnet::{switch_ledger_bench, SWITCH_ELEMS, SWITCH_RANKS_SMALL};
+    let row = switch_ledger_bench(SWITCH_ELEMS);
+    let mut result = ExperimentResult::analytic(
+        "ledger_switch",
+        row.per_worker_bytes() as f64,
+        row.analytic_bytes() as f64,
+    );
+    result.extra = vec![
+        ("unit".into(), Json::Str("bytes per worker".into())),
+        ("elems".into(), Json::Num(row.elems as f64)),
+        ("ranks".into(), Json::Num(row.ranks as f64)),
+        (
+            "bytes_sent".into(),
+            Json::Num(row.ledgers[0].bytes_sent as f64),
+        ),
+        (
+            "bytes_received".into(),
+            Json::Num(row.ledgers[0].bytes_received as f64),
+        ),
+        (
+            "analytic_bytes".into(),
+            Json::Num(row.analytic_bytes() as f64),
+        ),
+        (
+            "small_group_ranks".into(),
+            Json::Num(SWITCH_RANKS_SMALL as f64),
+        ),
+        (
+            "small_group_bytes".into(),
+            Json::Num(row.small_group_bytes() as f64),
+        ),
+        (
+            "dataplane_bytes".into(),
+            Json::Num(row.dataplane_bytes() as f64),
+        ),
+    ];
+    let failures = row
+        .violations()
+        .into_iter()
+        .map(|v| format!("ledger_switch: {v}"))
+        .collect();
+    (result, failures)
 }
 
 /// The measured zero-copy rows: one real ring AllReduce of
@@ -719,6 +836,32 @@ mod tests {
             "large-message winner"
         );
         assert_eq!(large.get("speedup").and_then(Json::as_f64), Some(1.0));
+        // Every size row carries the fourth (switch) column.
+        assert!(large.get("switch_s").and_then(Json::as_f64).unwrap() > 0.0);
+        // The worker-count ablation exhibits the in-network crossover:
+        // the ring wins the 2-worker group, the switch wins at 32.
+        let sw = back.get("ablation_switch_workers").expect("switch row");
+        assert_eq!(sw.get("winner_2").and_then(Json::as_str), Some("ring"));
+        assert_eq!(sw.get("winner_32").and_then(Json::as_str), Some("switch"));
+        assert!(
+            sw.get("speedup").and_then(Json::as_f64).unwrap() > 1.0,
+            "switch must beat every host-side algorithm at 32 workers"
+        );
+        // The measured switch-ledger row: exactly 2·n quantization
+        // words per worker, identical at both group sizes.
+        let sledger = back.get("ledger_switch").expect("switch ledger row");
+        assert_eq!(sledger.get("speedup").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            sledger.get("small_group_bytes").and_then(Json::as_f64),
+            sledger.get("analytic_bytes").and_then(Json::as_f64),
+        );
+        assert_eq!(
+            sledger.get("bytes_sent").and_then(Json::as_f64).unwrap() * 2.0,
+            sledger
+                .get("analytic_bytes")
+                .and_then(Json::as_f64)
+                .unwrap(),
+        );
         // The measured zero-copy rows: the substrate beats the
         // deep-copy reconstruction, and the ledger matches the
         // analytic wire volume exactly (speedup is bytes/bytes = 1).

@@ -11,8 +11,10 @@
 //! streams move a fraction of the dense volume, with a dense switchover
 //! once density makes the sparse form larger. [`WireFormat`] is that
 //! dimension; this crate holds the codecs, the deterministic top-k
-//! selection with SparCML-style error-feedback residuals, and the
-//! analytic wire-volume formulas the bytes ledger and the simulator's
+//! selection with SparCML-style error-feedback residuals, the Q15.16
+//! fixed-point quantizer the in-network aggregation path
+//! (`CollAlgo::Switch`, SwitchML-style) rides, and the analytic
+//! wire-volume formulas the bytes ledger and the simulator's
 //! admissible pruning bounds share.
 //!
 //! Layering: `coconet-compress` sits between the tensor substrate and
@@ -24,7 +26,7 @@
 
 use std::fmt;
 
-use coconet_tensor::{DType, SparseChunk, Tensor, SPARSE_ENTRY_BYTES};
+use coconet_tensor::{DType, ReduceOp, SparseChunk, Tensor, SPARSE_ENTRY_BYTES};
 
 /// How a collective's payload is represented on the wire.
 ///
@@ -182,6 +184,152 @@ pub fn sparse_all_reduce_rounds(p: u64) -> u64 {
     } else {
         p - 1
     }
+}
+
+/// Fractional bits of the switch wire's fixed-point format (Q15.16,
+/// SwitchML-style): values are scaled by `2^16` and rounded to `i32`
+/// words, so the switch can aggregate with plain saturating integer
+/// adds. Chosen so gradient-scale magnitudes (`|v| ≲ 100`) round-trip
+/// within `2^-16` while the integer range still reaches `±32768`.
+pub const FIXED_POINT_FRAC_BITS: u32 = 16;
+
+/// The fixed-point scale, `2^FIXED_POINT_FRAC_BITS` (exactly 65536.0).
+pub const FIXED_POINT_SCALE: f32 = (1u32 << FIXED_POINT_FRAC_BITS) as f32;
+
+/// Bytes of one fixed-point wire word (`i32`). The switch wire always
+/// carries 4-byte words regardless of the payload's element type —
+/// FP16 payloads widen on the switch wire.
+pub const QUANT_WORD_BYTES: usize = 4;
+
+/// Quantizes one value to a Q15.16 fixed-point word.
+///
+/// The round-trip contract ([`dequantize_value`] of this):
+///
+/// - for finite `|v| ≤ 128.0` the absolute error is at most
+///   `1.0 / FIXED_POINT_SCALE` (half a quantization step from the
+///   round-to-nearest, plus at most half an integer step of f32
+///   multiply rounding — the product stays below `2^23` where the f32
+///   ULP is 1);
+/// - `|v| ≥ i32::MAX / FIXED_POINT_SCALE` (≈ 32768) saturates to
+///   `i32::MAX` / `i32::MIN` — the SwitchML clamp, never a wrap;
+/// - `+∞` / `−∞` saturate like out-of-range values; `NaN` maps to 0;
+/// - subnormals (and everything below `0.5 / FIXED_POINT_SCALE` in
+///   magnitude) quantize to exactly 0.
+///
+/// Quantization is monotone (non-strictly), so `Min`/`Max` reductions
+/// commute with it and the switch can serve those ops too.
+pub fn quantize_value(v: f32) -> i32 {
+    // `as` saturates on overflow and maps NaN to 0 — exactly the
+    // contract above, for free.
+    (v * FIXED_POINT_SCALE).round() as i32
+}
+
+/// The inverse of [`quantize_value`]: `q / 2^16`. Exact for `|q| <
+/// 2^24`; beyond that the f32 mantissa rounds (relative error ≤ 2^-24).
+pub fn dequantize_value(q: i32) -> f32 {
+    q as f32 / FIXED_POINT_SCALE
+}
+
+/// A fixed-point-quantized payload: the wire unit of the in-network
+/// aggregation path (`CollAlgo::Switch`). Workers quantize their dense
+/// tensors into `QuantChunk`s, the emulated switch folds them with
+/// saturating integer arithmetic, and every worker dequantizes the
+/// multicast result.
+///
+/// The scale travels with the chunk (as SwitchML's scaling exponent
+/// does) and aggregation insists both sides agree, so a mixed-scale
+/// fold can never silently produce garbage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantChunk {
+    values: Vec<i32>,
+    scale: f32,
+}
+
+impl QuantChunk {
+    /// Quantizes a tensor elementwise (see [`quantize_value`] for the
+    /// round-trip contract).
+    pub fn quantize(t: &Tensor) -> QuantChunk {
+        let values = match t.as_f32_slice() {
+            Some(vals) => vals.iter().map(|&v| quantize_value(v)).collect(),
+            None => (0..t.numel()).map(|i| quantize_value(t.get(i))).collect(),
+        };
+        QuantChunk {
+            values,
+            scale: FIXED_POINT_SCALE,
+        }
+    }
+
+    /// Number of fixed-point words.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The scale the values were quantized under.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The raw fixed-point words.
+    pub fn values(&self) -> &[i32] {
+        &self.values
+    }
+
+    /// Bytes this chunk occupies on the wire: `len · 4` (the scale
+    /// header is excluded, like every other wire header).
+    pub fn wire_bytes(&self) -> u64 {
+        self.values.len() as u64 * QUANT_WORD_BYTES as u64
+    }
+
+    /// Folds another worker's contribution into this one in the
+    /// switch's integer domain: saturating adds for `Sum` (the
+    /// SwitchML dataplane op), integer `min`/`max` otherwise (valid
+    /// because quantization is monotone).
+    ///
+    /// # Panics
+    ///
+    /// When the chunks disagree on length or scale — a protocol error,
+    /// not a data condition.
+    pub fn accumulate(&mut self, other: &QuantChunk, op: ReduceOp) {
+        assert_eq!(
+            self.values.len(),
+            other.values.len(),
+            "switch aggregation requires equal-length chunks"
+        );
+        assert_eq!(
+            self.scale, other.scale,
+            "switch aggregation requires a common fixed-point scale"
+        );
+        for (a, &b) in self.values.iter_mut().zip(&other.values) {
+            *a = match op {
+                ReduceOp::Sum => a.saturating_add(b),
+                ReduceOp::Min => (*a).min(b),
+                ReduceOp::Max => (*a).max(b),
+            };
+        }
+    }
+
+    /// Dequantizes into a flat tensor of `dtype` (the caller reshapes
+    /// if the original payload was multi-dimensional).
+    pub fn dequantize(&self, dtype: DType) -> Tensor {
+        let vals: Vec<f32> = self.values.iter().map(|&q| dequantize_value(q)).collect();
+        Tensor::from_f32_vec([vals.len()], dtype, vals).expect("length matches shape")
+    }
+}
+
+/// The analytic per-worker send volume of the switch AllReduce of an
+/// `n`-element tensor: one quantized copy up to the switch and one
+/// multicast copy back down — `2 · n · 4` bytes, *independent of the
+/// worker count* (SwitchML's headline property, vs the ring's
+/// `2(p−1)/p` factor). The word size is fixed at 4 bytes whatever the
+/// payload dtype, so FP16 payloads pay a 2× wire widening for the
+/// constant-in-`p` exchange.
+pub fn switch_all_reduce_wire_bytes(n: u64) -> u64 {
+    2 * n * QUANT_WORD_BYTES as u64
 }
 
 /// Deterministic top-k sparsification: the `k` largest-magnitude
@@ -413,7 +561,92 @@ mod tests {
         assert_eq!(ef.residual().unwrap().get(1), 0.5 + 1.0);
     }
 
+    #[test]
+    fn fixed_point_pinned_edge_cases() {
+        // Saturation: past ±i32::MAX/2^16 ≈ ±32768 the cast clamps.
+        assert_eq!(quantize_value(1.0e9), i32::MAX);
+        assert_eq!(quantize_value(-1.0e9), i32::MIN);
+        assert_eq!(quantize_value(f32::INFINITY), i32::MAX);
+        assert_eq!(quantize_value(f32::NEG_INFINITY), i32::MIN);
+        // NaN maps to zero (the `as` cast's defined behavior).
+        assert_eq!(quantize_value(f32::NAN), 0);
+        // Subnormals and anything below half a step flush to zero.
+        assert_eq!(quantize_value(f32::MIN_POSITIVE / 2.0), 0);
+        assert_eq!(quantize_value(0.4 / FIXED_POINT_SCALE), 0);
+        // ...and half a step rounds away from zero.
+        assert_eq!(quantize_value(0.5 / FIXED_POINT_SCALE), 1);
+        assert_eq!(quantize_value(-0.5 / FIXED_POINT_SCALE), -1);
+        // Exact lattice points round-trip exactly.
+        assert_eq!(dequantize_value(quantize_value(1.0)), 1.0);
+        assert_eq!(dequantize_value(quantize_value(-2.5)), -2.5);
+        assert_eq!(dequantize_value(0), 0.0);
+        assert_eq!(FIXED_POINT_SCALE, 65536.0);
+    }
+
+    #[test]
+    fn quant_chunk_aggregates_with_saturation() {
+        let a = Tensor::from_f32([3], DType::F32, &[1.0, -2.0, 30000.0]).unwrap();
+        let b = Tensor::from_f32([3], DType::F32, &[0.5, -2.0, 30000.0]).unwrap();
+        let mut qa = QuantChunk::quantize(&a);
+        let qb = QuantChunk::quantize(&b);
+        assert_eq!(qa.len(), 3);
+        assert_eq!(qa.wire_bytes(), 12);
+        assert_eq!(qa.scale(), FIXED_POINT_SCALE);
+        qa.accumulate(&qb, ReduceOp::Sum);
+        let sum = qa.dequantize(DType::F32);
+        assert_eq!(sum.get(0), 1.5);
+        assert_eq!(sum.get(1), -4.0);
+        // 60000 exceeds the ±32768 fixed-point range: the saturating
+        // add clamps instead of wrapping to a negative value.
+        assert!(
+            sum.get(2) > 32000.0,
+            "saturated, not wrapped: {}",
+            sum.get(2)
+        );
+        // Min/Max commute with the (monotone) quantization.
+        let mut qmin = QuantChunk::quantize(&a);
+        qmin.accumulate(&QuantChunk::quantize(&b), ReduceOp::Min);
+        assert_eq!(qmin.dequantize(DType::F32).get(0), 0.5);
+        let mut qmax = QuantChunk::quantize(&a);
+        qmax.accumulate(&QuantChunk::quantize(&b), ReduceOp::Max);
+        assert_eq!(qmax.dequantize(DType::F32).get(0), 1.0);
+    }
+
+    #[test]
+    fn switch_volume_is_constant_in_worker_count() {
+        let n = 1u64 << 24;
+        let expected = 2 * n * 4;
+        assert_eq!(switch_all_reduce_wire_bytes(n), expected);
+        // The per-worker ring volume grows with p toward 2n·ds; the
+        // switch volume is the same expression at every p.
+        for p in [2u64, 8, 32, 256] {
+            assert!(switch_all_reduce_wire_bytes(n) == expected, "p = {p}");
+            let ring = dense_ring_all_reduce_wire_bytes(n, p, DType::F32);
+            assert!(ring <= expected, "dense F32 ring never exceeds 2n words");
+        }
+    }
+
     proptest! {
+        /// Fixed-point round-trip: within 1/2^16 absolute error for
+        /// gradient-scale magnitudes (half a quantization step plus at
+        /// most half a step of f32 multiply rounding).
+        #[test]
+        fn fixed_point_round_trip_within_one_step(v in -128.0f32..128.0) {
+            let rt = dequantize_value(quantize_value(v));
+            prop_assert!(
+                (rt - v).abs() <= 1.0 / FIXED_POINT_SCALE,
+                "round-trip {v} -> {rt}"
+            );
+        }
+
+        /// Quantization is monotone — the property that makes Min/Max
+        /// switch reductions sound.
+        #[test]
+        fn quantization_is_monotone(a in -40000.0f32..40000.0, b in -40000.0f32..40000.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(quantize_value(lo) <= quantize_value(hi));
+        }
+
         /// Sparsify keeps exactly min(k, n) entries and they dominate
         /// everything it dropped.
         #[test]

@@ -160,8 +160,9 @@ impl TuneReport {
 pub struct Autotuner {
     /// Maximum number of transformations in a schedule.
     pub max_depth: usize,
-    /// Collective algorithms to sweep (ring / tree / hierarchical —
-    /// the logical topologies of §5.1).
+    /// Collective algorithms to sweep (ring / tree / hierarchical /
+    /// in-network switch — the logical topologies of §5.1 plus the
+    /// SwitchML-style aggregation switch).
     pub algos: Vec<CollAlgo>,
     /// Protocols to sweep.
     pub protocols: Vec<Protocol>,

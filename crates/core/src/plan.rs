@@ -59,11 +59,23 @@ pub enum CollAlgo {
     /// Two-level: intra-node ring over NVLink, inter-node exchange
     /// across node leaders over InfiniBand (the DGX-2 shape).
     Hierarchical,
+    /// In-network aggregation (SwitchML-style): every worker streams
+    /// fixed-point-quantized chunks to a programmable switch that
+    /// aggregates them in flight and multicasts the result back.
+    /// Per-worker AllReduce volume is exactly `2·n` wire words — two
+    /// hops, *constant in the number of workers* — at the price of an
+    /// integer-quantized wire.
+    Switch,
 }
 
 impl CollAlgo {
     /// All algorithms, for autotuner sweeps.
-    pub const ALL: [CollAlgo; 3] = [CollAlgo::Ring, CollAlgo::Tree, CollAlgo::Hierarchical];
+    pub const ALL: [CollAlgo; 4] = [
+        CollAlgo::Ring,
+        CollAlgo::Tree,
+        CollAlgo::Hierarchical,
+        CollAlgo::Switch,
+    ];
 
     /// Position of this algorithm in [`CollAlgo::ALL`] (for
     /// per-algorithm lookup tables).
@@ -72,6 +84,7 @@ impl CollAlgo {
             CollAlgo::Ring => 0,
             CollAlgo::Tree => 1,
             CollAlgo::Hierarchical => 2,
+            CollAlgo::Switch => 3,
         }
     }
 }
@@ -82,6 +95,7 @@ impl fmt::Display for CollAlgo {
             CollAlgo::Ring => write!(f, "Ring"),
             CollAlgo::Tree => write!(f, "Tree"),
             CollAlgo::Hierarchical => write!(f, "Hier"),
+            CollAlgo::Switch => write!(f, "Switch"),
         }
     }
 }
@@ -585,6 +599,14 @@ mod tests {
         assert_eq!(CollAlgo::Ring.to_string(), "Ring");
         assert_eq!(CollAlgo::Tree.to_string(), "Tree");
         assert_eq!(CollAlgo::Hierarchical.to_string(), "Hier");
+        assert_eq!(CollAlgo::Switch.to_string(), "Switch");
+    }
+
+    #[test]
+    fn algo_index_matches_position_in_all() {
+        for (i, a) in CollAlgo::ALL.into_iter().enumerate() {
+            assert_eq!(a.index(), i);
+        }
     }
 
     #[test]

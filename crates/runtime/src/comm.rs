@@ -14,19 +14,24 @@
 use std::cell::RefCell;
 use std::collections::VecDeque;
 
+use coconet_compress::QuantChunk;
 use coconet_tensor::{SparseChunk, Tensor};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::ledger::{BytesLedger, LedgerState};
 
-/// One message on the wire: a dense tensor payload or a sparse
-/// `(index, value)` chunk.
+/// One message on the wire: a dense tensor payload, a sparse
+/// `(index, value)` chunk, or a fixed-point quantized chunk bound for
+/// (or folded by) the emulated aggregation switch.
 #[derive(Clone, Debug)]
 pub enum WireMsg {
     /// A dense tensor (a copy-on-write buffer handle).
     Tensor(Tensor),
     /// A top-k sparsified chunk.
     Sparse(SparseChunk),
+    /// A fixed-point quantized chunk of the in-network switch
+    /// AllReduce — `i32` words on the wire regardless of payload dtype.
+    Quantized(QuantChunk),
 }
 
 impl WireMsg {
@@ -36,6 +41,7 @@ impl WireMsg {
         match self {
             WireMsg::Tensor(t) => t.size_bytes(),
             WireMsg::Sparse(c) => c.wire_bytes(),
+            WireMsg::Quantized(c) => c.wire_bytes() as usize,
         }
     }
 }
@@ -179,6 +185,40 @@ impl RankComm {
             .unwrap_or_else(|_| panic!("rank {dst} hung up"));
     }
 
+    /// Sends a message *as the emulated aggregation switch* — the
+    /// multicast leg of `CollAlgo::Switch`. Accounted in the
+    /// switch-attributed ledger counters
+    /// ([`BytesLedger::switch_bytes_sent`]), not the worker-side ones:
+    /// a real switch is not a worker, so the rank hosting the emulation
+    /// must still satisfy the per-worker `2·n` volume invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range or the destination endpoint was
+    /// dropped.
+    pub fn send_switch(&self, dst: usize, msg: WireMsg) {
+        self.ledger.record_switch_send(msg.wire_bytes());
+        self.to[dst]
+            .send(Packet::Plain(msg))
+            .unwrap_or_else(|_| panic!("rank {dst} hung up"));
+    }
+
+    /// Tagged variant of [`send_switch`](RankComm::send_switch) for the
+    /// streamed scheduler: the switch's multicast of job `job`'s folded
+    /// chunk. No priority class is recorded — dataplane traffic is not
+    /// a worker send — but the job tag keeps streams separable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range or the destination endpoint was
+    /// dropped.
+    pub fn send_tagged_switch(&self, dst: usize, job: u64, msg: WireMsg) {
+        self.ledger.record_switch_send(msg.wire_bytes());
+        self.to[dst]
+            .send(Packet::Tagged { job, msg })
+            .unwrap_or_else(|_| panic!("rank {dst} hung up"));
+    }
+
     /// Receives the next tensor sent by `src` (blocking).
     ///
     /// # Panics
@@ -189,9 +229,7 @@ impl RankComm {
     pub fn recv(&self, src: usize) -> Tensor {
         match self.recv_msg(src) {
             WireMsg::Tensor(t) => t,
-            WireMsg::Sparse(_) => {
-                panic!("rank {src} sent a sparse chunk where a tensor was expected")
-            }
+            other => panic!("rank {src} sent {other:?} where a tensor was expected"),
         }
     }
 
@@ -204,9 +242,7 @@ impl RankComm {
     pub fn recv_sparse(&self, src: usize) -> SparseChunk {
         match self.recv_msg(src) {
             WireMsg::Sparse(c) => c,
-            WireMsg::Tensor(_) => {
-                panic!("rank {src} sent a tensor where a sparse chunk was expected")
-            }
+            other => panic!("rank {src} sent {other:?} where a sparse chunk was expected"),
         }
     }
 
@@ -217,11 +253,30 @@ impl RankComm {
     /// Panics if `src` is out of range or the source endpoint was
     /// dropped without sending.
     pub fn recv_msg(&self, src: usize) -> WireMsg {
+        self.recv_msg_attr(src, false)
+    }
+
+    /// Receives the next message from `src` *as the emulated
+    /// aggregation switch* — the gather leg of `CollAlgo::Switch`. The
+    /// bytes land in [`BytesLedger::switch_bytes_recv`] instead of the
+    /// worker-side counters. Attribution happens at pull time: a
+    /// message stashed while the dataplane was draining keeps its
+    /// switch attribution even if a worker-side call later consumes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range or the source endpoint was
+    /// dropped without sending.
+    pub fn recv_switch(&self, src: usize) -> WireMsg {
+        self.recv_msg_attr(src, true)
+    }
+
+    fn recv_msg_attr(&self, src: usize, switch_side: bool) -> WireMsg {
         if let Some(msg) = self.plain_stash[src].borrow_mut().pop_front() {
             return msg;
         }
         loop {
-            match self.pull(src) {
+            match self.pull(src, switch_side) {
                 Packet::Plain(msg) => return msg,
                 Packet::Tagged { job, msg, .. } => {
                     self.tagged_stash[src].borrow_mut().push_back((job, msg));
@@ -245,7 +300,7 @@ impl RankComm {
             return msg;
         }
         loop {
-            match self.pull(src) {
+            match self.pull(src, false) {
                 Packet::Plain(msg) => self.plain_stash[src].borrow_mut().push_back(msg),
                 Packet::Tagged { job: j, msg, .. } => {
                     if j == job {
@@ -261,13 +316,23 @@ impl RankComm {
     /// whatever has already arrived from `src` and returns `job`'s next
     /// chunk if it is among it.
     pub fn try_recv_tagged(&self, src: usize, job: u64) -> Option<WireMsg> {
+        self.try_recv_tagged_attr(src, job, false)
+    }
+
+    /// Non-blocking tagged receive *as the emulated aggregation
+    /// switch* — the gather leg of a streamed `SwitchJob`. Bytes land
+    /// in [`BytesLedger::switch_bytes_recv`]; attribution is at pull
+    /// time, as for [`recv_switch`](RankComm::recv_switch).
+    pub fn try_recv_tagged_switch(&self, src: usize, job: u64) -> Option<WireMsg> {
+        self.try_recv_tagged_attr(src, job, true)
+    }
+
+    fn try_recv_tagged_attr(&self, src: usize, job: u64, switch_side: bool) -> Option<WireMsg> {
         if let Some(msg) = self.take_stashed_tagged(src, job) {
             return Some(msg);
         }
         while let Ok(packet) = self.from[src].try_recv() {
-            self.ledger.record_recv(match &packet {
-                Packet::Plain(m) | Packet::Tagged { msg: m, .. } => m.wire_bytes(),
-            });
+            self.record_pulled(&packet, switch_side);
             match packet {
                 Packet::Plain(msg) => self.plain_stash[src].borrow_mut().push_back(msg),
                 Packet::Tagged { job: j, msg, .. } => {
@@ -282,15 +347,25 @@ impl RankComm {
     }
 
     /// Pulls the next packet off `src`'s channel, recording its wire
-    /// bytes as received.
-    fn pull(&self, src: usize) -> Packet {
+    /// bytes as received — on the worker-side or switch-side counters
+    /// per `switch_side`.
+    fn pull(&self, src: usize, switch_side: bool) -> Packet {
         let packet = self.from[src]
             .recv()
             .unwrap_or_else(|_| panic!("rank {src} hung up"));
-        self.ledger.record_recv(match &packet {
-            Packet::Plain(m) | Packet::Tagged { msg: m, .. } => m.wire_bytes(),
-        });
+        self.record_pulled(&packet, switch_side);
         packet
+    }
+
+    fn record_pulled(&self, packet: &Packet, switch_side: bool) {
+        let bytes = match packet {
+            Packet::Plain(m) | Packet::Tagged { msg: m, .. } => m.wire_bytes(),
+        };
+        if switch_side {
+            self.ledger.record_switch_recv(bytes);
+        } else {
+            self.ledger.record_recv(bytes);
+        }
     }
 
     /// Removes and returns `job`'s first stashed chunk from `src`.

@@ -26,6 +26,7 @@ use coconet_tensor::{ReduceOp, SparseChunk, Tensor};
 use crate::collectives::Group;
 use crate::hierarchical::hierarchical_all_reduce_wire;
 use crate::ring_all_reduce_wire;
+use crate::switch::switch_all_reduce;
 use crate::tree::tree_all_reduce_wire;
 use crate::RankComm;
 
@@ -83,6 +84,10 @@ pub fn all_reduce_wire(
         CollAlgo::Hierarchical => {
             hierarchical_all_reduce_wire(comm, group, input, op, ranks_per_node, format)
         }
+        // The switch wire is fixed-point i32 regardless of the
+        // configured dense format — FP16 neither helps nor hurts it,
+        // exactly as the cost model prices.
+        CollAlgo::Switch => switch_all_reduce(comm, group, input, op),
     }
 }
 

@@ -401,10 +401,12 @@ fn execute_rank(
 
     // Priority streaming applies to the ring on a dense/FP16 wire (the
     // formats whose streamed ring is bit-identical to the blocking
-    // one); everything else keeps the blocking collectives, which is
-    // always semantically safe — Barriered is the identity schedule.
+    // one) and to the in-network switch (whose streamed job folds in
+    // the same ascending position order as the blocking path);
+    // everything else keeps the blocking collectives, which is always
+    // semantically safe — Barriered is the identity schedule.
     let streaming = opts.sched == CommSched::Priority
-        && opts.algo == CollAlgo::Ring
+        && matches!(opts.algo, CollAlgo::Ring | CollAlgo::Switch)
         && !matches!(opts.format, WireFormat::TopK { .. });
     let trailing = if streaming {
         trailing_all_reduces(program)
@@ -621,7 +623,11 @@ fn execute_iteration(
                         let _ = sched.wait(comm, prev);
                     }
                     let id = iter * n_sites + ordinal;
-                    sched.enqueue(id, class, group, &input.local, op, opts.format);
+                    if opts.algo == CollAlgo::Switch {
+                        sched.enqueue_switch(id, class, group, &input.local, op);
+                    } else {
+                        sched.enqueue(id, class, group, &input.local, op, opts.format);
+                    }
                     pending.insert(v, id);
                     None
                 }
@@ -740,7 +746,12 @@ fn reduce_scatter(
 ) -> Tensor {
     let wire = rs_ag_format(opts.format);
     match opts.algo {
-        CollAlgo::Ring | CollAlgo::Tree => ring_reduce_scatter_wire(comm, group, input, op, wire),
+        // The switch aggregates whole tensors; like the tree it has no
+        // scatter/gather form and falls back to the ring (mirroring the
+        // cost model's `effective_algo`).
+        CollAlgo::Ring | CollAlgo::Tree | CollAlgo::Switch => {
+            ring_reduce_scatter_wire(comm, group, input, op, wire)
+        }
         CollAlgo::Hierarchical => {
             hierarchical_reduce_scatter_wire(comm, group, input, op, opts.ranks_per_node, wire)
         }
@@ -752,7 +763,9 @@ fn reduce_scatter(
 fn all_gather(comm: &RankComm, group: Group, chunk: &Tensor, opts: RunOptions) -> Vec<Tensor> {
     let wire = rs_ag_format(opts.format);
     match opts.algo {
-        CollAlgo::Ring | CollAlgo::Tree => ring_all_gather_wire(comm, group, chunk, wire),
+        CollAlgo::Ring | CollAlgo::Tree | CollAlgo::Switch => {
+            ring_all_gather_wire(comm, group, chunk, wire)
+        }
         CollAlgo::Hierarchical => {
             hierarchical_all_gather_wire(comm, group, chunk, opts.ranks_per_node, wire)
         }

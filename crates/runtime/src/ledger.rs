@@ -53,6 +53,18 @@ pub struct BytesLedger {
     /// so these stay zero unless the priority scheduler ran — which is
     /// what lets a test assert the fabric actually reordered traffic.
     pub class_bytes_sent: [u64; PRIORITY_CLASSES],
+    /// Bytes this rank moved while emulating the in-network aggregation
+    /// switch's dataplane (multicasts of folded chunks). Kept out of
+    /// [`bytes_sent`](BytesLedger::bytes_sent) because a real switch is
+    /// not a worker: the per-worker `2·n` volume claim of
+    /// `CollAlgo::Switch` must hold for the rank that hosts the
+    /// emulation too.
+    pub switch_bytes_sent: u64,
+    /// Bytes received on the emulated switch dataplane (workers'
+    /// quantized contributions), excluded from
+    /// [`bytes_received`](BytesLedger::bytes_received) for the same
+    /// reason.
+    pub switch_bytes_recv: u64,
 }
 
 /// Number of distinct wire priority classes the ledger distinguishes.
@@ -70,6 +82,8 @@ impl BytesLedger {
             cow_copies: alloc.cow_copies,
             cow_bytes: alloc.cow_bytes,
             class_bytes_sent: wire.class_bytes_sent,
+            switch_bytes_sent: wire.switch_bytes_sent,
+            switch_bytes_recv: wire.switch_bytes_recv,
         }
     }
 
@@ -105,6 +119,17 @@ pub fn top_k_all_reduce_wire_bytes(n: usize, p: usize, k_permille: u16) -> u64 {
     coconet_compress::sparse_all_reduce_wire_bytes(n as u64, p as u64, format.k_for(n as u64))
 }
 
+/// The analytic per-worker wire volume of the in-network switch
+/// AllReduce: one quantized copy up to the switch plus one folded copy
+/// back down — `2·n·4` bytes split evenly between
+/// [`bytes_sent`](BytesLedger::bytes_sent) and
+/// [`bytes_received`](BytesLedger::bytes_received), *independent of the
+/// worker count*. A rank-geometry-free wrapper over
+/// [`coconet_compress::switch_all_reduce_wire_bytes`].
+pub fn switch_all_reduce_wire_bytes(n: usize) -> u64 {
+    coconet_compress::switch_all_reduce_wire_bytes(n as u64)
+}
+
 /// Interior-mutable wire counters owned by a [`RankComm`]. Each rank
 /// endpoint lives on exactly one thread, so plain `Cell`s suffice — no
 /// atomics on the send path.
@@ -117,6 +142,8 @@ pub(crate) struct WireCounters {
     bytes_received: u64,
     recvs: u64,
     class_bytes_sent: [u64; PRIORITY_CLASSES],
+    switch_bytes_sent: u64,
+    switch_bytes_recv: u64,
 }
 
 /// The ledger state embedded in a [`RankComm`](crate::RankComm).
@@ -143,6 +170,16 @@ impl WireCounters {
         self.recvs += 1;
         self
     }
+
+    fn add_switch_send(mut self, bytes: u64) -> WireCounters {
+        self.switch_bytes_sent += bytes;
+        self
+    }
+
+    fn add_switch_recv(mut self, bytes: u64) -> WireCounters {
+        self.switch_bytes_recv += bytes;
+        self
+    }
 }
 
 impl LedgerState {
@@ -167,6 +204,16 @@ impl LedgerState {
     #[inline]
     pub(crate) fn record_recv(&self, bytes: usize) {
         self.wire.set(self.wire.get().add_recv(bytes as u64));
+    }
+
+    #[inline]
+    pub(crate) fn record_switch_send(&self, bytes: usize) {
+        self.wire.set(self.wire.get().add_switch_send(bytes as u64));
+    }
+
+    #[inline]
+    pub(crate) fn record_switch_recv(&self, bytes: usize) {
+        self.wire.set(self.wire.get().add_switch_recv(bytes as u64));
     }
 
     pub(crate) fn reset(&self) {
@@ -219,6 +266,37 @@ mod tests {
         assert_eq!(l.bytes_sent_before_class(255), 56);
         state.reset();
         assert_eq!(state.snapshot().class_bytes_sent, [0; PRIORITY_CLASSES]);
+    }
+
+    #[test]
+    fn switch_counters_are_attributed_separately() {
+        let state = LedgerState::new();
+        state.reset();
+        state.record_send(64); // this rank's own worker-side contribution
+        state.record_switch_recv(64); // dataplane: gather k contributions
+        state.record_switch_recv(64);
+        state.record_switch_send(64); // dataplane: multicast the fold
+        state.record_switch_send(64);
+        state.record_recv(64); // worker-side folded result
+        let l = state.snapshot();
+        assert_eq!(l.bytes_sent, 64, "dataplane traffic must not leak in");
+        assert_eq!(l.bytes_received, 64);
+        assert_eq!(l.switch_bytes_sent, 128);
+        assert_eq!(l.switch_bytes_recv, 128);
+        state.reset();
+        assert_eq!(state.snapshot().switch_bytes_sent, 0);
+    }
+
+    #[test]
+    fn analytic_switch_volume_is_constant_in_worker_count() {
+        let n = 1usize << 24;
+        assert_eq!(switch_all_reduce_wire_bytes(n), 2 * (n as u64) * 4);
+        // No rank-count parameter exists to vary — the signature itself
+        // is the claim — but the ring volume it displaces grows with p.
+        assert!(
+            ring_all_reduce_wire_bytes(n, 2, DType::F32)
+                < ring_all_reduce_wire_bytes(n, 32, DType::F32)
+        );
     }
 
     #[test]
@@ -340,10 +418,50 @@ mod tests {
             assert_eq!(total, 2 * (leader + member));
         }
 
+        /// The tentpole invariant: the in-network switch AllReduce
+        /// moves exactly `n·4` bytes up and `n·4` bytes down per
+        /// worker — *constant in the worker count* — and the rank
+        /// hosting the switch emulation ledgers its dataplane traffic
+        /// separately, so the `2·n` claim holds for it too.
+        #[test]
+        fn switch_all_reduce_moves_exactly_two_n_per_worker() {
+            use crate::switch::switch_all_reduce;
+            use crate::switch_all_reduce_wire_bytes;
+
+            let n = 64usize;
+            let per_worker = switch_all_reduce_wire_bytes(n);
+            assert_eq!(per_worker, 2 * n as u64 * 4);
+            for k in [2usize, 4, 8, 16] {
+                let results = metered(k, |comm, group, input| {
+                    switch_all_reduce(comm, group, &input, ReduceOp::Sum)
+                });
+                for (rank, (out, l)) in results.iter().enumerate() {
+                    assert_eq!(out.numel(), n);
+                    // Element 0 sums rank·100 over the group; the
+                    // fixed-point round trip is exact on integers.
+                    let want = (0..k).map(|r| (r * 100) as f32).sum::<f32>();
+                    assert!((out.get(0) - want).abs() < 1e-3, "k={k} rank {rank}");
+                    assert_eq!(l.bytes_sent, per_worker / 2, "k={k} rank {rank}: {l:?}");
+                    assert_eq!(l.bytes_received, per_worker / 2, "k={k} rank {rank}");
+                    assert_eq!(l.sends, 1, "k={k} rank {rank}");
+                    assert_eq!(l.recvs, 1, "k={k} rank {rank}");
+                    let dataplane = if rank == 0 {
+                        k as u64 * per_worker / 2
+                    } else {
+                        0
+                    };
+                    assert_eq!(l.switch_bytes_sent, dataplane, "k={k} rank {rank}");
+                    assert_eq!(l.switch_bytes_recv, dataplane, "k={k} rank {rank}");
+                }
+            }
+        }
+
         /// The FP16 wire halves every collective's volume on F32
         /// payloads — ring, tree, and hierarchical AllReduce all move
         /// exactly half their dense bytes, to the byte (every payload
-        /// is the same element count at two bytes per element).
+        /// is the same element count at two bytes per element). The
+        /// switch is the exception that proves its design: its wire is
+        /// always the fixed-point `i32` word, so FP16 changes nothing.
         #[test]
         fn fp16_wire_moves_exactly_half_the_dense_bytes() {
             use crate::compressed::all_reduce_wire;
@@ -382,11 +500,18 @@ mod tests {
                     (dense, comm.ledger())
                 });
                 for (rank, (dense, fp16)) in results.iter().enumerate() {
-                    assert_eq!(
-                        2 * fp16.bytes_sent,
-                        dense.bytes_sent,
-                        "{algo} rank {rank}: fp16 {fp16:?} vs dense {dense:?}"
-                    );
+                    if algo == CollAlgo::Switch {
+                        assert_eq!(
+                            fp16.bytes_sent, dense.bytes_sent,
+                            "{algo} rank {rank}: the switch wire is i32 either way"
+                        );
+                    } else {
+                        assert_eq!(
+                            2 * fp16.bytes_sent,
+                            dense.bytes_sent,
+                            "{algo} rank {rank}: fp16 {fp16:?} vs dense {dense:?}"
+                        );
+                    }
                     assert_eq!(fp16.sends, dense.sends, "{algo} rank {rank}: same messages");
                 }
                 // And the ring's dense reference is itself the analytic

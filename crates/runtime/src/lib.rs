@@ -53,6 +53,7 @@ mod ledger;
 mod overlap_exec;
 mod scattered;
 mod stream;
+mod switch;
 mod tree;
 
 pub use collectives::{
@@ -69,9 +70,11 @@ pub use hierarchical::{
     hierarchical_all_reduce_wire, hierarchical_reduce_scatter, hierarchical_reduce_scatter_wire,
 };
 pub use ledger::{
-    ring_all_reduce_wire_bytes, top_k_all_reduce_wire_bytes, BytesLedger, PRIORITY_CLASSES,
+    ring_all_reduce_wire_bytes, switch_all_reduce_wire_bytes, top_k_all_reduce_wire_bytes,
+    BytesLedger, PRIORITY_CLASSES,
 };
 pub use overlap_exec::{overlapped_matmul_all_reduce, production_order};
 pub use scattered::{BucketTable, ScatteredTensors, BUCKET_ELEMS};
-pub use stream::{CommScheduler, RingJob, StreamExecutor};
+pub use stream::{CommScheduler, RingJob, StreamExecutor, SwitchJob};
+pub use switch::switch_all_reduce;
 pub use tree::{tree_all_reduce, tree_all_reduce_wire};

@@ -34,7 +34,7 @@ use crate::RankComm;
 fn recv_chunk(comm: &RankComm, src: usize, tag: u64) -> Tensor {
     match comm.recv_tagged(src, tag) {
         WireMsg::Tensor(t) => t,
-        WireMsg::Sparse(_) => unreachable!("overlap hops are dense"),
+        other => unreachable!("overlap hops are dense, got {other:?}"),
     }
 }
 

@@ -12,6 +12,14 @@
 //!   virtual-position schedule, fold order, wire encode points — is
 //!   *identical* to [`ring_all_reduce_wire`](crate::ring_all_reduce_wire),
 //!   which makes results bit-identical no matter how polls interleave.
+//! * [`SwitchJob`] is the in-network switch AllReduce
+//!   ([`switch_all_reduce`](crate::switch_all_reduce)) as the same kind
+//!   of poll-driven state machine: the worker leg sends one quantized
+//!   copy up and polls for the folded multicast; the group's position-0
+//!   rank additionally hosts the dataplane, gathering contributions and
+//!   folding them in ascending position order — the same fold as the
+//!   blocking path, so results stay bit-identical under any poll
+//!   interleaving.
 //! * [`CommScheduler`] owns the in-flight jobs and services them in
 //!   strict `(priority class, enqueue order)` order: each scheduling
 //!   round runs one chunk hop of the highest-priority job that can make
@@ -34,13 +42,14 @@
 //! touches, so it completes; induction over the priority order covers
 //! the rest.
 
-use coconet_compress::WireFormat;
-use coconet_core::CommSched;
+use coconet_compress::{QuantChunk, WireFormat};
+use coconet_core::{CollAlgo, CommSched};
 use coconet_tensor::{DType, ReduceOp, Shape, Tensor};
 
 use crate::collectives::{chunk_range, wire_decode, wire_encode, Group};
 use crate::comm::{RankComm, WireMsg};
 use crate::ledger::PRIORITY_CLASSES;
+use crate::switch::fold_contributions;
 
 /// Where a [`RingJob`] is in the reduce-scatter → all-gather protocol.
 #[derive(Debug)]
@@ -258,17 +267,235 @@ impl RingJob {
 fn expect_tensor(msg: WireMsg) -> Tensor {
     match msg {
         WireMsg::Tensor(t) => t,
-        WireMsg::Sparse(_) => unreachable!("streaming ring jobs are dense-wire only"),
+        other => unreachable!("streaming ring jobs are dense-wire only, got {other:?}"),
+    }
+}
+
+fn expect_quant(msg: WireMsg) -> QuantChunk {
+    match msg {
+        WireMsg::Quantized(c) => c,
+        other => unreachable!("switch jobs carry quantized chunks only, got {other:?}"),
+    }
+}
+
+/// An in-network switch AllReduce in flight: the blocking
+/// [`switch_all_reduce`](crate::switch_all_reduce) as a poll-driven
+/// state machine sharing the tagged fabric with [`RingJob`]s.
+///
+/// Every worker sends its quantized contribution up once; the
+/// position-0 rank's job additionally runs the emulated dataplane —
+/// gathering all contributions, folding them in ascending position
+/// order (the determinism contract of saturating adds), and
+/// multicasting the folded chunk tagged with this job's id. Worker legs
+/// are ledgered per class; dataplane legs land in the
+/// switch-attributed counters.
+#[derive(Debug)]
+pub struct SwitchJob {
+    id: u64,
+    class: u8,
+    seq: u64,
+    group: Group,
+    op: ReduceOp,
+    dtype: DType,
+    shape: Shape,
+    /// Quantized input awaiting its up-send.
+    up: Option<QuantChunk>,
+    /// Dataplane gather slots (non-empty on the position-0 host only).
+    contribs: Vec<Option<QuantChunk>>,
+    gathered: usize,
+    multicast_done: bool,
+    /// The dequantized result once the down multicast landed.
+    result: Option<Tensor>,
+}
+
+impl SwitchJob {
+    /// Starts a switch AllReduce of `input` over `group`, tagged `id`
+    /// on the wire and scheduled at `class`. Note the wire is always
+    /// fixed-point `i32` — there is no [`WireFormat`] parameter to pass.
+    pub fn new(
+        id: u64,
+        class: u8,
+        seq: u64,
+        group: Group,
+        input: &Tensor,
+        op: ReduceOp,
+    ) -> SwitchJob {
+        let q = QuantChunk::quantize(input);
+        let dtype = input.dtype();
+        let shape = input.shape().clone();
+        if group.size == 1 {
+            // Degenerate group: the blocking path still round-trips
+            // through the quantizer; match it.
+            let out = q
+                .dequantize(dtype)
+                .reshape(shape.clone())
+                .expect("same numel");
+            return SwitchJob {
+                id,
+                class,
+                seq,
+                group,
+                op,
+                dtype,
+                shape,
+                up: None,
+                contribs: Vec::new(),
+                gathered: 0,
+                multicast_done: true,
+                result: Some(out),
+            };
+        }
+        SwitchJob {
+            id,
+            class,
+            seq,
+            group,
+            op,
+            dtype,
+            shape,
+            up: Some(q),
+            contribs: Vec::new(),
+            gathered: 0,
+            multicast_done: false,
+            result: None,
+        }
+    }
+
+    /// This job's wire tag.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// This job's priority class.
+    pub fn class(&self) -> u8 {
+        self.class
+    }
+
+    fn is_done(&self) -> bool {
+        self.result.is_some()
+    }
+
+    fn take_result(self) -> Tensor {
+        self.result.expect("take_result on an unfinished job")
+    }
+
+    /// Advances the job: sends the up copy if still pending, runs one
+    /// dataplane gather/fold/multicast round on the host, and polls for
+    /// the down multicast. Returns `true` if anything moved.
+    fn poll(&mut self, comm: &RankComm) -> bool {
+        let me = self.group.position(comm.rank());
+        let switch_rank = self.group.rank_at(0);
+        let mut progressed = false;
+
+        if let Some(q) = self.up.take() {
+            comm.send_tagged(switch_rank, self.id, self.class, WireMsg::Quantized(q));
+            progressed = true;
+        }
+
+        if me == 0 && !self.multicast_done {
+            if self.contribs.is_empty() {
+                self.contribs = vec![None; self.group.size];
+            }
+            for pos in 0..self.group.size {
+                if self.contribs[pos].is_none() {
+                    if let Some(msg) = comm.try_recv_tagged_switch(self.group.rank_at(pos), self.id)
+                    {
+                        self.contribs[pos] = Some(expect_quant(msg));
+                        self.gathered += 1;
+                        progressed = true;
+                    }
+                }
+            }
+            if self.gathered == self.group.size {
+                let contribs = self
+                    .contribs
+                    .drain(..)
+                    .map(|c| c.expect("all gathered"))
+                    .collect();
+                let folded = fold_contributions(contribs, self.op);
+                for pos in 0..self.group.size {
+                    comm.send_tagged_switch(
+                        self.group.rank_at(pos),
+                        self.id,
+                        WireMsg::Quantized(folded.clone()),
+                    );
+                }
+                self.multicast_done = true;
+                progressed = true;
+            }
+        }
+
+        // The worker leg may only look for the down multicast once it
+        // can exist — on the host rank the up copy sits in the same
+        // self-channel under the same tag until the dataplane consumes
+        // it, so polling earlier would swallow it.
+        let down_may_exist = me != 0 || self.multicast_done;
+        if self.result.is_none() && down_may_exist {
+            if let Some(msg) = comm.try_recv_tagged(switch_rank, self.id) {
+                let out = expect_quant(msg)
+                    .dequantize(self.dtype)
+                    .reshape(self.shape.clone())
+                    .expect("same numel");
+                self.result = Some(out);
+                progressed = true;
+            }
+        }
+        progressed
+    }
+}
+
+/// An in-flight job of either flavor — what the scheduler's queue holds.
+#[derive(Debug)]
+enum Job {
+    Ring(RingJob),
+    Switch(SwitchJob),
+}
+
+impl Job {
+    fn id(&self) -> u64 {
+        match self {
+            Job::Ring(j) => j.id(),
+            Job::Switch(j) => j.id(),
+        }
+    }
+
+    fn key(&self) -> (u8, u64) {
+        match self {
+            Job::Ring(j) => (j.class, j.seq),
+            Job::Switch(j) => (j.class, j.seq),
+        }
+    }
+
+    fn poll(&mut self, comm: &RankComm) -> bool {
+        match self {
+            Job::Ring(j) => j.poll(comm),
+            Job::Switch(j) => j.poll(comm),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        match self {
+            Job::Ring(j) => j.is_done(),
+            Job::Switch(j) => j.is_done(),
+        }
+    }
+
+    fn take_result(self) -> Tensor {
+        match self {
+            Job::Ring(j) => j.take_result(),
+            Job::Switch(j) => j.take_result(),
+        }
     }
 }
 
 /// The priority queue in front of the comm fabric: in-flight
-/// [`RingJob`]s serviced in strict `(class, enqueue order)` order with
-/// chunk-granular preemption between priority levels.
+/// [`RingJob`]s and [`SwitchJob`]s serviced in strict
+/// `(class, enqueue order)` order with chunk-granular preemption
+/// between priority levels.
 #[derive(Debug, Default)]
 pub struct CommScheduler {
     /// Unfinished jobs, kept sorted by `(class, seq)`.
-    jobs: Vec<RingJob>,
+    jobs: Vec<Job>,
     next_seq: u64,
     /// Finished results waiting for [`CommScheduler::wait`].
     completed: Vec<(u64, Tensor)>,
@@ -303,16 +530,39 @@ impl CommScheduler {
         let class = class.min(PRIORITY_CLASSES as u8 - 1);
         let seq = self.next_seq;
         self.next_seq += 1;
-        let job = RingJob::new(id, class, seq, group, input, op, wire);
+        self.admit(Job::Ring(RingJob::new(
+            id, class, seq, group, input, op, wire,
+        )));
+    }
+
+    /// Launches an in-network switch AllReduce of `input` at `class` —
+    /// the [`SwitchJob`] twin of [`enqueue`](CommScheduler::enqueue).
+    /// No wire format parameter: the switch wire is always fixed-point
+    /// `i32`.
+    pub fn enqueue_switch(
+        &mut self,
+        id: u64,
+        class: u8,
+        group: Group,
+        input: &Tensor,
+        op: ReduceOp,
+    ) {
+        let class = class.min(PRIORITY_CLASSES as u8 - 1);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.admit(Job::Switch(SwitchJob::new(
+            id, class, seq, group, input, op,
+        )));
+    }
+
+    fn admit(&mut self, job: Job) {
         if job.is_done() {
             // Single-rank groups finish at enqueue time.
-            self.completion_log.push(id);
-            self.completed.push((id, job.take_result()));
+            self.completion_log.push(job.id());
+            self.completed.push((job.id(), job.take_result()));
             return;
         }
-        let at = self
-            .jobs
-            .partition_point(|j| (j.class, j.seq) <= (job.class, job.seq));
+        let at = self.jobs.partition_point(|j| j.key() <= job.key());
         self.jobs.insert(at, job);
     }
 
@@ -414,6 +664,7 @@ pub struct StreamExecutor {
     group: Group,
     sched: CommSched,
     wire: WireFormat,
+    algo: CollAlgo,
     scheduler: CommScheduler,
     params: Vec<StreamParam>,
     /// Iterations fully applied to every parameter.
@@ -428,6 +679,7 @@ impl StreamExecutor {
             group,
             sched,
             wire,
+            algo: CollAlgo::Ring,
             scheduler: CommScheduler::new(),
             params: params
                 .into_iter()
@@ -439,6 +691,16 @@ impl StreamExecutor {
                 .collect(),
             epoch: 0,
         }
+    }
+
+    /// Routes gradient AllReduces through `algo`:
+    /// [`CollAlgo::Switch`] streams [`SwitchJob`]s (fixed-point wire;
+    /// results match the *blocking switch* bit for bit, carrying its
+    /// quantization error versus the ring); every other algorithm
+    /// streams the ring job, matching the blocking executor's fallback.
+    pub fn with_algo(mut self, algo: CollAlgo) -> Self {
+        self.algo = algo;
+        self
     }
 
     /// Number of layers.
@@ -529,14 +791,14 @@ impl StreamExecutor {
             for l in (0..layers).rev() {
                 let g = grad(l, iter, &self.params[l].value);
                 let id = self.job_id(iter, l);
-                self.scheduler.enqueue(
-                    id,
-                    l.min(PRIORITY_CLASSES - 1) as u8,
-                    self.group,
-                    &g,
-                    ReduceOp::Sum,
-                    self.wire,
-                );
+                let class = l.min(PRIORITY_CLASSES - 1) as u8;
+                if self.algo == CollAlgo::Switch {
+                    self.scheduler
+                        .enqueue_switch(id, class, self.group, &g, ReduceOp::Sum);
+                } else {
+                    self.scheduler
+                        .enqueue(id, class, self.group, &g, ReduceOp::Sum, self.wire);
+                }
                 self.params[l].pending = Some(id);
             }
             if self.sched == CommSched::Barriered {
@@ -593,6 +855,121 @@ mod tests {
                 assert_eq!(got.to_f32_vec(), reference.to_f32_vec(), "k={k}");
                 assert_eq!(got.shape(), reference.shape());
             }
+        }
+    }
+
+    /// A streamed switch job reproduces the blocking switch AllReduce
+    /// bit for bit, for every group size including the singleton —
+    /// both paths fold in ascending position order.
+    #[test]
+    fn switch_job_matches_blocking_switch() {
+        use crate::switch::switch_all_reduce;
+        for k in [1usize, 2, 3, 4, 7] {
+            let results = run_ranks(k, move |comm| {
+                let rng = CounterRng::new(42);
+                let input = Tensor::randn([13], DType::F32, rng, (comm.rank() * 1000) as u64);
+                let reference = switch_all_reduce(&comm, group_of(k), &input, ReduceOp::Sum);
+                let mut sched = CommScheduler::new();
+                sched.enqueue_switch(9, 0, group_of(k), &input, ReduceOp::Sum);
+                let got = sched.wait(&comm, 9);
+                (got, reference)
+            });
+            for (got, reference) in results {
+                assert_eq!(
+                    got.to_f32_vec()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<_>>(),
+                    reference
+                        .to_f32_vec()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<_>>(),
+                    "k={k}"
+                );
+                assert_eq!(got.shape(), reference.shape());
+            }
+        }
+    }
+
+    /// Ring and switch jobs share one scheduler: the urgent switch job
+    /// completes before the earlier-enqueued low-priority ring job,
+    /// and both match their blocking references.
+    #[test]
+    fn switch_and_ring_jobs_compose_under_priority() {
+        use crate::switch::switch_all_reduce;
+        let k = 4usize;
+        let results = run_ranks(k, move |comm| {
+            let rng = CounterRng::new(7);
+            let late = Tensor::randn([11], DType::F32, rng, (comm.rank() * 10) as u64);
+            let urgent = Tensor::randn([11], DType::F32, rng, (comm.rank() * 10 + 5) as u64);
+            let ref_late = ring_all_reduce(&comm, group_of(k), &late, ReduceOp::Sum);
+            let ref_urgent = switch_all_reduce(&comm, group_of(k), &urgent, ReduceOp::Sum);
+            let mut sched = CommScheduler::new();
+            sched.enqueue(100, 5, group_of(k), &late, ReduceOp::Sum, WireFormat::Dense);
+            sched.enqueue_switch(200, 0, group_of(k), &urgent, ReduceOp::Sum);
+            sched.drain(&comm);
+            let log = sched.completion_log().to_vec();
+            let got_urgent = sched.wait(&comm, 200);
+            let got_late = sched.wait(&comm, 100);
+            (log, got_urgent, ref_urgent, got_late, ref_late)
+        });
+        for (log, got_urgent, ref_urgent, got_late, ref_late) in results {
+            assert_eq!(log, vec![200, 100], "class 0 must finish first");
+            assert_eq!(got_urgent.to_f32_vec(), ref_urgent.to_f32_vec());
+            assert_eq!(got_late.to_f32_vec(), ref_late.to_f32_vec());
+        }
+    }
+
+    /// The streaming switch loop matches the blocking switch loop: a
+    /// [`StreamExecutor`] routed through [`CollAlgo::Switch`] produces
+    /// the same parameters as manually calling the blocking switch
+    /// AllReduce per iteration.
+    #[test]
+    fn stream_executor_switch_matches_blocking_switch_loop() {
+        use crate::switch::switch_all_reduce;
+        let k = 4usize;
+        let iters = 3u64;
+        let results = run_ranks(k, move |comm| {
+            let rng = CounterRng::new(23);
+            let init = Tensor::randn([6], DType::F32, rng, 1);
+            let rank = comm.rank();
+
+            // Streamed.
+            let mut exec = StreamExecutor::new(
+                group_of(k),
+                vec![init.clone()],
+                CommSched::Priority,
+                WireFormat::Dense,
+            )
+            .with_algo(CollAlgo::Switch);
+            exec.run_iterations(
+                &comm,
+                iters,
+                |_, _, _| {},
+                move |_, iter, p| {
+                    let scale = (rank + 1) as f32 * 0.01 + iter as f32 * 0.001;
+                    Tensor::from_fn([6], DType::F32, |i| p.get(i) * scale + i as f32 * 0.1)
+                },
+                |_, p, g| {
+                    let step = Tensor::from_fn([6], DType::F32, |i| p.get(i) - 0.05 * g.get(i));
+                    *p = step;
+                },
+            );
+            let streamed = exec.params().swap_remove(0);
+
+            // Blocking reference: same recurrence, blocking switch.
+            let mut w = init;
+            for iter in 0..iters {
+                let scale = (rank + 1) as f32 * 0.01 + iter as f32 * 0.001;
+                let g = Tensor::from_fn([6], DType::F32, |i| w.get(i) * scale + i as f32 * 0.1);
+                let reduced = switch_all_reduce(&comm, group_of(k), &g, ReduceOp::Sum);
+                w = Tensor::from_fn([6], DType::F32, |i| w.get(i) - 0.05 * reduced.get(i));
+            }
+            (streamed, w)
+        });
+        for (streamed, blocking) in results {
+            assert_eq!(streamed.to_f32_vec(), blocking.to_f32_vec());
         }
     }
 

@@ -11,6 +11,7 @@
 
 use coconet_compress::{
     sparse_all_reduce_rounds, sparse_all_reduce_wire_bytes, sparse_beats_dense,
+    switch_all_reduce_wire_bytes, QUANT_WORD_BYTES,
 };
 use coconet_core::{
     CollAlgo, CollKind, CommConfig, DType, FusedCollectiveStep, KernelStep, MatMulStep,
@@ -91,6 +92,13 @@ pub struct CostKnobs {
     pub scattered_bucket_cost: f64,
     /// Seconds per distinct scattered tensor (offset precalculation).
     pub scattered_tensor_cost: f64,
+    /// Per-direction processing cost of the in-network aggregation
+    /// switch (`CollAlgo::Switch`): packet parse, the integer fold in
+    /// the dataplane pipeline, and the multicast fan-out setup. Paid
+    /// once on the way up and once on the way down — constant in the
+    /// worker count, which is the whole point, but large enough that
+    /// the ring/tree win until their per-hop latency chains outgrow it.
+    pub switch_process: f64,
 }
 
 impl Default for CostKnobs {
@@ -103,6 +111,7 @@ impl Default for CostKnobs {
             fused_reg_pressure: 0.4,
             scattered_bucket_cost: 1.0e-9,
             scattered_tensor_cost: 1.0e-7,
+            switch_process: 20.0e-6,
         }
     }
 }
@@ -207,11 +216,17 @@ impl CostModel {
     /// algorithm dimension does not apply to them), there is no tree
     /// ReduceScatter/AllGather (NCCL builds none either), and on a
     /// single-node group the two-level hierarchical algorithm *is* the
-    /// flat intra-node ring — all of those resolve to the ring.
+    /// flat intra-node ring — all of those resolve to the ring. The
+    /// aggregation switch serves only whole AllReduces (there is no
+    /// switch ReduceScatter/AllGather — the dataplane folds and
+    /// multicasts, it cannot scatter), so those resolve to the ring
+    /// under `Switch` exactly as under `Tree`.
     fn effective_algo(algo: CollAlgo, kind: CollKind, group: GroupGeom) -> CollAlgo {
         match (algo, kind) {
             (_, CollKind::Broadcast | CollKind::Reduce) => CollAlgo::Ring,
-            (CollAlgo::Tree, CollKind::ReduceScatter | CollKind::AllGather) => CollAlgo::Ring,
+            (CollAlgo::Tree | CollAlgo::Switch, CollKind::ReduceScatter | CollKind::AllGather) => {
+                CollAlgo::Ring
+            }
             (CollAlgo::Hierarchical, _) if group.nodes_spanned <= 1 => CollAlgo::Ring,
             _ => algo,
         }
@@ -311,6 +326,18 @@ impl CostModel {
         }
     }
 
+    /// The worker-side codec of the switch path: one quantize kernel
+    /// (read the payload, write `i32` words) before the send and one
+    /// dequantize kernel after the multicast lands. Like every codec
+    /// term it lives *above* the bandwidth floor, keeping the pruning
+    /// bounds admissible.
+    fn switch_codec_time(&self, elems: u64, dtype: DType) -> f64 {
+        let n = elems as f64;
+        let ds = dtype.size_bytes() as f64;
+        let w = QUANT_WORD_BYTES as f64;
+        2.0 * self.launch() + 2.0 * n * (ds + w) / self.mem_bw()
+    }
+
     /// Effective intra-node bandwidth under a configuration: NVLink at
     /// the protocol's line-rate fraction (channels split and re-merge
     /// on the same links, so they cancel intra-node).
@@ -378,6 +405,15 @@ impl CostModel {
             },
             CollAlgo::Tree => WireBytes {
                 edge: Self::tree_rounds(kind, k) * bytes,
+                ..WireBytes::default()
+            },
+            // The switch wire is fixed-point `i32` words both ways —
+            // `2·n·4` bytes per worker whatever the payload dtype or
+            // wire format (the quantizer replaces the format codec),
+            // and *constant in the group size*: every worker talks to
+            // the switch, never to `k−1` peers.
+            CollAlgo::Switch => WireBytes {
+                edge: switch_all_reduce_wire_bytes(elems) as f64,
                 ..WireBytes::default()
             },
             // `effective_algo` resolved single-node groups to Ring,
@@ -479,7 +515,16 @@ impl CostModel {
         }
         let proto = protocol::params(config.protocol);
         let t_bw = self.collective_bandwidth_floor(kind, elems, dtype, group, config);
-        let t_codec = self.codec_time(config.format, elems, dtype, group);
+        // The switch path replaces the wire-format codec with its own
+        // fixed-point quantize/dequantize kernels (an active sparse
+        // exchange replaces the topology entirely, switch included, so
+        // it keeps the top-k codec).
+        let t_codec =
+            if config.algo == CollAlgo::Switch && !Self::sparse_active(config.format, kind) {
+                self.switch_codec_time(elems, dtype)
+            } else {
+                self.codec_time(config.format, elems, dtype, group)
+            };
 
         let t_lat = if Self::sparse_active(config.format, kind) {
             // The sparse exchange's pairwise/ring rounds; later rounds
@@ -513,6 +558,19 @@ impl CostModel {
                         proto.hop_latency_intra
                     };
                     Self::tree_rounds(kind, k) * alpha
+                }
+                // Switch: one hop up, one multicast hop down — the
+                // latency chain is *constant in the group size* — plus
+                // the dataplane's per-direction processing cost. This
+                // is the term whose constancy produces the worker-count
+                // crossover against the ring's 2(k−1) hops.
+                CollAlgo::Switch => {
+                    let alpha = if group.nodes_spanned > 1 {
+                        proto.hop_latency_inter
+                    } else {
+                        proto.hop_latency_intra
+                    };
+                    2.0 * (alpha + self.knobs.switch_process)
                 }
                 // Hierarchical: intra-node ring hops plus the leader
                 // exchange's inter-node hops, per phase (single-node
@@ -1004,34 +1062,30 @@ mod tests {
             for elems in [1u64 << 10, 1 << 24] {
                 let ring_time =
                     |kind| m.collective_time(kind, elems, DType::F16, g, algo_cfg(CollAlgo::Ring));
-                for algo in [CollAlgo::Tree, CollAlgo::Hierarchical] {
+                for algo in [CollAlgo::Tree, CollAlgo::Hierarchical, CollAlgo::Switch] {
                     for kind in [CollKind::Broadcast, CollKind::Reduce] {
                         let t = m.collective_time(kind, elems, DType::F16, g, algo_cfg(algo));
                         assert_eq!(ring_time(kind), t, "{algo} {kind}, elems {elems}");
                     }
                 }
+                // No tree or switch ReduceScatter/AllGather exists:
+                // both run — and cost — as the ring.
                 for kind in [CollKind::ReduceScatter, CollKind::AllGather] {
-                    let tree =
-                        m.collective_time(kind, elems, DType::F16, g, algo_cfg(CollAlgo::Tree));
-                    assert_eq!(ring_time(kind), tree, "tree {kind}, elems {elems}");
-                    assert_eq!(
-                        m.collective_wire(
-                            CollAlgo::Ring,
-                            kind,
-                            elems,
-                            DType::F16,
-                            g,
-                            WireFormat::Dense
-                        ),
-                        m.collective_wire(
-                            CollAlgo::Tree,
-                            kind,
-                            elems,
-                            DType::F16,
-                            g,
-                            WireFormat::Dense
-                        ),
-                    );
+                    for algo in [CollAlgo::Tree, CollAlgo::Switch] {
+                        let t = m.collective_time(kind, elems, DType::F16, g, algo_cfg(algo));
+                        assert_eq!(ring_time(kind), t, "{algo} {kind}, elems {elems}");
+                        assert_eq!(
+                            m.collective_wire(
+                                CollAlgo::Ring,
+                                kind,
+                                elems,
+                                DType::F16,
+                                g,
+                                WireFormat::Dense
+                            ),
+                            m.collective_wire(algo, kind, elems, DType::F16, g, WireFormat::Dense),
+                        );
+                    }
                 }
                 // AllReduce does have tree and hierarchical forms, and
                 // they differ (on multi-node groups for hierarchical).
@@ -1050,11 +1104,13 @@ mod tests {
     fn fp16_wire_halves_f32_payloads_everywhere() {
         // The FP16 format halves the wire bytes of every algorithm and
         // kind on F32 payloads, and is byte-identical to dense on
-        // payloads that are already FP16.
+        // payloads that are already FP16. The switch is the exception:
+        // its wire is fixed-point i32 words whatever the format, so it
+        // is checked separately (switch_wire_is_format_invariant).
         let m = model();
         let g = world_group();
         let elems = 1u64 << 22;
-        for algo in CollAlgo::ALL {
+        for algo in [CollAlgo::Ring, CollAlgo::Tree, CollAlgo::Hierarchical] {
             for kind in [
                 CollKind::AllReduce,
                 CollKind::ReduceScatter,
@@ -1071,6 +1127,110 @@ mod tests {
                 assert_eq!(dense_h, fp16_h, "{algo} {kind}: FP16-on-FP16 is dense");
             }
         }
+    }
+
+    #[test]
+    fn switch_wire_is_format_invariant_and_constant_in_group_size() {
+        // The switch AllReduce wire is 2·n·4 bytes per worker — the
+        // same under Dense and FP16 (the quantizer replaces the format
+        // codec) and at every group size (SwitchML's headline
+        // property). Only an *active* top-k exchange replaces it.
+        let m = model();
+        let elems = 1u64 << 22;
+        let expected = coconet_compress::switch_all_reduce_wire_bytes(elems) as f64;
+        for (size, nodes) in [(2usize, 2usize), (8, 8), (32, 32), (256, 16)] {
+            let g = GroupGeom {
+                size,
+                nodes_spanned: nodes,
+                ranks_per_node: size / nodes,
+            };
+            for (format, dtype) in [
+                (WireFormat::Dense, DType::F32),
+                (WireFormat::Dense, DType::F16),
+                (WireFormat::Fp16, DType::F32),
+            ] {
+                let wire = m.collective_wire(
+                    CollAlgo::Switch,
+                    CollKind::AllReduce,
+                    elems,
+                    dtype,
+                    g,
+                    format,
+                );
+                assert_eq!(wire.edge, expected, "{size} ranks, {format}, {dtype:?}");
+                assert_eq!((wire.intra, wire.inter), (0.0, 0.0));
+            }
+            // Active top-k replaces the topology, switch included.
+            let topk = WireFormat::TopK { k_permille: 10 };
+            let wire = m.collective_wire(
+                CollAlgo::Switch,
+                CollKind::AllReduce,
+                elems,
+                DType::F32,
+                g,
+                topk,
+            );
+            assert_eq!(
+                wire.edge,
+                coconet_compress::sparse_all_reduce_wire_bytes(
+                    elems,
+                    size as u64,
+                    topk.k_for(elems)
+                ) as f64
+            );
+        }
+    }
+
+    #[test]
+    fn switch_crossover_in_worker_count() {
+        // At a mid-size F32 payload with one worker per node, the ring
+        // wins tiny groups (the switch pays its fixed processing and
+        // quantization costs) but loses big ones (its 2(k−1) hop chain
+        // and (k−1)/k volume grow while the switch stays at two hops
+        // and 2·n words) — the crossover the ablation_switch_workers
+        // trajectory row witnesses end to end.
+        let m = model();
+        let elems = 1u64 << 18;
+        let best = |algo, workers: usize| {
+            let g = GroupGeom {
+                size: workers,
+                nodes_spanned: workers,
+                ranks_per_node: 1,
+            };
+            let mut best = f64::INFINITY;
+            for protocol in Protocol::ALL {
+                for ch in [2usize, 4, 8, 16, 32, 64] {
+                    let config = CommConfig {
+                        algo,
+                        protocol,
+                        channels: ch,
+                        format: WireFormat::Dense,
+                        ..CommConfig::default()
+                    };
+                    best = best.min(m.collective_time(
+                        CollKind::AllReduce,
+                        elems,
+                        DType::F32,
+                        g,
+                        config,
+                    ));
+                }
+            }
+            best
+        };
+        assert!(
+            best(CollAlgo::Ring, 2) < best(CollAlgo::Switch, 2),
+            "ring wins 2 workers"
+        );
+        for rival in [CollAlgo::Ring, CollAlgo::Tree, CollAlgo::Hierarchical] {
+            assert!(
+                best(CollAlgo::Switch, 32) < best(rival, 32),
+                "switch beats {rival} at 32 workers"
+            );
+        }
+        // And the switch's own time is flat-ish: growing the group 16×
+        // must not double it (the rivals' grow much faster).
+        assert!(best(CollAlgo::Switch, 32) < 2.0 * best(CollAlgo::Switch, 2));
     }
 
     #[test]
