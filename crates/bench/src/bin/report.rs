@@ -130,6 +130,25 @@ fn run() -> Result<(), String> {
         "tab3 rows: parallel pruned tuner, verified against the exhaustive search \
          at the same worker count (identical winner, fewer configs, less wall-clock)",
     );
+    if let Some(pc) = results.iter().find(|r| r.name == "plan_cache") {
+        let num = |key: &str| {
+            pc.extra
+                .iter()
+                .find_map(|(k, v)| if k == key { v.as_f64() } else { None })
+                .unwrap_or(0.0)
+        };
+        table.note(format!(
+            "plan cache: {} hits / {} misses / {} evictions; cold sweep {} \
+             ({} configs) vs warm hit {} (0 configs, measured {})",
+            num("cache_hits"),
+            num("cache_misses"),
+            num("cache_evictions"),
+            fmt_time(num("cold_s")),
+            num("cold_configs_evaluated"),
+            fmt_time(pc.coconet_s),
+            fmt_x(num("measured_speedup")),
+        ));
+    }
     table.print();
 
     // Write the trajectory before enforcing any gate so the file is

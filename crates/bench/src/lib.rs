@@ -9,6 +9,8 @@
 pub mod compression;
 pub mod experiments;
 pub mod json;
+pub mod multitenant;
+pub mod plancache;
 pub mod report;
 pub mod steady;
 pub mod switchnet;

@@ -1,0 +1,170 @@
+//! The measured plan-cache experiment behind the `plan_cache`
+//! trajectory row.
+//!
+//! A serving process re-tunes the same (program, geometry) on every
+//! request; the [`PlanCache`] answers repeats from memory. This module
+//! measures that directly: one cold [`Autotuner::tune_cached`] call on
+//! an empty cache (the full sweep), then repeated warm calls on the
+//! now-populated cache, keeping the fastest warm latency (min-of-N —
+//! the standard noise-robust statistic; the *answer* is deterministic,
+//! only the wall-clock wobbles). The gates are the cache's contract:
+//!
+//! * the warm hit must be at least [`PLAN_CACHE_MIN_SPEEDUP`]× faster
+//!   than the cold sweep;
+//! * the warm winner must be **bit-identical** to the cold winner
+//!   (schedule, config, and the time's exact bits);
+//! * a hit must report `configs_evaluated == 0` — nothing was costed.
+//!
+//! Like the zero-copy microbenchmark, the *gated* baseline is capped so
+//! a healthy run pins the row's speedup at exactly
+//! [`PLAN_CACHE_MIN_SPEEDUP`] (wall-clock ratios of a microsecond-scale
+//! lookup vary by orders of magnitude across runners — a 2000× run
+//! regressing to a still-healthy 500× must not trip the regression
+//! gate); the raw ratio rides along in `measured_speedup`.
+
+use coconet_core::{Autotuner, CacheStats, Candidate, PlanCache};
+
+use crate::experiments;
+
+/// The gate: a warm hit must beat the cold sweep by at least this
+/// factor, and the row's gated speedup is pinned here when healthy.
+pub const PLAN_CACHE_MIN_SPEEDUP: f64 = 50.0;
+
+/// Warm lookups measured (fastest kept).
+pub const PLAN_CACHE_WARM_ITERS: usize = if cfg!(debug_assertions) { 5 } else { 50 };
+
+/// One measured cold-vs-warm cache comparison.
+#[derive(Clone, Debug)]
+pub struct PlanCacheRow {
+    /// Workload key (an [`experiments::autotune_setup`] name).
+    pub workload: &'static str,
+    /// Cold tuning wall seconds (cache miss: the full sweep ran).
+    pub cold_s: f64,
+    /// Fastest warm lookup wall seconds over
+    /// [`PLAN_CACHE_WARM_ITERS`] hits.
+    pub warm_s: f64,
+    /// The cold winner.
+    pub cold_best: Candidate,
+    /// The warm winner (must be bit-identical to the cold one).
+    pub warm_best: Candidate,
+    /// Configurations the warm call costed (must be 0).
+    pub warm_configs_evaluated: usize,
+    /// Schedules the warm call explored (must be 0).
+    pub warm_schedules_explored: usize,
+    /// Configurations the cold call costed (> 0: the sweep ran).
+    pub cold_configs_evaluated: usize,
+    /// The cache's counters after the final warm call.
+    pub stats: CacheStats,
+}
+
+impl PlanCacheRow {
+    /// The raw cold/warm wall ratio.
+    pub fn measured_speedup(&self) -> f64 {
+        self.cold_s / self.warm_s
+    }
+
+    /// Whether the warm winner is bit-identical to the cold one.
+    pub fn bit_identical(&self) -> bool {
+        self.warm_best.schedule == self.cold_best.schedule
+            && self.warm_best.config == self.cold_best.config
+            && self.warm_best.time.to_bits() == self.cold_best.time.to_bits()
+    }
+
+    /// Violations of the cache contract (empty when healthy).
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if !self.bit_identical() {
+            v.push(format!(
+                "warm winner differs from cold winner: {:?} @ {} ({}) vs {:?} @ {} ({})",
+                self.warm_best.schedule,
+                self.warm_best.config,
+                self.warm_best.time,
+                self.cold_best.schedule,
+                self.cold_best.config,
+                self.cold_best.time,
+            ));
+        }
+        if self.warm_configs_evaluated != 0 || self.warm_schedules_explored != 0 {
+            v.push(format!(
+                "a cache hit still swept: {} configs costed, {} schedules explored — both must be 0",
+                self.warm_configs_evaluated, self.warm_schedules_explored,
+            ));
+        }
+        if self.cold_configs_evaluated == 0 {
+            v.push("cold tuning costed 0 configs — the sweep never ran".into());
+        }
+        if self.measured_speedup() < PLAN_CACHE_MIN_SPEEDUP {
+            v.push(format!(
+                "warm hit only {:.1}x faster than the cold sweep \
+                 ({:.3e}s vs {:.3e}s) — the gate is {}x",
+                self.measured_speedup(),
+                self.warm_s,
+                self.cold_s,
+                PLAN_CACHE_MIN_SPEEDUP,
+            ));
+        }
+        if self.stats.hits != PLAN_CACHE_WARM_ITERS || self.stats.misses != 1 {
+            v.push(format!(
+                "cache counters off: {} hits / {} misses, expected {} / 1",
+                self.stats.hits, self.stats.misses, PLAN_CACHE_WARM_ITERS,
+            ));
+        }
+        v
+    }
+}
+
+/// Runs the cold-then-warm measurement on `workload` with the given
+/// tuner parallelism.
+pub fn plan_cache_bench(workload: &'static str, workers: usize) -> PlanCacheRow {
+    let (program, binding, sim) = experiments::autotune_setup(workload);
+    let tuner = Autotuner::default().with_workers(workers);
+    let mut cache = PlanCache::new(8);
+
+    let cold = tuner
+        .tune_cached(&program, &binding, &sim, &mut cache)
+        .expect("workload tunes");
+    let cold_best = cold.best().expect("cold search found a winner").clone();
+
+    let mut warm_s = f64::INFINITY;
+    let mut warm = None;
+    for _ in 0..PLAN_CACHE_WARM_ITERS {
+        let report = tuner
+            .tune_cached(&program, &binding, &sim, &mut cache)
+            .expect("workload tunes");
+        warm_s = warm_s.min(report.elapsed.as_secs_f64());
+        warm = Some(report);
+    }
+    let warm = warm.expect("at least one warm iteration");
+    let warm_best = warm.best().expect("warm hit returns the winner").clone();
+
+    PlanCacheRow {
+        workload,
+        cold_s: cold.elapsed.as_secs_f64(),
+        warm_s,
+        cold_best,
+        warm_best,
+        warm_configs_evaluated: warm.configs_evaluated,
+        warm_schedules_explored: warm.schedules_explored,
+        cold_configs_evaluated: cold.configs_evaluated,
+        stats: warm.cache,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The debug-build run already satisfies every gate: the hit is
+    /// bit-identical, costs nothing, and clears the 50x floor (a hash
+    /// lookup vs a several-ms sweep has orders of magnitude of slack).
+    #[test]
+    fn plan_cache_bench_is_healthy() {
+        let row = plan_cache_bench("adam", 1);
+        assert_eq!(row.violations(), Vec::<String>::new());
+        assert!(row.bit_identical());
+        assert!(row.measured_speedup() >= PLAN_CACHE_MIN_SPEEDUP);
+        assert_eq!(row.warm_configs_evaluated, 0);
+        assert!(row.cold_configs_evaluated > 0);
+        assert!(row.stats.hit_age.is_some(), "hit reports the entry age");
+    }
+}

@@ -1,9 +1,10 @@
 //! The machine-readable benchmark trajectory: every CI run distills
 //! the paper's headline experiments (Tables 2/3/4, Figures 1/10/11),
 //! the collective-algorithm ablation (ring / tree / hierarchical /
-//! switch, over message size and over worker count), and the measured
+//! switch, over message size and over worker count), the measured
 //! runtime rows (`microbench_zero_copy`, `ledger_allreduce`,
-//! `ledger_switch`) into one `BENCH_coconet.json`, the
+//! `ledger_switch`), and the serving rows (`plan_cache`,
+//! `multitenant_throughput`) into one `BENCH_coconet.json`, the
 //! perf-trajectory source of truth the repository tracks across PRs.
 //!
 //! Schema — one top-level object, experiment name → row:
@@ -128,6 +129,12 @@ pub fn collect(quick: bool) -> Result<Trajectory, String> {
     let (steady_rows, steady_failures) = steady_experiments();
     results.extend(steady_rows);
     gate_failures.extend(steady_failures);
+    let (pc_row, pc_failures) = plan_cache_experiment();
+    results.push(pc_row);
+    gate_failures.extend(pc_failures);
+    let (mt_row, mt_failures) = multitenant_experiment();
+    results.push(mt_row);
+    gate_failures.extend(mt_failures);
     let workloads: &[&str] = if quick {
         &["adam", "model-parallel"]
     } else {
@@ -444,6 +451,102 @@ fn steady_experiments() -> (Vec<ExperimentResult>, Vec<String>) {
         .map(|v| format!("ledger_priority_stream: {v}"))
         .collect();
     (vec![stream, ledger], failures)
+}
+
+/// The measured plan-cache row: one cold [`Autotuner::tune_cached`]
+/// sweep of the Adam workload against the fastest of
+/// [`PLAN_CACHE_WARM_ITERS`](crate::plancache::PLAN_CACHE_WARM_ITERS)
+/// warm cache hits. The row's baseline is the cold wall capped at
+/// `warm × PLAN_CACHE_MIN_SPEEDUP` — the same treatment as the
+/// zero-copy microbenchmark — so a healthy run pins the gated speedup
+/// at exactly the 50x floor while the raw ratio (typically far larger)
+/// rides along in `measured_speedup`. Cache-contract violations — a
+/// warm winner that isn't bit-identical to the cold one, a hit that
+/// still costed configurations, a sub-50x lookup — are gate failures.
+fn plan_cache_experiment() -> (ExperimentResult, Vec<String>) {
+    use crate::plancache::{plan_cache_bench, PLAN_CACHE_MIN_SPEEDUP, PLAN_CACHE_WARM_ITERS};
+    let row = plan_cache_bench("adam", TUNE_WORKERS);
+    let gated_baseline = row.cold_s.min(row.warm_s * PLAN_CACHE_MIN_SPEEDUP);
+    let mut result = ExperimentResult::analytic("plan_cache", gated_baseline, row.warm_s);
+    result.extra = vec![
+        ("cold_s".into(), Json::Num(row.cold_s)),
+        ("measured_speedup".into(), Json::Num(row.measured_speedup())),
+        ("warm_iters".into(), Json::Num(PLAN_CACHE_WARM_ITERS as f64)),
+        (
+            "cold_configs_evaluated".into(),
+            Json::Num(row.cold_configs_evaluated as f64),
+        ),
+        (
+            "warm_configs_evaluated".into(),
+            Json::Num(row.warm_configs_evaluated as f64),
+        ),
+        ("cache_hits".into(), Json::Num(row.stats.hits as f64)),
+        ("cache_misses".into(), Json::Num(row.stats.misses as f64)),
+        (
+            "cache_evictions".into(),
+            Json::Num(row.stats.evictions as f64),
+        ),
+        ("winner".into(), Json::Str(row.warm_best.label())),
+        (
+            "bit_identical".into(),
+            Json::Str(if row.bit_identical() { "yes" } else { "no" }.into()),
+        ),
+    ];
+    let failures = row
+        .violations()
+        .into_iter()
+        .map(|v| format!("plan_cache: {v}"))
+        .collect();
+    (result, failures)
+}
+
+/// The multi-tenant contention row: the tuned Adam winner lowered at
+/// [`MT_JOBS`](crate::multitenant::MT_JOBS) scaled problem sizes,
+/// replayed through the shared-fabric simulator. The row's baseline is
+/// the serial (no-consolidation) wall and its `coconet_s` is the
+/// contention-aware makespan, so the gated speedup is the
+/// consolidation win CI tracks. The scheduling-theory invariants —
+/// SRPT strictly beating FIFO's mean completion, work-conserving
+/// makespans agreeing within slack, sharing beating serial — are gate
+/// failures.
+fn multitenant_experiment() -> (ExperimentResult, Vec<String>) {
+    use crate::multitenant::{multitenant_bench, MT_JOBS};
+    let row = multitenant_bench("adam", TUNE_WORKERS);
+    let mut result = ExperimentResult::analytic(
+        "multitenant_throughput",
+        row.serial_s(),
+        row.aware_makespan_s(),
+    );
+    result.extra = vec![
+        ("jobs".into(), Json::Num(MT_JOBS as f64)),
+        ("winner".into(), Json::Str(row.winner.clone())),
+        (
+            "fifo_makespan_s".into(),
+            Json::Num(row.report.fifo.makespan_s),
+        ),
+        (
+            "aware_makespan_s".into(),
+            Json::Num(row.report.aware.makespan_s),
+        ),
+        (
+            "fifo_mean_completion_s".into(),
+            Json::Num(row.report.fifo.mean_completion_s),
+        ),
+        (
+            "aware_mean_completion_s".into(),
+            Json::Num(row.report.aware.mean_completion_s),
+        ),
+        (
+            "solo_s".into(),
+            Json::Arr(row.solo_s.iter().map(|&(_, s)| Json::Num(s)).collect()),
+        ),
+    ];
+    let failures = row
+        .violations()
+        .into_iter()
+        .map(|v| format!("multitenant_throughput: {v}"))
+        .collect();
+    (result, failures)
 }
 
 /// The wire-format ablation at one message size: AllReduce of
@@ -946,6 +1049,43 @@ mod tests {
         assert_eq!(
             comp.get("fp16_bytes").and_then(Json::as_f64).unwrap() * 2.0,
             comp.get("dense_bytes").and_then(Json::as_f64).unwrap(),
+        );
+        // The plan-cache row: the gated speedup is pinned at the 50x
+        // floor, the hit costed nothing, and the warm winner is
+        // bit-identical to the cold one.
+        let pc = back.get("plan_cache").expect("plan cache row");
+        assert_eq!(
+            pc.get("speedup").and_then(Json::as_f64),
+            Some(crate::plancache::PLAN_CACHE_MIN_SPEEDUP)
+        );
+        assert!(
+            pc.get("measured_speedup").and_then(Json::as_f64).unwrap()
+                >= crate::plancache::PLAN_CACHE_MIN_SPEEDUP
+        );
+        assert_eq!(
+            pc.get("warm_configs_evaluated").and_then(Json::as_f64),
+            Some(0.0)
+        );
+        assert!(
+            pc.get("cold_configs_evaluated")
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        assert_eq!(pc.get("bit_identical").and_then(Json::as_str), Some("yes"));
+        assert_eq!(pc.get("cache_misses").and_then(Json::as_f64), Some(1.0));
+        // The multi-tenant row: consolidation beats serial, and SRPT
+        // beats fair sharing on mean completion.
+        let mt = back.get("multitenant_throughput").expect("multitenant row");
+        assert!(mt.get("speedup").and_then(Json::as_f64).unwrap() > 1.0);
+        assert_eq!(mt.get("jobs").and_then(Json::as_f64), Some(4.0));
+        assert!(
+            mt.get("aware_mean_completion_s")
+                .and_then(Json::as_f64)
+                .unwrap()
+                < mt.get("fifo_mean_completion_s")
+                    .and_then(Json::as_f64)
+                    .unwrap()
         );
         // The tuner rows carry the pruned-vs-exhaustive evidence.
         let adam = back.get("tab3_autotuner_adam").expect("adam row");

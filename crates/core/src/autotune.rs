@@ -25,10 +25,11 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use crate::plancache::{CacheStats, PlanCache, PlanKey};
 use crate::xform;
 use crate::{
     lower, Binding, CollAlgo, CommConfig, CommSched, CoreError, ExecPlan, OpKind, Program,
-    Protocol, VarId, WireFormat,
+    Protocol, VarId, WireFormat, XferSched,
 };
 
 /// Evaluates the cost of an executable plan (lower is better).
@@ -78,6 +79,20 @@ pub trait PlanEvaluator: Sync {
                 (self.lower_bound(&p), self.descendant_lower_bound(&p))
             })
             .unzip()
+    }
+
+    /// A stable fingerprint of everything in the evaluator's cost
+    /// model that can change a plan's estimated time — the machine
+    /// specification and the cluster geometry for a simulator-backed
+    /// evaluator. Two evaluators with equal fingerprints must cost
+    /// every plan identically: the fingerprint is the "cluster shape"
+    /// component of the [`PlanCache`] key, so a collision across
+    /// genuinely different machines would serve a stale winner. The
+    /// default of `0` is safe only for evaluators never mixed in one
+    /// cache (the cache is keyed per evaluator fingerprint, so two
+    /// zero-fingerprint evaluators alias each other).
+    fn fingerprint(&self) -> u64 {
+        0
     }
 }
 
@@ -138,6 +153,10 @@ pub struct TuneReport {
     /// Cost lookups answered from the structural-hash memo table
     /// instead of the evaluator.
     pub memo_hits: usize,
+    /// Plan-cache statistics for the consulted [`PlanCache`] — all
+    /// zeros (the [`CacheStats`] default) when the report came from an
+    /// uncached [`Autotuner::tune`] call.
+    pub cache: CacheStats,
     /// Wall-clock time of the exploration.
     pub elapsed: Duration,
 }
@@ -173,9 +192,15 @@ pub struct Autotuner {
     /// payload representation is a tunable too).
     pub formats: Vec<WireFormat>,
     /// Iteration-scheduling disciplines to sweep (barriered /
-    /// priority-streamed — MLfabric's observation that reordering
-    /// in-flight transfers is a performance dimension worth costing).
+    /// priority-streamed — BytePS's observation that crossing the
+    /// global barrier is a performance dimension worth costing).
     pub scheds: Vec<CommSched>,
+    /// Cross-job transfer disciplines to sweep (FIFO fair-sharing /
+    /// contention-aware — MLfabric's observation that reordering
+    /// in-flight transfers across concurrent jobs is a performance
+    /// dimension worth costing; cost-neutral for a solo program, so
+    /// ties keep the simpler FIFO discipline).
+    pub xfers: Vec<XferSched>,
     /// Also branch into slicing optimizer state (`asSlice` + `dead`,
     /// §4) after reorders that leave dangling state gathers.
     pub slice_state: bool,
@@ -196,6 +221,7 @@ impl Default for Autotuner {
             channels: vec![2, 4, 8, 16, 32, 64],
             formats: WireFormat::SWEEP.to_vec(),
             scheds: CommSched::ALL.to_vec(),
+            xfers: XferSched::ALL.to_vec(),
             slice_state: true,
             workers: 0,
             prune: true,
@@ -425,8 +451,118 @@ impl Autotuner {
             configs_pruned: state.configs_pruned.load(Ordering::Relaxed),
             branches_pruned,
             memo_hits: state.memo_hits.load(Ordering::Relaxed),
+            cache: CacheStats::default(),
             elapsed: start.elapsed(),
         })
+    }
+
+    /// Like [`tune`](Autotuner::tune), but consults `cache` first: a
+    /// warm hit at the same (structural program hash, evaluator
+    /// fingerprint × binding, config-grid fingerprint) key returns the
+    /// cached winning candidate — bit-identical to the cold winner —
+    /// in ~0 time, reporting `configs_evaluated = 0` and
+    /// `schedules_explored = 0` (no sweep ran). A miss runs the full
+    /// search and installs the winner. Either way the report's
+    /// [`TuneReport::cache`] carries the cache's cumulative
+    /// hit/miss/eviction counters (plus the answering entry's age on a
+    /// hit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from the input program, exactly as
+    /// [`tune`](Autotuner::tune) does.
+    pub fn tune_cached(
+        &self,
+        program: &Program,
+        binding: &Binding,
+        evaluator: &dyn PlanEvaluator,
+        cache: &mut PlanCache,
+    ) -> Result<TuneReport, CoreError> {
+        let start = Instant::now();
+        let key = self.cache_key(program, binding, evaluator);
+        if let Some((winner, age)) = cache.get(&key) {
+            let mut stats = cache.stats();
+            stats.hit_age = Some(age);
+            return Ok(TuneReport {
+                candidates: vec![winner],
+                schedules_explored: 0,
+                configs_evaluated: 0,
+                configs_pruned: 0,
+                branches_pruned: 0,
+                memo_hits: 0,
+                cache: stats,
+                elapsed: start.elapsed(),
+            });
+        }
+        let mut report = self.tune(program, binding, evaluator)?;
+        if let Ok(best) = report.best() {
+            cache.insert(key, best.clone());
+        }
+        report.cache = cache.stats();
+        Ok(report)
+    }
+
+    /// The [`PlanCache`] key for one request: the structural program
+    /// hash (isomorphism-invariant), the cluster-shape component
+    /// (evaluator fingerprint mixed with the binding's geometry and
+    /// symbol sizes — both change the winner), and this tuner's
+    /// config-grid fingerprint.
+    pub fn cache_key(
+        &self,
+        program: &Program,
+        binding: &Binding,
+        evaluator: &dyn PlanEvaluator,
+    ) -> PlanKey {
+        let cluster = {
+            let mut h = DefaultHasher::new();
+            evaluator.fingerprint().hash(&mut h);
+            binding.group_size.hash(&mut h);
+            binding.num_groups.hash(&mut h);
+            // Already sorted by name (the binding map is a BTreeMap).
+            for (name, value) in binding.symbols() {
+                name.hash(&mut h);
+                value.hash(&mut h);
+            }
+            h.finish()
+        };
+        PlanKey {
+            program: structural_hash(program),
+            cluster,
+            grid: self.grid_fingerprint(),
+        }
+    }
+
+    /// A stable fingerprint of the search space this tuner sweeps:
+    /// every grid dimension in order, plus the exploration knobs that
+    /// change which schedules are reachable. Two tuners with equal
+    /// fingerprints produce identical winners for identical inputs, so
+    /// the fingerprint is the grid component of the [`PlanCache`] key.
+    pub fn grid_fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.max_depth.hash(&mut h);
+        for a in &self.algos {
+            a.index().hash(&mut h);
+        }
+        u64::MAX.hash(&mut h); // dimension separator
+        for p in &self.protocols {
+            p.hash(&mut h);
+        }
+        u64::MAX.hash(&mut h);
+        self.channels.hash(&mut h);
+        u64::MAX.hash(&mut h);
+        for f in &self.formats {
+            f.hash(&mut h);
+        }
+        u64::MAX.hash(&mut h);
+        for s in &self.scheds {
+            s.index().hash(&mut h);
+        }
+        u64::MAX.hash(&mut h);
+        for x in &self.xfers {
+            x.index().hash(&mut h);
+        }
+        self.slice_state.hash(&mut h);
+        h.finish()
     }
 
     /// The BFS driver: explores level by level through `eval_level`
@@ -535,11 +671,14 @@ impl Autotuner {
         evaluator: &dyn PlanEvaluator,
         state: &SearchState,
     ) -> SweepOutcome {
-        // The scheduling discipline is the innermost loop with
-        // `Barriered` enumerated first (see [`CommSched::ALL`]), so a
-        // tie — any comm-free or compute-free plan, where streaming
-        // changes nothing — deterministically keeps the simpler
-        // barriered discipline (the sweep keeps the *first* best).
+        // The scheduling disciplines are the innermost loops with the
+        // simpler variant enumerated first (`Barriered` before
+        // `Priority`, `Fifo` before `Aware` — see [`CommSched::ALL`]
+        // and [`XferSched::ALL`]), so a tie — any comm-free or
+        // compute-free plan for the iteration discipline, *every* solo
+        // plan for the cost-neutral transfer discipline —
+        // deterministically keeps the simpler discipline (the sweep
+        // keeps the *first* best).
         let configs: Vec<CommConfig> = self
             .algos
             .iter()
@@ -547,12 +686,15 @@ impl Autotuner {
                 self.protocols.iter().flat_map(move |&protocol| {
                     self.channels.iter().flat_map(move |&channels| {
                         self.formats.iter().flat_map(move |&format| {
-                            self.scheds.iter().map(move |&sched| CommConfig {
-                                algo,
-                                protocol,
-                                channels,
-                                format,
-                                sched,
+                            self.scheds.iter().flat_map(move |&sched| {
+                                self.xfers.iter().map(move |&xfer| CommConfig {
+                                    algo,
+                                    protocol,
+                                    channels,
+                                    format,
+                                    sched,
+                                    xfer,
+                                })
                             })
                         })
                     })
@@ -1193,9 +1335,67 @@ mod tests {
             configs_pruned: 0,
             branches_pruned: 0,
             memo_hits: 0,
+            cache: CacheStats::default(),
             elapsed: Duration::ZERO,
         };
         assert_eq!(report.best().unwrap_err(), CoreError::NoViableSchedule);
+    }
+
+    #[test]
+    fn tune_cached_warm_hit_is_bit_identical_and_costs_nothing() {
+        let p = self_attention();
+        let binding = Binding::new(16)
+            .bind("B", 8)
+            .bind("S", 1024)
+            .bind("H", 3072);
+        let tuner = Autotuner::default().with_workers(1);
+        let mut cache = PlanCache::new(4);
+
+        let cold = tuner
+            .tune_cached(&p, &binding, &toy_evaluator, &mut cache)
+            .unwrap();
+        assert_eq!(cold.cache.hits, 0);
+        assert_eq!(cold.cache.misses, 1);
+        assert!(cold.configs_evaluated > 0);
+        assert_eq!(cache.len(), 1);
+
+        let warm = tuner
+            .tune_cached(&p, &binding, &toy_evaluator, &mut cache)
+            .unwrap();
+        // A cache hit reports zero configurations costed and zero
+        // schedules explored — nothing was swept.
+        assert_eq!(warm.configs_evaluated, 0);
+        assert_eq!(warm.schedules_explored, 0);
+        assert_eq!(warm.cache.hits, 1);
+        assert!(warm.cache.hit_age.is_some());
+        let c = cold.best().unwrap();
+        let w = warm.best().unwrap();
+        assert_eq!(c.schedule, w.schedule);
+        assert_eq!(c.config, w.config);
+        assert_eq!(c.time.to_bits(), w.time.to_bits());
+
+        // Any key component change misses: program structure...
+        let mut extended = p.clone();
+        let out = *extended.outputs().last().unwrap();
+        extended.relu(out).unwrap();
+        let r = tuner
+            .tune_cached(&extended, &binding, &toy_evaluator, &mut cache)
+            .unwrap();
+        assert!(r.configs_evaluated > 0);
+        // ...binding geometry...
+        let smaller = Binding::new(8).bind("B", 8).bind("S", 1024).bind("H", 3072);
+        let r = tuner
+            .tune_cached(&p, &smaller, &toy_evaluator, &mut cache)
+            .unwrap();
+        assert!(r.configs_evaluated > 0);
+        // ...and the config grid.
+        let mut narrow = Autotuner::default().with_workers(1);
+        narrow.channels = vec![16];
+        let r = narrow
+            .tune_cached(&p, &binding, &toy_evaluator, &mut cache)
+            .unwrap();
+        assert!(r.configs_evaluated > 0);
+        assert_ne!(narrow.grid_fingerprint(), tuner.grid_fingerprint());
     }
 
     #[test]

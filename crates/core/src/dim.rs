@@ -226,6 +226,12 @@ impl Binding {
         self.symbols.get(name).copied()
     }
 
+    /// All bound symbols in name order (the map is sorted), for
+    /// fingerprinting a binding into a plan-cache key.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.symbols.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
     /// Total number of ranks across all groups.
     pub fn world_size(&self) -> usize {
         self.group_size * self.num_groups

@@ -14,6 +14,7 @@ mod layout;
 mod lower;
 mod op;
 mod plan;
+pub mod plancache;
 mod types;
 pub mod xform;
 
@@ -31,6 +32,7 @@ pub use op::{BinaryOp, OpKind, PeerSelector, UnaryOp, VarId};
 pub use plan::{
     CollAlgo, CollKind, CollectiveStep, CommConfig, CommSched, ExecPlan, FixedStep,
     FusedCollectiveStep, KernelStep, MatMulStep, OverlapStage, OverlappedStep, Protocol,
-    ScatterInfo, SendRecvStep, Step,
+    ScatterInfo, SendRecvStep, Step, XferSched,
 };
+pub use plancache::{CacheStats, PlanCache, PlanKey};
 pub use types::TensorType;

@@ -144,12 +144,60 @@ impl fmt::Display for CommSched {
     }
 }
 
+/// How cross-job transfers share a contended fabric — the
+/// multi-tenant dimension (MLfabric's observation that *reordering*
+/// transfers across concurrent jobs, instead of letting them fair-share
+/// the links, is itself a first-class optimization). A solo program is
+/// priced identically under both disciplines (no contention, nothing
+/// to reorder), so the dimension is cost-neutral for single-job tuning
+/// and the pruning floors stay admissible unchanged; the multi-tenant
+/// simulator (`coconet-sim::multitenant`) and the runtime
+/// `CommScheduler` are where the two disciplines diverge.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum XferSched {
+    /// Naive arrival-order sharing: overlapping transfers fair-share
+    /// the contended links (generalized processor sharing).
+    #[default]
+    Fifo,
+    /// Contention-aware reordering: the fabric serves whole transfers
+    /// in shortest-remaining-work order across jobs, so small jobs
+    /// stop convoying behind large ones.
+    Aware,
+}
+
+impl XferSched {
+    /// All transfer disciplines, for autotuner sweeps. `Fifo` comes
+    /// first so a tie (every single-job plan — the dimension is
+    /// cost-neutral without contention) deterministically keeps the
+    /// simpler discipline.
+    pub const ALL: [XferSched; 2] = [XferSched::Fifo, XferSched::Aware];
+
+    /// Position of this discipline in [`XferSched::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            XferSched::Fifo => 0,
+            XferSched::Aware => 1,
+        }
+    }
+}
+
+impl fmt::Display for XferSched {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XferSched::Fifo => write!(f, "Fifo"),
+            XferSched::Aware => write!(f, "Aware"),
+        }
+    }
+}
+
 /// Communication configuration for a plan: collective algorithm,
 /// protocol, channel count (each NCCL channel is one thread block
 /// bound to one NIC/ring copy), the payload's wire format
 /// (dense / FP16 / top-k sparsified — the `coconet-compress`
-/// dimension), and the iteration-scheduling discipline
-/// (barriered / priority-streamed — the steady-state dimension).
+/// dimension), the iteration-scheduling discipline
+/// (barriered / priority-streamed — the steady-state dimension), and
+/// the cross-job transfer discipline (FIFO fair-sharing /
+/// contention-aware — the multi-tenant dimension).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CommConfig {
     /// Collective algorithm (logical topology).
@@ -162,6 +210,8 @@ pub struct CommConfig {
     pub format: WireFormat,
     /// Iteration-boundary scheduling discipline.
     pub sched: CommSched,
+    /// Cross-job transfer discipline on a shared fabric.
+    pub xfer: XferSched,
 }
 
 impl CommConfig {
@@ -179,6 +229,11 @@ impl CommConfig {
     pub fn with_sched(self, sched: CommSched) -> CommConfig {
         CommConfig { sched, ..self }
     }
+
+    /// The same configuration under a different transfer discipline.
+    pub fn with_xfer(self, xfer: XferSched) -> CommConfig {
+        CommConfig { xfer, ..self }
+    }
 }
 
 impl Default for CommConfig {
@@ -189,6 +244,7 @@ impl Default for CommConfig {
             channels: 16,
             format: WireFormat::Dense,
             sched: CommSched::Barriered,
+            xfer: XferSched::Fifo,
         }
     }
 }
@@ -200,10 +256,14 @@ impl fmt::Display for CommConfig {
             "{}/{}/{}ch/{}",
             self.algo, self.protocol, self.channels, self.format
         )?;
-        // The default discipline is elided, keeping single-iteration
-        // plan displays (and their pinned test strings) unchanged.
+        // The default disciplines are elided, keeping single-iteration
+        // single-job plan displays (and their pinned test strings)
+        // unchanged.
         if self.sched != CommSched::Barriered {
             write!(f, "/{}", self.sched)?;
+        }
+        if self.xfer != XferSched::Fifo {
+            write!(f, "/{}", self.xfer)?;
         }
         Ok(())
     }
@@ -622,6 +682,26 @@ mod tests {
         assert_eq!(dense.to_string(), "Ring/Simple/16ch/Dense");
         let streamed = dense.with_sched(CommSched::Priority);
         assert_eq!(streamed.to_string(), "Ring/Simple/16ch/Dense/Priority");
+    }
+
+    #[test]
+    fn xfer_dimension_display_and_index() {
+        assert_eq!(XferSched::Fifo.to_string(), "Fifo");
+        assert_eq!(XferSched::Aware.to_string(), "Aware");
+        for (i, x) in XferSched::ALL.into_iter().enumerate() {
+            assert_eq!(x.index(), i);
+        }
+        // The default (FIFO) discipline stays invisible in plan
+        // displays; the contention-aware discipline is appended after
+        // the scheduling discipline.
+        let dense = CommConfig::default();
+        assert_eq!(dense.to_string(), "Ring/Simple/16ch/Dense");
+        let aware = dense.with_xfer(XferSched::Aware);
+        assert_eq!(aware.to_string(), "Ring/Simple/16ch/Dense/Aware");
+        let both = dense
+            .with_sched(CommSched::Priority)
+            .with_xfer(XferSched::Aware);
+        assert_eq!(both.to_string(), "Ring/Simple/16ch/Dense/Priority/Aware");
     }
 
     #[test]

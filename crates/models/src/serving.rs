@@ -1,0 +1,142 @@
+//! The serving front end: a long-lived tuning loop over a plan cache.
+//!
+//! A serving process receives a stream of (program, geometry) requests
+//! — mostly repeats — and must hand each one a tuned
+//! [`ExecPlan`](coconet_core::ExecPlan). Re-running the autotuner per
+//! request wastes milliseconds of cost-model sweeping on answers that
+//! cannot have changed; [`ServeLoop`] pairs an
+//! [`Autotuner`] with a bounded [`PlanCache`] so repeated requests are
+//! answered from memory in microseconds, bit-identical to the cold
+//! search (the search is deterministic). The loop also keeps the
+//! running hit/miss/eviction counters an operator watches to size the
+//! cache.
+
+use std::time::{Duration, Instant};
+
+use coconet_core::{
+    Autotuner, Binding, CacheStats, CoreError, PlanCache, PlanEvaluator, Program, TuneReport,
+};
+
+/// One answered request: the tuner's report plus the serving-side
+/// measurements.
+#[derive(Clone, Debug)]
+pub struct ServeOutcome {
+    /// The underlying report — `candidates[0]` is the winning plan,
+    /// identical whether it came from the cache or a fresh search.
+    pub report: TuneReport,
+    /// Wall time this request took inside the serve loop.
+    pub wall: Duration,
+    /// Whether the cache answered (no sweep ran).
+    pub hit: bool,
+}
+
+/// A tuner plus a bounded plan cache: the state a serving process keeps
+/// alive across requests.
+#[derive(Debug)]
+pub struct ServeLoop {
+    tuner: Autotuner,
+    cache: PlanCache,
+    requests: usize,
+}
+
+impl ServeLoop {
+    /// A serve loop around `tuner` holding at most `capacity` cached
+    /// winners.
+    pub fn new(tuner: Autotuner, capacity: usize) -> ServeLoop {
+        ServeLoop {
+            tuner,
+            cache: PlanCache::new(capacity),
+            requests: 0,
+        }
+    }
+
+    /// Answers one request: a cache hit returns the memoized winner
+    /// (the report says `configs_evaluated == 0`), a miss runs the
+    /// full search and installs it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates program validation errors from the tuner.
+    pub fn serve(
+        &mut self,
+        program: &Program,
+        binding: &Binding,
+        evaluator: &dyn PlanEvaluator,
+    ) -> Result<ServeOutcome, CoreError> {
+        let start = Instant::now();
+        self.requests += 1;
+        let report = self
+            .tuner
+            .tune_cached(program, binding, evaluator, &mut self.cache)?;
+        let hit = report.cache.hit_age.is_some();
+        Ok(ServeOutcome {
+            report,
+            wall: start.elapsed(),
+            hit,
+        })
+    }
+
+    /// Requests answered so far.
+    pub fn requests(&self) -> usize {
+        self.requests
+    }
+
+    /// The cache's cumulative counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Number of winners currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Every cached entry's age, oldest first (see
+    /// [`PlanCache::ages`]).
+    pub fn plan_ages(&self) -> Vec<Duration> {
+        self.cache.ages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizers::{optimizer_program, Optimizer};
+    use crate::Hyper;
+    use coconet_sim::Simulator;
+    use coconet_topology::MachineSpec;
+
+    #[test]
+    fn repeated_requests_hit_and_match_the_cold_winner() {
+        let (program, _) = optimizer_program(Optimizer::Adam, Hyper::default()).unwrap();
+        let binding = Binding::new(16).bind("N", 1 << 20);
+        let sim = Simulator::new(MachineSpec::paper_testbed(), 16, 1);
+        let tuner = Autotuner::default().with_workers(1);
+        let mut serve = ServeLoop::new(tuner, 8);
+
+        let cold = serve.serve(&program, &binding, &sim).unwrap();
+        assert!(!cold.hit);
+        assert!(cold.report.configs_evaluated > 0);
+
+        let warm = serve.serve(&program, &binding, &sim).unwrap();
+        assert!(warm.hit);
+        assert_eq!(warm.report.configs_evaluated, 0);
+        let cold_best = cold.report.best().unwrap();
+        let warm_best = warm.report.best().unwrap();
+        assert_eq!(cold_best.config, warm_best.config);
+        assert_eq!(cold_best.schedule, warm_best.schedule);
+        assert_eq!(cold_best.time.to_bits(), warm_best.time.to_bits());
+
+        // A different geometry is a different request: miss, new entry.
+        let other = Binding::new(8).bind("N", 1 << 20);
+        let sim8 = Simulator::new(MachineSpec::paper_testbed(), 8, 1);
+        let third = serve.serve(&program, &other, &sim8).unwrap();
+        assert!(!third.hit);
+        assert_eq!(serve.cached_plans(), 2);
+        assert_eq!(serve.requests(), 3);
+        let stats = serve.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(serve.plan_ages().len(), 2);
+    }
+}

@@ -19,7 +19,7 @@ use std::thread;
 
 use coconet_compress::WireFormat;
 use coconet_core::{
-    Binding, CollAlgo, CommConfig, CommSched, Layout, OpKind, Program, SliceDim, VarId,
+    Binding, CollAlgo, CommConfig, CommSched, Layout, OpKind, Program, SliceDim, VarId, XferSched,
 };
 use coconet_tensor::{CounterRng, ReduceOp, Shape, Tensor};
 use coconet_topology::Cluster;
@@ -108,6 +108,12 @@ pub struct RunOptions {
     /// of barriering on them. Single-shot [`run_program`] calls behave
     /// identically either way.
     pub sched: CommSched,
+    /// Cross-job transfer discipline of the streaming scheduler — the
+    /// runtime counterpart of a tuned plan's
+    /// [`CommConfig::xfer`](coconet_core::CommConfig). Service order
+    /// only: outputs and per-class ledger totals are bit-identical
+    /// under either discipline.
+    pub xfer: XferSched,
     /// When nonzero, every step of every rank sleeps a deterministic
     /// pseudo-random duration in `[0, jitter_ns)` nanoseconds, keyed by
     /// `(seed, rank, iteration, step)`. Exercises the
@@ -124,6 +130,7 @@ impl Default for RunOptions {
             ranks_per_node: 0,
             format: WireFormat::Dense,
             sched: CommSched::Barriered,
+            xfer: XferSched::Fifo,
             jitter_ns: 0,
         }
     }
@@ -160,6 +167,12 @@ impl RunOptions {
         self
     }
 
+    /// A cross-job transfer discipline (builder style).
+    pub fn with_xfer(mut self, xfer: XferSched) -> RunOptions {
+        self.xfer = xfer;
+        self
+    }
+
     /// A per-step jitter bound in nanoseconds (builder style).
     pub fn with_jitter_ns(mut self, jitter_ns: u64) -> RunOptions {
         self.jitter_ns = jitter_ns;
@@ -179,6 +192,7 @@ impl RunOptions {
         self.with_algo(config.algo)
             .with_format(config.format)
             .with_sched(config.sched)
+            .with_xfer(config.xfer)
     }
 
     /// Adopts a tuned plan's communication configuration *and* the
@@ -414,7 +428,7 @@ fn execute_rank(
         HashMap::new()
     };
     let n_sites = trailing.len() as u64;
-    let mut sched = CommScheduler::new();
+    let mut sched = CommScheduler::new().with_xfer(opts.xfer);
     // Per-site in-flight gradient job — the executor-level ready-epoch:
     // a site relaunching in iteration i+1 first waits its iteration-i
     // job, and nothing else.

@@ -43,7 +43,7 @@
 //! the rest.
 
 use coconet_compress::{QuantChunk, WireFormat};
-use coconet_core::{CollAlgo, CommSched};
+use coconet_core::{CollAlgo, CommSched, XferSched};
 use coconet_tensor::{DType, ReduceOp, Shape, Tensor};
 
 use crate::collectives::{chunk_range, wire_decode, wire_encode, Group};
@@ -167,6 +167,18 @@ impl RingJob {
 
     fn is_done(&self) -> bool {
         matches!(self.state, JobState::Done(_))
+    }
+
+    /// Chunk hops still ahead of this job — the contention-aware
+    /// scheduler's shortest-remaining-work key. The ring runs `k-1`
+    /// reduce-scatter hops then `k-1` gather hops.
+    fn remaining_hops(&self) -> usize {
+        let k = self.group.size;
+        match self.state {
+            JobState::ReduceScatter { step, .. } => (k - 1 - step) + (k - 1),
+            JobState::AllGather { step, .. } => k - 1 - step,
+            JobState::Done(_) => 0,
+        }
     }
 
     fn take_result(self) -> Tensor {
@@ -375,6 +387,14 @@ impl SwitchJob {
         self.result.is_some()
     }
 
+    /// Legs still ahead of this job: the up-send, the dataplane
+    /// fold/multicast, and the down receive.
+    fn remaining_hops(&self) -> usize {
+        usize::from(self.up.is_some())
+            + usize::from(!self.multicast_done)
+            + usize::from(self.result.is_none())
+    }
+
     fn take_result(self) -> Tensor {
         self.result.expect("take_result on an unfinished job")
     }
@@ -466,6 +486,13 @@ impl Job {
         }
     }
 
+    fn remaining_hops(&self) -> usize {
+        match self {
+            Job::Ring(j) => j.remaining_hops(),
+            Job::Switch(j) => j.remaining_hops(),
+        }
+    }
+
     fn poll(&mut self, comm: &RankComm) -> bool {
         match self {
             Job::Ring(j) => j.poll(comm),
@@ -497,6 +524,15 @@ pub struct CommScheduler {
     /// Unfinished jobs, kept sorted by `(class, seq)`.
     jobs: Vec<Job>,
     next_seq: u64,
+    /// Cross-job transfer discipline: FIFO services strict
+    /// `(class, seq)` order; Aware prefers the job with the fewest
+    /// remaining chunk hops (class and seq break ties), the
+    /// shortest-remaining-work policy that stops small transfers
+    /// convoying behind large ones. Either way every byte still moves
+    /// through the same tagged channels, so results and per-class
+    /// ledger totals are bit-identical across disciplines — the knob
+    /// reorders wire traffic, never data.
+    xfer: XferSched,
     /// Finished results waiting for [`CommScheduler::wait`].
     completed: Vec<(u64, Tensor)>,
     /// Job ids in the order they finished — the reordering witness the
@@ -505,9 +541,17 @@ pub struct CommScheduler {
 }
 
 impl CommScheduler {
-    /// An empty scheduler.
+    /// An empty scheduler (FIFO transfer discipline).
     pub fn new() -> CommScheduler {
         CommScheduler::default()
+    }
+
+    /// Selects the cross-job transfer discipline (builder style) — the
+    /// runtime counterpart of a tuned plan's
+    /// [`CommConfig::xfer`](coconet_core::CommConfig).
+    pub fn with_xfer(mut self, xfer: XferSched) -> CommScheduler {
+        self.xfer = xfer;
+        self
     }
 
     /// Launches a ring AllReduce of `input` at `class` (clamped to
@@ -566,13 +610,26 @@ impl CommScheduler {
         self.jobs.insert(at, job);
     }
 
-    /// One scheduling round: runs one chunk hop of the highest-priority
-    /// job that can make progress. Blocked jobs park; the first
-    /// runnable lower-priority job fills the gap — that is the
-    /// chunk-granular preemption between priority levels. Returns
+    /// One scheduling round: runs one chunk hop of the most-preferred
+    /// job that can make progress — strict `(class, seq)` order under
+    /// FIFO, shortest-remaining-hops first (class and seq breaking
+    /// ties) under the contention-aware discipline. Blocked jobs park;
+    /// the first runnable lower-preference job fills the gap — that is
+    /// the chunk-granular preemption between priority levels. Returns
     /// `true` if any job moved.
     pub fn poll(&mut self, comm: &RankComm) -> bool {
-        for i in 0..self.jobs.len() {
+        // `jobs` is kept sorted by (class, seq), which is FIFO's
+        // service order; Aware re-ranks by remaining work per round
+        // (cheap: in-flight job counts are small).
+        let order: Vec<usize> = match self.xfer {
+            XferSched::Fifo => (0..self.jobs.len()).collect(),
+            XferSched::Aware => {
+                let mut order: Vec<usize> = (0..self.jobs.len()).collect();
+                order.sort_by_key(|&i| (self.jobs[i].remaining_hops(), self.jobs[i].key()));
+                order
+            }
+        };
+        for i in order {
             if self.jobs[i].poll(comm) {
                 if self.jobs[i].is_done() {
                     let job = self.jobs.remove(i);
@@ -700,6 +757,14 @@ impl StreamExecutor {
     /// streams the ring job, matching the blocking executor's fallback.
     pub fn with_algo(mut self, algo: CollAlgo) -> Self {
         self.algo = algo;
+        self
+    }
+
+    /// Selects the scheduler's cross-job transfer discipline. Outputs
+    /// are bit-identical under either (see
+    /// [`CommScheduler::with_xfer`]); only wire-service order moves.
+    pub fn with_xfer(mut self, xfer: XferSched) -> Self {
+        self.scheduler.xfer = xfer;
         self
     }
 
@@ -1087,6 +1152,61 @@ mod tests {
         assert_eq!(me.ledger().class_bytes_sent[5], full_volume);
         // The scripted peer leaves its incoming chunks unread; that is
         // fine — channels are unbounded and the test owns both ends.
+    }
+
+    /// The transfer discipline only reorders wire service: an N-job
+    /// mixed ring/switch workload produces bit-identical results and
+    /// identical per-class ledger byte totals under FIFO and under the
+    /// contention-aware scheduler, on every rank — the determinism
+    /// contract that makes `xfer` a pure performance knob.
+    #[test]
+    fn aware_discipline_is_bit_identical_to_fifo() {
+        use crate::ledger::BytesLedger;
+        let k = 4usize;
+        let run = move |xfer: XferSched| -> Vec<(Vec<Vec<u32>>, BytesLedger)> {
+            run_ranks(k, move |comm| {
+                let rng = CounterRng::new(17);
+                // Mixed sizes and classes: the big low-priority ring
+                // job convoys the small ones under FIFO, and the Aware
+                // policy reorders them — results must not move.
+                let big = Tensor::randn([64], DType::F32, rng, (comm.rank() * 7) as u64);
+                let mid = Tensor::randn([16], DType::F32, rng, (comm.rank() * 7 + 1) as u64);
+                let tiny = Tensor::randn([4], DType::F32, rng, (comm.rank() * 7 + 2) as u64);
+                let quant = Tensor::randn([8], DType::F32, rng, (comm.rank() * 7 + 3) as u64);
+                let mut sched = CommScheduler::new().with_xfer(xfer);
+                sched.enqueue(1, 1, group_of(k), &big, ReduceOp::Sum, WireFormat::Dense);
+                sched.enqueue(2, 3, group_of(k), &mid, ReduceOp::Sum, WireFormat::Fp16);
+                sched.enqueue(3, 2, group_of(k), &tiny, ReduceOp::Max, WireFormat::Dense);
+                sched.enqueue_switch(4, 0, group_of(k), &quant, ReduceOp::Sum);
+                sched.drain(&comm);
+                let outs: Vec<Vec<u32>> = (1..=4)
+                    .map(|id| {
+                        sched
+                            .wait(&comm, id)
+                            .to_f32_vec()
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect()
+                    })
+                    .collect();
+                (outs, comm.ledger())
+            })
+        };
+        let fifo = run(XferSched::Fifo);
+        let aware = run(XferSched::Aware);
+        for (rank, ((fo, fl), (ao, al))) in fifo.iter().zip(aware.iter()).enumerate() {
+            assert_eq!(fo, ao, "rank {rank}: outputs diverged across disciplines");
+            assert_eq!(
+                fl.class_bytes_sent, al.class_bytes_sent,
+                "rank {rank}: per-class ledger diverged"
+            );
+        }
+        // And the Aware run itself is reproducible poll-for-poll.
+        let again = run(XferSched::Aware);
+        for ((ao, al), (bo, bl)) in aware.iter().zip(again.iter()) {
+            assert_eq!(ao, bo);
+            assert_eq!(al.class_bytes_sent, bl.class_bytes_sent);
+        }
     }
 
     /// The streaming loop produces bit-identical parameters to the

@@ -37,12 +37,16 @@
 
 mod cost;
 mod event;
+mod multitenant;
 mod overlap;
 mod protocol;
 mod simulator;
 
 pub use cost::{CostKnobs, CostModel, GroupGeom, WireBytes};
 pub use event::{ResourceId, TaskGraph, TaskId, Timeline};
+pub use multitenant::{
+    contention_report, simulate_shared, MultiTenantReport, ShareOutcome, TenantJob,
+};
 pub use overlap::{simulate_overlap, simulate_overlap_with_tiles, tile_count, OverlapSim};
 pub use protocol::{channel_sweep, default_protocol, params as protocol_params, ProtocolParams};
 pub use simulator::{DurableFloor, FloorProfile, PlanTime, Simulator, StepCategory, StepTime};

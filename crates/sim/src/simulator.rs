@@ -696,6 +696,22 @@ impl PlanEvaluator for Simulator {
         }
         (tights, descendants)
     }
+
+    /// The cluster-shape fingerprint for plan-cache keying: the whole
+    /// cost model (machine specification and every cost knob — all the
+    /// floats that can move a plan's estimated time) plus the
+    /// execution geometry. The spec holds `f64` bandwidths and
+    /// latencies, so the stable `Debug` rendering is hashed rather
+    /// than the (un-`Hash`able) fields directly.
+    fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        format!("{:?}", self.cost).hash(&mut h);
+        self.group_size.hash(&mut h);
+        self.num_groups.hash(&mut h);
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -794,6 +810,7 @@ mod tests {
                         channels,
                         format: WireFormat::Dense,
                         sched,
+                        ..CommConfig::default()
                     };
                     let mut plan = ExecPlan {
                         name: "lb".into(),
