@@ -1,0 +1,167 @@
+//! Measured kernel-engine rows for the monomorphized reduction loops.
+//!
+//! The seed runtime reduced tensors through the dynamic path — one
+//! `Tensor::get`/`Tensor::set` round trip plus a [`ReduceOp`] dispatch
+//! per element. The kernel engine in `coconet_tensor::kernels` replaces
+//! that with monomorphic per-op inner loops (`reduce_f32_serial`) and a
+//! persistent worker pool above the parallel threshold (`reduce_f32`).
+//! This module times all three on the acceptance-size buffer and
+//! reports effective memory throughput, the `kernel_throughput`
+//! trajectory row CI gates on.
+
+use std::time::Instant;
+
+use coconet_tensor::kernels::{pool_width, reduce_f32, reduce_f32_serial};
+use coconet_tensor::{DType, ReduceOp, Tensor};
+
+/// Elements of the benchmarked reduction: 2^24 — the acceptance size —
+/// in release builds, which produce every committed
+/// `BENCH_coconet.json`. Debug builds (the unit-test suite) shrink to
+/// 2^18 so `cargo test` does not spend its time in the deliberately
+/// slow per-element dispatch baseline.
+pub const KB_ELEMS: usize = if cfg!(debug_assertions) {
+    1 << 18
+} else {
+    1 << 24
+};
+
+/// The speedup floor the `kernel_throughput` gate enforces in release
+/// builds: the monomorphized engine must beat the per-element dispatch
+/// baseline by at least 2x (the acceptance criterion). Debug builds
+/// relax the floor to "strictly faster" — unoptimized slice loops keep
+/// bounds checks, so the debug margin is real but narrower, and the
+/// committed gate always runs under `--release`.
+pub const KERNEL_MIN_SPEEDUP: f64 = if cfg!(debug_assertions) { 1.05 } else { 2.0 };
+
+/// Cap on the gated speedup, mirroring
+/// [`GATED_SPEEDUP_CAP`](crate::zerocopy::GATED_SPEEDUP_CAP): the raw
+/// dispatch/engine ratio is a cross-machine wall-clock comparison too
+/// volatile for a 10 % regression gate, while any real engine
+/// regression collapses it toward 1x. Every healthy release run
+/// measures well above 5x, so the committed baseline pins at exactly
+/// 5x and stays machine-independent.
+pub const KERNEL_SPEEDUP_CAP: f64 = 5.0;
+
+/// One kernel-engine measurement: wall-clocks of the three reduction
+/// paths over the same buffers.
+#[derive(Clone, Debug)]
+pub struct KernelRow {
+    /// Elements reduced per pass.
+    pub elems: usize,
+    /// Per-element dispatch (seed path) wall-clock, seconds — fastest
+    /// of the iterations.
+    pub dispatch_s: f64,
+    /// Monomorphic serial loop wall-clock, seconds.
+    pub mono_s: f64,
+    /// Worker-pool parallel loop wall-clock, seconds.
+    pub parallel_s: f64,
+    /// Worker threads the pool ran (1 on a single-core host — the
+    /// caller runs its share inline).
+    pub workers: usize,
+}
+
+impl KernelRow {
+    /// The engine's best wall-clock (serial or parallel, whichever the
+    /// host favors — on a single core the pool adds only handoff).
+    pub fn best_engine_s(&self) -> f64 {
+        self.mono_s.min(self.parallel_s)
+    }
+
+    /// Dispatch-baseline over best-engine speedup.
+    pub fn speedup(&self) -> f64 {
+        self.dispatch_s / self.best_engine_s()
+    }
+
+    /// Effective memory throughput of a pass at `seconds`, GB/s: two
+    /// operand reads plus one result write of F32 per element.
+    pub fn throughput_gb_s(&self, seconds: f64) -> f64 {
+        (self.elems * 3 * DType::F32.size_bytes()) as f64 / seconds / 1e9
+    }
+
+    /// Violations of the engine contract (empty when the monomorphized
+    /// loops beat the dispatch baseline by the gate floor).
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if self.speedup() < KERNEL_MIN_SPEEDUP {
+            v.push(format!(
+                "kernel engine speedup {:.2}x is below the {KERNEL_MIN_SPEEDUP}x floor \
+                 (dispatch {:.3e}s, mono {:.3e}s, parallel {:.3e}s)",
+                self.speedup(),
+                self.dispatch_s,
+                self.mono_s,
+                self.parallel_s
+            ));
+        }
+        v
+    }
+}
+
+/// Times `iters` passes of each reduction path over fresh
+/// `elems`-element F32 buffers, fastest kept, and spot-checks every
+/// pass so no path can skip the work.
+pub fn kernel_microbench(elems: usize, iters: usize) -> KernelRow {
+    let a: Vec<f32> = (0..elems).map(|i| (i % 97) as f32).collect();
+    let b: Vec<f32> = (0..elems).map(|i| (i % 89) as f32 + 1.0).collect();
+    let want = |i: usize| (i % 97) as f32 + ((i % 89) as f32 + 1.0);
+
+    // Seed path: Tensor get/set plus a ReduceOp dispatch per element.
+    let inc = Tensor::from_fn([elems], DType::F32, |i| b[i]);
+    let mut dispatch_s = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let mut acc = Tensor::from_fn([elems], DType::F32, |i| a[i]);
+        let start = Instant::now();
+        for i in 0..elems {
+            acc.set(i, ReduceOp::Sum.apply(acc.get(i), inc.get(i)));
+        }
+        dispatch_s = dispatch_s.min(start.elapsed().as_secs_f64());
+        assert_eq!(acc.get(7), want(7));
+    }
+
+    let mut mono_s = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let mut acc = a.clone();
+        let start = Instant::now();
+        reduce_f32_serial(&mut acc, &b, ReduceOp::Sum);
+        mono_s = mono_s.min(start.elapsed().as_secs_f64());
+        assert_eq!(acc[7], want(7));
+    }
+
+    let mut parallel_s = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let mut acc = a.clone();
+        let start = Instant::now();
+        reduce_f32(&mut acc, &b, ReduceOp::Sum);
+        parallel_s = parallel_s.min(start.elapsed().as_secs_f64());
+        assert_eq!(acc[7], want(7));
+    }
+
+    KernelRow {
+        elems,
+        dispatch_s,
+        mono_s,
+        parallel_s,
+        workers: pool_width(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small-size run: all three paths agree (the spot-checks inside
+    /// the bench), the measured times are sane, and the engine clears
+    /// the debug gate floor. The acceptance-size run lives in the
+    /// trajectory, measured under `--release`.
+    #[test]
+    fn kernel_paths_agree_and_engine_wins() {
+        let row = kernel_microbench(1 << 16, 2);
+        assert!(row.dispatch_s > 0.0 && row.mono_s > 0.0 && row.parallel_s > 0.0);
+        assert!(row.workers >= 1);
+        assert!(
+            row.violations().is_empty(),
+            "kernel gate: {:?}",
+            row.violations()
+        );
+        assert!(row.throughput_gb_s(row.best_engine_s()) > 0.0);
+    }
+}

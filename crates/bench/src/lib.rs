@@ -9,10 +9,12 @@
 pub mod compression;
 pub mod experiments;
 pub mod json;
+pub mod kernelbench;
 pub mod multitenant;
 pub mod plancache;
 pub mod report;
 pub mod steady;
+pub mod striping;
 pub mod switchnet;
 pub mod trajectory;
 pub mod zerocopy;

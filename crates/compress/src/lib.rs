@@ -26,7 +26,7 @@
 
 use std::fmt;
 
-use coconet_tensor::{DType, ReduceOp, SparseChunk, Tensor, SPARSE_ENTRY_BYTES};
+use coconet_tensor::{kernels, DType, ReduceOp, SparseChunk, Tensor, SPARSE_ENTRY_BYTES};
 
 /// How a collective's payload is represented on the wire.
 ///
@@ -248,11 +248,18 @@ pub struct QuantChunk {
 impl QuantChunk {
     /// Quantizes a tensor elementwise (see [`quantize_value`] for the
     /// round-trip contract).
+    ///
+    /// Both storage dtypes run through the kernel engine's slice codec
+    /// — F16 tensors widen inside the monomorphic pass instead of
+    /// degrading to per-element `Tensor::get` virtual indexing — and
+    /// payloads above the engine's threshold quantize in parallel.
     pub fn quantize(t: &Tensor) -> QuantChunk {
-        let values = match t.as_f32_slice() {
-            Some(vals) => vals.iter().map(|&v| quantize_value(v)).collect(),
-            None => (0..t.numel()).map(|i| quantize_value(t.get(i))).collect(),
-        };
+        let mut values = vec![0i32; t.numel()];
+        match (t.as_f32_slice(), t.as_f16_slice()) {
+            (Some(vals), _) => kernels::par_map(vals, &mut values, |&v| quantize_value(v)),
+            (_, Some(vals)) => kernels::par_map(vals, &mut values, |h| quantize_value(h.to_f32())),
+            _ => unreachable!("tensor storage is F32 or F16"),
+        }
         QuantChunk {
             values,
             scale: FIXED_POINT_SCALE,
@@ -314,9 +321,11 @@ impl QuantChunk {
     }
 
     /// Dequantizes into a flat tensor of `dtype` (the caller reshapes
-    /// if the original payload was multi-dimensional).
+    /// if the original payload was multi-dimensional). Runs through the
+    /// kernel engine, so large chunks dequantize in parallel.
     pub fn dequantize(&self, dtype: DType) -> Tensor {
-        let vals: Vec<f32> = self.values.iter().map(|&q| dequantize_value(q)).collect();
+        let mut vals = vec![0.0f32; self.values.len()];
+        kernels::par_map(&self.values, &mut vals, |&q| dequantize_value(q));
         Tensor::from_f32_vec([vals.len()], dtype, vals).expect("length matches shape")
     }
 }
@@ -348,16 +357,32 @@ pub fn sparsify_top_k(t: &Tensor, k: usize) -> SparseChunk {
     // element O(1) times amortized, but the key closure would re-read
     // the tensor through its dtype dispatch on every comparison — this
     // is the per-iteration hot path of the 2^24-element benchmarks).
-    let keys: Vec<u32> = match t.as_f32_slice() {
-        Some(vals) => vals.iter().map(|v| ordered(v.abs())).collect(),
-        None => (0..n).map(|i| ordered(t.get(i).abs())).collect(),
-    };
+    // Key extraction is a pure elementwise map, so it runs through the
+    // kernel engine — F16 tensors widen inside the monomorphic pass
+    // instead of per-element `Tensor::get`, and large tensors extract
+    // in parallel. The selection itself stays sequential: its exact
+    // tie-breaking order is part of the determinism contract.
+    let mut keys = vec![0u32; n];
+    match (t.as_f32_slice(), t.as_f16_slice()) {
+        (Some(vals), _) => kernels::par_map(vals, &mut keys, |v| ordered(v.abs())),
+        (_, Some(vals)) => kernels::par_map(vals, &mut keys, |h| ordered(h.to_f32().abs())),
+        _ => unreachable!("tensor storage is F32 or F16"),
+    }
     let mut order: Vec<u32> = (0..n as u32).collect();
     // Partial selection: the k largest by |value|, ties to lower index.
     order.select_nth_unstable_by_key(k - 1, |i| (std::cmp::Reverse(keys[*i as usize]), *i));
     let mut selected: Vec<u32> = order[..k].to_vec();
     selected.sort_unstable();
-    let values = selected.iter().map(|&i| t.get(i as usize)).collect();
+    // Gather the kept values straight off the storage slice (k is tiny
+    // next to n — the gather stays serial).
+    let values: Vec<f32> = match (t.as_f32_slice(), t.as_f16_slice()) {
+        (Some(vals), _) => selected.iter().map(|&i| vals[i as usize]).collect(),
+        (_, Some(vals)) => selected
+            .iter()
+            .map(|&i| vals[i as usize].to_f32())
+            .collect(),
+        _ => unreachable!("tensor storage is F32 or F16"),
+    };
     SparseChunk::new(n, selected, values).expect("sorted unique in-range indices")
 }
 

@@ -14,9 +14,61 @@
 //! the [`BytesLedger`](crate::BytesLedger) suite asserts.
 
 use coconet_compress::WireFormat;
-use coconet_tensor::{DType, ReduceOp, Tensor};
+use coconet_tensor::{kernels, DType, ReduceOp, Tensor, F16};
 
 use crate::RankComm;
+
+/// The most lanes a collective will stripe across. The streaming
+/// executor's wire tags reserve six bits for the lane index, so wider
+/// requests clamp here (the autotuner's grid tops out at 64 as well).
+pub const MAX_CHANNELS: usize = 64;
+
+/// Clamps a requested channel count into the executable `1..=64` range.
+pub fn clamp_channels(channels: usize) -> usize {
+    channels.clamp(1, MAX_CHANNELS)
+}
+
+/// Sends an (already wire-encoded) payload as `channels` contiguous
+/// lane stripes — zero-copy views, so the byte total is exactly the
+/// single-message send's. `channels <= 1` sends the payload whole,
+/// byte- and allocation-identical to a plain [`RankComm::send`].
+pub(crate) fn send_striped(comm: &RankComm, dst: usize, payload: Tensor, channels: usize) {
+    if channels <= 1 {
+        comm.send(dst, payload);
+        return;
+    }
+    let n = payload.numel();
+    for s in 0..channels {
+        let (off, len) = chunk_range(n, channels, s);
+        let stripe = if len == 0 {
+            payload.slice_flat(0, 0).expect("empty view")
+        } else {
+            payload.slice_flat(off, len).expect("in range")
+        };
+        comm.send(dst, stripe);
+    }
+}
+
+/// Receives the `channels` lane stripes of one logical payload (in
+/// lane order — the fabric is per-source FIFO) and reassembles them
+/// into a contiguous tensor. The inverse of [`send_striped`];
+/// `channels <= 1` is a plain [`RankComm::recv`].
+pub(crate) fn recv_striped(comm: &RankComm, src: usize, channels: usize) -> Tensor {
+    if channels <= 1 {
+        return comm.recv(src);
+    }
+    let stripes: Vec<Tensor> = (0..channels).map(|_| comm.recv(src)).collect();
+    let total: usize = stripes.iter().map(Tensor::numel).sum();
+    let mut asm = Tensor::zeros([total], stripes[0].dtype());
+    let mut off = 0usize;
+    for s in &stripes {
+        if s.numel() > 0 {
+            asm.write_flat(off, s).expect("stripes tile the payload");
+            off += s.numel();
+        }
+    }
+    asm
+}
 
 /// Encodes a tensor for the wire: a handle copy for the dense wire, an
 /// FP16 rounding for [`WireFormat::Fp16`]. The top-k format never
@@ -212,6 +264,286 @@ pub fn ring_all_reduce_wire(
         off += c.numel();
     }
     out
+}
+
+/// Element-type plumbing for the striped ring engine: the two working
+/// dtypes share one generic data path, each monomorphized over its
+/// fused out-of-place reduce kernel.
+trait StripeElem: Copy + Send + Sync + 'static {
+    /// The additive-identity fill for freshly allocated output vectors
+    /// (every element is overwritten before it is read).
+    const ZERO: Self;
+    /// The contiguous storage slice of a tensor of this element type.
+    fn slice(t: &Tensor) -> &[Self];
+    /// `dst[i] = op(a[i], b[i])` through the kernel engine.
+    fn reduce_out(a: &[Self], b: &[Self], dst: &mut [Self], op: ReduceOp);
+    /// Adopts an owned vector as a tensor without a copy.
+    fn tensor_from(shape: coconet_tensor::Shape, data: Vec<Self>) -> Tensor;
+}
+
+impl StripeElem for f32 {
+    const ZERO: f32 = 0.0;
+    fn slice(t: &Tensor) -> &[f32] {
+        t.as_f32_slice().expect("working dtype is F32")
+    }
+    fn reduce_out(a: &[f32], b: &[f32], dst: &mut [f32], op: ReduceOp) {
+        kernels::reduce_f32_out(a, b, dst, op);
+    }
+    fn tensor_from(shape: coconet_tensor::Shape, data: Vec<f32>) -> Tensor {
+        Tensor::from_f32_vec(shape, DType::F32, data).expect("length matches shape")
+    }
+}
+
+impl StripeElem for F16 {
+    const ZERO: F16 = F16::ZERO;
+    fn slice(t: &Tensor) -> &[F16] {
+        t.as_f16_slice().expect("working dtype is F16")
+    }
+    fn reduce_out(a: &[F16], b: &[F16], dst: &mut [F16], op: ReduceOp) {
+        kernels::reduce_f16_out(a, b, dst, op);
+    }
+    fn tensor_from(shape: coconet_tensor::Shape, data: Vec<F16>) -> Tensor {
+        Tensor::from_f16_vec(shape, data).expect("length matches shape")
+    }
+}
+
+/// The striped ReduceScatter phase: every hop's chunk travels as
+/// `channels` lane stripes (lane `s` carries the sub-range
+/// `chunk_range(chunk_len, channels, s)` of *every* chunk, so stripe
+/// bytes partition each hop's payload exactly), and every fold is a
+/// fused out-of-place kernel writing a fresh owned stripe — no
+/// copy-on-write detaches anywhere. Returns the fully reduced stripes
+/// of chunk `me`, in lane order. Bit-identical to the single-lane
+/// schedule: each element sees the same fold sequence, only the
+/// message framing changes.
+fn striped_rs_phase<E: StripeElem>(
+    comm: &RankComm,
+    group: Group,
+    input: &Tensor,
+    op: ReduceOp,
+    wire: WireFormat,
+    channels: usize,
+) -> Vec<Tensor> {
+    let k = group.size;
+    let me = group.position(comm.rank());
+    let n = input.numel();
+    let dtype = input.dtype();
+    let next = group.next(comm.rank());
+    let prev = group.prev(comm.rank());
+
+    let j = (me + k - 1) % k;
+    // The folded stripes of the chunk received last step — next step's
+    // outgoing payload.
+    let mut carry: Vec<Tensor> = Vec::new();
+    let mut own: Vec<Tensor> = Vec::new();
+    for step in 0..k - 1 {
+        let send_c = (j + k - step % k) % k;
+        let recv_c = (j + k - step - 1) % k;
+        if step == 0 {
+            // Pristine input stripes travel as zero-copy views.
+            let (c_off, c_len) = chunk_range(n, k, send_c);
+            for s in 0..channels {
+                let (s_off, s_len) = chunk_range(c_len, channels, s);
+                let stripe = input.slice_flat(c_off + s_off, s_len).expect("in range");
+                comm.send(next, wire_encode(&stripe, wire));
+            }
+        } else {
+            for stripe in carry.drain(..) {
+                comm.send(next, wire_encode(&stripe, wire));
+            }
+        }
+        let (r_off, r_len) = chunk_range(n, k, recv_c);
+        let mut folded: Vec<Tensor> = Vec::with_capacity(channels);
+        for s in 0..channels {
+            let (s_off, s_len) = chunk_range(r_len, channels, s);
+            let incoming = wire_decode(comm.recv(prev), wire, dtype);
+            let local = input.slice_flat(r_off + s_off, s_len).expect("in range");
+            let mut out = vec![E::ZERO; s_len];
+            E::reduce_out(E::slice(&local), E::slice(&incoming), &mut out, op);
+            folded.push(E::tensor_from(coconet_tensor::Shape::from([s_len]), out));
+        }
+        if recv_c == me {
+            own = folded;
+        } else {
+            carry = folded;
+        }
+    }
+    own
+}
+
+/// [`ring_reduce_scatter_wire`] executed as `channels` concurrent
+/// lanes (see `striped_rs_phase` for the lane geometry). `channels
+/// <= 1` (or a single-rank group) runs the unmodified single-lane
+/// path. Results are bit-identical at every width and the per-rank
+/// ledger byte totals are unchanged — stripe sums partition each
+/// hop's payload.
+pub fn ring_reduce_scatter_wire_striped(
+    comm: &RankComm,
+    group: Group,
+    input: &Tensor,
+    op: ReduceOp,
+    wire: WireFormat,
+    channels: usize,
+) -> Tensor {
+    let channels = clamp_channels(channels);
+    if channels == 1 || group.size == 1 {
+        return ring_reduce_scatter_wire(comm, group, input, op, wire);
+    }
+    let own = match input.dtype() {
+        DType::F32 => striped_rs_phase::<f32>(comm, group, input, op, wire, channels),
+        DType::F16 => striped_rs_phase::<F16>(comm, group, input, op, wire, channels),
+    };
+    // Reassemble the lane stripes into the contiguous owned chunk.
+    let me = group.position(comm.rank());
+    let (_, me_len) = chunk_range(input.numel(), group.size, me);
+    let mut chunk = Tensor::zeros([me_len], input.dtype());
+    let mut off = 0usize;
+    for stripe in own {
+        chunk
+            .write_flat(off, &stripe)
+            .expect("stripes tile the chunk");
+        off += stripe.numel();
+    }
+    chunk
+}
+
+/// [`ring_all_gather_wire`] executed as `channels` concurrent lanes:
+/// the owned chunk is encoded once, every hop moves `channels` stripe
+/// views of the encoded buffer (zero-copy, forwarding received stripe
+/// handles untouched), and each gathered chunk reassembles from its
+/// lane stripes at the end. `channels <= 1` (or a single-rank group)
+/// runs the unmodified single-lane path.
+pub fn ring_all_gather_wire_striped(
+    comm: &RankComm,
+    group: Group,
+    chunk: &Tensor,
+    wire: WireFormat,
+    channels: usize,
+) -> Vec<Tensor> {
+    let channels = clamp_channels(channels);
+    let k = group.size;
+    if channels == 1 || k == 1 {
+        return ring_all_gather_wire(comm, group, chunk, wire);
+    }
+    let me = group.position(comm.rank());
+    let dtype = chunk.dtype();
+    let next = group.next(comm.rank());
+    let prev = group.prev(comm.rank());
+
+    let enc = wire_encode(chunk, wire);
+    let enc_dtype = enc.dtype();
+    let own_len = enc.numel();
+    let own_stripes: Vec<Tensor> = (0..channels)
+        .map(|s| {
+            let (s_off, s_len) = chunk_range(own_len, channels, s);
+            enc.slice_flat(s_off, s_len).expect("in range")
+        })
+        .collect();
+
+    let mut gathered: Vec<Option<Tensor>> = vec![None; k];
+    gathered[me] = Some(wire_decode(enc, wire, dtype));
+
+    let mut fwd = own_stripes;
+    for step in 0..k - 1 {
+        let recv_c = (me + k - step - 1) % k;
+        for stripe in fwd.drain(..) {
+            comm.send(next, stripe);
+        }
+        let stripes: Vec<Tensor> = (0..channels).map(|_| comm.recv(prev)).collect();
+        let r_len: usize = stripes.iter().map(Tensor::numel).sum();
+        let mut asm = Tensor::zeros([r_len], enc_dtype);
+        let mut off = 0usize;
+        for s in &stripes {
+            asm.write_flat(off, s).expect("stripes tile the chunk");
+            off += s.numel();
+        }
+        gathered[recv_c] = Some(wire_decode(asm, wire, dtype));
+        fwd = stripes;
+    }
+    gathered
+        .into_iter()
+        .map(|c| c.expect("all chunks gathered"))
+        .collect()
+}
+
+/// [`ring_all_reduce_wire`] executed as `channels` concurrent lanes —
+/// the measured multi-channel data plane. Beyond the lane framing,
+/// the striped engine is cheaper per rank than the single-lane path
+/// by construction: every ReduceScatter fold writes a fresh owned
+/// stripe through the fused kernel (no copy-on-write detaches), and
+/// the AllGather lands decoded stripes directly in the preallocated
+/// output vector the result tensor then adopts without a copy (no
+/// zero-fill-plus-assembly pass). Results are bit-identical to the
+/// single-lane run at every width and the per-rank ledger byte totals
+/// are unchanged; `channels <= 1` (or a single-rank group) runs the
+/// unmodified single-lane path.
+pub fn ring_all_reduce_wire_striped(
+    comm: &RankComm,
+    group: Group,
+    input: &Tensor,
+    op: ReduceOp,
+    wire: WireFormat,
+    channels: usize,
+) -> Tensor {
+    let channels = clamp_channels(channels);
+    if channels == 1 || group.size == 1 {
+        return ring_all_reduce_wire(comm, group, input, op, wire);
+    }
+    match input.dtype() {
+        DType::F32 => striped_ring_ar::<f32>(comm, group, input, op, wire, channels),
+        DType::F16 => striped_ring_ar::<F16>(comm, group, input, op, wire, channels),
+    }
+}
+
+fn striped_ring_ar<E: StripeElem>(
+    comm: &RankComm,
+    group: Group,
+    input: &Tensor,
+    op: ReduceOp,
+    wire: WireFormat,
+    channels: usize,
+) -> Tensor {
+    let k = group.size;
+    let me = group.position(comm.rank());
+    let n = input.numel();
+    let dtype = input.dtype();
+    let next = group.next(comm.rank());
+    let prev = group.prev(comm.rank());
+
+    let own = striped_rs_phase::<E>(comm, group, input, op, wire, channels);
+
+    // --- AllGather phase, gathering straight into the output ---
+    let mut out_vec = vec![E::ZERO; n];
+    // Encode the owned stripes once; the same encoded payloads serve
+    // the sends and the own-chunk round-trip into the output (exactly
+    // the single-lane encode-once / decode-all discipline, so FP16
+    // wires round the own chunk identically).
+    let enc_own: Vec<Tensor> = own.iter().map(|s| wire_encode(s, wire)).collect();
+    let (me_off, me_len) = chunk_range(n, k, me);
+    for (s, enc) in enc_own.iter().enumerate() {
+        let (s_off, s_len) = chunk_range(me_len, channels, s);
+        let dec = wire_decode(enc.clone(), wire, dtype);
+        out_vec[me_off + s_off..me_off + s_off + s_len].copy_from_slice(E::slice(&dec));
+    }
+
+    let mut fwd = enc_own;
+    for step in 0..k - 1 {
+        let recv_c = (me + k - step - 1) % k;
+        for stripe in fwd.drain(..) {
+            comm.send(next, stripe);
+        }
+        let (r_off, r_len) = chunk_range(n, k, recv_c);
+        let mut received: Vec<Tensor> = Vec::with_capacity(channels);
+        for s in 0..channels {
+            let (s_off, s_len) = chunk_range(r_len, channels, s);
+            let enc = comm.recv(prev);
+            let dec = wire_decode(enc.clone(), wire, dtype);
+            out_vec[r_off + s_off..r_off + s_off + s_len].copy_from_slice(E::slice(&dec));
+            received.push(enc);
+        }
+        fwd = received;
+    }
+    E::tensor_from(input.shape().clone(), out_vec)
 }
 
 /// Broadcast from the group-relative `root` position. The root fans
@@ -499,5 +831,133 @@ mod tests {
         assert_eq!(g.next(7), 4);
         assert_eq!(g.prev(4), 7);
         assert_eq!(g.position(6), 2);
+    }
+
+    #[test]
+    fn channels_clamp_to_the_wire_tag_range() {
+        assert_eq!(clamp_channels(0), 1);
+        assert_eq!(clamp_channels(1), 1);
+        assert_eq!(clamp_channels(8), 8);
+        assert_eq!(clamp_channels(MAX_CHANNELS + 9), MAX_CHANNELS);
+    }
+
+    /// The striped ring engine is bit-identical to the single-lane
+    /// collectives and moves exactly the same byte volume, across
+    /// wires, dtypes, and awkward geometries (uneven chunks, stripes
+    /// wider than chunks).
+    #[test]
+    fn striped_ring_matches_single_lane_bit_for_bit() {
+        use coconet_compress::WireFormat;
+        for (k, n, channels) in [
+            (4usize, 64usize, 2usize),
+            (4, 67, 4),
+            (8, 96, 8),
+            (3, 7, 4), // stripes wider than some chunks
+            (5, 2, 8), // empty chunks and empty stripes
+        ] {
+            for wire in [WireFormat::Dense, WireFormat::Fp16] {
+                for dtype in [DType::F32, DType::F16] {
+                    let results = run_ranks(k, move |comm| {
+                        let group = Group { start: 0, size: k };
+                        let input = Tensor::from_fn([n], dtype, |i| {
+                            ((comm.rank() * 13 + i * 7) % 29) as f32 - 14.0
+                        });
+                        let single =
+                            ring_all_reduce_wire(&comm, group, &input, ReduceOp::Sum, wire);
+                        comm.reset_ledger();
+                        let lone = comm.ledger();
+                        let striped = ring_all_reduce_wire_striped(
+                            &comm,
+                            group,
+                            &input,
+                            ReduceOp::Sum,
+                            wire,
+                            channels,
+                        );
+                        let delta = comm.ledger();
+                        let single_wire = {
+                            comm.reset_ledger();
+                            let before = comm.ledger();
+                            let _ = ring_all_reduce_wire(&comm, group, &input, ReduceOp::Sum, wire);
+                            let after = comm.ledger();
+                            after.bytes_sent - before.bytes_sent
+                        };
+                        (
+                            single,
+                            striped,
+                            delta.bytes_sent - lone.bytes_sent,
+                            single_wire,
+                        )
+                    });
+                    for (r, (single, striped, striped_bytes, single_bytes)) in
+                        results.iter().enumerate()
+                    {
+                        let label = format!("k={k} n={n} C={channels} {wire} {dtype:?} rank={r}");
+                        assert_eq!(striped.shape(), single.shape(), "{label}");
+                        for i in 0..n {
+                            assert_eq!(
+                                striped.get(i).to_bits(),
+                                single.get(i).to_bits(),
+                                "{label} elem {i}"
+                            );
+                        }
+                        assert_eq!(striped_bytes, single_bytes, "{label}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Striped ReduceScatter and AllGather keep the single-lane
+    /// postconditions: position `i` owns chunk `i`, the gather
+    /// reassembles, and composing them equals the striped AllReduce.
+    #[test]
+    fn striped_phases_compose() {
+        let (k, n, channels) = (4usize, 21usize, 4usize);
+        let results = run_ranks(k, move |comm| {
+            let group = Group { start: 0, size: k };
+            let input = Tensor::from_fn([n], DType::F32, |i| ((comm.rank() + 1) * (i + 1)) as f32);
+            let direct = ring_all_reduce_wire_striped(
+                &comm,
+                group,
+                &input,
+                ReduceOp::Sum,
+                coconet_compress::WireFormat::Dense,
+                channels,
+            );
+            let chunk = ring_reduce_scatter_wire_striped(
+                &comm,
+                group,
+                &input,
+                ReduceOp::Sum,
+                coconet_compress::WireFormat::Dense,
+                channels,
+            );
+            let single_chunk = ring_reduce_scatter(&comm, group, &input, ReduceOp::Sum);
+            let gathered = ring_all_gather_wire_striped(
+                &comm,
+                group,
+                &chunk,
+                coconet_compress::WireFormat::Dense,
+                channels,
+            );
+            let mut composed = Tensor::zeros([n], DType::F32);
+            let mut off = 0;
+            for c in gathered {
+                composed.write_flat(off, &c).unwrap();
+                off += c.numel();
+            }
+            (direct, chunk, single_chunk, composed)
+        });
+        for (r, (direct, chunk, single_chunk, composed)) in results.iter().enumerate() {
+            let (_, len) = chunk_range(n, k, r);
+            assert_eq!(chunk.numel(), len, "rank {r}");
+            assert_eq!(
+                chunk.to_f32_vec(),
+                single_chunk.to_f32_vec(),
+                "rank {r}: striped RS must equal single-lane RS"
+            );
+            assert_eq!(direct.to_f32_vec(), composed.to_f32_vec(), "rank {r}");
+        }
     }
 }

@@ -23,11 +23,10 @@ use coconet_compress::{sparse_beats_dense, sparsify_top_k, ErrorFeedback, WireFo
 use coconet_core::CollAlgo;
 use coconet_tensor::{ReduceOp, SparseChunk, Tensor};
 
-use crate::collectives::Group;
-use crate::hierarchical::hierarchical_all_reduce_wire;
-use crate::ring_all_reduce_wire;
+use crate::collectives::{ring_all_reduce_wire_striped, Group};
+use crate::hierarchical::hierarchical_all_reduce_wire_striped;
 use crate::switch::switch_all_reduce;
-use crate::tree::tree_all_reduce_wire;
+use crate::tree::tree_all_reduce_wire_striped;
 use crate::RankComm;
 
 /// The wire format an AllReduce of `numel` elements actually runs
@@ -74,19 +73,58 @@ pub fn all_reduce_wire(
     format: WireFormat,
     feedback: Option<&mut ErrorFeedback>,
 ) -> Tensor {
+    all_reduce_wire_striped(
+        comm,
+        group,
+        input,
+        op,
+        algo,
+        ranks_per_node,
+        format,
+        feedback,
+        1,
+    )
+}
+
+/// [`all_reduce_wire`] with the dense collectives striped over
+/// `channels` concurrent lanes. The sparse top-k exchange and the
+/// in-network switch keep their single-lane wire (fixed-`k` chunks and
+/// fixed-point superchunks don't stripe); the ring, tree, and
+/// hierarchical paths run their striped engines. Results are
+/// bit-identical to `channels = 1` at every width and the per-rank
+/// byte totals are unchanged.
+#[allow(clippy::too_many_arguments)]
+pub fn all_reduce_wire_striped(
+    comm: &RankComm,
+    group: Group,
+    input: &Tensor,
+    op: ReduceOp,
+    algo: CollAlgo,
+    ranks_per_node: usize,
+    format: WireFormat,
+    feedback: Option<&mut ErrorFeedback>,
+    channels: usize,
+) -> Tensor {
     let format = resolve_all_reduce_format(format, input.numel(), group.size, op, input.dtype());
     if let WireFormat::TopK { .. } = format {
         return sparse_all_reduce(comm, group, input, format, feedback);
     }
     match algo {
-        CollAlgo::Ring => ring_all_reduce_wire(comm, group, input, op, format),
-        CollAlgo::Tree => tree_all_reduce_wire(comm, group, input, op, format),
-        CollAlgo::Hierarchical => {
-            hierarchical_all_reduce_wire(comm, group, input, op, ranks_per_node, format)
-        }
+        CollAlgo::Ring => ring_all_reduce_wire_striped(comm, group, input, op, format, channels),
+        CollAlgo::Tree => tree_all_reduce_wire_striped(comm, group, input, op, format, channels),
+        CollAlgo::Hierarchical => hierarchical_all_reduce_wire_striped(
+            comm,
+            group,
+            input,
+            op,
+            ranks_per_node,
+            format,
+            channels,
+        ),
         // The switch wire is fixed-point i32 regardless of the
         // configured dense format — FP16 neither helps nor hurts it,
-        // exactly as the cost model prices.
+        // exactly as the cost model prices. Its aggregation tree is a
+        // single in-network lane, so channels don't apply either.
         CollAlgo::Switch => switch_all_reduce(comm, group, input, op),
     }
 }

@@ -25,10 +25,13 @@ use coconet_tensor::{CounterRng, ReduceOp, Shape, Tensor};
 use coconet_topology::Cluster;
 
 use crate::collectives::{
-    all_reduce_scalar, broadcast, reduce, ring_all_gather_wire, ring_reduce_scatter_wire, Group,
+    all_reduce_scalar, broadcast, clamp_channels, reduce, ring_all_gather_wire_striped,
+    ring_reduce_scatter_wire_striped, Group,
 };
-use crate::compressed::all_reduce_wire;
-use crate::hierarchical::{hierarchical_all_gather_wire, hierarchical_reduce_scatter_wire};
+use crate::compressed::all_reduce_wire_striped;
+use crate::hierarchical::{
+    hierarchical_all_gather_wire_striped, hierarchical_reduce_scatter_wire_striped,
+};
 use crate::stream::CommScheduler;
 use crate::{DistValue, RankComm, RuntimeError};
 
@@ -114,6 +117,13 @@ pub struct RunOptions {
     /// only: outputs and per-class ledger totals are bit-identical
     /// under either discipline.
     pub xfer: XferSched,
+    /// Concurrent lanes every dense collective stripes its payload
+    /// across — the runtime counterpart of a tuned plan's
+    /// [`CommConfig::channels`]. `1` (the default) runs the single-lane
+    /// data plane; wider counts split every hop into contiguous stripe
+    /// messages with bit-identical results and unchanged byte totals.
+    /// Values clamp into `1..=`[`MAX_CHANNELS`](crate::MAX_CHANNELS).
+    pub channels: usize,
     /// When nonzero, every step of every rank sleeps a deterministic
     /// pseudo-random duration in `[0, jitter_ns)` nanoseconds, keyed by
     /// `(seed, rank, iteration, step)`. Exercises the
@@ -131,6 +141,7 @@ impl Default for RunOptions {
             format: WireFormat::Dense,
             sched: CommSched::Barriered,
             xfer: XferSched::Fifo,
+            channels: 1,
             jitter_ns: 0,
         }
     }
@@ -173,6 +184,13 @@ impl RunOptions {
         self
     }
 
+    /// A channel (lane) count for the dense collectives (builder
+    /// style); clamped into `1..=`[`MAX_CHANNELS`](crate::MAX_CHANNELS).
+    pub fn with_channels(mut self, channels: usize) -> RunOptions {
+        self.channels = clamp_channels(channels);
+        self
+    }
+
     /// A per-step jitter bound in nanoseconds (builder style).
     pub fn with_jitter_ns(mut self, jitter_ns: u64) -> RunOptions {
         self.jitter_ns = jitter_ns;
@@ -193,6 +211,7 @@ impl RunOptions {
             .with_format(config.format)
             .with_sched(config.sched)
             .with_xfer(config.xfer)
+            .with_channels(config.channels)
     }
 
     /// Adopts a tuned plan's communication configuration *and* the
@@ -734,7 +753,7 @@ fn all_reduce(
     op: ReduceOp,
     opts: RunOptions,
 ) -> Tensor {
-    all_reduce_wire(
+    all_reduce_wire_striped(
         comm,
         group,
         input,
@@ -743,6 +762,7 @@ fn all_reduce(
         opts.ranks_per_node,
         opts.format,
         None,
+        opts.channels,
     )
 }
 
@@ -764,11 +784,17 @@ fn reduce_scatter(
         // scatter/gather form and falls back to the ring (mirroring the
         // cost model's `effective_algo`).
         CollAlgo::Ring | CollAlgo::Tree | CollAlgo::Switch => {
-            ring_reduce_scatter_wire(comm, group, input, op, wire)
+            ring_reduce_scatter_wire_striped(comm, group, input, op, wire, opts.channels)
         }
-        CollAlgo::Hierarchical => {
-            hierarchical_reduce_scatter_wire(comm, group, input, op, opts.ranks_per_node, wire)
-        }
+        CollAlgo::Hierarchical => hierarchical_reduce_scatter_wire_striped(
+            comm,
+            group,
+            input,
+            op,
+            opts.ranks_per_node,
+            wire,
+            opts.channels,
+        ),
     }
 }
 
@@ -778,11 +804,16 @@ fn all_gather(comm: &RankComm, group: Group, chunk: &Tensor, opts: RunOptions) -
     let wire = rs_ag_format(opts.format);
     match opts.algo {
         CollAlgo::Ring | CollAlgo::Tree | CollAlgo::Switch => {
-            ring_all_gather_wire(comm, group, chunk, wire)
+            ring_all_gather_wire_striped(comm, group, chunk, wire, opts.channels)
         }
-        CollAlgo::Hierarchical => {
-            hierarchical_all_gather_wire(comm, group, chunk, opts.ranks_per_node, wire)
-        }
+        CollAlgo::Hierarchical => hierarchical_all_gather_wire_striped(
+            comm,
+            group,
+            chunk,
+            opts.ranks_per_node,
+            wire,
+            opts.channels,
+        ),
     }
 }
 

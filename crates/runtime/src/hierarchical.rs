@@ -21,7 +21,8 @@ use coconet_compress::WireFormat;
 use coconet_tensor::{ReduceOp, Tensor};
 
 use crate::collectives::{
-    chunk_range, ring_all_gather_wire, ring_reduce_scatter_wire, wire_decode, wire_encode, Group,
+    chunk_range, clamp_channels, recv_striped, ring_all_gather_wire_striped,
+    ring_reduce_scatter_wire_striped, send_striped, wire_decode, wire_encode, Group,
 };
 use crate::RankComm;
 
@@ -120,8 +121,27 @@ pub fn hierarchical_reduce_scatter_wire(
     node_size: usize,
     wire: WireFormat,
 ) -> Tensor {
+    hierarchical_reduce_scatter_wire_striped(comm, group, input, op, node_size, wire, 1)
+}
+
+/// [`hierarchical_reduce_scatter_wire`] with every phase striped over
+/// `channels` lanes: the intra-node rings run the striped ring engine
+/// and the leader hand-offs, the inter-node superchunk exchange, and
+/// the final scatter each travel as `channels` zero-copy stripe views.
+/// Byte totals and results are unchanged at every width; `channels <=
+/// 1` is the single-lane path.
+pub fn hierarchical_reduce_scatter_wire_striped(
+    comm: &RankComm,
+    group: Group,
+    input: &Tensor,
+    op: ReduceOp,
+    node_size: usize,
+    wire: WireFormat,
+    channels: usize,
+) -> Tensor {
+    let channels = clamp_channels(channels);
     if is_flat(group, node_size) {
-        return ring_reduce_scatter_wire(comm, group, input, op, wire);
+        return ring_reduce_scatter_wire_striped(comm, group, input, op, wire, channels);
     }
     let k = group.size;
     let n = input.numel();
@@ -130,13 +150,13 @@ pub fn hierarchical_reduce_scatter_wire(
 
     // Phase 1: intra-node ring ReduceScatter — local position `j` owns
     // the node-reduced chunk `chunk_range(n, sub.size, j)`.
-    let local_chunk = ring_reduce_scatter_wire(comm, g.sub, input, op, wire);
+    let local_chunk = ring_reduce_scatter_wire_striped(comm, g.sub, input, op, wire, channels);
 
     if g.local_pos != 0 {
         // Phase 2: hand the node-reduced chunk to the leader; phase 4:
         // receive the globally reduced final chunk back.
-        comm.send(g.sub.start, wire_encode(&local_chunk, wire));
-        return wire_decode(comm.recv(g.sub.start), wire, dtype);
+        send_striped(comm, g.sub.start, wire_encode(&local_chunk, wire), channels);
+        return wire_decode(recv_striped(comm, g.sub.start, channels), wire, dtype);
     }
 
     // Leader: reassemble the node-partial tensor from member chunks.
@@ -146,7 +166,7 @@ pub fn hierarchical_reduce_scatter_wire(
         partial.write_flat(own_off, &local_chunk).expect("in range");
     }
     for j in 1..g.sub.size {
-        let t = wire_decode(comm.recv(g.sub.start + j), wire, dtype);
+        let t = wire_decode(recv_striped(comm, g.sub.start + j, channels), wire, dtype);
         let (off, len) = chunk_range(n, g.sub.size, j);
         if len > 0 {
             partial.write_flat(off, &t).expect("in range");
@@ -175,9 +195,11 @@ pub fn hierarchical_reduce_scatter_wire(
             continue;
         }
         let (off, len) = superchunk(node);
-        comm.send(
+        send_striped(
+            comm,
             g.leader(node),
             wire_encode(&slice_or_empty(&partial, off, len), wire),
+            channels,
         );
     }
     let (s_off, s_len) = superchunk(g.my_node);
@@ -188,7 +210,7 @@ pub fn hierarchical_reduce_scatter_wire(
         if node == g.my_node {
             continue;
         }
-        let incoming = wire_decode(comm.recv(g.leader(node)), wire, dtype);
+        let incoming = wire_decode(recv_striped(comm, g.leader(node), channels), wire, dtype);
         acc.reduce_assign(&incoming, op)
             .expect("leaders agree on superchunk geometry");
     }
@@ -196,9 +218,11 @@ pub fn hierarchical_reduce_scatter_wire(
     // Phase 4: scatter the final chunks to the node's members.
     for j in 1..g.sub.size {
         let (off, len) = chunk_range(n, k, g.node_first + j);
-        comm.send(
+        send_striped(
+            comm,
             g.sub.start + j,
             wire_encode(&slice_or_empty(&acc, off - s_off, len), wire),
+            channels,
         );
     }
     let (off, len) = chunk_range(n, k, g.me);
@@ -231,8 +255,26 @@ pub fn hierarchical_all_gather_wire(
     node_size: usize,
     wire: WireFormat,
 ) -> Vec<Tensor> {
+    hierarchical_all_gather_wire_striped(comm, group, chunk, node_size, wire, 1)
+}
+
+/// [`hierarchical_all_gather_wire`] with every phase striped over
+/// `channels` lanes: the intra-node ring runs the striped engine and
+/// every chunk of the leader exchange and the intra-node forward
+/// travels as `channels` zero-copy stripe views of its encoded buffer.
+/// Byte totals and results are unchanged at every width; `channels <=
+/// 1` is the single-lane path.
+pub fn hierarchical_all_gather_wire_striped(
+    comm: &RankComm,
+    group: Group,
+    chunk: &Tensor,
+    node_size: usize,
+    wire: WireFormat,
+    channels: usize,
+) -> Vec<Tensor> {
+    let channels = clamp_channels(channels);
     if is_flat(group, node_size) {
-        return ring_all_gather_wire(comm, group, chunk, wire);
+        return ring_all_gather_wire_striped(comm, group, chunk, wire, channels);
     }
     let k = group.size;
     let dtype = chunk.dtype();
@@ -244,7 +286,7 @@ pub fn hierarchical_all_gather_wire(
     // forward (leader exchange and intra-node fan-out) is a buffer
     // handle of the already-encoded payload, and every rank decodes
     // each chunk exactly once at the end.
-    let node_chunks = ring_all_gather_wire(comm, g.sub, chunk, wire);
+    let node_chunks = ring_all_gather_wire_striped(comm, g.sub, chunk, wire, channels);
 
     let mut all: Vec<Option<Tensor>> = vec![None; k];
     for (j, c) in node_chunks.into_iter().enumerate() {
@@ -261,7 +303,12 @@ pub fn hierarchical_all_gather_wire(
             }
             let dst = g.leader(node);
             for j in 0..g.sub.size {
-                comm.send(dst, all[g.node_first + j].clone().expect("own node chunk"));
+                send_striped(
+                    comm,
+                    dst,
+                    all[g.node_first + j].clone().expect("own node chunk"),
+                    channels,
+                );
             }
         }
         for node in 0..g.n_nodes {
@@ -270,7 +317,7 @@ pub fn hierarchical_all_gather_wire(
             }
             let src = g.leader(node);
             for j in 0..g.node_members(node) {
-                all[node * node_size + j] = Some(comm.recv(src));
+                all[node * node_size + j] = Some(recv_striped(comm, src, channels));
             }
         }
         // Phase 3: forward the remote chunks to the node's members —
@@ -278,7 +325,12 @@ pub fn hierarchical_all_gather_wire(
         for member in 1..g.sub.size {
             for (pos, c) in all.iter().enumerate() {
                 if !is_local(pos) {
-                    comm.send(g.sub.start + member, c.clone().expect("gathered above"));
+                    send_striped(
+                        comm,
+                        g.sub.start + member,
+                        c.clone().expect("gathered above"),
+                        channels,
+                    );
                 }
             }
         }
@@ -287,7 +339,7 @@ pub fn hierarchical_all_gather_wire(
         // same ascending position order the leader sends them.
         for (pos, slot) in all.iter_mut().enumerate() {
             if !is_local(pos) {
-                *slot = Some(comm.recv(g.sub.start));
+                *slot = Some(recv_striped(comm, g.sub.start, channels));
             }
         }
     }
@@ -320,8 +372,25 @@ pub fn hierarchical_all_reduce_wire(
     node_size: usize,
     wire: WireFormat,
 ) -> Tensor {
-    let my_chunk = hierarchical_reduce_scatter_wire(comm, group, input, op, node_size, wire);
-    let chunks = hierarchical_all_gather_wire(comm, group, &my_chunk, node_size, wire);
+    hierarchical_all_reduce_wire_striped(comm, group, input, op, node_size, wire, 1)
+}
+
+/// [`hierarchical_all_reduce_wire`] with both phases striped over
+/// `channels` lanes (see the phase functions for the lane geometry).
+/// Bit-identical to the single-lane run at every width.
+pub fn hierarchical_all_reduce_wire_striped(
+    comm: &RankComm,
+    group: Group,
+    input: &Tensor,
+    op: ReduceOp,
+    node_size: usize,
+    wire: WireFormat,
+    channels: usize,
+) -> Tensor {
+    let my_chunk =
+        hierarchical_reduce_scatter_wire_striped(comm, group, input, op, node_size, wire, channels);
+    let chunks =
+        hierarchical_all_gather_wire_striped(comm, group, &my_chunk, node_size, wire, channels);
     let mut out = Tensor::zeros(input.shape().clone(), input.dtype());
     let mut off = 0usize;
     for c in chunks {

@@ -46,7 +46,9 @@ use coconet_compress::{QuantChunk, WireFormat};
 use coconet_core::{CollAlgo, CommSched, XferSched};
 use coconet_tensor::{DType, ReduceOp, Shape, Tensor};
 
-use crate::collectives::{chunk_range, wire_decode, wire_encode, Group};
+use std::collections::HashMap;
+
+use crate::collectives::{chunk_range, clamp_channels, wire_decode, wire_encode, Group};
 use crate::comm::{RankComm, WireMsg};
 use crate::ledger::PRIORITY_CLASSES;
 use crate::switch::fold_contributions;
@@ -103,6 +105,27 @@ impl RingJob {
         op: ReduceOp,
         wire: WireFormat,
     ) -> RingJob {
+        RingJob::new_lane(id, class, seq, group, input, op, wire, 1, 0)
+    }
+
+    /// Starts lane `lane` of a `lanes`-wide striped ring AllReduce:
+    /// this job moves stripe `chunk_range(chunk_len, lanes, lane)` of
+    /// every ring chunk, following the single-lane chunk schedule, and
+    /// finishes holding the flat concatenation of its fully gathered
+    /// chunk stripes (in chunk order). [`CommScheduler::wait`]
+    /// reassembles the lanes into the replicated output.
+    #[allow(clippy::too_many_arguments)]
+    fn new_lane(
+        id: u64,
+        class: u8,
+        seq: u64,
+        group: Group,
+        input: &Tensor,
+        op: ReduceOp,
+        wire: WireFormat,
+        lanes: usize,
+        lane: usize,
+    ) -> RingJob {
         let wire = match wire {
             WireFormat::TopK { .. } => WireFormat::Dense,
             f => f,
@@ -110,10 +133,13 @@ impl RingJob {
         let k = group.size;
         let n = input.numel();
         let dtype = input.dtype();
-        let shape = input.shape().clone();
         if k == 1 {
             // Degenerate group: the blocking ring returns the input's
             // values re-assembled into a fresh tensor; match it.
+            // (Striped enqueues delegate singleton groups here whole,
+            // so a lane job never sees k == 1 with a partial payload.)
+            debug_assert_eq!(lanes, 1, "singleton groups run single-lane");
+            let shape = input.shape().clone();
             let chunk = input.slice_flat(0, n).expect("full range");
             let mut out = Tensor::zeros(shape.clone(), dtype);
             out.write_flat(0, &chunk).expect("full range");
@@ -131,12 +157,20 @@ impl RingJob {
                 state: JobState::Done(out),
             };
         }
-        let rs_chunks = (0..k)
+        let rs_chunks: Vec<Tensor> = (0..k)
             .map(|c| {
-                let (off, len) = chunk_range(n, k, c);
-                input.slice_flat(off, len).expect("in range")
+                let (c_off, c_len) = chunk_range(n, k, c);
+                let (s_off, s_len) = chunk_range(c_len, lanes, lane);
+                input.slice_flat(c_off + s_off, s_len).expect("in range")
             })
             .collect();
+        // A single-lane job assembles into the input's shape; a lane
+        // job's result is the flat concatenation of its chunk stripes.
+        let shape = if lanes == 1 {
+            input.shape().clone()
+        } else {
+            Shape::from([rs_chunks.iter().map(Tensor::numel).sum::<usize>()])
+        };
         RingJob {
             id,
             class,
@@ -515,6 +549,26 @@ impl Job {
     }
 }
 
+/// Reassembly geometry of one striped logical job.
+#[derive(Debug)]
+struct StripedMeta {
+    channels: usize,
+    group_size: usize,
+    shape: Shape,
+    dtype: DType,
+}
+
+/// The wire tag of lane `lane` of striped logical job `id`: the lane
+/// index rides the low [`LANE_BITS`] bits. Single-lane jobs keep their
+/// raw id untouched, so the tag space is backward compatible.
+fn lane_tag(id: u64, lane: usize) -> u64 {
+    (id << LANE_BITS) | lane as u64
+}
+
+/// Bits [`lane_tag`] reserves for the lane index —
+/// [`MAX_CHANNELS`](crate::MAX_CHANNELS) lanes fit exactly.
+const LANE_BITS: u32 = 6;
+
 /// The priority queue in front of the comm fabric: in-flight
 /// [`RingJob`]s and [`SwitchJob`]s serviced in strict
 /// `(class, enqueue order)` order with chunk-granular preemption
@@ -533,6 +587,9 @@ pub struct CommScheduler {
     /// ledger totals are bit-identical across disciplines — the knob
     /// reorders wire traffic, never data.
     xfer: XferSched,
+    /// Lane geometry of striped logical jobs, by logical id —
+    /// [`CommScheduler::wait`] uses it to reassemble lane results.
+    striped: HashMap<u64, StripedMeta>,
     /// Finished results waiting for [`CommScheduler::wait`].
     completed: Vec<(u64, Tensor)>,
     /// Job ids in the order they finished — the reordering witness the
@@ -577,6 +634,63 @@ impl CommScheduler {
         self.admit(Job::Ring(RingJob::new(
             id, class, seq, group, input, op, wire,
         )));
+    }
+
+    /// Launches a ring AllReduce striped across `channels` concurrent
+    /// lanes: lane `s` is its own poll-driven [`RingJob`] moving stripe
+    /// `chunk_range(chunk_len, channels, s)` of every ring chunk, with
+    /// its own `(class, seq)` — so the scheduler preempts and
+    /// interleaves lanes independently at chunk-stripe granularity.
+    /// Lane chunks ride tagged `(id << 6) | lane`; callers must keep
+    /// striped logical ids below `2^58`. `channels <= 1` (or a
+    /// singleton group) is exactly [`enqueue`](CommScheduler::enqueue).
+    ///
+    /// [`wait`](CommScheduler::wait) on the logical `id` reassembles
+    /// the lanes; results are bit-identical to the single-lane job at
+    /// every width and the byte totals are unchanged (stripe sums
+    /// partition every chunk).
+    #[allow(clippy::too_many_arguments)]
+    pub fn enqueue_striped(
+        &mut self,
+        id: u64,
+        class: u8,
+        group: Group,
+        input: &Tensor,
+        op: ReduceOp,
+        wire: WireFormat,
+        channels: usize,
+    ) {
+        let channels = clamp_channels(channels);
+        if channels == 1 || group.size == 1 {
+            self.enqueue(id, class, group, input, op, wire);
+            return;
+        }
+        debug_assert_eq!(id >> (64 - LANE_BITS), 0, "striped id overflows the tag");
+        let class = class.min(PRIORITY_CLASSES as u8 - 1);
+        self.striped.insert(
+            id,
+            StripedMeta {
+                channels,
+                group_size: group.size,
+                shape: input.shape().clone(),
+                dtype: input.dtype(),
+            },
+        );
+        for lane in 0..channels {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.admit(Job::Ring(RingJob::new_lane(
+                lane_tag(id, lane),
+                class,
+                seq,
+                group,
+                input,
+                op,
+                wire,
+                channels,
+                lane,
+            )));
+        }
     }
 
     /// Launches an in-network switch AllReduce of `input` at `class` —
@@ -642,12 +756,45 @@ impl CommScheduler {
         false
     }
 
-    /// Polls until job `id` completes and returns its result.
+    /// Polls until job `id` completes and returns its result. For a
+    /// logical id launched with
+    /// [`enqueue_striped`](CommScheduler::enqueue_striped), drains all
+    /// of its lanes and reassembles their chunk stripes into the
+    /// replicated output.
     ///
     /// # Panics
     ///
     /// Panics if `id` was never enqueued.
     pub fn wait(&mut self, comm: &RankComm, id: u64) -> Tensor {
+        let Some(meta) = self.striped.remove(&id) else {
+            return self.wait_job(comm, id);
+        };
+        let lanes: Vec<Tensor> = (0..meta.channels)
+            .map(|s| self.wait_job(comm, lane_tag(id, s)))
+            .collect();
+        // Scatter each lane's flat chunk-stripe concatenation back to
+        // its per-chunk ranges.
+        let n = meta.shape.numel();
+        let k = meta.group_size;
+        let mut out = Tensor::zeros(meta.shape, meta.dtype);
+        for (s, lane_flat) in lanes.iter().enumerate() {
+            let mut lane_off = 0usize;
+            for c in 0..k {
+                let (c_off, c_len) = chunk_range(n, k, c);
+                let (s_off, s_len) = chunk_range(c_len, meta.channels, s);
+                if s_len > 0 {
+                    let stripe = lane_flat.slice_flat(lane_off, s_len).expect("in range");
+                    out.write_flat(c_off + s_off, &stripe).expect("in range");
+                    lane_off += s_len;
+                }
+            }
+        }
+        out
+    }
+
+    /// Polls until the physical job `id` (a raw or lane-tagged wire id)
+    /// completes and returns its result.
+    fn wait_job(&mut self, comm: &RankComm, id: u64) -> Tensor {
         loop {
             if let Some(at) = self.completed.iter().position(|(j, _)| *j == id) {
                 return self.completed.swap_remove(at).1;
@@ -722,6 +869,7 @@ pub struct StreamExecutor {
     sched: CommSched,
     wire: WireFormat,
     algo: CollAlgo,
+    channels: usize,
     scheduler: CommScheduler,
     params: Vec<StreamParam>,
     /// Iterations fully applied to every parameter.
@@ -737,6 +885,7 @@ impl StreamExecutor {
             sched,
             wire,
             algo: CollAlgo::Ring,
+            channels: 1,
             scheduler: CommScheduler::new(),
             params: params
                 .into_iter()
@@ -757,6 +906,17 @@ impl StreamExecutor {
     /// streams the ring job, matching the blocking executor's fallback.
     pub fn with_algo(mut self, algo: CollAlgo) -> Self {
         self.algo = algo;
+        self
+    }
+
+    /// Stripes every gradient AllReduce across `channels` lanes — each
+    /// lane an independently preemptible sub-job of the scheduler (see
+    /// [`CommScheduler::enqueue_striped`]). Parameters are
+    /// bit-identical at every width; the switch algorithm's fixed-point
+    /// wire stays single-lane. Clamped into
+    /// `1..=`[`MAX_CHANNELS`](crate::MAX_CHANNELS).
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        self.channels = clamp_channels(channels);
         self
     }
 
@@ -861,8 +1021,15 @@ impl StreamExecutor {
                     self.scheduler
                         .enqueue_switch(id, class, self.group, &g, ReduceOp::Sum);
                 } else {
-                    self.scheduler
-                        .enqueue(id, class, self.group, &g, ReduceOp::Sum, self.wire);
+                    self.scheduler.enqueue_striped(
+                        id,
+                        class,
+                        self.group,
+                        &g,
+                        ReduceOp::Sum,
+                        self.wire,
+                        self.channels,
+                    );
                 }
                 self.params[l].pending = Some(id);
             }
@@ -1206,6 +1373,115 @@ mod tests {
         for ((ao, al), (bo, bl)) in aware.iter().zip(again.iter()) {
             assert_eq!(ao, bo);
             assert_eq!(al.class_bytes_sent, bl.class_bytes_sent);
+        }
+    }
+
+    /// A striped scheduler job reproduces the blocking ring bit for
+    /// bit at every lane width — including widths above the chunk
+    /// length — and moves exactly the single-lane byte volume.
+    #[test]
+    fn striped_job_matches_blocking_ring() {
+        for (k, n, channels) in [
+            (2usize, 8usize, 2usize),
+            (4, 13, 4),
+            (4, 13, 8),
+            (3, 5, 4),
+            (1, 7, 4), // singleton group delegates to the plain job
+        ] {
+            for wire in [WireFormat::Dense, WireFormat::Fp16] {
+                let results = run_ranks(k, move |comm| {
+                    let rng = CounterRng::new(42);
+                    let input = Tensor::randn([n], DType::F32, rng, (comm.rank() * 1000) as u64);
+                    let reference = crate::ring_all_reduce_wire(
+                        &comm,
+                        group_of(k),
+                        &input,
+                        ReduceOp::Sum,
+                        wire,
+                    );
+                    comm.reset_ledger();
+                    let single_bytes = {
+                        let before = comm.ledger().bytes_sent;
+                        let mut sched = CommScheduler::new();
+                        sched.enqueue(9, 0, group_of(k), &input, ReduceOp::Sum, wire);
+                        let _ = sched.wait(&comm, 9);
+                        comm.ledger().bytes_sent - before
+                    };
+                    let before = comm.ledger().bytes_sent;
+                    let mut sched = CommScheduler::new();
+                    sched.enqueue_striped(9, 0, group_of(k), &input, ReduceOp::Sum, wire, channels);
+                    let got = sched.wait(&comm, 9);
+                    let striped_bytes = comm.ledger().bytes_sent - before;
+                    (got, reference, striped_bytes, single_bytes)
+                });
+                for (r, (got, reference, striped_bytes, single_bytes)) in
+                    results.into_iter().enumerate()
+                {
+                    let label = format!("k={k} n={n} C={channels} {wire} rank={r}");
+                    assert_eq!(got.shape(), reference.shape(), "{label}");
+                    let bits = |t: &Tensor| {
+                        t.to_f32_vec()
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect::<Vec<_>>()
+                    };
+                    assert_eq!(bits(&got), bits(&reference), "{label}");
+                    assert_eq!(striped_bytes, single_bytes, "{label}");
+                }
+            }
+        }
+    }
+
+    /// The streaming training loop is bit-identical across channel
+    /// widths: lanes change the wire framing, never the parameters.
+    #[test]
+    fn stream_executor_channels_are_bit_identical() {
+        let k = 4usize;
+        let layers = 3usize;
+        let iters = 3u64;
+        let run = move |channels: usize| {
+            run_ranks(k, move |comm| {
+                let rng = CounterRng::new(11);
+                let params: Vec<Tensor> = (0..layers)
+                    .map(|l| Tensor::randn([6], DType::F32, rng, l as u64))
+                    .collect();
+                let mut exec = StreamExecutor::new(
+                    group_of(k),
+                    params,
+                    CommSched::Priority,
+                    WireFormat::Dense,
+                )
+                .with_channels(channels);
+                let rank = comm.rank();
+                exec.run_iterations(
+                    &comm,
+                    iters,
+                    |_, _, _| {},
+                    move |l, iter, p| {
+                        let scale = (rank + 1) as f32 * 0.01 + iter as f32 * 0.001;
+                        let lf = l as f32;
+                        Tensor::from_fn([6], DType::F32, |i| p.get(i) * scale + lf + i as f32 * 0.1)
+                    },
+                    |_, p, g| {
+                        let step = Tensor::from_fn([6], DType::F32, |i| p.get(i) - 0.05 * g.get(i));
+                        *p = step;
+                    },
+                );
+                exec.params()
+            })
+        };
+        let single = run(1);
+        for channels in [2usize, 4] {
+            let striped = run(channels);
+            for (rank, (sp, cp)) in single.iter().zip(striped.iter()).enumerate() {
+                for (a, b) in sp.iter().zip(cp.iter()) {
+                    assert_eq!(
+                        a.to_f32_vec(),
+                        b.to_f32_vec(),
+                        "C={channels} rank={rank}: params diverged"
+                    );
+                }
+            }
         }
     }
 

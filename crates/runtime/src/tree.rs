@@ -12,7 +12,9 @@
 use coconet_compress::WireFormat;
 use coconet_tensor::{ReduceOp, Tensor};
 
-use crate::collectives::{wire_decode, wire_encode, Group};
+use crate::collectives::{
+    clamp_channels, recv_striped, send_striped, wire_decode, wire_encode, Group,
+};
 use crate::RankComm;
 
 /// Binomial-tree Reduce to group position 0, then binomial Broadcast —
@@ -35,6 +37,23 @@ pub fn tree_all_reduce_wire(
     op: ReduceOp,
     wire: WireFormat,
 ) -> Tensor {
+    tree_all_reduce_wire_striped(comm, group, input, op, wire, 1)
+}
+
+/// [`tree_all_reduce_wire`] with every hop's payload split into
+/// `channels` contiguous lane stripes (zero-copy views of the encoded
+/// buffer, so the wire byte total is unchanged and the result is
+/// bit-identical at every width — stripes reassemble before each fold
+/// and each decode). `channels <= 1` sends whole payloads.
+pub fn tree_all_reduce_wire_striped(
+    comm: &RankComm,
+    group: Group,
+    input: &Tensor,
+    op: ReduceOp,
+    wire: WireFormat,
+    channels: usize,
+) -> Tensor {
+    let channels = clamp_channels(channels);
     let k = group.size;
     let pos = group.position(comm.rank());
     let dtype = input.dtype();
@@ -46,10 +65,19 @@ pub fn tree_all_reduce_wire(
     let mut d = 1usize;
     while d < k {
         if pos & d != 0 {
-            comm.send(group.rank_at(pos - d), wire_encode(&acc, wire));
+            send_striped(
+                comm,
+                group.rank_at(pos - d),
+                wire_encode(&acc, wire),
+                channels,
+            );
             break;
         } else if pos + d < k {
-            let incoming = wire_decode(comm.recv(group.rank_at(pos + d)), wire, dtype);
+            let incoming = wire_decode(
+                recv_striped(comm, group.rank_at(pos + d), channels),
+                wire,
+                dtype,
+            );
             acc.reduce_assign(&incoming, op)
                 .expect("tree peers agree on geometry");
         }
@@ -75,10 +103,10 @@ pub fn tree_all_reduce_wire(
             // This position received its reduced value in the reduce
             // phase partner's broadcast round.
             if pos & (d - 1) == 0 {
-                acc = comm.recv(group.rank_at(pos - d));
+                acc = recv_striped(comm, group.rank_at(pos - d), channels);
             }
         } else if pos + d < k && pos & (d - 1) == 0 {
-            comm.send(group.rank_at(pos + d), acc.clone());
+            send_striped(comm, group.rank_at(pos + d), acc.clone(), channels);
         }
     }
     wire_decode(acc, wire, dtype)

@@ -92,6 +92,16 @@ pub struct CostKnobs {
     pub scattered_bucket_cost: f64,
     /// Seconds per distinct scattered tensor (offset precalculation).
     pub scattered_tensor_cost: f64,
+    /// Per-extra-channel setup cost of a striped collective: each lane
+    /// beyond the first adds its own send/receive descriptor posting
+    /// and completion tracking per call. Calibrated against the
+    /// runtime's measured multi-channel AllReduce sweep (the
+    /// `ablation_channels` trajectory row): wider striping overlaps
+    /// better but never for free, so the tuner's channel sweep has a
+    /// genuine optimum instead of saturating at the grid edge. Added
+    /// on top of the bandwidth floor, which stays channel-count-free —
+    /// the beam-pruning lower bound remains admissible.
+    pub channel_setup: f64,
     /// Per-direction processing cost of the in-network aggregation
     /// switch (`CollAlgo::Switch`): packet parse, the integer fold in
     /// the dataplane pipeline, and the multicast fan-out setup. Paid
@@ -111,6 +121,7 @@ impl Default for CostKnobs {
             fused_reg_pressure: 0.4,
             scattered_bucket_cost: 1.0e-9,
             scattered_tensor_cost: 1.0e-7,
+            channel_setup: 2.0e-6,
             switch_process: 20.0e-6,
         }
     }
@@ -590,7 +601,11 @@ impl CostModel {
         };
 
         let sync = self.knobs.call_sync_per_log_rank * k.log2();
-        self.launch() + proto.base_latency + sync + t_lat + t_bw + t_codec
+        // Lane setup: each stripe beyond the first posts its own
+        // descriptors. Kept out of the bandwidth floor so pruning
+        // stays admissible.
+        let t_channels = self.knobs.channel_setup * (config.channels.max(1) - 1) as f64;
+        self.launch() + proto.base_latency + sync + t_lat + t_bw + t_codec + t_channels
     }
 
     /// Tree-algorithm AllReduce time (§5.1's second logical topology):

@@ -46,6 +46,7 @@ mod conv;
 mod dtype;
 mod error;
 mod half;
+pub mod kernels;
 mod matmul;
 mod ops;
 mod rng;

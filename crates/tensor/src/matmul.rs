@@ -86,25 +86,40 @@ impl Tensor {
 
 /// `C += A @ B` with `A: [m, k]`, `B: [k, n]`, `C: [m, n]`, row-major,
 /// blocked over all three dimensions for cache locality.
+///
+/// Row blocks of `C` are disjoint, so they fan out across the kernel
+/// worker pool when the output clears the engine's size threshold
+/// (small products stay on the single-threaded path). Each row block
+/// runs the identical serial body, so the parallel product is
+/// bit-identical to the serial one.
 fn gemm_blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    for i0 in (0..m).step_by(BLOCK) {
-        let i1 = (i0 + BLOCK).min(m);
-        for k0 in (0..k).step_by(BLOCK) {
-            let k1 = (k0 + BLOCK).min(k);
-            for j0 in (0..n).step_by(BLOCK) {
-                let j1 = (j0 + BLOCK).min(n);
-                for i in i0..i1 {
-                    for kk in k0..k1 {
-                        let aik = a[i * k + kk];
-                        if aik == 0.0 {
-                            continue;
-                        }
-                        let b_row = &b[kk * n + j0..kk * n + j1];
-                        let c_row = &mut c[i * n + j0..i * n + j1];
-                        for (cj, bj) in c_row.iter_mut().zip(b_row) {
-                            *cj += aik * bj;
-                        }
+    if m == 0 || n == 0 {
+        return;
+    }
+    crate::kernels::parallel_chunks_mut(c, BLOCK * n, |blk, c_rows| {
+        gemm_row_block(a, b, c_rows, blk * BLOCK, k, n);
+    });
+}
+
+/// The serial GEMM body for the output rows `i0..i0 + c_rows.len() / n`
+/// (`c_rows` is their contiguous window of `C`).
+fn gemm_row_block(a: &[f32], b: &[f32], c_rows: &mut [f32], i0: usize, k: usize, n: usize) {
+    let rows = c_rows.len() / n;
+    for k0 in (0..k).step_by(BLOCK) {
+        let k1 = (k0 + BLOCK).min(k);
+        for j0 in (0..n).step_by(BLOCK) {
+            let j1 = (j0 + BLOCK).min(n);
+            for r in 0..rows {
+                for kk in k0..k1 {
+                    let aik = a[(i0 + r) * k + kk];
+                    if aik == 0.0 {
+                        continue;
                     }
+                    crate::kernels::axpy(
+                        &mut c_rows[r * n + j0..r * n + j1],
+                        &b[kk * n + j0..kk * n + j1],
+                        aik,
+                    );
                 }
             }
         }
@@ -189,6 +204,23 @@ mod tests {
     fn blocked_matches_naive_large() {
         // Cross the BLOCK boundary to exercise tiling edges.
         let (m, k, n) = (70, 65, 130);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 7919) % 13) as f32 - 6.0).collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 104729) % 11) as f32 - 5.0)
+            .collect();
+        let ta = Tensor::from_f32([m, k], DType::F32, &a).unwrap();
+        let tb = Tensor::from_f32([k, n], DType::F32, &b).unwrap();
+        let c = ta.matmul(&tb).unwrap();
+        assert_eq!(c.to_f32_vec(), naive(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn parallel_row_blocks_match_naive() {
+        // Large enough that the output crosses the kernel engine's
+        // parallel threshold, so row blocks fan out over the pool;
+        // the result must stay exactly the serial product.
+        let (m, k, n) = (300, 40, 256);
+        assert!(m * n >= crate::kernels::PAR_THRESHOLD);
         let a: Vec<f32> = (0..m * k).map(|i| ((i * 7919) % 13) as f32 - 6.0).collect();
         let b: Vec<f32> = (0..k * n)
             .map(|i| ((i * 104729) % 11) as f32 - 5.0)

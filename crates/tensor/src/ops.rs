@@ -242,15 +242,11 @@ impl Tensor {
         match self.buf.make_mut() {
             BufferData::F32(acc) => {
                 let inc = incoming.buf.as_f32().expect("dtype checked");
-                for (a, &b) in acc.iter_mut().zip(inc) {
-                    *a = op.apply(*a, b);
-                }
+                crate::kernels::reduce_f32(acc, inc, op);
             }
             BufferData::F16(acc) => {
                 let inc = incoming.buf.as_f16().expect("dtype checked");
-                for (a, &b) in acc.iter_mut().zip(inc) {
-                    *a = crate::F16::from_f32(op.apply(a.to_f32(), b.to_f32()));
-                }
+                crate::kernels::reduce_f16(acc, inc, op);
             }
         }
         Ok(())
@@ -289,15 +285,11 @@ impl Tensor {
         match self.buf.make_mut() {
             BufferData::F32(acc) => {
                 let inc = incoming.buf.as_f32().expect("dtype checked");
-                for (a, &b) in acc[start..start + n].iter_mut().zip(inc) {
-                    *a = op.apply(*a, b);
-                }
+                crate::kernels::reduce_f32(&mut acc[start..start + n], inc, op);
             }
             BufferData::F16(acc) => {
                 let inc = incoming.buf.as_f16().expect("dtype checked");
-                for (a, &b) in acc[start..start + n].iter_mut().zip(inc) {
-                    *a = crate::F16::from_f32(op.apply(a.to_f32(), b.to_f32()));
-                }
+                crate::kernels::reduce_f16(&mut acc[start..start + n], inc, op);
             }
         }
         Ok(())

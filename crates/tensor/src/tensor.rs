@@ -270,6 +270,30 @@ impl Tensor {
         Ok(Tensor { shape, buf })
     }
 
+    /// An FP16 tensor adopting `data` as its storage without a copy —
+    /// the half-precision counterpart of
+    /// [`from_f32_vec`](Tensor::from_f32_vec), used by the striped
+    /// collectives to promote an accumulated `Vec<F16>` into the
+    /// output tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] if `data.len()` does not
+    /// match the shape's element count.
+    pub fn from_f16_vec(shape: impl Into<Shape>, data: Vec<F16>) -> Result<Tensor, TensorError> {
+        let shape = shape.into();
+        if data.len() != shape.numel() {
+            return Err(TensorError::DataLength {
+                expected: shape.numel(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape,
+            buf: Buffer::from_f16_vec(data),
+        })
+    }
+
     /// A tensor built from explicit `f32` data (rounded for FP16 tensors).
     ///
     /// # Errors

@@ -1,0 +1,161 @@
+//! Property: the monomorphized (and, above threshold, parallel) kernels
+//! in `coconet_tensor::kernels` are bit-identical to the per-element
+//! `ReduceOp::apply` reference for every operator and dtype — including
+//! NaN/Inf payloads and lengths that are not multiples of the engine's
+//! chunk sizes — and the F16 widen-once-per-chunk path rounds exactly
+//! like the per-element widen/narrow loop it replaced.
+
+use coconet_tensor::kernels;
+use coconet_tensor::{DType, ReduceOp, Tensor, F16};
+use proptest::prelude::*;
+
+/// Finite, NaN, or infinite f32 payloads, biased toward values that
+/// survive an F16 round-trip but with full special-value coverage.
+fn arb_value() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        (-2048i32..2048).prop_map(|v| v as f32 * 0.25),
+        Just(f32::NAN),
+        Just(f32::INFINITY),
+        Just(f32::NEG_INFINITY),
+        Just(0.0f32),
+        Just(-0.0f32),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = ReduceOp> {
+    prop_oneof![
+        Just(ReduceOp::Sum),
+        Just(ReduceOp::Min),
+        Just(ReduceOp::Max)
+    ]
+}
+
+/// Lengths straddling the serial/parallel threshold and deliberately
+/// off every chunk multiple.
+fn arb_len() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        (1usize..600).boxed(),
+        (1usize..600).boxed(),
+        Just(kernels::PAR_THRESHOLD - 1).boxed(),
+        Just(kernels::PAR_THRESHOLD + 37).boxed(),
+        Just(kernels::PAR_THRESHOLD + 255).boxed(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// F32 kernels, serial and auto-parallel, match the `op.apply`
+    /// per-element reference bit for bit.
+    #[test]
+    fn f32_kernels_match_apply_reference(
+        len in arb_len(),
+        seed in any::<u64>(),
+        op in arb_op(),
+        specials in prop::collection::vec((0usize..1 << 16, arb_value()), 0..8),
+    ) {
+        let gen = |i: usize| (((i as u64).wrapping_add(seed).wrapping_mul(2654435761) % 4099) as f32) * 0.125 - 256.0;
+        let mut acc0: Vec<f32> = (0..len).map(gen).collect();
+        let mut inc: Vec<f32> = (0..len).map(|i| gen(i + 1_000_000)).collect();
+        for &(pos, v) in &specials {
+            acc0[pos % len] = v;
+            inc[(pos / 7) % len] = v;
+        }
+
+        let mut reference = acc0.clone();
+        for (a, &b) in reference.iter_mut().zip(&inc) {
+            *a = op.apply(*a, b);
+        }
+
+        let mut serial = acc0.clone();
+        kernels::reduce_f32_serial(&mut serial, &inc, op);
+        let mut auto = acc0.clone();
+        kernels::reduce_f32(&mut auto, &inc, op);
+
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&reference), bits(&serial));
+        prop_assert_eq!(bits(&serial), bits(&auto));
+    }
+
+    /// F16 widen-once chunked kernels (serial and auto-parallel) round
+    /// exactly like the per-element widen/apply/narrow path.
+    #[test]
+    fn f16_widen_once_matches_per_element(
+        len in arb_len(),
+        seed in any::<u64>(),
+        op in arb_op(),
+        specials in prop::collection::vec((0usize..1 << 16, arb_value()), 0..8),
+    ) {
+        let gen = |i: usize| {
+            F16::from_f32((((i as u64).wrapping_add(seed).wrapping_mul(6364136223846793005) % 509) as f32) * 0.5 - 127.0)
+        };
+        let mut acc0: Vec<F16> = (0..len).map(gen).collect();
+        let mut inc: Vec<F16> = (0..len).map(|i| gen(i + 1_000_000)).collect();
+        for &(pos, v) in &specials {
+            acc0[pos % len] = F16::from_f32(v);
+            inc[(pos / 7) % len] = F16::from_f32(v);
+        }
+
+        let mut reference = acc0.clone();
+        kernels::reduce_f16_per_element(&mut reference, &inc, op);
+        let mut serial = acc0.clone();
+        kernels::reduce_f16_serial(&mut serial, &inc, op);
+        let mut auto = acc0.clone();
+        kernels::reduce_f16(&mut auto, &inc, op);
+
+        let bits = |v: &[F16]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&reference), bits(&serial));
+        prop_assert_eq!(bits(&serial), bits(&auto));
+    }
+
+    /// `Tensor::reduce_assign` — now routed through the kernel engine —
+    /// still equals the per-element `op.apply` over `get`/`set`, for
+    /// both dtypes.
+    #[test]
+    fn tensor_reduce_assign_matches_reference(
+        len in 1usize..400,
+        seed in any::<u64>(),
+        op in arb_op(),
+        f16 in any::<bool>(),
+    ) {
+        let dtype = if f16 { DType::F16 } else { DType::F32 };
+        let gen = |i: usize| (((i as u64).wrapping_add(seed).wrapping_mul(2654435761) % 251) as f32) - 125.0;
+        let acc0 = Tensor::from_fn([len], dtype, gen);
+        let inc = Tensor::from_fn([len], dtype, |i| gen(i + 31));
+
+        let mut expect = acc0.deep_clone();
+        for i in 0..len {
+            let folded = op.apply(expect.get(i), inc.get(i));
+            expect.set(i, folded);
+        }
+
+        let mut got = acc0.deep_clone();
+        got.reduce_assign(&inc, op).unwrap();
+        for i in 0..len {
+            prop_assert_eq!(got.get(i).to_bits(), expect.get(i).to_bits());
+        }
+    }
+
+    /// The parallel map codec kernel equals the sequential closure
+    /// application (F16 encode/decode round-trip shape).
+    #[test]
+    fn par_map_codecs_match_sequential(
+        len in arb_len(),
+        seed in any::<u64>(),
+    ) {
+        let gen = |i: usize| (((i as u64).wrapping_add(seed).wrapping_mul(2654435761) % 8191) as f32) * 0.0625 - 256.0;
+        let src: Vec<f32> = (0..len).map(gen).collect();
+
+        let mut enc = vec![F16::ZERO; len];
+        kernels::f16_encode(&src, &mut enc);
+        for (i, h) in enc.iter().enumerate() {
+            prop_assert_eq!(h.to_bits(), F16::from_f32(src[i]).to_bits());
+        }
+
+        let mut dec = vec![0.0f32; len];
+        kernels::f16_decode(&enc, &mut dec);
+        for (i, v) in dec.iter().enumerate() {
+            prop_assert_eq!(v.to_bits(), enc[i].to_f32().to_bits());
+        }
+    }
+}
