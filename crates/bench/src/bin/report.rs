@@ -5,11 +5,15 @@
 //!
 //! ```text
 //! report [--quick] [--out PATH] [--baseline PATH] [--tolerance FRACTION]
-//!        [--write-baseline] [--drift-against PATH]
+//!        [--write-baseline] [--drift-against PATH] [--trace-out PATH]
 //! ```
 //!
 //! - `--quick`      CI mode: the fast experiment subset (still ≥ 6 rows)
 //! - `--out`        output path (default `BENCH_coconet.json`)
+//! - `--trace-out`  also write the `overlap_trace` experiment's Chrome
+//!   trace-event JSON (the priority run) to PATH — loadable in
+//!   Perfetto (ui.perfetto.dev) or `chrome://tracing`, one pid per
+//!   rank, one tid per stripe lane
 //! - `--baseline`   committed baseline to diff against; any experiment
 //!   whose speedup regresses beyond the tolerance fails the run
 //! - `--tolerance`  allowed speedup loss as a fraction (default `0.10`)
@@ -43,6 +47,7 @@ struct Args {
     tolerance: f64,
     write_baseline: bool,
     drift_against: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         tolerance: 0.10,
         write_baseline: false,
         drift_against: None,
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -68,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--write-baseline" => args.write_baseline = true,
             "--drift-against" => args.drift_against = Some(value("--drift-against")?),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -105,13 +112,18 @@ fn run() -> Result<(), String> {
         ],
     );
     for r in results {
-        // The ledger rows carry bytes, not seconds, in the
-        // baseline/coconet columns; they say so via a `unit` field.
-        let is_bytes = r
-            .extra
-            .iter()
-            .any(|(k, v)| matches!((k.as_str(), v), ("unit", Json::Str(s)) if s.contains("bytes")));
-        let fmt = if is_bytes { fmt_bytes } else { fmt_time };
+        // The ledger rows carry bytes — and the trace row a unitless
+        // fraction — in the baseline/coconet columns, not seconds;
+        // they say so via a `unit` field.
+        let unit = r.extra.iter().find_map(|(k, v)| match (k.as_str(), v) {
+            ("unit", Json::Str(s)) => Some(s.as_str()),
+            _ => None,
+        });
+        let fmt: fn(f64) -> String = match unit {
+            Some(u) if u.contains("bytes") => fmt_bytes,
+            Some(u) if u.contains("fraction") => |v| format!("{v:.3}"),
+            _ => fmt_time,
+        };
         table.row(&[
             r.name.to_string(),
             fmt(r.baseline_s),
@@ -156,6 +168,13 @@ fn run() -> Result<(), String> {
     std::fs::write(&args.out, doc.render_pretty())
         .map_err(|e| format!("writing {}: {e}", args.out))?;
     println!("wrote {}", args.out);
+
+    if let Some(path) = &args.trace_out {
+        let json = coconet_bench::tracebench::take_last_trace()
+            .ok_or("no trace was recorded (did the overlap_trace experiment run?)")?;
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path} (load it at ui.perfetto.dev or chrome://tracing)");
+    }
 
     if !trajectory.gate_failures.is_empty() {
         return Err(trajectory.gate_failures.join("\n"));

@@ -1,0 +1,90 @@
+//! CI validation for the Chrome trace-event export: parses the JSON
+//! document `report --trace-out` wrote (with the same in-repo parser
+//! the trajectory gates use) and checks the trace-event structure —
+//! a root object whose `traceEvents` is a non-empty array in which
+//! every event carries a string `ph` and `name`, numeric `pid` and
+//! `tid`, a numeric `ts` on every non-metadata phase, and a numeric
+//! `dur` on every `"X"` complete event. At least one complete event
+//! and one instant must be present (a trace with only metadata rows
+//! means the recorder captured nothing).
+//!
+//! ```text
+//! trace_check PATH
+//! ```
+//!
+//! Exit status: `0` on a well-formed trace, `1` otherwise.
+
+use std::process::ExitCode;
+
+use coconet_bench::json::Json;
+
+fn check(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        return Err("root object has no `traceEvents` array".into());
+    };
+    if events.is_empty() {
+        return Err("`traceEvents` is empty".into());
+    }
+    let mut complete = 0usize;
+    let mut instants = 0usize;
+    let mut metadata = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: no string `ph`"))?;
+        ev.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: no string `name`"))?;
+        for field in ["pid", "tid"] {
+            ev.get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("event {i}: no numeric `{field}`"))?;
+        }
+        match ph {
+            "M" => metadata += 1,
+            "X" | "i" => {
+                ev.get("ts")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i}: no numeric `ts`"))?;
+                if ph == "X" {
+                    ev.get("dur")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("event {i}: `X` phase has no numeric `dur`"))?;
+                    complete += 1;
+                } else {
+                    instants += 1;
+                }
+            }
+            other => return Err(format!("event {i}: unexpected phase `{other}`")),
+        }
+    }
+    if complete == 0 {
+        return Err("no complete (`X`) span events in the trace".into());
+    }
+    if instants == 0 {
+        return Err("no instant (`i`) events in the trace".into());
+    }
+    Ok(format!(
+        "{path}: well-formed ({complete} spans, {instants} instants, {metadata} metadata rows)"
+    ))
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_check PATH");
+        return ExitCode::FAILURE;
+    };
+    match check(&path) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -16,6 +16,7 @@ pub mod report;
 pub mod steady;
 pub mod striping;
 pub mod switchnet;
+pub mod tracebench;
 pub mod trajectory;
 pub mod zerocopy;
 

@@ -116,7 +116,22 @@ impl SteadySim {
 /// [`STEADY_LAYERS`] AllReduces over [`STEADY_RANKS`] ranks.
 pub fn steady_state_sim() -> SteadySim {
     let sim = Simulator::new(MachineSpec::paper_testbed(), STEADY_RANKS, 1);
-    let layer_elems = STEADY_ELEMS / STEADY_LAYERS;
+    let time = |sched: CommSched| sim.time_plan(&steady_plan(STEADY_ELEMS, sched)).total;
+    SteadySim {
+        barriered_s: time(CommSched::Barriered),
+        streamed_s: time(CommSched::Priority),
+    }
+}
+
+/// Builds the steady-state training plan — [`STEADY_LAYERS`] per-layer
+/// backward kernels (`bwd{l}`), then the trailing gradient AllReduces
+/// in backprop order (`grad{l}`) — over `elems` total gradient
+/// elements, under the given communication schedule. Shared by the
+/// costed comparison above and the drift half of the trace experiment
+/// (`tracebench`), which aligns these step labels against measured
+/// per-step times.
+pub(crate) fn steady_plan(elems: usize, sched: CommSched) -> ExecPlan {
+    let layer_elems = elems / STEADY_LAYERS;
     let layer_bytes = (layer_elems * 4) as u64;
     let mut steps = Vec::new();
     for l in 0..STEADY_LAYERS {
@@ -141,19 +156,13 @@ pub fn steady_state_sim() -> SteadySim {
             scattered: None,
         }));
     }
-    let time = |sched: CommSched| {
-        let mut plan = ExecPlan {
-            name: "steady".into(),
-            steps: steps.clone(),
-            config: CommConfig::default().with_sched(sched),
-        };
-        plan.set_config(plan.config);
-        sim.time_plan(&plan).total
+    let mut plan = ExecPlan {
+        name: "steady".into(),
+        steps,
+        config: CommConfig::default().with_sched(sched),
     };
-    SteadySim {
-        barriered_s: time(CommSched::Barriered),
-        streamed_s: time(CommSched::Priority),
-    }
+    plan.set_config(plan.config);
+    plan
 }
 
 /// One measured steady-state run: both wall-clocks plus rank 0's
@@ -276,14 +285,14 @@ pub fn steady_state_bench(repeats: usize) -> SteadyRow {
 }
 
 /// The initial parameter of layer `l`.
-fn init_param(l: usize, layer_elems: usize) -> Tensor {
+pub(crate) fn init_param(l: usize, layer_elems: usize) -> Tensor {
     Tensor::from_fn([layer_elems], DType::F32, move |i| {
         ((l * 31 + i) % 97) as f32 * 0.01
     })
 }
 
 /// Forward: one read pass over the layer (activation statistics).
-fn forward_pass(p: &Tensor) -> f32 {
+pub(crate) fn forward_pass(p: &Tensor) -> f32 {
     let mut acc = 0.0f32;
     for i in 0..p.numel() {
         acc += p.get(i);
@@ -293,14 +302,14 @@ fn forward_pass(p: &Tensor) -> f32 {
 
 /// Backward: one write pass producing the local gradient, rank- and
 /// iteration-dependent.
-fn local_grad(l: usize, iter: u64, rank: usize, p: &Tensor) -> Tensor {
+pub(crate) fn local_grad(l: usize, iter: u64, rank: usize, p: &Tensor) -> Tensor {
     let scale = 1e-4 * (l + 1) as f32 + 1e-5 * (rank + 1) as f32;
     let shift = 1e-3 * iter as f32;
     Tensor::from_fn([p.numel()], DType::F32, move |i| p.get(i) * scale + shift)
 }
 
 /// Optimizer: one fused axpy pass.
-fn apply_update(p: &mut Tensor, g: &Tensor) {
+pub(crate) fn apply_update(p: &mut Tensor, g: &Tensor) {
     let lr = 1e-3f32;
     let step = Tensor::from_fn([p.numel()], DType::F32, |i| p.get(i) - lr * g.get(i));
     *p = step;

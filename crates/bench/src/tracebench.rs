@@ -1,0 +1,317 @@
+//! The traced overlap experiment (`overlap_trace`): runs the
+//! steady-state training loop through the [`StreamExecutor`] under the
+//! barriered and the barrier-free schedule *with span recording on*,
+//! and distills the traces into the three observability artifacts this
+//! row gates:
+//!
+//! - the **overlap profile** — the fraction of collective in-flight
+//!   time hidden under compute spans, per schedule. The barriered loop
+//!   services every hop inside the end-of-iteration drain (no compute
+//!   runs concurrently), while the priority stream keeps jobs in
+//!   flight under the next iteration's forward — so the measured
+//!   hidden fraction under [`CommSched::Priority`] must strictly
+//!   exceed [`CommSched::Barriered`]'s, and that ordering is the gate;
+//! - the **sim-vs-measured drift report** — the simulator's per-step
+//!   predictions for the same plan (`bwd{l}` backward kernels,
+//!   `grad{l}` gradient AllReduces) aligned against traced actuals
+//!   (mean backward-span duration per layer; mean first-hop-to-
+//!   completion in-flight time per layer's job stream). Every step
+//!   must align — an unmatched label means the trace lost a step;
+//! - the **well-formedness check** — both traces must have properly
+//!   nested spans, per-thread monotone records, and every scheduler
+//!   enqueue matched by a completion.
+//!
+//! The priority run's Chrome trace-event JSON (Perfetto-loadable) is
+//! stashed for the `report` binary's `--trace-out` flag via
+//! [`take_last_trace`].
+//!
+//! Tracing is process-global, so the experiment serializes behind a
+//! gate and filters the snapshot down to the rank threads it spawned —
+//! other traced work sharing the process (the test harness runs suites
+//! concurrently) cannot perturb the analysis.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use coconet_compress::WireFormat;
+use coconet_core::CommSched;
+use coconet_runtime::{run_ranks, Group, StreamExecutor};
+use coconet_sim::Simulator;
+use coconet_tensor::Tensor;
+use coconet_topology::MachineSpec;
+use coconet_trace as trace;
+use coconet_trace::drift::{drift_report, DriftReport};
+use coconet_trace::{Event, EventKind, JOB_NONE};
+
+use crate::steady::{
+    apply_update, forward_pass, init_param, local_grad, steady_plan, STEADY_ITERS, STEADY_LAYERS,
+    STEADY_MEASURED_ELEMS, STEADY_RANKS,
+};
+
+/// Serializes traced sections within the process: the enable flag is
+/// global, and two interleaved experiments would see each other's
+/// clears.
+static ENABLE_GATE: Mutex<()> = Mutex::new(());
+
+/// The most recent experiment's Chrome trace-event JSON (the priority
+/// run), for `report --trace-out`.
+static LAST_TRACE: Mutex<Option<String>> = Mutex::new(None);
+
+/// Takes the Chrome trace JSON stashed by the last
+/// [`overlap_trace_bench`] run, if any.
+pub fn take_last_trace() -> Option<String> {
+    LAST_TRACE.lock().expect("trace stash poisoned").take()
+}
+
+/// One schedule's traced run, distilled.
+#[derive(Clone, Debug)]
+pub struct TraceRun {
+    /// Fraction of collective in-flight time hidden under compute.
+    pub hidden_fraction: f64,
+    /// Summed per-rank collective in-flight seconds.
+    pub comm_busy_s: f64,
+    /// Summed seconds of that time overlapped with compute spans.
+    pub hidden_s: f64,
+    /// Events recorded on the run's rank threads.
+    pub events: usize,
+    /// Global dropped-event count over the run's window.
+    pub dropped: u64,
+    /// The well-formedness verdict for the run's trace.
+    pub wellformed: Result<(), String>,
+}
+
+/// The `overlap_trace` experiment outcome.
+#[derive(Clone, Debug)]
+pub struct TraceRow {
+    /// Total gradient elements per iteration.
+    pub elems: usize,
+    /// Rank threads.
+    pub ranks: usize,
+    /// Layers (= priority classes = job streams).
+    pub layers: usize,
+    /// Iterations per schedule.
+    pub iters: u64,
+    /// The barriered run's profile.
+    pub barriered: TraceRun,
+    /// The barrier-free run's profile.
+    pub priority: TraceRun,
+    /// Sim-vs-measured per-step drift, from the priority run.
+    pub drift: DriftReport,
+}
+
+impl TraceRow {
+    /// Violations of the trace gates (empty for a healthy run): the
+    /// priority schedule must hide strictly more communication than
+    /// the barriered one (and a nonzero amount), every simulated step
+    /// must align with a measured one, and both traces must be well
+    /// formed.
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if self.priority.hidden_fraction <= self.barriered.hidden_fraction {
+            v.push(format!(
+                "priority schedule hid {:.4} of collective time, not above barriered {:.4}",
+                self.priority.hidden_fraction, self.barriered.hidden_fraction
+            ));
+        }
+        if self.priority.hidden_fraction <= 0.0 {
+            v.push("priority schedule hid no collective time at all".into());
+        }
+        if self.drift.steps.is_empty() {
+            v.push("drift report aligned no steps".into());
+        }
+        if !self.drift.unmatched.is_empty() {
+            v.push(format!(
+                "drift report left steps unmatched: {:?}",
+                self.drift.unmatched
+            ));
+        }
+        for (label, run) in [("barriered", &self.barriered), ("priority", &self.priority)] {
+            if let Err(e) = &run.wellformed {
+                v.push(format!("{label} trace is malformed: {e}"));
+            }
+            if run.events == 0 {
+                v.push(format!("{label} run recorded no events"));
+            }
+        }
+        v
+    }
+}
+
+/// Runs the steady-state loop under `sched` with tracing on and
+/// returns the events recorded by the spawned rank threads, plus the
+/// global drop count over the window.
+fn traced_run(sched: CommSched) -> (Vec<Event>, u64) {
+    let layer_elems = STEADY_MEASURED_ELEMS / STEADY_LAYERS;
+    trace::clear();
+    trace::set_enabled(true);
+    let rank_threads = run_ranks(STEADY_RANKS, move |comm| {
+        let thread = trace::thread_id();
+        let rank = comm.rank();
+        let params: Vec<Tensor> = (0..STEADY_LAYERS)
+            .map(|l| init_param(l, layer_elems))
+            .collect();
+        let mut exec = StreamExecutor::new(
+            Group {
+                start: 0,
+                size: STEADY_RANKS,
+            },
+            params,
+            sched,
+            WireFormat::Dense,
+        );
+        let mut sink = 0.0f32;
+        exec.run_iterations(
+            &comm,
+            STEADY_ITERS,
+            |_, _, p| sink += forward_pass(p),
+            move |l, iter, p| local_grad(l, iter, rank, p),
+            |_, p, g| apply_update(p, g),
+        );
+        assert!(sink.is_finite());
+        thread
+    });
+    trace::set_enabled(false);
+    let dropped = trace::dropped_events();
+    let events: Vec<Event> = trace::take_snapshot()
+        .into_iter()
+        .filter(|e| rank_threads.contains(&e.thread))
+        .collect();
+    trace::clear();
+    (events, dropped)
+}
+
+/// Distills one traced run into its overlap profile.
+fn profile(events: Vec<Event>, dropped: u64) -> (TraceRun, Vec<Event>) {
+    let summary = trace::overlap::hidden_comm_fraction(&events);
+    let run = TraceRun {
+        hidden_fraction: summary.hidden_fraction(),
+        comm_busy_s: summary.comm_busy_s,
+        hidden_s: summary.hidden_s,
+        events: events.len(),
+        dropped,
+        wellformed: trace::wellformed::check_well_formed(&events),
+    };
+    (run, events)
+}
+
+/// Derives the measured per-step timeline from a priority-run trace,
+/// using the same labels as the simulator's steady-state plan:
+///
+/// - `bwd{l}` — the mean duration of layer `l`'s backward compute
+///   spans (label `"grad"`, `a` = layer);
+/// - `grad{l}` — the mean in-flight time of layer `l`'s gradient jobs
+///   (first tagged hop to scheduler completion, per rank; job ids are
+///   `iter * layers + layer`).
+fn measured_steps(events: &[Event]) -> Vec<(String, f64)> {
+    let layers = STEADY_LAYERS as u64;
+    let mut bwd_ns = [(0u64, 0u64); STEADY_LAYERS];
+    let mut first_hop: HashMap<(u32, u64), u64> = HashMap::new();
+    let mut complete: HashMap<(u32, u64), u64> = HashMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::Compute if e.label == "grad" && (e.a as usize) < STEADY_LAYERS => {
+                let (sum, n) = &mut bwd_ns[e.a as usize];
+                *sum += e.dur_ns;
+                *n += 1;
+            }
+            EventKind::Hop if e.a != JOB_NONE => {
+                first_hop
+                    .entry((e.rank, e.a))
+                    .and_modify(|t| *t = (*t).min(e.ts_ns))
+                    .or_insert(e.ts_ns);
+            }
+            EventKind::SchedComplete => {
+                complete.insert((e.rank, e.a), e.ts_ns);
+            }
+            _ => {}
+        }
+    }
+    let mut grad_ns = [(0u64, 0u64); STEADY_LAYERS];
+    for ((rank, job), start) in &first_hop {
+        if let Some(end) = complete.get(&(*rank, *job)) {
+            let (sum, n) = &mut grad_ns[(job % layers) as usize];
+            *sum += end.saturating_sub(*start);
+            *n += 1;
+        }
+    }
+    let mean_s = |(sum, n): (u64, u64)| {
+        if n == 0 {
+            None
+        } else {
+            Some(sum as f64 / n as f64 / 1e9)
+        }
+    };
+    let mut out = Vec::new();
+    for (l, &acc) in bwd_ns.iter().enumerate() {
+        if let Some(s) = mean_s(acc) {
+            out.push((format!("bwd{l}"), s));
+        }
+    }
+    for (l, &acc) in grad_ns.iter().enumerate() {
+        if let Some(s) = mean_s(acc) {
+            out.push((format!("grad{l}"), s));
+        }
+    }
+    out
+}
+
+/// Runs the traced overlap experiment: one barriered and one
+/// barrier-free steady-state stream with recording on, profiled for
+/// hidden-communication fraction, checked for well-formedness, and
+/// aligned against the simulator's per-step predictions. Stashes the
+/// priority run's Chrome trace JSON for [`take_last_trace`].
+pub fn overlap_trace_bench() -> TraceRow {
+    let _gate = ENABLE_GATE.lock().expect("trace gate poisoned");
+    let (b_events, b_dropped) = traced_run(CommSched::Barriered);
+    let (barriered, _) = profile(b_events, b_dropped);
+    let (p_events, p_dropped) = traced_run(CommSched::Priority);
+    let (priority, p_events) = profile(p_events, p_dropped);
+
+    let sim = Simulator::new(MachineSpec::paper_testbed(), STEADY_RANKS, 1);
+    let plan = steady_plan(STEADY_MEASURED_ELEMS, CommSched::Priority);
+    let predicted: Vec<(String, f64)> = sim
+        .time_plan(&plan)
+        .steps
+        .iter()
+        .map(|s| (s.label.clone(), s.seconds))
+        .collect();
+    let drift = drift_report(&predicted, &measured_steps(&p_events));
+
+    *LAST_TRACE.lock().expect("trace stash poisoned") =
+        Some(trace::chrome::chrome_trace_json(&p_events));
+
+    TraceRow {
+        elems: STEADY_MEASURED_ELEMS,
+        ranks: STEADY_RANKS,
+        layers: STEADY_LAYERS,
+        iters: STEADY_ITERS,
+        barriered,
+        priority,
+        drift,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The debug-size traced experiment upholds every gate: priority
+    /// hides strictly more communication than barriered, all sixteen
+    /// plan steps align with measured actuals, and both traces are
+    /// well formed.
+    #[test]
+    fn traced_overlap_gates_hold() {
+        let row = overlap_trace_bench();
+        assert_eq!(row.violations(), Vec::<String>::new());
+        assert!(row.priority.hidden_fraction > row.barriered.hidden_fraction);
+        assert_eq!(row.drift.steps.len(), 2 * STEADY_LAYERS);
+        assert!(row.drift.scale > 0.0);
+        assert!(row.priority.comm_busy_s > 0.0);
+        // The stashed Chrome export is parseable, non-trivial JSON.
+        let json = take_last_trace().expect("trace stashed");
+        let doc = crate::json::Json::parse(&json).expect("chrome export parses");
+        let events = doc.get("traceEvents").expect("traceEvents present");
+        assert!(matches!(events, crate::json::Json::Arr(a) if !a.is_empty()));
+        assert!(take_last_trace().is_none(), "take_last_trace drains");
+    }
+}

@@ -135,6 +135,9 @@ pub fn collect(quick: bool) -> Result<Trajectory, String> {
     let (steady_rows, steady_failures) = steady_experiments();
     results.extend(steady_rows);
     gate_failures.extend(steady_failures);
+    let (trace_row, trace_failures) = overlap_trace_experiment();
+    results.push(trace_row);
+    gate_failures.extend(trace_failures);
     let (pc_row, pc_failures) = plan_cache_experiment();
     results.push(pc_row);
     gate_failures.extend(pc_failures);
@@ -561,6 +564,92 @@ fn steady_experiments() -> (Vec<ExperimentResult>, Vec<String>) {
         .map(|v| format!("ledger_priority_stream: {v}"))
         .collect();
     (vec![stream, ledger], failures)
+}
+
+/// The traced overlap row: the steady-state loop run under both
+/// schedules *with span recording on*, distilled by the trace crate's
+/// overlap profiler and drift aligner. The row's baseline/coconet pair
+/// is the priority schedule's measured hidden-communication fraction
+/// on both sides (so its speedup is pinned at exactly 1.0 for a
+/// healthy run — the fraction itself is machine-dependent, so the
+/// regression gate must not diff it); the real invariants gate as
+/// failures: the priority schedule must hide strictly more collective
+/// in-flight time than the barriered one, every simulated plan step
+/// (`bwd{l}` / `grad{l}`) must align with a traced measurement, and
+/// both traces must be well formed (nested spans, monotone per-thread
+/// records, every enqueue completed). The per-step drift and both
+/// hidden fractions ride along in the extras, and the priority run's
+/// Chrome trace JSON is stashed for `report --trace-out`.
+fn overlap_trace_experiment() -> (ExperimentResult, Vec<String>) {
+    use crate::tracebench::overlap_trace_bench;
+    let row = overlap_trace_bench();
+    let hidden = row.priority.hidden_fraction;
+    let mut result = ExperimentResult::analytic("overlap_trace", hidden, hidden);
+    result.extra = vec![
+        ("unit".into(), Json::Str("hidden fraction".into())),
+        ("elems".into(), Json::Num(row.elems as f64)),
+        ("ranks".into(), Json::Num(row.ranks as f64)),
+        ("layers".into(), Json::Num(row.layers as f64)),
+        ("iters".into(), Json::Num(row.iters as f64)),
+        (
+            "hidden_frac_barriered".into(),
+            Json::Num(row.barriered.hidden_fraction),
+        ),
+        ("hidden_frac_priority".into(), Json::Num(hidden)),
+        (
+            "comm_busy_s_barriered".into(),
+            Json::Num(row.barriered.comm_busy_s),
+        ),
+        (
+            "comm_busy_s_priority".into(),
+            Json::Num(row.priority.comm_busy_s),
+        ),
+        ("hidden_s_priority".into(), Json::Num(row.priority.hidden_s)),
+        (
+            "events_barriered".into(),
+            Json::Num(row.barriered.events as f64),
+        ),
+        (
+            "events_priority".into(),
+            Json::Num(row.priority.events as f64),
+        ),
+        (
+            "dropped_events".into(),
+            Json::Num((row.barriered.dropped + row.priority.dropped) as f64),
+        ),
+        (
+            "drift_mean_abs_rel_err".into(),
+            Json::Num(row.drift.mean_abs_rel_err()),
+        ),
+        (
+            "drift_max_abs_rel_err".into(),
+            Json::Num(row.drift.max_abs_rel_err()),
+        ),
+        ("drift_scale".into(), Json::Num(row.drift.scale)),
+        (
+            "drift_steps".into(),
+            Json::Arr(
+                row.drift
+                    .steps
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("label".into(), Json::Str(s.label.clone())),
+                            ("predicted_s".into(), Json::Num(s.predicted_s)),
+                            ("measured_s".into(), Json::Num(s.measured_s)),
+                            ("rel_err".into(), Json::Num(s.rel_err)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ];
+    let failures = row
+        .violations()
+        .into_iter()
+        .map(|v| format!("overlap_trace: {v}"))
+        .collect();
+    (result, failures)
 }
 
 /// The measured plan-cache row: one cold [`Autotuner::tune_cached`]
@@ -1193,6 +1282,37 @@ mod tests {
         assert_eq!(
             pledger.get("params_match").and_then(Json::as_str),
             Some("yes")
+        );
+        // The traced overlap row: the priority schedule hides strictly
+        // more communication than the barriered one, the drift report
+        // aligned all sixteen plan steps, and the row's speedup is
+        // pinned at 1.0 (the hidden fraction is machine-dependent and
+        // must not be diffed by the regression gate).
+        let ot = back.get("overlap_trace").expect("overlap trace row");
+        assert_eq!(ot.get("speedup").and_then(Json::as_f64), Some(1.0));
+        let hid_p = ot
+            .get("hidden_frac_priority")
+            .and_then(Json::as_f64)
+            .unwrap();
+        let hid_b = ot
+            .get("hidden_frac_barriered")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!(
+            hid_p > hid_b,
+            "priority must hide more comm than barriered: {hid_p} vs {hid_b}"
+        );
+        assert!(hid_p > 0.0);
+        let drift_steps = ot.get("drift_steps").expect("drift steps");
+        assert!(
+            matches!(drift_steps, Json::Arr(steps) if steps.len() == 16),
+            "all sixteen plan steps align"
+        );
+        assert!(
+            ot.get("drift_mean_abs_rel_err")
+                .and_then(Json::as_f64)
+                .unwrap()
+                >= 0.0
         );
         // The measured ledger-compression row: the gated speedup IS the
         // volume reduction, and FP16 is exactly half of dense.

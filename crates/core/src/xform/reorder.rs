@@ -9,7 +9,7 @@
 use std::collections::HashSet;
 
 use crate::infer;
-use crate::{CoreError, Layout, OpKind, Program, SliceDim, VarId};
+use crate::{CoreError, Layout, OpKind, Program, VarId};
 
 use super::invalid;
 
@@ -234,12 +234,6 @@ pub fn reorder_all_gather(
         sliced: topo,
         gathers,
     })
-}
-
-/// The slice dimension notion used by reorder diagnostics.
-#[allow(dead_code)]
-fn slice_dim_name(d: SliceDim) -> String {
-    d.to_string()
 }
 
 #[cfg(test)]

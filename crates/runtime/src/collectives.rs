@@ -15,6 +15,9 @@
 
 use coconet_compress::WireFormat;
 use coconet_tensor::{kernels, DType, ReduceOp, Tensor, F16};
+use coconet_trace as trace;
+use coconet_trace::metrics::Counter;
+use coconet_trace::EventKind;
 
 use crate::RankComm;
 
@@ -77,7 +80,12 @@ pub(crate) fn recv_striped(comm: &RankComm, src: usize, channels: usize) -> Tens
 /// as dense here.
 pub(crate) fn wire_encode(t: &Tensor, wire: WireFormat) -> Tensor {
     match wire {
-        WireFormat::Fp16 => t.cast(DType::F16),
+        WireFormat::Fp16 => {
+            let _codec = trace::span(EventKind::Codec, "fp16:encode", t.numel() as u64, 0);
+            let out = t.cast(DType::F16);
+            trace::metrics::add_counter(Counter::CodecBytes, out.size_bytes() as u64);
+            out
+        }
         WireFormat::Dense | WireFormat::TopK { .. } => t.clone(),
     }
 }
@@ -86,7 +94,11 @@ pub(crate) fn wire_encode(t: &Tensor, wire: WireFormat) -> Tensor {
 /// element type (a no-op on the dense wire, a widening for FP16).
 pub(crate) fn wire_decode(t: Tensor, wire: WireFormat, dtype: DType) -> Tensor {
     match wire {
-        WireFormat::Fp16 => t.cast(dtype),
+        WireFormat::Fp16 => {
+            let _codec = trace::span(EventKind::Codec, "fp16:decode", t.numel() as u64, 0);
+            trace::metrics::add_counter(Counter::CodecBytes, t.size_bytes() as u64);
+            t.cast(dtype)
+        }
         WireFormat::Dense | WireFormat::TopK { .. } => t,
     }
 }
@@ -174,6 +186,7 @@ pub fn ring_reduce_scatter_wire(
     if k == 1 {
         return input.slice_flat(0, n).expect("full range");
     }
+    let _phase = trace::span(EventKind::CollectivePhase, "ring:rs", n as u64, k as u64);
     let dtype = input.dtype();
     let mut chunks: Vec<Tensor> = (0..k)
         .map(|c| {
@@ -221,6 +234,12 @@ pub fn ring_all_gather_wire(
     if k == 1 {
         return vec![chunk.clone()];
     }
+    let _phase = trace::span(
+        EventKind::CollectivePhase,
+        "ring:ag",
+        chunk.numel() as u64,
+        k as u64,
+    );
     let mut chunks: Vec<Option<Tensor>> = vec![None; k];
     // On the dense wire a handle copy, under FP16 the one encode this
     // rank's chunk ever gets.
@@ -331,6 +350,12 @@ fn striped_rs_phase<E: StripeElem>(
     let next = group.next(comm.rank());
     let prev = group.prev(comm.rank());
 
+    let _phase = trace::span(
+        EventKind::CollectivePhase,
+        "ring:rs-striped",
+        n as u64,
+        channels as u64,
+    );
     let j = (me + k - 1) % k;
     // The folded stripes of the chunk received last step — next step's
     // outgoing payload.
@@ -430,6 +455,12 @@ pub fn ring_all_gather_wire_striped(
     let next = group.next(comm.rank());
     let prev = group.prev(comm.rank());
 
+    let _phase = trace::span(
+        EventKind::CollectivePhase,
+        "ring:ag-striped",
+        chunk.numel() as u64,
+        channels as u64,
+    );
     let enc = wire_encode(chunk, wire);
     let enc_dtype = enc.dtype();
     let own_len = enc.numel();

@@ -16,6 +16,9 @@ use std::collections::VecDeque;
 
 use coconet_compress::QuantChunk;
 use coconet_tensor::{SparseChunk, Tensor};
+use coconet_trace as trace;
+use coconet_trace::metrics::Counter;
+use coconet_trace::EventKind;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::ledger::{BytesLedger, LedgerState};
@@ -162,6 +165,11 @@ impl RankComm {
     /// Panics if `dst` is out of range or the destination endpoint was
     /// dropped.
     pub fn send_msg(&self, dst: usize, msg: WireMsg) {
+        let bytes = msg.wire_bytes() as u64;
+        // Blocking-path hops carry no job id ([`coconet_trace::JOB_NONE`]):
+        // their wall time is covered by the enclosing collective-phase span.
+        trace::instant(EventKind::Hop, "send", trace::JOB_NONE, bytes);
+        trace::metrics::add_counter(Counter::WireBytes, bytes);
         self.ledger.record_send(msg.wire_bytes());
         self.to[dst]
             .send(Packet::Plain(msg))
@@ -179,6 +187,10 @@ impl RankComm {
     /// Panics if `dst` is out of range or the destination endpoint was
     /// dropped.
     pub fn send_tagged(&self, dst: usize, job: u64, class: u8, msg: WireMsg) {
+        // The per-hop trace instant (with lane attribution) is emitted
+        // by the job state machines in [`crate::stream`]; only the
+        // volume counter lives here.
+        trace::metrics::add_counter(Counter::WireBytes, msg.wire_bytes() as u64);
         self.ledger.record_send_class(class, msg.wire_bytes());
         self.to[dst]
             .send(Packet::Tagged { job, msg })
@@ -197,6 +209,9 @@ impl RankComm {
     /// Panics if `dst` is out of range or the destination endpoint was
     /// dropped.
     pub fn send_switch(&self, dst: usize, msg: WireMsg) {
+        let bytes = msg.wire_bytes() as u64;
+        trace::instant(EventKind::Hop, "switch:send", trace::JOB_NONE, bytes);
+        trace::metrics::add_counter(Counter::SwitchBytes, bytes);
         self.ledger.record_switch_send(msg.wire_bytes());
         self.to[dst]
             .send(Packet::Plain(msg))
@@ -213,6 +228,7 @@ impl RankComm {
     /// Panics if `dst` is out of range or the destination endpoint was
     /// dropped.
     pub fn send_tagged_switch(&self, dst: usize, job: u64, msg: WireMsg) {
+        trace::metrics::add_counter(Counter::SwitchBytes, msg.wire_bytes() as u64);
         self.ledger.record_switch_send(msg.wire_bytes());
         self.to[dst]
             .send(Packet::Tagged { job, msg })
@@ -407,7 +423,12 @@ pub fn run_ranks<T: Send + 'static>(
         .into_iter()
         .map(|comm| {
             let f = f.clone();
-            std::thread::spawn(move || f(comm))
+            std::thread::spawn(move || {
+                // Attribute this thread's trace events to its rank so
+                // the exporter renders one process per rank.
+                trace::set_thread_rank(comm.rank() as u32);
+                f(comm)
+            })
         })
         .collect();
     handles

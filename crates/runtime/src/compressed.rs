@@ -162,7 +162,15 @@ pub fn sparse_all_reduce(
         Some(ef) => ef.inject(input),
         None => input.cast(coconet_tensor::DType::F32),
     };
-    let own = sparsify_top_k(&corrected, k);
+    let own = {
+        let _codec = coconet_trace::span(
+            coconet_trace::EventKind::Codec,
+            "topk:select",
+            n as u64,
+            k as u64,
+        );
+        sparsify_top_k(&corrected, k)
+    };
     if let Some(ef) = feedback.as_deref_mut() {
         ef.absorb(&corrected, &own);
     }
@@ -218,6 +226,12 @@ pub fn sparse_all_reduce(
         combined
     };
 
+    let _codec = coconet_trace::span(
+        coconet_trace::EventKind::Codec,
+        "topk:densify",
+        n as u64,
+        k as u64,
+    );
     combined
         .to_dense(input.dtype())
         .reshape(input.shape().clone())

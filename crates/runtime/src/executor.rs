@@ -358,7 +358,12 @@ pub fn run_program_iterations(
     thread::scope(|s| {
         let handles: Vec<_> = comms
             .into_iter()
-            .map(|comm| s.spawn(move || execute_rank(program, binding, inputs, comm, opts, iters)))
+            .map(|comm| {
+                s.spawn(move || {
+                    coconet_trace::set_thread_rank(comm.rank() as u32);
+                    execute_rank(program, binding, inputs, comm, opts, iters)
+                })
+            })
             .collect();
         for (rank, h) in handles.into_iter().enumerate() {
             match h.join() {
@@ -401,6 +406,30 @@ fn trailing_all_reduces(program: &Program) -> HashMap<VarId, (u64, u8)> {
         }
     }
     sites
+}
+
+/// Static trace label of a DFG step — the name its span renders under
+/// in an exported trace.
+fn op_trace_label(op: &OpKind) -> &'static str {
+    match op {
+        OpKind::Input => "input",
+        OpKind::ConstScalar(_) => "const",
+        OpKind::Unary(..) => "unary",
+        OpKind::Binary(..) => "binary",
+        OpKind::MatMul(..) => "matmul",
+        OpKind::Conv2d(..) => "conv2d",
+        OpKind::Dropout(..) => "dropout",
+        OpKind::Update(..) => "update",
+        OpKind::Norm(_) => "norm",
+        OpKind::ReduceTensor(..) => "reduce_tensor",
+        OpKind::Slice(_) => "slice",
+        OpKind::AllReduce(..) => "all_reduce",
+        OpKind::ReduceScatter(..) => "reduce_scatter",
+        OpKind::AllGather(_) => "all_gather",
+        OpKind::Broadcast(..) => "broadcast",
+        OpKind::Reduce(..) => "reduce",
+        OpKind::Send(..) => "send",
+    }
 }
 
 /// Deterministic per-step jitter: a splitmix64 hash of the key, scaled
@@ -535,6 +564,12 @@ fn execute_iteration(
         let out_shape = ty.shape.eval(binding)?;
         let out_dtype = ty.dtype;
 
+        let _step_span = coconet_trace::span(
+            coconet_trace::EventKind::Compute,
+            op_trace_label(node.op()),
+            step as u64,
+            iter,
+        );
         let value: Option<DistValue> = match node.op().clone() {
             OpKind::Input => Some(materialize_input(
                 node.name(),

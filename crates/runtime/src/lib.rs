@@ -81,6 +81,6 @@ pub use ledger::{
 };
 pub use overlap_exec::{overlapped_matmul_all_reduce, production_order};
 pub use scattered::{BucketTable, ScatteredTensors, BUCKET_ELEMS};
-pub use stream::{CommScheduler, RingJob, StreamExecutor, SwitchJob};
+pub use stream::{CommScheduler, Completion, RingJob, StreamExecutor, SwitchJob};
 pub use switch::switch_all_reduce;
 pub use tree::{tree_all_reduce, tree_all_reduce_wire, tree_all_reduce_wire_striped};

@@ -45,6 +45,8 @@
 use coconet_compress::{QuantChunk, WireFormat};
 use coconet_core::{CollAlgo, CommSched, XferSched};
 use coconet_tensor::{DType, ReduceOp, Shape, Tensor};
+use coconet_trace as trace;
+use coconet_trace::EventKind;
 
 use std::collections::HashMap;
 
@@ -76,6 +78,9 @@ pub struct RingJob {
     id: u64,
     class: u8,
     seq: u64,
+    /// Stripe lane index (0 for single-lane jobs) — the trace `tid`
+    /// its hop events render under.
+    lane: u32,
     group: Group,
     op: ReduceOp,
     wire: WireFormat,
@@ -147,6 +152,7 @@ impl RingJob {
                 id,
                 class,
                 seq,
+                lane: lane as u32,
                 group,
                 op,
                 wire,
@@ -175,6 +181,7 @@ impl RingJob {
             id,
             class,
             seq,
+            lane: lane as u32,
             group,
             op,
             wire,
@@ -242,6 +249,13 @@ impl RingJob {
                 let recv_c = (j + k - *step - 1) % k;
                 if !*sent {
                     let payload = wire_encode(&self.rs_chunks[send_c], self.wire);
+                    trace::instant_lane(
+                        EventKind::Hop,
+                        "ring:rs",
+                        self.lane,
+                        self.id,
+                        payload.size_bytes() as u64,
+                    );
                     comm.send_tagged(next, self.id, self.class, WireMsg::Tensor(payload));
                     *sent = true;
                     progressed = true;
@@ -276,6 +290,13 @@ impl RingJob {
                     let payload = self.ag_chunks[send_c]
                         .clone()
                         .expect("chunk present by schedule");
+                    trace::instant_lane(
+                        EventKind::Hop,
+                        "ring:ag",
+                        self.lane,
+                        self.id,
+                        payload.size_bytes() as u64,
+                    );
                     comm.send_tagged(next, self.id, self.class, WireMsg::Tensor(payload));
                     *sent = true;
                     progressed = true;
@@ -366,7 +387,10 @@ impl SwitchJob {
         input: &Tensor,
         op: ReduceOp,
     ) -> SwitchJob {
-        let q = QuantChunk::quantize(input);
+        let q = {
+            let _codec = trace::span(EventKind::Codec, "q15:quantize", input.numel() as u64, id);
+            QuantChunk::quantize(input)
+        };
         let dtype = input.dtype();
         let shape = input.shape().clone();
         if group.size == 1 {
@@ -442,6 +466,7 @@ impl SwitchJob {
         let mut progressed = false;
 
         if let Some(q) = self.up.take() {
+            trace::instant(EventKind::Hop, "switch:up", self.id, q.wire_bytes());
             comm.send_tagged(switch_rank, self.id, self.class, WireMsg::Quantized(q));
             progressed = true;
         }
@@ -468,6 +493,12 @@ impl SwitchJob {
                     .collect();
                 let folded = fold_contributions(contribs, self.op);
                 for pos in 0..self.group.size {
+                    trace::instant(
+                        EventKind::Hop,
+                        "switch:multicast",
+                        self.id,
+                        folded.wire_bytes(),
+                    );
                     comm.send_tagged_switch(
                         self.group.rank_at(pos),
                         self.id,
@@ -486,7 +517,9 @@ impl SwitchJob {
         let down_may_exist = me != 0 || self.multicast_done;
         if self.result.is_none() && down_may_exist {
             if let Some(msg) = comm.try_recv_tagged(switch_rank, self.id) {
-                let out = expect_quant(msg)
+                let down = expect_quant(msg);
+                trace::instant(EventKind::Hop, "switch:down", self.id, down.wire_bytes());
+                let out = down
                     .dequantize(self.dtype)
                     .reshape(self.shape.clone())
                     .expect("same numel");
@@ -549,6 +582,20 @@ impl Job {
     }
 }
 
+/// One structured completion record of the scheduler: which physical
+/// job finished, at which priority class, and when. The timestamp is
+/// trace-epoch nanoseconds ([`coconet_trace::now_ns`]) so completion
+/// records line up with span timestamps in an exported trace.
+#[derive(Clone, Copy, Debug)]
+pub struct Completion {
+    /// The finished job's wire id (lane-tagged for striped lanes).
+    pub id: u64,
+    /// The priority class the job ran at.
+    pub class: u8,
+    /// Completion time in trace-epoch nanoseconds.
+    pub ts_ns: u64,
+}
+
 /// Reassembly geometry of one striped logical job.
 #[derive(Debug)]
 struct StripedMeta {
@@ -592,9 +639,11 @@ pub struct CommScheduler {
     striped: HashMap<u64, StripedMeta>,
     /// Finished results waiting for [`CommScheduler::wait`].
     completed: Vec<(u64, Tensor)>,
-    /// Job ids in the order they finished — the reordering witness the
-    /// steady-state experiment asserts on.
-    completion_log: Vec<u64>,
+    /// Structured completion records in the order jobs finished — the
+    /// reordering witness the steady-state experiment asserts on
+    /// (via the [`completion_log`](CommScheduler::completion_log) id
+    /// view) and the overlap profiler's job end marker.
+    completions: Vec<Completion>,
 }
 
 impl CommScheduler {
@@ -714,14 +763,38 @@ impl CommScheduler {
     }
 
     fn admit(&mut self, job: Job) {
+        let (class, _) = job.key();
+        // The single choke point every physical job passes through —
+        // striped lanes and switch jobs included — so every enqueue
+        // event has a matching completion event with the same id.
+        trace::instant(
+            EventKind::SchedEnqueue,
+            "sched:enqueue",
+            job.id(),
+            u64::from(class),
+        );
         if job.is_done() {
             // Single-rank groups finish at enqueue time.
-            self.completion_log.push(job.id());
+            self.record_completion(job.id(), class);
             self.completed.push((job.id(), job.take_result()));
             return;
         }
         let at = self.jobs.partition_point(|j| j.key() <= job.key());
         self.jobs.insert(at, job);
+    }
+
+    /// Appends a structured completion record (and its trace instant).
+    /// The timestamp is read unconditionally — a clock read touches no
+    /// data, so disabled-tracing runs stay bit-identical.
+    fn record_completion(&mut self, id: u64, class: u8) {
+        let ts_ns = trace::now_ns();
+        trace::instant(
+            EventKind::SchedComplete,
+            "sched:complete",
+            id,
+            u64::from(class),
+        );
+        self.completions.push(Completion { id, class, ts_ns });
     }
 
     /// One scheduling round: runs one chunk hop of the most-preferred
@@ -743,11 +816,23 @@ impl CommScheduler {
                 order
             }
         };
-        for i in order {
+        for (pos, i) in order.into_iter().enumerate() {
             if self.jobs[i].poll(comm) {
+                if pos != 0 {
+                    // A more-preferred job was blocked on the wire and a
+                    // lower-preference one filled the slot — the
+                    // chunk-granular preemption the trace exposes.
+                    trace::instant(
+                        EventKind::SchedPreempt,
+                        "sched:fill",
+                        self.jobs[i].id(),
+                        pos as u64,
+                    );
+                }
                 if self.jobs[i].is_done() {
                     let job = self.jobs.remove(i);
-                    self.completion_log.push(job.id());
+                    let (class, _) = job.key();
+                    self.record_completion(job.id(), class);
                     self.completed.push((job.id(), job.take_result()));
                 }
                 return true;
@@ -828,9 +913,16 @@ impl CommScheduler {
 
     /// Job ids in completion order — under priority scheduling the
     /// first-consumed (lowest-class) tensors appear first even when
-    /// they were enqueued last.
-    pub fn completion_log(&self) -> &[u64] {
-        &self.completion_log
+    /// they were enqueued last. A compatibility view of
+    /// [`completion_events`](CommScheduler::completion_events).
+    pub fn completion_log(&self) -> Vec<u64> {
+        self.completions.iter().map(|c| c.id).collect()
+    }
+
+    /// Structured completion records (id, class, timestamp) in the
+    /// order jobs finished.
+    pub fn completion_events(&self) -> &[Completion] {
+        &self.completions
     }
 }
 
@@ -934,8 +1026,13 @@ impl StreamExecutor {
     }
 
     /// The scheduler's completion log (job id = `iter * L + layer`).
-    pub fn completion_log(&self) -> &[u64] {
+    pub fn completion_log(&self) -> Vec<u64> {
         self.scheduler.completion_log()
+    }
+
+    /// The scheduler's structured completion records.
+    pub fn completion_events(&self) -> &[Completion] {
+        self.scheduler.completion_events()
     }
 
     /// The wire tag of iteration `iter`'s layer-`layer` gradient job.
@@ -955,8 +1052,14 @@ impl StreamExecutor {
         apply: &mut impl FnMut(usize, &mut Tensor, &Tensor),
     ) {
         if let Some(job) = self.params[layer].pending.take() {
-            let reduced = self.scheduler.wait(comm, job);
-            apply(layer, &mut self.params[layer].value, &reduced);
+            let reduced = {
+                let _wait = trace::span(EventKind::ReadyWait, "ready_wait", job, layer as u64);
+                self.scheduler.wait(comm, job)
+            };
+            {
+                let _apply = trace::span(EventKind::Compute, "apply", layer as u64, job);
+                apply(layer, &mut self.params[layer].value, &reduced);
+            }
             self.params[layer].ready_epoch += 1;
         }
     }
@@ -1004,7 +1107,10 @@ impl StreamExecutor {
             for l in 0..layers {
                 self.ensure_ready(comm, l, &mut apply);
                 debug_assert_eq!(self.params[l].ready_epoch, iter);
-                forward(l, iter, &self.params[l].value);
+                {
+                    let _fwd = trace::span(EventKind::Compute, "forward", l as u64, iter);
+                    forward(l, iter, &self.params[l].value);
+                }
                 // Later layers' gradients drain while this layer's
                 // forward just ran; the next ensure_ready usually
                 // finds its job already complete.
@@ -1014,7 +1120,10 @@ impl StreamExecutor {
             // launched at the priority of its consumption point in the
             // next forward.
             for l in (0..layers).rev() {
-                let g = grad(l, iter, &self.params[l].value);
+                let g = {
+                    let _bwd = trace::span(EventKind::Compute, "grad", l as u64, iter);
+                    grad(l, iter, &self.params[l].value)
+                };
                 let id = self.job_id(iter, l);
                 let class = l.min(PRIORITY_CLASSES - 1) as u8;
                 if self.algo == CollAlgo::Switch {

@@ -27,6 +27,8 @@
 
 use coconet_compress::QuantChunk;
 use coconet_tensor::{ReduceOp, Tensor};
+use coconet_trace as trace;
+use coconet_trace::EventKind;
 
 use crate::collectives::Group;
 use crate::comm::{RankComm, WireMsg};
@@ -35,6 +37,12 @@ use crate::comm::{RankComm, WireMsg};
 /// both the blocking and streamed switch paths use, because saturating
 /// adds do not commute with reassociation at the boundary.
 pub(crate) fn fold_contributions(contribs: Vec<QuantChunk>, op: ReduceOp) -> QuantChunk {
+    let _fold = trace::span(
+        EventKind::CollectivePhase,
+        "switch:fold",
+        contribs.len() as u64,
+        contribs.first().map_or(0, QuantChunk::wire_bytes),
+    );
     let mut it = contribs.into_iter();
     let mut acc = it.next().expect("group has at least one worker");
     for c in it {
@@ -67,7 +75,10 @@ pub fn switch_all_reduce(comm: &RankComm, group: Group, input: &Tensor, op: Redu
     let switch_rank = group.rank_at(0);
 
     // Up: one quantized copy of the tensor, worker-attributed.
-    let q = QuantChunk::quantize(input);
+    let q = {
+        let _codec = trace::span(EventKind::Codec, "q15:quantize", input.numel() as u64, 0);
+        QuantChunk::quantize(input)
+    };
     comm.send_msg(switch_rank, WireMsg::Quantized(q));
 
     if me == 0 {
@@ -93,6 +104,7 @@ pub fn switch_all_reduce(comm: &RankComm, group: Group, input: &Tensor, op: Redu
         WireMsg::Quantized(c) => c,
         other => panic!("switch sent {other:?} where a quantized chunk was expected"),
     };
+    let _codec = trace::span(EventKind::Codec, "q15:dequantize", input.numel() as u64, 0);
     down.dequantize(input.dtype())
         .reshape(input.shape().clone())
         .expect("dequantized chunk has the input's element count")

@@ -47,6 +47,8 @@ pub use event::{ResourceId, TaskGraph, TaskId, Timeline};
 pub use multitenant::{
     contention_report, simulate_shared, MultiTenantReport, ShareOutcome, TenantJob,
 };
-pub use overlap::{simulate_overlap, simulate_overlap_with_tiles, tile_count, OverlapSim};
+pub use overlap::{
+    simulate_overlap, simulate_overlap_with_tiles, tile_count, OverlapSim, StageClass,
+};
 pub use protocol::{channel_sweep, default_protocol, params as protocol_params, ProtocolParams};
 pub use simulator::{DurableFloor, FloorProfile, PlanTime, Simulator, StepCategory, StepTime};

@@ -26,6 +26,19 @@ pub fn tile_count(payload_bytes: u64) -> usize {
 /// spin-lock on a memory buffer").
 const SPINLOCK_COST: f64 = 1.0e-6;
 
+/// Fabric-class attribution of one pipeline stage — the simulator-side
+/// counterpart of the trace profiler's per-kind accounting, used by the
+/// overlap report to split busy time into compute vs. communication.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StageClass {
+    /// A compute (MatMul) stage.
+    Compute,
+    /// An intra-node collective, tagged with its kind.
+    Collective(CollKind),
+    /// P2P traffic over the inter-node fabric.
+    InterNode,
+}
+
 /// The outcome of simulating an overlapped pipeline.
 #[derive(Clone, Debug)]
 pub struct OverlapSim {
@@ -33,9 +46,37 @@ pub struct OverlapSim {
     pub total: f64,
     /// Per-stage busy time, `(label, seconds)`.
     pub stage_busy: Vec<(String, f64)>,
+    /// Per-stage fabric class, aligned with
+    /// [`stage_busy`](OverlapSim::stage_busy).
+    pub stage_classes: Vec<StageClass>,
     /// The total time the same stages would take executed back-to-back
     /// (the unoverlapped sequential cost).
     pub sequential: f64,
+}
+
+impl OverlapSim {
+    /// Busy seconds summed over the communication stages (collectives
+    /// and inter-node P2P).
+    #[must_use]
+    pub fn comm_busy(&self) -> f64 {
+        self.class_busy(|c| *c != StageClass::Compute)
+    }
+
+    /// Busy seconds summed over the compute stages.
+    #[must_use]
+    pub fn compute_busy(&self) -> f64 {
+        self.class_busy(|c| *c == StageClass::Compute)
+    }
+
+    /// Busy seconds summed over stages whose class satisfies `pred`.
+    fn class_busy(&self, pred: impl Fn(&StageClass) -> bool) -> f64 {
+        self.stage_busy
+            .iter()
+            .zip(&self.stage_classes)
+            .filter(|(_, c)| pred(c))
+            .map(|((_, t), _)| *t)
+            .sum()
+    }
 }
 
 /// Simulates an [`OverlappedStep`] on the machine: builds the tile-level
@@ -144,22 +185,33 @@ pub fn simulate_overlap_with_tiles(
         .enumerate()
         .map(|(i, (label, _))| (label.clone(), timeline.busy_time(resources[i])))
         .collect();
+    let stage_classes = step.stages.iter().map(classify).collect();
     let sequential = stage_times.iter().map(|(_, t)| t + launch).sum();
     OverlapSim {
         total: timeline.makespan(),
         stage_busy,
+        stage_classes,
         sequential,
     }
 }
 
+/// The fabric class of a stage, via the three stage predicates below.
+fn classify(stage: &OverlapStage) -> StageClass {
+    if is_inter_node(stage) {
+        StageClass::InterNode
+    } else if is_collective(stage) {
+        StageClass::Collective(stage_kind(stage).expect("collective stages carry a kind"))
+    } else {
+        StageClass::Compute
+    }
+}
+
 /// Convenience: is this stage communication over the inter-node fabric?
-#[allow(dead_code)]
 pub(crate) fn is_inter_node(stage: &OverlapStage) -> bool {
     matches!(stage, OverlapStage::SendRecv(_))
 }
 
 /// Is this a collective stage (for breakdown reporting)?
-#[allow(dead_code)]
 pub(crate) fn is_collective(stage: &OverlapStage) -> bool {
     matches!(
         stage,
@@ -168,7 +220,6 @@ pub(crate) fn is_collective(stage: &OverlapStage) -> bool {
 }
 
 /// Categorize a collective stage kind for reporting.
-#[allow(dead_code)]
 pub(crate) fn stage_kind(stage: &OverlapStage) -> Option<CollKind> {
     match stage {
         OverlapStage::Collective(c) => Some(c.kind),
@@ -308,6 +359,59 @@ mod tests {
             .map(|(_, t)| *t)
             .fold(0.0f64, f64::max);
         assert!(sim.total < 1.5 * slowest);
+    }
+
+    /// The class breakdown attributes each stage to its fabric: the
+    /// Figure 7b pipeline is one ReduceScatter, one inter-node P2P leg,
+    /// and one AllGather — all communication, no compute — while the
+    /// Figure 1 step splits into one compute and one collective stage.
+    #[test]
+    fn stage_classes_split_compute_from_communication() {
+        let c = cost();
+        let mm_ar = simulate_overlap(&c, &matmul_ar_step(64), geom(), false, cfg());
+        assert_eq!(
+            mm_ar.stage_classes,
+            vec![
+                StageClass::Compute,
+                StageClass::Collective(CollKind::AllReduce)
+            ]
+        );
+        assert!(mm_ar.compute_busy() > 0.0);
+        assert!(mm_ar.comm_busy() > 0.0);
+        let total: f64 = mm_ar.stage_busy.iter().map(|(_, t)| t).sum();
+        assert!((mm_ar.compute_busy() + mm_ar.comm_busy() - total).abs() < 1e-12);
+
+        let p2p = OverlappedStep {
+            label: "ol(RS,P2P,AG)".into(),
+            stages: vec![
+                OverlapStage::Collective(CollectiveStep {
+                    label: "rs".into(),
+                    kind: CollKind::ReduceScatter,
+                    op: ReduceOp::Sum,
+                    algo: CollAlgo::Ring,
+                    elems: 1 << 24,
+                    dtype: DType::F16,
+                    scattered: None,
+                }),
+                OverlapStage::SendRecv(SendRecvStep {
+                    label: "p2p".into(),
+                    elems_per_rank: 1 << 20,
+                    dtype: DType::F16,
+                    extra_bytes_read: 0,
+                    flops: 0,
+                    n_fused_ops: 2,
+                }),
+            ],
+        };
+        let sim = simulate_overlap(&c, &p2p, geom(), true, cfg());
+        assert_eq!(
+            sim.stage_classes,
+            vec![
+                StageClass::Collective(CollKind::ReduceScatter),
+                StageClass::InterNode
+            ]
+        );
+        assert!((sim.compute_busy()).abs() < 1e-12);
     }
 
     #[test]

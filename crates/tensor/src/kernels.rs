@@ -124,6 +124,13 @@ where
     if len == 0 {
         return;
     }
+    let _dispatch = coconet_trace::span(
+        coconet_trace::EventKind::Kernel,
+        "parallel_for",
+        len as u64,
+        0,
+    );
+    coconet_trace::metrics::add_counter(coconet_trace::metrics::Counter::KernelElems, len as u64);
     let nested = IN_WORKER.with(std::cell::Cell::get);
     let max_parts = len / min_chunk.max(1);
     let parts = if nested {
@@ -158,6 +165,12 @@ where
         }
         let tx = done_tx.clone();
         let job: Job = Box::new(move || {
+            let _job_span = coconet_trace::span(
+                coconet_trace::EventKind::Kernel,
+                "pool_job",
+                (range.end - range.start) as u64,
+                part as u64,
+            );
             let outcome = catch_unwind(AssertUnwindSafe(|| f_static(range)));
             // Receiver outlives all tasks; a send failure means the
             // caller already panicked and unwound past the recv loop.

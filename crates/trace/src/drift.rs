@@ -1,0 +1,160 @@
+//! Sim-vs-measured drift: aligns a predicted per-step timeline (the
+//! simulator's `PlanTime` steps) with measured per-step times derived
+//! from the trace, and reports per-step relative error.
+//!
+//! The autotuner trusts the cost model for every configuration it
+//! never runs; this report is the standing check that the model's
+//! per-step predictions track measured reality — not in absolute
+//! seconds (the sim models the paper's testbed, the bench runs on a
+//! CI box) but in *shape*: a step the sim calls expensive should be
+//! expensive on the wall clock too. The aligner is deliberately
+//! generic over `(label, seconds)` pairs so it has no dependency on
+//! the sim crate (this crate sits at the bottom of the workspace
+//! graph).
+
+/// One aligned step.
+#[derive(Clone, Debug)]
+pub struct StepDrift {
+    /// The step label shared by both timelines.
+    pub label: String,
+    /// The simulator's predicted seconds.
+    pub predicted_s: f64,
+    /// The traced measured seconds.
+    pub measured_s: f64,
+    /// `|measured − scaled prediction| / scaled prediction`, where
+    /// the prediction is scaled by the whole-timeline ratio first (so
+    /// the report measures shape error, not testbed-vs-CI-box speed).
+    pub rel_err: f64,
+}
+
+/// The aligned drift report.
+#[derive(Clone, Debug)]
+pub struct DriftReport {
+    /// Aligned steps, in predicted-timeline order.
+    pub steps: Vec<StepDrift>,
+    /// Labels present in exactly one timeline (alignment failures).
+    pub unmatched: Vec<String>,
+    /// The measured-over-predicted total-time ratio used to scale
+    /// predictions before comparing shapes.
+    pub scale: f64,
+}
+
+impl DriftReport {
+    /// Mean absolute per-step relative error.
+    #[must_use]
+    pub fn mean_abs_rel_err(&self) -> f64 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
+        self.steps.iter().map(|s| s.rel_err).sum::<f64>() / self.steps.len() as f64
+    }
+
+    /// Largest per-step relative error.
+    #[must_use]
+    pub fn max_abs_rel_err(&self) -> f64 {
+        self.steps.iter().map(|s| s.rel_err).fold(0.0, f64::max)
+    }
+}
+
+/// Aligns `predicted` and `measured` `(label, seconds)` timelines by
+/// label. Predictions are first scaled by the ratio of total measured
+/// to total predicted time, so `rel_err` captures per-step *shape*
+/// drift independent of the absolute speed gap between the modeled
+/// testbed and the machine that ran the trace.
+#[must_use]
+pub fn drift_report(predicted: &[(String, f64)], measured: &[(String, f64)]) -> DriftReport {
+    let lookup = |rows: &[(String, f64)], label: &str| {
+        rows.iter().find(|(l, _)| l == label).map(|&(_, s)| s)
+    };
+    let matched: Vec<&(String, f64)> = predicted
+        .iter()
+        .filter(|(l, _)| lookup(measured, l).is_some())
+        .collect();
+    let pred_total: f64 = matched.iter().map(|(_, s)| s).sum();
+    let meas_total: f64 = matched
+        .iter()
+        .filter_map(|(l, _)| lookup(measured, l))
+        .sum();
+    let scale = if pred_total > 0.0 {
+        meas_total / pred_total
+    } else {
+        1.0
+    };
+
+    let mut steps = Vec::with_capacity(matched.len());
+    for (label, pred) in matched {
+        let meas = lookup(measured, label).expect("filtered to matched labels");
+        let scaled = pred * scale;
+        let rel_err = if scaled > 0.0 {
+            (meas - scaled).abs() / scaled
+        } else {
+            f64::from(u8::from(meas > 0.0))
+        };
+        steps.push(StepDrift {
+            label: label.clone(),
+            predicted_s: *pred,
+            measured_s: meas,
+            rel_err,
+        });
+    }
+
+    let mut unmatched: Vec<String> = predicted
+        .iter()
+        .filter(|(l, _)| lookup(measured, l).is_none())
+        .map(|(l, _)| l.clone())
+        .collect();
+    unmatched.extend(
+        measured
+            .iter()
+            .filter(|(l, _)| lookup(predicted, l).is_none())
+            .map(|(l, _)| l.clone()),
+    );
+
+    DriftReport {
+        steps,
+        unmatched,
+        scale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+        pairs.iter().map(|&(l, s)| (l.to_string(), s)).collect()
+    }
+
+    #[test]
+    fn identical_shapes_have_zero_drift() {
+        // Measured is exactly 10x the prediction everywhere: pure
+        // machine-speed difference, zero shape drift.
+        let pred = rows(&[("a", 1.0), ("b", 2.0)]);
+        let meas = rows(&[("a", 10.0), ("b", 20.0)]);
+        let r = drift_report(&pred, &meas);
+        assert_eq!(r.steps.len(), 2);
+        assert!((r.scale - 10.0).abs() < 1e-12);
+        assert!(r.mean_abs_rel_err() < 1e-12, "{r:?}");
+        assert!(r.unmatched.is_empty());
+    }
+
+    #[test]
+    fn shape_drift_is_reported_per_step() {
+        let pred = rows(&[("a", 1.0), ("b", 1.0)]);
+        let meas = rows(&[("a", 3.0), ("b", 1.0)]);
+        let r = drift_report(&pred, &meas);
+        // Scale 2.0; a: |3-2|/2 = 0.5, b: |1-2|/2 = 0.5.
+        assert!((r.steps[0].rel_err - 0.5).abs() < 1e-12);
+        assert!((r.steps[1].rel_err - 0.5).abs() < 1e-12);
+        assert!((r.max_abs_rel_err() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unmatched_labels_are_surfaced() {
+        let pred = rows(&[("a", 1.0), ("ghost", 1.0)]);
+        let meas = rows(&[("a", 1.0), ("extra", 1.0)]);
+        let r = drift_report(&pred, &meas);
+        assert_eq!(r.steps.len(), 1);
+        assert_eq!(r.unmatched, vec!["ghost".to_string(), "extra".to_string()]);
+    }
+}

@@ -1,0 +1,467 @@
+//! Execution tracing for the CoCoNet reproduction.
+//!
+//! The runtime's ledgers prove *what* moved and the completion log
+//! proves *in what order* — this crate adds *when*. Every rank thread
+//! (and every kernel-pool worker) owns a fixed-capacity, lock-free
+//! span recorder; the runtime's hot paths emit structured [`Event`]s
+//! for kernel launches, collective phases, per-hop sends, codec
+//! invocations, scheduler decisions, and ready-epoch waits. On top of
+//! the raw spans sit four consumers:
+//!
+//! - [`chrome`] — a Chrome trace-event JSON exporter
+//!   (`chrome://tracing` / Perfetto-loadable; one pid per rank, one
+//!   tid per stripe lane).
+//! - [`metrics`] — a global registry of counters and log2-bucketed
+//!   latency histograms summarizing span populations per run.
+//! - [`overlap`] — the overlap profiler: the fraction of collective
+//!   wall-time hidden under compute, from the spans alone.
+//! - [`drift`] — the sim-vs-measured drift report aligning a
+//!   predicted per-step timeline with traced actuals.
+//!
+//! # Recording discipline
+//!
+//! Tracing is **off by default** and a run with tracing disabled is
+//! bit-identical to one with it enabled (the neutrality proptest in
+//! `coconet-runtime` enforces this): recording never touches tensor
+//! data, the wire, or the allocator ledger. The hot path is one
+//! relaxed atomic load when disabled; when enabled, one bump of a
+//! thread-local fixed-capacity buffer — no locks, no heap allocation.
+//! Buffers that fill up count drops instead of growing. Compiling
+//! with the `off` feature removes even the flag check.
+//!
+//! Snapshots ([`take_snapshot`]) and resets ([`clear`]) walk a global
+//! registry of thread buffers under a mutex — the cold path only.
+//! Both assume the traced threads are quiescent (joined or idle),
+//! which the bench harness guarantees by snapshotting after
+//! `run_ranks` returns.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod drift;
+pub mod metrics;
+pub mod overlap;
+pub mod wellformed;
+
+use std::cell::{Cell, OnceCell, UnsafeCell};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Events one thread can hold before further records are dropped
+/// (drops are counted, never silent — see [`dropped_events`]).
+pub const BUF_CAPACITY: usize = 1 << 14;
+
+/// The `rank` stamped on events from threads that never called
+/// [`set_thread_rank`] — kernel-pool workers, the test harness, etc.
+pub const RANK_UNATTRIBUTED: u32 = u32::MAX;
+
+/// The job id [`EventKind::Hop`] events carry when the send belongs
+/// to a blocking collective rather than a scheduled job (job ids of
+/// real scheduled jobs start at 0, so `0` cannot be the sentinel).
+pub const JOB_NONE: u64 = u64::MAX;
+
+/// What a trace event describes. The discriminant doubles as the
+/// index into the [`metrics`] registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A `tensor::kernels` launch: a `parallel_for` dispatch on the
+    /// calling thread, or one pool job on a worker. `a` = elements.
+    Kernel = 0,
+    /// An executor-level compute span (forward / backward / optimizer
+    /// closure). `a` = layer, `b` = iteration.
+    Compute = 1,
+    /// A blocking collective phase (ring reduce-scatter, all-gather,
+    /// switch fold, …). `a` = elements, `b` = group size.
+    CollectivePhase = 2,
+    /// One per-hop send (instant). `a` = job id (0 for blocking
+    /// collectives), `b` = wire bytes; `lane` = stripe lane.
+    Hop = 3,
+    /// A codec invocation (FP16 encode/decode, top-k select/densify,
+    /// Q15.16 quantize/dequantize). `a` = elements.
+    Codec = 4,
+    /// A scheduler admission: `a` = job id, `b` = priority class.
+    SchedEnqueue = 5,
+    /// A scheduler preemption decision: a less-preferred job made
+    /// progress while a more-preferred one was blocked on the fabric.
+    /// `a` = serviced job id, `b` = most-preferred (parked) job id.
+    SchedPreempt = 6,
+    /// A job completion: `a` = job id, `b` = priority class.
+    SchedComplete = 7,
+    /// A ready-epoch wait span in the stream executor: `a` = job id,
+    /// `b` = layer.
+    ReadyWait = 8,
+}
+
+/// Number of [`EventKind`] variants.
+pub const EVENT_KINDS: usize = 9;
+
+impl EventKind {
+    /// Every kind, in discriminant order.
+    pub const ALL: [EventKind; EVENT_KINDS] = [
+        EventKind::Kernel,
+        EventKind::Compute,
+        EventKind::CollectivePhase,
+        EventKind::Hop,
+        EventKind::Codec,
+        EventKind::SchedEnqueue,
+        EventKind::SchedPreempt,
+        EventKind::SchedComplete,
+        EventKind::ReadyWait,
+    ];
+
+    /// Index into per-kind tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lowercase name (the Chrome export's `cat` field).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Kernel => "kernel",
+            EventKind::Compute => "compute",
+            EventKind::CollectivePhase => "collective",
+            EventKind::Hop => "hop",
+            EventKind::Codec => "codec",
+            EventKind::SchedEnqueue => "sched_enqueue",
+            EventKind::SchedPreempt => "sched_preempt",
+            EventKind::SchedComplete => "sched_complete",
+            EventKind::ReadyWait => "ready_wait",
+        }
+    }
+}
+
+/// One recorded event. `Copy` and heap-free by construction: the
+/// label is a `&'static str`, payloads are two bare words whose
+/// meaning depends on [`EventKind`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Start time, nanoseconds since the process trace epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds; `0` marks an instant event.
+    pub dur_ns: u64,
+    /// What the event describes.
+    pub kind: EventKind,
+    /// Static label ("ring:rs", "fp16:encode", …).
+    pub label: &'static str,
+    /// Recording thread's rank, or [`RANK_UNATTRIBUTED`].
+    pub rank: u32,
+    /// Stripe lane (0 for unstriped work).
+    pub lane: u32,
+    /// Recording thread's registry index — distinguishes pool workers
+    /// and lets consumers check per-thread invariants.
+    pub thread: u32,
+    /// First payload word (see [`EventKind`]).
+    pub a: u64,
+    /// Second payload word (see [`EventKind`]).
+    pub b: u64,
+}
+
+impl Event {
+    /// The instant the event was *recorded* (span close / instant
+    /// emission) — per-thread monotone by construction.
+    #[must_use]
+    pub fn end_ns(&self) -> u64 {
+        self.ts_ns + self.dur_ns
+    }
+}
+
+/// Whether recording is compiled in at all (the `off` feature strips
+/// it).
+const COMPILED_IN: bool = cfg!(not(feature = "off"));
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static REGISTRY: Mutex<Vec<Arc<ThreadBuf>>> = Mutex::new(Vec::new());
+static NEXT_THREAD: AtomicU32 = AtomicU32::new(0);
+
+/// One thread's fixed-capacity event buffer. Single-writer (the
+/// owning thread), multi-reader via the release/acquire pair on
+/// `len`: a slot is published before the length that covers it.
+struct ThreadBuf {
+    slots: Box<[UnsafeCell<MaybeUninit<Event>>]>,
+    len: AtomicUsize,
+    dropped: AtomicU64,
+    rank: AtomicU32,
+    thread: u32,
+}
+
+// SAFETY: slots are only written by the owning thread at indexes not
+// yet published through `len`; readers only touch published indexes,
+// ordered by the release store / acquire load on `len`.
+unsafe impl Send for ThreadBuf {}
+unsafe impl Sync for ThreadBuf {}
+
+impl ThreadBuf {
+    fn push(&self, mut ev: Event) {
+        let n = self.len.load(Ordering::Relaxed);
+        if n >= self.slots.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        ev.rank = self.rank.load(Ordering::Relaxed);
+        ev.thread = self.thread;
+        // SAFETY: index `n` is unpublished, and only this thread
+        // writes slots (single-writer invariant).
+        unsafe { (*self.slots[n].get()).write(ev) };
+        self.len.store(n + 1, Ordering::Release);
+    }
+}
+
+thread_local! {
+    static LOCAL: OnceCell<Arc<ThreadBuf>> = const { OnceCell::new() };
+    static PENDING_RANK: Cell<u32> = const { Cell::new(RANK_UNATTRIBUTED) };
+}
+
+fn register_thread() -> Arc<ThreadBuf> {
+    let slots: Box<[UnsafeCell<MaybeUninit<Event>>]> = (0..BUF_CAPACITY)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let buf = Arc::new(ThreadBuf {
+        slots,
+        len: AtomicUsize::new(0),
+        dropped: AtomicU64::new(0),
+        rank: AtomicU32::new(PENDING_RANK.get()),
+        thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+    });
+    REGISTRY
+        .lock()
+        .expect("trace registry poisoned")
+        .push(Arc::clone(&buf));
+    buf
+}
+
+/// Nanoseconds since the process trace epoch (the first call pins the
+/// epoch). Monotone; usable whether or not tracing is enabled.
+#[must_use]
+pub fn now_ns() -> u64 {
+    u64::try_from(EPOCH.get_or_init(Instant::now).elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Turns recording on or off globally. Off by default.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on && COMPILED_IN, Ordering::Relaxed);
+}
+
+/// Whether recording is currently on.
+#[must_use]
+pub fn enabled() -> bool {
+    COMPILED_IN && ENABLED.load(Ordering::Relaxed)
+}
+
+/// Attributes the calling thread's future events to `rank`. Called by
+/// the fabric harness on every rank thread; cheap and allocation-free
+/// while tracing is disabled (the buffer is only materialized on the
+/// first recorded event).
+pub fn set_thread_rank(rank: u32) {
+    if !COMPILED_IN {
+        return;
+    }
+    PENDING_RANK.set(rank);
+    LOCAL.with(|cell| {
+        if let Some(buf) = cell.get() {
+            buf.rank.store(rank, Ordering::Relaxed);
+        }
+    });
+}
+
+/// The calling thread's registry index — the `thread` field its
+/// events will carry. Registers the thread's buffer on first call
+/// (with whatever rank [`set_thread_rank`] has pinned), so a harness
+/// can collect the ids of the threads it spawned and filter a
+/// [`take_snapshot`] down to them when other traced work shares the
+/// process.
+#[must_use]
+pub fn thread_id() -> u32 {
+    LOCAL.with(|cell| cell.get_or_init(register_thread).thread)
+}
+
+fn record(ev: Event) {
+    if !enabled() {
+        return;
+    }
+    metrics::observe(ev.kind, ev.dur_ns);
+    LOCAL.with(|cell| cell.get_or_init(register_thread).push(ev));
+}
+
+/// Records an instant event (duration 0) on lane 0.
+pub fn instant(kind: EventKind, label: &'static str, a: u64, b: u64) {
+    instant_lane(kind, label, 0, a, b);
+}
+
+/// Records an instant event (duration 0) on an explicit stripe lane.
+pub fn instant_lane(kind: EventKind, label: &'static str, lane: u32, a: u64, b: u64) {
+    if !enabled() {
+        return;
+    }
+    record(Event {
+        ts_ns: now_ns(),
+        dur_ns: 0,
+        kind,
+        label,
+        rank: RANK_UNATTRIBUTED, // stamped by the buffer
+        lane,
+        thread: 0, // stamped by the buffer
+        a,
+        b,
+    });
+}
+
+/// An RAII span: records one complete event covering its lifetime
+/// when dropped. Construct via [`span`] / [`span_lane`]; a guard
+/// built while tracing is disabled is inert (one branch at drop).
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span {
+    armed: bool,
+    start_ns: u64,
+    kind: EventKind,
+    label: &'static str,
+    lane: u32,
+    a: u64,
+    b: u64,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let start = self.start_ns;
+        record(Event {
+            ts_ns: start,
+            dur_ns: now_ns().saturating_sub(start),
+            kind: self.kind,
+            label: self.label,
+            rank: RANK_UNATTRIBUTED, // stamped by the buffer
+            lane: self.lane,
+            thread: 0, // stamped by the buffer
+            a: self.a,
+            b: self.b,
+        });
+    }
+}
+
+/// Opens a span on lane 0. See [`Span`].
+pub fn span(kind: EventKind, label: &'static str, a: u64, b: u64) -> Span {
+    span_lane(kind, label, 0, a, b)
+}
+
+/// Opens a span on an explicit stripe lane. See [`Span`].
+pub fn span_lane(kind: EventKind, label: &'static str, lane: u32, a: u64, b: u64) -> Span {
+    let armed = enabled();
+    Span {
+        armed,
+        start_ns: if armed { now_ns() } else { 0 },
+        kind,
+        label,
+        lane,
+        a,
+        b,
+    }
+}
+
+/// Copies every published event out of every registered thread
+/// buffer, in per-thread record order (buffers concatenated in
+/// registration order). Call with traced threads quiescent for a
+/// consistent cut.
+#[must_use]
+pub fn take_snapshot() -> Vec<Event> {
+    let regs = REGISTRY.lock().expect("trace registry poisoned");
+    let mut out = Vec::new();
+    for buf in regs.iter() {
+        let n = buf.len.load(Ordering::Acquire);
+        out.reserve(n);
+        for slot in &buf.slots[..n] {
+            // SAFETY: indexes below the acquired `len` are published
+            // and never rewritten (clear() requires quiescence).
+            out.push(unsafe { (*slot.get()).assume_init() });
+        }
+    }
+    out
+}
+
+/// Resets every registered buffer (and the drop counters) to empty.
+/// Buffers stay registered — live threads keep recording into them.
+/// Requires traced threads to be quiescent, like [`take_snapshot`].
+pub fn clear() {
+    let regs = REGISTRY.lock().expect("trace registry poisoned");
+    for buf in regs.iter() {
+        buf.len.store(0, Ordering::Release);
+        buf.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Total events dropped on full buffers since the last [`clear`].
+#[must_use]
+pub fn dropped_events() -> u64 {
+    let regs = REGISTRY.lock().expect("trace registry poisoned");
+    regs.iter().map(|b| b.dropped.load(Ordering::Relaxed)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests in this binary share the global enable flag; serialize.
+    static GATE: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        let _g = GATE.lock().unwrap();
+        set_enabled(false);
+        clear();
+        instant(EventKind::Hop, "noop", 1, 2);
+        let _s = span(EventKind::Kernel, "noop", 0, 0);
+        drop(_s);
+        assert!(take_snapshot().is_empty());
+        assert_eq!(dropped_events(), 0);
+    }
+
+    #[test]
+    fn spans_and_instants_round_trip() {
+        let _g = GATE.lock().unwrap();
+        set_enabled(true);
+        clear();
+        set_thread_rank(3);
+        {
+            let _outer = span(EventKind::Compute, "outer", 7, 8);
+            instant_lane(EventKind::Hop, "h", 2, 42, 1024);
+        }
+        set_enabled(false);
+        let events = take_snapshot();
+        set_thread_rank(RANK_UNATTRIBUTED);
+        assert_eq!(events.len(), 2);
+        let hop = events.iter().find(|e| e.kind == EventKind::Hop).unwrap();
+        assert_eq!((hop.rank, hop.lane, hop.a, hop.b), (3, 2, 42, 1024));
+        assert_eq!(hop.dur_ns, 0);
+        let outer = events
+            .iter()
+            .find(|e| e.kind == EventKind::Compute)
+            .unwrap();
+        assert_eq!(outer.label, "outer");
+        assert!(outer.ts_ns <= hop.ts_ns && hop.ts_ns <= outer.end_ns());
+    }
+
+    #[test]
+    fn overflow_counts_drops_instead_of_growing() {
+        let _g = GATE.lock().unwrap();
+        set_enabled(true);
+        clear();
+        let before = dropped_events();
+        std::thread::spawn(|| {
+            for i in 0..(BUF_CAPACITY as u64 + 10) {
+                instant(EventKind::Hop, "flood", i, 0);
+            }
+        })
+        .join()
+        .unwrap();
+        set_enabled(false);
+        assert_eq!(dropped_events() - before, 10);
+        clear();
+        assert_eq!(dropped_events(), 0);
+    }
+}

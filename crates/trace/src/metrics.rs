@@ -1,0 +1,225 @@
+//! The global metrics registry: per-[`EventKind`] counters and
+//! log2-bucketed latency histograms, plus a handful of named byte
+//! counters the ledger can publish into.
+//!
+//! Everything here is a static `AtomicU64` — zero allocation, no
+//! locks, and (like the recorder) untouched unless tracing is
+//! enabled. [`snapshot`] materializes the whole registry; [`reset`]
+//! zeroes it between runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{EventKind, EVENT_KINDS};
+
+/// Histogram buckets: bucket `i` holds durations in
+/// `[2^(i-1), 2^i)` nanoseconds (bucket 0 holds `0..1` ns, i.e.
+/// instants). 40 buckets span up to ~9 minutes.
+pub const HIST_BUCKETS: usize = 40;
+
+/// Named monotonic counters, for quantities that are not span
+/// populations (published by the runtime's byte ledger).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Counter {
+    /// Wire bytes sent (worker-attributed).
+    WireBytes = 0,
+    /// Emulated switch-dataplane bytes sent.
+    SwitchBytes = 1,
+    /// Bytes produced by wire codecs (encode outputs).
+    CodecBytes = 2,
+    /// Elements pushed through the kernel engine.
+    KernelElems = 3,
+}
+
+/// Number of [`Counter`] slots.
+pub const COUNTERS: usize = 4;
+
+struct KindSlot {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    hist: [AtomicU64; HIST_BUCKETS],
+}
+
+// Const-init template for the static tables below; the lint fires on
+// any interior-mutable const, but this one is only ever used to
+// *initialize* statics (the std-documented array-init pattern), never
+// read through.
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+
+impl KindSlot {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const NEW: KindSlot = KindSlot {
+        count: AtomicU64::new(0),
+        total_ns: AtomicU64::new(0),
+        hist: [ZERO; HIST_BUCKETS],
+    };
+}
+
+static SLOTS: [KindSlot; EVENT_KINDS] = [KindSlot::NEW; EVENT_KINDS];
+static NAMED: [AtomicU64; COUNTERS] = [ZERO; COUNTERS];
+
+fn bucket(dur_ns: u64) -> usize {
+    if dur_ns == 0 {
+        return 0;
+    }
+    ((64 - dur_ns.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Feeds one observation into the registry (called by the recorder
+/// for every event while tracing is enabled).
+pub(crate) fn observe(kind: EventKind, dur_ns: u64) {
+    let slot = &SLOTS[kind.index()];
+    slot.count.fetch_add(1, Ordering::Relaxed);
+    slot.total_ns.fetch_add(dur_ns, Ordering::Relaxed);
+    slot.hist[bucket(dur_ns)].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Adds `v` to a named counter. A no-op while tracing is disabled, so
+/// publishing sites need no guards of their own.
+pub fn add_counter(c: Counter, v: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    NAMED[c as usize].fetch_add(v, Ordering::Relaxed);
+}
+
+/// Reads a named counter.
+#[must_use]
+pub fn counter(c: Counter) -> u64 {
+    NAMED[c as usize].load(Ordering::Relaxed)
+}
+
+/// One kind's materialized statistics.
+#[derive(Clone, Debug)]
+pub struct KindStats {
+    /// The kind the row describes.
+    pub kind: EventKind,
+    /// Events observed.
+    pub count: u64,
+    /// Summed durations, nanoseconds.
+    pub total_ns: u64,
+    /// Log2 duration histogram (see [`HIST_BUCKETS`]).
+    pub hist: [u64; HIST_BUCKETS],
+}
+
+impl KindStats {
+    /// Mean duration in nanoseconds (0 when empty).
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate duration quantile (`q` in `[0, 1]`): the upper
+    /// bound of the histogram bucket containing the `q`-th
+    /// observation. 0 when the histogram is empty.
+    #[must_use]
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.hist.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        1u64 << (HIST_BUCKETS - 1)
+    }
+}
+
+/// The whole registry, materialized.
+#[derive(Clone, Debug)]
+pub struct MetricsSummary {
+    /// One row per [`EventKind`], in discriminant order.
+    pub kinds: Vec<KindStats>,
+    /// The named counters, indexed by [`Counter`] discriminant.
+    pub counters: [u64; COUNTERS],
+}
+
+impl MetricsSummary {
+    /// The row for one kind.
+    #[must_use]
+    pub fn kind(&self, kind: EventKind) -> &KindStats {
+        &self.kinds[kind.index()]
+    }
+}
+
+/// Materializes the registry.
+#[must_use]
+pub fn snapshot() -> MetricsSummary {
+    let kinds = EventKind::ALL
+        .iter()
+        .map(|&kind| {
+            let slot = &SLOTS[kind.index()];
+            let mut hist = [0u64; HIST_BUCKETS];
+            for (h, a) in hist.iter_mut().zip(&slot.hist) {
+                *h = a.load(Ordering::Relaxed);
+            }
+            KindStats {
+                kind,
+                count: slot.count.load(Ordering::Relaxed),
+                total_ns: slot.total_ns.load(Ordering::Relaxed),
+                hist,
+            }
+        })
+        .collect();
+    let mut counters = [0u64; COUNTERS];
+    for (c, a) in counters.iter_mut().zip(&NAMED) {
+        *c = a.load(Ordering::Relaxed);
+    }
+    MetricsSummary { kinds, counters }
+}
+
+/// Zeroes the whole registry.
+pub fn reset() {
+    for slot in &SLOTS {
+        slot.count.store(0, Ordering::Relaxed);
+        slot.total_ns.store(0, Ordering::Relaxed);
+        for h in &slot.hist {
+            h.store(0, Ordering::Relaxed);
+        }
+    }
+    for a in &NAMED {
+        a.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(2), 2);
+        assert_eq!(bucket(3), 2);
+        assert_eq!(bucket(4), 3);
+        assert_eq!(bucket(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_walk_the_histogram() {
+        let mut s = KindStats {
+            kind: EventKind::Kernel,
+            count: 0,
+            total_ns: 0,
+            hist: [0; HIST_BUCKETS],
+        };
+        assert_eq!(s.quantile_ns(0.5), 0);
+        s.hist[2] = 9; // durations in [2, 4)
+        s.hist[10] = 1; // one in [512, 1024)
+        s.count = 10;
+        s.total_ns = 9 * 3 + 600;
+        assert_eq!(s.quantile_ns(0.5), 4);
+        assert_eq!(s.quantile_ns(1.0), 1024);
+        assert!((s.mean_ns() - 62.7).abs() < 1e-9);
+    }
+}

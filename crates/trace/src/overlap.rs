@@ -1,0 +1,230 @@
+//! The overlap profiler: how much collective wall-time hid under
+//! compute, computed purely from recorded spans.
+//!
+//! Per rank, two interval unions are built:
+//!
+//! - **communication in-flight time** — for every scheduled job, the
+//!   interval from its first serviced [`Hop`](crate::EventKind::Hop)
+//!   to its [`SchedComplete`](crate::EventKind::SchedComplete), plus
+//!   every blocking
+//!   [`CollectivePhase`](crate::EventKind::CollectivePhase) span;
+//! - **compute time** — the union of
+//!   [`Compute`](crate::EventKind::Compute) spans.
+//!
+//! The *hidden* communication is the intersection of the two unions:
+//! fabric progress that cost no critical-path time because the rank
+//! was computing anyway. Under a barriered schedule every hop is
+//! serviced inside a blocking drain after compute, so the hidden
+//! fraction is structurally ~0; under priority streaming, jobs stay
+//! in flight across the next iteration's kernels and the fraction
+//! climbs — the measurable form of the paper's overlap thesis.
+
+use std::collections::HashMap;
+
+use crate::{Event, EventKind, RANK_UNATTRIBUTED};
+
+/// Half-open interval in nanoseconds.
+type Iv = (u64, u64);
+
+/// Sorts and merges intervals into a disjoint union.
+fn merge(mut ivs: Vec<Iv>) -> Vec<Iv> {
+    ivs.retain(|&(s, e)| e > s);
+    ivs.sort_unstable();
+    let mut out: Vec<Iv> = Vec::with_capacity(ivs.len());
+    for (s, e) in ivs {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Total length of a disjoint union.
+fn total(ivs: &[Iv]) -> u64 {
+    ivs.iter().map(|&(s, e)| e - s).sum()
+}
+
+/// Length of the intersection of two disjoint unions (two-pointer
+/// sweep).
+fn intersection(a: &[Iv], b: &[Iv]) -> u64 {
+    let (mut i, mut j, mut acc) = (0, 0, 0u64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            acc += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    acc
+}
+
+/// One rank's overlap accounting.
+#[derive(Clone, Copy, Debug)]
+pub struct RankOverlap {
+    /// The rank.
+    pub rank: u32,
+    /// Seconds of communication in-flight time (union).
+    pub comm_busy_s: f64,
+    /// Seconds of that time overlapped with compute spans.
+    pub hidden_s: f64,
+    /// Seconds of compute (union).
+    pub compute_s: f64,
+}
+
+/// Aggregated overlap accounting across ranks.
+#[derive(Clone, Debug)]
+pub struct OverlapSummary {
+    /// Per-rank rows, ascending rank.
+    pub per_rank: Vec<RankOverlap>,
+    /// Summed communication in-flight seconds.
+    pub comm_busy_s: f64,
+    /// Summed hidden seconds.
+    pub hidden_s: f64,
+}
+
+impl OverlapSummary {
+    /// The fraction of collective wall-time hidden under compute
+    /// (0 when no communication was recorded).
+    #[must_use]
+    pub fn hidden_fraction(&self) -> f64 {
+        if self.comm_busy_s > 0.0 {
+            self.hidden_s / self.comm_busy_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Computes the overlap summary from a span snapshot. Events from
+/// unattributed threads (the kernel pool) are ignored — overlap is a
+/// per-rank property.
+#[must_use]
+pub fn hidden_comm_fraction(events: &[Event]) -> OverlapSummary {
+    // (rank, job) -> (first hop ts, last hop ts, complete ts)
+    let mut jobs: HashMap<(u32, u64), (u64, u64, Option<u64>)> = HashMap::new();
+    let mut compute: HashMap<u32, Vec<Iv>> = HashMap::new();
+    let mut comm: HashMap<u32, Vec<Iv>> = HashMap::new();
+    for ev in events {
+        if ev.rank == RANK_UNATTRIBUTED {
+            continue;
+        }
+        match ev.kind {
+            EventKind::Compute => compute
+                .entry(ev.rank)
+                .or_default()
+                .push((ev.ts_ns, ev.end_ns())),
+            EventKind::CollectivePhase => {
+                comm.entry(ev.rank)
+                    .or_default()
+                    .push((ev.ts_ns, ev.end_ns()));
+            }
+            // Blocking-path hops carry [`JOB_NONE`](crate::JOB_NONE);
+            // their time is covered by the enclosing phase span.
+            EventKind::Hop if ev.a != crate::JOB_NONE => {
+                let slot = jobs
+                    .entry((ev.rank, ev.a))
+                    .or_insert((ev.ts_ns, ev.ts_ns, None));
+                slot.0 = slot.0.min(ev.ts_ns);
+                slot.1 = slot.1.max(ev.ts_ns);
+            }
+            EventKind::SchedComplete => {
+                let slot = jobs
+                    .entry((ev.rank, ev.a))
+                    .or_insert((ev.ts_ns, ev.ts_ns, None));
+                slot.2 = Some(ev.ts_ns);
+            }
+            _ => {}
+        }
+    }
+    for (&(rank, _), &(first, last, complete)) in &jobs {
+        let end = complete.unwrap_or(last).max(last);
+        comm.entry(rank).or_default().push((first, end));
+    }
+
+    let mut ranks: Vec<u32> = comm.keys().chain(compute.keys()).copied().collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+
+    let mut per_rank = Vec::with_capacity(ranks.len());
+    let (mut busy_total, mut hidden_total) = (0.0, 0.0);
+    for rank in ranks {
+        let c = merge(comm.remove(&rank).unwrap_or_default());
+        let k = merge(compute.remove(&rank).unwrap_or_default());
+        let busy = total(&c) as f64 / 1e9;
+        let hidden = intersection(&c, &k) as f64 / 1e9;
+        busy_total += busy;
+        hidden_total += hidden;
+        per_rank.push(RankOverlap {
+            rank,
+            comm_busy_s: busy,
+            hidden_s: hidden,
+            compute_s: total(&k) as f64 / 1e9,
+        });
+    }
+    OverlapSummary {
+        per_rank,
+        comm_busy_s: busy_total,
+        hidden_s: hidden_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, rank: u32, ts: u64, dur: u64, a: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            dur_ns: dur,
+            kind,
+            label: "t",
+            rank,
+            lane: 0,
+            thread: 0,
+            a,
+            b: 1,
+        }
+    }
+
+    #[test]
+    fn interval_algebra() {
+        let u = merge(vec![(5, 9), (0, 3), (2, 4), (9, 9)]);
+        assert_eq!(u, vec![(0, 4), (5, 9)]);
+        assert_eq!(total(&u), 8);
+        assert_eq!(intersection(&u, &[(3, 6)]), 2);
+        assert_eq!(intersection(&u, &[(10, 20)]), 0);
+    }
+
+    #[test]
+    fn job_in_flight_overlapping_compute_is_hidden() {
+        // Job 7: first hop at 100, complete at 300; compute 200..400.
+        let events = [
+            ev(EventKind::Hop, 0, 100, 0, 7),
+            ev(EventKind::Hop, 0, 250, 0, 7),
+            ev(EventKind::SchedComplete, 0, 300, 0, 7),
+            ev(EventKind::Compute, 0, 200, 200, 1),
+        ];
+        let s = hidden_comm_fraction(&events);
+        assert_eq!(s.per_rank.len(), 1);
+        assert!((s.comm_busy_s - 200e-9).abs() < 1e-15);
+        assert!((s.hidden_s - 100e-9).abs() < 1e-15);
+        assert!((s.hidden_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocking_phases_outside_compute_hide_nothing() {
+        let events = [
+            ev(EventKind::Compute, 0, 0, 100, 1),
+            ev(EventKind::CollectivePhase, 0, 100, 50, 1),
+        ];
+        let s = hidden_comm_fraction(&events);
+        assert!((s.hidden_fraction()).abs() < 1e-12);
+        assert!(s.comm_busy_s > 0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Trace well-formedness checks, used by the gate tests and the
+//! `overlap_trace` trajectory row: per-thread record timestamps
+//! monotone, spans properly nested per thread, and every scheduler
+//! enqueue matched by a completion.
+
+use std::collections::HashMap;
+
+use crate::{Event, EventKind};
+
+/// Checks the three structural invariants of a snapshot:
+///
+/// 1. **Per-thread monotonicity** — events are recorded at span close
+///    (or instant emission), so each thread's *record* timestamps
+///    ([`Event::end_ns`]) must be non-decreasing in buffer order.
+/// 2. **Proper nesting** — two spans on one thread either nest or are
+///    disjoint; RAII guards cannot partially overlap.
+/// 3. **Enqueue/complete matching** — every
+///    [`SchedEnqueue`](EventKind::SchedEnqueue) on a rank has a
+///    [`SchedComplete`](EventKind::SchedComplete) for the same job id
+///    at the same or a later timestamp, and vice versa.
+///
+/// The snapshot must be in [`take_snapshot`](crate::take_snapshot)
+/// order (per-thread record order); re-sorting it first would destroy
+/// invariant 1's meaning.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn check_well_formed(events: &[Event]) -> Result<(), String> {
+    // 1. Per-thread record-order monotonicity.
+    let mut last_end: HashMap<u32, u64> = HashMap::new();
+    for ev in events {
+        let prev = last_end.entry(ev.thread).or_insert(0);
+        if ev.end_ns() < *prev {
+            return Err(format!(
+                "thread {} record timestamps regressed: {} after {} ({:?} '{}')",
+                ev.thread,
+                ev.end_ns(),
+                prev,
+                ev.kind,
+                ev.label,
+            ));
+        }
+        *prev = ev.end_ns();
+    }
+
+    // 2. Proper nesting of spans per thread: sort each thread's spans
+    // by (start, -end) and sweep with a stack of enclosing spans.
+    let mut spans: HashMap<u32, Vec<(u64, u64, &'static str)>> = HashMap::new();
+    for ev in events {
+        if ev.dur_ns > 0 {
+            spans
+                .entry(ev.thread)
+                .or_default()
+                .push((ev.ts_ns, ev.end_ns(), ev.label));
+        }
+    }
+    for (thread, mut ivs) in spans {
+        ivs.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        let mut stack: Vec<(u64, u64, &'static str)> = Vec::new();
+        for (s, e, label) in ivs {
+            while stack.last().is_some_and(|&(_, top_e, _)| top_e <= s) {
+                stack.pop();
+            }
+            if let Some(&(_, top_e, top_label)) = stack.last() {
+                if e > top_e {
+                    return Err(format!(
+                        "thread {thread}: span '{label}' [{s}, {e}) partially overlaps \
+                         enclosing span '{top_label}' ending at {top_e}"
+                    ));
+                }
+            }
+            stack.push((s, e, label));
+        }
+    }
+
+    // 3. Enqueue/complete matching per (rank, job).
+    let mut enq: HashMap<(u32, u64), u64> = HashMap::new();
+    let mut comp: HashMap<(u32, u64), u64> = HashMap::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::SchedEnqueue => {
+                enq.entry((ev.rank, ev.a)).or_insert(ev.ts_ns);
+            }
+            EventKind::SchedComplete => {
+                let t = comp.entry((ev.rank, ev.a)).or_insert(ev.ts_ns);
+                *t = (*t).max(ev.ts_ns);
+            }
+            _ => {}
+        }
+    }
+    for (&(rank, job), &t_enq) in &enq {
+        match comp.get(&(rank, job)) {
+            None => {
+                return Err(format!(
+                    "rank {rank}: job {job} was enqueued but never completed"
+                ))
+            }
+            Some(&t_comp) if t_comp < t_enq => {
+                return Err(format!(
+                    "rank {rank}: job {job} completed at {t_comp}, before its enqueue at {t_enq}"
+                ))
+            }
+            Some(_) => {}
+        }
+    }
+    for &(rank, job) in comp.keys() {
+        if !enq.contains_key(&(rank, job)) {
+            return Err(format!(
+                "rank {rank}: job {job} completed without an enqueue"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, thread: u32, ts: u64, dur: u64, a: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            dur_ns: dur,
+            kind,
+            label: "t",
+            rank: thread,
+            lane: 0,
+            thread,
+            a,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn nested_spans_and_matched_jobs_pass() {
+        // Record order = close order: inner closes before outer.
+        let events = [
+            ev(EventKind::SchedEnqueue, 0, 5, 0, 1),
+            ev(EventKind::Kernel, 0, 20, 10, 0), // inner [20, 30)
+            ev(EventKind::Compute, 0, 10, 30, 0), // outer [10, 40)
+            ev(EventKind::SchedComplete, 0, 50, 0, 1),
+            ev(EventKind::Compute, 1, 0, 15, 0), // other thread
+        ];
+        check_well_formed(&events).unwrap();
+    }
+
+    #[test]
+    fn partial_overlap_is_rejected() {
+        let events = [
+            ev(EventKind::Compute, 0, 10, 20, 0), // [10, 30)
+            ev(EventKind::Kernel, 0, 20, 20, 0),  // [20, 40) — straddles
+        ];
+        let err = check_well_formed(&events).unwrap_err();
+        assert!(err.contains("partially overlaps"), "{err}");
+    }
+
+    #[test]
+    fn timestamp_regression_is_rejected() {
+        let events = [
+            ev(EventKind::Hop, 0, 100, 0, 1),
+            ev(EventKind::Hop, 0, 50, 0, 1),
+        ];
+        let err = check_well_formed(&events).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+    }
+
+    #[test]
+    fn orphan_enqueues_and_completes_are_rejected() {
+        let only_enq = [ev(EventKind::SchedEnqueue, 0, 1, 0, 9)];
+        assert!(check_well_formed(&only_enq)
+            .unwrap_err()
+            .contains("never completed"));
+        let only_comp = [ev(EventKind::SchedComplete, 0, 1, 0, 9)];
+        assert!(check_well_formed(&only_comp)
+            .unwrap_err()
+            .contains("without an enqueue"));
+    }
+}
